@@ -1,0 +1,111 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use cml_exploit::BufferImage;
+use cml_firmware::{Arch, Firmware, FirmwareKind, Protections};
+use cml_vm::x86;
+
+/// Ablation 1 — gadget scanning granularity: every-byte (what we ship,
+/// finds unintended unaligned gadgets) vs. instruction-aligned-only
+/// (cheaper, misses them). The shipped scanner is `GadgetSet::scan`;
+/// the aligned variant is reimplemented here from the public decoder.
+fn ablation_scan_mode(c: &mut Criterion) {
+    let fw = Firmware::build(FirmwareKind::OpenElec, Arch::X86);
+    let text = fw
+        .image()
+        .section(cml_image::SectionKind::Text)
+        .unwrap()
+        .bytes()
+        .to_vec();
+
+    c.bench_function("ablation/scan_every_offset", |b| {
+        b.iter(|| {
+            let mut found = 0usize;
+            for start in 0..text.len() {
+                if ends_in_ret(&text[start..]) {
+                    found += 1;
+                }
+            }
+            black_box(found)
+        })
+    });
+    c.bench_function("ablation/scan_linear_sweep", |b| {
+        b.iter(|| {
+            let mut found = 0usize;
+            let mut pos = 0usize;
+            while pos < text.len() {
+                match x86::decode(&text[pos..]) {
+                    Ok((_, len)) => {
+                        if ends_in_ret(&text[pos..]) {
+                            found += 1;
+                        }
+                        pos += len;
+                    }
+                    Err(_) => pos += 1,
+                }
+            }
+            black_box(found)
+        })
+    });
+}
+
+fn ends_in_ret(bytes: &[u8]) -> bool {
+    let mut pos = 0usize;
+    for _ in 0..6 {
+        match x86::decode(&bytes[pos..]) {
+            Ok((x86::Insn::Ret, _)) => return true,
+            Ok((x86::Insn::PopR(_), len)) => pos += len,
+            _ => return false,
+        }
+    }
+    false
+}
+
+/// Ablation 2 — frame-simulation fidelity: the vulnerable daemon writes
+/// the whole overflow through the simulated MMU; the patched one
+/// bounds-checks and stops early. The delta is the price of fidelity.
+fn ablation_frame_sim(c: &mut Criterion) {
+    use cml_exploit::target::deliver_labels;
+    let labels: Vec<Vec<u8>> = vec![vec![0x41u8; 63]; 20];
+    for (name, kind) in [
+        ("full_frame_write", FirmwareKind::OpenElec),
+        ("bounds_checked_early_exit", FirmwareKind::Patched),
+    ] {
+        let fw = Firmware::build(kind, Arch::X86);
+        c.bench_function(&format!("ablation/{name}"), |b| {
+            b.iter_batched(
+                || fw.boot(Protections::none(), 7),
+                |mut daemon| deliver_labels(&mut daemon, labels.clone()).unwrap(),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+}
+
+/// Ablation 3 — layout solving: DP labelizer on a constrained chain vs.
+/// naive 63-byte chunking of an unconstrained buffer.
+fn ablation_labelize(c: &mut Criterion) {
+    let mut constrained = BufferImage::filler(1072);
+    let mut off = 1072;
+    for i in 0..10 {
+        constrained.set_word(off, 0x0001_2000 + i);
+        constrained.set_flex_word(off + 4, 0);
+        off += 8;
+    }
+    c.bench_function("ablation/labelize_dp", |b| {
+        b.iter(|| black_box(&constrained).labelize().unwrap())
+    });
+    let raw = vec![0x41u8; 1152];
+    c.bench_function("ablation/labelize_naive_chunking", |b| {
+        b.iter(|| {
+            black_box(&raw)
+                .chunks(63)
+                .map(<[u8]>::to_vec)
+                .collect::<Vec<_>>()
+        })
+    });
+}
+
+criterion_group!(benches, ablation_scan_mode, ablation_frame_sim, ablation_labelize);
+criterion_main!(benches);

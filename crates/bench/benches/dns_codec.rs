@@ -1,0 +1,70 @@
+//! DNS wire-codec benchmarks: the packet path every experiment rides.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use cml_dns::forge::ResponseForge;
+use cml_dns::validate::gate_response;
+use cml_dns::{Message, Name, Question, Record, RecordData, RecordType};
+
+fn sample_query() -> Message {
+    Message::query(
+        0x1234,
+        Question::new(Name::parse("sensor.update.vendor.example.com").unwrap(), RecordType::A),
+    )
+}
+
+fn sample_response() -> Message {
+    let q = sample_query();
+    let mut r = Message::response_to(&q);
+    for i in 0..8 {
+        r.push_answer(Record::new(
+            Name::parse("sensor.update.vendor.example.com").unwrap(),
+            300,
+            RecordData::A(std::net::Ipv4Addr::new(10, 0, 0, i)),
+        ));
+    }
+    r
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let query = sample_query();
+    let response = sample_response();
+    c.bench_function("dns/encode_query", |b| {
+        b.iter(|| black_box(&query).encode().unwrap())
+    });
+    c.bench_function("dns/encode_response_8_answers", |b| {
+        b.iter(|| black_box(&response).encode().unwrap())
+    });
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let bytes = sample_response().encode().unwrap();
+    c.bench_function("dns/decode_response_8_answers", |b| {
+        b.iter(|| Message::decode(black_box(&bytes)).unwrap())
+    });
+}
+
+fn bench_forge_and_gate(c: &mut Criterion) {
+    let query = sample_query();
+    let labels = vec![vec![0x41u8; 63]; 20];
+    c.bench_function("dns/forge_overflow_response", |b| {
+        b.iter(|| {
+            ResponseForge::answering(black_box(&query))
+                .with_payload_labels(labels.clone())
+                .unwrap()
+                .build()
+                .unwrap()
+        })
+    });
+    let forged = ResponseForge::answering(&query)
+        .with_payload_labels(labels)
+        .unwrap()
+        .build()
+        .unwrap();
+    c.bench_function("dns/gate_response", |b| {
+        b.iter(|| gate_response(black_box(&query), black_box(&forged)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_encode, bench_decode, bench_forge_and_gate);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Machine-substrate benchmarks: interpreter throughput, hook dispatch
+//! and loader cost.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use cml_firmware::{Arch, Firmware, FirmwareKind};
+use cml_image::{Perms, SectionKind};
+use cml_vm::{arm, x86, Loader, Machine, Protections, X86Reg};
+
+fn bench_interpreters(c: &mut Criterion) {
+    // A tight arithmetic loop, ~1000 instructions per run.
+    let x86_code = {
+        let mut a = x86::Asm::new().mov_r_imm(X86Reg::Ecx, 0);
+        for _ in 0..8 {
+            a = a.inc_r(X86Reg::Ecx).dec_r(X86Reg::Ecx).inc_r(X86Reg::Ecx);
+        }
+        a.xor_rr(X86Reg::Eax, X86Reg::Eax).mov_r8_imm(X86Reg::Eax, 1).int80().finish()
+    };
+    c.bench_function("vm/x86_step_sequence", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(Arch::X86);
+            m.mem_mut().map(".text", Some(SectionKind::Text), 0x1000, 0x1000, Perms::RX);
+            m.mem_mut().map("stack", Some(SectionKind::Stack), 0x8000, 0x1000, Perms::RW);
+            m.mem_mut().poke(0x1000, &x86_code).unwrap();
+            m.regs_mut().set_pc(0x1000);
+            m.regs_mut().set_sp(0x8800);
+            black_box(m.run(10_000))
+        })
+    });
+
+    let arm_code = {
+        let mut a = arm::Asm::new().mov_imm(2, 0);
+        for _ in 0..12 {
+            a = a.add_imm(2, 2, 1).sub_imm(2, 2, 1);
+        }
+        a.mov_imm(7, 1).mov_imm(0, 0).svc0().finish()
+    };
+    c.bench_function("vm/arm_step_sequence", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(Arch::Armv7);
+            m.mem_mut().map(".text", Some(SectionKind::Text), 0x1_0000, 0x1000, Perms::RX);
+            m.mem_mut().map("stack", Some(SectionKind::Stack), 0x8000, 0x1000, Perms::RW);
+            m.mem_mut().poke(0x1_0000, &arm_code).unwrap();
+            m.regs_mut().set_pc(0x1_0000);
+            m.regs_mut().set_sp(0x8800);
+            black_box(m.run(10_000))
+        })
+    });
+}
+
+fn bench_loader(c: &mut Criterion) {
+    for arch in Arch::ALL {
+        let fw = Firmware::build(FirmwareKind::OpenElec, arch);
+        c.bench_function(&format!("vm/load_image_{arch}"), |b| {
+            b.iter(|| {
+                Loader::new(black_box(fw.image()))
+                    .protections(Protections::full())
+                    .seed(7)
+                    .load()
+            })
+        });
+    }
+}
+
+fn bench_memcpy_hook(c: &mut Criterion) {
+    c.bench_function("vm/memcpy_hook_256B", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(Arch::X86);
+            m.mem_mut().map("data", Some(SectionKind::Data), 0x3000, 0x1000, Perms::RW);
+            m.mem_mut().map("libc", Some(SectionKind::Libc), 0x7000, 0x100, Perms::RX);
+            m.mem_mut().map("stack", Some(SectionKind::Stack), 0x8000, 0x1000, Perms::RW);
+            m.register_hook(0x7000, cml_vm::LibcFn::Memcpy);
+            m.regs_mut().set_sp(0x8800);
+            for v in [256u32, 0x3000, 0x3400, 0xdead] {
+                m.push_u32(v).unwrap();
+            }
+            m.regs_mut().set_pc(0x7000);
+            black_box(m.step().unwrap())
+        })
+    });
+}
+
+criterion_group!(benches, bench_interpreters, bench_loader, bench_memcpy_hook);
+criterion_main!(benches);

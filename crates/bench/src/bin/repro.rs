@@ -1,0 +1,94 @@
+//! Regenerates every table/figure of the reproduced paper.
+//!
+//! ```text
+//! repro                 # run E1..E8, print markdown to stdout
+//! repro --exp e2 e5     # run selected experiments
+//! repro --out FILE      # also write the markdown to FILE
+//! repro --json          # machine-readable output
+//! ```
+
+use std::io::Write;
+
+use cml_core::experiments;
+use cml_core::report::Suite;
+
+fn main() {
+    let mut ids: Vec<String> = Vec::new();
+    let mut out_path: Option<String> = None;
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--exp" => { /* ids follow */ }
+            "--out" => out_path = args.next(),
+            "--json" => json = true,
+            "--help" | "-h" => {
+                eprintln!("usage: repro [--exp e1 e2 …] [--out FILE] [--json]");
+                return;
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+
+    let suite = if ids.is_empty() {
+        eprintln!("running all experiments (E1..E8) — a few minutes of simulated boots…");
+        experiments::run_all()
+    } else {
+        let mut tables = Vec::new();
+        for id in &ids {
+            match experiments::run_one(id) {
+                Some(t) => {
+                    eprintln!("finished {id}");
+                    tables.push(t);
+                }
+                None => eprintln!("unknown experiment id {id:?} (want e1..e8)"),
+            }
+        }
+        Suite { tables }
+    };
+
+    let body = if json { to_json(&suite) } else { suite.to_markdown() };
+    println!("{body}");
+    if let Some(path) = out_path {
+        match std::fs::File::create(&path).and_then(|mut f| f.write_all(body.as_bytes())) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => eprintln!("failed to write {path}: {e}"),
+        }
+    }
+}
+
+/// Minimal JSON rendering (the approved dependency set has serde but not
+/// serde_json; tables are simple enough to emit by hand).
+fn to_json(suite: &Suite) -> String {
+    fn esc(s: &str) -> String {
+        s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+    }
+    let tables: Vec<String> = suite
+        .tables
+        .iter()
+        .map(|t| {
+            let rows: Vec<String> = t
+                .rows
+                .iter()
+                .map(|r| {
+                    let cells: Vec<String> =
+                        r.iter().map(|c| format!("\"{}\"", esc(c))).collect();
+                    format!("[{}]", cells.join(","))
+                })
+                .collect();
+            let header: Vec<String> =
+                t.header.iter().map(|h| format!("\"{}\"", esc(h))).collect();
+            let notes: Vec<String> =
+                t.notes.iter().map(|n| format!("\"{}\"", esc(n))).collect();
+            format!(
+                "{{\"id\":\"{}\",\"title\":\"{}\",\"header\":[{}],\"rows\":[{}],\"notes\":[{}]}}",
+                esc(&t.id),
+                esc(&t.title),
+                header.join(","),
+                rows.join(","),
+                notes.join(",")
+            )
+        })
+        .collect();
+    format!("{{\"tables\":[{}]}}", tables.join(","))
+}

@@ -1,0 +1,162 @@
+//! The proxy's record cache (type A/AAAA only, as in `dnsproxy.c`).
+
+use std::collections::HashMap;
+use std::net::IpAddr;
+
+use cml_dns::{Name, RecordType};
+
+/// One cached answer set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheEntry {
+    /// Addresses extracted from the answer records.
+    pub addresses: Vec<IpAddr>,
+    /// Absolute expiry tick (insert tick + TTL).
+    pub expires_at: u64,
+    /// Tick at which the entry was inserted (for LRU-ish eviction).
+    pub inserted_at: u64,
+}
+
+/// A TTL-aware, capacity-bounded cache keyed by lower-cased name and
+/// record type.
+///
+/// Connman caches only A and AAAA responses — which is exactly why the
+/// vulnerable decompression runs only for those types; the cache honours
+/// the same restriction via [`RecordType::is_cached_by_connman`].
+#[derive(Debug, Clone)]
+pub struct Cache {
+    entries: HashMap<(String, RecordType), CacheEntry>,
+    capacity: usize,
+}
+
+impl Default for Cache {
+    fn default() -> Self {
+        Self::new(Self::DEFAULT_CAPACITY)
+    }
+}
+
+impl Cache {
+    /// Default maximum entry count.
+    pub const DEFAULT_CAPACITY: usize = 256;
+
+    /// Creates a cache bounded to `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        Cache { entries: HashMap::new(), capacity: capacity.max(1) }
+    }
+
+    /// Number of live entries (including not-yet-expired ones only after
+    /// [`Cache::evict_expired`]).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn key(name: &Name, rtype: RecordType) -> (String, RecordType) {
+        (name.to_string().to_ascii_lowercase(), rtype)
+    }
+
+    /// Inserts an answer set; ignores types Connman does not cache.
+    /// Returns whether the entry was stored.
+    pub fn insert(
+        &mut self,
+        name: &Name,
+        rtype: RecordType,
+        addresses: Vec<IpAddr>,
+        ttl: u32,
+        now: u64,
+    ) -> bool {
+        if !rtype.is_cached_by_connman() {
+            return false;
+        }
+        if self.entries.len() >= self.capacity {
+            // Evict the oldest entry.
+            if let Some(oldest) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.inserted_at)
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&oldest);
+            }
+        }
+        self.entries.insert(
+            Self::key(name, rtype),
+            CacheEntry { addresses, expires_at: now + ttl as u64, inserted_at: now },
+        );
+        true
+    }
+
+    /// Looks up a live entry.
+    pub fn lookup(&self, name: &Name, rtype: RecordType, now: u64) -> Option<&CacheEntry> {
+        self.entries
+            .get(&Self::key(name, rtype))
+            .filter(|e| e.expires_at > now)
+    }
+
+    /// Drops expired entries; returns how many were removed.
+    pub fn evict_expired(&mut self, now: u64) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|_, e| e.expires_at > now);
+        before - self.entries.len()
+    }
+
+    /// Empties the cache.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn name(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    fn ip(last: u8) -> IpAddr {
+        IpAddr::V4(Ipv4Addr::new(10, 0, 0, last))
+    }
+
+    #[test]
+    fn insert_lookup_roundtrip_case_insensitive() {
+        let mut c = Cache::default();
+        assert!(c.insert(&name("Example.COM"), RecordType::A, vec![ip(1)], 60, 100));
+        let e = c.lookup(&name("example.com"), RecordType::A, 120).unwrap();
+        assert_eq!(e.addresses, vec![ip(1)]);
+        assert!(c.lookup(&name("example.com"), RecordType::Aaaa, 120).is_none());
+    }
+
+    #[test]
+    fn ttl_expiry() {
+        let mut c = Cache::default();
+        c.insert(&name("a.b"), RecordType::A, vec![ip(2)], 30, 100);
+        assert!(c.lookup(&name("a.b"), RecordType::A, 129).is_some());
+        assert!(c.lookup(&name("a.b"), RecordType::A, 130).is_none());
+        assert_eq!(c.evict_expired(130), 1);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn only_a_and_aaaa_cached() {
+        let mut c = Cache::default();
+        assert!(!c.insert(&name("a.b"), RecordType::Txt, vec![], 60, 0));
+        assert!(c.insert(&name("a.b"), RecordType::Aaaa, vec![], 60, 0));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let mut c = Cache::new(2);
+        c.insert(&name("one"), RecordType::A, vec![ip(1)], 600, 1);
+        c.insert(&name("two"), RecordType::A, vec![ip(2)], 600, 2);
+        c.insert(&name("three"), RecordType::A, vec![ip(3)], 600, 3);
+        assert_eq!(c.len(), 2);
+        assert!(c.lookup(&name("one"), RecordType::A, 4).is_none(), "oldest evicted");
+        assert!(c.lookup(&name("three"), RecordType::A, 4).is_some());
+    }
+}

@@ -1,0 +1,278 @@
+//! The `get_name` port: DNS name decompression into a stack buffer.
+//!
+//! The real code (Connman `dnsproxy.c`) walks the response packet's
+//! label chain, appending each label's length byte and content to the
+//! caller's `name` buffer:
+//!
+//! ```c
+//! name[(*name_len)++] = label_len;
+//! memcpy(name + *name_len, p + 1, label_len + 1);
+//! *name_len += label_len;
+//! ```
+//!
+//! Versions ≤ 1.34 never compare `*name_len` against the buffer size —
+//! that is CVE-2017-12865. Version 1.35 returns `-ENOBUFS` when the
+//! label would overflow. Both behaviours are implemented here, selected
+//! by [`ConnmanVersion`]; the vulnerable path writes straight through
+//! the simulated MMU, so the overflow lands in real (simulated) stack
+//! memory.
+
+use cml_vm::{Addr, Fault, Machine};
+
+use crate::{ConnmanVersion, NAME_BUFFER_SIZE};
+
+/// Why decompression stopped without producing a name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UncompressError {
+    /// The packet ended mid-name; the daemon dumps the response and
+    /// keeps running.
+    Malformed,
+    /// Too many compression-pointer hops (both versions cap the walk so
+    /// a pointer loop cannot hang the daemon forever).
+    PointerLoop,
+    /// The 1.35 bounds check fired (`-ENOBUFS`); never returned by
+    /// vulnerable versions.
+    BufferFull {
+        /// Bytes the name would have needed.
+        needed: usize,
+    },
+    /// The overflowing write itself faulted (ran off the stack
+    /// mapping) — an immediate crash.
+    MachineFault(Fault),
+}
+
+/// Result of a successful walk: how many bytes were written into the
+/// buffer and where the reader ended up in the packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Uncompressed {
+    /// Bytes written to the `name` buffer (length bytes + labels).
+    pub name_len: usize,
+    /// Packet offset just past the name's in-place bytes.
+    pub next_offset: usize,
+}
+
+/// Maximum pointer hops before either version gives up.
+pub const MAX_HOPS: usize = 128;
+
+/// Ports `get_name`: decompresses the name at `offset` in `packet` into
+/// the buffer at `buf_addr` in machine memory.
+///
+/// For vulnerable versions the write is unchecked: names longer than
+/// [`NAME_BUFFER_SIZE`] keep writing past the buffer — over locals,
+/// saved registers and the return address.
+///
+/// # Errors
+///
+/// Returns an [`UncompressError`]; only patched versions produce
+/// [`UncompressError::BufferFull`].
+pub fn get_name(
+    machine: &mut Machine,
+    version: ConnmanVersion,
+    packet: &[u8],
+    offset: usize,
+    buf_addr: Addr,
+    pc: Addr,
+) -> Result<Uncompressed, UncompressError> {
+    get_name_into(machine, version, packet, offset, buf_addr, NAME_BUFFER_SIZE, pc)
+}
+
+/// Like [`get_name`] but with an explicit buffer capacity — the §V
+/// adaptation experiments model other services' (smaller or larger)
+/// stack buffers with it. The *vulnerable* path still ignores the
+/// capacity entirely; only the patched bounds check consults it.
+///
+/// # Errors
+///
+/// Returns an [`UncompressError`]; only patched versions produce
+/// [`UncompressError::BufferFull`].
+pub fn get_name_into(
+    machine: &mut Machine,
+    version: ConnmanVersion,
+    packet: &[u8],
+    offset: usize,
+    buf_addr: Addr,
+    buf_cap: usize,
+    pc: Addr,
+) -> Result<Uncompressed, UncompressError> {
+    let mut pos = offset;
+    let mut name_len = 0usize;
+    let mut hops = 0usize;
+    let mut resume: Option<usize> = None;
+    loop {
+        let len = *packet.get(pos).ok_or(UncompressError::Malformed)? as usize;
+        if len == 0 {
+            pos += 1;
+            break;
+        }
+        if len & 0xC0 == 0xC0 {
+            let lo = *packet.get(pos + 1).ok_or(UncompressError::Malformed)? as usize;
+            let target = ((len & 0x3F) << 8) | lo;
+            hops += 1;
+            if hops > MAX_HOPS {
+                return Err(UncompressError::PointerLoop);
+            }
+            if resume.is_none() {
+                resume = Some(pos + 2);
+            }
+            pos = target;
+            continue;
+        }
+        if len & 0xC0 != 0 {
+            return Err(UncompressError::Malformed);
+        }
+        let label = packet.get(pos + 1..pos + 1 + len).ok_or(UncompressError::Malformed)?;
+        if !version.is_vulnerable() {
+            // The 1.35 fix: refuse labels that would overflow the buffer
+            // (length byte + label + eventual terminator).
+            if name_len + len + 2 > buf_cap {
+                return Err(UncompressError::BufferFull { needed: name_len + len + 2 });
+            }
+        }
+        // name[(*name_len)++] = label_len;
+        machine
+            .mem_mut()
+            .write_u8(buf_addr.wrapping_add(name_len as u32), len as u8, pc)
+            .map_err(UncompressError::MachineFault)?;
+        name_len += 1;
+        // memcpy(name + *name_len, p + 1, label_len); *name_len += label_len;
+        machine
+            .mem_mut()
+            .write_bytes(buf_addr.wrapping_add(name_len as u32), label, pc)
+            .map_err(UncompressError::MachineFault)?;
+        name_len += len;
+        pos += 1 + len;
+    }
+    // Trailing root byte.
+    machine
+        .mem_mut()
+        .write_u8(buf_addr.wrapping_add(name_len as u32), 0, pc)
+        .map_err(UncompressError::MachineFault)?;
+    name_len += 1;
+    Ok(Uncompressed { name_len, next_offset: resume.unwrap_or(pos) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cml_image::{Arch, Perms, SectionKind};
+
+    fn machine() -> Machine {
+        let mut m = Machine::new(Arch::X86);
+        m.mem_mut().map("stack", Some(SectionKind::Stack), 0x8000, 0x2000, Perms::RW);
+        m
+    }
+
+    fn packet_with_labels(labels: &[&[u8]]) -> Vec<u8> {
+        let mut p = Vec::new();
+        for l in labels {
+            p.push(l.len() as u8);
+            p.extend_from_slice(l);
+        }
+        p.push(0);
+        p
+    }
+
+    #[test]
+    fn normal_name_lands_in_buffer() {
+        let mut m = machine();
+        let packet = packet_with_labels(&[b"www", b"example", b"com"]);
+        let out = get_name(&mut m, ConnmanVersion::V1_34, &packet, 0, 0x8100, 0).unwrap();
+        assert_eq!(out.name_len, packet.len());
+        assert_eq!(out.next_offset, packet.len());
+        assert_eq!(
+            m.mem().read_bytes(0x8100, packet.len(), 0).unwrap(),
+            packet,
+            "wire-format labels copied verbatim"
+        );
+    }
+
+    #[test]
+    fn vulnerable_version_overflows_buffer() {
+        let mut m = machine();
+        let labels: Vec<Vec<u8>> = (0..20).map(|_| vec![0x41u8; 63]).collect();
+        let refs: Vec<&[u8]> = labels.iter().map(|l| l.as_slice()).collect();
+        let packet = packet_with_labels(&refs);
+        let out = get_name(&mut m, ConnmanVersion::V1_34, &packet, 0, 0x8100, 0).unwrap();
+        assert!(out.name_len > NAME_BUFFER_SIZE, "{}", out.name_len);
+        // Bytes beyond the 1024-byte buffer were really written.
+        assert_eq!(m.mem().read_u8(0x8100 + 1024 + 10, 0).unwrap(), 0x41);
+    }
+
+    #[test]
+    fn patched_version_stops_at_boundary() {
+        let mut m = machine();
+        let labels: Vec<Vec<u8>> = (0..20).map(|_| vec![0x41u8; 63]).collect();
+        let refs: Vec<&[u8]> = labels.iter().map(|l| l.as_slice()).collect();
+        let packet = packet_with_labels(&refs);
+        let err = get_name(&mut m, ConnmanVersion::V1_35, &packet, 0, 0x8100, 0).unwrap_err();
+        assert!(matches!(err, UncompressError::BufferFull { .. }));
+        // Nothing past the buffer was touched.
+        assert_eq!(m.mem().read_u8(0x8100 + 1024 + 10, 0).unwrap(), 0);
+    }
+
+    #[test]
+    fn patched_version_accepts_max_fitting_name() {
+        let mut m = machine();
+        // 15 labels of 63 bytes: 15 length bytes + 945... each label is
+        // 64 buffer bytes (length + content), plus the root byte.
+        let labels: Vec<Vec<u8>> = (0..15).map(|_| vec![0x42u8; 63]).collect();
+        let refs: Vec<&[u8]> = labels.iter().map(|l| l.as_slice()).collect();
+        let packet = packet_with_labels(&refs);
+        let out = get_name(&mut m, ConnmanVersion::V1_35, &packet, 0, 0x8100, 0).unwrap();
+        assert_eq!(out.name_len, 15 * 64 + 1);
+    }
+
+    #[test]
+    fn pointer_followed_and_resume_reported() {
+        // "x" at 0; at 3: "y" + pointer to 0.
+        let packet = vec![1, b'x', 0, 1, b'y', 0xC0, 0x00];
+        let mut m = machine();
+        let out = get_name(&mut m, ConnmanVersion::V1_34, &packet, 3, 0x8100, 0).unwrap();
+        assert_eq!(out.next_offset, 7);
+        // Buffer holds "y" label then "x" label then root.
+        assert_eq!(m.mem().read_bytes(0x8100, 5, 0).unwrap(), vec![1, b'y', 1, b'x', 0]);
+    }
+
+    #[test]
+    fn pointer_loop_capped() {
+        // Pointer to itself.
+        let packet = vec![0xC0, 0x00];
+        let mut m = machine();
+        assert_eq!(
+            get_name(&mut m, ConnmanVersion::V1_34, &packet, 0, 0x8100, 0),
+            Err(UncompressError::PointerLoop)
+        );
+    }
+
+    #[test]
+    fn truncated_packet_malformed() {
+        let packet = vec![5, b'a'];
+        let mut m = machine();
+        assert_eq!(
+            get_name(&mut m, ConnmanVersion::V1_34, &packet, 0, 0x8100, 0),
+            Err(UncompressError::Malformed)
+        );
+    }
+
+    #[test]
+    fn overflow_off_the_stack_faults() {
+        let mut m = Machine::new(Arch::X86);
+        // Tiny stack: 0x100 bytes.
+        m.mem_mut().map("stack", Some(SectionKind::Stack), 0x8000, 0x100, Perms::RW);
+        let labels: Vec<Vec<u8>> = (0..20).map(|_| vec![0x41u8; 63]).collect();
+        let refs: Vec<&[u8]> = labels.iter().map(|l| l.as_slice()).collect();
+        let packet = packet_with_labels(&refs);
+        let err = get_name(&mut m, ConnmanVersion::V1_34, &packet, 0, 0x8000, 0).unwrap_err();
+        assert!(matches!(err, UncompressError::MachineFault(Fault::UnmappedWrite { .. })));
+    }
+
+    #[test]
+    fn reserved_label_bits_malformed() {
+        let packet = vec![0x40, 0x00];
+        let mut m = machine();
+        assert_eq!(
+            get_name(&mut m, ConnmanVersion::V1_34, &packet, 0, 0x8100, 0),
+            Err(UncompressError::Malformed)
+        );
+    }
+}

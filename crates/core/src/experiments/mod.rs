@@ -1,0 +1,55 @@
+//! The experiment suite: every table/figure of the paper plus the
+//! DESIGN.md extension experiments, regenerated from the simulation.
+//!
+//! | id | reproduces | entry point |
+//! |----|------------|-------------|
+//! | E1 | §III DoS preamble | [`e1::run`] |
+//! | E2 | the six PoCs of §III-A/B/C | [`e2::run`] |
+//! | E3 | §III-D Wi-Fi Pineapple + Fig. 1 topology | [`e3::run`] |
+//! | E4 | the firmware survey (Yocto/OpenELEC/Tizen) | [`e4::run`] |
+//! | E5 | Listings 2–5 (generated chains) | [`e5::run`] |
+//! | E6 | §IV mitigations (canary, CFI) | [`e6::run`] |
+//! | E7 | §V adaptation to other builds | [`e7::run`] |
+//! | E8 | ASLR brute-force curve (related work §VI) | [`e8::run`] |
+
+pub mod e1;
+pub mod e2;
+pub mod e3;
+pub mod e4;
+pub mod e5;
+pub mod e6;
+pub mod e7;
+pub mod e8;
+
+use crate::report::Suite;
+
+/// Runs every experiment, in order.
+pub fn run_all() -> Suite {
+    Suite {
+        tables: vec![
+            e1::run(),
+            e2::run(),
+            e3::run(),
+            e4::run(),
+            e5::run(),
+            e6::run(),
+            e7::run(),
+            e8::run(),
+        ],
+    }
+}
+
+/// Runs one experiment by id (`"e1"`…`"e8"`), if known.
+pub fn run_one(id: &str) -> Option<crate::report::Table> {
+    match id.to_ascii_lowercase().as_str() {
+        "e1" => Some(e1::run()),
+        "e2" => Some(e2::run()),
+        "e3" => Some(e3::run()),
+        "e4" => Some(e4::run()),
+        "e5" => Some(e5::run()),
+        "e6" => Some(e6::run()),
+        "e7" => Some(e7::run()),
+        "e8" => Some(e8::run()),
+        _ => None,
+    }
+}

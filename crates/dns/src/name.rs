@@ -1,0 +1,498 @@
+//! Domain names: labels, parsing, wire encoding and decompression.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::wire::{WireReader, WireWriter};
+use crate::DnsError;
+
+/// Maximum length of a single label on the wire (RFC 1035 §2.3.4).
+pub const MAX_LABEL_LEN: usize = 63;
+
+/// Maximum length of a full name on the wire, including length bytes and
+/// the root terminator (RFC 1035 §2.3.4).
+pub const MAX_NAME_LEN: usize = 255;
+
+/// Maximum number of compression pointers the strict decoder will chase
+/// for one name before declaring the message malicious.
+pub const MAX_POINTER_HOPS: usize = 32;
+
+/// One label of a domain name.
+///
+/// The strict constructor only accepts the conventional hostname alphabet
+/// (letters, digits, hyphen, underscore); [`Label::from_bytes_relaxed`]
+/// accepts any bytes, which decoding uses because real-world traffic is
+/// not always polite.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Label(Vec<u8>);
+
+impl Label {
+    /// Creates a label from text, validating the hostname alphabet.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnsError::EmptyLabel`], [`DnsError::LabelTooLong`] or
+    /// [`DnsError::InvalidLabelByte`] on bad input.
+    pub fn new(text: &str) -> Result<Self, DnsError> {
+        let bytes = text.as_bytes();
+        if bytes.is_empty() {
+            return Err(DnsError::EmptyLabel);
+        }
+        if bytes.len() > MAX_LABEL_LEN {
+            return Err(DnsError::LabelTooLong(bytes.len()));
+        }
+        for &b in bytes {
+            if !(b.is_ascii_alphanumeric() || b == b'-' || b == b'_') {
+                return Err(DnsError::InvalidLabelByte(b));
+            }
+        }
+        Ok(Label(bytes.to_vec()))
+    }
+
+    /// Creates a label from arbitrary bytes, checking only the length
+    /// limits that the wire format itself enforces.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnsError::EmptyLabel`] or [`DnsError::LabelTooLong`].
+    pub fn from_bytes_relaxed(bytes: &[u8]) -> Result<Self, DnsError> {
+        if bytes.is_empty() {
+            return Err(DnsError::EmptyLabel);
+        }
+        if bytes.len() > MAX_LABEL_LEN {
+            return Err(DnsError::LabelTooLong(bytes.len()));
+        }
+        Ok(Label(bytes.to_vec()))
+    }
+
+    /// The raw bytes of the label.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Length of the label in bytes (1..=63).
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// A label is never empty; this always returns `false` but exists for
+    /// API symmetry with collection types.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Case-insensitive comparison as required for name matching
+    /// (RFC 1035 §2.3.3).
+    pub fn eq_ignore_case(&self, other: &Label) -> bool {
+        self.0.eq_ignore_ascii_case(&other.0)
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for &b in &self.0 {
+            if b.is_ascii_graphic() && b != b'.' && b != b'\\' {
+                write!(f, "{}", b as char)?;
+            } else {
+                write!(f, "\\{b:03}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A fully-qualified domain name as an ordered list of labels.
+///
+/// The empty list is the DNS root. `Name` values built through the public
+/// constructors always satisfy the RFC length limits; only the [`forge`]
+/// module emits names that do not.
+///
+/// [`forge`]: crate::forge
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Name {
+    labels: Vec<Label>,
+}
+
+impl Name {
+    /// The root name (zero labels).
+    pub fn root() -> Self {
+        Name { labels: Vec::new() }
+    }
+
+    /// Parses a dotted name such as `"www.example.com"`.
+    ///
+    /// A single trailing dot is accepted and ignored. The empty string and
+    /// `"."` both denote the root.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any label is invalid or the total wire length
+    /// would exceed [`MAX_NAME_LEN`].
+    pub fn parse(text: &str) -> Result<Self, DnsError> {
+        let trimmed = text.strip_suffix('.').unwrap_or(text);
+        if trimmed.is_empty() {
+            return Ok(Name::root());
+        }
+        let mut labels = Vec::new();
+        for part in trimmed.split('.') {
+            labels.push(Label::new(part)?);
+        }
+        Name::from_labels(labels)
+    }
+
+    /// Builds a name from pre-validated labels, enforcing the total
+    /// length limit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnsError::NameTooLong`] if the wire form would exceed
+    /// [`MAX_NAME_LEN`] bytes.
+    pub fn from_labels(labels: Vec<Label>) -> Result<Self, DnsError> {
+        let name = Name { labels };
+        let wire = name.wire_len();
+        if wire > MAX_NAME_LEN {
+            return Err(DnsError::NameTooLong(wire));
+        }
+        Ok(name)
+    }
+
+    /// The labels of this name, most-specific first.
+    pub fn labels(&self) -> &[Label] {
+        &self.labels
+    }
+
+    /// Whether this is the root name.
+    pub fn is_root(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of labels.
+    pub fn label_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Length of the uncompressed wire encoding, including each label's
+    /// length byte and the trailing root byte.
+    pub fn wire_len(&self) -> usize {
+        1 + self.labels.iter().map(|l| l.len() + 1).sum::<usize>()
+    }
+
+    /// Case-insensitive equality, as used for cache lookups.
+    pub fn eq_ignore_case(&self, other: &Name) -> bool {
+        self.labels.len() == other.labels.len()
+            && self
+                .labels
+                .iter()
+                .zip(&other.labels)
+                .all(|(a, b)| a.eq_ignore_case(b))
+    }
+
+    /// The parent name (one label removed), or `None` at the root.
+    pub fn parent(&self) -> Option<Name> {
+        if self.labels.is_empty() {
+            None
+        } else {
+            Some(Name { labels: self.labels[1..].to_vec() })
+        }
+    }
+
+    /// Encodes without compression.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer capacity errors.
+    pub fn encode_uncompressed(&self, w: &mut WireWriter) -> Result<(), DnsError> {
+        for label in &self.labels {
+            w.write_u8(label.len() as u8)?;
+            w.write_bytes(label.as_bytes())?;
+        }
+        w.write_u8(0)
+    }
+
+    /// Encodes with RFC 1035 §4.1.4 compression.
+    ///
+    /// `offsets` maps previously-emitted suffixes to their positions; this
+    /// method both consults and extends it. Only offsets that fit the
+    /// 14-bit pointer encoding are recorded.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer capacity errors.
+    pub fn encode_compressed(
+        &self,
+        w: &mut WireWriter,
+        offsets: &mut HashMap<Name, u16>,
+    ) -> Result<(), DnsError> {
+        let mut suffix = self.clone();
+        loop {
+            if suffix.is_root() {
+                return w.write_u8(0);
+            }
+            if let Some(&off) = offsets.get(&suffix) {
+                return w.write_u16(0xC000 | off);
+            }
+            let here = w.len();
+            if here <= 0x3FFF {
+                offsets.insert(suffix.clone(), here as u16);
+            }
+            let label = &suffix.labels[0];
+            w.write_u8(label.len() as u8)?;
+            w.write_bytes(label.as_bytes())?;
+            suffix = suffix.parent().expect("non-root name has a parent");
+        }
+    }
+
+    /// Decodes a (possibly compressed) name at the reader's position,
+    /// leaving the reader just past the name's in-place bytes.
+    ///
+    /// This is the *strict* decoder: it enforces backward-only pointers, a
+    /// hop limit, and the 255-byte total. The vulnerable proxy in
+    /// `cml-connman` deliberately does **not** use this routine — it
+    /// re-implements the buggy C logic.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DnsError`] describing the first malformation found.
+    pub fn decode(r: &mut WireReader<'_>) -> Result<Self, DnsError> {
+        let msg = r.message();
+        let mut labels = Vec::new();
+        let mut wire_len = 1usize;
+        let mut hops = 0usize;
+        // Position we will restore the reader to once the in-place portion
+        // of the name has been consumed. Set on the first pointer only.
+        let mut resume: Option<usize> = None;
+        let mut pos = r.position();
+        loop {
+            let len = *msg
+                .get(pos)
+                .ok_or(DnsError::Truncated { context: "name length byte" })?
+                as usize;
+            match len {
+                0 => {
+                    pos += 1;
+                    break;
+                }
+                l if l & 0xC0 == 0xC0 => {
+                    let lo = *msg
+                        .get(pos + 1)
+                        .ok_or(DnsError::Truncated { context: "pointer low byte" })?
+                        as usize;
+                    let target = ((l & 0x3F) << 8) | lo;
+                    if target >= pos {
+                        return Err(DnsError::ForwardPointer { target, at: pos });
+                    }
+                    hops += 1;
+                    if hops > MAX_POINTER_HOPS {
+                        return Err(DnsError::PointerLimit(MAX_POINTER_HOPS));
+                    }
+                    if resume.is_none() {
+                        resume = Some(pos + 2);
+                    }
+                    pos = target;
+                }
+                l if l & 0xC0 != 0 => return Err(DnsError::BadLabelType(l as u8)),
+                l => {
+                    let end = pos + 1 + l;
+                    let bytes = msg
+                        .get(pos + 1..end)
+                        .ok_or(DnsError::Truncated { context: "label bytes" })?;
+                    wire_len += l + 1;
+                    if wire_len > MAX_NAME_LEN {
+                        return Err(DnsError::NameTooLong(wire_len));
+                    }
+                    labels.push(Label::from_bytes_relaxed(bytes)?);
+                    pos = end;
+                }
+            }
+        }
+        r.seek(resume.unwrap_or(pos))?;
+        Ok(Name { labels })
+    }
+}
+
+impl fmt::Display for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.labels.is_empty() {
+            return write!(f, ".");
+        }
+        for (i, label) in self.labels.iter().enumerate() {
+            if i > 0 {
+                write!(f, ".")?;
+            }
+            write!(f, "{label}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::str::FromStr for Name {
+    type Err = DnsError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Name::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn encode(name: &Name) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        name.encode_uncompressed(&mut w).unwrap();
+        w.into_bytes()
+    }
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        let n = Name::parse("www.Example.com").unwrap();
+        assert_eq!(n.label_count(), 3);
+        assert_eq!(n.to_string(), "www.Example.com");
+        assert_eq!(Name::parse("www.example.com.").unwrap().label_count(), 3);
+    }
+
+    #[test]
+    fn root_forms() {
+        assert!(Name::parse("").unwrap().is_root());
+        assert!(Name::parse(".").unwrap().is_root());
+        assert_eq!(Name::root().to_string(), ".");
+        assert_eq!(encode(&Name::root()), vec![0]);
+    }
+
+    #[test]
+    fn rejects_bad_labels() {
+        assert!(matches!(Name::parse("a..b"), Err(DnsError::EmptyLabel)));
+        assert!(matches!(Name::parse("bad domain"), Err(DnsError::InvalidLabelByte(b' '))));
+        let long = "x".repeat(64);
+        assert!(matches!(Name::parse(&long), Err(DnsError::LabelTooLong(64))));
+    }
+
+    #[test]
+    fn rejects_overlong_name() {
+        let label = "a".repeat(63);
+        let text = vec![label; 5].join(".");
+        assert!(matches!(Name::parse(&text), Err(DnsError::NameTooLong(_))));
+    }
+
+    #[test]
+    fn wire_len_counts_length_bytes_and_root() {
+        let n = Name::parse("ab.cd").unwrap();
+        // 1+2 + 1+2 + 1 = 7
+        assert_eq!(n.wire_len(), 7);
+        assert_eq!(encode(&n).len(), 7);
+    }
+
+    #[test]
+    fn uncompressed_encoding_matches_rfc_example() {
+        let n = Name::parse("f.isi.arpa").unwrap();
+        assert_eq!(
+            encode(&n),
+            vec![1, b'f', 3, b'i', b's', b'i', 4, b'a', b'r', b'p', b'a', 0]
+        );
+    }
+
+    #[test]
+    fn decode_simple() {
+        let bytes = encode(&Name::parse("a.bc").unwrap());
+        let mut r = WireReader::new(&bytes);
+        let n = Name::decode(&mut r).unwrap();
+        assert_eq!(n.to_string(), "a.bc");
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn compression_shares_suffixes() {
+        let mut w = WireWriter::new();
+        let mut offsets = HashMap::new();
+        Name::parse("mail.example.com")
+            .unwrap()
+            .encode_compressed(&mut w, &mut offsets)
+            .unwrap();
+        let first_len = w.len();
+        Name::parse("ftp.example.com")
+            .unwrap()
+            .encode_compressed(&mut w, &mut offsets)
+            .unwrap();
+        let bytes = w.into_bytes();
+        // Second name is "ftp" label + 2-byte pointer.
+        assert_eq!(bytes.len() - first_len, 1 + 3 + 2);
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(Name::decode(&mut r).unwrap().to_string(), "mail.example.com");
+        assert_eq!(Name::decode(&mut r).unwrap().to_string(), "ftp.example.com");
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn decode_rejects_forward_pointer() {
+        // Pointer at offset 0 pointing to itself.
+        let bytes = [0xC0, 0x00];
+        let mut r = WireReader::new(&bytes);
+        assert!(matches!(Name::decode(&mut r), Err(DnsError::ForwardPointer { .. })));
+    }
+
+    #[test]
+    fn decode_rejects_reserved_label_bits() {
+        let bytes = [0x40, 0x00];
+        let mut r = WireReader::new(&bytes);
+        assert!(matches!(Name::decode(&mut r), Err(DnsError::BadLabelType(0x40))));
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let bytes = [5, b'a', b'b'];
+        let mut r = WireReader::new(&bytes);
+        assert!(matches!(
+            Name::decode(&mut r),
+            Err(DnsError::Truncated { context: "label bytes" })
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_overlong_expansion() {
+        // Chain of labels each pointing backward would exceed 255 bytes of
+        // logical name: build 5 in-place 63-byte labels.
+        let mut bytes = Vec::new();
+        for _ in 0..5 {
+            bytes.push(63);
+            bytes.extend(std::iter::repeat(b'a').take(63));
+        }
+        bytes.push(0);
+        let mut r = WireReader::new(&bytes);
+        assert!(matches!(Name::decode(&mut r), Err(DnsError::NameTooLong(_))));
+    }
+
+    #[test]
+    fn decode_resumes_after_first_pointer() {
+        // message: name "x" at 0; then at 3: label "y" + pointer to 0; then
+        // a sentinel byte.
+        let bytes = [1, b'x', 0, 1, b'y', 0xC0, 0x00, 0xEE];
+        let mut r = WireReader::new(&bytes);
+        r.seek(3).unwrap();
+        let n = Name::decode(&mut r).unwrap();
+        assert_eq!(n.to_string(), "y.x");
+        assert_eq!(r.position(), 7);
+        assert_eq!(r.read_u8("sentinel").unwrap(), 0xEE);
+    }
+
+    #[test]
+    fn case_insensitive_matching() {
+        let a = Name::parse("WWW.Example.COM").unwrap();
+        let b = Name::parse("www.example.com").unwrap();
+        assert!(a.eq_ignore_case(&b));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn parent_walks_to_root() {
+        let mut n = Name::parse("a.b.c").unwrap();
+        let mut seen = Vec::new();
+        loop {
+            seen.push(n.to_string());
+            match n.parent() {
+                Some(p) => n = p,
+                None => break,
+            }
+        }
+        assert_eq!(seen, vec!["a.b.c", "b.c", "c", "."]);
+    }
+}

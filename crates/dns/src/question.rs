@@ -1,0 +1,107 @@
+//! The question section entry (RFC 1035 §4.1.2).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::name::Name;
+use crate::record::{RecordClass, RecordType};
+use crate::wire::{WireReader, WireWriter};
+use crate::DnsError;
+
+/// One entry of the question section: the name, type and class being
+/// asked about.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Question {
+    qname: Name,
+    qtype: RecordType,
+    qclass: RecordClass,
+}
+
+impl Question {
+    /// Creates an `IN`-class question.
+    pub fn new(qname: Name, qtype: RecordType) -> Self {
+        Question { qname, qtype, qclass: RecordClass::In }
+    }
+
+    /// Creates a question with an explicit class.
+    pub fn with_class(qname: Name, qtype: RecordType, qclass: RecordClass) -> Self {
+        Question { qname, qtype, qclass }
+    }
+
+    /// The queried name.
+    pub fn qname(&self) -> &Name {
+        &self.qname
+    }
+
+    /// The queried record type.
+    pub fn qtype(&self) -> RecordType {
+        self.qtype
+    }
+
+    /// The queried class.
+    pub fn qclass(&self) -> RecordClass {
+        self.qclass
+    }
+
+    /// Encodes the question, sharing name compression state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer capacity errors.
+    pub fn encode(
+        &self,
+        w: &mut WireWriter,
+        offsets: &mut HashMap<Name, u16>,
+    ) -> Result<(), DnsError> {
+        self.qname.encode_compressed(w, offsets)?;
+        w.write_u16(self.qtype.to_u16())?;
+        w.write_u16(self.qclass.to_u16())
+    }
+
+    /// Decodes one question.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DnsError`] on truncation or a malformed name.
+    pub fn decode(r: &mut WireReader<'_>) -> Result<Self, DnsError> {
+        let qname = Name::decode(r)?;
+        let qtype = RecordType::from_u16(r.read_u16("question type")?);
+        let qclass = RecordClass::from_u16(r.read_u16("question class")?);
+        Ok(Question { qname, qtype, qclass })
+    }
+}
+
+impl fmt::Display for Question {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.qname, self.qclass, self.qtype)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let q = Question::new(Name::parse("a.b").unwrap(), RecordType::Aaaa);
+        let mut w = WireWriter::new();
+        q.encode(&mut w, &mut HashMap::new()).unwrap();
+        let bytes = w.into_bytes();
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(Question::decode(&mut r).unwrap(), q);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn display() {
+        let q = Question::new(Name::parse("x.example").unwrap(), RecordType::A);
+        assert_eq!(q.to_string(), "x.example IN A");
+    }
+
+    #[test]
+    fn decode_truncated() {
+        let bytes = [1, b'a', 0, 0]; // name then half a qtype
+        let mut r = WireReader::new(&bytes);
+        assert!(matches!(Question::decode(&mut r), Err(DnsError::Truncated { .. })));
+    }
+}

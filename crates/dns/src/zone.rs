@@ -1,0 +1,208 @@
+//! A tiny authoritative zone and server — the *benign* side of the lab.
+//!
+//! The malicious server lives in `cml-exploit`; this one answers
+//! honestly from configured records, so the legitimate access point in
+//! the remote experiments serves real-looking traffic (and control-group
+//! devices work normally).
+
+use std::collections::HashMap;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+use crate::header::Rcode;
+use crate::message::Message;
+use crate::name::Name;
+use crate::record::{Record, RecordData, RecordType};
+
+/// An in-memory zone: records keyed by lower-cased name and type.
+#[derive(Debug, Clone, Default)]
+pub struct Zone {
+    records: HashMap<(String, RecordType), Vec<Record>>,
+}
+
+fn key_of(name: &Name, rtype: RecordType) -> (String, RecordType) {
+    (name.to_string().to_ascii_lowercase(), rtype)
+}
+
+impl Zone {
+    /// An empty zone.
+    pub fn new() -> Self {
+        Zone::default()
+    }
+
+    /// Adds a record.
+    pub fn insert(&mut self, record: Record) -> &mut Self {
+        let key = key_of(record.name(), record.rtype());
+        self.records.entry(key).or_default().push(record);
+        self
+    }
+
+    /// Convenience: adds an A record.
+    pub fn a(&mut self, name: &str, ttl: u32, addr: Ipv4Addr) -> &mut Self {
+        let name = Name::parse(name).expect("zone names are static and valid");
+        self.insert(Record::new(name, ttl, RecordData::A(addr)))
+    }
+
+    /// Convenience: adds an AAAA record.
+    pub fn aaaa(&mut self, name: &str, ttl: u32, addr: Ipv6Addr) -> &mut Self {
+        let name = Name::parse(name).expect("zone names are static and valid");
+        self.insert(Record::new(name, ttl, RecordData::Aaaa(addr)))
+    }
+
+    /// Convenience: adds a CNAME record.
+    pub fn cname(&mut self, name: &str, ttl: u32, target: &str) -> &mut Self {
+        let name = Name::parse(name).expect("zone names are static and valid");
+        let target = Name::parse(target).expect("zone names are static and valid");
+        self.insert(Record::new(name, ttl, RecordData::Cname(target)))
+    }
+
+    /// Looks records up, following at most `depth` CNAME links.
+    pub fn lookup(&self, name: &Name, rtype: RecordType) -> Vec<Record> {
+        let mut out = Vec::new();
+        let mut current = name.clone();
+        for _ in 0..=4 {
+            if let Some(records) = self.records.get(&key_of(&current, rtype)) {
+                out.extend(records.iter().cloned());
+                return out;
+            }
+            match self.records.get(&key_of(&current, RecordType::Cname)) {
+                Some(cnames) => {
+                    out.extend(cnames.iter().cloned());
+                    match cnames.first().map(Record::data) {
+                        Some(RecordData::Cname(target)) => current = target.clone(),
+                        _ => return out,
+                    }
+                }
+                None => return out,
+            }
+        }
+        out
+    }
+
+    /// Number of record sets.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the zone has no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+/// A request/response server over a [`Zone`].
+#[derive(Debug, Clone, Default)]
+pub struct ZoneServer {
+    zone: Zone,
+    queries_answered: u64,
+    queries_nxdomain: u64,
+}
+
+impl ZoneServer {
+    /// Serves the given zone.
+    pub fn new(zone: Zone) -> Self {
+        ZoneServer { zone, queries_answered: 0, queries_nxdomain: 0 }
+    }
+
+    /// The zone being served.
+    pub fn zone(&self) -> &Zone {
+        &self.zone
+    }
+
+    /// (answered, nxdomain) counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.queries_answered, self.queries_nxdomain)
+    }
+
+    /// Handles one datagram: decodes the query, answers from the zone,
+    /// returns `NXDOMAIN` for unknown names, drops undecodable input.
+    pub fn handle(&mut self, query_bytes: &[u8]) -> Option<Vec<u8>> {
+        let query = match Message::decode(query_bytes) {
+            Ok(q) if !q.is_response() && !q.questions().is_empty() => q,
+            _ => return None,
+        };
+        let q = &query.questions()[0];
+        let records = self.zone.lookup(q.qname(), q.qtype());
+        let mut resp = Message::response_to(&query);
+        if records.is_empty() {
+            resp.set_rcode(Rcode::NxDomain);
+            self.queries_nxdomain += 1;
+        } else {
+            for r in records {
+                resp.push_answer(r);
+            }
+            self.queries_answered += 1;
+        }
+        resp.encode().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::question::Question;
+
+    fn server() -> ZoneServer {
+        let mut zone = Zone::new();
+        zone.a("cloud.vendor.example", 300, Ipv4Addr::new(203, 0, 113, 7))
+            .a("cloud.vendor.example", 300, Ipv4Addr::new(203, 0, 113, 8))
+            .aaaa("cloud.vendor.example", 300, "2001:db8::7".parse().unwrap())
+            .cname("www.vendor.example", 600, "cloud.vendor.example");
+        ZoneServer::new(zone)
+    }
+
+    fn ask(s: &mut ZoneServer, host: &str, rtype: RecordType) -> Message {
+        let q = Message::query(9, Question::new(Name::parse(host).unwrap(), rtype));
+        let resp = s.handle(&q.encode().unwrap()).expect("responds");
+        Message::decode(&resp).unwrap()
+    }
+
+    #[test]
+    fn answers_from_zone() {
+        let mut s = server();
+        let m = ask(&mut s, "cloud.vendor.example", RecordType::A);
+        assert_eq!(m.answers().len(), 2);
+        assert_eq!(m.header().rcode, Rcode::NoError);
+    }
+
+    #[test]
+    fn follows_cnames() {
+        let mut s = server();
+        let m = ask(&mut s, "www.vendor.example", RecordType::A);
+        // CNAME + the two A records behind it.
+        assert_eq!(m.answers().len(), 3);
+        assert_eq!(m.answers()[0].rtype(), RecordType::Cname);
+    }
+
+    #[test]
+    fn nxdomain_for_unknown() {
+        let mut s = server();
+        let m = ask(&mut s, "ghost.example", RecordType::A);
+        assert_eq!(m.header().rcode, Rcode::NxDomain);
+        assert!(m.answers().is_empty());
+        assert_eq!(s.stats(), (0, 1));
+    }
+
+    #[test]
+    fn case_insensitive_lookup() {
+        let mut s = server();
+        let m = ask(&mut s, "CLOUD.Vendor.EXAMPLE", RecordType::A);
+        assert_eq!(m.answers().len(), 2);
+    }
+
+    #[test]
+    fn drops_garbage() {
+        let mut s = server();
+        assert!(s.handle(&[1, 2, 3]).is_none());
+    }
+
+    #[test]
+    fn cname_loop_bounded() {
+        let mut zone = Zone::new();
+        zone.cname("a.example", 60, "b.example");
+        zone.cname("b.example", 60, "a.example");
+        let mut s = ZoneServer::new(zone);
+        // Must terminate (bounded follow), answering with the CNAME chain.
+        let m = ask(&mut s, "a.example", RecordType::A);
+        assert!(m.answers().len() <= 12);
+    }
+}

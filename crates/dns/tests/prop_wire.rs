@@ -1,0 +1,163 @@
+//! Property tests over the DNS wire codec.
+
+use proptest::prelude::*;
+
+use cml_dns::forge::ResponseForge;
+use cml_dns::validate::gate_response;
+use cml_dns::{
+    Label, Message, Name, Question, Record, RecordData, RecordType, WireReader,
+    WireWriter,
+};
+
+fn hostname() -> impl Strategy<Value = String> {
+    // 1-4 labels of 1-12 [a-z0-9-] chars (no leading/trailing hyphen
+    // rules enforced — our parser allows interior hyphens anywhere).
+    proptest::collection::vec("[a-z][a-z0-9_-]{0,11}", 1..4).prop_map(|v| v.join("."))
+}
+
+fn record_data() -> impl Strategy<Value = RecordData> {
+    prop_oneof![
+        any::<[u8; 4]>().prop_map(|o| RecordData::A(o.into())),
+        any::<[u8; 16]>().prop_map(|o| RecordData::Aaaa(o.into())),
+        hostname().prop_map(|h| RecordData::Cname(Name::parse(&h).unwrap())),
+        hostname().prop_map(|h| RecordData::Ns(Name::parse(&h).unwrap())),
+        hostname().prop_map(|h| RecordData::Ptr(Name::parse(&h).unwrap())),
+        (any::<u16>(), hostname())
+            .prop_map(|(p, h)| RecordData::Mx { preference: p, exchange: Name::parse(&h).unwrap() }),
+        proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..40), 1..4)
+            .prop_map(RecordData::Txt),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Messages with arbitrary record mixes round-trip byte-exactly
+    /// through encode → decode.
+    #[test]
+    fn message_roundtrip(
+        id in any::<u16>(),
+        qhost in hostname(),
+        answers in proptest::collection::vec((hostname(), any::<u32>(), record_data()), 0..6),
+        extras in proptest::collection::vec((hostname(), any::<u32>(), record_data()), 0..3),
+    ) {
+        let query = Message::query(id, Question::new(Name::parse(&qhost).unwrap(), RecordType::A));
+        let mut resp = Message::response_to(&query);
+        for (h, ttl, data) in answers {
+            resp.push_answer(Record::new(Name::parse(&h).unwrap(), ttl, data));
+        }
+        for (h, ttl, data) in extras {
+            resp.push_additional(Record::new(Name::parse(&h).unwrap(), ttl, data));
+        }
+        let bytes = resp.encode().unwrap();
+        let back = Message::decode(&bytes).unwrap();
+        prop_assert_eq!(back, resp);
+    }
+
+    /// Decoding arbitrary bytes is total: typed error or a message,
+    /// never a panic.
+    #[test]
+    fn decode_total(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Message::decode(&bytes);
+    }
+
+    /// Compression never changes the decoded view and never grows the
+    /// encoding beyond the uncompressed form.
+    #[test]
+    fn compression_sound_and_never_larger(
+        hosts in proptest::collection::vec(hostname(), 1..6),
+        suffix in hostname(),
+    ) {
+        let query = Message::query(
+            9,
+            Question::new(Name::parse(&format!("q.{suffix}")).unwrap(), RecordType::A),
+        );
+        let mut resp = Message::response_to(&query);
+        for h in &hosts {
+            // Shared suffix encourages pointer reuse.
+            let name = Name::parse(&format!("{h}.{suffix}")).unwrap();
+            resp.push_answer(Record::new(name, 60, RecordData::A([1, 2, 3, 4].into())));
+        }
+        let compressed = resp.encode().unwrap();
+        // Reference: encode every name without compression.
+        let mut w = WireWriter::new();
+        resp.header().encode(&mut w).unwrap();
+        for q in resp.questions() {
+            q.qname().encode_uncompressed(&mut w).unwrap();
+            w.write_u16(q.qtype().to_u16()).unwrap();
+            w.write_u16(q.qclass().to_u16()).unwrap();
+        }
+        // (answers omitted — the question alone bounds nothing; compare
+        // instead against total length with compression disabled via a
+        // fresh encode of an equivalent message built from decoding.)
+        let decoded = Message::decode(&compressed).unwrap();
+        prop_assert_eq!(&decoded, &resp);
+        prop_assert!(compressed.len() <= uncompressed_len(&resp));
+    }
+
+    /// The forge emits header-valid packets for any legal label chain,
+    /// and the gate accepts them iff the question echoes.
+    #[test]
+    fn forge_passes_gate_for_matching_query(
+        id in any::<u16>(),
+        qhost in hostname(),
+        labels in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..=63), 1..30),
+    ) {
+        let query = Message::query(id, Question::new(Name::parse(&qhost).unwrap(), RecordType::A));
+        let built = ResponseForge::answering(&query).with_payload_labels(labels).unwrap().build();
+        if let Ok(bytes) = built {
+            prop_assert!(gate_response(&query, &bytes).is_ok());
+            // A different id must be rejected.
+            let other = Message::query(id.wrapping_add(1), query.questions()[0].clone());
+            prop_assert!(gate_response(&other, &bytes).is_err());
+        }
+    }
+
+    /// Label construction enforces exactly the wire limits.
+    #[test]
+    fn label_limits(bytes in proptest::collection::vec(any::<u8>(), 0..80)) {
+        match Label::from_bytes_relaxed(&bytes) {
+            Ok(l) => prop_assert!((1..=63).contains(&l.len())),
+            Err(_) => prop_assert!(bytes.is_empty() || bytes.len() > 63),
+        }
+    }
+}
+
+/// Length of `m` if every name were encoded without compression.
+fn uncompressed_len(m: &Message) -> usize {
+    let mut n = 12usize;
+    for q in m.questions() {
+        n += q.qname().wire_len() + 4;
+    }
+    for r in m.answers().iter().chain(m.additionals()).chain(m.authorities()) {
+        n += r.name().wire_len() + 10;
+        n += match r.data() {
+            RecordData::A(_) => 4,
+            RecordData::Aaaa(_) => 16,
+            RecordData::Cname(x) | RecordData::Ns(x) | RecordData::Ptr(x) => x.wire_len(),
+            RecordData::Mx { exchange, .. } => 2 + exchange.wire_len(),
+            RecordData::Txt(strings) => strings.iter().map(|s| s.len() + 1).sum(),
+            _ => 64,
+        };
+    }
+    n
+}
+
+/// Reader/writer agree on arbitrary scalar sequences.
+#[test]
+fn wire_scalars_roundtrip() {
+    let mut w = WireWriter::new();
+    for i in 0..100u32 {
+        w.write_u8(i as u8).unwrap();
+        w.write_u16((i * 7) as u16).unwrap();
+        w.write_u32(i * 104_729).unwrap();
+    }
+    let bytes = w.into_bytes();
+    let mut r = WireReader::new(&bytes);
+    for i in 0..100u32 {
+        assert_eq!(r.read_u8("a").unwrap(), i as u8);
+        assert_eq!(r.read_u16("b").unwrap(), (i * 7) as u16);
+        assert_eq!(r.read_u32("c").unwrap(), i * 104_729);
+    }
+    assert!(r.is_empty());
+}

@@ -1,0 +1,28 @@
+//! IoT firmware profiles and bootable devices.
+//!
+//! The paper surveys three embedded OS families that still shipped
+//! vulnerable Connman builds — Yocto (1.31), OpenELEC (1.34) and Tizen
+//! (< 4.0) — plus the patched 1.35. This crate models those profiles and
+//! assembles, for each architecture, the *binary image* of the simulated
+//! `connmand`: program text with a realistic instruction mix (including
+//! the gadget material the paper's ROP chains harvest), PLT stubs for
+//! `memcpy` and `execlp`, a GOT, read-only strings containing the
+//! characters of `/bin/sh`, an empty `.bss`, a libc mapping (with
+//! `system`, `exit`, `memcpy`, `execve`, `execlp` and a `/bin/sh`
+//! literal), and a stack.
+//!
+//! Booting a profile loads the image under a protection policy and wraps
+//! it in the Connman [`Daemon`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod build;
+mod profile;
+
+pub use build::{build_image, build_image_variant, GadgetAddrs};
+pub use profile::{Firmware, FirmwareKind, ServiceProfile};
+
+pub use cml_connman::{ConnmanVersion, Daemon};
+pub use cml_image::Arch;
+pub use cml_vm::Protections;

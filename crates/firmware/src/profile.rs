@@ -1,0 +1,268 @@
+//! Firmware profiles and booting.
+
+use std::fmt;
+
+use cml_connman::{ConnmanVersion, Daemon, FrameLayout};
+use cml_image::{Arch, Image};
+use cml_vm::{Loader, Protections};
+
+use crate::build::{build_image_variant, GadgetAddrs};
+
+/// The firmware families the paper surveys (§III): each pins a Connman
+/// release.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FirmwareKind {
+    /// Yocto-built distributions — compile Connman 1.31.
+    Yocto,
+    /// OpenELEC media-streaming OS — ships Connman 1.34, the last
+    /// vulnerable release.
+    OpenElec,
+    /// Tizen OS before 4.0 — carries a vulnerable Connman.
+    Tizen,
+    /// A hypothetical updated build with the patched 1.35.
+    Patched,
+}
+
+impl FirmwareKind {
+    /// The Connman release this firmware ships.
+    pub fn connman_version(self) -> ConnmanVersion {
+        match self {
+            FirmwareKind::Yocto => ConnmanVersion::V1_31,
+            FirmwareKind::OpenElec => ConnmanVersion::V1_34,
+            FirmwareKind::Tizen => ConnmanVersion::new(1, 33),
+            FirmwareKind::Patched => ConnmanVersion::V1_35,
+        }
+    }
+
+    /// OS/product name used in reports.
+    pub fn os_name(self) -> &'static str {
+        match self {
+            FirmwareKind::Yocto => "Yocto",
+            FirmwareKind::OpenElec => "OpenELEC",
+            FirmwareKind::Tizen => "Tizen (<4.0)",
+            FirmwareKind::Patched => "patched build",
+        }
+    }
+
+    /// Whether this firmware is exploitable via CVE-2017-12865.
+    pub fn is_vulnerable(self) -> bool {
+        self.connman_version().is_vulnerable()
+    }
+
+    /// All profiles, in the paper's order.
+    pub const ALL: [FirmwareKind; 4] = [
+        FirmwareKind::Yocto,
+        FirmwareKind::OpenElec,
+        FirmwareKind::Tizen,
+        FirmwareKind::Patched,
+    ];
+}
+
+impl fmt::Display for FirmwareKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (Connman {})", self.os_name(), self.connman_version())
+    }
+}
+
+/// A vulnerable network service modelled after the paper's §V list of
+/// adaptable CVEs. Each differs only in the overflowable buffer's size —
+/// exactly the "basic changes such as changing variables to memory
+/// addresses suitable for the targeted vulnerability" the paper
+/// describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceProfile {
+    /// Service name.
+    pub name: &'static str,
+    /// The CVE this service stands in for.
+    pub cve: &'static str,
+    /// Size of the stack buffer its parser overflows.
+    pub buf_size: usize,
+}
+
+impl ServiceProfile {
+    /// Connman's DNS proxy — the paper's main target.
+    pub const CONNMAN: ServiceProfile = ServiceProfile {
+        name: "connman dnsproxy",
+        cve: "CVE-2017-12865",
+        buf_size: 1024,
+    };
+    /// A dnsmasq-like forwarder with a small parsing buffer.
+    pub const DNSMASQ_LIKE: ServiceProfile = ServiceProfile {
+        name: "dnsmasq-like forwarder",
+        cve: "CVE-2017-14493 (analogue)",
+        buf_size: 296,
+    };
+    /// A systemd-resolved-like resolver with a large parsing buffer.
+    pub const RESOLVED_LIKE: ServiceProfile = ServiceProfile {
+        name: "resolved-like resolver",
+        cve: "CVE-2018-9445 (analogue)",
+        buf_size: 2048,
+    };
+    /// An Asterisk-like DNS handler with a tiny buffer.
+    pub const ASTERISK_LIKE: ServiceProfile = ServiceProfile {
+        name: "asterisk-like dns handler",
+        cve: "CVE-2018-19278 (analogue)",
+        buf_size: 128,
+    };
+
+    /// All modelled services, Connman first.
+    pub const ALL: [ServiceProfile; 4] = [
+        ServiceProfile::CONNMAN,
+        ServiceProfile::DNSMASQ_LIKE,
+        ServiceProfile::RESOLVED_LIKE,
+        ServiceProfile::ASTERISK_LIKE,
+    ];
+}
+
+/// A firmware build: profile + architecture + the assembled binary
+/// image. Build once, boot many times (each boot re-randomizes under
+/// ASLR).
+///
+/// ```
+/// use cml_firmware::{Arch, Firmware, FirmwareKind, Protections};
+///
+/// let fw = Firmware::build(FirmwareKind::OpenElec, Arch::Armv7);
+/// let daemon = fw.boot(Protections::full(), 42);
+/// assert!(daemon.is_running());
+/// assert!(daemon.version().is_vulnerable());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Firmware {
+    kind: FirmwareKind,
+    arch: Arch,
+    image: Image,
+    gadgets: GadgetAddrs,
+}
+
+impl Firmware {
+    /// Assembles the firmware image for a profile/architecture pair.
+    pub fn build(kind: FirmwareKind, arch: Arch) -> Self {
+        Self::build_variant(kind, arch, 0)
+    }
+
+    /// Assembles a different *build* of the same firmware: identical
+    /// interface, shuffled code layout (see
+    /// [`build_image_variant`](crate::build_image_variant)).
+    pub fn build_variant(kind: FirmwareKind, arch: Arch, variant: u64) -> Self {
+        let (image, gadgets) = build_image_variant(arch, variant);
+        Firmware { kind, arch, image, gadgets }
+    }
+
+    /// The firmware profile.
+    pub fn kind(&self) -> FirmwareKind {
+        self.kind
+    }
+
+    /// Target architecture.
+    pub fn arch(&self) -> Arch {
+        self.arch
+    }
+
+    /// The binary image (what the attacker's recon tooling scans).
+    pub fn image(&self) -> &Image {
+        &self.image
+    }
+
+    /// Planted-gadget ground truth (test oracle only).
+    pub fn gadget_ground_truth(&self) -> GadgetAddrs {
+        self.gadgets
+    }
+
+    /// Boots the firmware: loads the image under `protections` with the
+    /// per-boot `seed` and starts the Connman daemon.
+    pub fn boot(&self, protections: Protections, seed: u64) -> Daemon {
+        self.boot_service(protections, seed, ServiceProfile::CONNMAN)
+    }
+
+    /// Boots the firmware with the vulnerable parser configured as a
+    /// *different* service (paper §V): same machinery, different frame
+    /// geometry.
+    pub fn boot_service(
+        &self,
+        protections: Protections,
+        seed: u64,
+        service: ServiceProfile,
+    ) -> Daemon {
+        let (machine, map) = Loader::new(&self.image).protections(protections).seed(seed).load();
+        let layout = FrameLayout::scaled(self.arch, service.buf_size);
+        Daemon::new(machine, map, self.kind.connman_version())
+            .expect("firmware images define the daemon symbols")
+            .with_frame_layout(layout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cml_dns::forge::ResponseForge;
+    use cml_dns::{Message, Name, RecordType};
+    use cml_connman::{ProxyOutcome, Resolution};
+
+    #[test]
+    fn profiles_match_paper_survey() {
+        assert_eq!(FirmwareKind::Yocto.connman_version(), ConnmanVersion::V1_31);
+        assert_eq!(FirmwareKind::OpenElec.connman_version(), ConnmanVersion::V1_34);
+        assert!(FirmwareKind::Tizen.is_vulnerable());
+        assert!(!FirmwareKind::Patched.is_vulnerable());
+    }
+
+    #[test]
+    fn boots_and_crashes_end_to_end() {
+        for arch in Arch::ALL {
+            let fw = Firmware::build(FirmwareKind::OpenElec, arch);
+            let mut daemon = fw.boot(Protections::none(), 7);
+            let name = Name::parse("update.example").unwrap();
+            let Resolution::Query(qbytes) = daemon.resolve(&name, RecordType::A) else {
+                panic!("cold cache");
+            };
+            let query = Message::decode(&qbytes).unwrap();
+            let attack = ResponseForge::answering(&query)
+                .with_chunked_payload(&[0x41; 1300])
+                .unwrap()
+                .build()
+                .unwrap();
+            let out = daemon.deliver_response(&attack);
+            assert!(!out.daemon_alive(), "{arch}: {out}");
+        }
+    }
+
+    #[test]
+    fn patched_firmware_survives_same_attack() {
+        for arch in Arch::ALL {
+            let fw = Firmware::build(FirmwareKind::Patched, arch);
+            let mut daemon = fw.boot(Protections::none(), 7);
+            let name = Name::parse("update.example").unwrap();
+            let Resolution::Query(qbytes) = daemon.resolve(&name, RecordType::A) else {
+                panic!("cold cache");
+            };
+            let query = Message::decode(&qbytes).unwrap();
+            let attack = ResponseForge::answering(&query)
+                .with_chunked_payload(&[0x41; 1300])
+                .unwrap()
+                .build()
+                .unwrap();
+            let out = daemon.deliver_response(&attack);
+            assert!(matches!(out, ProxyOutcome::ParseFailed { .. }), "{arch}: {out}");
+            assert!(daemon.is_running());
+        }
+    }
+
+    #[test]
+    fn benign_traffic_works_on_all_profiles() {
+        for kind in FirmwareKind::ALL {
+            let fw = Firmware::build(kind, Arch::Armv7);
+            let mut daemon = fw.boot(Protections::full(), 3);
+            let name = Name::parse("time.example").unwrap();
+            let Resolution::Query(qbytes) = daemon.resolve(&name, RecordType::A) else {
+                panic!("cold cache");
+            };
+            let query = Message::decode(&qbytes).unwrap();
+            let ok = ResponseForge::answering(&query)
+                .with_payload_labels(vec![b"time".to_vec(), b"example".to_vec()])
+                .unwrap()
+                .build()
+                .unwrap();
+            assert_eq!(daemon.deliver_response(&ok), ProxyOutcome::Answered { cached: 1 });
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Target architectures.
+
+use std::fmt;
+
+/// The two 32-bit instruction sets the paper targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Arch {
+    /// Intel IA-32 (the paper's Ubuntu 16.04 VM).
+    X86,
+    /// ARMv7-A in ARM state (the paper's Raspberry Pi 3 Model B).
+    Armv7,
+}
+
+impl Arch {
+    /// Width of a pointer / general register, in bytes.
+    pub const fn pointer_width(self) -> usize {
+        4
+    }
+
+    /// Instruction alignment requirement in bytes: x86 is unaligned, ARM
+    /// (ARM state) requires 4-byte alignment. Gadget scanning honours
+    /// this, which is why x86 yields unintended unaligned gadgets and ARM
+    /// does not.
+    pub const fn insn_align(self) -> usize {
+        match self {
+            Arch::X86 => 1,
+            Arch::Armv7 => 4,
+        }
+    }
+
+    /// The byte sequence used as a no-operation filler in injected
+    /// payloads: `0x90` on x86, and the paper's 4-byte `mov r1, r1`
+    /// equivalent on ARMv7.
+    pub fn nop_bytes(self) -> &'static [u8] {
+        match self {
+            Arch::X86 => &[0x90],
+            // e1a01001 = mov r1, r1 (little-endian in memory).
+            Arch::Armv7 => &[0x01, 0x10, 0xa0, 0xe1],
+        }
+    }
+
+    /// Human-readable name matching the paper's usage.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Arch::X86 => "x86",
+            Arch::Armv7 => "ARMv7",
+        }
+    }
+
+    /// Both architectures, in the order the paper presents them.
+    pub const ALL: [Arch; 2] = [Arch::X86, Arch::Armv7];
+}
+
+impl fmt::Display for Arch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn properties() {
+        assert_eq!(Arch::X86.pointer_width(), 4);
+        assert_eq!(Arch::Armv7.pointer_width(), 4);
+        assert_eq!(Arch::X86.insn_align(), 1);
+        assert_eq!(Arch::Armv7.insn_align(), 4);
+        assert_eq!(Arch::X86.nop_bytes(), &[0x90]);
+        assert_eq!(Arch::Armv7.nop_bytes().len(), 4);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Arch::X86.to_string(), "x86");
+        assert_eq!(Arch::Armv7.to_string(), "ARMv7");
+    }
+}

@@ -1,0 +1,121 @@
+//! Conventional 32-bit address-space layouts per architecture.
+//!
+//! These constants mirror the addresses visible in the paper's listings:
+//! the ARM exploits use `.text` gadgets near `0x0001_12b1`, PLT stubs near
+//! `0x0001_bxxx`, a `.bss` staging address of `0x000b_9dc4`, a libc
+//! `/bin/sh` string at `0x76d8_53e4`, and stack values around
+//! `0x7eff_xxxx`; the x86 exploits use the classic `0x0804_8000` text
+//! base, `.bss` near `0x0812_0200`, and a libc around `0xb750_0000`.
+
+use crate::{Addr, Arch};
+
+/// Link-time layout for one architecture. Addresses of ASLR-eligible
+/// regions are the *unrandomized* bases; a loader with ASLR enabled adds
+/// a per-boot slide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Layout {
+    /// Base of `.text`.
+    pub text_base: Addr,
+    /// Base of `.plt`.
+    pub plt_base: Addr,
+    /// Base of `.got`.
+    pub got_base: Addr,
+    /// Base of `.rodata`.
+    pub rodata_base: Addr,
+    /// Base of `.data`.
+    pub data_base: Addr,
+    /// Base of `.bss`.
+    pub bss_base: Addr,
+    /// Base of the heap.
+    pub heap_base: Addr,
+    /// Unrandomized base of the libc mapping.
+    pub libc_base: Addr,
+    /// Unrandomized *top* of the stack (stacks grow down).
+    pub stack_top: Addr,
+    /// Size of the stack mapping.
+    pub stack_size: u32,
+}
+
+/// Returns the conventional layout for `arch`.
+pub fn layout_for(arch: Arch) -> Layout {
+    match arch {
+        Arch::X86 => Layout {
+            text_base: 0x0804_8000,
+            plt_base: 0x0805_2000,
+            got_base: 0x0805_6000,
+            rodata_base: 0x0806_0000,
+            data_base: 0x0810_0000,
+            bss_base: 0x0812_0200,
+            heap_base: 0x0900_0000,
+            libc_base: 0xb750_0000,
+            stack_top: 0xbfff_f000,
+            stack_size: 0x0010_0000,
+        },
+        Arch::Armv7 => Layout {
+            text_base: 0x0001_0000,
+            plt_base: 0x0001_b000,
+            got_base: 0x0001_f000,
+            rodata_base: 0x0002_4000,
+            data_base: 0x000a_0000,
+            bss_base: 0x000b_9dc0,
+            heap_base: 0x0100_0000,
+            libc_base: 0x76d0_0000,
+            stack_top: 0x7eff_f000,
+            stack_size: 0x0010_0000,
+        },
+    }
+}
+
+/// Number of address bits ASLR randomizes by default on 32-bit Linux
+/// mmap/stack regions (`/proc/sys/vm/mmap_rnd_compat_bits` defaults to 8,
+/// stack gets a little more; we model a uniform slide).
+pub const DEFAULT_ASLR_ENTROPY_BITS: u32 = 8;
+
+/// Granularity of the ASLR slide, in bytes (page-aligned).
+pub const ASLR_PAGE: u32 = 0x1000;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layouts_do_not_overlap() {
+        for arch in Arch::ALL {
+            let l = layout_for(arch);
+            let mut bases = [
+                l.text_base,
+                l.plt_base,
+                l.got_base,
+                l.rodata_base,
+                l.data_base,
+                l.bss_base,
+                l.heap_base,
+                l.libc_base,
+                l.stack_top - l.stack_size,
+            ];
+            bases.sort_unstable();
+            for w in bases.windows(2) {
+                assert!(w[0] < w[1], "{arch}: duplicate or unsorted base {:#x}", w[0]);
+            }
+        }
+    }
+
+    #[test]
+    fn arm_layout_matches_paper_address_ranges() {
+        let l = layout_for(Arch::Armv7);
+        // Paper listing addresses fall inside our sections.
+        assert!(l.text_base <= 0x0001_12b1 && 0x0001_12b1 < l.plt_base);
+        assert!(l.plt_base <= 0x0001_b2d0 && 0x0001_b2d0 < l.got_base);
+        assert!(l.bss_base <= 0x000b_9dc4);
+        assert!(l.libc_base <= 0x76d8_53e4);
+        assert!(0x7eff_e988 < l.stack_top);
+    }
+
+    #[test]
+    fn x86_layout_matches_paper_address_ranges() {
+        let l = layout_for(Arch::X86);
+        assert!(l.text_base <= 0x0804_8154 && 0x0804_8154 < l.plt_base);
+        assert!(l.plt_base <= 0x0805_29f0 && 0x0805_29f0 < l.got_base);
+        assert_eq!(l.bss_base, 0x0812_0200);
+    }
+}

@@ -1,0 +1,37 @@
+//! Synthetic binary-image substrate for `connman-lab`.
+//!
+//! A [`Image`] plays the role of the compiled Connman ELF binary in the
+//! reproduced paper: a set of sections with addresses, permissions and
+//! initialized bytes, plus a symbol table and PLT entries. The firmware
+//! crate assembles images that *contain* the gadget-bearing machine code;
+//! the VM loads them into permissioned memory; and the exploit crate's
+//! gadget finder scans their executable bytes exactly the way `ropper` and
+//! `ROPgadget` scan a real ELF.
+//!
+//! Section base addresses follow the conventional 32-bit Linux non-PIE
+//! layout that the paper's listings show (x86 `.text` at `0x0804_8000`,
+//! ARM `.text` at `0x0001_0000`, libc and stack high in the address
+//! space). Only the libc and stack regions participate in ASLR, matching
+//! the paper's observation that `.text`, `.plt` and `.bss` stay fixed and
+//! therefore remain usable for ROP.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod arch;
+mod builder;
+mod image;
+pub mod layout;
+mod perms;
+mod section;
+mod symbol;
+
+pub use arch::Arch;
+pub use builder::ImageBuilder;
+pub use image::{Image, ImageError};
+pub use perms::Perms;
+pub use section::{Section, SectionKind};
+pub use symbol::{Symbol, SymbolKind};
+
+/// Virtual address in the simulated 32-bit address space.
+pub type Addr = u32;

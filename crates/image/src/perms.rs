@@ -1,0 +1,127 @@
+//! Memory permissions.
+
+use std::fmt;
+use std::ops::{BitOr, BitOrAssign};
+
+/// Read/write/execute permission bits for a section or memory region.
+///
+/// A tiny hand-rolled flag set (the approved dependency list has no
+/// `bitflags`), with the usual `|` composition:
+///
+/// ```
+/// use cml_image::Perms;
+/// let rw = Perms::READ | Perms::WRITE;
+/// assert!(rw.readable() && rw.writable() && !rw.executable());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Perms(u8);
+
+impl Perms {
+    /// No access.
+    pub const NONE: Perms = Perms(0);
+    /// Readable.
+    pub const READ: Perms = Perms(0b001);
+    /// Writable.
+    pub const WRITE: Perms = Perms(0b010);
+    /// Executable.
+    pub const EXEC: Perms = Perms(0b100);
+    /// Read + write.
+    pub const RW: Perms = Perms(0b011);
+    /// Read + execute.
+    pub const RX: Perms = Perms(0b101);
+    /// Read + write + execute (what W⊕X forbids).
+    pub const RWX: Perms = Perms(0b111);
+
+    /// Whether reads are allowed.
+    pub const fn readable(self) -> bool {
+        self.0 & 0b001 != 0
+    }
+
+    /// Whether writes are allowed.
+    pub const fn writable(self) -> bool {
+        self.0 & 0b010 != 0
+    }
+
+    /// Whether instruction fetch is allowed.
+    pub const fn executable(self) -> bool {
+        self.0 & 0b100 != 0
+    }
+
+    /// Whether this permission set violates W⊕X (both writable and
+    /// executable).
+    pub const fn violates_wxorx(self) -> bool {
+        self.writable() && self.executable()
+    }
+
+    /// Returns these permissions with the execute bit cleared — what a
+    /// W⊕X loader does to writable mappings.
+    pub const fn without_exec(self) -> Perms {
+        Perms(self.0 & 0b011)
+    }
+
+    /// Returns these permissions with the execute bit set.
+    pub const fn with_exec(self) -> Perms {
+        Perms(self.0 | 0b100)
+    }
+
+    /// Whether `other`'s bits are all present in `self`.
+    pub const fn contains(self, other: Perms) -> bool {
+        self.0 & other.0 == other.0
+    }
+}
+
+impl BitOr for Perms {
+    type Output = Perms;
+
+    fn bitor(self, rhs: Perms) -> Perms {
+        Perms(self.0 | rhs.0)
+    }
+}
+
+impl BitOrAssign for Perms {
+    fn bitor_assign(&mut self, rhs: Perms) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl fmt::Display for Perms {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{}{}",
+            if self.readable() { 'r' } else { '-' },
+            if self.writable() { 'w' } else { '-' },
+            if self.executable() { 'x' } else { '-' }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn composition_and_queries() {
+        let p = Perms::READ | Perms::EXEC;
+        assert_eq!(p, Perms::RX);
+        assert!(p.readable() && p.executable() && !p.writable());
+        assert!(p.contains(Perms::READ));
+        assert!(!p.contains(Perms::WRITE));
+    }
+
+    #[test]
+    fn wxorx_detection() {
+        assert!(Perms::RWX.violates_wxorx());
+        assert!(!(Perms::RW).violates_wxorx());
+        assert!(!(Perms::RX).violates_wxorx());
+        assert_eq!(Perms::RWX.without_exec(), Perms::RW);
+        assert_eq!(Perms::RW.with_exec(), Perms::RWX);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Perms::RWX.to_string(), "rwx");
+        assert_eq!(Perms::RX.to_string(), "r-x");
+        assert_eq!(Perms::NONE.to_string(), "---");
+    }
+}

@@ -1,0 +1,80 @@
+//! Symbols: named addresses within an image.
+
+use std::fmt;
+
+use crate::Addr;
+
+/// What a symbol denotes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SymbolKind {
+    /// A function in the program's own `.text`.
+    Function,
+    /// A PLT stub (e.g. `execlp@plt`, `memcpy@plt`) — callable at a fixed
+    /// address even under ASLR, which is what the paper's ROP chains
+    /// exploit.
+    PltEntry,
+    /// A function inside libc (address moves under ASLR).
+    LibcFunction,
+    /// A data object (buffer, string, global).
+    Object,
+    /// A section-relative marker such as `__bss_start`.
+    Marker,
+}
+
+/// A named address, with an optional size for objects/functions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Symbol {
+    name: String,
+    addr: Addr,
+    size: u32,
+    kind: SymbolKind,
+}
+
+impl Symbol {
+    /// Creates a symbol.
+    pub fn new(name: impl Into<String>, addr: Addr, size: u32, kind: SymbolKind) -> Self {
+        Symbol { name: name.into(), addr, size, kind }
+    }
+
+    /// The symbol's name. PLT entries use the `name@plt` convention.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The symbol's address *as linked* (for ASLR'd regions this is the
+    /// unrandomized link-time address; the loader rebases it).
+    pub fn addr(&self) -> Addr {
+        self.addr
+    }
+
+    /// Size in bytes (0 when unknown).
+    pub fn size(&self) -> u32 {
+        self.size
+    }
+
+    /// What the symbol denotes.
+    pub fn kind(&self) -> SymbolKind {
+        self.kind
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#010x} {:?} {}", self.addr, self.kind, self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let s = Symbol::new("execlp@plt", 0x0001_b2d0, 12, SymbolKind::PltEntry);
+        assert_eq!(s.name(), "execlp@plt");
+        assert_eq!(s.addr(), 0x0001_b2d0);
+        assert_eq!(s.size(), 12);
+        assert_eq!(s.kind(), SymbolKind::PltEntry);
+        assert!(s.to_string().contains("execlp@plt"));
+    }
+}

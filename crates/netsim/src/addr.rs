@@ -1,0 +1,87 @@
+//! Link-layer addresses and SSIDs.
+
+use std::fmt;
+
+/// A 48-bit hardware (MAC) address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct HwAddr([u8; 6]);
+
+impl HwAddr {
+    /// Creates an address from raw octets.
+    pub fn new(octets: [u8; 6]) -> Self {
+        HwAddr(octets)
+    }
+
+    /// A locally-administered address derived from a small id — handy
+    /// for deterministic test fixtures.
+    pub fn local(id: u16) -> Self {
+        let [hi, lo] = id.to_be_bytes();
+        HwAddr([0x02, 0x00, 0x00, 0x00, hi, lo])
+    }
+
+    /// The raw octets.
+    pub fn octets(&self) -> [u8; 6] {
+        self.0
+    }
+}
+
+impl fmt::Display for HwAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let o = self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            o[0], o[1], o[2], o[3], o[4], o[5]
+        )
+    }
+}
+
+/// A wireless network name. Matching is exact and case-sensitive, as in
+/// 802.11.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Ssid(String);
+
+impl Ssid {
+    /// Creates an SSID.
+    pub fn new(name: impl Into<String>) -> Self {
+        Ssid(name.into())
+    }
+
+    /// The SSID text.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Ssid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Ssid {
+    fn from(s: &str) -> Self {
+        Ssid::new(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(HwAddr::local(0x1234).to_string(), "02:00:00:00:12:34");
+        assert_eq!(Ssid::from("HomeWifi").to_string(), "HomeWifi");
+    }
+
+    #[test]
+    fn local_ids_distinct() {
+        assert_ne!(HwAddr::local(1), HwAddr::local(2));
+    }
+
+    #[test]
+    fn ssid_matching_case_sensitive() {
+        assert_ne!(Ssid::from("Home"), Ssid::from("home"));
+    }
+}

@@ -1,0 +1,123 @@
+//! The Wi-Fi Pineapple: a rogue access point for man-in-the-middle
+//! DNS delivery (paper §III-D).
+
+use std::net::Ipv4Addr;
+
+use crate::addr::{HwAddr, Ssid};
+use crate::ap::{AccessPoint, ApConfig, DhcpConfig};
+use crate::env::{ApId, RadioEnvironment, SharedService};
+
+/// Signal margin (dB) the Pineapple broadcasts above the strongest
+/// legitimate AP with the cloned SSID.
+const SIGNAL_MARGIN_DB: i32 = 20;
+
+/// A deployed rogue AP. Its DHCP hands out the attacker's DNS server;
+/// its signal out-shouts the legitimate network so preferred-SSID
+/// clients hop over on their next scan.
+#[derive(Debug)]
+pub struct WifiPineapple {
+    ap: ApId,
+    dns_addr: Ipv4Addr,
+    cloned_ssid: Ssid,
+}
+
+impl WifiPineapple {
+    /// Subnet the Pineapple NATs clients into.
+    pub const SUBNET: [u8; 3] = [172, 16, 42];
+
+    /// Deploys the Pineapple: scans for `target_ssid`, clones it at
+    /// higher power, and registers `dns_service` as the DHCP-advertised
+    /// resolver. Returns `None` when the SSID is not on the air (nothing
+    /// to impersonate).
+    pub fn deploy(
+        env: &mut RadioEnvironment,
+        target_ssid: &Ssid,
+        dns_service: SharedService,
+    ) -> Option<WifiPineapple> {
+        let strongest = env
+            .scan()
+            .into_iter()
+            .filter(|r| &r.ssid == target_ssid)
+            .map(|r| r.signal_dbm)
+            .max()?;
+        let dns_addr = Ipv4Addr::new(Self::SUBNET[0], Self::SUBNET[1], Self::SUBNET[2], 53);
+        env.register_service(dns_addr, dns_service);
+        let ap = env.add_ap(AccessPoint::new(ApConfig {
+            ssid: target_ssid.clone(),
+            bssid: HwAddr::local(0xEA7),
+            signal_dbm: strongest + SIGNAL_MARGIN_DB,
+            dhcp: DhcpConfig::new(Self::SUBNET, dns_addr),
+        }));
+        Some(WifiPineapple { ap, dns_addr, cloned_ssid: target_ssid.clone() })
+    }
+
+    /// The rogue AP's handle.
+    pub fn ap(&self) -> ApId {
+        self.ap
+    }
+
+    /// Address of the malicious resolver clients are pointed at.
+    pub fn dns_addr(&self) -> Ipv4Addr {
+        self.dns_addr
+    }
+
+    /// The SSID being impersonated.
+    pub fn cloned_ssid(&self) -> &Ssid {
+        &self.cloned_ssid
+    }
+
+    /// Tears the rogue AP down (clients fall back to the legitimate
+    /// network on their next scan).
+    pub fn shutdown(self, env: &mut RadioEnvironment) {
+        env.remove_ap(self.ap);
+        env.unregister_service(self.dns_addr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::share;
+    use crate::station::Station;
+
+    fn legit_env() -> RadioEnvironment {
+        let mut env = RadioEnvironment::new();
+        env.add_ap(AccessPoint::new(ApConfig {
+            ssid: "HomeNet".into(),
+            bssid: HwAddr::local(1),
+            signal_dbm: -55,
+            dhcp: DhcpConfig::new([192, 168, 1], Ipv4Addr::new(192, 168, 1, 53)),
+        }));
+        env
+    }
+
+    #[test]
+    fn lures_station_and_intercepts_dns() {
+        let mut env = legit_env();
+        env.register_service(
+            Ipv4Addr::new(192, 168, 1, 53),
+            share(|_: &[u8]| Some(b"legit".to_vec())),
+        );
+        let mut sta = Station::new(HwAddr::local(9), "HomeNet".into());
+        sta.rescan(&mut env);
+        assert_eq!(sta.query_dns(&mut env, b"q"), Some(b"legit".to_vec()));
+
+        let evil = share(|_: &[u8]| Some(b"evil".to_vec()));
+        let pineapple =
+            WifiPineapple::deploy(&mut env, &"HomeNet".into(), evil).expect("ssid on air");
+        assert!(sta.rescan(&mut env), "victim hops to the stronger clone");
+        assert_eq!(sta.dns_server(), Some(pineapple.dns_addr()));
+        assert_eq!(sta.query_dns(&mut env, b"q"), Some(b"evil".to_vec()));
+
+        pineapple.shutdown(&mut env);
+        assert!(sta.rescan(&mut env), "falls back to the legitimate AP");
+        assert_eq!(sta.query_dns(&mut env, b"q"), Some(b"legit".to_vec()));
+    }
+
+    #[test]
+    fn needs_a_target_ssid_on_air() {
+        let mut env = RadioEnvironment::new();
+        let evil = share(|_: &[u8]| None);
+        assert!(WifiPineapple::deploy(&mut env, &"Ghost".into(), evil).is_none());
+    }
+}

@@ -1,0 +1,344 @@
+//! A small A32 assembler emitting the decoder's subset.
+
+use super::insn::encode_imm12;
+
+/// Byte-buffer assembler for A32 (condition `AL`, little-endian words).
+///
+/// ```
+/// use cml_vm::arm::{decode, Asm, Insn};
+///
+/// let code = Asm::new().mov_reg(1, 1).pop(&[0, 15]).finish();
+/// assert_eq!(decode(&code).unwrap().0, Insn::MovReg { rd: 1, rm: 1 });
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct Asm {
+    bytes: Vec<u8>,
+}
+
+fn list_bits(regs: &[u8]) -> u16 {
+    let mut bits = 0u16;
+    for &r in regs {
+        assert!(r < 16, "register number out of range");
+        bits |= 1 << r;
+    }
+    bits
+}
+
+impl Asm {
+    /// Starts an empty buffer.
+    pub fn new() -> Self {
+        Asm::default()
+    }
+
+    /// Bytes emitted so far.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether nothing has been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Consumes the assembler, returning the code bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    /// Appends one raw 32-bit word.
+    pub fn word(mut self, w: u32) -> Self {
+        self.bytes.extend_from_slice(&w.to_le_bytes());
+        self
+    }
+
+    /// Appends raw bytes (data embedded in code, e.g. shellcode strings).
+    pub fn raw(mut self, bytes: &[u8]) -> Self {
+        self.bytes.extend_from_slice(bytes);
+        self
+    }
+
+    /// `mov rd, #imm`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `imm` is not encodable as a rotated immediate.
+    pub fn mov_imm(self, rd: u8, imm: u32) -> Self {
+        let imm12 = encode_imm12(imm).expect("immediate not encodable");
+        self.word(0xE3A0_0000 | ((rd as u32) << 12) | imm12)
+    }
+
+    /// `mvn rd, #imm`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `imm` is not encodable.
+    pub fn mvn_imm(self, rd: u8, imm: u32) -> Self {
+        let imm12 = encode_imm12(imm).expect("immediate not encodable");
+        self.word(0xE3E0_0000 | ((rd as u32) << 12) | imm12)
+    }
+
+    /// `mov rd, rm` (`mov r1, r1` is the paper's NOP).
+    pub fn mov_reg(self, rd: u8, rm: u8) -> Self {
+        self.word(0xE1A0_0000 | ((rd as u32) << 12) | rm as u32)
+    }
+
+    /// `add rd, rn, #imm`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `imm` is not encodable.
+    pub fn add_imm(self, rd: u8, rn: u8, imm: u32) -> Self {
+        let imm12 = encode_imm12(imm).expect("immediate not encodable");
+        self.word(0xE280_0000 | ((rn as u32) << 16) | ((rd as u32) << 12) | imm12)
+    }
+
+    /// `sub rd, rn, #imm`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `imm` is not encodable.
+    pub fn sub_imm(self, rd: u8, rn: u8, imm: u32) -> Self {
+        let imm12 = encode_imm12(imm).expect("immediate not encodable");
+        self.word(0xE240_0000 | ((rn as u32) << 16) | ((rd as u32) << 12) | imm12)
+    }
+
+    /// `orr rd, rn, #imm`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `imm` is not encodable.
+    pub fn orr_imm(self, rd: u8, rn: u8, imm: u32) -> Self {
+        let imm12 = encode_imm12(imm).expect("immediate not encodable");
+        self.word(0xE380_0000 | ((rn as u32) << 16) | ((rd as u32) << 12) | imm12)
+    }
+
+    /// `and rd, rn, #imm`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `imm` is not encodable.
+    pub fn and_imm(self, rd: u8, rn: u8, imm: u32) -> Self {
+        let imm12 = encode_imm12(imm).expect("immediate not encodable");
+        self.word(0xE200_0000 | ((rn as u32) << 16) | ((rd as u32) << 12) | imm12)
+    }
+
+    /// `eor rd, rn, #imm`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `imm` is not encodable.
+    pub fn eor_imm(self, rd: u8, rn: u8, imm: u32) -> Self {
+        let imm12 = encode_imm12(imm).expect("immediate not encodable");
+        self.word(0xE220_0000 | ((rn as u32) << 16) | ((rd as u32) << 12) | imm12)
+    }
+
+    /// `lsl rd, rm, #shift`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shift` is outside 1..=31.
+    pub fn lsl_imm(self, rd: u8, rm: u8, shift: u8) -> Self {
+        assert!((1..=31).contains(&shift), "lsl shift out of range");
+        self.word(0xE1A0_0000 | ((rd as u32) << 12) | ((shift as u32) << 7) | rm as u32)
+    }
+
+    /// `cmp rn, #imm`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `imm` is not encodable.
+    pub fn cmp_imm(self, rn: u8, imm: u32) -> Self {
+        let imm12 = encode_imm12(imm).expect("immediate not encodable");
+        self.word(0xE350_0000 | ((rn as u32) << 16) | imm12)
+    }
+
+    /// `ldr rd, [rn, #offset]` (−4095..=4095).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the offset magnitude exceeds 12 bits.
+    pub fn ldr(self, rd: u8, rn: u8, offset: i32) -> Self {
+        let (u, mag) = if offset >= 0 { (1u32, offset as u32) } else { (0, (-offset) as u32) };
+        assert!(mag < 0x1000, "ldr offset out of range");
+        self.word(
+            0x0410_0000
+                | 0xE000_0000
+                | (1 << 24)
+                | (u << 23)
+                | ((rn as u32) << 16)
+                | ((rd as u32) << 12)
+                | mag,
+        )
+    }
+
+    /// `str rd, [rn, #offset]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the offset magnitude exceeds 12 bits.
+    pub fn str(self, rd: u8, rn: u8, offset: i32) -> Self {
+        let (u, mag) = if offset >= 0 { (1u32, offset as u32) } else { (0, (-offset) as u32) };
+        assert!(mag < 0x1000, "str offset out of range");
+        self.word(
+            0x0400_0000
+                | 0xE000_0000
+                | (1 << 24)
+                | (u << 23)
+                | ((rn as u32) << 16)
+                | ((rd as u32) << 12)
+                | mag,
+        )
+    }
+
+    /// `ldrb rd, [rn, #offset]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the offset magnitude exceeds 12 bits.
+    pub fn ldrb(self, rd: u8, rn: u8, offset: i32) -> Self {
+        let (u, mag) = if offset >= 0 { (1u32, offset as u32) } else { (0, (-offset) as u32) };
+        assert!(mag < 0x1000, "ldrb offset out of range");
+        self.word(
+            0xE450_0000 | (1 << 24) | (u << 23) | ((rn as u32) << 16) | ((rd as u32) << 12) | mag,
+        )
+    }
+
+    /// `strb rd, [rn, #offset]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the offset magnitude exceeds 12 bits.
+    pub fn strb(self, rd: u8, rn: u8, offset: i32) -> Self {
+        let (u, mag) = if offset >= 0 { (1u32, offset as u32) } else { (0, (-offset) as u32) };
+        assert!(mag < 0x1000, "strb offset out of range");
+        self.word(
+            0xE440_0000 | (1 << 24) | (u << 23) | ((rn as u32) << 16) | ((rd as u32) << 12) | mag,
+        )
+    }
+
+    /// `push {regs}`.
+    pub fn push(self, regs: &[u8]) -> Self {
+        self.word(0xE92D_0000 | list_bits(regs) as u32)
+    }
+
+    /// `pop {regs}` — include 15 for the gadget-terminating `pop {…, pc}`.
+    pub fn pop(self, regs: &[u8]) -> Self {
+        self.word(0xE8BD_0000 | list_bits(regs) as u32)
+    }
+
+    /// `bx rm`.
+    pub fn bx(self, rm: u8) -> Self {
+        self.word(0xE12F_FF10 | rm as u32)
+    }
+
+    /// `blx rm`.
+    pub fn blx(self, rm: u8) -> Self {
+        self.word(0xE12F_FF30 | rm as u32)
+    }
+
+    /// `b` with a byte offset relative to this instruction + 8.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the offset is unaligned or out of the 26-bit range.
+    pub fn b(self, offset: i32) -> Self {
+        self.word(0xEA00_0000 | branch_imm24(offset))
+    }
+
+    /// `bl` with a byte offset relative to this instruction + 8.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the offset is unaligned or out of the 26-bit range.
+    pub fn bl(self, offset: i32) -> Self {
+        self.word(0xEB00_0000 | branch_imm24(offset))
+    }
+
+    /// `beq` with a byte offset relative to this instruction + 8.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the offset is unaligned or out of range.
+    pub fn beq(self, offset: i32) -> Self {
+        self.word(0x0A00_0000 | branch_imm24(offset))
+    }
+
+    /// `bne` with a byte offset relative to this instruction + 8.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the offset is unaligned or out of range.
+    pub fn bne(self, offset: i32) -> Self {
+        self.word(0x1A00_0000 | branch_imm24(offset))
+    }
+
+    /// `svc #0`.
+    pub fn svc0(self) -> Self {
+        self.word(0xEF00_0000)
+    }
+}
+
+fn branch_imm24(offset: i32) -> u32 {
+    assert!(offset % 4 == 0, "branch offset must be word-aligned");
+    let words = offset / 4;
+    assert!((-(1 << 23)..(1 << 23)).contains(&words), "branch offset out of range");
+    (words as u32) & 0x00FF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arm::{decode, Insn};
+
+    fn roundtrip(bytes: &[u8], expected: Insn) {
+        let (got, n) = decode(bytes).unwrap_or_else(|e| panic!("{e}: {bytes:02x?}"));
+        assert_eq!(got, expected);
+        assert_eq!(n, 4);
+    }
+
+    #[test]
+    fn assembler_decoder_roundtrip() {
+        roundtrip(&Asm::new().mov_imm(7, 11).finish(), Insn::MovImm { rd: 7, imm: 11 });
+        roundtrip(&Asm::new().mvn_imm(0, 0).finish(), Insn::MvnImm { rd: 0, imm: 0 });
+        roundtrip(&Asm::new().mov_reg(1, 1).finish(), Insn::MovReg { rd: 1, rm: 1 });
+        roundtrip(&Asm::new().add_imm(0, 15, 20).finish(), Insn::AddImm { rd: 0, rn: 15, imm: 20 });
+        roundtrip(&Asm::new().sub_imm(13, 13, 16).finish(), Insn::SubImm { rd: 13, rn: 13, imm: 16 });
+        roundtrip(&Asm::new().cmp_imm(0, 0).finish(), Insn::CmpImm { rn: 0, imm: 0 });
+        roundtrip(&Asm::new().ldr(2, 1, 4).finish(), Insn::Ldr { rd: 2, rn: 1, offset: 4 });
+        roundtrip(&Asm::new().ldr(2, 1, -4).finish(), Insn::Ldr { rd: 2, rn: 1, offset: -4 });
+        roundtrip(&Asm::new().str(3, 13, 8).finish(), Insn::Str { rd: 3, rn: 13, offset: 8 });
+        roundtrip(&Asm::new().push(&[4, 14]).finish(), Insn::Push { list: 0x4010 });
+        roundtrip(
+            &Asm::new().pop(&[0, 1, 2, 3, 5, 6, 7, 15]).finish(),
+            Insn::Pop { list: 0x80EF },
+        );
+        roundtrip(&Asm::new().bx(14).finish(), Insn::Bx { rm: 14 });
+        roundtrip(&Asm::new().blx(3).finish(), Insn::Blx { rm: 3 });
+        roundtrip(&Asm::new().b(8).finish(), Insn::B { offset: 8 });
+        roundtrip(&Asm::new().bl(-4).finish(), Insn::Bl { offset: -4 });
+        roundtrip(&Asm::new().svc0().finish(), Insn::Svc { imm: 0 });
+    }
+
+    #[test]
+    fn paper_byte_sequences() {
+        // The exact words the paper's exploits rely on.
+        assert_eq!(
+            Asm::new().pop(&[0, 1, 2, 3, 5, 6, 7, 15]).finish(),
+            0xE8BD_80EFu32.to_le_bytes()
+        );
+        assert_eq!(Asm::new().blx(3).finish(), 0xE12F_FF33u32.to_le_bytes());
+        assert_eq!(Asm::new().mov_reg(1, 1).finish(), 0xE1A0_1001u32.to_le_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "not encodable")]
+    fn unencodable_immediate_panics() {
+        let _ = Asm::new().mov_imm(0, 0x12345);
+    }
+
+    #[test]
+    #[should_panic(expected = "word-aligned")]
+    fn unaligned_branch_panics() {
+        let _ = Asm::new().b(2);
+    }
+}

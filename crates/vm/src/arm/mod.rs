@@ -1,0 +1,16 @@
+//! ARMv7 (ARM state) subset: decoder, assembler and executor.
+//!
+//! The subset covers what the paper's Raspberry Pi exploits touch:
+//! `ldm`/`stm` multiples (the `pop {r0,r1,r2,r3,r5,r6,r7,pc}` gadget),
+//! `blx`/`bx` trampolines, data-processing immediates, single-word
+//! loads/stores, and the `svc #0` syscall gate. Encodings are the real
+//! A32 ones (condition field `AL`), stored little-endian.
+
+mod asm;
+mod exec;
+mod insn;
+
+pub use asm::Asm;
+pub use insn::{decode, reg_list, DecodeError, Insn};
+
+pub(crate) use exec::step;

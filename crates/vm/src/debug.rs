@@ -1,0 +1,282 @@
+//! Post-mortem and live inspection — the simulation's `gdb`.
+//!
+//! The paper's exploit-construction workflow is: run the target under
+//! gdb, examine the `parse_response` frame, find libc/symbol addresses,
+//! crash it with a pattern and read the faulting pc. [`Inspector`]
+//! provides those operations against a [`Machine`], and
+//! [`FaultReport`] packages what a crash log would show.
+
+use std::fmt;
+
+use cml_image::Addr;
+
+use crate::loader::LoadMap;
+use crate::machine::Machine;
+use crate::{arm, x86, Fault};
+
+/// A read-only view over a machine for address discovery and frame
+/// inspection.
+#[derive(Debug)]
+pub struct Inspector<'m> {
+    machine: &'m Machine,
+    map: Option<&'m LoadMap>,
+}
+
+impl<'m> Inspector<'m> {
+    /// Attaches to a machine.
+    pub fn new(machine: &'m Machine) -> Self {
+        Inspector { machine, map: None }
+    }
+
+    /// Attaches with a load map for symbol resolution.
+    pub fn with_map(machine: &'m Machine, map: &'m LoadMap) -> Self {
+        Inspector { machine, map: Some(map) }
+    }
+
+    /// Resolves a symbol to its runtime address (requires a load map).
+    pub fn symbol(&self, name: &str) -> Option<Addr> {
+        self.map.and_then(|m| m.symbol(name))
+    }
+
+    /// Reads `count` stack words starting at the stack pointer.
+    pub fn stack_words(&self, count: usize) -> Vec<(Addr, Option<u32>)> {
+        let sp = self.machine.regs().sp();
+        (0..count)
+            .map(|i| {
+                let addr = sp.wrapping_add(4 * i as u32);
+                (addr, self.machine.mem().read_u32(addr, 0).ok())
+            })
+            .collect()
+    }
+
+    /// Reads a word anywhere (ignoring nothing: permissions still apply,
+    /// as a debugger of a live process sees what the process could read).
+    pub fn word(&self, addr: Addr) -> Option<u32> {
+        self.machine.mem().read_u32(addr, 0).ok()
+    }
+
+    /// Searches all mapped regions for a byte pattern, returning
+    /// addresses (like gdb's `find`).
+    pub fn find(&self, needle: &[u8]) -> Vec<Addr> {
+        let mut hits = Vec::new();
+        if needle.is_empty() {
+            return hits;
+        }
+        for r in self.machine.mem().regions() {
+            let data = r.data();
+            if data.len() < needle.len() {
+                continue;
+            }
+            for i in 0..=data.len() - needle.len() {
+                if &data[i..i + needle.len()] == needle {
+                    hits.push(r.base() + i as Addr);
+                }
+            }
+        }
+        hits
+    }
+
+    /// Disassembles up to `count` instructions at `addr` into text lines
+    /// (`x/i` analogue). Stops at the first undecodable word.
+    pub fn disassemble(&self, addr: Addr, count: usize) -> Vec<String> {
+        let mut lines = Vec::new();
+        let mut pc = addr;
+        for _ in 0..count {
+            let window = match self.machine.mem().read_bytes(pc, 16, 0) {
+                Ok(w) => w,
+                Err(_) => match self.machine.mem().read_bytes(pc, 4, 0) {
+                    Ok(w) => w,
+                    Err(_) => break,
+                },
+            };
+            let (text, len) = match self.machine.arch() {
+                cml_image::Arch::X86 => match x86::decode(&window) {
+                    Ok((i, n)) => (i.to_string(), n),
+                    Err(_) => break,
+                },
+                cml_image::Arch::Armv7 => match arm::decode(&window) {
+                    Ok((i, n)) => (i.to_string(), n),
+                    Err(_) => break,
+                },
+            };
+            lines.push(format!("{pc:#010x}: {text}"));
+            pc = pc.wrapping_add(len as u32);
+        }
+        lines
+    }
+
+    /// Hexdump of `len` bytes at `addr` (`x/` analogue); unreadable
+    /// bytes render as `??`.
+    pub fn hexdump(&self, addr: Addr, len: usize) -> String {
+        let mut out = String::new();
+        for row in 0..len.div_ceil(16) {
+            let base = addr.wrapping_add((row * 16) as u32);
+            out.push_str(&format!("{base:#010x}: "));
+            let mut ascii = String::new();
+            for i in 0..16.min(len - row * 16) {
+                match self.machine.mem().read_u8(base.wrapping_add(i as u32), 0) {
+                    Ok(b) => {
+                        out.push_str(&format!("{b:02x} "));
+                        ascii.push(if b.is_ascii_graphic() { b as char } else { '.' });
+                    }
+                    Err(_) => {
+                        out.push_str("?? ");
+                        ascii.push('?');
+                    }
+                }
+            }
+            out.push_str(&format!(" |{ascii}|\n"));
+        }
+        out
+    }
+
+    /// Formats a register dump (`info registers` analogue).
+    pub fn registers(&self) -> String {
+        match self.machine.regs() {
+            crate::Regs::X86(r) => {
+                use crate::X86Reg::*;
+                format!(
+                    "eax={:#010x} ebx={:#010x} ecx={:#010x} edx={:#010x}\n\
+                     esi={:#010x} edi={:#010x} ebp={:#010x} esp={:#010x}\n\
+                     eip={:#010x} zf={}",
+                    r.get(Eax),
+                    r.get(Ebx),
+                    r.get(Ecx),
+                    r.get(Edx),
+                    r.get(Esi),
+                    r.get(Edi),
+                    r.get(Ebp),
+                    r.get(Esp),
+                    r.eip,
+                    r.zf as u8
+                )
+            }
+            crate::Regs::Arm(r) => {
+                let mut s = String::new();
+                for i in 0..13u8 {
+                    s.push_str(&format!(
+                        "r{i}={:#010x}{}",
+                        r.get(crate::ArmReg(i)),
+                        if i % 4 == 3 { "\n" } else { " " }
+                    ));
+                }
+                s.push_str(&format!(
+                    "sp={:#010x} lr={:#010x} pc={:#010x} zf={}",
+                    r.sp(),
+                    r.get(crate::ArmReg::LR),
+                    r.pc(),
+                    r.zf as u8
+                ));
+                s
+            }
+        }
+    }
+}
+
+/// A crash report: what the daemon's log / a core dump shows after a
+/// fault. Offset discovery reads `pattern_pc` out of this.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultReport {
+    /// The fault itself.
+    pub fault: Fault,
+    /// Program-counter value at the fault, when the fault carries one.
+    pub pc: Option<Addr>,
+    /// Stack pointer at the time of death.
+    pub sp: Addr,
+    /// A few words of stack context, as a crash handler would dump.
+    pub stack: Vec<u32>,
+}
+
+impl FaultReport {
+    /// Builds a report from a faulted machine.
+    pub fn capture(machine: &Machine, fault: Fault) -> Self {
+        let sp = machine.regs().sp();
+        let stack = (0..8)
+            .filter_map(|i| machine.mem().read_u32(sp.wrapping_add(4 * i), 0).ok())
+            .collect();
+        FaultReport { pc: fault.pc(), fault, sp, stack }
+    }
+}
+
+impl fmt::Display for FaultReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "*** {} ***", self.fault)?;
+        if let Some(pc) = self.pc {
+            writeln!(f, "pc: {pc:#010x}")?;
+        }
+        writeln!(f, "sp: {:#010x}", self.sp)?;
+        for (i, w) in self.stack.iter().enumerate() {
+            writeln!(f, "  [sp+{:#04x}] {w:#010x}", i * 4)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::x86::Asm;
+    use cml_image::{Arch, Perms, SectionKind};
+
+    fn machine() -> Machine {
+        let mut m = Machine::new(Arch::X86);
+        m.mem_mut().map(".text", Some(SectionKind::Text), 0x1000, 0x100, Perms::RX);
+        m.mem_mut().map("stack", Some(SectionKind::Stack), 0x8000, 0x1000, Perms::RW);
+        m.mem_mut()
+            .poke(0x1000, &Asm::new().nop().push_r(crate::X86Reg::Eax).ret().finish())
+            .unwrap();
+        m.regs_mut().set_pc(0x1000);
+        m.regs_mut().set_sp(0x8800);
+        m
+    }
+
+    #[test]
+    fn disassembly_lines() {
+        let m = machine();
+        let lines = Inspector::new(&m).disassemble(0x1000, 3);
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].ends_with("nop"));
+        assert!(lines[2].ends_with("ret"));
+    }
+
+    #[test]
+    fn find_locates_bytes() {
+        let mut m = machine();
+        m.mem_mut().write_bytes(0x8100, b"/bin/sh", 0).unwrap();
+        let insp = Inspector::new(&m);
+        assert_eq!(insp.find(b"/bin/sh"), vec![0x8100]);
+        assert!(insp.find(b"missing-string").is_empty());
+    }
+
+    #[test]
+    fn stack_words_view() {
+        let mut m = machine();
+        m.push_u32(0x1111).unwrap();
+        m.push_u32(0x2222).unwrap();
+        let insp = Inspector::new(&m);
+        let words = insp.stack_words(2);
+        assert_eq!(words[0].1, Some(0x2222));
+        assert_eq!(words[1].1, Some(0x1111));
+    }
+
+    #[test]
+    fn fault_report_shows_hijacked_pc() {
+        let mut m = machine();
+        m.regs_mut().set_pc(0x6161_6161);
+        let out = m.run(5);
+        let fault = match out {
+            crate::RunOutcome::Fault(f) => f,
+            other => panic!("expected fault, got {other}"),
+        };
+        let report = FaultReport::capture(&m, fault);
+        assert_eq!(report.pc, Some(0x6161_6161));
+        let text = report.to_string();
+        assert!(text.contains("0x61616161"));
+    }
+
+    #[test]
+    fn register_dump_mentions_eip() {
+        let m = machine();
+        assert!(Inspector::new(&m).registers().contains("eip=0x00001000"));
+    }
+}

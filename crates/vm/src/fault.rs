@@ -1,0 +1,216 @@
+//! Machine faults — the simulation's SIGSEGV/SIGILL analogues.
+
+use std::error::Error;
+use std::fmt;
+
+use cml_image::{Addr, Perms};
+
+/// A hardware-level fault that terminates execution.
+///
+/// Faults carry enough context for the debugger to produce the kind of
+/// report the paper extracted from `gdb` (most importantly the faulting
+/// program counter, which cyclic-pattern offset discovery relies on).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Fault {
+    /// Read from an address no region covers.
+    UnmappedRead {
+        /// Faulting address.
+        addr: Addr,
+        /// Program counter at the time.
+        pc: Addr,
+    },
+    /// Write to an address no region covers.
+    UnmappedWrite {
+        /// Faulting address.
+        addr: Addr,
+        /// Program counter at the time.
+        pc: Addr,
+    },
+    /// Instruction fetch from an address no region covers — the signature
+    /// of a smashed return address pointing into nowhere.
+    UnmappedFetch {
+        /// The bogus program counter.
+        pc: Addr,
+    },
+    /// Read denied by region permissions.
+    ProtectedRead {
+        /// Faulting address.
+        addr: Addr,
+        /// The region's permissions.
+        perms: Perms,
+        /// Program counter at the time.
+        pc: Addr,
+    },
+    /// Write denied by region permissions.
+    ProtectedWrite {
+        /// Faulting address.
+        addr: Addr,
+        /// The region's permissions.
+        perms: Perms,
+        /// Program counter at the time.
+        pc: Addr,
+    },
+    /// Instruction fetch denied by permissions — W⊕X stopping injected
+    /// code on the stack.
+    NxViolation {
+        /// The program counter that landed in non-executable memory.
+        pc: Addr,
+        /// The region's permissions.
+        perms: Perms,
+    },
+    /// Bytes at `pc` did not decode to a supported instruction.
+    IllegalInstruction {
+        /// Program counter.
+        pc: Addr,
+        /// Up to four raw bytes at the program counter.
+        bytes: [u8; 4],
+    },
+    /// ARM-state fetch from a non-4-byte-aligned address.
+    UnalignedFetch {
+        /// The misaligned program counter.
+        pc: Addr,
+    },
+    /// A system call with an unsupported number.
+    UnknownSyscall {
+        /// The syscall number.
+        number: u32,
+        /// Program counter of the trap instruction.
+        pc: Addr,
+    },
+    /// The shadow-stack CFI check rejected a return.
+    CfiViolation {
+        /// Address the return tried to reach.
+        target: Addr,
+        /// Address the shadow stack expected (`None` = underflow).
+        expected: Option<Addr>,
+        /// Program counter of the return instruction.
+        pc: Addr,
+    },
+    /// The per-frame stack canary was corrupted (`__stack_chk_fail`).
+    CanarySmashed {
+        /// Value found in the canary slot.
+        found: u32,
+        /// Value planted at frame entry.
+        expected: u32,
+    },
+    /// Execution exceeded the configured step budget (used to convert
+    /// runaway loops into a deterministic outcome).
+    StepLimit {
+        /// The budget that was exhausted.
+        limit: u64,
+    },
+}
+
+impl Fault {
+    /// The program counter most relevant to the fault, when one exists.
+    /// For a hijacked return this is the attacker-controlled value — the
+    /// datum offset discovery needs.
+    pub fn pc(&self) -> Option<Addr> {
+        match *self {
+            Fault::UnmappedRead { pc, .. }
+            | Fault::UnmappedWrite { pc, .. }
+            | Fault::UnmappedFetch { pc }
+            | Fault::ProtectedRead { pc, .. }
+            | Fault::ProtectedWrite { pc, .. }
+            | Fault::NxViolation { pc, .. }
+            | Fault::IllegalInstruction { pc, .. }
+            | Fault::UnalignedFetch { pc }
+            | Fault::UnknownSyscall { pc, .. }
+            | Fault::CfiViolation { pc, .. } => Some(pc),
+            Fault::CanarySmashed { .. } | Fault::StepLimit { .. } => None,
+        }
+    }
+
+    /// Whether this fault is the kind a crashed daemon would log as a
+    /// segmentation violation (the paper's "SIGSEV").
+    pub fn is_segfault(&self) -> bool {
+        matches!(
+            self,
+            Fault::UnmappedRead { .. }
+                | Fault::UnmappedWrite { .. }
+                | Fault::UnmappedFetch { .. }
+                | Fault::ProtectedRead { .. }
+                | Fault::ProtectedWrite { .. }
+                | Fault::NxViolation { .. }
+        )
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::UnmappedRead { addr, pc } => {
+                write!(f, "read of unmapped {addr:#010x} at pc {pc:#010x}")
+            }
+            Fault::UnmappedWrite { addr, pc } => {
+                write!(f, "write to unmapped {addr:#010x} at pc {pc:#010x}")
+            }
+            Fault::UnmappedFetch { pc } => write!(f, "fetch from unmapped {pc:#010x}"),
+            Fault::ProtectedRead { addr, perms, pc } => {
+                write!(f, "read of {addr:#010x} ({perms}) denied at pc {pc:#010x}")
+            }
+            Fault::ProtectedWrite { addr, perms, pc } => {
+                write!(f, "write to {addr:#010x} ({perms}) denied at pc {pc:#010x}")
+            }
+            Fault::NxViolation { pc, perms } => {
+                write!(f, "fetch from non-executable {pc:#010x} ({perms})")
+            }
+            Fault::IllegalInstruction { pc, bytes } => write!(
+                f,
+                "illegal instruction at {pc:#010x}: {:02x} {:02x} {:02x} {:02x}",
+                bytes[0], bytes[1], bytes[2], bytes[3]
+            ),
+            Fault::UnalignedFetch { pc } => write!(f, "unaligned arm fetch at {pc:#010x}"),
+            Fault::UnknownSyscall { number, pc } => {
+                write!(f, "unknown syscall {number} at pc {pc:#010x}")
+            }
+            Fault::CfiViolation { target, expected, pc } => match expected {
+                Some(e) => write!(
+                    f,
+                    "cfi violation at {pc:#010x}: return to {target:#010x}, shadow expected {e:#010x}"
+                ),
+                None => write!(
+                    f,
+                    "cfi violation at {pc:#010x}: return to {target:#010x} with empty shadow stack"
+                ),
+            },
+            Fault::CanarySmashed { found, expected } => write!(
+                f,
+                "stack canary smashed: found {found:#010x}, expected {expected:#010x}"
+            ),
+            Fault::StepLimit { limit } => write!(f, "step limit of {limit} exhausted"),
+        }
+    }
+}
+
+impl Error for Fault {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pc_extraction() {
+        assert_eq!(Fault::UnmappedFetch { pc: 0x41414141 }.pc(), Some(0x41414141));
+        assert_eq!(Fault::CanarySmashed { found: 0, expected: 1 }.pc(), None);
+        assert_eq!(
+            Fault::NxViolation { pc: 0xbffff000, perms: Perms::RW }.pc(),
+            Some(0xbffff000)
+        );
+    }
+
+    #[test]
+    fn segfault_classification() {
+        assert!(Fault::UnmappedFetch { pc: 0 }.is_segfault());
+        assert!(Fault::NxViolation { pc: 0, perms: Perms::RW }.is_segfault());
+        assert!(!Fault::StepLimit { limit: 10 }.is_segfault());
+        assert!(!Fault::CanarySmashed { found: 0, expected: 1 }.is_segfault());
+    }
+
+    #[test]
+    fn display_mentions_addresses() {
+        let s = Fault::UnmappedFetch { pc: 0x6161_6161 }.to_string();
+        assert!(s.contains("0x61616161"));
+    }
+}

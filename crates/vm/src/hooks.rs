@@ -1,0 +1,343 @@
+//! Native libc functions, triggered by program-counter entry.
+//!
+//! The loader registers each libc symbol (and its PLT stub) as a hook.
+//! When the program counter lands on a hooked address — whether via a
+//! legitimate `call`, a `ret` into libc (ret2libc), or a `blx r3`
+//! trampoline — the function's semantics run natively and control returns
+//! per the architecture's convention. This mirrors how the paper's
+//! exploits treat libc: as a black box reached purely through addresses.
+
+use cml_image::{Addr, Arch};
+
+use crate::machine::{Event, Machine, RunOutcome};
+use crate::Fault;
+
+/// The libc functions the simulated Connman binary links against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum LibcFn {
+    /// `memcpy(dest, src, n)` — the ROP chains' string-building tool.
+    Memcpy,
+    /// `system(command)` — the x86 ret2libc target.
+    System,
+    /// `execlp(file, arg0, ..., NULL)` — the PLT-reachable exec used by
+    /// the ARM chains (accepts relative paths, hence copying only "sh").
+    Execlp,
+    /// `execve(path, argv, envp)`.
+    Execve,
+    /// `exit(code)`.
+    Exit,
+    /// `__stack_chk_fail()` — reached when a canary check fails.
+    StackChkFail,
+}
+
+impl LibcFn {
+    /// The function's symbol name.
+    pub fn name(self) -> &'static str {
+        match self {
+            LibcFn::Memcpy => "memcpy",
+            LibcFn::System => "system",
+            LibcFn::Execlp => "execlp",
+            LibcFn::Execve => "execve",
+            LibcFn::Exit => "exit",
+            LibcFn::StackChkFail => "__stack_chk_fail",
+        }
+    }
+
+    /// All hookable functions.
+    pub const ALL: [LibcFn; 6] = [
+        LibcFn::Memcpy,
+        LibcFn::System,
+        LibcFn::Execlp,
+        LibcFn::Execve,
+        LibcFn::Exit,
+        LibcFn::StackChkFail,
+    ];
+}
+
+/// What a hook told the run loop to do (kept public for the debugger's
+/// single-step display).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HookOutcome {
+    /// The function returned; execution continues at the return address.
+    Returned,
+    /// The function terminated the process.
+    Terminal(RunOutcome),
+}
+
+/// Reads the calling convention's first three arguments and the return
+/// address without consuming them.
+fn read_args(m: &Machine, pc: Addr) -> Result<(Addr, [u32; 3]), Fault> {
+    match m.arch {
+        Arch::X86 => {
+            // cdecl: [esp] = return address, args above it.
+            let sp = m.regs.sp();
+            let ret = m.mem.read_u32(sp, pc)?;
+            let a0 = m.mem.read_u32(sp.wrapping_add(4), pc)?;
+            let a1 = m.mem.read_u32(sp.wrapping_add(8), pc)?;
+            let a2 = m.mem.read_u32(sp.wrapping_add(12), pc)?;
+            Ok((ret, [a0, a1, a2]))
+        }
+        Arch::Armv7 => {
+            let r = m.regs.arm();
+            use crate::regs::ArmReg;
+            Ok((r.get(ArmReg::LR), [r.get(ArmReg(0)), r.get(ArmReg(1)), r.get(ArmReg(2))]))
+        }
+    }
+}
+
+/// Simulates the function's return: x86 pops the return address; ARM
+/// branches to `lr`.
+fn do_return(m: &mut Machine, ret: Addr, retval: u32) -> Result<(), Fault> {
+    match m.arch {
+        Arch::X86 => {
+            m.regs.x86_mut().set(crate::X86Reg::Eax, retval);
+            let sp = m.regs.sp();
+            m.regs.set_sp(sp.wrapping_add(4));
+            m.regs.set_pc(ret);
+        }
+        Arch::Armv7 => {
+            m.regs.arm_mut().set(crate::regs::ArmReg(0), retval);
+            m.regs.set_pc(ret);
+        }
+    }
+    Ok(())
+}
+
+/// Executes the hooked function `f` with the program counter at `pc`.
+///
+/// # Errors
+///
+/// Propagates memory faults raised while reading arguments or copying
+/// data (e.g. `memcpy` into a read-only page).
+pub(crate) fn invoke(
+    m: &mut Machine,
+    f: LibcFn,
+    pc: Addr,
+) -> Result<Option<RunOutcome>, Fault> {
+    let (ret, args) = read_args(m, pc)?;
+    m.events.push(Event::LibcCall { name: f.name(), args });
+    match f {
+        LibcFn::Memcpy => {
+            let [dest, src, n] = args;
+            // Byte-wise copy through the MMU: a destination without the W
+            // bit faults exactly as a real memcpy would.
+            for i in 0..n {
+                let b = m.mem.read_u8(src.wrapping_add(i), pc)?;
+                m.mem.write_u8(dest.wrapping_add(i), b, pc)?;
+            }
+            do_return(m, ret, dest)?;
+            Ok(None)
+        }
+        LibcFn::System => {
+            let cmd = m.mem.read_cstr(args[0], 256, pc)?;
+            if !cmd.is_empty() && cmd.iter().all(|b| b.is_ascii_graphic() || *b == b' ') {
+                let program = format!("sh -c {}", String::from_utf8_lossy(&cmd));
+                let spawn = crate::machine::ShellSpawn {
+                    program,
+                    argv: vec![String::from_utf8_lossy(&cmd).into_owned()],
+                    via: "system",
+                    uid: 0,
+                };
+                m.events.push(Event::ShellSpawned(spawn.clone()));
+                Ok(Some(RunOutcome::ShellSpawned(spawn)))
+            } else {
+                // Garbage "command" (stale pointer): the spawned sh exits
+                // 127 and system() returns to the chain.
+                do_return(m, ret, 127 << 8)?;
+                Ok(None)
+            }
+        }
+        LibcFn::Execlp => {
+            // Variadic: file in arg0, then arg list until NULL. We only
+            // need the file and the fact that arg1 terminates the list.
+            match m.do_exec(args[0], None, "execlp", pc)? {
+                Some(outcome) => Ok(Some(outcome)),
+                None => {
+                    do_return(m, ret, u32::MAX)?; // -1: ENOENT
+                    Ok(None)
+                }
+            }
+        }
+        LibcFn::Execve => match m.do_exec(args[0], Some(args[1]), "execve", pc)? {
+            Some(outcome) => Ok(Some(outcome)),
+            None => {
+                do_return(m, ret, u32::MAX)?;
+                Ok(None)
+            }
+        },
+        LibcFn::Exit => {
+            let code = args[0] as i32;
+            m.events.push(Event::ProcessExited { code });
+            Ok(Some(RunOutcome::Exited(code)))
+        }
+        LibcFn::StackChkFail => Ok(Some(RunOutcome::Fault(Fault::CanarySmashed {
+            found: args[0],
+            expected: m.canary,
+        }))),
+    }
+}
+
+/// x86 Linux syscall dispatch (`int 0x80`).
+pub(crate) fn syscall_x86(m: &mut Machine, pc: Addr) -> Result<Option<RunOutcome>, Fault> {
+    use crate::X86Reg;
+    let r = *m.regs.x86();
+    let number = r.get(X86Reg::Eax);
+    m.events.push(Event::Syscall { number });
+    match number {
+        1 => {
+            let code = r.get(X86Reg::Ebx) as i32;
+            m.events.push(Event::ProcessExited { code });
+            Ok(Some(RunOutcome::Exited(code)))
+        }
+        11 => {
+            let path = r.get(X86Reg::Ebx);
+            let argv = r.get(X86Reg::Ecx);
+            match m.do_exec(path, Some(argv), "execve", pc)? {
+                Some(outcome) => Ok(Some(outcome)),
+                None => {
+                    m.regs.x86_mut().set(X86Reg::Eax, u32::MAX); // -ENOENT
+                    Ok(None)
+                }
+            }
+        }
+        other => Err(Fault::UnknownSyscall { number: other, pc }),
+    }
+}
+
+/// ARM EABI syscall dispatch (`svc #0`, number in `r7`).
+pub(crate) fn syscall_arm(m: &mut Machine, pc: Addr) -> Result<Option<RunOutcome>, Fault> {
+    use crate::regs::ArmReg;
+    let r = *m.regs.arm();
+    let number = r.get(ArmReg(7));
+    m.events.push(Event::Syscall { number });
+    match number {
+        1 => {
+            let code = r.get(ArmReg(0)) as i32;
+            m.events.push(Event::ProcessExited { code });
+            Ok(Some(RunOutcome::Exited(code)))
+        }
+        11 => {
+            let path = r.get(ArmReg(0));
+            let argv = r.get(ArmReg(1));
+            match m.do_exec(path, Some(argv), "execve", pc)? {
+                Some(outcome) => Ok(Some(outcome)),
+                None => {
+                    m.regs.arm_mut().set(ArmReg(0), u32::MAX);
+                    Ok(None)
+                }
+            }
+        }
+        other => Err(Fault::UnknownSyscall { number: other, pc }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cml_image::{Perms, SectionKind};
+
+    fn x86_machine() -> Machine {
+        let mut m = Machine::new(Arch::X86);
+        m.mem.map(".text", Some(SectionKind::Text), 0x1000, 0x100, Perms::RX);
+        m.mem.map(".bss", Some(SectionKind::Bss), 0x3000, 0x100, Perms::RW);
+        m.mem.map("libc", Some(SectionKind::Libc), 0x7000, 0x100, Perms::RX);
+        m.mem.map("stack", Some(SectionKind::Stack), 0x8000, 0x1000, Perms::RW);
+        m.regs.set_sp(0x8800);
+        m
+    }
+
+    #[test]
+    fn memcpy_hook_copies_and_returns() {
+        let mut m = x86_machine();
+        m.register_hook(0x7000, LibcFn::Memcpy);
+        m.mem.poke(0x3000, b"X").unwrap();
+        m.mem.write_bytes(0x3010, b"hi!", 0).unwrap();
+        // Build cdecl frame: ret=0x1000, dest=0x3000, src=0x3010, n=3.
+        for v in [3u32, 0x3010, 0x3000, 0x1000] {
+            m.push_u32(v).unwrap();
+        }
+        m.regs.set_pc(0x7000);
+        let out = m.step().unwrap();
+        assert!(out.is_none());
+        assert_eq!(m.regs().pc(), 0x1000);
+        assert_eq!(m.mem().read_bytes(0x3000, 3, 0).unwrap(), b"hi!");
+        // eax = dest per the C ABI.
+        assert_eq!(m.regs().x86().get(crate::X86Reg::Eax), 0x3000);
+    }
+
+    #[test]
+    fn memcpy_into_text_faults() {
+        let mut m = x86_machine();
+        m.register_hook(0x7000, LibcFn::Memcpy);
+        for v in [1u32, 0x3000, 0x1000, 0x1000] {
+            m.push_u32(v).unwrap();
+        }
+        m.regs.set_pc(0x7000);
+        assert!(matches!(m.step(), Err(Fault::ProtectedWrite { addr: 0x1000, .. })));
+    }
+
+    #[test]
+    fn system_hook_spawns_shell() {
+        let mut m = x86_machine();
+        m.register_hook(0x7010, LibcFn::System);
+        m.mem.write_bytes(0x3020, b"/bin/sh\0", 0).unwrap();
+        for v in [0u32, 0x3020, 0xdead_0000] {
+            m.push_u32(v).unwrap();
+        }
+        m.regs.set_pc(0x7010);
+        let out = m.step().unwrap().expect("terminal");
+        assert!(out.is_root_shell());
+    }
+
+    #[test]
+    fn execlp_on_arm_uses_r0() {
+        let mut m = Machine::new(Arch::Armv7);
+        m.mem.map(".bss", Some(SectionKind::Bss), 0x3000, 0x100, Perms::RW);
+        m.mem.map(".plt", Some(SectionKind::Plt), 0x1b000, 0x100, Perms::RX);
+        m.mem.write_bytes(0x3004, b"sh\0", 0).unwrap();
+        m.register_hook(0x1b2d0, LibcFn::Execlp);
+        m.regs.arm_mut().set(crate::regs::ArmReg(0), 0x3004);
+        m.regs.arm_mut().set(crate::regs::ArmReg(1), 0);
+        m.regs.set_pc(0x1b2d0);
+        let out = m.step().unwrap().expect("terminal");
+        match out {
+            RunOutcome::ShellSpawned(s) => {
+                assert_eq!(s.program, "sh");
+                assert_eq!(s.via, "execlp");
+                assert!(s.is_root_shell());
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn exit_hook_terminates() {
+        let mut m = x86_machine();
+        m.register_hook(0x7020, LibcFn::Exit);
+        for v in [9u32, 0x0] {
+            m.push_u32(v).unwrap();
+        }
+        m.regs.set_pc(0x7020);
+        assert_eq!(m.step().unwrap(), Some(RunOutcome::Exited(9)));
+    }
+
+    #[test]
+    fn stack_chk_fail_reports_canary() {
+        let mut m = x86_machine();
+        m.set_canary(0xAABB_CCDD);
+        m.register_hook(0x7030, LibcFn::StackChkFail);
+        for v in [0x4141_4141u32, 0x0] {
+            m.push_u32(v).unwrap();
+        }
+        m.regs.set_pc(0x7030);
+        let out = m.step().unwrap().expect("terminal");
+        assert_eq!(
+            out,
+            RunOutcome::Fault(Fault::CanarySmashed {
+                found: 0x4141_4141,
+                expected: 0xAABB_CCDD
+            })
+        );
+    }
+}

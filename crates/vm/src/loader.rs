@@ -1,0 +1,490 @@
+//! Mapping an image into a machine under a protection policy.
+//!
+//! The loader is where the paper's three protection levels are realized:
+//!
+//! * **no protections** — sections keep their image permissions, so the
+//!   stack stays `rwx` and injected code runs;
+//! * **W⊕X** — the execute bit is stripped from every writable mapping;
+//! * **W⊕X + ASLR** — additionally, the libc, stack and heap bases are
+//!   slid by a random page-aligned offset each boot, while the non-PIE
+//!   `.text`/`.plt`/`.got`/`.bss` stay fixed (which is precisely the
+//!   residual attack surface the paper's ROP chains use).
+
+use std::collections::HashMap;
+
+use cml_image::{layout, Addr, Image, SectionKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::hooks::LibcFn;
+use crate::machine::Machine;
+
+/// ASLR policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AslrConfig {
+    /// Whether randomization is applied at all.
+    pub enabled: bool,
+    /// Number of random bits in the page-aligned slide (compat 32-bit
+    /// Linux defaults to 8; see [`layout::DEFAULT_ASLR_ENTROPY_BITS`]).
+    pub entropy_bits: u32,
+}
+
+impl AslrConfig {
+    /// ASLR disabled.
+    pub fn disabled() -> Self {
+        AslrConfig { enabled: false, entropy_bits: 0 }
+    }
+
+    /// ASLR at the default 32-bit entropy.
+    pub fn default_on() -> Self {
+        AslrConfig { enabled: true, entropy_bits: layout::DEFAULT_ASLR_ENTROPY_BITS }
+    }
+
+    /// ASLR with explicit entropy (the brute-force experiment sweeps
+    /// this).
+    pub fn with_entropy(entropy_bits: u32) -> Self {
+        AslrConfig { enabled: true, entropy_bits }
+    }
+}
+
+/// The full protection policy for one boot — the experiment matrix of the
+/// paper varies exactly these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Protections {
+    /// Writable-xor-executable enforcement.
+    pub wxorx: bool,
+    /// Address-space layout randomization.
+    pub aslr: AslrConfig,
+    /// Per-frame stack canaries (disabled in all six paper PoCs, enabled
+    /// in the mitigation experiments).
+    pub stack_canary: bool,
+    /// Shadow-stack CFI (paper §IV's suggested mitigation).
+    pub cfi: bool,
+    /// Position-independent executable: the program's own sections
+    /// (`.text`/`.plt`/`.got`/`.bss`/…) slide together by a per-boot
+    /// offset, removing the fixed-address surface the paper's ROP chains
+    /// depend on (cf. §IV's software-diversity discussion).
+    pub pie: bool,
+}
+
+impl Protections {
+    /// Paper §III-A: everything off.
+    pub fn none() -> Self {
+        Protections {
+            wxorx: false,
+            aslr: AslrConfig::disabled(),
+            stack_canary: false,
+            cfi: false,
+            pie: false,
+        }
+    }
+
+    /// Paper §III-B: W⊕X only.
+    pub fn wxorx() -> Self {
+        Protections { aslr: AslrConfig::disabled(), wxorx: true, ..Protections::none() }
+    }
+
+    /// Paper §III-C: W⊕X + ASLR.
+    pub fn full() -> Self {
+        Protections { aslr: AslrConfig::default_on(), wxorx: true, ..Protections::none() }
+    }
+
+    /// Adds stack canaries to this policy.
+    pub fn with_canary(mut self) -> Self {
+        self.stack_canary = true;
+        self
+    }
+
+    /// Adds shadow-stack CFI to this policy.
+    pub fn with_cfi(mut self) -> Self {
+        self.cfi = true;
+        self
+    }
+
+    /// Builds the binary as position-independent (program sections slide
+    /// per boot).
+    pub fn with_pie(mut self) -> Self {
+        self.pie = true;
+        self
+    }
+
+    /// Short human-readable label ("none", "W^X", "W^X+ASLR", …).
+    pub fn label(&self) -> String {
+        let mut parts = Vec::new();
+        if self.wxorx {
+            parts.push("W^X");
+        }
+        if self.aslr.enabled {
+            parts.push("ASLR");
+        }
+        if self.stack_canary {
+            parts.push("canary");
+        }
+        if self.cfi {
+            parts.push("CFI");
+        }
+        if self.pie {
+            parts.push("PIE");
+        }
+        if parts.is_empty() {
+            "none".to_string()
+        } else {
+            parts.join("+")
+        }
+    }
+}
+
+/// Where everything ended up after loading: per-section slides and the
+/// runtime symbol table. The *attacker* is not given this for randomized
+/// sections — exploits compute addresses from a reference boot, exactly
+/// like the paper's gdb reconnaissance.
+#[derive(Debug, Clone)]
+pub struct LoadMap {
+    slides: HashMap<SectionKind, i64>,
+    symbols: HashMap<String, Addr>,
+    stack_top: Addr,
+    stack_size: u32,
+    canary: u32,
+}
+
+impl LoadMap {
+    /// The signed slide applied to a section kind (0 when not present or
+    /// not randomized).
+    pub fn slide(&self, kind: SectionKind) -> i64 {
+        self.slides.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Runtime address of a symbol, after slides.
+    pub fn symbol(&self, name: &str) -> Option<Addr> {
+        self.symbols.get(name).copied()
+    }
+
+    /// All runtime symbols.
+    pub fn symbols(&self) -> &HashMap<String, Addr> {
+        &self.symbols
+    }
+
+    /// Runtime top of the stack mapping (exclusive).
+    pub fn stack_top(&self) -> Addr {
+        self.stack_top
+    }
+
+    /// Stack mapping size.
+    pub fn stack_size(&self) -> u32 {
+        self.stack_size
+    }
+
+    /// The per-boot canary value (the *defender's* secret; tests use it
+    /// to verify canary behaviour, exploits must not).
+    pub fn canary(&self) -> u32 {
+        self.canary
+    }
+}
+
+/// Loads [`Image`]s into fresh [`Machine`]s.
+#[derive(Debug)]
+pub struct Loader<'a> {
+    image: &'a Image,
+    protections: Protections,
+    seed: u64,
+}
+
+impl<'a> Loader<'a> {
+    /// Starts a loader for `image` with no protections and seed 0.
+    pub fn new(image: &'a Image) -> Self {
+        Loader { image, protections: Protections::none(), seed: 0 }
+    }
+
+    /// Sets the protection policy.
+    pub fn protections(mut self, p: Protections) -> Self {
+        self.protections = p;
+        self
+    }
+
+    /// Sets the boot seed: every random choice (ASLR slides, canary) is a
+    /// deterministic function of it, so experiments are reproducible.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Performs the load.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image's sections cannot be mapped (overlap after
+    /// slides); the firmware layouts leave wide gaps precisely to make
+    /// this impossible for the supported entropies.
+    pub fn load(self) -> (Machine, LoadMap) {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut machine = Machine::new(self.image.arch());
+        let mut slides: HashMap<SectionKind, i64> = HashMap::new();
+        let p = self.protections;
+
+        let mut stack_top = 0u32;
+        let mut stack_size = 0u32;
+        // PIE: all program sections share one slide so intra-binary
+        // offsets stay valid (as a real PIE relocation does).
+        let pie_slide: i64 = if p.pie {
+            let bits = p.aslr.entropy_bits.max(layout::DEFAULT_ASLR_ENTROPY_BITS).min(16);
+            let span = (1u64 << bits).max(2);
+            rng.gen_range(1..span) as i64 * layout::ASLR_PAGE as i64
+        } else {
+            0
+        };
+        for section in self.image.sections() {
+            let kind = section.kind();
+            let slide: i64 = if p.aslr.enabled && kind.randomized_by_aslr() && p.aslr.entropy_bits > 0
+            {
+                // Slides are 1..2^bits pages: the degenerate zero slide
+                // would silently equal an ASLR-off boot.
+                let span = (1u64 << p.aslr.entropy_bits.min(16)).max(2);
+                let pages = rng.gen_range(1..span) as i64;
+                // The stack slides down, mmap regions slide up; both stay
+                // clear of neighbouring sections for supported entropies.
+                if kind == SectionKind::Stack {
+                    -pages * layout::ASLR_PAGE as i64
+                } else {
+                    pages * layout::ASLR_PAGE as i64
+                }
+            } else if !kind.randomized_by_aslr() {
+                pie_slide
+            } else {
+                0
+            };
+            slides.insert(kind, slide);
+            let base = (section.base() as i64 + slide) as Addr;
+            let mut perms = section.perms();
+            if p.wxorx && perms.writable() {
+                perms = perms.without_exec();
+            }
+            machine.mem.map(kind.name(), Some(kind), base, section.size(), perms);
+            if !section.bytes().is_empty() {
+                machine.mem.poke(base, section.bytes()).expect("mapped just above");
+            }
+            if kind == SectionKind::Stack {
+                stack_top = (section.end() as i64 + slide) as Addr;
+                stack_size = section.size();
+            }
+        }
+
+        // Resolve runtime symbol addresses and register libc hooks.
+        let mut symbols = HashMap::new();
+        for sym in self.image.symbols() {
+            let kind = self
+                .image
+                .section_containing(sym.addr())
+                .map(|s| s.kind())
+                .expect("image validated symbols");
+            let slide = slides.get(&kind).copied().unwrap_or(0);
+            let runtime = (sym.addr() as i64 + slide) as Addr;
+            symbols.insert(sym.name().to_string(), runtime);
+            let base_name = sym.name().strip_suffix("@plt").unwrap_or(sym.name());
+            if let Some(f) = libc_fn_by_name(base_name) {
+                machine.register_hook(runtime, f);
+            }
+        }
+
+        let canary = if p.stack_canary {
+            // Real glibc canaries keep a NUL low byte to stop string
+            // overflows; ours does too.
+            rng.gen::<u32>() & 0xFFFF_FF00
+        } else {
+            0
+        };
+        machine.set_canary(canary);
+        if p.cfi {
+            machine.enable_cfi();
+        }
+        if stack_top != 0 {
+            // Leave room for environment/auxv like a real process start.
+            machine.regs_mut().set_sp(stack_top - 0x200);
+        }
+
+        let map = LoadMap { slides, symbols, stack_top, stack_size, canary };
+        (machine, map)
+    }
+}
+
+fn libc_fn_by_name(name: &str) -> Option<LibcFn> {
+    LibcFn::ALL.into_iter().find(|f| f.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cml_image::{Arch, ImageBuilder, SymbolKind};
+
+    fn image() -> Image {
+        let l = layout::layout_for(Arch::X86);
+        let mut b = ImageBuilder::new(Arch::X86);
+        b.section_default(SectionKind::Text, l.text_base, 0x1000);
+        b.section_default(SectionKind::Plt, l.plt_base, 0x100);
+        b.section_default(SectionKind::Bss, l.bss_base, 0x100);
+        b.section_default(SectionKind::Libc, l.libc_base, 0x2000);
+        b.section_default(
+            SectionKind::Stack,
+            l.stack_top - l.stack_size,
+            l.stack_size,
+        );
+        b.append_code(SectionKind::Text, &[0x90, 0xC3]);
+        b.append_code(SectionKind::Libc, &[0xC3; 16]);
+        b.symbol("system", l.libc_base, 4, SymbolKind::LibcFunction);
+        b.symbol("memcpy@plt", l.plt_base, 4, SymbolKind::PltEntry);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn no_protections_keeps_stack_executable() {
+        let img = image();
+        let (m, map) = Loader::new(&img).load();
+        let stack = m.mem().region_containing(map.stack_top() - 4).unwrap();
+        assert!(stack.perms().executable());
+        assert_eq!(map.slide(SectionKind::Libc), 0);
+    }
+
+    #[test]
+    fn wxorx_strips_exec_from_stack() {
+        let img = image();
+        let (m, map) = Loader::new(&img).protections(Protections::wxorx()).load();
+        let stack = m.mem().region_containing(map.stack_top() - 4).unwrap();
+        assert!(!stack.perms().executable());
+        assert!(stack.perms().writable());
+        // Text remains executable and non-writable.
+        let text = m.mem().region_containing(0x0804_8000).unwrap();
+        assert!(text.perms().executable() && !text.perms().writable());
+    }
+
+    #[test]
+    fn aslr_slides_libc_and_stack_only() {
+        let img = image();
+        let (_, map) = Loader::new(&img).protections(Protections::full()).seed(1234).load();
+        assert_eq!(map.slide(SectionKind::Text), 0);
+        assert_eq!(map.slide(SectionKind::Bss), 0);
+        assert_ne!(map.slide(SectionKind::Libc), 0);
+        assert!(map.slide(SectionKind::Stack) <= 0);
+        // Symbol table reflects the slide.
+        let sys = map.symbol("system").unwrap();
+        assert_eq!(sys as i64, 0xb750_0000i64 + map.slide(SectionKind::Libc));
+    }
+
+    #[test]
+    fn aslr_differs_between_boots_and_repeats_with_seed() {
+        let img = image();
+        let s = |seed| {
+            Loader::new(&img)
+                .protections(Protections::full())
+                .seed(seed)
+                .load()
+                .1
+                .slide(SectionKind::Libc)
+        };
+        assert_eq!(s(7), s(7), "same seed, same layout");
+        let distinct: std::collections::HashSet<i64> = (0..16).map(s).collect();
+        assert!(distinct.len() > 4, "slides vary across boots: {distinct:?}");
+    }
+
+    #[test]
+    fn hooks_registered_at_runtime_addresses() {
+        let img = image();
+        let (m, map) = Loader::new(&img).protections(Protections::full()).seed(99).load();
+        let sys = map.symbol("system").unwrap();
+        assert_eq!(m.hook_at(sys), Some(LibcFn::System));
+        // PLT entry is at a *fixed* address.
+        assert_eq!(m.hook_at(map.symbol("memcpy@plt").unwrap()), Some(LibcFn::Memcpy));
+        assert_eq!(map.symbol("memcpy@plt").unwrap(), 0x0805_2000);
+    }
+
+    #[test]
+    fn canary_and_cfi_flags() {
+        let img = image();
+        let (m, map) = Loader::new(&img)
+            .protections(Protections::full().with_canary().with_cfi())
+            .seed(5)
+            .load();
+        assert!(m.cfi_enabled());
+        assert_eq!(map.canary() & 0xFF, 0, "canary has NUL low byte");
+        assert_eq!(m.canary(), map.canary());
+        assert_ne!(map.canary(), 0);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Protections::none().label(), "none");
+        assert_eq!(Protections::wxorx().label(), "W^X");
+        assert_eq!(Protections::full().label(), "W^X+ASLR");
+        assert_eq!(Protections::full().with_cfi().label(), "W^X+ASLR+CFI");
+    }
+
+    #[test]
+    fn sp_initialized_below_stack_top() {
+        let img = image();
+        let (m, map) = Loader::new(&img).load();
+        assert_eq!(m.regs().sp(), map.stack_top() - 0x200);
+    }
+}
+
+#[cfg(test)]
+mod pie_tests {
+    use super::*;
+    use cml_image::{Arch, ImageBuilder, SymbolKind};
+
+    fn image() -> Image {
+        let l = layout::layout_for(Arch::Armv7);
+        let mut b = ImageBuilder::new(Arch::Armv7);
+        b.section_default(SectionKind::Text, l.text_base, 0x1000);
+        b.section_default(SectionKind::Plt, l.plt_base, 0x100);
+        b.section_default(SectionKind::Bss, l.bss_base, 0x100);
+        b.section_default(SectionKind::Libc, l.libc_base, 0x2000);
+        b.section_default(SectionKind::Stack, l.stack_top - l.stack_size, l.stack_size);
+        b.symbol("memcpy@plt", l.plt_base, 4, SymbolKind::PltEntry);
+        b.symbol("memcpy", l.libc_base, 4, SymbolKind::LibcFunction);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn pie_slides_program_sections_together() {
+        let img = image();
+        let (m, map) = Loader::new(&img)
+            .protections(Protections::full().with_pie())
+            .seed(77)
+            .load();
+        let text = map.slide(SectionKind::Text);
+        assert_ne!(text, 0, "pie must move .text");
+        assert_eq!(map.slide(SectionKind::Plt), text, "one common slide");
+        assert_eq!(map.slide(SectionKind::Bss), text);
+        // The hook sits at the *slid* PLT address, not the link address.
+        let plt = map.symbol("memcpy@plt").unwrap();
+        assert_eq!(m.hook_at(plt), Some(LibcFn::Memcpy));
+        assert_ne!(plt, layout::layout_for(Arch::Armv7).plt_base);
+    }
+
+    #[test]
+    fn pie_slides_differ_per_boot_and_repeat_per_seed() {
+        let img = image();
+        let s = |seed| {
+            Loader::new(&img)
+                .protections(Protections::full().with_pie())
+                .seed(seed)
+                .load()
+                .1
+                .slide(SectionKind::Text)
+        };
+        assert_eq!(s(3), s(3));
+        let distinct: std::collections::HashSet<i64> = (0..12).map(s).collect();
+        assert!(distinct.len() > 3, "{distinct:?}");
+    }
+
+    #[test]
+    fn without_pie_program_sections_stay_fixed() {
+        let img = image();
+        let (_, map) = Loader::new(&img).protections(Protections::full()).seed(77).load();
+        assert_eq!(map.slide(SectionKind::Text), 0);
+        assert_eq!(map.slide(SectionKind::Plt), 0);
+    }
+
+    #[test]
+    fn pie_label() {
+        assert_eq!(Protections::full().with_pie().label(), "W^X+ASLR+PIE");
+    }
+}

@@ -1,0 +1,468 @@
+//! The machine: registers + memory + hooks + run loop.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use cml_image::{Addr, Arch};
+
+use crate::hooks::{self, LibcFn};
+use crate::mem::Memory;
+use crate::regs::Regs;
+use crate::trace::{Trace, TraceEntry};
+use crate::{arm, x86, Fault};
+
+/// A simulated `/bin/sh` spawn — the goal state of every exploit in the
+/// paper ("interrupt the flow of Connman and spawn a root shell").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShellSpawn {
+    /// The program path or name passed to the exec-family call.
+    pub program: String,
+    /// Argument vector (excluding the terminating NULL).
+    pub argv: Vec<String>,
+    /// Which entry point produced it: `"execve"`, `"execlp"` or
+    /// `"system"`.
+    pub via: &'static str,
+    /// Effective uid of the compromised process (0: Connman runs as
+    /// root).
+    pub uid: u32,
+}
+
+impl ShellSpawn {
+    /// Whether this is the paper's success criterion: a shell, as root.
+    pub fn is_root_shell(&self) -> bool {
+        self.uid == 0 && (self.program.ends_with("sh") || self.program.contains("sh -c"))
+    }
+}
+
+impl fmt::Display for ShellSpawn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} via {} (uid {})", self.program, self.via, self.uid)
+    }
+}
+
+/// An observable side effect recorded during execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Event {
+    /// An exec-family call or `system` produced a shell/process.
+    ShellSpawned(ShellSpawn),
+    /// The process exited.
+    ProcessExited {
+        /// Exit code.
+        code: i32,
+    },
+    /// A hooked libc function ran.
+    LibcCall {
+        /// Function name.
+        name: &'static str,
+        /// First three integer arguments (convention-dependent).
+        args: [u32; 3],
+    },
+    /// A syscall trap was taken.
+    Syscall {
+        /// Syscall number.
+        number: u32,
+    },
+    /// Execution ended in a fault.
+    Faulted(Fault),
+}
+
+/// Why [`Machine::run`] stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// Clean exit.
+    Exited(i32),
+    /// A shell was spawned — exploitation succeeded.
+    ShellSpawned(ShellSpawn),
+    /// The machine faulted (includes step-limit exhaustion).
+    Fault(Fault),
+}
+
+impl RunOutcome {
+    /// Whether the run ended in the paper's success state.
+    pub fn is_root_shell(&self) -> bool {
+        matches!(self, RunOutcome::ShellSpawned(s) if s.is_root_shell())
+    }
+
+    /// Whether the run ended in a crash (DoS).
+    pub fn is_crash(&self) -> bool {
+        matches!(self, RunOutcome::Fault(f) if f.is_segfault())
+    }
+}
+
+impl fmt::Display for RunOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunOutcome::Exited(c) => write!(f, "exited with code {c}"),
+            RunOutcome::ShellSpawned(s) => write!(f, "shell spawned: {s}"),
+            RunOutcome::Fault(fault) => write!(f, "fault: {fault}"),
+        }
+    }
+}
+
+/// The simulated machine.
+///
+/// Create one directly for unit-scale work, or through
+/// [`crate::Loader`] to get an image mapped under a protection policy.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    pub(crate) arch: Arch,
+    pub(crate) mem: Memory,
+    pub(crate) regs: Regs,
+    pub(crate) hooks: HashMap<Addr, LibcFn>,
+    pub(crate) shadow: Option<Vec<Addr>>,
+    pub(crate) events: Vec<Event>,
+    pub(crate) canary: u32,
+    pub(crate) trace: Option<Trace>,
+}
+
+impl Machine {
+    /// Creates a bare machine with empty memory.
+    pub fn new(arch: Arch) -> Self {
+        Machine {
+            arch,
+            mem: Memory::new(),
+            regs: Regs::new(arch),
+            hooks: HashMap::new(),
+            shadow: None,
+            events: Vec::new(),
+            canary: 0,
+            trace: None,
+        }
+    }
+
+    /// Target architecture.
+    pub fn arch(&self) -> Arch {
+        self.arch
+    }
+
+    /// Memory, shared view.
+    pub fn mem(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Memory, mutable view.
+    pub fn mem_mut(&mut self) -> &mut Memory {
+        &mut self.mem
+    }
+
+    /// Registers, shared view.
+    pub fn regs(&self) -> &Regs {
+        &self.regs
+    }
+
+    /// Registers, mutable view.
+    pub fn regs_mut(&mut self) -> &mut Regs {
+        &mut self.regs
+    }
+
+    /// Registers a native libc function at `addr`; entering that address
+    /// runs the native semantics instead of fetching instructions.
+    pub fn register_hook(&mut self, addr: Addr, f: LibcFn) {
+        self.hooks.insert(addr, f);
+    }
+
+    /// The hooked function at `addr`, if any.
+    pub fn hook_at(&self, addr: Addr) -> Option<LibcFn> {
+        self.hooks.get(&addr).copied()
+    }
+
+    /// Enables shadow-stack CFI (paper §IV's hardware-supported CFI
+    /// analogue). Returns from frames that were never entered via a call
+    /// then fault with [`Fault::CfiViolation`].
+    pub fn enable_cfi(&mut self) {
+        self.shadow = Some(Vec::new());
+    }
+
+    /// Whether shadow-stack CFI is active.
+    pub fn cfi_enabled(&self) -> bool {
+        self.shadow.is_some()
+    }
+
+    /// The per-boot stack canary value.
+    pub fn canary(&self) -> u32 {
+        self.canary
+    }
+
+    /// Sets the per-boot canary (done by the loader).
+    pub fn set_canary(&mut self, canary: u32) {
+        self.canary = canary;
+    }
+
+    /// Enables execution tracing with a bounded ring of `capacity`
+    /// steps (the *end* of the run is retained).
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(Trace::new(capacity));
+    }
+
+    /// The execution trace, when tracing is enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    /// Events recorded so far, oldest first.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Records an event (used by the daemon model as well).
+    pub fn push_event(&mut self, e: Event) {
+        self.events.push(e);
+    }
+
+    /// Pushes a 32-bit word onto the stack (both ISAs grow down).
+    ///
+    /// # Errors
+    ///
+    /// Returns a write fault if the stack page rejects the store.
+    pub fn push_u32(&mut self, v: u32) -> Result<(), Fault> {
+        let sp = self.regs.sp().wrapping_sub(4);
+        self.mem.write_u32(sp, v, self.regs.pc())?;
+        self.regs.set_sp(sp);
+        Ok(())
+    }
+
+    /// Pops a 32-bit word off the stack.
+    ///
+    /// # Errors
+    ///
+    /// Returns a read fault if the stack page rejects the load.
+    pub fn pop_u32(&mut self) -> Result<u32, Fault> {
+        let sp = self.regs.sp();
+        let v = self.mem.read_u32(sp, self.regs.pc())?;
+        self.regs.set_sp(sp.wrapping_add(4));
+        Ok(v)
+    }
+
+    /// Records a legitimate call on the shadow stack (no-op without
+    /// CFI). The daemon model uses this when simulating its own call into
+    /// `parse_response`, so that a *hijacked* return mismatches.
+    pub fn shadow_push(&mut self, ret: Addr) {
+        if let Some(s) = &mut self.shadow {
+            s.push(ret);
+        }
+    }
+
+    /// Performs a return to `target`, enforcing the shadow stack when CFI
+    /// is enabled.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Fault::CfiViolation`] on mismatch or underflow.
+    pub fn ret_to(&mut self, target: Addr, pc: Addr) -> Result<(), Fault> {
+        if let Some(s) = &mut self.shadow {
+            match s.pop() {
+                Some(expected) if expected == target => {}
+                other => {
+                    return Err(Fault::CfiViolation { target, expected: other, pc });
+                }
+            }
+        }
+        self.regs.set_pc(target);
+        Ok(())
+    }
+
+    /// Executes one instruction (or one hooked native call).
+    ///
+    /// Returns `Ok(Some(outcome))` when execution reaches a terminal
+    /// state, `Ok(None)` to continue.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`Fault`] that stopped the machine.
+    pub fn step(&mut self) -> Result<Option<RunOutcome>, Fault> {
+        let pc = self.regs.pc();
+        let hook = self.hooks.get(&pc).copied();
+        if let Some(t) = &mut self.trace {
+            t.push(TraceEntry { pc, sp: self.regs.sp(), hook: hook.map(LibcFn::name) });
+        }
+        if let Some(f) = hook {
+            return hooks::invoke(self, f, pc);
+        }
+        match self.arch {
+            Arch::X86 => x86::step(self),
+            Arch::Armv7 => arm::step(self),
+        }
+    }
+
+    /// Runs until a terminal state or `max_steps` instructions.
+    ///
+    /// Faults are recorded as [`Event::Faulted`] before being returned,
+    /// so post-mortem inspection sees them in the event log.
+    pub fn run(&mut self, max_steps: u64) -> RunOutcome {
+        for _ in 0..max_steps {
+            match self.step() {
+                Ok(None) => {}
+                Ok(Some(outcome)) => return outcome,
+                Err(fault) => {
+                    self.events.push(Event::Faulted(fault.clone()));
+                    return RunOutcome::Fault(fault);
+                }
+            }
+        }
+        let fault = Fault::StepLimit { limit: max_steps };
+        self.events.push(Event::Faulted(fault.clone()));
+        RunOutcome::Fault(fault)
+    }
+
+    /// Shared semantics of `execve`-like entries: read the path (and
+    /// argv, when `argv_ptr` is non-null). Returns the terminal
+    /// shell-spawn outcome when the path names a program that exists in
+    /// the simulated rootfs; returns `Ok(None)` when the exec fails
+    /// (`ENOENT`-style) and the caller should deliver `-1` and continue —
+    /// which is what a ROP chain built from *stale* ASLR addresses hits.
+    pub(crate) fn do_exec(
+        &mut self,
+        path_ptr: Addr,
+        argv_ptr: Option<Addr>,
+        via: &'static str,
+        pc: Addr,
+    ) -> Result<Option<RunOutcome>, Fault> {
+        let path = self.mem.read_cstr(path_ptr, 256, pc)?;
+        if !program_exists(&path) {
+            return Ok(None);
+        }
+        let mut argv = Vec::new();
+        if let Some(list) = argv_ptr {
+            if list != 0 {
+                for i in 0..16u32 {
+                    let p = self.mem.read_u32(list.wrapping_add(i * 4), pc)?;
+                    if p == 0 {
+                        break;
+                    }
+                    argv.push(String::from_utf8_lossy(&self.mem.read_cstr(p, 256, pc)?).into_owned());
+                }
+            }
+        }
+        let spawn = ShellSpawn {
+            program: String::from_utf8_lossy(&path).into_owned(),
+            argv,
+            via,
+            uid: 0,
+        };
+        self.events.push(Event::ShellSpawned(spawn.clone()));
+        Ok(Some(RunOutcome::ShellSpawned(spawn)))
+    }
+}
+
+/// The simulated rootfs: the handful of binaries an embedded Connman
+/// image ships. Exec of anything else fails with `ENOENT`.
+fn program_exists(path: &[u8]) -> bool {
+    matches!(
+        path,
+        b"sh" | b"/bin/sh" | b"/bin//sh" | b"//bin//sh" | b"/bin/busybox" | b"busybox"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::x86::Asm;
+    use crate::X86Reg;
+    use cml_image::{Perms, SectionKind};
+
+    fn machine_with(code: Vec<u8>) -> Machine {
+        let mut m = Machine::new(Arch::X86);
+        m.mem.map(".text", Some(SectionKind::Text), 0x1000, 0x1000, Perms::RX);
+        m.mem.map("stack", Some(SectionKind::Stack), 0x8000, 0x1000, Perms::RW);
+        m.mem.poke(0x1000, &code).unwrap();
+        m.regs.set_pc(0x1000);
+        m.regs.set_sp(0x8800);
+        m
+    }
+
+    #[test]
+    fn exit_syscall_terminates() {
+        // mov ebx, 7; mov eax... use xor+mov al: eax=1 exit, ebx=7
+        let code = Asm::new()
+            .xor_rr(X86Reg::Eax, X86Reg::Eax)
+            .mov_r8_imm(X86Reg::Eax, 1)
+            .mov_r_imm(X86Reg::Ebx, 7)
+            .int80()
+            .finish();
+        let mut m = machine_with(code);
+        assert_eq!(m.run(100), RunOutcome::Exited(7));
+        assert!(m.events().iter().any(|e| matches!(e, Event::ProcessExited { code: 7 })));
+    }
+
+    #[test]
+    fn classic_execve_shellcode_spawns_shell() {
+        // The canonical 25-byte /bin//sh shellcode.
+        let code = Asm::new()
+            .xor_rr(X86Reg::Eax, X86Reg::Eax)
+            .push_r(X86Reg::Eax)
+            .push_imm(u32::from_le_bytes(*b"//sh"))
+            .push_imm(u32::from_le_bytes(*b"/bin"))
+            .mov_rr(X86Reg::Ebx, X86Reg::Esp)
+            .push_r(X86Reg::Eax)
+            .push_r(X86Reg::Ebx)
+            .mov_rr(X86Reg::Ecx, X86Reg::Esp)
+            .xor_rr(X86Reg::Edx, X86Reg::Edx)
+            .mov_r8_imm(X86Reg::Eax, 11)
+            .int80()
+            .finish();
+        let mut m = machine_with(code);
+        let out = m.run(100);
+        assert!(out.is_root_shell(), "{out}");
+        match out {
+            RunOutcome::ShellSpawned(s) => {
+                assert_eq!(s.program, "/bin//sh");
+                assert_eq!(s.via, "execve");
+                assert_eq!(s.argv, vec!["/bin//sh"]);
+            }
+            other => panic!("unexpected outcome {other}"),
+        }
+    }
+
+    #[test]
+    fn step_limit_is_a_fault() {
+        let code = Asm::new().jmp_rel8(-2).finish(); // infinite loop
+        let mut m = machine_with(code);
+        let out = m.run(50);
+        assert_eq!(out, RunOutcome::Fault(Fault::StepLimit { limit: 50 }));
+        assert!(!out.is_crash());
+    }
+
+    #[test]
+    fn push_pop_roundtrip() {
+        let mut m = machine_with(vec![0x90]);
+        m.push_u32(0xdead_beef).unwrap();
+        m.push_u32(0x1337).unwrap();
+        assert_eq!(m.pop_u32().unwrap(), 0x1337);
+        assert_eq!(m.pop_u32().unwrap(), 0xdead_beef);
+    }
+
+    #[test]
+    fn cfi_blocks_unpaired_return() {
+        let code = Asm::new().ret().finish();
+        let mut m = machine_with(code);
+        m.enable_cfi();
+        m.push_u32(0x1000).unwrap(); // forged return address
+        let out = m.run(10);
+        assert!(matches!(
+            out,
+            RunOutcome::Fault(Fault::CfiViolation { expected: None, .. })
+        ));
+    }
+
+    #[test]
+    fn cfi_allows_matching_return() {
+        let code = Asm::new().ret().nop().finish();
+        let mut m = machine_with(code);
+        m.enable_cfi();
+        m.shadow_push(0x1001);
+        m.push_u32(0x1001).unwrap();
+        // ret to 0x1001 (nop) then run out of code into illegal bytes.
+        assert!(m.step().unwrap().is_none());
+        assert_eq!(m.regs().pc(), 0x1001);
+    }
+
+    #[test]
+    fn nx_stack_faults_when_executing() {
+        let mut m = machine_with(vec![0x90]);
+        m.regs.set_pc(0x8100); // stack is RW, not X
+        let out = m.run(5);
+        assert!(out.is_crash());
+        assert!(matches!(out, RunOutcome::Fault(Fault::NxViolation { pc: 0x8100, .. })));
+    }
+}

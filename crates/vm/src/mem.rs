@@ -1,0 +1,398 @@
+//! Region-based permissioned memory.
+
+use cml_image::{Addr, Perms, SectionKind};
+
+use crate::Fault;
+
+/// One mapped region of the address space.
+#[derive(Debug, Clone)]
+pub struct Region {
+    name: String,
+    kind: Option<SectionKind>,
+    base: Addr,
+    perms: Perms,
+    data: Vec<u8>,
+}
+
+impl Region {
+    /// The region's human-readable name (`".text"`, `"[stack]"`, …).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The section kind this region was loaded from, if any.
+    pub fn kind(&self) -> Option<SectionKind> {
+        self.kind
+    }
+
+    /// Lowest mapped address.
+    pub fn base(&self) -> Addr {
+        self.base
+    }
+
+    /// Size in bytes.
+    pub fn size(&self) -> u32 {
+        self.data.len() as u32
+    }
+
+    /// One past the highest mapped address.
+    pub fn end(&self) -> u64 {
+        self.base as u64 + self.data.len() as u64
+    }
+
+    /// Current permissions.
+    pub fn perms(&self) -> Perms {
+        self.perms
+    }
+
+    /// Whether `addr` falls inside the region.
+    pub fn contains(&self, addr: Addr) -> bool {
+        (addr as u64) >= self.base as u64 && (addr as u64) < self.end()
+    }
+
+    /// Raw contents (ignores permissions; for the debugger).
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// The machine's memory: a set of disjoint regions with R/W/X checking.
+///
+/// All accessors take the current program counter so that faults can
+/// report where the access originated — the same information a debugger
+/// extracts from a core dump.
+#[derive(Debug, Clone, Default)]
+pub struct Memory {
+    regions: Vec<Region>,
+}
+
+impl Memory {
+    /// Creates empty memory.
+    pub fn new() -> Self {
+        Memory::default()
+    }
+
+    /// Maps a new zero-filled region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region is empty, wraps the address space, or
+    /// overlaps an existing region — mapping is loader-controlled, so
+    /// these are programming errors rather than runtime conditions.
+    pub fn map(
+        &mut self,
+        name: impl Into<String>,
+        kind: Option<SectionKind>,
+        base: Addr,
+        size: u32,
+        perms: Perms,
+    ) -> &mut Region {
+        assert!(size > 0, "cannot map empty region");
+        let end = base as u64 + size as u64;
+        assert!(end <= (u32::MAX as u64) + 1, "region wraps address space");
+        for r in &self.regions {
+            assert!(
+                end <= r.base as u64 || base as u64 >= r.end(),
+                "region {:#x}..{:#x} overlaps {}",
+                base,
+                end,
+                r.name
+            );
+        }
+        self.regions.push(Region {
+            name: name.into(),
+            kind,
+            base,
+            perms,
+            data: vec![0; size as usize],
+        });
+        self.regions.sort_by_key(|r| r.base);
+        self.regions
+            .iter_mut()
+            .find(|r| r.base == base)
+            .expect("region just inserted")
+    }
+
+    /// All regions, ordered by base address.
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+
+    /// The region containing `addr`, if any.
+    pub fn region_containing(&self, addr: Addr) -> Option<&Region> {
+        self.regions.iter().find(|r| r.contains(addr))
+    }
+
+    fn region_mut(&mut self, addr: Addr) -> Option<&mut Region> {
+        self.regions.iter_mut().find(|r| r.contains(addr))
+    }
+
+    /// Changes the permissions of the region containing `addr`
+    /// (`mprotect` analogue). Returns `false` if nothing is mapped there.
+    pub fn set_perms(&mut self, addr: Addr, perms: Perms) -> bool {
+        match self.region_mut(addr) {
+            Some(r) => {
+                r.perms = perms;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Reads one byte, honouring permissions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Fault::UnmappedRead`] or [`Fault::ProtectedRead`].
+    pub fn read_u8(&self, addr: Addr, pc: Addr) -> Result<u8, Fault> {
+        let r = self
+            .region_containing(addr)
+            .ok_or(Fault::UnmappedRead { addr, pc })?;
+        if !r.perms.readable() {
+            return Err(Fault::ProtectedRead { addr, perms: r.perms, pc });
+        }
+        Ok(r.data[(addr - r.base) as usize])
+    }
+
+    /// Reads a little-endian 32-bit word.
+    ///
+    /// # Errors
+    ///
+    /// Returns a read fault if any of the four bytes is inaccessible.
+    pub fn read_u32(&self, addr: Addr, pc: Addr) -> Result<u32, Fault> {
+        let mut v = 0u32;
+        for i in 0..4 {
+            let a = addr.wrapping_add(i);
+            v |= (self.read_u8(a, pc)? as u32) << (8 * i);
+        }
+        Ok(v)
+    }
+
+    /// Reads `len` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a read fault at the first inaccessible byte.
+    pub fn read_bytes(&self, addr: Addr, len: usize, pc: Addr) -> Result<Vec<u8>, Fault> {
+        let mut out = Vec::with_capacity(len);
+        for i in 0..len {
+            out.push(self.read_u8(addr.wrapping_add(i as u32), pc)?);
+        }
+        Ok(out)
+    }
+
+    /// Reads a NUL-terminated C string of at most `max` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a read fault if the string runs into inaccessible memory
+    /// before a NUL (or before `max` bytes, in which case the truncated
+    /// prefix is returned).
+    pub fn read_cstr(&self, addr: Addr, max: usize, pc: Addr) -> Result<Vec<u8>, Fault> {
+        let mut out = Vec::new();
+        for i in 0..max {
+            let b = self.read_u8(addr.wrapping_add(i as u32), pc)?;
+            if b == 0 {
+                break;
+            }
+            out.push(b);
+        }
+        Ok(out)
+    }
+
+    /// Writes one byte, honouring permissions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Fault::UnmappedWrite`] or [`Fault::ProtectedWrite`].
+    pub fn write_u8(&mut self, addr: Addr, v: u8, pc: Addr) -> Result<(), Fault> {
+        let r = self
+            .region_mut(addr)
+            .ok_or(Fault::UnmappedWrite { addr, pc })?;
+        if !r.perms.writable() {
+            return Err(Fault::ProtectedWrite { addr, perms: r.perms, pc });
+        }
+        r.data[(addr - r.base) as usize] = v;
+        Ok(())
+    }
+
+    /// Writes a little-endian 32-bit word.
+    ///
+    /// # Errors
+    ///
+    /// Returns a write fault if any of the four bytes is inaccessible.
+    pub fn write_u32(&mut self, addr: Addr, v: u32, pc: Addr) -> Result<(), Fault> {
+        for (i, b) in v.to_le_bytes().iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u32), *b, pc)?;
+        }
+        Ok(())
+    }
+
+    /// Writes a byte slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns a write fault at the first inaccessible byte; bytes before
+    /// it will already have been written (matching real partial stores).
+    pub fn write_bytes(&mut self, addr: Addr, bytes: &[u8], pc: Addr) -> Result<(), Fault> {
+        for (i, b) in bytes.iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u32), *b, pc)?;
+        }
+        Ok(())
+    }
+
+    /// Privileged write that ignores the W bit (loader/debugger only;
+    /// still faults on unmapped addresses).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Fault::UnmappedWrite`] if the range is not fully mapped.
+    pub fn poke(&mut self, addr: Addr, bytes: &[u8]) -> Result<(), Fault> {
+        for (i, b) in bytes.iter().enumerate() {
+            let a = addr.wrapping_add(i as u32);
+            let r = self.region_mut(a).ok_or(Fault::UnmappedWrite { addr: a, pc: 0 })?;
+            let off = (a - r.base) as usize;
+            r.data[off] = *b;
+        }
+        Ok(())
+    }
+
+    /// Fetches an instruction byte: like a read but also requires the X
+    /// permission.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Fault::UnmappedFetch`] or [`Fault::NxViolation`].
+    pub fn fetch_u8(&self, pc: Addr, offset: u32) -> Result<u8, Fault> {
+        let addr = pc.wrapping_add(offset);
+        let r = self.region_containing(addr).ok_or(Fault::UnmappedFetch { pc })?;
+        if !r.perms.executable() {
+            return Err(Fault::NxViolation { pc, perms: r.perms });
+        }
+        Ok(r.data[(addr - r.base) as usize])
+    }
+
+    /// Fetches up to `len` instruction bytes starting at `pc`, stopping
+    /// early at a region boundary (the decoder treats a short fetch like
+    /// truncated code).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Fault::UnmappedFetch`] or [`Fault::NxViolation`] if even
+    /// the first byte is unavailable.
+    pub fn fetch_window(&self, pc: Addr, len: usize) -> Result<Vec<u8>, Fault> {
+        let mut out = Vec::with_capacity(len);
+        for i in 0..len {
+            match self.fetch_u8(pc, i as u32) {
+                Ok(b) => out.push(b),
+                Err(e) if i == 0 => return Err(e),
+                Err(_) => break,
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> Memory {
+        let mut m = Memory::new();
+        m.map(".text", Some(SectionKind::Text), 0x1000, 0x100, Perms::RX);
+        m.map("stack", Some(SectionKind::Stack), 0x8000, 0x100, Perms::RW);
+        m
+    }
+
+    #[test]
+    fn rw_roundtrip() {
+        let mut m = mem();
+        m.write_u32(0x8000, 0xdead_beef, 0).unwrap();
+        assert_eq!(m.read_u32(0x8000, 0).unwrap(), 0xdead_beef);
+        assert_eq!(m.read_u8(0x8000, 0).unwrap(), 0xef, "little endian");
+    }
+
+    #[test]
+    fn unmapped_faults() {
+        let mut m = mem();
+        assert_eq!(
+            m.read_u8(0x4000, 0x77),
+            Err(Fault::UnmappedRead { addr: 0x4000, pc: 0x77 })
+        );
+        assert_eq!(
+            m.write_u8(0x4000, 1, 0x77),
+            Err(Fault::UnmappedWrite { addr: 0x4000, pc: 0x77 })
+        );
+    }
+
+    #[test]
+    fn write_to_text_denied() {
+        let mut m = mem();
+        assert!(matches!(
+            m.write_u8(0x1000, 0x90, 0),
+            Err(Fault::ProtectedWrite { addr: 0x1000, .. })
+        ));
+    }
+
+    #[test]
+    fn nx_enforced_on_fetch() {
+        let m = mem();
+        assert!(matches!(
+            m.fetch_u8(0x8000, 0),
+            Err(Fault::NxViolation { pc: 0x8000, .. })
+        ));
+        assert!(m.fetch_u8(0x1000, 0).is_ok());
+    }
+
+    #[test]
+    fn rwx_stack_allows_fetch() {
+        let mut m = Memory::new();
+        m.map("stack", Some(SectionKind::Stack), 0x8000, 0x10, Perms::RWX);
+        assert!(m.fetch_u8(0x8005, 0).is_ok());
+    }
+
+    #[test]
+    fn mprotect_analogue() {
+        let mut m = mem();
+        assert!(m.set_perms(0x8000, Perms::RWX));
+        assert!(m.fetch_u8(0x8000, 0).is_ok());
+        assert!(!m.set_perms(0x4000, Perms::RW));
+    }
+
+    #[test]
+    fn cstr_reads() {
+        let mut m = mem();
+        m.write_bytes(0x8010, b"/bin/sh\0junk", 0).unwrap();
+        assert_eq!(m.read_cstr(0x8010, 64, 0).unwrap(), b"/bin/sh");
+        // max cap truncates without fault
+        assert_eq!(m.read_cstr(0x8010, 3, 0).unwrap(), b"/bi");
+    }
+
+    #[test]
+    fn word_read_across_region_edge_faults() {
+        let m = mem();
+        assert!(matches!(m.read_u32(0x10FE, 0), Err(Fault::UnmappedRead { .. })));
+    }
+
+    #[test]
+    fn fetch_window_stops_at_boundary() {
+        let m = mem();
+        let w = m.fetch_window(0x10FE, 8).unwrap();
+        assert_eq!(w.len(), 2);
+        assert!(matches!(m.fetch_window(0x2000, 4), Err(Fault::UnmappedFetch { .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps")]
+    fn overlapping_map_panics() {
+        let mut m = mem();
+        m.map("bad", None, 0x10FF, 0x10, Perms::RW);
+    }
+
+    #[test]
+    fn poke_ignores_write_protection() {
+        let mut m = mem();
+        m.poke(0x1000, &[0xC3]).unwrap();
+        assert_eq!(m.read_u8(0x1000, 0).unwrap(), 0xC3);
+    }
+}

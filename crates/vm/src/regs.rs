@@ -1,0 +1,317 @@
+//! Register files for both architectures.
+
+use std::fmt;
+
+use cml_image::{Addr, Arch};
+
+/// IA-32 general-purpose registers, in their hardware encoding order
+/// (the 3-bit register field of ModRM and the `0x50+r` push opcodes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum X86Reg {
+    Eax = 0,
+    Ecx = 1,
+    Edx = 2,
+    Ebx = 3,
+    Esp = 4,
+    Ebp = 5,
+    Esi = 6,
+    Edi = 7,
+}
+
+impl X86Reg {
+    /// Decodes the 3-bit hardware encoding.
+    pub fn from_bits(bits: u8) -> X86Reg {
+        match bits & 7 {
+            0 => X86Reg::Eax,
+            1 => X86Reg::Ecx,
+            2 => X86Reg::Edx,
+            3 => X86Reg::Ebx,
+            4 => X86Reg::Esp,
+            5 => X86Reg::Ebp,
+            6 => X86Reg::Esi,
+            _ => X86Reg::Edi,
+        }
+    }
+
+    /// The 3-bit hardware encoding.
+    pub fn bits(self) -> u8 {
+        self as u8
+    }
+
+    /// All eight registers in encoding order.
+    pub const ALL: [X86Reg; 8] = [
+        X86Reg::Eax,
+        X86Reg::Ecx,
+        X86Reg::Edx,
+        X86Reg::Ebx,
+        X86Reg::Esp,
+        X86Reg::Ebp,
+        X86Reg::Esi,
+        X86Reg::Edi,
+    ];
+}
+
+impl fmt::Display for X86Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            X86Reg::Eax => "eax",
+            X86Reg::Ecx => "ecx",
+            X86Reg::Edx => "edx",
+            X86Reg::Ebx => "ebx",
+            X86Reg::Esp => "esp",
+            X86Reg::Ebp => "ebp",
+            X86Reg::Esi => "esi",
+            X86Reg::Edi => "edi",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The IA-32 register file (plus `eip` and a zero flag, which is all the
+/// supported subset needs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct X86Regs {
+    gpr: [u32; 8],
+    /// Instruction pointer.
+    pub eip: u32,
+    /// Zero flag (set by `xor`, `sub`, `cmp`, `inc`, `dec`).
+    pub zf: bool,
+}
+
+impl X86Regs {
+    /// Reads a general-purpose register.
+    pub fn get(&self, r: X86Reg) -> u32 {
+        self.gpr[r as usize]
+    }
+
+    /// Writes a general-purpose register.
+    pub fn set(&mut self, r: X86Reg, v: u32) {
+        self.gpr[r as usize] = v;
+    }
+
+    /// Stack pointer.
+    pub fn esp(&self) -> u32 {
+        self.get(X86Reg::Esp)
+    }
+}
+
+/// ARMv7 registers by number; `r13`=sp, `r14`=lr, `r15`=pc.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ArmReg(pub u8);
+
+impl ArmReg {
+    /// Stack pointer (r13).
+    pub const SP: ArmReg = ArmReg(13);
+    /// Link register (r14).
+    pub const LR: ArmReg = ArmReg(14);
+    /// Program counter (r15).
+    pub const PC: ArmReg = ArmReg(15);
+
+    /// The register number (0..=15).
+    pub fn index(self) -> usize {
+        (self.0 & 15) as usize
+    }
+}
+
+impl fmt::Display for ArmReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            13 => f.write_str("sp"),
+            14 => f.write_str("lr"),
+            15 => f.write_str("pc"),
+            n => write!(f, "r{n}"),
+        }
+    }
+}
+
+/// The ARMv7 register file. Reading `pc` through [`ArmRegs::get`] yields
+/// the architectural value (current instruction + 8), matching how
+/// `add r0, pc, #imm` computes addresses in real shellcode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ArmRegs {
+    r: [u32; 16],
+    /// Zero flag from `cmp`.
+    pub zf: bool,
+}
+
+impl ArmRegs {
+    /// Reads a register; `pc` reads as the current instruction + 8.
+    pub fn get(&self, reg: ArmReg) -> u32 {
+        if reg.index() == 15 {
+            self.r[15].wrapping_add(8)
+        } else {
+            self.r[reg.index()]
+        }
+    }
+
+    /// Writes a register; writing `pc` redirects execution.
+    pub fn set(&mut self, reg: ArmReg, v: u32) {
+        self.r[reg.index()] = v;
+    }
+
+    /// The raw (un-offset) program counter.
+    pub fn pc(&self) -> u32 {
+        self.r[15]
+    }
+
+    /// Sets the raw program counter.
+    pub fn set_pc(&mut self, v: u32) {
+        self.r[15] = v;
+    }
+
+    /// Stack pointer.
+    pub fn sp(&self) -> u32 {
+        self.r[13]
+    }
+}
+
+/// Architecture-tagged register file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Regs {
+    /// IA-32 registers.
+    X86(X86Regs),
+    /// ARMv7 registers.
+    Arm(ArmRegs),
+}
+
+impl Regs {
+    /// Fresh registers for `arch`, all zero.
+    pub fn new(arch: Arch) -> Self {
+        match arch {
+            Arch::X86 => Regs::X86(X86Regs::default()),
+            Arch::Armv7 => Regs::Arm(ArmRegs::default()),
+        }
+    }
+
+    /// The current program counter.
+    pub fn pc(&self) -> Addr {
+        match self {
+            Regs::X86(r) => r.eip,
+            Regs::Arm(r) => r.pc(),
+        }
+    }
+
+    /// Redirects execution.
+    pub fn set_pc(&mut self, pc: Addr) {
+        match self {
+            Regs::X86(r) => r.eip = pc,
+            Regs::Arm(r) => r.set_pc(pc),
+        }
+    }
+
+    /// The current stack pointer.
+    pub fn sp(&self) -> Addr {
+        match self {
+            Regs::X86(r) => r.esp(),
+            Regs::Arm(r) => r.sp(),
+        }
+    }
+
+    /// Moves the stack pointer.
+    pub fn set_sp(&mut self, sp: Addr) {
+        match self {
+            Regs::X86(r) => r.set(X86Reg::Esp, sp),
+            Regs::Arm(r) => r.set(ArmReg::SP, sp),
+        }
+    }
+
+    /// The x86 view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if these are ARM registers; callers dispatch on
+    /// architecture first.
+    pub fn x86(&self) -> &X86Regs {
+        match self {
+            Regs::X86(r) => r,
+            Regs::Arm(_) => panic!("expected x86 registers"),
+        }
+    }
+
+    /// Mutable x86 view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if these are ARM registers.
+    pub fn x86_mut(&mut self) -> &mut X86Regs {
+        match self {
+            Regs::X86(r) => r,
+            Regs::Arm(_) => panic!("expected x86 registers"),
+        }
+    }
+
+    /// The ARM view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if these are x86 registers.
+    pub fn arm(&self) -> &ArmRegs {
+        match self {
+            Regs::Arm(r) => r,
+            Regs::X86(_) => panic!("expected arm registers"),
+        }
+    }
+
+    /// Mutable ARM view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if these are x86 registers.
+    pub fn arm_mut(&mut self) -> &mut ArmRegs {
+        match self {
+            Regs::Arm(r) => r,
+            Regs::X86(_) => panic!("expected arm registers"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn x86_encoding_roundtrip() {
+        for r in X86Reg::ALL {
+            assert_eq!(X86Reg::from_bits(r.bits()), r);
+        }
+        assert_eq!(X86Reg::Esp.bits(), 4);
+    }
+
+    #[test]
+    fn arm_pc_reads_plus_eight() {
+        let mut r = ArmRegs::default();
+        r.set_pc(0x1000);
+        assert_eq!(r.get(ArmReg::PC), 0x1008);
+        assert_eq!(r.pc(), 0x1000);
+    }
+
+    #[test]
+    fn tagged_accessors() {
+        let mut regs = Regs::new(Arch::X86);
+        regs.set_pc(0x42);
+        regs.set_sp(0x8000);
+        assert_eq!(regs.pc(), 0x42);
+        assert_eq!(regs.sp(), 0x8000);
+        assert_eq!(regs.x86().esp(), 0x8000);
+
+        let mut regs = Regs::new(Arch::Armv7);
+        regs.set_sp(0x7eff_0000);
+        assert_eq!(regs.arm().sp(), 0x7eff_0000);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected x86")]
+    fn wrong_view_panics() {
+        let regs = Regs::new(Arch::Armv7);
+        let _ = regs.x86();
+    }
+
+    #[test]
+    fn arm_reg_display() {
+        assert_eq!(ArmReg(0).to_string(), "r0");
+        assert_eq!(ArmReg::SP.to_string(), "sp");
+        assert_eq!(ArmReg::LR.to_string(), "lr");
+        assert_eq!(ArmReg::PC.to_string(), "pc");
+    }
+}

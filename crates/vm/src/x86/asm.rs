@@ -1,0 +1,428 @@
+//! A small IA-32 assembler emitting the decoder's subset.
+
+use crate::regs::X86Reg;
+
+/// Byte-buffer assembler. Methods append one instruction each and return
+/// `&mut self` for chaining; [`Asm::finish`] yields the bytes.
+///
+/// ```
+/// use cml_vm::x86::{decode, Asm, Insn};
+/// use cml_vm::X86Reg;
+///
+/// let code = Asm::new().nop().push_r(X86Reg::Eax).ret().finish();
+/// assert_eq!(code, vec![0x90, 0x50, 0xC3]);
+/// assert_eq!(decode(&code).unwrap().0, Insn::Nop);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct Asm {
+    bytes: Vec<u8>,
+}
+
+impl Asm {
+    /// Starts an empty buffer.
+    pub fn new() -> Self {
+        Asm::default()
+    }
+
+    /// Bytes emitted so far.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether nothing has been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Consumes the assembler, returning the code bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    /// Appends raw bytes (escape hatch for data or unusual encodings).
+    pub fn raw(mut self, bytes: &[u8]) -> Self {
+        self.bytes.extend_from_slice(bytes);
+        self
+    }
+
+    /// `nop`.
+    pub fn nop(mut self) -> Self {
+        self.bytes.push(0x90);
+        self
+    }
+
+    /// `push r32`.
+    pub fn push_r(mut self, r: X86Reg) -> Self {
+        self.bytes.push(0x50 + r.bits());
+        self
+    }
+
+    /// `pop r32`.
+    pub fn pop_r(mut self, r: X86Reg) -> Self {
+        self.bytes.push(0x58 + r.bits());
+        self
+    }
+
+    /// `push imm32`.
+    pub fn push_imm(mut self, v: u32) -> Self {
+        self.bytes.push(0x68);
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// `mov r32, imm32`.
+    pub fn mov_r_imm(mut self, r: X86Reg, v: u32) -> Self {
+        self.bytes.push(0xB8 + r.bits());
+        self.bytes.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// `mov r8, imm8` (low byte).
+    pub fn mov_r8_imm(mut self, r: X86Reg, v: u8) -> Self {
+        self.bytes.push(0xB0 + r.bits());
+        self.bytes.push(v);
+        self
+    }
+
+    /// `mov dst, src` (register to register, 0x89 with mod=11).
+    pub fn mov_rr(mut self, dst: X86Reg, src: X86Reg) -> Self {
+        self.bytes.push(0x89);
+        self.bytes.push(0xC0 | (src.bits() << 3) | dst.bits());
+        self
+    }
+
+    /// `mov [base+disp8], src`.
+    pub fn mov_mem_r(mut self, base: X86Reg, disp: i8, src: X86Reg) -> Self {
+        self.bytes.push(0x89);
+        if base == X86Reg::Esp {
+            self.bytes.push(0x40 | (src.bits() << 3) | 0b100);
+            self.bytes.push(0x24);
+        } else {
+            self.bytes.push(0x40 | (src.bits() << 3) | base.bits());
+        }
+        self.bytes.push(disp as u8);
+        self
+    }
+
+    /// `mov dst, [base+disp8]`.
+    pub fn mov_r_mem(mut self, dst: X86Reg, base: X86Reg, disp: i8) -> Self {
+        self.bytes.push(0x8B);
+        if base == X86Reg::Esp {
+            self.bytes.push(0x40 | (dst.bits() << 3) | 0b100);
+            self.bytes.push(0x24);
+        } else {
+            self.bytes.push(0x40 | (dst.bits() << 3) | base.bits());
+        }
+        self.bytes.push(disp as u8);
+        self
+    }
+
+    /// `mov dst, [abs32]`.
+    pub fn mov_r_abs(mut self, dst: X86Reg, addr: u32) -> Self {
+        self.bytes.push(0x8B);
+        self.bytes.push((dst.bits() << 3) | 0b101);
+        self.bytes.extend_from_slice(&addr.to_le_bytes());
+        self
+    }
+
+    /// `xor dst, src` (mod=11).
+    pub fn xor_rr(mut self, dst: X86Reg, src: X86Reg) -> Self {
+        self.bytes.push(0x31);
+        self.bytes.push(0xC0 | (src.bits() << 3) | dst.bits());
+        self
+    }
+
+    /// `and dst, src` (mod=11).
+    pub fn and_rr(mut self, dst: X86Reg, src: X86Reg) -> Self {
+        self.bytes.push(0x21);
+        self.bytes.push(0xC0 | (src.bits() << 3) | dst.bits());
+        self
+    }
+
+    /// `or dst, src` (mod=11).
+    pub fn or_rr(mut self, dst: X86Reg, src: X86Reg) -> Self {
+        self.bytes.push(0x09);
+        self.bytes.push(0xC0 | (src.bits() << 3) | dst.bits());
+        self
+    }
+
+    /// `cmp dst, src` (mod=11).
+    pub fn cmp_rr(mut self, dst: X86Reg, src: X86Reg) -> Self {
+        self.bytes.push(0x39);
+        self.bytes.push(0xC0 | (src.bits() << 3) | dst.bits());
+        self
+    }
+
+    /// `test dst, src` (mod=11).
+    pub fn test_rr(mut self, dst: X86Reg, src: X86Reg) -> Self {
+        self.bytes.push(0x85);
+        self.bytes.push(0xC0 | (src.bits() << 3) | dst.bits());
+        self
+    }
+
+    /// `shl r32, imm8`.
+    pub fn shl_r_imm8(mut self, r: X86Reg, imm: u8) -> Self {
+        self.bytes.push(0xC1);
+        self.bytes.push(0xE0 | r.bits());
+        self.bytes.push(imm);
+        self
+    }
+
+    /// `shr r32, imm8`.
+    pub fn shr_r_imm8(mut self, r: X86Reg, imm: u8) -> Self {
+        self.bytes.push(0xC1);
+        self.bytes.push(0xE8 | r.bits());
+        self.bytes.push(imm);
+        self
+    }
+
+    /// `lea dst, [base+disp8]`.
+    pub fn lea(mut self, dst: X86Reg, base: X86Reg, disp: i8) -> Self {
+        self.bytes.push(0x8D);
+        if base == X86Reg::Esp {
+            self.bytes.push(0x40 | (dst.bits() << 3) | 0b100);
+            self.bytes.push(0x24);
+        } else {
+            self.bytes.push(0x40 | (dst.bits() << 3) | base.bits());
+        }
+        self.bytes.push(disp as u8);
+        self
+    }
+
+    /// `xchg eax, r32`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for `eax` itself (that encoding is `nop`).
+    pub fn xchg_eax_r(mut self, r: X86Reg) -> Self {
+        assert!(r != X86Reg::Eax, "xchg eax, eax is nop");
+        self.bytes.push(0x90 + r.bits());
+        self
+    }
+
+    /// `add r32, imm8`.
+    pub fn add_r_imm8(mut self, r: X86Reg, imm: i8) -> Self {
+        self.bytes.push(0x83);
+        self.bytes.push(0xC0 | r.bits());
+        self.bytes.push(imm as u8);
+        self
+    }
+
+    /// `sub r32, imm8`.
+    pub fn sub_r_imm8(mut self, r: X86Reg, imm: i8) -> Self {
+        self.bytes.push(0x83);
+        self.bytes.push(0xE8 | r.bits());
+        self.bytes.push(imm as u8);
+        self
+    }
+
+    /// `cmp r32, imm8`.
+    pub fn cmp_r_imm8(mut self, r: X86Reg, imm: i8) -> Self {
+        self.bytes.push(0x83);
+        self.bytes.push(0xF8 | r.bits());
+        self.bytes.push(imm as u8);
+        self
+    }
+
+    /// `inc r32`.
+    pub fn inc_r(mut self, r: X86Reg) -> Self {
+        self.bytes.push(0x40 + r.bits());
+        self
+    }
+
+    /// `dec r32`.
+    pub fn dec_r(mut self, r: X86Reg) -> Self {
+        self.bytes.push(0x48 + r.bits());
+        self
+    }
+
+    /// `ret`.
+    pub fn ret(mut self) -> Self {
+        self.bytes.push(0xC3);
+        self
+    }
+
+    /// `ret imm16`.
+    pub fn ret_imm16(mut self, n: u16) -> Self {
+        self.bytes.push(0xC2);
+        self.bytes.extend_from_slice(&n.to_le_bytes());
+        self
+    }
+
+    /// `leave`.
+    pub fn leave(mut self) -> Self {
+        self.bytes.push(0xC9);
+        self
+    }
+
+    /// `call rel32`.
+    pub fn call_rel32(mut self, rel: i32) -> Self {
+        self.bytes.push(0xE8);
+        self.bytes.extend_from_slice(&rel.to_le_bytes());
+        self
+    }
+
+    /// `call r32`.
+    pub fn call_r(mut self, r: X86Reg) -> Self {
+        self.bytes.push(0xFF);
+        self.bytes.push(0xD0 | r.bits());
+        self
+    }
+
+    /// `jmp r32`.
+    pub fn jmp_r(mut self, r: X86Reg) -> Self {
+        self.bytes.push(0xFF);
+        self.bytes.push(0xE0 | r.bits());
+        self
+    }
+
+    /// `jmp [abs32]` — the PLT stub form (`jmp *got_slot`).
+    pub fn jmp_abs_mem(mut self, addr: u32) -> Self {
+        self.bytes.push(0xFF);
+        self.bytes.push(0x25);
+        self.bytes.extend_from_slice(&addr.to_le_bytes());
+        self
+    }
+
+    /// `jmp short rel8`.
+    pub fn jmp_rel8(mut self, rel: i8) -> Self {
+        self.bytes.push(0xEB);
+        self.bytes.push(rel as u8);
+        self
+    }
+
+    /// `jz rel8`.
+    pub fn jz_rel8(mut self, rel: i8) -> Self {
+        self.bytes.push(0x74);
+        self.bytes.push(rel as u8);
+        self
+    }
+
+    /// `jnz rel8`.
+    pub fn jnz_rel8(mut self, rel: i8) -> Self {
+        self.bytes.push(0x75);
+        self.bytes.push(rel as u8);
+        self
+    }
+
+    /// `jz near rel32`.
+    pub fn jz_rel32(mut self, rel: i32) -> Self {
+        self.bytes.extend_from_slice(&[0x0F, 0x84]);
+        self.bytes.extend_from_slice(&rel.to_le_bytes());
+        self
+    }
+
+    /// `jnz near rel32`.
+    pub fn jnz_rel32(mut self, rel: i32) -> Self {
+        self.bytes.extend_from_slice(&[0x0F, 0x85]);
+        self.bytes.extend_from_slice(&rel.to_le_bytes());
+        self
+    }
+
+    /// `movzx dst, src_low_byte` (mod=11).
+    pub fn movzx_rr8(mut self, dst: X86Reg, src: X86Reg) -> Self {
+        self.bytes.extend_from_slice(&[0x0F, 0xB6]);
+        self.bytes.push(0xC0 | (dst.bits() << 3) | src.bits());
+        self
+    }
+
+    /// `int 0x80`.
+    pub fn int80(mut self) -> Self {
+        self.bytes.extend_from_slice(&[0xCD, 0x80]);
+        self
+    }
+
+    /// `hlt`.
+    pub fn hlt(mut self) -> Self {
+        self.bytes.push(0xF4);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::x86::{decode, Insn, Operand};
+
+    /// Every assembled instruction must decode back to itself — the
+    /// round-trip property the gadget finder relies on.
+    #[test]
+    fn assembler_decoder_roundtrip() {
+        let cases: Vec<(Vec<u8>, Insn)> = vec![
+            (Asm::new().nop().finish(), Insn::Nop),
+            (Asm::new().push_r(X86Reg::Ebx).finish(), Insn::PushR(X86Reg::Ebx)),
+            (Asm::new().pop_r(X86Reg::Edi).finish(), Insn::PopR(X86Reg::Edi)),
+            (Asm::new().push_imm(0xdeadbeef).finish(), Insn::PushImm(0xdeadbeef)),
+            (
+                Asm::new().mov_r_imm(X86Reg::Ecx, 0x1234).finish(),
+                Insn::MovRImm(X86Reg::Ecx, 0x1234),
+            ),
+            (Asm::new().mov_r8_imm(X86Reg::Eax, 11).finish(), Insn::MovR8Imm(X86Reg::Eax, 11)),
+            (
+                Asm::new().mov_rr(X86Reg::Ebx, X86Reg::Esp).finish(),
+                Insn::MovRmR { dst: Operand::Reg(X86Reg::Ebx), src: X86Reg::Esp },
+            ),
+            (
+                Asm::new().xor_rr(X86Reg::Eax, X86Reg::Eax).finish(),
+                Insn::XorRmR { dst: Operand::Reg(X86Reg::Eax), src: X86Reg::Eax },
+            ),
+            (
+                Asm::new().add_r_imm8(X86Reg::Esp, 0x0C).finish(),
+                Insn::AddRmImm8 { dst: Operand::Reg(X86Reg::Esp), imm: 0x0C },
+            ),
+            (
+                Asm::new().sub_r_imm8(X86Reg::Esp, 8).finish(),
+                Insn::SubRmImm8 { dst: Operand::Reg(X86Reg::Esp), imm: 8 },
+            ),
+            (Asm::new().inc_r(X86Reg::Eax).finish(), Insn::IncR(X86Reg::Eax)),
+            (Asm::new().dec_r(X86Reg::Edx).finish(), Insn::DecR(X86Reg::Edx)),
+            (Asm::new().ret().finish(), Insn::Ret),
+            (Asm::new().ret_imm16(8).finish(), Insn::RetImm16(8)),
+            (Asm::new().leave().finish(), Insn::Leave),
+            (Asm::new().call_rel32(-5).finish(), Insn::CallRel32(-5)),
+            (Asm::new().call_r(X86Reg::Eax).finish(), Insn::CallRm(Operand::Reg(X86Reg::Eax))),
+            (Asm::new().jmp_r(X86Reg::Ebx).finish(), Insn::JmpRm(Operand::Reg(X86Reg::Ebx))),
+            (
+                Asm::new().jmp_abs_mem(0x0805_6000).finish(),
+                Insn::JmpRm(Operand::Mem { base: None, disp: 0x0805_6000 }),
+            ),
+            (Asm::new().jmp_rel8(-2).finish(), Insn::JmpRel8(-2)),
+            (Asm::new().jz_rel8(4).finish(), Insn::Jz8(4)),
+            (Asm::new().jnz_rel8(-4).finish(), Insn::Jnz8(-4)),
+            (Asm::new().int80().finish(), Insn::Int80),
+            (Asm::new().hlt().finish(), Insn::Hlt),
+            (
+                Asm::new().mov_mem_r(X86Reg::Ebp, -8, X86Reg::Eax).finish(),
+                Insn::MovRmR {
+                    dst: Operand::Mem { base: Some(X86Reg::Ebp), disp: -8 },
+                    src: X86Reg::Eax,
+                },
+            ),
+            (
+                Asm::new().mov_r_mem(X86Reg::Eax, X86Reg::Esp, 4).finish(),
+                Insn::MovRRm {
+                    dst: X86Reg::Eax,
+                    src: Operand::Mem { base: Some(X86Reg::Esp), disp: 4 },
+                },
+            ),
+            (
+                Asm::new().mov_r_abs(X86Reg::Eax, 0x0812_0200).finish(),
+                Insn::MovRRm {
+                    dst: X86Reg::Eax,
+                    src: Operand::Mem { base: None, disp: 0x0812_0200 },
+                },
+            ),
+        ];
+        for (bytes, expected) in cases {
+            let (got, n) = decode(&bytes).unwrap_or_else(|e| panic!("{e}: {bytes:02x?}"));
+            assert_eq!(got, expected, "bytes {bytes:02x?}");
+            assert_eq!(n, bytes.len(), "full consumption for {bytes:02x?}");
+        }
+    }
+
+    #[test]
+    fn chaining_concatenates() {
+        let code = Asm::new().xor_rr(X86Reg::Eax, X86Reg::Eax).push_r(X86Reg::Eax).ret().finish();
+        assert_eq!(code.len(), 4);
+    }
+}

@@ -1,0 +1,638 @@
+//! Instruction forms and the decoder.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::regs::X86Reg;
+
+/// A register or memory operand produced by ModRM decoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Operand {
+    /// A general-purpose register (`mod == 11`).
+    Reg(X86Reg),
+    /// A memory reference `[base + disp]`; `base == None` is an absolute
+    /// 32-bit address (`mod == 00, rm == 101`).
+    Mem {
+        /// Base register, if any.
+        base: Option<X86Reg>,
+        /// Signed displacement.
+        disp: i32,
+    },
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Mem { base: Some(b), disp: 0 } => write!(f, "[{b}]"),
+            Operand::Mem { base: Some(b), disp } if *disp > 0 => {
+                write!(f, "[{b}+{disp:#x}]")
+            }
+            Operand::Mem { base: Some(b), disp } => write!(f, "[{b}-{:#x}]", -disp),
+            Operand::Mem { base: None, disp } => write!(f, "[{:#010x}]", *disp as u32),
+        }
+    }
+}
+
+/// One decoded IA-32 instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Insn {
+    /// `nop` (0x90) — the x86 NOP-sled byte.
+    Nop,
+    /// `push r32` (0x50+r).
+    PushR(X86Reg),
+    /// `pop r32` (0x58+r).
+    PopR(X86Reg),
+    /// `push imm32` (0x68).
+    PushImm(u32),
+    /// `mov r32, imm32` (0xB8+r).
+    MovRImm(X86Reg, u32),
+    /// `mov r8, imm8` (0xB0+r) — writes the low byte of the register.
+    MovR8Imm(X86Reg, u8),
+    /// `mov r/m32, r32` (0x89 /r).
+    MovRmR {
+        /// Destination.
+        dst: Operand,
+        /// Source register.
+        src: X86Reg,
+    },
+    /// `mov r32, r/m32` (0x8B /r).
+    MovRRm {
+        /// Destination register.
+        dst: X86Reg,
+        /// Source.
+        src: Operand,
+    },
+    /// `xor r/m32, r32` (0x31 /r).
+    XorRmR {
+        /// Destination.
+        dst: Operand,
+        /// Source register.
+        src: X86Reg,
+    },
+    /// `add r/m32, imm8` (0x83 /0).
+    AddRmImm8 {
+        /// Destination.
+        dst: Operand,
+        /// Sign-extended immediate.
+        imm: i8,
+    },
+    /// `sub r/m32, imm8` (0x83 /5).
+    SubRmImm8 {
+        /// Destination.
+        dst: Operand,
+        /// Sign-extended immediate.
+        imm: i8,
+    },
+    /// `cmp r/m32, imm8` (0x83 /7).
+    CmpRmImm8 {
+        /// Left-hand side.
+        dst: Operand,
+        /// Sign-extended immediate.
+        imm: i8,
+    },
+    /// `and r/m32, r32` (0x21 /r).
+    AndRmR {
+        /// Destination.
+        dst: Operand,
+        /// Source register.
+        src: X86Reg,
+    },
+    /// `or r/m32, r32` (0x09 /r).
+    OrRmR {
+        /// Destination.
+        dst: Operand,
+        /// Source register.
+        src: X86Reg,
+    },
+    /// `cmp r/m32, r32` (0x39 /r).
+    CmpRmR {
+        /// Left-hand side.
+        dst: Operand,
+        /// Right-hand register.
+        src: X86Reg,
+    },
+    /// `test r/m32, r32` (0x85 /r).
+    TestRmR {
+        /// Left-hand side.
+        dst: Operand,
+        /// Right-hand register.
+        src: X86Reg,
+    },
+    /// `shl r32, imm8` (0xC1 /4).
+    ShlRImm8 {
+        /// Register shifted.
+        reg: X86Reg,
+        /// Shift amount.
+        imm: u8,
+    },
+    /// `shr r32, imm8` (0xC1 /5).
+    ShrRImm8 {
+        /// Register shifted.
+        reg: X86Reg,
+        /// Shift amount.
+        imm: u8,
+    },
+    /// `lea r32, [base+disp]` (0x8D /r).
+    Lea {
+        /// Destination register.
+        dst: X86Reg,
+        /// Address expression (must be a memory operand).
+        src: Operand,
+    },
+    /// `xchg eax, r32` (0x91..0x97; 0x90 is `nop`).
+    XchgEaxR(X86Reg),
+    /// `inc r32` (0x40+r).
+    IncR(X86Reg),
+    /// `dec r32` (0x48+r).
+    DecR(X86Reg),
+    /// `ret` (0xC3) — the gadget terminator.
+    Ret,
+    /// `ret imm16` (0xC2).
+    RetImm16(u16),
+    /// `leave` (0xC9).
+    Leave,
+    /// `call rel32` (0xE8).
+    CallRel32(i32),
+    /// `call r/m32` (0xFF /2).
+    CallRm(Operand),
+    /// `jmp r/m32` (0xFF /4) — the PLT stub's dispatch form.
+    JmpRm(Operand),
+    /// `jmp rel8` (0xEB).
+    JmpRel8(i8),
+    /// `jmp rel32` (0xE9).
+    JmpRel32(i32),
+    /// `jz rel8` (0x74).
+    Jz8(i8),
+    /// `jnz rel8` (0x75).
+    Jnz8(i8),
+    /// `jz rel32` (0x0F 0x84).
+    Jz32(i32),
+    /// `jnz rel32` (0x0F 0x85).
+    Jnz32(i32),
+    /// `movzx r32, r/m8` (0x0F 0xB6).
+    Movzx8 {
+        /// Destination register.
+        dst: X86Reg,
+        /// Source (register low byte or memory byte).
+        src: Operand,
+    },
+    /// `int 0x80` (0xCD 0x80) — the 32-bit Linux syscall gate.
+    Int80,
+    /// `hlt` (0xF4) — used as a trapping filler byte.
+    Hlt,
+}
+
+/// Why bytes failed to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The window ended mid-instruction.
+    Truncated,
+    /// The leading opcode (or required ModRM form) is outside the subset.
+    Unsupported(u8),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "instruction bytes truncated"),
+            DecodeError::Unsupported(op) => write!(f, "unsupported opcode {op:#04x}"),
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+fn need(bytes: &[u8], n: usize) -> Result<(), DecodeError> {
+    if bytes.len() < n {
+        Err(DecodeError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+fn imm32(bytes: &[u8], at: usize) -> Result<u32, DecodeError> {
+    need(bytes, at + 4)?;
+    Ok(u32::from_le_bytes([bytes[at], bytes[at + 1], bytes[at + 2], bytes[at + 3]]))
+}
+
+fn imm16(bytes: &[u8], at: usize) -> Result<u16, DecodeError> {
+    need(bytes, at + 2)?;
+    Ok(u16::from_le_bytes([bytes[at], bytes[at + 1]]))
+}
+
+/// Decoded ModRM: the `reg` field plus the r/m operand and total length
+/// consumed (ModRM byte + SIB + displacement).
+struct ModRm {
+    reg: u8,
+    rm: Operand,
+    len: usize,
+}
+
+fn modrm(bytes: &[u8], at: usize) -> Result<ModRm, DecodeError> {
+    need(bytes, at + 1)?;
+    let b = bytes[at];
+    let md = b >> 6;
+    let reg = (b >> 3) & 7;
+    let rm = b & 7;
+    match md {
+        0b11 => Ok(ModRm { reg, rm: Operand::Reg(X86Reg::from_bits(rm)), len: 1 }),
+        0b00 => match rm {
+            0b101 => {
+                let disp = imm32(bytes, at + 1)? as i32;
+                Ok(ModRm { reg, rm: Operand::Mem { base: None, disp }, len: 5 })
+            }
+            0b100 => {
+                // SIB; support the no-index form (index == 100).
+                need(bytes, at + 2)?;
+                let sib = bytes[at + 1];
+                if (sib >> 3) & 7 != 0b100 {
+                    return Err(DecodeError::Unsupported(sib));
+                }
+                let base = X86Reg::from_bits(sib & 7);
+                Ok(ModRm { reg, rm: Operand::Mem { base: Some(base), disp: 0 }, len: 2 })
+            }
+            _ => Ok(ModRm {
+                reg,
+                rm: Operand::Mem { base: Some(X86Reg::from_bits(rm)), disp: 0 },
+                len: 1,
+            }),
+        },
+        0b01 => {
+            let (base, extra) = if rm == 0b100 {
+                need(bytes, at + 2)?;
+                let sib = bytes[at + 1];
+                if (sib >> 3) & 7 != 0b100 {
+                    return Err(DecodeError::Unsupported(sib));
+                }
+                (X86Reg::from_bits(sib & 7), 1)
+            } else {
+                (X86Reg::from_bits(rm), 0)
+            };
+            need(bytes, at + 1 + extra + 1)?;
+            let disp = bytes[at + 1 + extra] as i8 as i32;
+            Ok(ModRm { reg, rm: Operand::Mem { base: Some(base), disp }, len: 2 + extra })
+        }
+        _ => {
+            // mod == 10: disp32
+            let (base, extra) = if rm == 0b100 {
+                need(bytes, at + 2)?;
+                let sib = bytes[at + 1];
+                if (sib >> 3) & 7 != 0b100 {
+                    return Err(DecodeError::Unsupported(sib));
+                }
+                (X86Reg::from_bits(sib & 7), 1)
+            } else {
+                (X86Reg::from_bits(rm), 0)
+            };
+            let disp = imm32(bytes, at + 1 + extra)? as i32;
+            Ok(ModRm { reg, rm: Operand::Mem { base: Some(base), disp }, len: 5 + extra })
+        }
+    }
+}
+
+/// Decodes one instruction from the start of `bytes`, returning it and
+/// the number of bytes consumed.
+///
+/// # Errors
+///
+/// Returns [`DecodeError::Truncated`] if the window is too short or
+/// [`DecodeError::Unsupported`] for opcodes outside the subset.
+pub fn decode(bytes: &[u8]) -> Result<(Insn, usize), DecodeError> {
+    need(bytes, 1)?;
+    let op = bytes[0];
+    match op {
+        0x90 => Ok((Insn::Nop, 1)),
+        0x50..=0x57 => Ok((Insn::PushR(X86Reg::from_bits(op - 0x50)), 1)),
+        0x58..=0x5F => Ok((Insn::PopR(X86Reg::from_bits(op - 0x58)), 1)),
+        0x68 => Ok((Insn::PushImm(imm32(bytes, 1)?), 5)),
+        0x6A => {
+            need(bytes, 2)?;
+            Ok((Insn::PushImm(bytes[1] as i8 as i32 as u32), 2))
+        }
+        0xB8..=0xBF => Ok((Insn::MovRImm(X86Reg::from_bits(op - 0xB8), imm32(bytes, 1)?), 6 - 1)),
+        0xB0..=0xB7 => {
+            need(bytes, 2)?;
+            Ok((Insn::MovR8Imm(X86Reg::from_bits(op - 0xB0), bytes[1]), 2))
+        }
+        0x89 => {
+            let m = modrm(bytes, 1)?;
+            Ok((Insn::MovRmR { dst: m.rm, src: X86Reg::from_bits(m.reg) }, 1 + m.len))
+        }
+        0x8B => {
+            let m = modrm(bytes, 1)?;
+            Ok((Insn::MovRRm { dst: X86Reg::from_bits(m.reg), src: m.rm }, 1 + m.len))
+        }
+        0x31 => {
+            let m = modrm(bytes, 1)?;
+            Ok((Insn::XorRmR { dst: m.rm, src: X86Reg::from_bits(m.reg) }, 1 + m.len))
+        }
+        0x21 => {
+            let m = modrm(bytes, 1)?;
+            Ok((Insn::AndRmR { dst: m.rm, src: X86Reg::from_bits(m.reg) }, 1 + m.len))
+        }
+        0x09 => {
+            let m = modrm(bytes, 1)?;
+            Ok((Insn::OrRmR { dst: m.rm, src: X86Reg::from_bits(m.reg) }, 1 + m.len))
+        }
+        0x39 => {
+            let m = modrm(bytes, 1)?;
+            Ok((Insn::CmpRmR { dst: m.rm, src: X86Reg::from_bits(m.reg) }, 1 + m.len))
+        }
+        0x85 => {
+            let m = modrm(bytes, 1)?;
+            Ok((Insn::TestRmR { dst: m.rm, src: X86Reg::from_bits(m.reg) }, 1 + m.len))
+        }
+        0x8D => {
+            let m = modrm(bytes, 1)?;
+            match m.rm {
+                Operand::Mem { .. } => {
+                    Ok((Insn::Lea { dst: X86Reg::from_bits(m.reg), src: m.rm }, 1 + m.len))
+                }
+                Operand::Reg(_) => Err(DecodeError::Unsupported(op)),
+            }
+        }
+        0xC1 => {
+            let m = modrm(bytes, 1)?;
+            need(bytes, 1 + m.len + 1)?;
+            let imm = bytes[1 + m.len];
+            let reg = match m.rm {
+                Operand::Reg(r) => r,
+                Operand::Mem { .. } => return Err(DecodeError::Unsupported(op)),
+            };
+            let insn = match m.reg {
+                4 => Insn::ShlRImm8 { reg, imm },
+                5 => Insn::ShrRImm8 { reg, imm },
+                _ => return Err(DecodeError::Unsupported(op)),
+            };
+            Ok((insn, 1 + m.len + 1))
+        }
+        0x91..=0x97 => Ok((Insn::XchgEaxR(X86Reg::from_bits(op - 0x90)), 1)),
+        0x83 => {
+            let m = modrm(bytes, 1)?;
+            need(bytes, 1 + m.len + 1)?;
+            let imm = bytes[1 + m.len] as i8;
+            let insn = match m.reg {
+                0 => Insn::AddRmImm8 { dst: m.rm, imm },
+                5 => Insn::SubRmImm8 { dst: m.rm, imm },
+                7 => Insn::CmpRmImm8 { dst: m.rm, imm },
+                _ => return Err(DecodeError::Unsupported(op)),
+            };
+            Ok((insn, 1 + m.len + 1))
+        }
+        0x40..=0x47 => Ok((Insn::IncR(X86Reg::from_bits(op - 0x40)), 1)),
+        0x48..=0x4F => Ok((Insn::DecR(X86Reg::from_bits(op - 0x48)), 1)),
+        0xC3 => Ok((Insn::Ret, 1)),
+        0xC2 => Ok((Insn::RetImm16(imm16(bytes, 1)?), 3)),
+        0xC9 => Ok((Insn::Leave, 1)),
+        0xE8 => Ok((Insn::CallRel32(imm32(bytes, 1)? as i32), 5)),
+        0xE9 => Ok((Insn::JmpRel32(imm32(bytes, 1)? as i32), 5)),
+        0xEB => {
+            need(bytes, 2)?;
+            Ok((Insn::JmpRel8(bytes[1] as i8), 2))
+        }
+        0x74 => {
+            need(bytes, 2)?;
+            Ok((Insn::Jz8(bytes[1] as i8), 2))
+        }
+        0x75 => {
+            need(bytes, 2)?;
+            Ok((Insn::Jnz8(bytes[1] as i8), 2))
+        }
+        0xFF => {
+            let m = modrm(bytes, 1)?;
+            match m.reg {
+                2 => Ok((Insn::CallRm(m.rm), 1 + m.len)),
+                4 => Ok((Insn::JmpRm(m.rm), 1 + m.len)),
+                _ => Err(DecodeError::Unsupported(op)),
+            }
+        }
+        0x0F => {
+            need(bytes, 2)?;
+            match bytes[1] {
+                0x84 => Ok((Insn::Jz32(imm32(bytes, 2)? as i32), 6)),
+                0x85 => Ok((Insn::Jnz32(imm32(bytes, 2)? as i32), 6)),
+                0xB6 => {
+                    let m = modrm(bytes, 2)?;
+                    Ok((Insn::Movzx8 { dst: X86Reg::from_bits(m.reg), src: m.rm }, 2 + m.len))
+                }
+                other => Err(DecodeError::Unsupported(other)),
+            }
+        }
+        0xCD => {
+            need(bytes, 2)?;
+            if bytes[1] == 0x80 {
+                Ok((Insn::Int80, 2))
+            } else {
+                Err(DecodeError::Unsupported(bytes[1]))
+            }
+        }
+        0xF4 => Ok((Insn::Hlt, 1)),
+        other => Err(DecodeError::Unsupported(other)),
+    }
+}
+
+impl fmt::Display for Insn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Insn::Nop => write!(f, "nop"),
+            Insn::PushR(r) => write!(f, "push {r}"),
+            Insn::PopR(r) => write!(f, "pop {r}"),
+            Insn::PushImm(v) => write!(f, "push {v:#x}"),
+            Insn::MovRImm(r, v) => write!(f, "mov {r}, {v:#x}"),
+            Insn::MovR8Imm(r, v) => write!(f, "mov {}l, {v:#x}", low8_name(*r)),
+            Insn::MovRmR { dst, src } => write!(f, "mov {dst}, {src}"),
+            Insn::MovRRm { dst, src } => write!(f, "mov {dst}, {src}"),
+            Insn::XorRmR { dst, src } => write!(f, "xor {dst}, {src}"),
+            Insn::AddRmImm8 { dst, imm } => write!(f, "add {dst}, {imm:#x}"),
+            Insn::SubRmImm8 { dst, imm } => write!(f, "sub {dst}, {imm:#x}"),
+            Insn::CmpRmImm8 { dst, imm } => write!(f, "cmp {dst}, {imm:#x}"),
+            Insn::AndRmR { dst, src } => write!(f, "and {dst}, {src}"),
+            Insn::OrRmR { dst, src } => write!(f, "or {dst}, {src}"),
+            Insn::CmpRmR { dst, src } => write!(f, "cmp {dst}, {src}"),
+            Insn::TestRmR { dst, src } => write!(f, "test {dst}, {src}"),
+            Insn::ShlRImm8 { reg, imm } => write!(f, "shl {reg}, {imm:#x}"),
+            Insn::ShrRImm8 { reg, imm } => write!(f, "shr {reg}, {imm:#x}"),
+            Insn::Lea { dst, src } => write!(f, "lea {dst}, {src}"),
+            Insn::XchgEaxR(r) => write!(f, "xchg eax, {r}"),
+            Insn::IncR(r) => write!(f, "inc {r}"),
+            Insn::DecR(r) => write!(f, "dec {r}"),
+            Insn::Ret => write!(f, "ret"),
+            Insn::RetImm16(n) => write!(f, "ret {n:#x}"),
+            Insn::Leave => write!(f, "leave"),
+            Insn::CallRel32(d) => write!(f, "call {d:+#x}"),
+            Insn::CallRm(o) => write!(f, "call {o}"),
+            Insn::JmpRm(o) => write!(f, "jmp {o}"),
+            Insn::JmpRel8(d) => write!(f, "jmp short {d:+#x}"),
+            Insn::JmpRel32(d) => write!(f, "jmp {d:+#x}"),
+            Insn::Jz8(d) => write!(f, "jz {d:+#x}"),
+            Insn::Jnz8(d) => write!(f, "jnz {d:+#x}"),
+            Insn::Jz32(d) => write!(f, "jz near {d:+#x}"),
+            Insn::Jnz32(d) => write!(f, "jnz near {d:+#x}"),
+            Insn::Movzx8 { dst, src } => write!(f, "movzx {dst}, byte {src}"),
+            Insn::Int80 => write!(f, "int 0x80"),
+            Insn::Hlt => write!(f, "hlt"),
+        }
+    }
+}
+
+fn low8_name(r: X86Reg) -> &'static str {
+    match r {
+        X86Reg::Eax => "a",
+        X86Reg::Ecx => "c",
+        X86Reg::Edx => "d",
+        X86Reg::Ebx => "b",
+        X86Reg::Esp => "sp",
+        X86Reg::Ebp => "bp",
+        X86Reg::Esi => "si",
+        X86Reg::Edi => "di",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_shellcode_decodes() {
+        // xor eax,eax; push eax; push "//sh"; push "/bin"; mov ebx,esp
+        let code: &[u8] = &[
+            0x31, 0xC0, 0x50, 0x68, 0x2F, 0x2F, 0x73, 0x68, 0x68, 0x2F, 0x62, 0x69, 0x6E,
+            0x89, 0xE3,
+        ];
+        let mut at = 0;
+        let mut out = Vec::new();
+        while at < code.len() {
+            let (i, n) = decode(&code[at..]).unwrap();
+            out.push(i);
+            at += n;
+        }
+        assert_eq!(
+            out,
+            vec![
+                Insn::XorRmR { dst: Operand::Reg(X86Reg::Eax), src: X86Reg::Eax },
+                Insn::PushR(X86Reg::Eax),
+                Insn::PushImm(0x6873_2F2F),
+                Insn::PushImm(0x6E69_622F),
+                Insn::MovRmR { dst: Operand::Reg(X86Reg::Ebx), src: X86Reg::Esp },
+            ]
+        );
+    }
+
+    #[test]
+    fn gadget_bytes_decode() {
+        // pop ebx; pop esi; pop edi; ret — the pppr gadget shape.
+        let code = [0x5B, 0x5E, 0x5F, 0xC3];
+        assert_eq!(decode(&code).unwrap(), (Insn::PopR(X86Reg::Ebx), 1));
+        assert_eq!(decode(&code[3..]).unwrap(), (Insn::Ret, 1));
+    }
+
+    #[test]
+    fn memcpy_epilogue_decodes() {
+        // add esp, 0xC; pop ebp; ret
+        let code = [0x83, 0xC4, 0x0C, 0x5D, 0xC3];
+        let (i, n) = decode(&code).unwrap();
+        assert_eq!(i, Insn::AddRmImm8 { dst: Operand::Reg(X86Reg::Esp), imm: 0x0C });
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn int80_and_mov_al() {
+        assert_eq!(decode(&[0xB0, 0x0B]).unwrap(), (Insn::MovR8Imm(X86Reg::Eax, 11), 2));
+        assert_eq!(decode(&[0xCD, 0x80]).unwrap(), (Insn::Int80, 2));
+        assert!(matches!(decode(&[0xCD, 0x21]), Err(DecodeError::Unsupported(0x21))));
+    }
+
+    #[test]
+    fn modrm_memory_forms() {
+        // mov [ebx], eax → 89 03
+        assert_eq!(
+            decode(&[0x89, 0x03]).unwrap(),
+            (
+                Insn::MovRmR {
+                    dst: Operand::Mem { base: Some(X86Reg::Ebx), disp: 0 },
+                    src: X86Reg::Eax
+                },
+                2
+            )
+        );
+        // mov eax, [ebp-4] → 8B 45 FC
+        assert_eq!(
+            decode(&[0x8B, 0x45, 0xFC]).unwrap(),
+            (
+                Insn::MovRRm {
+                    dst: X86Reg::Eax,
+                    src: Operand::Mem { base: Some(X86Reg::Ebp), disp: -4 }
+                },
+                3
+            )
+        );
+        // mov eax, [0x08120200] → 8B 05 00 02 12 08
+        assert_eq!(
+            decode(&[0x8B, 0x05, 0x00, 0x02, 0x12, 0x08]).unwrap(),
+            (
+                Insn::MovRRm {
+                    dst: X86Reg::Eax,
+                    src: Operand::Mem { base: None, disp: 0x0812_0200 }
+                },
+                6
+            )
+        );
+        // mov [esp], ecx via SIB → 89 0C 24
+        assert_eq!(
+            decode(&[0x89, 0x0C, 0x24]).unwrap(),
+            (
+                Insn::MovRmR {
+                    dst: Operand::Mem { base: Some(X86Reg::Esp), disp: 0 },
+                    src: X86Reg::Ecx
+                },
+                3
+            )
+        );
+    }
+
+    #[test]
+    fn truncation_detected() {
+        assert_eq!(decode(&[]), Err(DecodeError::Truncated));
+        assert_eq!(decode(&[0x68, 1, 2]), Err(DecodeError::Truncated));
+        assert_eq!(decode(&[0x83, 0xC4]), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn unsupported_reported() {
+        // 0x0F 0x05 (syscall) is outside the subset; plain 0xF1 too.
+        assert_eq!(decode(&[0x0F, 0x05]), Err(DecodeError::Unsupported(0x05)));
+        assert_eq!(decode(&[0xF1]), Err(DecodeError::Unsupported(0xF1)));
+    }
+
+    #[test]
+    fn two_byte_opcodes() {
+        assert_eq!(
+            decode(&[0x0F, 0x84, 0x10, 0x00, 0x00, 0x00]).unwrap(),
+            (Insn::Jz32(16), 6)
+        );
+        assert_eq!(
+            decode(&[0x0F, 0x85, 0xF0, 0xFF, 0xFF, 0xFF]).unwrap(),
+            (Insn::Jnz32(-16), 6)
+        );
+        // movzx eax, cl → 0F B6 C1
+        assert_eq!(
+            decode(&[0x0F, 0xB6, 0xC1]).unwrap(),
+            (Insn::Movzx8 { dst: X86Reg::Eax, src: Operand::Reg(X86Reg::Ecx) }, 3)
+        );
+    }
+
+    #[test]
+    fn display_smoke() {
+        let (i, _) = decode(&[0x89, 0xE3]).unwrap();
+        assert_eq!(i.to_string(), "mov ebx, esp");
+        let (i, _) = decode(&[0xC3]).unwrap();
+        assert_eq!(i.to_string(), "ret");
+    }
+
+    #[test]
+    fn push_imm8_sign_extends() {
+        assert_eq!(decode(&[0x6A, 0xFF]).unwrap(), (Insn::PushImm(0xFFFF_FFFF), 2));
+    }
+}

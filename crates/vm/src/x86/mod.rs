@@ -1,0 +1,17 @@
+//! IA-32 subset: decoder, assembler and executor.
+//!
+//! The subset covers everything the paper's payloads and target binary
+//! need: the classic `execve` shellcode idiom, function
+//! prologue/epilogue, PLT-style indirect jumps, `pop*`/`ret` gadget
+//! material, and the `add esp, 0xC; pop ebp; ret` cleanup sequence that
+//! the x86 ROP chain must accommodate. Encodings are the real ones, so
+//! bytes assembled here disassemble in any standard tool.
+
+mod asm;
+mod exec;
+mod insn;
+
+pub use asm::Asm;
+pub use insn::{decode, DecodeError, Insn, Operand};
+
+pub(crate) use exec::step;

@@ -1,0 +1,315 @@
+//! Property tests over the two instruction sets: everything the
+//! assemblers can emit, the decoders must round-trip; decoding arbitrary
+//! bytes must be total (no panics) and report honest lengths.
+
+use proptest::prelude::*;
+
+use cml_vm::{arm, x86, X86Reg};
+
+/// A recipe for one x86 instruction, generatable by proptest.
+#[derive(Debug, Clone)]
+enum XInsn {
+    Nop,
+    PushR(u8),
+    PopR(u8),
+    PushImm(u32),
+    MovRImm(u8, u32),
+    MovR8Imm(u8, u8),
+    MovRR(u8, u8),
+    XorRR(u8, u8),
+    AndRR(u8, u8),
+    OrRR(u8, u8),
+    CmpRR(u8, u8),
+    TestRR(u8, u8),
+    ShlImm(u8, u8),
+    ShrImm(u8, u8),
+    Lea(u8, u8, i8),
+    AddImm8(u8, i8),
+    SubImm8(u8, i8),
+    CmpImm8(u8, i8),
+    IncR(u8),
+    DecR(u8),
+    Ret,
+    RetImm16(u16),
+    Leave,
+    CallRel(i32),
+    CallR(u8),
+    JmpR(u8),
+    JmpRel8(i8),
+    Jz(i8),
+    Jnz(i8),
+    Int80,
+    Hlt,
+    MovMemR(u8, i8, u8),
+    MovRMem(u8, u8, i8),
+    MovRAbs(u8, u32),
+    XchgEax(u8),
+}
+
+fn reg(bits: u8) -> X86Reg {
+    X86Reg::from_bits(bits)
+}
+
+fn x_strategy() -> impl Strategy<Value = XInsn> {
+    let r = 0u8..8;
+    prop_oneof![
+        Just(XInsn::Nop),
+        r.clone().prop_map(XInsn::PushR),
+        r.clone().prop_map(XInsn::PopR),
+        any::<u32>().prop_map(XInsn::PushImm),
+        (r.clone(), any::<u32>()).prop_map(|(a, b)| XInsn::MovRImm(a, b)),
+        (r.clone(), any::<u8>()).prop_map(|(a, b)| XInsn::MovR8Imm(a, b)),
+        (r.clone(), r.clone()).prop_map(|(a, b)| XInsn::MovRR(a, b)),
+        (r.clone(), r.clone()).prop_map(|(a, b)| XInsn::XorRR(a, b)),
+        (r.clone(), r.clone()).prop_map(|(a, b)| XInsn::AndRR(a, b)),
+        (r.clone(), r.clone()).prop_map(|(a, b)| XInsn::OrRR(a, b)),
+        (r.clone(), r.clone()).prop_map(|(a, b)| XInsn::CmpRR(a, b)),
+        (r.clone(), r.clone()).prop_map(|(a, b)| XInsn::TestRR(a, b)),
+        (r.clone(), 0u8..32).prop_map(|(a, b)| XInsn::ShlImm(a, b)),
+        (r.clone(), 0u8..32).prop_map(|(a, b)| XInsn::ShrImm(a, b)),
+        (r.clone(), r.clone(), any::<i8>()).prop_map(|(a, b, c)| XInsn::Lea(a, b, c)),
+        (r.clone(), any::<i8>()).prop_map(|(a, b)| XInsn::AddImm8(a, b)),
+        (r.clone(), any::<i8>()).prop_map(|(a, b)| XInsn::SubImm8(a, b)),
+        (r.clone(), any::<i8>()).prop_map(|(a, b)| XInsn::CmpImm8(a, b)),
+        r.clone().prop_map(XInsn::IncR),
+        r.clone().prop_map(XInsn::DecR),
+        Just(XInsn::Ret),
+        any::<u16>().prop_map(XInsn::RetImm16),
+        Just(XInsn::Leave),
+        any::<i32>().prop_map(XInsn::CallRel),
+        r.clone().prop_map(XInsn::CallR),
+        r.clone().prop_map(XInsn::JmpR),
+        any::<i8>().prop_map(XInsn::JmpRel8),
+        any::<i8>().prop_map(XInsn::Jz),
+        any::<i8>().prop_map(XInsn::Jnz),
+        Just(XInsn::Int80),
+        Just(XInsn::Hlt),
+        (r.clone(), any::<i8>(), r.clone()).prop_map(|(a, b, c)| XInsn::MovMemR(a, b, c)),
+        (r.clone(), r.clone(), any::<i8>()).prop_map(|(a, b, c)| XInsn::MovRMem(a, b, c)),
+        (r.clone(), any::<u32>()).prop_map(|(a, b)| XInsn::MovRAbs(a, b)),
+        (1u8..8).prop_map(XInsn::XchgEax),
+    ]
+}
+
+fn assemble_x86(insns: &[XInsn]) -> Vec<u8> {
+    let mut a = x86::Asm::new();
+    for i in insns {
+        a = match *i {
+            XInsn::Nop => a.nop(),
+            XInsn::PushR(r0) => a.push_r(reg(r0)),
+            XInsn::PopR(r0) => a.pop_r(reg(r0)),
+            XInsn::PushImm(v) => a.push_imm(v),
+            XInsn::MovRImm(r0, v) => a.mov_r_imm(reg(r0), v),
+            XInsn::MovR8Imm(r0, v) => a.mov_r8_imm(reg(r0), v),
+            XInsn::MovRR(d, s) => a.mov_rr(reg(d), reg(s)),
+            XInsn::XorRR(d, s) => a.xor_rr(reg(d), reg(s)),
+            XInsn::AndRR(d, s) => a.and_rr(reg(d), reg(s)),
+            XInsn::OrRR(d, s) => a.or_rr(reg(d), reg(s)),
+            XInsn::CmpRR(d, s) => a.cmp_rr(reg(d), reg(s)),
+            XInsn::TestRR(d, s) => a.test_rr(reg(d), reg(s)),
+            XInsn::ShlImm(r0, v) => a.shl_r_imm8(reg(r0), v),
+            XInsn::ShrImm(r0, v) => a.shr_r_imm8(reg(r0), v),
+            XInsn::Lea(d, b, disp) => a.lea(reg(d), reg(b), disp),
+            XInsn::AddImm8(r0, v) => a.add_r_imm8(reg(r0), v),
+            XInsn::SubImm8(r0, v) => a.sub_r_imm8(reg(r0), v),
+            XInsn::CmpImm8(r0, v) => a.cmp_r_imm8(reg(r0), v),
+            XInsn::IncR(r0) => a.inc_r(reg(r0)),
+            XInsn::DecR(r0) => a.dec_r(reg(r0)),
+            XInsn::Ret => a.ret(),
+            XInsn::RetImm16(v) => a.ret_imm16(v),
+            XInsn::Leave => a.leave(),
+            XInsn::CallRel(v) => a.call_rel32(v),
+            XInsn::CallR(r0) => a.call_r(reg(r0)),
+            XInsn::JmpR(r0) => a.jmp_r(reg(r0)),
+            XInsn::JmpRel8(v) => a.jmp_rel8(v),
+            XInsn::Jz(v) => a.jz_rel8(v),
+            XInsn::Jnz(v) => a.jnz_rel8(v),
+            XInsn::Int80 => a.int80(),
+            XInsn::Hlt => a.hlt(),
+            XInsn::MovMemR(b, disp, s) => a.mov_mem_r(reg(b), disp, reg(s)),
+            XInsn::MovRMem(d, b, disp) => a.mov_r_mem(reg(d), reg(b), disp),
+            XInsn::MovRAbs(d, addr) => a.mov_r_abs(reg(d), addr),
+            XInsn::XchgEax(r0) => a.xchg_eax_r(reg(r0)),
+        };
+    }
+    a.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Assembled x86 streams decode instruction-by-instruction, consuming
+    /// every byte exactly.
+    #[test]
+    fn x86_streams_roundtrip(insns in proptest::collection::vec(x_strategy(), 1..24)) {
+        let bytes = assemble_x86(&insns);
+        let mut pos = 0usize;
+        let mut count = 0usize;
+        while pos < bytes.len() {
+            let (_, len) = x86::decode(&bytes[pos..])
+                .unwrap_or_else(|e| panic!("{e} at {pos} in {bytes:02x?}"));
+            prop_assert!(len > 0);
+            pos += len;
+            count += 1;
+        }
+        prop_assert_eq!(pos, bytes.len());
+        prop_assert_eq!(count, insns.len());
+    }
+
+    /// x86 decode is total: arbitrary bytes either decode with an honest
+    /// length or produce a typed error — never a panic, never a length
+    /// beyond the input.
+    #[test]
+    fn x86_decode_total(bytes in proptest::collection::vec(any::<u8>(), 0..32)) {
+        match x86::decode(&bytes) {
+            Ok((_, len)) => prop_assert!(len > 0 && len <= bytes.len()),
+            Err(_) => {}
+        }
+    }
+
+    /// ARM decode is total as well.
+    #[test]
+    fn arm_decode_total(word in any::<u32>()) {
+        match arm::decode(&word.to_le_bytes()) {
+            Ok((_, len)) => prop_assert_eq!(len, 4),
+            Err(_) => {}
+        }
+    }
+}
+
+/// A recipe for one A32 instruction.
+#[derive(Debug, Clone)]
+enum AInsn {
+    MovImm(u8, u8),
+    MvnImm(u8, u8),
+    MovReg(u8, u8),
+    AddImm(u8, u8, u8),
+    SubImm(u8, u8, u8),
+    OrrImm(u8, u8, u8),
+    AndImm(u8, u8, u8),
+    EorImm(u8, u8, u8),
+    Lsl(u8, u8, u8),
+    CmpImm(u8, u8),
+    Ldr(u8, u8, i16),
+    Str(u8, u8, i16),
+    Ldrb(u8, u8, i16),
+    Strb(u8, u8, i16),
+    Push(u16),
+    Pop(u16),
+    Bx(u8),
+    Blx(u8),
+    B(i16),
+    Bl(i16),
+    Beq(i16),
+    Bne(i16),
+    Svc,
+}
+
+fn a_strategy() -> impl Strategy<Value = AInsn> {
+    let r = 0u8..16;
+    let rlo = 0u8..15; // exclude pc where it would be a branch
+    let off = -1024i16..1024;
+    prop_oneof![
+        (rlo.clone(), any::<u8>()).prop_map(|(a, b)| AInsn::MovImm(a, b)),
+        (rlo.clone(), any::<u8>()).prop_map(|(a, b)| AInsn::MvnImm(a, b)),
+        (rlo.clone(), r.clone()).prop_map(|(a, b)| AInsn::MovReg(a, b)),
+        (rlo.clone(), r.clone(), any::<u8>()).prop_map(|(a, b, c)| AInsn::AddImm(a, b, c)),
+        (rlo.clone(), r.clone(), any::<u8>()).prop_map(|(a, b, c)| AInsn::SubImm(a, b, c)),
+        (rlo.clone(), r.clone(), any::<u8>()).prop_map(|(a, b, c)| AInsn::OrrImm(a, b, c)),
+        (rlo.clone(), r.clone(), any::<u8>()).prop_map(|(a, b, c)| AInsn::AndImm(a, b, c)),
+        (rlo.clone(), r.clone(), any::<u8>()).prop_map(|(a, b, c)| AInsn::EorImm(a, b, c)),
+        (rlo.clone(), r.clone(), 1u8..32).prop_map(|(a, b, c)| AInsn::Lsl(a, b, c)),
+        (r.clone(), any::<u8>()).prop_map(|(a, b)| AInsn::CmpImm(a, b)),
+        (rlo.clone(), r.clone(), off.clone()).prop_map(|(a, b, c)| AInsn::Ldr(a, b, c)),
+        (rlo.clone(), r.clone(), off.clone()).prop_map(|(a, b, c)| AInsn::Str(a, b, c)),
+        (rlo.clone(), r.clone(), off.clone()).prop_map(|(a, b, c)| AInsn::Ldrb(a, b, c)),
+        (rlo.clone(), r.clone(), off.clone()).prop_map(|(a, b, c)| AInsn::Strb(a, b, c)),
+        (1u16..0x8000).prop_map(AInsn::Push),
+        (1u16..0xFFFF).prop_map(AInsn::Pop),
+        r.clone().prop_map(AInsn::Bx),
+        r.clone().prop_map(AInsn::Blx),
+        off.clone().prop_map(AInsn::B),
+        off.clone().prop_map(AInsn::Bl),
+        off.clone().prop_map(AInsn::Beq),
+        off.clone().prop_map(AInsn::Bne),
+        Just(AInsn::Svc),
+    ]
+}
+
+fn list_from(bits: u16) -> Vec<u8> {
+    (0..16).filter(|i| bits & (1 << i) != 0).collect()
+}
+
+fn assemble_arm(insns: &[AInsn]) -> Vec<u8> {
+    let mut a = arm::Asm::new();
+    for i in insns {
+        a = match *i {
+            AInsn::MovImm(rd, v) => a.mov_imm(rd, v as u32),
+            AInsn::MvnImm(rd, v) => a.mvn_imm(rd, v as u32),
+            AInsn::MovReg(rd, rm) => a.mov_reg(rd, rm),
+            AInsn::AddImm(rd, rn, v) => a.add_imm(rd, rn, v as u32),
+            AInsn::SubImm(rd, rn, v) => a.sub_imm(rd, rn, v as u32),
+            AInsn::OrrImm(rd, rn, v) => a.orr_imm(rd, rn, v as u32),
+            AInsn::AndImm(rd, rn, v) => a.and_imm(rd, rn, v as u32),
+            AInsn::EorImm(rd, rn, v) => a.eor_imm(rd, rn, v as u32),
+            AInsn::Lsl(rd, rm, s) => a.lsl_imm(rd, rm, s),
+            AInsn::CmpImm(rn, v) => a.cmp_imm(rn, v as u32),
+            AInsn::Ldr(rd, rn, o) => a.ldr(rd, rn, o as i32),
+            AInsn::Str(rd, rn, o) => a.str(rd, rn, o as i32),
+            AInsn::Ldrb(rd, rn, o) => a.ldrb(rd, rn, o as i32),
+            AInsn::Strb(rd, rn, o) => a.strb(rd, rn, o as i32),
+            AInsn::Push(bits) => a.push(&list_from(bits)),
+            AInsn::Pop(bits) => a.pop(&list_from(bits)),
+            AInsn::Bx(rm) => a.bx(rm),
+            AInsn::Blx(rm) => a.blx(rm),
+            AInsn::B(o) => a.b(o as i32 * 4),
+            AInsn::Bl(o) => a.bl(o as i32 * 4),
+            AInsn::Beq(o) => a.beq(o as i32 * 4),
+            AInsn::Bne(o) => a.bne(o as i32 * 4),
+            AInsn::Svc => a.svc0(),
+        };
+    }
+    a.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Assembled A32 streams decode word-by-word.
+    #[test]
+    fn arm_streams_roundtrip(insns in proptest::collection::vec(a_strategy(), 1..24)) {
+        let bytes = assemble_arm(&insns);
+        prop_assert_eq!(bytes.len(), insns.len() * 4);
+        for (k, chunk) in bytes.chunks(4).enumerate() {
+            arm::decode(chunk).unwrap_or_else(|e| panic!("insn {k}: {e}"));
+        }
+    }
+}
+
+/// Machine determinism: the same program produces bit-identical outcomes
+/// and event logs on repeated runs.
+#[test]
+fn execution_is_deterministic() {
+    use cml_image::{Arch, Perms, SectionKind};
+    use cml_vm::Machine;
+
+    let code = assemble_x86(&[
+        XInsn::MovRImm(1, 5),
+        XInsn::PushR(1),
+        XInsn::PopR(2),
+        XInsn::XorRR(0, 0),
+        XInsn::MovR8Imm(0, 1),
+        XInsn::Int80,
+    ]);
+    let run = || {
+        let mut m = Machine::new(Arch::X86);
+        m.mem_mut().map(".text", Some(SectionKind::Text), 0x1000, 0x1000, Perms::RX);
+        m.mem_mut().map("stack", Some(SectionKind::Stack), 0x8000, 0x1000, Perms::RW);
+        m.mem_mut().poke(0x1000, &code).unwrap();
+        m.regs_mut().set_pc(0x1000);
+        m.regs_mut().set_sp(0x8800);
+        let out = m.run(100);
+        (out, m.events().to_vec())
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,59 @@
+//! Defense lab: walk the whole attack/defense ladder of the paper —
+//! each protection level, the technique that defeats it, and the §IV
+//! mitigations that finally hold.
+//!
+//! ```text
+//! cargo run --example defense_lab
+//! ```
+
+use connman_lab::exploit::{strategies_for, ArmGadgetExeclp, CodeInjection, RopMemcpyChain};
+use connman_lab::{Arch, AttackOutcome, ExploitStrategy, FirmwareKind, Lab, Protections};
+
+fn attack(
+    protections: Protections,
+    strategy: &dyn ExploitStrategy,
+) -> Result<String, Box<dyn std::error::Error>> {
+    let lab = Lab::new(FirmwareKind::OpenElec, strategy.arch()).with_protections(protections);
+    let report = lab.run_exploit(strategy)?;
+    Ok(format!(
+        "{:<24} vs {:<16} → {}",
+        strategy.name(),
+        protections.label(),
+        report.outcome
+    ))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("the attack/defense ladder (ARMv7)\n");
+    let arm = Arch::Armv7;
+
+    println!("-- rung 1: no protections --");
+    println!("{}", attack(Protections::none(), &CodeInjection::new(arm))?);
+
+    println!("\n-- rung 2: W⊕X stops injection, gadgets reuse code --");
+    println!("{}", attack(Protections::wxorx(), &CodeInjection::new(arm))?);
+    println!("{}", attack(Protections::wxorx(), &ArmGadgetExeclp::new())?);
+
+    println!("\n-- rung 3: ASLR moves libc, ROP over fixed sections survives --");
+    println!("{}", attack(Protections::full(), &ArmGadgetExeclp::new())?);
+    println!("{}", attack(Protections::full(), &RopMemcpyChain::new(arm))?);
+
+    println!("\n-- rung 4: the paper's §IV mitigations --");
+    for protections in [Protections::full().with_canary(), Protections::full().with_cfi()] {
+        for strategy in strategies_for(arm) {
+            let line = attack(protections, strategy.as_ref())?;
+            println!("{line}");
+        }
+    }
+
+    println!("\n-- and the actual fix: patch to Connman 1.35 --");
+    let patched = Lab::new(FirmwareKind::Patched, arm).with_protections(Protections::none());
+    match patched.run_exploit(&RopMemcpyChain::new(arm)) {
+        Err(e) => println!("rop-memcpy-chain         vs Connman 1.35    → {e}"),
+        Ok(r) => {
+            assert_ne!(r.outcome, AttackOutcome::RootShell);
+            println!("rop-memcpy-chain         vs Connman 1.35    → {}", r.outcome);
+        }
+    }
+    Ok(())
+}

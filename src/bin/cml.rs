@@ -1,0 +1,261 @@
+//! `cml` — the connman-lab command line.
+//!
+//! ```text
+//! cml survey                              # firmware exploitability survey
+//! cml recon  --arch arm                   # print reconnaissance results
+//! cml exploit --arch x86 --prot full --strategy rop
+//! cml dos    --arch arm --prot wxorx      # crash-only probe
+//! cml pineapple --arch arm                # the remote §III-D scenario
+//! cml experiments [e1 .. e8]              # regenerate paper tables
+//! ```
+
+use std::process::ExitCode;
+
+use connman_lab::exploit::strategies::DosCrash;
+use connman_lab::exploit::{ArmGadgetExeclp, CodeInjection, Ret2Libc, RopMemcpyChain};
+use connman_lab::{Arch, AttackOutcome, ExploitStrategy, FirmwareKind, Lab, Protections};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        usage();
+        return ExitCode::FAILURE;
+    };
+    let opts = Opts::parse(&args[1..]);
+    match cmd.as_str() {
+        "survey" => survey(),
+        "recon" => recon(&opts),
+        "exploit" => exploit(&opts),
+        "dos" => dos(&opts),
+        "pineapple" => pineapple(&opts),
+        "experiments" => experiments(&opts),
+        "--help" | "-h" | "help" => {
+            usage();
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("unknown command {other:?}");
+            usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "usage: cml <command> [options]\n\
+         \n\
+         commands:\n\
+         \x20 survey                         exploitability per firmware profile\n\
+         \x20 recon       --arch A           run reconnaissance, print findings\n\
+         \x20 exploit     --arch A --prot P --strategy S\n\
+         \x20 dos         --arch A --prot P  crash-only probe\n\
+         \x20 pineapple   --arch A           remote rogue-AP scenario\n\
+         \x20 experiments [e1 .. e8]         regenerate the paper tables\n\
+         \n\
+         options:\n\
+         \x20 --arch      x86 | arm              (default arm)\n\
+         \x20 --prot      none | wxorx | full | full+canary | full+cfi (default full)\n\
+         \x20 --strategy  injection | ret2libc | execlp | rop | auto (default auto)\n\
+         \x20 --firmware  yocto | openelec | tizen | patched (default openelec)"
+    );
+}
+
+struct Opts {
+    arch: Arch,
+    prot: Protections,
+    strategy: String,
+    firmware: FirmwareKind,
+    rest: Vec<String>,
+}
+
+impl Opts {
+    fn parse(args: &[String]) -> Opts {
+        let mut o = Opts {
+            arch: Arch::Armv7,
+            prot: Protections::full(),
+            strategy: "auto".to_string(),
+            firmware: FirmwareKind::OpenElec,
+            rest: Vec::new(),
+        };
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--arch" => {
+                    o.arch = match it.next().map(String::as_str) {
+                        Some("x86") => Arch::X86,
+                        Some("arm") | Some("armv7") => Arch::Armv7,
+                        other => {
+                            eprintln!("unknown arch {other:?}, using ARMv7");
+                            Arch::Armv7
+                        }
+                    }
+                }
+                "--prot" => {
+                    o.prot = match it.next().map(String::as_str) {
+                        Some("none") => Protections::none(),
+                        Some("wxorx") | Some("wx") => Protections::wxorx(),
+                        Some("full") => Protections::full(),
+                        Some("full+canary") => Protections::full().with_canary(),
+                        Some("full+cfi") => Protections::full().with_cfi(),
+                        other => {
+                            eprintln!("unknown protections {other:?}, using full");
+                            Protections::full()
+                        }
+                    }
+                }
+                "--strategy" => {
+                    o.strategy = it.next().cloned().unwrap_or_else(|| "auto".into());
+                }
+                "--firmware" => {
+                    o.firmware = match it.next().map(String::as_str) {
+                        Some("yocto") => FirmwareKind::Yocto,
+                        Some("openelec") => FirmwareKind::OpenElec,
+                        Some("tizen") => FirmwareKind::Tizen,
+                        Some("patched") => FirmwareKind::Patched,
+                        other => {
+                            eprintln!("unknown firmware {other:?}, using OpenELEC");
+                            FirmwareKind::OpenElec
+                        }
+                    }
+                }
+                other => o.rest.push(other.to_string()),
+            }
+        }
+        o
+    }
+
+    fn pick_strategy(&self) -> Box<dyn ExploitStrategy> {
+        match (self.strategy.as_str(), self.arch) {
+            ("injection", arch) => Box::new(CodeInjection::new(arch)),
+            ("ret2libc", _) => Box::new(Ret2Libc::new()),
+            ("execlp", _) => Box::new(ArmGadgetExeclp::new()),
+            ("rop", arch) => Box::new(RopMemcpyChain::new(arch)),
+            // auto: the technique matched to the protection level.
+            (_, arch) => {
+                if self.prot.aslr.enabled {
+                    Box::new(RopMemcpyChain::new(arch))
+                } else if self.prot.wxorx {
+                    match arch {
+                        Arch::X86 => Box::new(Ret2Libc::new()),
+                        Arch::Armv7 => Box::new(ArmGadgetExeclp::new()),
+                    }
+                } else {
+                    Box::new(CodeInjection::new(arch))
+                }
+            }
+        }
+    }
+}
+
+fn survey() -> ExitCode {
+    println!("{}", connman_lab::experiments::e4::run().to_markdown());
+    ExitCode::SUCCESS
+}
+
+fn recon(opts: &Opts) -> ExitCode {
+    let lab = Lab::new(opts.firmware, opts.arch).with_protections(opts.prot);
+    match lab.recon() {
+        Ok(info) => {
+            println!("target: {} on {} ({})", opts.firmware.os_name(), opts.arch, opts.prot.label());
+            println!("buffer → ret offset : {}", info.frame.ret_offset);
+            println!("reference buffer    : {:#010x}", info.frame.buf_addr);
+            println!("NULL-check slots    : {:?}", info.frame.null_offsets);
+            println!(".bss base           : {:#010x}", info.bss_base);
+            for plt in ["memcpy", "execlp"] {
+                if let Some(a) = info.plt(plt) {
+                    println!("{plt}@plt          : {a:#010x}");
+                }
+            }
+            println!("gadgets found       : {}", info.gadgets.len());
+            for g in info.gadgets.iter().take(12) {
+                println!("  {g}");
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("recon failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn exploit(opts: &Opts) -> ExitCode {
+    let strategy = opts.pick_strategy();
+    let lab = Lab::new(opts.firmware, opts.arch).with_protections(opts.prot);
+    println!(
+        "attacking {} / {} / {} with {}…",
+        opts.firmware.os_name(),
+        opts.arch,
+        opts.prot.label(),
+        strategy.name()
+    );
+    match lab.run_exploit(strategy.as_ref()) {
+        Ok(report) => {
+            println!("outcome   : {}", report.outcome);
+            println!("predicted : {}", if report.predicted_success { "shell" } else { "no shell" });
+            println!("detail    : {}", report.proxy_outcome);
+            println!("\n{}", report.listing);
+            if report.outcome == AttackOutcome::RootShell {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(2)
+            }
+        }
+        Err(e) => {
+            eprintln!("attack could not be built: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn dos(opts: &Opts) -> ExitCode {
+    let lab = Lab::new(opts.firmware, opts.arch).with_protections(opts.prot);
+    match lab.run_exploit(&DosCrash::new()) {
+        Ok(report) => {
+            println!("{}", report.proxy_outcome);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            println!("daemon survived: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn pineapple(opts: &Opts) -> ExitCode {
+    // Reuse the E3 machinery for a single run at the chosen arch.
+    let table = connman_lab::experiments::e3::run();
+    let rows: Vec<_> = table
+        .rows
+        .iter()
+        .filter(|r| r[1] == opts.arch.to_string())
+        .collect();
+    println!("### remote rogue-AP runs for {}\n", opts.arch);
+    for r in rows {
+        println!("{} [{}]: lured={} rogue-dns={} → {}", r[0], r[2], r[3], r[4], r[5]);
+    }
+    ExitCode::SUCCESS
+}
+
+fn experiments(opts: &Opts) -> ExitCode {
+    if opts.rest.is_empty() {
+        println!("{}", connman_lab::experiments::run_all().to_markdown());
+        return ExitCode::SUCCESS;
+    }
+    let mut ok = true;
+    for id in &opts.rest {
+        match connman_lab::experiments::run_one(id) {
+            Some(t) => println!("{}", t.to_markdown()),
+            None => {
+                eprintln!("unknown experiment {id:?}");
+                ok = false;
+            }
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

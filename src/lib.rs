@@ -1,0 +1,12 @@
+//! Facade crate for the connman-lab workspace.
+//!
+//! Re-exports the public API of [`cml_core`] so that examples and
+//! downstream users need a single dependency.
+pub use cml_core::*;
+pub use cml_connman as connman;
+pub use cml_dns as dns;
+pub use cml_exploit as exploit;
+pub use cml_firmware as firmware;
+pub use cml_image as image;
+pub use cml_netsim as netsim;
+pub use cml_vm as vm;

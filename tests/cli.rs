@@ -1,0 +1,73 @@
+//! Integration: the `cml` command-line binary, spawned for real.
+
+use std::process::Command;
+
+fn cml(args: &[&str]) -> (String, String, Option<i32>) {
+    let out = Command::new(env!("CARGO_BIN_EXE_cml"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code(),
+    )
+}
+
+#[test]
+fn help_lists_commands() {
+    let (_, err, code) = cml(&["--help"]);
+    assert_eq!(code, Some(0));
+    for cmd in ["survey", "recon", "exploit", "dos", "pineapple", "experiments"] {
+        assert!(err.contains(cmd), "missing {cmd} in help:\n{err}");
+    }
+}
+
+#[test]
+fn unknown_command_fails() {
+    let (_, err, code) = cml(&["frobnicate"]);
+    assert_eq!(code, Some(1));
+    assert!(err.contains("unknown command"));
+}
+
+#[test]
+fn recon_prints_frame_and_gadgets() {
+    let (out, err, code) = cml(&["recon", "--arch", "arm", "--prot", "wxorx"]);
+    assert_eq!(code, Some(0), "stderr: {err}");
+    assert!(out.contains("buffer → ret offset : 1072"), "{out}");
+    assert!(out.contains("gadgets found"), "{out}");
+    assert!(out.contains("memcpy@plt"), "{out}");
+}
+
+#[test]
+fn exploit_rop_spawns_shell_and_prints_listing() {
+    let (out, err, code) = cml(&[
+        "exploit", "--arch", "x86", "--prot", "full", "--strategy", "rop",
+    ]);
+    assert_eq!(code, Some(0), "stderr: {err}\nstdout: {out}");
+    assert!(out.contains("outcome   : root shell"), "{out}");
+    assert!(out.contains("execlp@plt"), "{out}");
+}
+
+#[test]
+fn exploit_blocked_returns_nonzero() {
+    let (out, _, code) = cml(&[
+        "exploit", "--arch", "arm", "--prot", "full+cfi", "--strategy", "rop",
+    ]);
+    assert_eq!(code, Some(2), "{out}");
+    assert!(out.contains("DoS (crash)") || out.contains("survived"), "{out}");
+}
+
+#[test]
+fn dos_reports_crash() {
+    let (out, err, code) = cml(&["dos", "--arch", "x86", "--prot", "none"]);
+    assert_eq!(code, Some(0), "stderr: {err}");
+    assert!(out.contains("crashed"), "{out}");
+}
+
+#[test]
+fn patched_firmware_recon_fails_cleanly() {
+    let (_, err, code) = cml(&["recon", "--arch", "x86", "--firmware", "patched"]);
+    assert_eq!(code, Some(1));
+    assert!(err.contains("recon failed"), "{err}");
+}

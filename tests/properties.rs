@@ -1,0 +1,117 @@
+//! Cross-crate property tests: the invariants DESIGN.md commits to.
+
+use proptest::prelude::*;
+
+use connman_lab::connman::{ProxyOutcome, Resolution};
+use connman_lab::dns::forge::ResponseForge;
+use connman_lab::dns::{Message, Name, RecordType};
+use connman_lab::exploit::BufferImage;
+use connman_lab::firmware::Firmware;
+use connman_lab::{Arch, FirmwareKind, Protections};
+
+fn booted(kind: FirmwareKind) -> (connman_lab::firmware::Daemon, Message) {
+    let fw = Firmware::build(kind, Arch::X86);
+    let mut daemon = fw.boot(Protections::none(), 1);
+    let name = Name::parse("p.example").unwrap();
+    let Resolution::Query(q) = daemon.resolve(&name, RecordType::A) else {
+        panic!("cold cache");
+    };
+    (daemon, Message::decode(&q).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The patched daemon (1.35) survives ANY byte blob thrown at it.
+    #[test]
+    fn patched_daemon_survives_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let (mut daemon, _) = booted(FirmwareKind::Patched);
+        let _ = daemon.deliver_response(&bytes);
+        prop_assert!(daemon.is_running());
+    }
+
+    /// The patched daemon survives any *label chain* (well-formed wire
+    /// packets that pass the header gate — the strongest adversary that
+    /// cannot pick the transaction id).
+    #[test]
+    fn patched_daemon_survives_arbitrary_label_chains(
+        labels in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 1..=63),
+            1..40,
+        )
+    ) {
+        let (mut daemon, query) = booted(FirmwareKind::Patched);
+        let attack = ResponseForge::answering(&query)
+            .with_payload_labels(labels)
+            .unwrap()
+            .build();
+        if let Ok(bytes) = attack {
+            let _ = daemon.deliver_response(&bytes);
+            prop_assert!(daemon.is_running());
+        }
+    }
+
+    /// The vulnerable daemon processes any label chain without
+    /// *panicking the simulator*: outcomes are always one of the typed
+    /// verdicts, and small names never kill it.
+    #[test]
+    fn vulnerable_daemon_total_over_label_chains(
+        labels in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 1..=63),
+            1..40,
+        )
+    ) {
+        let decompressed: usize = labels.iter().map(|l| l.len() + 1).sum();
+        let (mut daemon, query) = booted(FirmwareKind::OpenElec);
+        let attack = ResponseForge::answering(&query)
+            .with_payload_labels(labels)
+            .unwrap()
+            .build();
+        if let Ok(bytes) = attack {
+            let out = daemon.deliver_response(&bytes);
+            if decompressed + 1 < 1024 {
+                prop_assert!(
+                    matches!(out, ProxyOutcome::Answered { .. } | ProxyOutcome::ParseFailed { .. }),
+                    "small name must be harmless: {out}"
+                );
+                prop_assert!(daemon.is_running());
+            }
+        }
+    }
+
+    /// Layout solver soundness: whatever it emits decompresses to an
+    /// image reproducing every fixed byte.
+    #[test]
+    fn labelizer_reproduces_fixed_bytes(
+        words in proptest::collection::vec((0usize..320, any::<u32>()), 0..24),
+    ) {
+        let mut img = BufferImage::filler(1344);
+        for (slot, value) in words {
+            img.set_word(1024 + slot * 4 / 4 * 4, value);
+        }
+        if let Ok(labels) = img.labelize() {
+            prop_assert!(img.verify(&labels).is_ok());
+            for l in &labels {
+                prop_assert!(!l.is_empty() && l.len() <= 63);
+            }
+        }
+    }
+
+    /// DNS messages round-trip through encode/decode.
+    #[test]
+    fn dns_message_roundtrip(
+        id in any::<u16>(),
+        host in "[a-z]{1,12}(\\.[a-z]{1,12}){0,3}",
+        ttl in any::<u32>(),
+        a in any::<[u8; 4]>(),
+    ) {
+        use connman_lab::dns::{Question, Record, RecordData};
+        let name = Name::parse(&host).unwrap();
+        let query = Message::query(id, Question::new(name.clone(), RecordType::A));
+        let mut resp = Message::response_to(&query);
+        resp.push_answer(Record::new(name, ttl, RecordData::A(a.into())));
+        let bytes = resp.encode().unwrap();
+        let back = Message::decode(&bytes).unwrap();
+        prop_assert_eq!(back, resp);
+    }
+}

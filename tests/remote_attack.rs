@@ -1,0 +1,196 @@
+//! Integration: the §III-D remote man-in-the-middle scenario through
+//! the public facade, including recovery once the rogue AP leaves.
+
+use std::net::Ipv4Addr;
+
+use connman_lab::dns::{Name, RecordType};
+use connman_lab::exploit::{MaliciousDnsServer, RopMemcpyChain};
+use connman_lab::netsim::{
+    share, AccessPoint, ApConfig, DhcpConfig, HwAddr, NetEvent, RadioEnvironment, Ssid,
+    WifiPineapple,
+};
+use connman_lab::{Arch, ExploitStrategy, FirmwareKind, IotDevice, Lab, LookupOutcome, Protections};
+
+fn legit_env(dns: Ipv4Addr) -> RadioEnvironment {
+    let mut env = RadioEnvironment::new();
+    env.add_ap(AccessPoint::new(ApConfig {
+        ssid: Ssid::new("FieldNet"),
+        bssid: HwAddr::local(1),
+        signal_dbm: -60,
+        dhcp: DhcpConfig::new([192, 168, 7], dns),
+    }));
+    let mut upstream = MaliciousDnsServer::benign(Ipv4Addr::new(203, 0, 113, 10));
+    env.register_service(dns, share(move |p: &[u8]| upstream.handle(p)));
+    env
+}
+
+#[test]
+fn pineapple_compromises_stock_device() {
+    let protections = Protections::full();
+    let lab = Lab::new(FirmwareKind::OpenElec, Arch::Armv7).with_protections(protections);
+    let target = lab.recon().unwrap();
+    let payload = RopMemcpyChain::new(Arch::Armv7).build(&target).unwrap();
+
+    let dns = Ipv4Addr::new(192, 168, 7, 53);
+    let mut env = legit_env(dns);
+    let mut device = IotDevice::boot(
+        lab.firmware(),
+        protections,
+        0xFEED,
+        HwAddr::local(0x99),
+        Ssid::new("FieldNet"),
+    );
+    assert!(device.reconnect(&mut env));
+    let host = Name::parse("ntp.vendor.example").unwrap();
+    assert!(matches!(
+        device.lookup(&mut env, &host, RecordType::A),
+        LookupOutcome::Network(connman_lab::ProxyOutcome::Answered { .. })
+    ));
+
+    let mut evil = MaliciousDnsServer::new(&payload).unwrap();
+    let pineapple =
+        WifiPineapple::deploy(&mut env, &Ssid::new("FieldNet"), share(move |p: &[u8]| evil.handle(p)))
+            .unwrap();
+    assert!(device.reconnect(&mut env), "device lured");
+    assert_eq!(device.station().dns_server(), Some(pineapple.dns_addr()));
+
+    let other = Name::parse("logs.vendor.example").unwrap();
+    let outcome = device.lookup(&mut env, &other, RecordType::A);
+    assert!(outcome.compromised(), "{outcome}");
+    assert!(!device.is_alive());
+
+    // The network transcript shows the full story.
+    let events = env.events();
+    assert!(events.iter().any(|e| matches!(e, NetEvent::ApUp { .. })));
+    assert!(events.iter().any(|e| matches!(e, NetEvent::Associated { .. })));
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, NetEvent::Delivered { answered: true, .. })));
+}
+
+#[test]
+fn cached_entries_never_touch_the_rogue_resolver() {
+    // A name cached before the pineapple arrives is served locally: no
+    // attack surface on repeat lookups.
+    let protections = Protections::full();
+    let lab = Lab::new(FirmwareKind::OpenElec, Arch::X86).with_protections(protections);
+    let target = lab.recon().unwrap();
+    let payload = RopMemcpyChain::new(Arch::X86).build(&target).unwrap();
+
+    let dns = Ipv4Addr::new(192, 168, 7, 53);
+    let mut env = legit_env(dns);
+    let mut device = IotDevice::boot(
+        lab.firmware(),
+        protections,
+        0xFEED,
+        HwAddr::local(0x98),
+        Ssid::new("FieldNet"),
+    );
+    device.reconnect(&mut env);
+    let host = Name::parse("api.vendor.example").unwrap();
+    device.lookup(&mut env, &host, RecordType::A);
+
+    let mut evil = MaliciousDnsServer::new(&payload).unwrap();
+    WifiPineapple::deploy(&mut env, &Ssid::new("FieldNet"), share(move |p: &[u8]| evil.handle(p)))
+        .unwrap();
+    device.reconnect(&mut env);
+
+    // Cached lookup: safe. Fresh name: compromised.
+    assert!(matches!(
+        device.lookup(&mut env, &host, RecordType::A),
+        LookupOutcome::Cached(_)
+    ));
+    assert!(device.is_alive());
+    let fresh = Name::parse("fresh.vendor.example").unwrap();
+    assert!(device.lookup(&mut env, &fresh, RecordType::A).compromised());
+}
+
+#[test]
+fn patched_device_survives_the_pineapple() {
+    let protections = Protections::none();
+    // Recon against a vulnerable replica (the attacker does not know the
+    // fleet is patched).
+    let vuln_lab = Lab::new(FirmwareKind::OpenElec, Arch::Armv7).with_protections(protections);
+    let target = vuln_lab.recon().unwrap();
+    let payload = RopMemcpyChain::new(Arch::Armv7).build(&target).unwrap();
+
+    let dns = Ipv4Addr::new(192, 168, 7, 53);
+    let mut env = legit_env(dns);
+    let patched = connman_lab::Firmware::build(FirmwareKind::Patched, Arch::Armv7);
+    let mut device = IotDevice::boot(
+        &patched,
+        protections,
+        0xFEED,
+        HwAddr::local(0x97),
+        Ssid::new("FieldNet"),
+    );
+    device.reconnect(&mut env);
+
+    let mut evil = MaliciousDnsServer::new(&payload).unwrap();
+    WifiPineapple::deploy(&mut env, &Ssid::new("FieldNet"), share(move |p: &[u8]| evil.handle(p)))
+        .unwrap();
+    device.reconnect(&mut env);
+    let host = Name::parse("ota.vendor.example").unwrap();
+    let outcome = device.lookup(&mut env, &host, RecordType::A);
+    assert!(
+        matches!(
+            outcome,
+            LookupOutcome::Network(connman_lab::ProxyOutcome::ParseFailed { .. })
+        ),
+        "{outcome}"
+    );
+    assert!(device.is_alive(), "1.35 shrugs the exploit off");
+}
+
+#[test]
+fn dns_cache_poisoning_alternative_vector() {
+    // §III-D also names cache poisoning: instead of memory corruption,
+    // the MITM answers honestly-shaped responses with attacker
+    // addresses, and the device keeps using them from cache even after
+    // the rogue AP leaves.
+    let protections = Protections::full();
+    let fw = connman_lab::Firmware::build(FirmwareKind::Patched, Arch::Armv7);
+    let dns = Ipv4Addr::new(192, 168, 7, 53);
+    let mut env = legit_env(dns);
+    let mut device = IotDevice::boot(
+        &fw,
+        protections,
+        0xFEED,
+        HwAddr::local(0x96),
+        Ssid::new("FieldNet"),
+    );
+    device.reconnect(&mut env);
+
+    // The poisoner is a *benign-looking* resolver answering with an
+    // attacker-controlled address; even the patched daemon accepts it.
+    let attacker_ip = Ipv4Addr::new(198, 51, 100, 66);
+    let poisoner = MaliciousDnsServer::benign(attacker_ip);
+    let mut poisoner = poisoner;
+    let pineapple = WifiPineapple::deploy(
+        &mut env,
+        &Ssid::new("FieldNet"),
+        share(move |p: &[u8]| poisoner.handle(p)),
+    )
+    .unwrap();
+    device.reconnect(&mut env);
+
+    let host = Name::parse("payments.vendor.example").unwrap();
+    let out = device.lookup(&mut env, &host, RecordType::A);
+    assert!(
+        matches!(out, LookupOutcome::Network(connman_lab::ProxyOutcome::Answered { .. })),
+        "{out}"
+    );
+
+    // Rogue AP leaves; the device falls back to the legitimate network…
+    pineapple.shutdown(&mut env);
+    device.reconnect(&mut env);
+    // …but the poisoned record is already cached and keeps steering
+    // traffic to the attacker until its TTL expires.
+    match device.lookup(&mut env, &host, RecordType::A) {
+        LookupOutcome::Cached(addrs) => {
+            assert_eq!(addrs, vec![std::net::IpAddr::V4(attacker_ip)]);
+        }
+        other => panic!("expected the poisoned cache entry, got {other}"),
+    }
+    assert!(device.is_alive(), "no corruption involved — daemon healthy");
+}
