@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate: formatting, lints, build, tests — fully offline.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+export CARGO_NET_OFFLINE=true
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --workspace --release --offline
+
+echo "==> cargo test"
+cargo test --workspace --release --offline -q
+
+echo "CI green."

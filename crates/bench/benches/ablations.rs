@@ -4,7 +4,7 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 use cml_exploit::BufferImage;
 use cml_firmware::{Arch, Firmware, FirmwareKind, Protections};
-use cml_vm::x86;
+use cml_vm::{x86, Machine, X86Reg};
 
 /// Ablation 1 — gadget scanning granularity: every-byte (what we ship,
 /// finds unintended unaligned gadgets) vs. instruction-aligned-only
@@ -73,7 +73,7 @@ fn ablation_frame_sim(c: &mut Criterion) {
         ("bounds_checked_early_exit", FirmwareKind::Patched),
     ] {
         let fw = Firmware::build(kind, Arch::X86);
-        c.bench_function(&format!("ablation/{name}"), |b| {
+        c.bench_function(format!("ablation/{name}"), |b| {
             b.iter_batched(
                 || fw.boot(Protections::none(), 7),
                 |mut daemon| deliver_labels(&mut daemon, labels.clone()).unwrap(),
@@ -107,5 +107,50 @@ fn ablation_labelize(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, ablation_scan_mode, ablation_frame_sim, ablation_labelize);
+/// Ablation 4 — predecoded-instruction cache: a genuine backward loop
+/// (the same few pcs re-executed ~200 times, like the daemon's parser
+/// loops) with the per-page decode cache on (what we ship) vs. forced
+/// off (every step re-decodes from raw bytes).
+fn ablation_decode_cache(c: &mut Criterion) {
+    use cml_image::{Perms, SectionKind};
+    // mov ecx, 200; loop: inc eax ×4; dec ecx; jnz loop (body = 7
+    // bytes, so rel8 = -7 back past inc/inc/inc/inc/dec + the jnz
+    // itself); then exit(0).
+    let code = x86::Asm::new()
+        .mov_r_imm(X86Reg::Ecx, 200)
+        .inc_r(X86Reg::Eax)
+        .inc_r(X86Reg::Eax)
+        .inc_r(X86Reg::Eax)
+        .inc_r(X86Reg::Eax)
+        .dec_r(X86Reg::Ecx)
+        .jnz_rel8(-7)
+        .xor_rr(X86Reg::Eax, X86Reg::Eax)
+        .mov_r8_imm(X86Reg::Eax, 1)
+        .int80()
+        .finish();
+    for (name, cache_on) in [("decode_cache_on", true), ("decode_cache_off", false)] {
+        c.bench_function(format!("ablation/{name}"), |b| {
+            b.iter(|| {
+                let mut m = Machine::new(Arch::X86);
+                m.set_decode_cache_enabled(cache_on);
+                m.mem_mut()
+                    .map(".text", Some(SectionKind::Text), 0x1000, 0x1000, Perms::RX);
+                m.mem_mut()
+                    .map("stack", Some(SectionKind::Stack), 0x8000, 0x1000, Perms::RW);
+                m.mem_mut().poke(0x1000, &code).unwrap();
+                m.regs_mut().set_pc(0x1000);
+                m.regs_mut().set_sp(0x8800);
+                black_box(m.run(10_000))
+            })
+        });
+    }
+}
+
+criterion_group!(
+    benches,
+    ablation_scan_mode,
+    ablation_frame_sim,
+    ablation_labelize,
+    ablation_decode_cache
+);
 criterion_main!(benches);

@@ -9,7 +9,10 @@ use cml_dns::{Message, Name, Question, Record, RecordData, RecordType};
 fn sample_query() -> Message {
     Message::query(
         0x1234,
-        Question::new(Name::parse("sensor.update.vendor.example.com").unwrap(), RecordType::A),
+        Question::new(
+            Name::parse("sensor.update.vendor.example.com").unwrap(),
+            RecordType::A,
+        ),
     )
 }
 

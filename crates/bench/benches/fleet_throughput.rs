@@ -1,0 +1,24 @@
+//! Fleet-scale throughput: the 1,000-device heterogeneous rogue-AP
+//! scenario from `cml_core::fleet`, serial vs. a 4-worker pool.
+//!
+//! The interesting number is devices/sec and the serial→parallel ratio;
+//! each sample is a full fleet sweep, so the group runs few samples.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use cml_core::fleet::{run_fleet, FleetSpec};
+
+fn bench_fleet(c: &mut Criterion) {
+    let spec = FleetSpec::heterogeneous(1000, 0xF1EE7);
+    let mut group = c.benchmark_group("fleet");
+    group.sample_size(10);
+    for jobs in [1usize, 2, 4] {
+        group.bench_function(format!("1000_devices_jobs{jobs}"), |b| {
+            b.iter(|| black_box(run_fleet(&spec, jobs)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fleet);
+criterion_main!(benches);

@@ -8,7 +8,7 @@ use cml_firmware::{Arch, Firmware, FirmwareKind};
 fn bench_scan(c: &mut Criterion) {
     for arch in Arch::ALL {
         let fw = Firmware::build(FirmwareKind::OpenElec, arch);
-        c.bench_function(&format!("gadget/scan_{arch}"), |b| {
+        c.bench_function(format!("gadget/scan_{arch}"), |b| {
             b.iter(|| GadgetSet::scan(black_box(fw.image())))
         });
     }
@@ -23,7 +23,12 @@ fn bench_queries(c: &mut Criterion) {
         b.iter(|| black_box(&set_x86).x86_pop_chain(4).unwrap().addr)
     });
     c.bench_function("gadget/query_arm_pop_including", |b| {
-        b.iter(|| black_box(&set_arm).arm_pop_including(&[0, 1, 2, 3, 5, 6, 7]).unwrap().addr)
+        b.iter(|| {
+            black_box(&set_arm)
+                .arm_pop_including(&[0, 1, 2, 3, 5, 6, 7])
+                .unwrap()
+                .addr
+        })
     });
     c.bench_function("gadget/memstr_slash", |b| {
         b.iter(|| black_box(fw_x86.image()).find_bytes(b"/"))

@@ -29,7 +29,7 @@ fn bench_strategy_build(c: &mut Criterion) {
         let info =
             TargetInfo::gather(fw.image(), move || fw2.boot(Protections::full(), 5)).unwrap();
         for strategy in strategies_for(arch) {
-            c.bench_function(&format!("build/{}_{arch}", strategy.name()), |b| {
+            c.bench_function(format!("build/{}_{arch}", strategy.name()), |b| {
                 b.iter(|| strategy.build(black_box(&info)).unwrap())
             });
         }

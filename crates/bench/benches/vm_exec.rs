@@ -14,13 +14,18 @@ fn bench_interpreters(c: &mut Criterion) {
         for _ in 0..8 {
             a = a.inc_r(X86Reg::Ecx).dec_r(X86Reg::Ecx).inc_r(X86Reg::Ecx);
         }
-        a.xor_rr(X86Reg::Eax, X86Reg::Eax).mov_r8_imm(X86Reg::Eax, 1).int80().finish()
+        a.xor_rr(X86Reg::Eax, X86Reg::Eax)
+            .mov_r8_imm(X86Reg::Eax, 1)
+            .int80()
+            .finish()
     };
     c.bench_function("vm/x86_step_sequence", |b| {
         b.iter(|| {
             let mut m = Machine::new(Arch::X86);
-            m.mem_mut().map(".text", Some(SectionKind::Text), 0x1000, 0x1000, Perms::RX);
-            m.mem_mut().map("stack", Some(SectionKind::Stack), 0x8000, 0x1000, Perms::RW);
+            m.mem_mut()
+                .map(".text", Some(SectionKind::Text), 0x1000, 0x1000, Perms::RX);
+            m.mem_mut()
+                .map("stack", Some(SectionKind::Stack), 0x8000, 0x1000, Perms::RW);
             m.mem_mut().poke(0x1000, &x86_code).unwrap();
             m.regs_mut().set_pc(0x1000);
             m.regs_mut().set_sp(0x8800);
@@ -38,8 +43,15 @@ fn bench_interpreters(c: &mut Criterion) {
     c.bench_function("vm/arm_step_sequence", |b| {
         b.iter(|| {
             let mut m = Machine::new(Arch::Armv7);
-            m.mem_mut().map(".text", Some(SectionKind::Text), 0x1_0000, 0x1000, Perms::RX);
-            m.mem_mut().map("stack", Some(SectionKind::Stack), 0x8000, 0x1000, Perms::RW);
+            m.mem_mut().map(
+                ".text",
+                Some(SectionKind::Text),
+                0x1_0000,
+                0x1000,
+                Perms::RX,
+            );
+            m.mem_mut()
+                .map("stack", Some(SectionKind::Stack), 0x8000, 0x1000, Perms::RW);
             m.mem_mut().poke(0x1_0000, &arm_code).unwrap();
             m.regs_mut().set_pc(0x1_0000);
             m.regs_mut().set_sp(0x8800);
@@ -51,7 +63,7 @@ fn bench_interpreters(c: &mut Criterion) {
 fn bench_loader(c: &mut Criterion) {
     for arch in Arch::ALL {
         let fw = Firmware::build(FirmwareKind::OpenElec, arch);
-        c.bench_function(&format!("vm/load_image_{arch}"), |b| {
+        c.bench_function(format!("vm/load_image_{arch}"), |b| {
             b.iter(|| {
                 Loader::new(black_box(fw.image()))
                     .protections(Protections::full())
@@ -66,9 +78,12 @@ fn bench_memcpy_hook(c: &mut Criterion) {
     c.bench_function("vm/memcpy_hook_256B", |b| {
         b.iter(|| {
             let mut m = Machine::new(Arch::X86);
-            m.mem_mut().map("data", Some(SectionKind::Data), 0x3000, 0x1000, Perms::RW);
-            m.mem_mut().map("libc", Some(SectionKind::Libc), 0x7000, 0x100, Perms::RX);
-            m.mem_mut().map("stack", Some(SectionKind::Stack), 0x8000, 0x1000, Perms::RW);
+            m.mem_mut()
+                .map("data", Some(SectionKind::Data), 0x3000, 0x1000, Perms::RW);
+            m.mem_mut()
+                .map("libc", Some(SectionKind::Libc), 0x7000, 0x100, Perms::RX);
+            m.mem_mut()
+                .map("stack", Some(SectionKind::Stack), 0x8000, 0x1000, Perms::RW);
             m.register_hook(0x7000, cml_vm::LibcFn::Memcpy);
             m.regs_mut().set_sp(0x8800);
             for v in [256u32, 0x3000, 0x3400, 0xdead] {

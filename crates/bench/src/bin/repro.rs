@@ -5,49 +5,84 @@
 //! repro --exp e2 e5     # run selected experiments
 //! repro --out FILE      # also write the markdown to FILE
 //! repro --json          # machine-readable output
+//! repro --jobs 4        # fan matrix experiments across 4 workers
+//! repro --bench-json    # also time each experiment + a 1,000-device
+//!                       # fleet and write BENCH_<n>.json
 //! ```
 
 use std::io::Write;
+use std::time::Instant;
 
 use cml_core::experiments;
+use cml_core::fleet::{run_fleet, FleetSpec};
 use cml_core::report::Suite;
+
+const ALL_IDS: [&str; 8] = ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8"];
+const FLEET_DEVICES: usize = 1000;
 
 fn main() {
     let mut ids: Vec<String> = Vec::new();
     let mut out_path: Option<String> = None;
     let mut json = false;
+    let mut bench_json = false;
+    let mut jobs = 1usize;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--exp" => { /* ids follow */ }
             "--out" => out_path = args.next(),
             "--json" => json = true,
+            "--bench-json" | "--timings" => bench_json = true,
+            "--jobs" => {
+                jobs = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--jobs wants a number, using 1");
+                    1
+                });
+            }
             "--help" | "-h" => {
-                eprintln!("usage: repro [--exp e1 e2 …] [--out FILE] [--json]");
+                eprintln!(
+                    "usage: repro [--exp e1 e2 …] [--out FILE] [--json] \
+                     [--jobs N] [--bench-json|--timings]"
+                );
                 return;
             }
             other => ids.push(other.to_string()),
         }
     }
 
-    let suite = if ids.is_empty() {
-        eprintln!("running all experiments (E1..E8) — a few minutes of simulated boots…");
-        experiments::run_all()
+    let run_ids: Vec<String> = if ids.is_empty() {
+        ALL_IDS.iter().map(|s| s.to_string()).collect()
     } else {
-        let mut tables = Vec::new();
-        for id in &ids {
-            match experiments::run_one(id) {
-                Some(t) => {
-                    eprintln!("finished {id}");
-                    tables.push(t);
-                }
-                None => eprintln!("unknown experiment id {id:?} (want e1..e8)"),
-            }
-        }
-        Suite { tables }
+        ids.clone()
     };
+    if ids.is_empty() {
+        eprintln!("running all experiments (E1..E8) on {jobs} worker(s)…");
+    }
 
-    let body = if json { to_json(&suite) } else { suite.to_markdown() };
+    // Run experiment-by-experiment so --bench-json can attribute wall
+    // time to each table; concatenating per-id runs reproduces
+    // run_all_jobs() output exactly (both are ordered merges).
+    let mut tables = Vec::new();
+    let mut timings: Vec<(String, f64)> = Vec::new();
+    for id in &run_ids {
+        let t0 = Instant::now();
+        match experiments::run_one_jobs(id, jobs) {
+            Some(t) => {
+                let secs = t0.elapsed().as_secs_f64();
+                eprintln!("finished {id} in {:.2}s", secs);
+                timings.push((id.clone(), secs));
+                tables.push(t);
+            }
+            None => eprintln!("unknown experiment id {id:?} (want e1..e8)"),
+        }
+    }
+    let suite = Suite { tables };
+
+    let body = if json {
+        to_json(&suite)
+    } else {
+        suite.to_markdown()
+    };
     println!("{body}");
     if let Some(path) = out_path {
         match std::fs::File::create(&path).and_then(|mut f| f.write_all(body.as_bytes())) {
@@ -55,13 +90,65 @@ fn main() {
             Err(e) => eprintln!("failed to write {path}: {e}"),
         }
     }
+
+    if bench_json {
+        let spec = FleetSpec::heterogeneous(FLEET_DEVICES, 0xF1EE7);
+        eprintln!("timing a {FLEET_DEVICES}-device fleet on {jobs} worker(s)…");
+        let report = run_fleet(&spec, jobs);
+        eprintln!(
+            "fleet: {} devices in {:.2}s ({:.1} devices/sec, {} compromised)",
+            report.outcomes.len(),
+            report.elapsed.as_secs_f64(),
+            report.devices_per_sec(),
+            report.compromised()
+        );
+        let path = next_bench_path();
+        let doc = bench_json_doc(jobs, &timings, &report);
+        match std::fs::File::create(&path).and_then(|mut f| f.write_all(doc.as_bytes())) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => eprintln!("failed to write {path}: {e}"),
+        }
+    }
+}
+
+/// First `BENCH_<n>.json` name not already taken in the working dir.
+fn next_bench_path() -> String {
+    (0..)
+        .map(|n| format!("BENCH_{n}.json"))
+        .find(|p| !std::path::Path::new(p).exists())
+        .expect("some index is free")
+}
+
+fn bench_json_doc(
+    jobs: usize,
+    timings: &[(String, f64)],
+    fleet: &cml_core::fleet::FleetReport,
+) -> String {
+    let exps: Vec<String> = timings
+        .iter()
+        .map(|(id, secs)| format!("{{\"id\":\"{id}\",\"wall_secs\":{secs:.6}}}"))
+        .collect();
+    format!(
+        "{{\"jobs\":{jobs},\"experiments\":[{}],\"fleet\":{{\"devices\":{},\
+         \"jobs\":{},\"wall_secs\":{:.6},\"devices_per_sec\":{:.2},\
+         \"compromised\":{},\"survivors\":{}}}}}\n",
+        exps.join(","),
+        fleet.outcomes.len(),
+        fleet.jobs,
+        fleet.elapsed.as_secs_f64(),
+        fleet.devices_per_sec(),
+        fleet.compromised(),
+        fleet.survivors()
+    )
 }
 
 /// Minimal JSON rendering (the approved dependency set has serde but not
 /// serde_json; tables are simple enough to emit by hand).
 fn to_json(suite: &Suite) -> String {
     fn esc(s: &str) -> String {
-        s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+        s.replace('\\', "\\\\")
+            .replace('"', "\\\"")
+            .replace('\n', "\\n")
     }
     let tables: Vec<String> = suite
         .tables
@@ -71,15 +158,12 @@ fn to_json(suite: &Suite) -> String {
                 .rows
                 .iter()
                 .map(|r| {
-                    let cells: Vec<String> =
-                        r.iter().map(|c| format!("\"{}\"", esc(c))).collect();
+                    let cells: Vec<String> = r.iter().map(|c| format!("\"{}\"", esc(c))).collect();
                     format!("[{}]", cells.join(","))
                 })
                 .collect();
-            let header: Vec<String> =
-                t.header.iter().map(|h| format!("\"{}\"", esc(h))).collect();
-            let notes: Vec<String> =
-                t.notes.iter().map(|n| format!("\"{}\"", esc(n))).collect();
+            let header: Vec<String> = t.header.iter().map(|h| format!("\"{}\"", esc(h))).collect();
+            let notes: Vec<String> = t.notes.iter().map(|n| format!("\"{}\"", esc(n))).collect();
             format!(
                 "{{\"id\":\"{}\",\"title\":\"{}\",\"header\":[{}],\"rows\":[{}],\"notes\":[{}]}}",
                 esc(&t.id),

@@ -40,7 +40,10 @@ impl Cache {
 
     /// Creates a cache bounded to `capacity` entries.
     pub fn new(capacity: usize) -> Self {
-        Cache { entries: HashMap::new(), capacity: capacity.max(1) }
+        Cache {
+            entries: HashMap::new(),
+            capacity: capacity.max(1),
+        }
     }
 
     /// Number of live entries (including not-yet-expired ones only after
@@ -84,7 +87,11 @@ impl Cache {
         }
         self.entries.insert(
             Self::key(name, rtype),
-            CacheEntry { addresses, expires_at: now + ttl as u64, inserted_at: now },
+            CacheEntry {
+                addresses,
+                expires_at: now + ttl as u64,
+                inserted_at: now,
+            },
         );
         true
     }
@@ -128,7 +135,9 @@ mod tests {
         assert!(c.insert(&name("Example.COM"), RecordType::A, vec![ip(1)], 60, 100));
         let e = c.lookup(&name("example.com"), RecordType::A, 120).unwrap();
         assert_eq!(e.addresses, vec![ip(1)]);
-        assert!(c.lookup(&name("example.com"), RecordType::Aaaa, 120).is_none());
+        assert!(c
+            .lookup(&name("example.com"), RecordType::Aaaa, 120)
+            .is_none());
     }
 
     #[test]
@@ -156,7 +165,10 @@ mod tests {
         c.insert(&name("two"), RecordType::A, vec![ip(2)], 600, 2);
         c.insert(&name("three"), RecordType::A, vec![ip(3)], 600, 3);
         assert_eq!(c.len(), 2);
-        assert!(c.lookup(&name("one"), RecordType::A, 4).is_none(), "oldest evicted");
+        assert!(
+            c.lookup(&name("one"), RecordType::A, 4).is_none(),
+            "oldest evicted"
+        );
         assert!(c.lookup(&name("three"), RecordType::A, 4).is_some());
     }
 }

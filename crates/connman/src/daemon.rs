@@ -7,7 +7,7 @@
 //! the bytes. That call is where every outcome of the paper happens:
 //! rejection, normal caching, crash (DoS), or control-flow hijack (RCE).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::error::Error;
 use std::fmt;
 use std::net::IpAddr;
@@ -111,6 +111,11 @@ pub struct Daemon {
     boot_sp: Addr,
     next_id: u16,
     pending: HashMap<u16, PendingQuery>,
+    /// Issue order of pending queries, for O(1) amortized oldest-first
+    /// eviction. Entries whose query was since answered go stale here
+    /// and are skipped (lazy deletion); the `issued_at` tag disambiguates
+    /// a reused transaction id from the stale record of its predecessor.
+    pending_order: VecDeque<(u16, u64)>,
     issued: u64,
     clock: u64,
     state: DaemonState,
@@ -147,6 +152,7 @@ impl Daemon {
             boot_sp,
             next_id: 0x1000,
             pending: HashMap::new(),
+            pending_order: VecDeque::new(),
             issued: 0,
             clock: 0,
             state: DaemonState::Running,
@@ -235,17 +241,28 @@ impl Daemon {
         let bytes = query.encode().expect("queries are small and well-formed");
         if self.pending.len() >= MAX_PENDING {
             // Evict the oldest request, as the real bounded list does.
-            if let Some(&oldest) = self
-                .pending
-                .iter()
-                .min_by_key(|(_, p)| p.issued_at)
-                .map(|(k, _)| k)
-            {
-                self.pending.remove(&oldest);
+            // Pop issue-order records until one still names a live query
+            // (answered queries leave stale records behind).
+            while let Some((old_id, issued_at)) = self.pending_order.pop_front() {
+                if self
+                    .pending
+                    .get(&old_id)
+                    .is_some_and(|p| p.issued_at == issued_at)
+                {
+                    self.pending.remove(&old_id);
+                    break;
+                }
             }
         }
         self.issued += 1;
-        self.pending.insert(id, PendingQuery { message: query, issued_at: self.issued });
+        self.pending.insert(
+            id,
+            PendingQuery {
+                message: query,
+                issued_at: self.issued,
+            },
+        );
+        self.pending_order.push_back((id, self.issued));
         Resolution::Query(bytes)
     }
 
@@ -422,9 +439,19 @@ fn parse_rr_fixed(bytes: &[u8], offset: usize) -> Result<RrFixed, &'static str> 
     let rtype = RecordType::from_u16(r.read_u16("type").map_err(|_| "record header truncated")?);
     let _class = r.read_u16("class").map_err(|_| "record header truncated")?;
     let ttl = r.read_u32("ttl").map_err(|_| "record header truncated")?;
-    let rdlen = r.read_u16("rdlength").map_err(|_| "record header truncated")? as usize;
-    let rdata = r.read_bytes(rdlen, "rdata").map_err(|_| "rdata truncated")?.to_vec();
-    Ok(RrFixed { rtype, ttl, rdata, next_offset: r.position() })
+    let rdlen = r
+        .read_u16("rdlength")
+        .map_err(|_| "record header truncated")? as usize;
+    let rdata = r
+        .read_bytes(rdlen, "rdata")
+        .map_err(|_| "rdata truncated")?
+        .to_vec();
+    Ok(RrFixed {
+        rtype,
+        ttl,
+        rdata,
+        next_offset: r.position(),
+    })
 }
 
 #[cfg(test)]
@@ -489,7 +516,10 @@ mod tests {
         assert!(d.is_running());
         // Second lookup hits the cache.
         let name = Name::parse("iot.example.com").unwrap();
-        assert!(matches!(d.resolve(&name, RecordType::A), Resolution::Cached(_)));
+        assert!(matches!(
+            d.resolve(&name, RecordType::A),
+            Resolution::Cached(_)
+        ));
     }
 
     #[test]
@@ -503,8 +533,10 @@ mod tests {
                 .build()
                 .unwrap();
             let out = d.deliver_response(&resp);
-            assert!(out.is_dos() || out.is_root_shell() == false && !out.daemon_alive(),
-                "{arch}: {out}");
+            assert!(
+                out.is_dos() || !out.is_root_shell() && !out.daemon_alive(),
+                "{arch}: {out}"
+            );
             assert!(!d.is_running(), "{arch}: daemon must be dead");
             // Subsequent deliveries bounce.
             assert_eq!(d.deliver_response(&resp), ProxyOutcome::DaemonDown);
@@ -540,7 +572,10 @@ mod tests {
                 .build()
                 .unwrap();
             let out = d.deliver_response(&resp);
-            assert!(matches!(out, ProxyOutcome::ParseFailed { .. }), "{arch}: {out}");
+            assert!(
+                matches!(out, ProxyOutcome::ParseFailed { .. }),
+                "{arch}: {out}"
+            );
             assert!(d.is_running());
         }
     }
@@ -629,18 +664,27 @@ mod tests {
             .ttl(30)
             .build()
             .unwrap();
-        assert!(matches!(d.deliver_response(&resp), ProxyOutcome::Answered { .. }));
+        assert!(matches!(
+            d.deliver_response(&resp),
+            ProxyOutcome::Answered { .. }
+        ));
         let name = Name::parse("iot.example.com").unwrap();
-        assert!(matches!(d.resolve(&name, RecordType::A), Resolution::Cached(_)));
+        assert!(matches!(
+            d.resolve(&name, RecordType::A),
+            Resolution::Cached(_)
+        ));
         d.tick(31);
-        assert!(matches!(d.resolve(&name, RecordType::A), Resolution::Query(_)));
+        assert!(matches!(
+            d.resolve(&name, RecordType::A),
+            Resolution::Query(_)
+        ));
     }
 }
 
 #[cfg(test)]
 mod pending_tests {
     use super::*;
-    use crate::daemon::tests::{issue_query, daemon as boot_daemon};
+    use crate::daemon::tests::{daemon as boot_daemon, issue_query};
     use cml_dns::forge::ResponseForge;
     use cml_image::Arch;
     use cml_vm::Protections;
@@ -664,7 +708,10 @@ mod pending_tests {
                 .unwrap()
                 .build()
                 .unwrap();
-            assert_eq!(d.deliver_response(&resp), ProxyOutcome::Answered { cached: 1 });
+            assert_eq!(
+                d.deliver_response(&resp),
+                ProxyOutcome::Answered { cached: 1 }
+            );
         }
         assert_eq!(d.pending_count(), 0);
         assert_eq!(d.cache().len(), 5);
@@ -712,7 +759,74 @@ mod pending_tests {
             .unwrap()
             .build()
             .unwrap();
-        assert!(matches!(d.deliver_response(&resp), ProxyOutcome::Rejected(_)));
+        assert!(matches!(
+            d.deliver_response(&resp),
+            ProxyOutcome::Rejected(_)
+        ));
+    }
+
+    #[test]
+    fn eviction_strictly_follows_issue_order() {
+        let mut d = boot_daemon(Arch::X86, ConnmanVersion::V1_34, Protections::none());
+        let mut ids = Vec::new();
+        for i in 0..MAX_PENDING + 3 {
+            let name = Name::parse(&format!("q{i}.example")).unwrap();
+            let Resolution::Query(bytes) = d.resolve(&name, RecordType::A) else {
+                panic!("cold cache");
+            };
+            ids.push(Message::decode(&bytes).unwrap().id());
+        }
+        // Three over capacity: exactly the three oldest are gone, the
+        // fourth-oldest and everything newer remain.
+        assert_eq!(d.pending_count(), MAX_PENDING);
+        for id in &ids[..3] {
+            assert!(d.pending_for(*id).is_none(), "{id:#06x} should be evicted");
+        }
+        for id in &ids[3..] {
+            assert!(d.pending_for(*id).is_some(), "{id:#06x} should survive");
+        }
+    }
+
+    #[test]
+    fn answered_query_leaves_a_stale_order_record_that_is_skipped() {
+        let mut d = boot_daemon(Arch::X86, ConnmanVersion::V1_34, Protections::none());
+        let mut queries = Vec::new();
+        for i in 0..MAX_PENDING {
+            let name = Name::parse(&format!("s{i}.example")).unwrap();
+            let Resolution::Query(bytes) = d.resolve(&name, RecordType::A) else {
+                panic!("cold cache");
+            };
+            queries.push(Message::decode(&bytes).unwrap());
+        }
+        // Answer the OLDEST query: its order record goes stale.
+        let resp = ResponseForge::answering(&queries[0])
+            .with_payload_labels(vec![b"ok".to_vec()])
+            .unwrap()
+            .build()
+            .unwrap();
+        assert_eq!(
+            d.deliver_response(&resp),
+            ProxyOutcome::Answered { cached: 1 }
+        );
+        assert_eq!(d.pending_count(), MAX_PENDING - 1);
+        // Refill to capacity (no eviction), then one more: the stale
+        // record for queries[0] must be skipped and queries[1] — the
+        // oldest *live* query — evicted instead.
+        for i in 0..2 {
+            let name = Name::parse(&format!("extra{i}.example")).unwrap();
+            let Resolution::Query(_) = d.resolve(&name, RecordType::A) else {
+                panic!("cold cache");
+            };
+        }
+        assert_eq!(d.pending_count(), MAX_PENDING);
+        assert!(
+            d.pending_for(queries[1].id()).is_none(),
+            "oldest live evicted"
+        );
+        assert!(
+            d.pending_for(queries[2].id()).is_some(),
+            "next-oldest survives"
+        );
     }
 
     #[test]
@@ -725,7 +839,10 @@ mod pending_tests {
             .build()
             .unwrap();
         bad[3] |= 0x03; // NXDOMAIN rcode → gate rejects as error rcode
-        assert!(matches!(d.deliver_response(&bad), ProxyOutcome::Rejected(_)));
+        assert!(matches!(
+            d.deliver_response(&bad),
+            ProxyOutcome::Rejected(_)
+        ));
         assert_eq!(d.pending_count(), 1, "still waiting for a good answer");
         assert!(d.pending_for(q.id()).is_some());
     }

@@ -51,7 +51,10 @@ impl FrameLayout {
     ///
     /// Panics unless `buf_size` is a positive multiple of 4.
     pub fn scaled(arch: Arch, buf_size: usize) -> FrameLayout {
-        assert!(buf_size > 0 && buf_size % 4 == 0, "buffer must be word-sized");
+        assert!(
+            buf_size > 0 && buf_size.is_multiple_of(4),
+            "buffer must be word-sized"
+        );
         match arch {
             // x86: `[buf][locals 8][canary 4][saved ebp 4][ret]`.
             Arch::X86 => FrameLayout {
@@ -134,7 +137,11 @@ impl Frame {
         // (x86 `call` pushes it; ARM's prologue stores lr there).
         let ret_addr = caller_sp.wrapping_sub(4);
         let buf_addr = ret_addr.wrapping_sub(layout.ret_offset as u32);
-        let frame = Frame { layout, buf_addr, caller_sp };
+        let frame = Frame {
+            layout,
+            buf_addr,
+            caller_sp,
+        };
         let mem = machine.mem_mut();
         mem.write_u32(ret_addr, resume_pc, pc)?;
         for (i, slot) in (0..layout.saved_regs_count).enumerate() {
@@ -150,7 +157,11 @@ impl Frame {
             mem.write_u32(buf_addr.wrapping_add(off as u32), 0, pc)?;
         }
         if canary != 0 {
-            mem.write_u32(buf_addr.wrapping_add(layout.canary_offset as u32), canary, pc)?;
+            mem.write_u32(
+                buf_addr.wrapping_add(layout.canary_offset as u32),
+                canary,
+                pc,
+            )?;
         }
         // The function body runs with sp at the buffer (frame fully
         // reserved).
@@ -198,7 +209,9 @@ impl Frame {
     /// into unmapped memory.
     pub fn run_parse_rr_checks(&self, machine: &Machine, pc: Addr) -> Result<(), Fault> {
         for off in self.layout.null_offsets() {
-            let v = machine.mem().read_u32(self.buf_addr.wrapping_add(off as u32), pc)?;
+            let v = machine
+                .mem()
+                .read_u32(self.buf_addr.wrapping_add(off as u32), pc)?;
             if v != 0 {
                 // The C code treats this local as a pointer to record
                 // state and reads through it.
@@ -219,7 +232,10 @@ impl Frame {
         }
         let found = machine.mem().read_u32(self.canary_slot(), pc)?;
         if found != machine.canary() {
-            return Err(Fault::CanarySmashed { found, expected: machine.canary() });
+            return Err(Fault::CanarySmashed {
+                found,
+                expected: machine.canary(),
+            });
         }
         Ok(())
     }
@@ -241,9 +257,11 @@ impl Frame {
         let target = self.saved_ret(machine)?;
         match self.layout.arch {
             Arch::X86 => {
-                let ebp = machine
-                    .mem()
-                    .read_u32(self.buf_addr.wrapping_add(self.layout.saved_regs_offset as u32), pc)?;
+                let ebp = machine.mem().read_u32(
+                    self.buf_addr
+                        .wrapping_add(self.layout.saved_regs_offset as u32),
+                    pc,
+                )?;
                 machine.regs_mut().x86_mut().set(X86Reg::Ebp, ebp);
             }
             Arch::Armv7 => {
@@ -271,7 +289,13 @@ mod tests {
 
     fn machine(arch: Arch) -> Machine {
         let mut m = Machine::new(arch);
-        m.mem_mut().map("stack", Some(SectionKind::Stack), 0x1_0000, 0x4000, Perms::RW);
+        m.mem_mut().map(
+            "stack",
+            Some(SectionKind::Stack),
+            0x1_0000,
+            0x4000,
+            Perms::RW,
+        );
         m.regs_mut().set_sp(0x1_3000);
         m
     }
@@ -293,15 +317,22 @@ mod tests {
         assert_eq!(f.ret_slot() - f.buf_addr(), 1024 + 48);
         f.run_parse_rr_checks(&m, 0).unwrap();
         // Clobber a NULL slot with a bogus pointer: checks now fault.
-        m.mem_mut().write_u32(f.buf_addr() + 1024, 0x4141_4141, 0).unwrap();
+        m.mem_mut()
+            .write_u32(f.buf_addr() + 1024, 0x4141_4141, 0)
+            .unwrap();
         assert!(matches!(
             f.run_parse_rr_checks(&m, 0),
-            Err(Fault::UnmappedRead { addr: 0x4141_4141, .. })
+            Err(Fault::UnmappedRead {
+                addr: 0x4141_4141,
+                ..
+            })
         ));
         // A *mapped* pointer (e.g. into the stack itself) passes — which
         // is why placeholder values in the paper's chains could also be
         // valid addresses rather than zero.
-        m.mem_mut().write_u32(f.buf_addr() + 1024, 0x1_0000, 0).unwrap();
+        m.mem_mut()
+            .write_u32(f.buf_addr() + 1024, 0x1_0000, 0)
+            .unwrap();
         f.run_parse_rr_checks(&m, 0).unwrap();
     }
 
@@ -311,8 +342,13 @@ mod tests {
         m.set_canary(0xFEED_F000);
         let f = Frame::enter(&mut m, 0x1_3000, 0x1000, 0xFEED_F000, 0).unwrap();
         f.check_canary(&m, 0).unwrap();
-        m.mem_mut().write_u32(f.canary_slot(), 0x4242_4242, 0).unwrap();
-        assert!(matches!(f.check_canary(&m, 0), Err(Fault::CanarySmashed { .. })));
+        m.mem_mut()
+            .write_u32(f.canary_slot(), 0x4242_4242, 0)
+            .unwrap();
+        assert!(matches!(
+            f.check_canary(&m, 0),
+            Err(Fault::CanarySmashed { .. })
+        ));
     }
 
     #[test]
@@ -343,7 +379,10 @@ mod tests {
         m.mem_mut().write_u32(f.ret_slot(), 0x6161_6161, 0).unwrap();
         assert!(matches!(
             f.leave(&mut m, 0),
-            Err(Fault::CfiViolation { target: 0x6161_6161, .. })
+            Err(Fault::CfiViolation {
+                target: 0x6161_6161,
+                ..
+            })
         ));
         // And accepts the legitimate return.
         let mut m = machine(Arch::X86);

@@ -47,13 +47,18 @@ impl ProxyOutcome {
     pub fn daemon_alive(&self) -> bool {
         matches!(
             self,
-            ProxyOutcome::Rejected(_) | ProxyOutcome::ParseFailed { .. } | ProxyOutcome::Answered { .. }
+            ProxyOutcome::Rejected(_)
+                | ProxyOutcome::ParseFailed { .. }
+                | ProxyOutcome::Answered { .. }
         )
     }
 
     /// Whether this is a denial of service (daemon dead, no shell).
     pub fn is_dos(&self) -> bool {
-        matches!(self, ProxyOutcome::Crashed(_) | ProxyOutcome::HijackedExit { .. })
+        matches!(
+            self,
+            ProxyOutcome::Crashed(_) | ProxyOutcome::HijackedExit { .. }
+        )
     }
 }
 

@@ -73,7 +73,15 @@ pub fn get_name(
     buf_addr: Addr,
     pc: Addr,
 ) -> Result<Uncompressed, UncompressError> {
-    get_name_into(machine, version, packet, offset, buf_addr, NAME_BUFFER_SIZE, pc)
+    get_name_into(
+        machine,
+        version,
+        packet,
+        offset,
+        buf_addr,
+        NAME_BUFFER_SIZE,
+        pc,
+    )
 }
 
 /// Like [`get_name`] but with an explicit buffer capacity — the §V
@@ -120,26 +128,34 @@ pub fn get_name_into(
         if len & 0xC0 != 0 {
             return Err(UncompressError::Malformed);
         }
-        let label = packet.get(pos + 1..pos + 1 + len).ok_or(UncompressError::Malformed)?;
+        // The wire already stores `label_len` immediately followed by the
+        // label bytes, which is exactly the layout the buffer wants, so
+        // both C statements
+        //
+        //   name[(*name_len)++] = label_len;
+        //   memcpy(name + *name_len, p + 1, label_len); *name_len += label_len;
+        //
+        // collapse into one copy straight from the packet. `write_bytes`
+        // stops at the first inaccessible byte with everything before it
+        // written, so overflow and fault behaviour stay byte-identical to
+        // the split writes.
+        let chunk = packet
+            .get(pos..pos + 1 + len)
+            .ok_or(UncompressError::Malformed)?;
         if !version.is_vulnerable() {
             // The 1.35 fix: refuse labels that would overflow the buffer
             // (length byte + label + eventual terminator).
             if name_len + len + 2 > buf_cap {
-                return Err(UncompressError::BufferFull { needed: name_len + len + 2 });
+                return Err(UncompressError::BufferFull {
+                    needed: name_len + len + 2,
+                });
             }
         }
-        // name[(*name_len)++] = label_len;
         machine
             .mem_mut()
-            .write_u8(buf_addr.wrapping_add(name_len as u32), len as u8, pc)
+            .write_bytes(buf_addr.wrapping_add(name_len as u32), chunk, pc)
             .map_err(UncompressError::MachineFault)?;
-        name_len += 1;
-        // memcpy(name + *name_len, p + 1, label_len); *name_len += label_len;
-        machine
-            .mem_mut()
-            .write_bytes(buf_addr.wrapping_add(name_len as u32), label, pc)
-            .map_err(UncompressError::MachineFault)?;
-        name_len += len;
+        name_len += 1 + len;
         pos += 1 + len;
     }
     // Trailing root byte.
@@ -148,7 +164,10 @@ pub fn get_name_into(
         .write_u8(buf_addr.wrapping_add(name_len as u32), 0, pc)
         .map_err(UncompressError::MachineFault)?;
     name_len += 1;
-    Ok(Uncompressed { name_len, next_offset: resume.unwrap_or(pos) })
+    Ok(Uncompressed {
+        name_len,
+        next_offset: resume.unwrap_or(pos),
+    })
 }
 
 #[cfg(test)]
@@ -158,7 +177,8 @@ mod tests {
 
     fn machine() -> Machine {
         let mut m = Machine::new(Arch::X86);
-        m.mem_mut().map("stack", Some(SectionKind::Stack), 0x8000, 0x2000, Perms::RW);
+        m.mem_mut()
+            .map("stack", Some(SectionKind::Stack), 0x8000, 0x2000, Perms::RW);
         m
     }
 
@@ -230,7 +250,10 @@ mod tests {
         let out = get_name(&mut m, ConnmanVersion::V1_34, &packet, 3, 0x8100, 0).unwrap();
         assert_eq!(out.next_offset, 7);
         // Buffer holds "y" label then "x" label then root.
-        assert_eq!(m.mem().read_bytes(0x8100, 5, 0).unwrap(), vec![1, b'y', 1, b'x', 0]);
+        assert_eq!(
+            m.mem().read_bytes(0x8100, 5, 0).unwrap(),
+            vec![1, b'y', 1, b'x', 0]
+        );
     }
 
     #[test]
@@ -258,12 +281,16 @@ mod tests {
     fn overflow_off_the_stack_faults() {
         let mut m = Machine::new(Arch::X86);
         // Tiny stack: 0x100 bytes.
-        m.mem_mut().map("stack", Some(SectionKind::Stack), 0x8000, 0x100, Perms::RW);
+        m.mem_mut()
+            .map("stack", Some(SectionKind::Stack), 0x8000, 0x100, Perms::RW);
         let labels: Vec<Vec<u8>> = (0..20).map(|_| vec![0x41u8; 63]).collect();
         let refs: Vec<&[u8]> = labels.iter().map(|l| l.as_slice()).collect();
         let packet = packet_with_labels(&refs);
         let err = get_name(&mut m, ConnmanVersion::V1_34, &packet, 0, 0x8000, 0).unwrap_err();
-        assert!(matches!(err, UncompressError::MachineFault(Fault::UnmappedWrite { .. })));
+        assert!(matches!(
+            err,
+            UncompressError::MachineFault(Fault::UnmappedWrite { .. })
+        ));
     }
 
     #[test]

@@ -14,11 +14,20 @@ pub struct ConnmanVersion {
 
 impl ConnmanVersion {
     /// Connman 1.31 — shipped by the Yocto builds the paper surveys.
-    pub const V1_31: ConnmanVersion = ConnmanVersion { major: 1, minor: 31 };
+    pub const V1_31: ConnmanVersion = ConnmanVersion {
+        major: 1,
+        minor: 31,
+    };
     /// Connman 1.34 — the last vulnerable release (OpenELEC ships it).
-    pub const V1_34: ConnmanVersion = ConnmanVersion { major: 1, minor: 34 };
+    pub const V1_34: ConnmanVersion = ConnmanVersion {
+        major: 1,
+        minor: 34,
+    };
     /// Connman 1.35 — the patched release.
-    pub const V1_35: ConnmanVersion = ConnmanVersion { major: 1, minor: 35 };
+    pub const V1_35: ConnmanVersion = ConnmanVersion {
+        major: 1,
+        minor: 35,
+    };
 
     /// Creates an arbitrary 1.x version.
     pub fn new(major: u8, minor: u8) -> Self {

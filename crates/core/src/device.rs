@@ -104,14 +104,10 @@ impl IotDevice {
         }
         match self.daemon.resolve(name, rtype) {
             Resolution::Cached(addrs) => LookupOutcome::Cached(addrs),
-            Resolution::Query(query_bytes) => {
-                match self.station.query_dns(env, &query_bytes) {
-                    Some(response) => {
-                        LookupOutcome::Network(self.daemon.deliver_response(&response))
-                    }
-                    None => LookupOutcome::NoResponse,
-                }
-            }
+            Resolution::Query(query_bytes) => match self.station.query_dns(env, &query_bytes) {
+                Some(response) => LookupOutcome::Network(self.daemon.deliver_response(&response)),
+                None => LookupOutcome::NoResponse,
+            },
         }
     }
 }
@@ -175,6 +171,9 @@ mod tests {
         );
         dev.reconnect(&mut env);
         let name = Name::parse("a.b").unwrap();
-        assert_eq!(dev.lookup(&mut env, &name, RecordType::A), LookupOutcome::NoNetwork);
+        assert_eq!(
+            dev.lookup(&mut env, &name, RecordType::A),
+            LookupOutcome::NoNetwork
+        );
     }
 }

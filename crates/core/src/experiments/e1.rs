@@ -26,7 +26,11 @@ pub fn run() -> Table {
             let version = fw.kind().connman_version().to_string();
             let (outcome, paper) = match lab.run_exploit(&DosCrash::new()) {
                 Ok(report) => {
-                    let expected = if kind.is_vulnerable() { "crash" } else { "survive" };
+                    let expected = if kind.is_vulnerable() {
+                        "crash"
+                    } else {
+                        "survive"
+                    };
                     (report.outcome.to_string(), expected)
                 }
                 Err(LabError::Recon(_)) => {

@@ -11,48 +11,90 @@ use cml_firmware::{Arch, FirmwareKind, Protections};
 
 use crate::lab::Lab;
 use crate::report::Table;
+use crate::runner::{derive_seed, Runner};
 
-/// Runs the experiment.
+/// Runs the experiment serially.
 pub fn run() -> Table {
+    run_jobs(1)
+}
+
+/// Runs the experiment on `jobs` workers. Per-cell victim seeds are
+/// derived from the cell's matrix position, and rows are merged in
+/// matrix order, so the table is byte-identical at any `jobs` value.
+pub fn run_jobs(jobs: usize) -> Table {
     let mut t = Table::new(
         "E2",
         "the six PoCs: protections × architectures × techniques",
-        &["paper §", "arch", "protections", "technique", "predicted", "observed", "match"],
+        &[
+            "paper §",
+            "arch",
+            "protections",
+            "technique",
+            "predicted",
+            "observed",
+            "match",
+        ],
     );
-    let mut mismatches = 0;
+    let mut cells = Vec::new();
     for arch in Arch::ALL {
-        for protections in [Protections::none(), Protections::wxorx(), Protections::full()] {
-            let lab = Lab::new(FirmwareKind::OpenElec, arch).with_protections(protections);
-            for strategy in strategies_for(arch) {
-                let report = match lab.run_exploit(strategy.as_ref()) {
-                    Ok(r) => r,
-                    Err(e) => {
-                        t.row([
-                            strategy.paper_section().to_string(),
-                            arch.to_string(),
-                            protections.label(),
-                            strategy.name().to_string(),
-                            "-".into(),
-                            format!("error: {e}"),
-                            "n/a".into(),
-                        ]);
-                        continue;
-                    }
-                };
-                if !report.matched_prediction() {
-                    mismatches += 1;
-                }
-                t.row([
+        for protections in [
+            Protections::none(),
+            Protections::wxorx(),
+            Protections::full(),
+        ] {
+            for strat_idx in 0..strategies_for(arch).len() {
+                cells.push((arch, protections, strat_idx));
+            }
+        }
+    }
+    let rows = Runner::new(jobs).run(cells, |cell_id, (arch, protections, strat_idx)| {
+        let strategy = &strategies_for(arch)[strat_idx];
+        let lab = Lab::new(FirmwareKind::OpenElec, arch)
+            .with_protections(protections)
+            .with_victim_seed(derive_seed(crate::lab::VICTIM_SEED, cell_id as u64));
+        match lab.run_exploit(strategy.as_ref()) {
+            Ok(report) => {
+                let row = vec![
                     report.paper_section.to_string(),
                     arch.to_string(),
                     protections.label(),
                     report.strategy.to_string(),
-                    if report.predicted_success { "shell" } else { "no shell" }.to_string(),
+                    if report.predicted_success {
+                        "shell"
+                    } else {
+                        "no shell"
+                    }
+                    .to_string(),
                     report.outcome.to_string(),
-                    if report.matched_prediction() { "yes" } else { "NO" }.to_string(),
-                ]);
+                    if report.matched_prediction() {
+                        "yes"
+                    } else {
+                        "NO"
+                    }
+                    .to_string(),
+                ];
+                (row, !report.matched_prediction())
             }
+            Err(e) => (
+                vec![
+                    strategy.paper_section().to_string(),
+                    arch.to_string(),
+                    protections.label(),
+                    strategy.name().to_string(),
+                    "-".into(),
+                    format!("error: {e}"),
+                    "n/a".into(),
+                ],
+                false,
+            ),
         }
+    });
+    let mut mismatches = 0;
+    for (row, mismatched) in rows {
+        if mismatched {
+            mismatches += 1;
+        }
+        t.row(row);
     }
     t.note(format!(
         "Prediction mismatches: {mismatches}. The paper's six PoCs are the \
@@ -67,6 +109,11 @@ pub fn run() -> Table {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn parallel_run_is_byte_identical_to_serial() {
+        assert_eq!(run_jobs(1).to_markdown(), run_jobs(4).to_markdown());
+    }
 
     #[test]
     fn all_cells_match_predictions_and_diagonal_succeeds() {

@@ -52,8 +52,16 @@ fn remote_attack(arch: Arch, strategy: &dyn ExploitStrategy) -> Result<RemoteRun
     }));
     // The honest upstream: a zone server with the vendor's records.
     let mut zone = cml_dns::Zone::new();
-    zone.a("firmware-update.vendor.example", 300, Ipv4Addr::new(93, 184, 216, 34))
-        .a("telemetry.vendor.example", 300, Ipv4Addr::new(93, 184, 216, 35));
+    zone.a(
+        "firmware-update.vendor.example",
+        300,
+        Ipv4Addr::new(93, 184, 216, 34),
+    )
+    .a(
+        "telemetry.vendor.example",
+        300,
+        Ipv4Addr::new(93, 184, 216, 35),
+    );
     let mut upstream = cml_dns::ZoneServer::new(zone);
     env.register_service(upstream_dns, share(move |p: &[u8]| upstream.handle(p)));
 
@@ -84,7 +92,12 @@ fn remote_attack(arch: Arch, strategy: &dyn ExploitStrategy) -> Result<RemoteRun
     // The next ordinary lookup delivers the exploit.
     let name2 = Name::parse("telemetry.vendor.example").map_err(|e| e.to_string())?;
     let attack = device.lookup(&mut env, &name2, RecordType::A);
-    Ok(RemoteRun { healthy_before, hopped, on_rogue_dns, outcome: attack })
+    Ok(RemoteRun {
+        healthy_before,
+        hopped,
+        on_rogue_dns,
+        outcome: attack,
+    })
 }
 
 struct RemoteRun {
@@ -99,7 +112,14 @@ pub fn run() -> Table {
     let mut t = Table::new(
         "E3",
         "remote exploitation through a Wi-Fi Pineapple rogue AP (Fig. 1)",
-        &["paper §", "arch", "protections", "lured", "rogue DNS", "attack outcome"],
+        &[
+            "paper §",
+            "arch",
+            "protections",
+            "lured",
+            "rogue DNS",
+            "attack outcome",
+        ],
     );
     // x86: basic stack smash only, "as a proof of feasibility".
     // ARMv7: all three exploits, as in the paper.
@@ -107,7 +127,11 @@ pub fn run() -> Table {
         Arch::X86,
         Box::new(cml_exploit::CodeInjection::new(Arch::X86)) as Box<dyn ExploitStrategy>,
     ))
-    .chain(strategies_for(Arch::Armv7).into_iter().map(|s| (Arch::Armv7, s)))
+    .chain(
+        strategies_for(Arch::Armv7)
+            .into_iter()
+            .map(|s| (Arch::Armv7, s)),
+    )
     .collect();
     for (arch, strategy) in runs {
         match remote_attack(arch, strategy.as_ref()) {

@@ -11,32 +11,46 @@ use cml_firmware::{Arch, FirmwareKind, Protections};
 
 use crate::lab::{AttackOutcome, Lab, LabError};
 use crate::report::Table;
+use crate::runner::{derive_seed, Runner};
 
-/// Runs the experiment.
+/// Runs the experiment serially.
 pub fn run() -> Table {
+    run_jobs(1)
+}
+
+/// Runs the experiment on `jobs` workers; output is byte-identical to
+/// the serial run (derived per-cell seeds, ordered merge).
+pub fn run_jobs(jobs: usize) -> Table {
     let mut t = Table::new(
         "E4",
         "firmware survey: exploitability per shipped OS (ROP chain, W^X+ASLR)",
         &["firmware", "connman", "vulnerable?", "x86", "ARMv7"],
     );
+    let mut matrix = Vec::new();
     for kind in FirmwareKind::ALL {
-        let mut cells = Vec::new();
         for arch in Arch::ALL {
-            let lab = Lab::new(kind, arch).with_protections(Protections::full());
-            let cell = match lab.run_exploit(&RopMemcpyChain::new(arch)) {
-                Ok(report) if report.outcome == AttackOutcome::RootShell => "root shell".into(),
-                Ok(report) => report.outcome.to_string(),
-                Err(LabError::Recon(_)) => "not exploitable (recon finds no crash)".into(),
-                Err(e) => format!("error: {e}"),
-            };
-            cells.push(cell);
+            matrix.push((kind, arch));
         }
+    }
+    let cells = Runner::new(jobs).run(matrix, |cell_id, (kind, arch)| {
+        let lab = Lab::new(kind, arch)
+            .with_protections(Protections::full())
+            .with_victim_seed(derive_seed(crate::lab::VICTIM_SEED, cell_id as u64));
+        match lab.run_exploit(&RopMemcpyChain::new(arch)) {
+            Ok(report) if report.outcome == AttackOutcome::RootShell => "root shell".to_string(),
+            Ok(report) => report.outcome.to_string(),
+            Err(LabError::Recon(_)) => "not exploitable (recon finds no crash)".into(),
+            Err(e) => format!("error: {e}"),
+        }
+    });
+    for (ki, kind) in FirmwareKind::ALL.into_iter().enumerate() {
+        let per_arch = &cells[ki * Arch::ALL.len()..(ki + 1) * Arch::ALL.len()];
         t.row([
             kind.os_name().to_string(),
             kind.connman_version().to_string(),
             if kind.is_vulnerable() { "yes" } else { "no" }.to_string(),
-            cells[0].clone(),
-            cells[1].clone(),
+            per_arch[0].clone(),
+            per_arch[1].clone(),
         ]);
     }
     t.note(

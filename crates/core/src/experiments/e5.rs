@@ -15,20 +15,52 @@ pub fn run() -> Table {
     let mut t = Table::new(
         "E5",
         "generated payload listings (Listings 2-5 equivalents)",
-        &["paper listing", "strategy", "arch", "payload bytes", "labels"],
+        &[
+            "paper listing",
+            "strategy",
+            "arch",
+            "payload bytes",
+            "labels",
+        ],
     );
     let cases: Vec<(&str, Arch, Box<dyn ExploitStrategy>, Protections)> = vec![
-        ("(shellcode, §III-A)", Arch::X86, Box::new(CodeInjection::new(Arch::X86)), Protections::none()),
-        ("(ret2libc, §III-B1)", Arch::X86, Box::new(Ret2Libc::new()), Protections::wxorx()),
-        ("Listing 2", Arch::Armv7, Box::new(ArmGadgetExeclp::new()), Protections::wxorx()),
-        ("Listings 3-4", Arch::X86, Box::new(RopMemcpyChain::new(Arch::X86)), Protections::full()),
-        ("Listing 5", Arch::Armv7, Box::new(RopMemcpyChain::new(Arch::Armv7)), Protections::full()),
+        (
+            "(shellcode, §III-A)",
+            Arch::X86,
+            Box::new(CodeInjection::new(Arch::X86)),
+            Protections::none(),
+        ),
+        (
+            "(ret2libc, §III-B1)",
+            Arch::X86,
+            Box::new(Ret2Libc::new()),
+            Protections::wxorx(),
+        ),
+        (
+            "Listing 2",
+            Arch::Armv7,
+            Box::new(ArmGadgetExeclp::new()),
+            Protections::wxorx(),
+        ),
+        (
+            "Listings 3-4",
+            Arch::X86,
+            Box::new(RopMemcpyChain::new(Arch::X86)),
+            Protections::full(),
+        ),
+        (
+            "Listing 5",
+            Arch::Armv7,
+            Box::new(RopMemcpyChain::new(Arch::Armv7)),
+            Protections::full(),
+        ),
     ];
     for (listing, arch, strategy, protections) in cases {
         let lab = Lab::new(FirmwareKind::OpenElec, arch).with_protections(protections);
-        match lab.recon().and_then(|target| {
-            strategy.build(&target).map_err(crate::lab::LabError::Build)
-        }) {
+        match lab
+            .recon()
+            .and_then(|target| strategy.build(&target).map_err(crate::lab::LabError::Build))
+        {
             Ok(payload) => {
                 let labels = payload.to_labels().map(|l| l.len()).unwrap_or(0);
                 t.row([

@@ -24,15 +24,19 @@ pub fn run() -> Table {
     let mut t = Table::new(
         "E8",
         "ASLR brute force: ret2libc success rate vs. entropy (x86)",
-        &["entropy bits", "trials", "shells", "observed rate", "expected rate"],
+        &[
+            "entropy bits",
+            "trials",
+            "shells",
+            "observed rate",
+            "expected rate",
+        ],
     );
     let fw = Firmware::build(FirmwareKind::OpenElec, Arch::X86);
     // Recon once on a no-ASLR replica for geometry and link addresses.
     let fw2 = fw.clone();
-    let base_info = TargetInfo::gather(fw.image(), move || {
-        fw2.boot(Protections::wxorx(), 0xA11C)
-    })
-    .expect("vulnerable firmware");
+    let base_info = TargetInfo::gather(fw.image(), move || fw2.boot(Protections::wxorx(), 0xA11C))
+        .expect("vulnerable firmware");
 
     for bits in [2u32, 3, 4, 6, 8] {
         // The attacker's guess: every libc address shifted by the same

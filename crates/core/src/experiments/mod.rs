@@ -23,32 +23,45 @@ pub mod e8;
 
 use crate::report::Suite;
 
-/// Runs every experiment, in order.
+/// Runs every experiment, in order, serially.
 pub fn run_all() -> Suite {
+    run_all_jobs(1)
+}
+
+/// Runs every experiment in order on `jobs` workers. The matrix
+/// experiments (E2/E4/E6/E7) fan their cells across the pool; output is
+/// byte-identical to a serial run at any `jobs` value.
+pub fn run_all_jobs(jobs: usize) -> Suite {
     Suite {
         tables: vec![
             e1::run(),
-            e2::run(),
+            e2::run_jobs(jobs),
             e3::run(),
-            e4::run(),
+            e4::run_jobs(jobs),
             e5::run(),
-            e6::run(),
-            e7::run(),
+            e6::run_jobs(jobs),
+            e7::run_jobs(jobs),
             e8::run(),
         ],
     }
 }
 
-/// Runs one experiment by id (`"e1"`…`"e8"`), if known.
+/// Runs one experiment by id (`"e1"`…`"e8"`), if known, serially.
 pub fn run_one(id: &str) -> Option<crate::report::Table> {
+    run_one_jobs(id, 1)
+}
+
+/// Runs one experiment by id on `jobs` workers (ids without a matrix
+/// fan-out run serially regardless).
+pub fn run_one_jobs(id: &str, jobs: usize) -> Option<crate::report::Table> {
     match id.to_ascii_lowercase().as_str() {
         "e1" => Some(e1::run()),
-        "e2" => Some(e2::run()),
+        "e2" => Some(e2::run_jobs(jobs)),
         "e3" => Some(e3::run()),
-        "e4" => Some(e4::run()),
+        "e4" => Some(e4::run_jobs(jobs)),
         "e5" => Some(e5::run()),
-        "e6" => Some(e6::run()),
-        "e7" => Some(e7::run()),
+        "e6" => Some(e6::run_jobs(jobs)),
+        "e7" => Some(e7::run_jobs(jobs)),
         "e8" => Some(e8::run()),
         _ => None,
     }

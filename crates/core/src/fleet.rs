@@ -1,0 +1,277 @@
+//! Fleet-scale rogue-AP scenario: N devices, one attacker, `--jobs`
+//! workers.
+//!
+//! The paper closes with "exploit code designed to create a botnet" —
+//! `tests/fleet.rs` walks a 7-device version of that story on a shared
+//! radio environment. This module is the *throughput* version: every
+//! device's boot + lure + attack session is independent (its own radio
+//! cell, its own rogue AP), so the whole fleet fans across a
+//! [`Runner`] pool. Payloads and firmwares are built once up front; each
+//! per-device session only boots a daemon and delivers one response.
+//!
+//! Determinism: device `i` boots with
+//! [`derive_seed`]`(base_seed, i)` and results merge in device order, so
+//! [`FleetReport::render`] is byte-identical at any worker count.
+
+use std::net::Ipv4Addr;
+use std::time::{Duration, Instant};
+
+use cml_dns::{Name, RecordType};
+use cml_exploit::{ExploitStrategy, MaliciousDnsServer, Payload, RopMemcpyChain};
+use cml_firmware::{Arch, Firmware, FirmwareKind, Protections};
+use cml_netsim::{share, AccessPoint, ApConfig, DhcpConfig, HwAddr, RadioEnvironment, Ssid};
+
+use crate::device::IotDevice;
+use crate::lab::Lab;
+use crate::runner::{derive_seed, Runner};
+
+/// One device in the fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceSpec {
+    /// Firmware profile the device ships.
+    pub kind: FirmwareKind,
+    /// Its CPU.
+    pub arch: Arch,
+}
+
+/// A parameterized fleet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetSpec {
+    /// Base seed; device `i` boots with `derive_seed(base_seed, i)`.
+    pub base_seed: u64,
+    /// The devices, in fleet order.
+    pub devices: Vec<DeviceSpec>,
+}
+
+impl FleetSpec {
+    /// A heterogeneous fleet of `n` devices in the 10-device pattern
+    /// 4× smart-TV (OpenELEC/ARMv7), 3× thermostat (Yocto/x86),
+    /// 2× set-top (Tizen/ARMv7), 1× patched camera (Patched/ARMv7) —
+    /// roughly the vulnerable/patched mix of the paper's survey.
+    pub fn heterogeneous(n: usize, base_seed: u64) -> FleetSpec {
+        const PATTERN: [DeviceSpec; 10] = [
+            DeviceSpec {
+                kind: FirmwareKind::OpenElec,
+                arch: Arch::Armv7,
+            },
+            DeviceSpec {
+                kind: FirmwareKind::OpenElec,
+                arch: Arch::Armv7,
+            },
+            DeviceSpec {
+                kind: FirmwareKind::OpenElec,
+                arch: Arch::Armv7,
+            },
+            DeviceSpec {
+                kind: FirmwareKind::OpenElec,
+                arch: Arch::Armv7,
+            },
+            DeviceSpec {
+                kind: FirmwareKind::Yocto,
+                arch: Arch::X86,
+            },
+            DeviceSpec {
+                kind: FirmwareKind::Yocto,
+                arch: Arch::X86,
+            },
+            DeviceSpec {
+                kind: FirmwareKind::Yocto,
+                arch: Arch::X86,
+            },
+            DeviceSpec {
+                kind: FirmwareKind::Tizen,
+                arch: Arch::Armv7,
+            },
+            DeviceSpec {
+                kind: FirmwareKind::Tizen,
+                arch: Arch::Armv7,
+            },
+            DeviceSpec {
+                kind: FirmwareKind::Patched,
+                arch: Arch::Armv7,
+            },
+        ];
+        FleetSpec {
+            base_seed,
+            devices: (0..n).map(|i| PATTERN[i % PATTERN.len()]).collect(),
+        }
+    }
+}
+
+/// What happened to one device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeviceOutcome {
+    /// Stable device name (`"dev-0017 openelec/ARMv7"` style).
+    pub name: String,
+    /// Whether the firmware is a vulnerable build.
+    pub vulnerable: bool,
+    /// Whether the attack spawned a root shell on it.
+    pub compromised: bool,
+    /// Whether the daemon still serves after the attack round.
+    pub alive: bool,
+}
+
+/// The merged result of a fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Per-device outcomes, in fleet order.
+    pub outcomes: Vec<DeviceOutcome>,
+    /// Wall-clock time of the attack fan-out (excludes the shared
+    /// firmware/payload prep).
+    pub elapsed: Duration,
+    /// Worker count used.
+    pub jobs: usize,
+}
+
+impl FleetReport {
+    /// Number of devices with a root shell.
+    pub fn compromised(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.compromised).count()
+    }
+
+    /// Number of devices still serving.
+    pub fn survivors(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.alive).count()
+    }
+
+    /// Devices attacked per second of wall time.
+    pub fn devices_per_sec(&self) -> f64 {
+        self.outcomes.len() as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// Deterministic rendering — excludes timing so serial and parallel
+    /// runs of the same [`FleetSpec`] produce identical bytes.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "fleet: {} devices, {} compromised, {} survivors\n",
+            self.outcomes.len(),
+            self.compromised(),
+            self.survivors()
+        );
+        for o in &self.outcomes {
+            let verdict = if o.compromised {
+                "root shell"
+            } else if o.alive {
+                "alive"
+            } else {
+                "crashed"
+            };
+            out.push_str(&format!("{}: {}\n", o.name, verdict));
+        }
+        out
+    }
+}
+
+/// Runs the rogue-AP attack against every device in the spec on `jobs`
+/// workers (0 = one per CPU).
+///
+/// Attacker prep (one recon + payload build per architecture, one
+/// firmware build per distinct profile) happens once, serially; the
+/// per-device boot + lure + attack sessions fan across the pool.
+///
+/// # Panics
+///
+/// Panics if reconnaissance or payload construction fails for an
+/// architecture present in the spec — the fleet scenario is only
+/// meaningful with working exploits.
+pub fn run_fleet(spec: &FleetSpec, jobs: usize) -> FleetReport {
+    let ssid = Ssid::new("SmartHome");
+    let protections = Protections::full();
+    let dns = Ipv4Addr::new(10, 0, 0, 53);
+
+    // One payload per architecture, from the attacker's own replica.
+    let mut payloads: Vec<(Arch, Payload)> = Vec::new();
+    for arch in Arch::ALL {
+        if spec.devices.iter().any(|d| d.arch == arch) {
+            let lab = Lab::new(FirmwareKind::OpenElec, arch).with_protections(protections);
+            let target = lab.recon().expect("vulnerable replica recon succeeds");
+            let payload = RopMemcpyChain::new(arch)
+                .build(&target)
+                .expect("payload builds against the replica");
+            payloads.push((arch, payload));
+        }
+    }
+    // One firmware build per distinct profile.
+    let mut firmwares: Vec<(DeviceSpec, Firmware)> = Vec::new();
+    for d in &spec.devices {
+        if !firmwares.iter().any(|(k, _)| k == d) {
+            firmwares.push((*d, Firmware::build(d.kind, d.arch)));
+        }
+    }
+
+    let start = Instant::now();
+    let runner = Runner::new(jobs);
+    let outcomes = runner.run(spec.devices.clone(), |i, d| {
+        let fw = &firmwares.iter().find(|(k, _)| *k == d).expect("prebuilt").1;
+        let payload = &payloads
+            .iter()
+            .find(|(a, _)| *a == d.arch)
+            .expect("prebuilt")
+            .1;
+        // Each device gets its own radio cell with the rogue AP as the
+        // only (strongest) network, serving the arch-matched payload.
+        let mut env = RadioEnvironment::new();
+        env.add_ap(AccessPoint::new(ApConfig {
+            ssid: ssid.clone(),
+            bssid: HwAddr::local(1),
+            signal_dbm: -40,
+            dhcp: DhcpConfig::new([10, 0, 0], dns),
+        }));
+        let mut evil = MaliciousDnsServer::new(payload).expect("payload fits DNS labels");
+        env.register_service(dns, share(move |p: &[u8]| evil.handle(p)));
+
+        let mut dev = IotDevice::boot(
+            fw,
+            protections,
+            derive_seed(spec.base_seed, i as u64),
+            HwAddr::local((i % u16::MAX as usize) as u16),
+            ssid.clone(),
+        );
+        let name = format!("dev-{i:04} {}/{}", d.kind.os_name(), d.arch);
+        dev.reconnect(&mut env);
+        let host = Name::parse(&format!("telemetry-{i}.vendor.example")).expect("valid name");
+        let lookup = dev.lookup(&mut env, &host, RecordType::A);
+        DeviceOutcome {
+            name,
+            vulnerable: d.kind.is_vulnerable(),
+            compromised: lookup.compromised(),
+            alive: dev.is_alive(),
+        }
+    });
+    FleetReport {
+        outcomes,
+        elapsed: start.elapsed(),
+        jobs: runner.jobs(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vulnerable_devices_fall_and_patched_survive() {
+        let spec = FleetSpec::heterogeneous(10, 0xF1EE7);
+        let report = run_fleet(&spec, 2);
+        assert_eq!(report.outcomes.len(), 10);
+        for o in &report.outcomes {
+            if o.vulnerable {
+                assert!(o.compromised, "{} should fall", o.name);
+                assert!(!o.alive, "{} daemon should be dead", o.name);
+            } else {
+                assert!(!o.compromised, "{} is patched", o.name);
+                assert!(o.alive, "{} should survive", o.name);
+            }
+        }
+        assert_eq!(report.compromised(), 9);
+        assert_eq!(report.survivors(), 1);
+    }
+
+    #[test]
+    fn render_is_deterministic_across_worker_counts() {
+        let spec = FleetSpec::heterogeneous(12, 42);
+        let serial = run_fleet(&spec, 1).render();
+        let parallel = run_fleet(&spec, 4).render();
+        assert_eq!(serial, parallel);
+    }
+}

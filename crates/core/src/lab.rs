@@ -15,8 +15,9 @@ const RECON_SEED: u64 = 0xA11C;
 
 /// Seed used for the victim device. Deliberately different from
 /// [`RECON_SEED`]: under ASLR the victim's layout is unknown to the
-/// attacker, exactly as in the field.
-const VICTIM_SEED: u64 = 0xD00D;
+/// attacker, exactly as in the field. Matrix experiments derive a
+/// per-cell victim seed from this base via [`crate::runner::derive_seed`].
+pub(crate) const VICTIM_SEED: u64 = 0xD00D;
 
 /// Errors from the lab workflow.
 #[derive(Debug, Clone, PartialEq)]
@@ -114,7 +115,11 @@ impl Lab {
 
     /// Uses an already-built firmware.
     pub fn with_firmware(firmware: Firmware) -> Self {
-        Lab { firmware, protections: Protections::none(), victim_seed: VICTIM_SEED }
+        Lab {
+            firmware,
+            protections: Protections::none(),
+            victim_seed: VICTIM_SEED,
+        }
     }
 
     /// Sets the protection policy for both the reference boots and the
@@ -157,8 +162,10 @@ impl Lab {
         let mut protections = self.protections;
         protections.stack_canary = false;
         protections.cfi = false;
-        TargetInfo::gather(self.firmware.image(), move || fw.boot(protections, RECON_SEED))
-            .map_err(LabError::Recon)
+        TargetInfo::gather(self.firmware.image(), move || {
+            fw.boot(protections, RECON_SEED)
+        })
+        .map_err(LabError::Recon)
     }
 
     /// Boots a fresh victim daemon.
@@ -208,8 +215,7 @@ mod tests {
 
     #[test]
     fn full_pipeline_x86_rop_under_full_protections() {
-        let lab = Lab::new(FirmwareKind::OpenElec, Arch::X86)
-            .with_protections(Protections::full());
+        let lab = Lab::new(FirmwareKind::OpenElec, Arch::X86).with_protections(Protections::full());
         let report = lab.run_exploit(&RopMemcpyChain::new(Arch::X86)).unwrap();
         assert_eq!(report.outcome, AttackOutcome::RootShell);
         assert!(report.matched_prediction());
@@ -218,8 +224,8 @@ mod tests {
 
     #[test]
     fn code_injection_blocked_by_wxorx_matches_prediction() {
-        let lab = Lab::new(FirmwareKind::OpenElec, Arch::Armv7)
-            .with_protections(Protections::wxorx());
+        let lab =
+            Lab::new(FirmwareKind::OpenElec, Arch::Armv7).with_protections(Protections::wxorx());
         let report = lab.run_exploit(&CodeInjection::new(Arch::Armv7)).unwrap();
         assert_eq!(report.outcome, AttackOutcome::DenialOfService);
         assert!(report.matched_prediction(), "strategy predicted failure");

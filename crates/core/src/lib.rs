@@ -34,11 +34,15 @@
 
 mod device;
 pub mod experiments;
+pub mod fleet;
 mod lab;
 pub mod report;
+pub mod runner;
 
 pub use device::{IotDevice, LookupOutcome};
+pub use fleet::{FleetReport, FleetSpec};
 pub use lab::{AttackOutcome, AttackReport, Lab, LabError};
+pub use runner::{derive_seed, Runner};
 
 pub use cml_connman::ProxyOutcome;
 pub use cml_exploit::{ExploitStrategy, TargetInfo};

@@ -2,10 +2,8 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// One experiment's results as a table plus free-form notes.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Table {
     /// Experiment id (`"E2"`).
     pub id: String,
@@ -21,11 +19,7 @@ pub struct Table {
 
 impl Table {
     /// Starts an empty table.
-    pub fn new(
-        id: impl Into<String>,
-        title: impl Into<String>,
-        header: &[&str],
-    ) -> Self {
+    pub fn new(id: impl Into<String>, title: impl Into<String>, header: &[&str]) -> Self {
         Table {
             id: id.into(),
             title: title.into(),
@@ -95,7 +89,7 @@ impl fmt::Display for Table {
 }
 
 /// A full suite run: every experiment's table in order.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Suite {
     /// The tables, in experiment order.
     pub tables: Vec<Table>,

@@ -68,7 +68,10 @@ impl fmt::Display for DnsError {
                 write!(f, "byte {b:#04x} is not valid in a hostname label")
             }
             DnsError::ForwardPointer { target, at } => {
-                write!(f, "compression pointer at {at} targets {target} (not strictly backward)")
+                write!(
+                    f,
+                    "compression pointer at {at} targets {target} (not strictly backward)"
+                )
             }
             DnsError::PointerLimit(n) => {
                 write!(f, "more than {n} compression pointers in one name")
@@ -109,8 +112,14 @@ mod tests {
             DnsError::PointerLimit(10),
             DnsError::BadLabelType(0x80),
             DnsError::UnsupportedType(99),
-            DnsError::BadRdata { rtype: 1, detail: "short" },
-            DnsError::MessageTooLarge { need: 600, limit: 512 },
+            DnsError::BadRdata {
+                rtype: 1,
+                detail: "short",
+            },
+            DnsError::MessageTooLarge {
+                need: 600,
+                limit: 512,
+            },
             DnsError::TrailingBytes(3),
             DnsError::CountMismatch { section: "answer" },
         ];

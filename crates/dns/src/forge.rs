@@ -69,13 +69,17 @@ impl ResponseForge {
         // echo never benefits from compression, and it keeps offsets in
         // the forged record independent of compression state.
         for q in query.questions() {
-            q.qname().encode_uncompressed(&mut w).expect("unbounded writer");
+            q.qname()
+                .encode_uncompressed(&mut w)
+                .expect("unbounded writer");
             w.write_u16(q.qtype().to_u16()).expect("unbounded writer");
             w.write_u16(q.qclass().to_u16()).expect("unbounded writer");
         }
         ResponseForge {
             id: query.id(),
-            question: Some(QuestionEcho { wire: w.into_bytes() }),
+            question: Some(QuestionEcho {
+                wire: w.into_bytes(),
+            }),
             labels: Vec::new(),
             termination: NameTermination::Root,
             rtype: RecordType::A,
@@ -297,10 +301,16 @@ mod tests {
             .with_payload_labels(vec![b"loop".to_vec()])
             .unwrap();
         let off = forge.answer_name_offset();
-        let bytes = forge.terminate(NameTermination::Pointer(off)).build().unwrap();
+        let bytes = forge
+            .terminate(NameTermination::Pointer(off))
+            .build()
+            .unwrap();
         // The pointer targets the name's own start, so the strict decoder
         // chases it in a loop until the hop cap trips.
-        assert!(matches!(Message::decode(&bytes), Err(DnsError::PointerLimit(_))));
+        assert!(matches!(
+            Message::decode(&bytes),
+            Err(DnsError::PointerLimit(_))
+        ));
     }
 
     #[test]
@@ -326,7 +336,12 @@ mod tests {
     #[test]
     fn build_respects_proxy_ceiling() {
         let labels = vec![vec![0x41; 63]; 70]; // ~4.5 KiB
-        let forge = ResponseForge::for_id(9).with_payload_labels(labels).unwrap();
-        assert!(matches!(forge.build(), Err(DnsError::MessageTooLarge { .. })));
+        let forge = ResponseForge::for_id(9)
+            .with_payload_labels(labels)
+            .unwrap();
+        assert!(matches!(
+            forge.build(),
+            Err(DnsError::MessageTooLarge { .. })
+        ));
     }
 }

@@ -241,7 +241,10 @@ mod tests {
             ..Header::default()
         };
         let word = h.flags_word();
-        let mut h2 = Header { id: 7, ..Header::default() };
+        let mut h2 = Header {
+            id: 7,
+            ..Header::default()
+        };
         h2.apply_flags_word(word);
         h.qdcount = 0;
         assert_eq!(h, h2);
@@ -269,7 +272,10 @@ mod tests {
     #[test]
     fn decode_truncated() {
         let mut r = WireReader::new(&[0; 5]);
-        assert!(matches!(Header::decode(&mut r), Err(DnsError::Truncated { .. })));
+        assert!(matches!(
+            Header::decode(&mut r),
+            Err(DnsError::Truncated { .. })
+        ));
     }
 
     #[test]

@@ -27,7 +27,10 @@ impl Message {
     /// Creates a standard recursive query with one question.
     pub fn query(id: u16, question: Question) -> Self {
         let mut m = Message {
-            header: Header { id, ..Header::default() },
+            header: Header {
+                id,
+                ..Header::default()
+            },
             questions: Vec::new(),
             answers: Vec::new(),
             authorities: Vec::new(),
@@ -194,12 +197,12 @@ impl Message {
             additionals: Vec::new(),
         };
         for _ in 0..header.qdcount {
-            m.questions.push(
-                Question::decode(r).map_err(|e| section_err(e, "question"))?,
-            );
+            m.questions
+                .push(Question::decode(r).map_err(|e| section_err(e, "question"))?);
         }
         for _ in 0..header.ancount {
-            m.answers.push(Record::decode(r).map_err(|e| section_err(e, "answer"))?);
+            m.answers
+                .push(Record::decode(r).map_err(|e| section_err(e, "answer"))?);
         }
         for _ in 0..header.nscount {
             m.authorities
@@ -226,7 +229,11 @@ impl fmt::Display for Message {
             f,
             ";; id {} {} {} qd={} an={} ns={} ar={}",
             self.header.id,
-            if self.header.response { "response" } else { "query" },
+            if self.header.response {
+                "response"
+            } else {
+                "query"
+            },
             self.header.rcode,
             self.header.qdcount,
             self.header.ancount,

@@ -23,10 +23,28 @@ pub const MAX_POINTER_HOPS: usize = 32;
 /// (letters, digits, hyphen, underscore); [`Label::from_bytes_relaxed`]
 /// accepts any bytes, which decoding uses because real-world traffic is
 /// not always polite.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct Label(Vec<u8>);
+///
+/// Stored inline (a label is at most 63 bytes by construction), so
+/// building one never allocates — decoding a name costs one `Vec` for
+/// the label list and nothing per label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Label {
+    len: u8,
+    // Invariant: bytes past `len` are zero, so the derived equality over
+    // the whole buffer equals byte-string equality.
+    buf: [u8; MAX_LABEL_LEN],
+}
 
 impl Label {
+    fn from_checked(bytes: &[u8]) -> Self {
+        let mut buf = [0u8; MAX_LABEL_LEN];
+        buf[..bytes.len()].copy_from_slice(bytes);
+        Label {
+            len: bytes.len() as u8,
+            buf,
+        }
+    }
+
     /// Creates a label from text, validating the hostname alphabet.
     ///
     /// # Errors
@@ -46,7 +64,7 @@ impl Label {
                 return Err(DnsError::InvalidLabelByte(b));
             }
         }
-        Ok(Label(bytes.to_vec()))
+        Ok(Label::from_checked(bytes))
     }
 
     /// Creates a label from arbitrary bytes, checking only the length
@@ -62,17 +80,17 @@ impl Label {
         if bytes.len() > MAX_LABEL_LEN {
             return Err(DnsError::LabelTooLong(bytes.len()));
         }
-        Ok(Label(bytes.to_vec()))
+        Ok(Label::from_checked(bytes))
     }
 
     /// The raw bytes of the label.
     pub fn as_bytes(&self) -> &[u8] {
-        &self.0
+        &self.buf[..self.len as usize]
     }
 
     /// Length of the label in bytes (1..=63).
     pub fn len(&self) -> usize {
-        self.0.len()
+        self.len as usize
     }
 
     /// A label is never empty; this always returns `false` but exists for
@@ -84,13 +102,31 @@ impl Label {
     /// Case-insensitive comparison as required for name matching
     /// (RFC 1035 §2.3.3).
     pub fn eq_ignore_case(&self, other: &Label) -> bool {
-        self.0.eq_ignore_ascii_case(&other.0)
+        self.as_bytes().eq_ignore_ascii_case(other.as_bytes())
+    }
+}
+
+impl std::hash::Hash for Label {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_bytes().hash(state);
+    }
+}
+
+impl PartialOrd for Label {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Label {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_bytes().cmp(other.as_bytes())
     }
 }
 
 impl fmt::Display for Label {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for &b in &self.0 {
+        for &b in self.as_bytes() {
             if b.is_ascii_graphic() && b != b'.' && b != b'\\' {
                 write!(f, "{}", b as char)?;
             } else {
@@ -192,7 +228,9 @@ impl Name {
         if self.labels.is_empty() {
             None
         } else {
-            Some(Name { labels: self.labels[1..].to_vec() })
+            Some(Name {
+                labels: self.labels[1..].to_vec(),
+            })
         }
     }
 
@@ -263,20 +301,18 @@ impl Name {
         let mut resume: Option<usize> = None;
         let mut pos = r.position();
         loop {
-            let len = *msg
-                .get(pos)
-                .ok_or(DnsError::Truncated { context: "name length byte" })?
-                as usize;
+            let len = *msg.get(pos).ok_or(DnsError::Truncated {
+                context: "name length byte",
+            })? as usize;
             match len {
                 0 => {
                     pos += 1;
                     break;
                 }
                 l if l & 0xC0 == 0xC0 => {
-                    let lo = *msg
-                        .get(pos + 1)
-                        .ok_or(DnsError::Truncated { context: "pointer low byte" })?
-                        as usize;
+                    let lo = *msg.get(pos + 1).ok_or(DnsError::Truncated {
+                        context: "pointer low byte",
+                    })? as usize;
                     let target = ((l & 0x3F) << 8) | lo;
                     if target >= pos {
                         return Err(DnsError::ForwardPointer { target, at: pos });
@@ -293,9 +329,9 @@ impl Name {
                 l if l & 0xC0 != 0 => return Err(DnsError::BadLabelType(l as u8)),
                 l => {
                     let end = pos + 1 + l;
-                    let bytes = msg
-                        .get(pos + 1..end)
-                        .ok_or(DnsError::Truncated { context: "label bytes" })?;
+                    let bytes = msg.get(pos + 1..end).ok_or(DnsError::Truncated {
+                        context: "label bytes",
+                    })?;
                     wire_len += l + 1;
                     if wire_len > MAX_NAME_LEN {
                         return Err(DnsError::NameTooLong(wire_len));
@@ -362,9 +398,15 @@ mod tests {
     #[test]
     fn rejects_bad_labels() {
         assert!(matches!(Name::parse("a..b"), Err(DnsError::EmptyLabel)));
-        assert!(matches!(Name::parse("bad domain"), Err(DnsError::InvalidLabelByte(b' '))));
+        assert!(matches!(
+            Name::parse("bad domain"),
+            Err(DnsError::InvalidLabelByte(b' '))
+        ));
         let long = "x".repeat(64);
-        assert!(matches!(Name::parse(&long), Err(DnsError::LabelTooLong(64))));
+        assert!(matches!(
+            Name::parse(&long),
+            Err(DnsError::LabelTooLong(64))
+        ));
     }
 
     #[test]
@@ -417,7 +459,10 @@ mod tests {
         // Second name is "ftp" label + 2-byte pointer.
         assert_eq!(bytes.len() - first_len, 1 + 3 + 2);
         let mut r = WireReader::new(&bytes);
-        assert_eq!(Name::decode(&mut r).unwrap().to_string(), "mail.example.com");
+        assert_eq!(
+            Name::decode(&mut r).unwrap().to_string(),
+            "mail.example.com"
+        );
         assert_eq!(Name::decode(&mut r).unwrap().to_string(), "ftp.example.com");
         assert!(r.is_empty());
     }
@@ -427,14 +472,20 @@ mod tests {
         // Pointer at offset 0 pointing to itself.
         let bytes = [0xC0, 0x00];
         let mut r = WireReader::new(&bytes);
-        assert!(matches!(Name::decode(&mut r), Err(DnsError::ForwardPointer { .. })));
+        assert!(matches!(
+            Name::decode(&mut r),
+            Err(DnsError::ForwardPointer { .. })
+        ));
     }
 
     #[test]
     fn decode_rejects_reserved_label_bits() {
         let bytes = [0x40, 0x00];
         let mut r = WireReader::new(&bytes);
-        assert!(matches!(Name::decode(&mut r), Err(DnsError::BadLabelType(0x40))));
+        assert!(matches!(
+            Name::decode(&mut r),
+            Err(DnsError::BadLabelType(0x40))
+        ));
     }
 
     #[test]
@@ -443,7 +494,9 @@ mod tests {
         let mut r = WireReader::new(&bytes);
         assert!(matches!(
             Name::decode(&mut r),
-            Err(DnsError::Truncated { context: "label bytes" })
+            Err(DnsError::Truncated {
+                context: "label bytes"
+            })
         ));
     }
 
@@ -454,11 +507,14 @@ mod tests {
         let mut bytes = Vec::new();
         for _ in 0..5 {
             bytes.push(63);
-            bytes.extend(std::iter::repeat(b'a').take(63));
+            bytes.extend(std::iter::repeat_n(b'a', 63));
         }
         bytes.push(0);
         let mut r = WireReader::new(&bytes);
-        assert!(matches!(Name::decode(&mut r), Err(DnsError::NameTooLong(_))));
+        assert!(matches!(
+            Name::decode(&mut r),
+            Err(DnsError::NameTooLong(_))
+        ));
     }
 
     #[test]

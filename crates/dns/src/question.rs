@@ -20,12 +20,20 @@ pub struct Question {
 impl Question {
     /// Creates an `IN`-class question.
     pub fn new(qname: Name, qtype: RecordType) -> Self {
-        Question { qname, qtype, qclass: RecordClass::In }
+        Question {
+            qname,
+            qtype,
+            qclass: RecordClass::In,
+        }
     }
 
     /// Creates a question with an explicit class.
     pub fn with_class(qname: Name, qtype: RecordType, qclass: RecordClass) -> Self {
-        Question { qname, qtype, qclass }
+        Question {
+            qname,
+            qtype,
+            qclass,
+        }
     }
 
     /// The queried name.
@@ -67,7 +75,11 @@ impl Question {
         let qname = Name::decode(r)?;
         let qtype = RecordType::from_u16(r.read_u16("question type")?);
         let qclass = RecordClass::from_u16(r.read_u16("question class")?);
-        Ok(Question { qname, qtype, qclass })
+        Ok(Question {
+            qname,
+            qtype,
+            qclass,
+        })
     }
 }
 
@@ -102,6 +114,9 @@ mod tests {
     fn decode_truncated() {
         let bytes = [1, b'a', 0, 0]; // name then half a qtype
         let mut r = WireReader::new(&bytes);
-        assert!(matches!(Question::decode(&mut r), Err(DnsError::Truncated { .. })));
+        assert!(matches!(
+            Question::decode(&mut r),
+            Err(DnsError::Truncated { .. })
+        ));
     }
 }

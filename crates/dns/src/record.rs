@@ -216,7 +216,13 @@ impl Record {
     /// Creates an `IN`-class record whose type is inferred from `data`.
     pub fn new(name: Name, ttl: u32, data: RecordData) -> Self {
         let rtype = data.natural_type();
-        Record { name, rtype, class: RecordClass::In, ttl, data }
+        Record {
+            name,
+            rtype,
+            class: RecordClass::In,
+            ttl,
+            data,
+        }
     }
 
     /// Creates a record with explicit type and class (needed for opaque
@@ -228,7 +234,13 @@ impl Record {
         ttl: u32,
         data: RecordData,
     ) -> Self {
-        Record { name, rtype, class, ttl, data }
+        Record {
+            name,
+            rtype,
+            class,
+            ttl,
+            data,
+        }
     }
 
     /// The owner name.
@@ -291,7 +303,10 @@ impl Record {
             RecordData::Cname(n) | RecordData::Ns(n) | RecordData::Ptr(n) => {
                 n.encode_compressed(w, offsets)
             }
-            RecordData::Mx { preference, exchange } => {
+            RecordData::Mx {
+                preference,
+                exchange,
+            } => {
                 w.write_u16(*preference)?;
                 exchange.encode_compressed(w, offsets)
             }
@@ -308,7 +323,15 @@ impl Record {
                 }
                 Ok(())
             }
-            RecordData::Soa { mname, rname, serial, refresh, retry, expire, minimum } => {
+            RecordData::Soa {
+                mname,
+                rname,
+                serial,
+                refresh,
+                retry,
+                expire,
+                minimum,
+            } => {
                 mname.encode_compressed(w, offsets)?;
                 rname.encode_compressed(w, offsets)?;
                 w.write_u32(*serial)?;
@@ -335,13 +358,21 @@ impl Record {
         let rdlen = r.read_u16("record rdlength")? as usize;
         let rd_start = r.position();
         if r.remaining() < rdlen {
-            return Err(DnsError::Truncated { context: "record rdata" });
+            return Err(DnsError::Truncated {
+                context: "record rdata",
+            });
         }
         let data = Self::decode_rdata(r, rtype, rdlen)?;
         // Names inside RDATA may use compression; ensure we end exactly at
         // the RDATA boundary regardless.
         r.seek(rd_start + rdlen)?;
-        Ok(Record { name, rtype, class, ttl, data })
+        Ok(Record {
+            name,
+            rtype,
+            class,
+            ttl,
+            data,
+        })
     }
 
     fn decode_rdata(
@@ -378,7 +409,10 @@ impl Record {
             RecordType::Mx => {
                 let preference = r.read_u16("MX preference")?;
                 let exchange = Name::decode(r)?;
-                Ok(RecordData::Mx { preference, exchange })
+                Ok(RecordData::Mx {
+                    preference,
+                    exchange,
+                })
             }
             RecordType::Txt => {
                 let mut strings = Vec::new();
@@ -408,28 +442,40 @@ impl Record {
                     minimum: r.read_u32("SOA minimum")?,
                 })
             }
-            RecordType::Other(_) => {
-                Ok(RecordData::Opaque(r.read_bytes(rdlen, "opaque rdata")?.to_vec()))
-            }
+            RecordType::Other(_) => Ok(RecordData::Opaque(
+                r.read_bytes(rdlen, "opaque rdata")?.to_vec(),
+            )),
         }
     }
 }
 
 impl fmt::Display for Record {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} {} {} {}", self.name, self.ttl, self.class, self.rtype)?;
+        write!(
+            f,
+            "{} {} {} {}",
+            self.name, self.ttl, self.class, self.rtype
+        )?;
         match &self.data {
             RecordData::A(ip) => write!(f, " {ip}"),
             RecordData::Aaaa(ip) => write!(f, " {ip}"),
             RecordData::Cname(n) | RecordData::Ns(n) | RecordData::Ptr(n) => write!(f, " {n}"),
-            RecordData::Mx { preference, exchange } => write!(f, " {preference} {exchange}"),
+            RecordData::Mx {
+                preference,
+                exchange,
+            } => write!(f, " {preference} {exchange}"),
             RecordData::Txt(strings) => {
                 for s in strings {
                     write!(f, " \"{}\"", String::from_utf8_lossy(s))?;
                 }
                 Ok(())
             }
-            RecordData::Soa { mname, rname, serial, .. } => {
+            RecordData::Soa {
+                mname,
+                rname,
+                serial,
+                ..
+            } => {
                 write!(f, " {mname} {rname} {serial}")
             }
             RecordData::Opaque(b) => write!(f, " \\# {}", b.len()),
@@ -483,7 +529,10 @@ mod tests {
             Record::new(
                 Name::parse("example").unwrap(),
                 1,
-                RecordData::Mx { preference: 10, exchange: Name::parse("mx.example").unwrap() },
+                RecordData::Mx {
+                    preference: 10,
+                    exchange: Name::parse("mx.example").unwrap(),
+                },
             ),
             Record::new(
                 Name::parse("example").unwrap(),
@@ -526,7 +575,10 @@ mod tests {
         // Hand-build: name "a", type A, class IN, ttl 0, rdlen 3.
         let bytes = [1, b'a', 0, 0, 1, 0, 1, 0, 0, 0, 0, 0, 3, 9, 9, 9];
         let mut r = WireReader::new(&bytes);
-        assert!(matches!(Record::decode(&mut r), Err(DnsError::BadRdata { .. })));
+        assert!(matches!(
+            Record::decode(&mut r),
+            Err(DnsError::BadRdata { .. })
+        ));
     }
 
     #[test]
@@ -536,7 +588,9 @@ mod tests {
         let mut r = WireReader::new(&bytes);
         assert!(matches!(
             Record::decode(&mut r),
-            Err(DnsError::Truncated { context: "record rdata" })
+            Err(DnsError::Truncated {
+                context: "record rdata"
+            })
         ));
     }
 

@@ -99,7 +99,10 @@ pub fn gate_response(query: &Message, bytes: &[u8]) -> Result<GateReport, Respon
         return Err(ResponseRejection::NotAResponse);
     }
     if header.id != query.id() {
-        return Err(ResponseRejection::IdMismatch { expected: query.id(), found: header.id });
+        return Err(ResponseRejection::IdMismatch {
+            expected: query.id(),
+            found: header.id,
+        });
     }
     if header.opcode != Opcode::Query {
         return Err(ResponseRejection::BadOpcode(header.opcode));
@@ -122,7 +125,10 @@ pub fn gate_response(query: &Message, bytes: &[u8]) -> Result<GateReport, Respon
     if header.ancount == 0 {
         return Err(ResponseRejection::NoAnswers);
     }
-    Ok(GateReport { header, answers_offset: r.position() })
+    Ok(GateReport {
+        header,
+        answers_offset: r.position(),
+    })
 }
 
 #[cfg(test)]
@@ -153,7 +159,10 @@ mod tests {
         let report = gate_response(&q, &forged(&q)).unwrap();
         assert_eq!(report.header.ancount, 1);
         // header + name(18) + type + class = 12 + 18 + 4
-        assert_eq!(report.answers_offset, 12 + q.questions()[0].qname().wire_len() + 4);
+        assert_eq!(
+            report.answers_offset,
+            12 + q.questions()[0].qname().wire_len() + 4
+        );
     }
 
     #[test]
@@ -163,7 +172,10 @@ mod tests {
         let bytes = forged(&other);
         assert_eq!(
             gate_response(&q, &bytes),
-            Err(ResponseRejection::IdMismatch { expected: 0x1111, found: 0x2222 })
+            Err(ResponseRejection::IdMismatch {
+                expected: 0x1111,
+                found: 0x2222
+            })
         );
     }
 
@@ -171,7 +183,10 @@ mod tests {
     fn query_bit_rejected() {
         let q = query();
         let bytes = q.encode().unwrap();
-        assert_eq!(gate_response(&q, &bytes), Err(ResponseRejection::NotAResponse));
+        assert_eq!(
+            gate_response(&q, &bytes),
+            Err(ResponseRejection::NotAResponse)
+        );
     }
 
     #[test]
@@ -182,7 +197,10 @@ mod tests {
             Question::new(Name::parse("other.example").unwrap(), RecordType::A),
         );
         let bytes = forged(&other);
-        assert_eq!(gate_response(&q, &bytes), Err(ResponseRejection::QuestionMismatch));
+        assert_eq!(
+            gate_response(&q, &bytes),
+            Err(ResponseRejection::QuestionMismatch)
+        );
     }
 
     #[test]

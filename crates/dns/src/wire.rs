@@ -32,7 +32,9 @@ impl<'a> WireReader<'a> {
     /// buffer.
     pub fn seek(&mut self, pos: usize) -> Result<(), DnsError> {
         if pos > self.buf.len() {
-            return Err(DnsError::Truncated { context: "seek target" });
+            return Err(DnsError::Truncated {
+                context: "seek target",
+            });
         }
         self.pos = pos;
         Ok(())
@@ -124,12 +126,18 @@ impl Default for WireWriter {
 impl WireWriter {
     /// Creates an unbounded writer.
     pub fn new() -> Self {
-        WireWriter { buf: Vec::with_capacity(128), limit: None }
+        WireWriter {
+            buf: Vec::with_capacity(128),
+            limit: None,
+        }
     }
 
     /// Creates a writer that refuses to grow past `limit` bytes.
     pub fn with_limit(limit: usize) -> Self {
-        WireWriter { buf: Vec::with_capacity(limit.min(1024)), limit: Some(limit) }
+        WireWriter {
+            buf: Vec::with_capacity(limit.min(1024)),
+            limit: Some(limit),
+        }
     }
 
     /// Bytes written so far.
@@ -242,7 +250,10 @@ mod tests {
     fn reader_reports_truncation_with_context() {
         let mut r = WireReader::new(&[0x01]);
         assert_eq!(r.read_u8("x").unwrap(), 1);
-        assert_eq!(r.read_u16("hdr"), Err(DnsError::Truncated { context: "hdr" }));
+        assert_eq!(
+            r.read_u16("hdr"),
+            Err(DnsError::Truncated { context: "hdr" })
+        );
     }
 
     #[test]

@@ -100,7 +100,11 @@ pub struct ZoneServer {
 impl ZoneServer {
     /// Serves the given zone.
     pub fn new(zone: Zone) -> Self {
-        ZoneServer { zone, queries_answered: 0, queries_nxdomain: 0 }
+        ZoneServer {
+            zone,
+            queries_answered: 0,
+            queries_nxdomain: 0,
+        }
     }
 
     /// The zone being served.

@@ -5,8 +5,7 @@ use proptest::prelude::*;
 use cml_dns::forge::ResponseForge;
 use cml_dns::validate::gate_response;
 use cml_dns::{
-    Label, Message, Name, Question, Record, RecordData, RecordType, WireReader,
-    WireWriter,
+    Label, Message, Name, Question, Record, RecordData, RecordType, WireReader, WireWriter,
 };
 
 fn hostname() -> impl Strategy<Value = String> {
@@ -22,8 +21,10 @@ fn record_data() -> impl Strategy<Value = RecordData> {
         hostname().prop_map(|h| RecordData::Cname(Name::parse(&h).unwrap())),
         hostname().prop_map(|h| RecordData::Ns(Name::parse(&h).unwrap())),
         hostname().prop_map(|h| RecordData::Ptr(Name::parse(&h).unwrap())),
-        (any::<u16>(), hostname())
-            .prop_map(|(p, h)| RecordData::Mx { preference: p, exchange: Name::parse(&h).unwrap() }),
+        (any::<u16>(), hostname()).prop_map(|(p, h)| RecordData::Mx {
+            preference: p,
+            exchange: Name::parse(&h).unwrap()
+        }),
         proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..40), 1..4)
             .prop_map(RecordData::Txt),
     ]
@@ -129,7 +130,12 @@ fn uncompressed_len(m: &Message) -> usize {
     for q in m.questions() {
         n += q.qname().wire_len() + 4;
     }
-    for r in m.answers().iter().chain(m.additionals()).chain(m.authorities()) {
+    for r in m
+        .answers()
+        .iter()
+        .chain(m.additionals())
+        .chain(m.authorities())
+    {
         n += r.name().wire_len() + 10;
         n += match r.data() {
             RecordData::A(_) => 4,

@@ -100,7 +100,11 @@ pub fn build_image_variant(arch: Arch, variant: u64) -> (Image, GadgetAddrs) {
     build_libc(&mut b, arch, l.libc_base);
     b.symbol("__bss_start", l.bss_base, 0, SymbolKind::Marker);
 
-    (b.build().expect("firmware layout is disjoint and symbol-complete"), gadgets)
+    (
+        b.build()
+            .expect("firmware layout is disjoint and symbol-complete"),
+        gadgets,
+    )
 }
 
 fn build_x86_text(b: &mut ImageBuilder, g: &mut GadgetAddrs, variant: u64) {
@@ -136,33 +140,51 @@ fn build_x86_text(b: &mut ImageBuilder, g: &mut GadgetAddrs, variant: u64) {
     for i in 0usize..40 {
         filler_fn_x86(b, &mut rng);
         match i.wrapping_sub(shift) {
-            6 => g.pppr = Some(b.append_code(
-                SectionKind::Text,
-                &x86::Asm::new()
-                    .pop_r(X86Reg::Ebx)
-                    .pop_r(X86Reg::Esi)
-                    .pop_r(X86Reg::Edi)
-                    .ret()
-                    .finish(),
-            )),
-            11 => g.add_esp_pop_ret = Some(b.append_code(
-                SectionKind::Text,
-                &x86::Asm::new().add_r_imm8(X86Reg::Esp, 0x0C).pop_r(X86Reg::Ebp).ret().finish(),
-            )),
-            17 => g.ppppr = Some(b.append_code(
-                SectionKind::Text,
-                &x86::Asm::new()
-                    .pop_r(X86Reg::Ebx)
-                    .pop_r(X86Reg::Esi)
-                    .pop_r(X86Reg::Edi)
-                    .pop_r(X86Reg::Ebp)
-                    .ret()
-                    .finish(),
-            )),
-            23 => g.pop_ebp_ret = Some(b.append_code(
-                SectionKind::Text,
-                &x86::Asm::new().pop_r(X86Reg::Ebp).ret().finish(),
-            )),
+            6 => {
+                g.pppr = Some(
+                    b.append_code(
+                        SectionKind::Text,
+                        &x86::Asm::new()
+                            .pop_r(X86Reg::Ebx)
+                            .pop_r(X86Reg::Esi)
+                            .pop_r(X86Reg::Edi)
+                            .ret()
+                            .finish(),
+                    ),
+                )
+            }
+            11 => {
+                g.add_esp_pop_ret = Some(
+                    b.append_code(
+                        SectionKind::Text,
+                        &x86::Asm::new()
+                            .add_r_imm8(X86Reg::Esp, 0x0C)
+                            .pop_r(X86Reg::Ebp)
+                            .ret()
+                            .finish(),
+                    ),
+                )
+            }
+            17 => {
+                g.ppppr = Some(
+                    b.append_code(
+                        SectionKind::Text,
+                        &x86::Asm::new()
+                            .pop_r(X86Reg::Ebx)
+                            .pop_r(X86Reg::Esi)
+                            .pop_r(X86Reg::Edi)
+                            .pop_r(X86Reg::Ebp)
+                            .ret()
+                            .finish(),
+                    ),
+                )
+            }
+            23 => {
+                g.pop_ebp_ret = Some(b.append_code(
+                    SectionKind::Text,
+                    &x86::Asm::new().pop_r(X86Reg::Ebp).ret().finish(),
+                ))
+            }
             29 => g.ret = Some(b.append_code(SectionKind::Text, &x86::Asm::new().ret().finish())),
             _ => {}
         }
@@ -170,7 +192,9 @@ fn build_x86_text(b: &mut ImageBuilder, g: &mut GadgetAddrs, variant: u64) {
 }
 
 fn filler_fn_x86(b: &mut ImageBuilder, rng: &mut StdRng) {
-    let mut a = x86::Asm::new().push_r(X86Reg::Ebp).mov_rr(X86Reg::Ebp, X86Reg::Esp);
+    let mut a = x86::Asm::new()
+        .push_r(X86Reg::Ebp)
+        .mov_rr(X86Reg::Ebp, X86Reg::Esp);
     for _ in 0..rng.gen_range(2..8) {
         a = match rng.gen_range(0..5) {
             0 => a.nop(),
@@ -180,7 +204,11 @@ fn filler_fn_x86(b: &mut ImageBuilder, rng: &mut StdRng) {
             _ => a.push_imm(rng.gen()),
         };
     }
-    let code = a.mov_rr(X86Reg::Esp, X86Reg::Ebp).pop_r(X86Reg::Ebp).ret().finish();
+    let code = a
+        .mov_rr(X86Reg::Esp, X86Reg::Ebp)
+        .pop_r(X86Reg::Ebp)
+        .ret()
+        .finish();
     b.append_code(SectionKind::Text, &code);
 }
 
@@ -207,10 +235,14 @@ fn build_arm_text(b: &mut ImageBuilder, g: &mut GadgetAddrs, variant: u64) {
     );
     b.symbol(SYM_PARSE_RESPONSE, parse_addr, 20, SymbolKind::Function);
     // parse_response's own epilogue doubles as a gadget.
-    g.pop_r4_r11_pc = Some(b.append_code(
-        SectionKind::Text,
-        &arm::Asm::new().pop(&[4, 5, 6, 7, 8, 9, 10, 11, 15]).finish(),
-    ));
+    g.pop_r4_r11_pc = Some(
+        b.append_code(
+            SectionKind::Text,
+            &arm::Asm::new()
+                .pop(&[4, 5, 6, 7, 8, 9, 10, 11, 15])
+                .finish(),
+        ),
+    );
 
     for i in 0usize..40 {
         filler_fn_arm(b, &mut rng);
@@ -222,16 +254,20 @@ fn build_arm_text(b: &mut ImageBuilder, g: &mut GadgetAddrs, variant: u64) {
                 ))
             }
             13 => {
-                g.blx_r3_tramp = Some(b.append_code(
-                    SectionKind::Text,
-                    &arm::Asm::new().blx(3).add_imm(13, 13, 4).pop(&[15]).finish(),
-                ))
+                g.blx_r3_tramp = Some(
+                    b.append_code(
+                        SectionKind::Text,
+                        &arm::Asm::new()
+                            .blx(3)
+                            .add_imm(13, 13, 4)
+                            .pop(&[15])
+                            .finish(),
+                    ),
+                )
             }
             19 => {
-                g.pop_r4_pc = Some(b.append_code(
-                    SectionKind::Text,
-                    &arm::Asm::new().pop(&[4, 15]).finish(),
-                ))
+                g.pop_r4_pc =
+                    Some(b.append_code(SectionKind::Text, &arm::Asm::new().pop(&[4, 15]).finish()))
             }
             _ => {}
         }
@@ -256,18 +292,24 @@ fn build_plt_got(b: &mut ImageBuilder, arch: Arch, got_base: Addr, libc_base: Ad
     // loader hooks the stub addresses directly (modelling a resolved
     // GOT), but the stubs carry plausible bytes and the GOT holds the
     // link-time libc addresses.
-    let entries: [(&str, u32); 2] =
-        [("memcpy@plt", libc_off::MEMCPY), ("execlp@plt", libc_off::EXECLP)];
+    let entries: [(&str, u32); 2] = [
+        ("memcpy@plt", libc_off::MEMCPY),
+        ("execlp@plt", libc_off::EXECLP),
+    ];
     for (i, (name, off)) in entries.iter().enumerate() {
         let got_slot = got_base + 4 * i as Addr;
         let stub = match arch {
-            Arch::X86 => {
-                b.append_code(SectionKind::Plt, &x86::Asm::new().jmp_abs_mem(got_slot).nop().nop().finish())
-            }
+            Arch::X86 => b.append_code(
+                SectionKind::Plt,
+                &x86::Asm::new().jmp_abs_mem(got_slot).nop().nop().finish(),
+            ),
             Arch::Armv7 => {
                 // Real stubs are `add ip, pc; ldr pc, [ip]`; ours is a
                 // placeholder body since the hook fires on entry.
-                b.append_code(SectionKind::Plt, &arm::Asm::new().mov_reg(12, 12).bx(14).finish())
+                b.append_code(
+                    SectionKind::Plt,
+                    &arm::Asm::new().mov_reg(12, 12).bx(14).finish(),
+                )
             }
         };
         b.symbol(*name, stub, 8, SymbolKind::PltEntry);
@@ -294,12 +336,17 @@ fn build_libc(b: &mut ImageBuilder, arch: Arch, libc_base: Addr) {
     for (name, off) in fns {
         b.symbol(name, libc_base + off, 16, SymbolKind::LibcFunction);
     }
-    b.symbol("str_bin_sh", libc_base + libc_off::STR_BIN_SH, 8, SymbolKind::Object);
+    b.symbol(
+        "str_bin_sh",
+        libc_base + libc_off::STR_BIN_SH,
+        8,
+        SymbolKind::Object,
+    );
     // Initialized libc bytes: fill up to the string so it is present.
     // (Sections zero-fill; we only need bytes at the string offset, but
     // the builder appends linearly, so pad.)
     let ret_fill: Vec<u8> = match arch {
-        Arch::X86 => std::iter::repeat(0xC3u8).take(libc_off::STR_BIN_SH as usize).collect(),
+        Arch::X86 => std::iter::repeat_n(0xC3u8, libc_off::STR_BIN_SH as usize).collect(),
         Arch::Armv7 => 0xE12F_FF1Eu32 // bx lr
             .to_le_bytes()
             .iter()

@@ -145,7 +145,12 @@ impl Firmware {
     /// [`build_image_variant`](crate::build_image_variant)).
     pub fn build_variant(kind: FirmwareKind, arch: Arch, variant: u64) -> Self {
         let (image, gadgets) = build_image_variant(arch, variant);
-        Firmware { kind, arch, image, gadgets }
+        Firmware {
+            kind,
+            arch,
+            image,
+            gadgets,
+        }
     }
 
     /// The firmware profile.
@@ -183,7 +188,10 @@ impl Firmware {
         seed: u64,
         service: ServiceProfile,
     ) -> Daemon {
-        let (machine, map) = Loader::new(&self.image).protections(protections).seed(seed).load();
+        let (machine, map) = Loader::new(&self.image)
+            .protections(protections)
+            .seed(seed)
+            .load();
         let layout = FrameLayout::scaled(self.arch, service.buf_size);
         Daemon::new(machine, map, self.kind.connman_version())
             .expect("firmware images define the daemon symbols")
@@ -194,14 +202,17 @@ impl Firmware {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cml_connman::{ProxyOutcome, Resolution};
     use cml_dns::forge::ResponseForge;
     use cml_dns::{Message, Name, RecordType};
-    use cml_connman::{ProxyOutcome, Resolution};
 
     #[test]
     fn profiles_match_paper_survey() {
         assert_eq!(FirmwareKind::Yocto.connman_version(), ConnmanVersion::V1_31);
-        assert_eq!(FirmwareKind::OpenElec.connman_version(), ConnmanVersion::V1_34);
+        assert_eq!(
+            FirmwareKind::OpenElec.connman_version(),
+            ConnmanVersion::V1_34
+        );
         assert!(FirmwareKind::Tizen.is_vulnerable());
         assert!(!FirmwareKind::Patched.is_vulnerable());
     }
@@ -242,7 +253,10 @@ mod tests {
                 .build()
                 .unwrap();
             let out = daemon.deliver_response(&attack);
-            assert!(matches!(out, ProxyOutcome::ParseFailed { .. }), "{arch}: {out}");
+            assert!(
+                matches!(out, ProxyOutcome::ParseFailed { .. }),
+                "{arch}: {out}"
+            );
             assert!(daemon.is_running());
         }
     }
@@ -262,7 +276,10 @@ mod tests {
                 .unwrap()
                 .build()
                 .unwrap();
-            assert_eq!(daemon.deliver_response(&ok), ProxyOutcome::Answered { cached: 1 });
+            assert_eq!(
+                daemon.deliver_response(&ok),
+                ProxyOutcome::Answered { cached: 1 }
+            );
         }
     }
 }

@@ -41,7 +41,11 @@ struct PendingSection {
 impl ImageBuilder {
     /// Starts an empty image for `arch`.
     pub fn new(arch: Arch) -> Self {
-        ImageBuilder { arch, sections: Vec::new(), symbols: Vec::new() }
+        ImageBuilder {
+            arch,
+            sections: Vec::new(),
+            symbols: Vec::new(),
+        }
     }
 
     /// The target architecture.
@@ -51,14 +55,14 @@ impl ImageBuilder {
 
     /// Declares a section with explicit permissions. Returns `&mut self`
     /// for chaining.
-    pub fn section(
-        &mut self,
-        kind: SectionKind,
-        base: Addr,
-        size: u32,
-        perms: Perms,
-    ) -> &mut Self {
-        self.sections.push(PendingSection { kind, base, size, perms, bytes: Vec::new() });
+    pub fn section(&mut self, kind: SectionKind, base: Addr, size: u32, perms: Perms) -> &mut Self {
+        self.sections.push(PendingSection {
+            kind,
+            base,
+            size,
+            perms,
+            bytes: Vec::new(),
+        });
         self
     }
 
@@ -108,8 +112,11 @@ impl ImageBuilder {
             .unwrap_or_else(|| panic!("section {kind} not declared"));
         let pos = s.base as usize + s.bytes.len();
         let pad = (align - pos % align) % align;
-        assert!(s.bytes.len() + pad <= s.size as usize, "padding overflows section {kind}");
-        s.bytes.extend(std::iter::repeat(0u8).take(pad));
+        assert!(
+            s.bytes.len() + pad <= s.size as usize,
+            "padding overflows section {kind}"
+        );
+        s.bytes.extend(std::iter::repeat_n(0u8, pad));
         s.base + s.bytes.len() as Addr
     }
 
@@ -171,7 +178,10 @@ mod tests {
         assert_eq!(aligned, 0x1_0004);
         assert_eq!(a2, 0x1_0004);
         let img = b.build().unwrap();
-        assert_eq!(img.bytes_at(0x1_0000, 8), Some(&[1, 2, 3, 0, 4, 4, 4, 4][..]));
+        assert_eq!(
+            img.bytes_at(0x1_0000, 8),
+            Some(&[1, 2, 3, 0, 4, 4, 4, 4][..])
+        );
     }
 
     #[test]

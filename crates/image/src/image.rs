@@ -3,6 +3,7 @@
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+use std::sync::OnceLock;
 
 use crate::{Addr, Arch, Section, SectionKind, Symbol};
 
@@ -49,6 +50,47 @@ pub struct Image {
     sections: Vec<Section>,
     symbols: Vec<Symbol>,
     by_name: HashMap<String, usize>,
+    /// Lazily-built byte-occurrence index backing [`Image::find_bytes`]
+    /// (safe to memoise: the image is immutable once built).
+    byte_index: OnceLock<ByteIndex>,
+}
+
+/// Counting-sort layout of every byte in the readable sections:
+/// `posns[starts[b]..starts[b + 1]]` lists the `(section, offset)` of
+/// each occurrence of byte value `b`, in section-insertion order — the
+/// exact order a linear sweep would visit them.
+#[derive(Debug, Clone, Default)]
+struct ByteIndex {
+    starts: Vec<u32>,
+    posns: Vec<(u32, u32)>,
+}
+
+impl ByteIndex {
+    fn build(sections: &[Section]) -> ByteIndex {
+        let mut counts = [0u32; 256];
+        for s in sections.iter().filter(|s| s.perms().readable()) {
+            for &b in s.bytes() {
+                counts[b as usize] += 1;
+            }
+        }
+        let mut starts = vec![0u32; 257];
+        for (i, &c) in counts.iter().enumerate() {
+            starts[i + 1] = starts[i] + c;
+        }
+        let mut cursor: Vec<u32> = starts[..256].to_vec();
+        let mut posns = vec![(0u32, 0u32); starts[256] as usize];
+        for (si, s) in sections.iter().enumerate() {
+            if !s.perms().readable() {
+                continue;
+            }
+            for (off, &b) in s.bytes().iter().enumerate() {
+                let at = &mut cursor[b as usize];
+                posns[*at as usize] = (si as u32, off as u32);
+                *at += 1;
+            }
+        }
+        ByteIndex { starts, posns }
+    }
 }
 
 impl Image {
@@ -62,7 +104,10 @@ impl Image {
         sorted.sort_by_key(|s| s.base());
         for w in sorted.windows(2) {
             if w[0].end() > w[1].base() as u64 {
-                return Err(ImageError::Overlap { a: w[0].kind(), b: w[1].kind() });
+                return Err(ImageError::Overlap {
+                    a: w[0].kind(),
+                    b: w[1].kind(),
+                });
             }
         }
         let mut by_name = HashMap::with_capacity(symbols.len());
@@ -74,7 +119,13 @@ impl Image {
                 return Err(ImageError::DanglingSymbol(sym.name().to_string()));
             }
         }
-        Ok(Image { arch, sections, symbols, by_name })
+        Ok(Image {
+            arch,
+            sections,
+            symbols,
+            by_name,
+            byte_index: OnceLock::new(),
+        })
     }
 
     /// Target architecture.
@@ -104,7 +155,8 @@ impl Image {
     ///
     /// Returns [`ImageError::MissingSymbol`] when absent.
     pub fn require_symbol(&self, name: &str) -> Result<&Symbol, ImageError> {
-        self.symbol(name).ok_or_else(|| ImageError::MissingSymbol(name.to_string()))
+        self.symbol(name)
+            .ok_or_else(|| ImageError::MissingSymbol(name.to_string()))
     }
 
     /// The section of the given kind, if present.
@@ -128,22 +180,22 @@ impl Image {
     /// `ROPgadget --memstr`, which the paper uses to find single
     /// characters of `/bin/sh` in Connman's memory.
     pub fn find_bytes(&self, needle: &[u8]) -> Vec<Addr> {
+        let Some(&first) = needle.first() else {
+            return Vec::new();
+        };
+        // The index enumerates candidate positions of the first needle
+        // byte directly; only those get the (rare) full comparison.
+        let idx = self
+            .byte_index
+            .get_or_init(|| ByteIndex::build(&self.sections));
+        let range = idx.starts[first as usize] as usize..idx.starts[first as usize + 1] as usize;
         let mut hits = Vec::new();
-        if needle.is_empty() {
-            return hits;
-        }
-        for s in &self.sections {
-            if !s.perms().readable() {
-                continue;
-            }
+        for &(si, off) in &idx.posns[range] {
+            let s = &self.sections[si as usize];
             let bytes = s.bytes();
-            if bytes.len() < needle.len() {
-                continue;
-            }
-            for i in 0..=bytes.len() - needle.len() {
-                if &bytes[i..i + needle.len()] == needle {
-                    hits.push(s.base() + i as Addr);
-                }
+            let off = off as usize;
+            if off + needle.len() <= bytes.len() && &bytes[off..off + needle.len()] == needle {
+                hits.push(s.base() + off as Addr);
             }
         }
         hits
@@ -157,7 +209,13 @@ impl Image {
 
 impl fmt::Display for Image {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "image for {} ({} sections, {} symbols)", self.arch, self.sections.len(), self.symbols.len())?;
+        writeln!(
+            f,
+            "image for {} ({} sections, {} symbols)",
+            self.arch,
+            self.sections.len(),
+            self.symbols.len()
+        )?;
         for s in &self.sections {
             writeln!(f, "  {s}")?;
         }
@@ -174,7 +232,13 @@ mod tests {
         Image::from_parts(
             Arch::X86,
             vec![
-                Section::new(SectionKind::Text, 0x1000, 0x100, Perms::RX, b"AB/bin".to_vec()),
+                Section::new(
+                    SectionKind::Text,
+                    0x1000,
+                    0x100,
+                    Perms::RX,
+                    b"AB/bin".to_vec(),
+                ),
                 Section::new(SectionKind::Bss, 0x3000, 0x100, Perms::RW, vec![]),
             ],
             vec![Symbol::new("main", 0x1000, 4, SymbolKind::Function)],
@@ -187,9 +251,15 @@ mod tests {
         let im = img();
         assert_eq!(im.symbol("main").unwrap().addr(), 0x1000);
         assert!(im.symbol("nope").is_none());
-        assert!(matches!(im.require_symbol("nope"), Err(ImageError::MissingSymbol(_))));
+        assert!(matches!(
+            im.require_symbol("nope"),
+            Err(ImageError::MissingSymbol(_))
+        ));
         assert_eq!(im.section(SectionKind::Bss).unwrap().base(), 0x3000);
-        assert_eq!(im.section_containing(0x1005).unwrap().kind(), SectionKind::Text);
+        assert_eq!(
+            im.section_containing(0x1005).unwrap().kind(),
+            SectionKind::Text
+        );
         assert_eq!(im.bytes_at(0x1002, 4), Some(&b"/bin"[..]));
     }
 
@@ -220,7 +290,13 @@ mod tests {
     fn dangling_symbol_rejected() {
         let err = Image::from_parts(
             Arch::X86,
-            vec![Section::new(SectionKind::Text, 0x1000, 0x10, Perms::RX, vec![])],
+            vec![Section::new(
+                SectionKind::Text,
+                0x1000,
+                0x10,
+                Perms::RX,
+                vec![],
+            )],
             vec![Symbol::new("ghost", 0x9999, 0, SymbolKind::Object)],
         )
         .unwrap_err();
@@ -231,7 +307,13 @@ mod tests {
     fn duplicate_symbol_rejected() {
         let err = Image::from_parts(
             Arch::X86,
-            vec![Section::new(SectionKind::Text, 0x1000, 0x10, Perms::RX, vec![])],
+            vec![Section::new(
+                SectionKind::Text,
+                0x1000,
+                0x10,
+                Perms::RX,
+                vec![],
+            )],
             vec![
                 Symbol::new("f", 0x1000, 0, SymbolKind::Function),
                 Symbol::new("f", 0x1004, 0, SymbolKind::Function),

@@ -95,7 +95,11 @@ mod tests {
             ];
             bases.sort_unstable();
             for w in bases.windows(2) {
-                assert!(w[0] < w[1], "{arch}: duplicate or unsorted base {:#x}", w[0]);
+                assert!(
+                    w[0] < w[1],
+                    "{arch}: duplicate or unsorted base {:#x}",
+                    w[0]
+                );
             }
         }
     }

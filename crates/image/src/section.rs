@@ -51,7 +51,10 @@ impl SectionKind {
     /// paper: the non-PIE program sections stay put; libc, stack and heap
     /// move.
     pub fn randomized_by_aslr(self) -> bool {
-        matches!(self, SectionKind::Libc | SectionKind::Stack | SectionKind::Heap)
+        matches!(
+            self,
+            SectionKind::Libc | SectionKind::Stack | SectionKind::Heap
+        )
     }
 
     /// Conventional section name.
@@ -97,12 +100,21 @@ impl Section {
     /// Panics if the initialized bytes overflow the declared size or the
     /// range wraps the 32-bit address space; both indicate a builder bug.
     pub fn new(kind: SectionKind, base: Addr, size: u32, perms: Perms, bytes: Vec<u8>) -> Self {
-        assert!(bytes.len() as u64 <= size as u64, "initialized bytes exceed section size");
+        assert!(
+            bytes.len() as u64 <= size as u64,
+            "initialized bytes exceed section size"
+        );
         assert!(
             (base as u64) + (size as u64) <= (u32::MAX as u64) + 1,
             "section wraps the address space"
         );
-        Section { kind, base, size, perms, bytes }
+        Section {
+            kind,
+            base,
+            size,
+            perms,
+            bytes,
+        }
     }
 
     /// The section's role.
@@ -182,7 +194,13 @@ mod tests {
 
     #[test]
     fn contains_and_reads() {
-        let s = Section::new(SectionKind::Text, 0x1000, 0x100, Perms::RX, vec![1, 2, 3, 4]);
+        let s = Section::new(
+            SectionKind::Text,
+            0x1000,
+            0x100,
+            Perms::RX,
+            vec![1, 2, 3, 4],
+        );
         assert!(s.contains(0x1000));
         assert!(s.contains(0x10FF));
         assert!(!s.contains(0x1100));

@@ -33,7 +33,12 @@ pub struct Symbol {
 impl Symbol {
     /// Creates a symbol.
     pub fn new(name: impl Into<String>, addr: Addr, size: u32, kind: SymbolKind) -> Self {
-        Symbol { name: name.into(), addr, size, kind }
+        Symbol {
+            name: name.into(),
+            addr,
+            size,
+            kind,
+        }
     }
 
     /// The symbol's name. PLT entries use the `name@plt` convention.

@@ -65,7 +65,11 @@ pub struct AccessPoint {
 impl AccessPoint {
     /// Brings up an AP.
     pub fn new(config: ApConfig) -> Self {
-        AccessPoint { config, leases: HashMap::new(), next_host: 10 }
+        AccessPoint {
+            config,
+            leases: HashMap::new(),
+            next_host: 10,
+        }
     }
 
     /// The AP's configuration.
@@ -120,7 +124,10 @@ mod tests {
             ssid: "Lab".into(),
             bssid: HwAddr::local(1),
             signal_dbm: -55,
-            dhcp: DhcpConfig::new([192, 168, 1, 0][..3].try_into().unwrap(), Ipv4Addr::new(192, 168, 1, 53)),
+            dhcp: DhcpConfig::new(
+                [192, 168, 1, 0][..3].try_into().unwrap(),
+                Ipv4Addr::new(192, 168, 1, 53),
+            ),
         })
     }
 

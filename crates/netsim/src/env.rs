@@ -176,7 +176,11 @@ impl RadioEnvironment {
             .max_by_key(|r| r.signal_dbm)?;
         let ap = self.ap_mut(best.ap)?;
         let lease = ap.lease(mac);
-        self.events.push(NetEvent::Associated { mac, ap: best.ap, lease });
+        self.events.push(NetEvent::Associated {
+            mac,
+            ap: best.ap,
+            lease,
+        });
         Some((best.ap, lease))
     }
 
@@ -263,6 +267,9 @@ mod tests {
             Some(b"ping".to_vec())
         );
         assert_eq!(env.send(Ipv4Addr::new(10, 9, 9, 9), b"ping"), None);
-        assert!(matches!(env.events().last(), Some(NetEvent::Unroutable { .. })));
+        assert!(matches!(
+            env.events().last(),
+            Some(NetEvent::Unroutable { .. })
+        ));
     }
 }

@@ -48,7 +48,11 @@ impl WifiPineapple {
             signal_dbm: strongest + SIGNAL_MARGIN_DB,
             dhcp: DhcpConfig::new(Self::SUBNET, dns_addr),
         }));
-        Some(WifiPineapple { ap, dns_addr, cloned_ssid: target_ssid.clone() })
+        Some(WifiPineapple {
+            ap,
+            dns_addr,
+            cloned_ssid: target_ssid.clone(),
+        })
     }
 
     /// The rogue AP's handle.

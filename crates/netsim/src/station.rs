@@ -27,7 +27,11 @@ pub struct Station {
 impl Station {
     /// Creates a station that trusts `ssid`.
     pub fn new(mac: HwAddr, ssid: Ssid) -> Self {
-        Station { mac, preferred_ssid: ssid, association: None }
+        Station {
+            mac,
+            preferred_ssid: ssid,
+            association: None,
+        }
     }
 
     /// Hardware address.

@@ -158,7 +158,11 @@ impl Asm {
     ///
     /// Panics if the offset magnitude exceeds 12 bits.
     pub fn ldr(self, rd: u8, rn: u8, offset: i32) -> Self {
-        let (u, mag) = if offset >= 0 { (1u32, offset as u32) } else { (0, (-offset) as u32) };
+        let (u, mag) = if offset >= 0 {
+            (1u32, offset as u32)
+        } else {
+            (0, (-offset) as u32)
+        };
         assert!(mag < 0x1000, "ldr offset out of range");
         self.word(
             0x0410_0000
@@ -177,7 +181,11 @@ impl Asm {
     ///
     /// Panics if the offset magnitude exceeds 12 bits.
     pub fn str(self, rd: u8, rn: u8, offset: i32) -> Self {
-        let (u, mag) = if offset >= 0 { (1u32, offset as u32) } else { (0, (-offset) as u32) };
+        let (u, mag) = if offset >= 0 {
+            (1u32, offset as u32)
+        } else {
+            (0, (-offset) as u32)
+        };
         assert!(mag < 0x1000, "str offset out of range");
         self.word(
             0x0400_0000
@@ -196,7 +204,11 @@ impl Asm {
     ///
     /// Panics if the offset magnitude exceeds 12 bits.
     pub fn ldrb(self, rd: u8, rn: u8, offset: i32) -> Self {
-        let (u, mag) = if offset >= 0 { (1u32, offset as u32) } else { (0, (-offset) as u32) };
+        let (u, mag) = if offset >= 0 {
+            (1u32, offset as u32)
+        } else {
+            (0, (-offset) as u32)
+        };
         assert!(mag < 0x1000, "ldrb offset out of range");
         self.word(
             0xE450_0000 | (1 << 24) | (u << 23) | ((rn as u32) << 16) | ((rd as u32) << 12) | mag,
@@ -209,7 +221,11 @@ impl Asm {
     ///
     /// Panics if the offset magnitude exceeds 12 bits.
     pub fn strb(self, rd: u8, rn: u8, offset: i32) -> Self {
-        let (u, mag) = if offset >= 0 { (1u32, offset as u32) } else { (0, (-offset) as u32) };
+        let (u, mag) = if offset >= 0 {
+            (1u32, offset as u32)
+        } else {
+            (0, (-offset) as u32)
+        };
         assert!(mag < 0x1000, "strb offset out of range");
         self.word(
             0xE440_0000 | (1 << 24) | (u << 23) | ((rn as u32) << 16) | ((rd as u32) << 12) | mag,
@@ -281,7 +297,10 @@ impl Asm {
 fn branch_imm24(offset: i32) -> u32 {
     assert!(offset % 4 == 0, "branch offset must be word-aligned");
     let words = offset / 4;
-    assert!((-(1 << 23)..(1 << 23)).contains(&words), "branch offset out of range");
+    assert!(
+        (-(1 << 23)..(1 << 23)).contains(&words),
+        "branch offset out of range"
+    );
     (words as u32) & 0x00FF_FFFF
 }
 
@@ -298,16 +317,66 @@ mod tests {
 
     #[test]
     fn assembler_decoder_roundtrip() {
-        roundtrip(&Asm::new().mov_imm(7, 11).finish(), Insn::MovImm { rd: 7, imm: 11 });
-        roundtrip(&Asm::new().mvn_imm(0, 0).finish(), Insn::MvnImm { rd: 0, imm: 0 });
-        roundtrip(&Asm::new().mov_reg(1, 1).finish(), Insn::MovReg { rd: 1, rm: 1 });
-        roundtrip(&Asm::new().add_imm(0, 15, 20).finish(), Insn::AddImm { rd: 0, rn: 15, imm: 20 });
-        roundtrip(&Asm::new().sub_imm(13, 13, 16).finish(), Insn::SubImm { rd: 13, rn: 13, imm: 16 });
-        roundtrip(&Asm::new().cmp_imm(0, 0).finish(), Insn::CmpImm { rn: 0, imm: 0 });
-        roundtrip(&Asm::new().ldr(2, 1, 4).finish(), Insn::Ldr { rd: 2, rn: 1, offset: 4 });
-        roundtrip(&Asm::new().ldr(2, 1, -4).finish(), Insn::Ldr { rd: 2, rn: 1, offset: -4 });
-        roundtrip(&Asm::new().str(3, 13, 8).finish(), Insn::Str { rd: 3, rn: 13, offset: 8 });
-        roundtrip(&Asm::new().push(&[4, 14]).finish(), Insn::Push { list: 0x4010 });
+        roundtrip(
+            &Asm::new().mov_imm(7, 11).finish(),
+            Insn::MovImm { rd: 7, imm: 11 },
+        );
+        roundtrip(
+            &Asm::new().mvn_imm(0, 0).finish(),
+            Insn::MvnImm { rd: 0, imm: 0 },
+        );
+        roundtrip(
+            &Asm::new().mov_reg(1, 1).finish(),
+            Insn::MovReg { rd: 1, rm: 1 },
+        );
+        roundtrip(
+            &Asm::new().add_imm(0, 15, 20).finish(),
+            Insn::AddImm {
+                rd: 0,
+                rn: 15,
+                imm: 20,
+            },
+        );
+        roundtrip(
+            &Asm::new().sub_imm(13, 13, 16).finish(),
+            Insn::SubImm {
+                rd: 13,
+                rn: 13,
+                imm: 16,
+            },
+        );
+        roundtrip(
+            &Asm::new().cmp_imm(0, 0).finish(),
+            Insn::CmpImm { rn: 0, imm: 0 },
+        );
+        roundtrip(
+            &Asm::new().ldr(2, 1, 4).finish(),
+            Insn::Ldr {
+                rd: 2,
+                rn: 1,
+                offset: 4,
+            },
+        );
+        roundtrip(
+            &Asm::new().ldr(2, 1, -4).finish(),
+            Insn::Ldr {
+                rd: 2,
+                rn: 1,
+                offset: -4,
+            },
+        );
+        roundtrip(
+            &Asm::new().str(3, 13, 8).finish(),
+            Insn::Str {
+                rd: 3,
+                rn: 13,
+                offset: 8,
+            },
+        );
+        roundtrip(
+            &Asm::new().push(&[4, 14]).finish(),
+            Insn::Push { list: 0x4010 },
+        );
         roundtrip(
             &Asm::new().pop(&[0, 1, 2, 3, 5, 6, 7, 15]).finish(),
             Insn::Pop { list: 0x80EF },
@@ -327,7 +396,10 @@ mod tests {
             0xE8BD_80EFu32.to_le_bytes()
         );
         assert_eq!(Asm::new().blx(3).finish(), 0xE12F_FF33u32.to_le_bytes());
-        assert_eq!(Asm::new().mov_reg(1, 1).finish(), 0xE1A0_1001u32.to_le_bytes());
+        assert_eq!(
+            Asm::new().mov_reg(1, 1).finish(),
+            0xE1A0_1001u32.to_le_bytes()
+        );
     }
 
     #[test]

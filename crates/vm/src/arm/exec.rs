@@ -20,14 +20,26 @@ fn illegal(m: &Machine, pc: Addr) -> Fault {
 /// Executes one A32 instruction at the current `pc`.
 pub(crate) fn step(m: &mut Machine) -> Result<Option<RunOutcome>, Fault> {
     let pc = m.regs.pc();
-    if pc % 4 != 0 {
+    if !pc.is_multiple_of(4) {
         return Err(Fault::UnalignedFetch { pc });
     }
-    let window = m.mem.fetch_window(pc, 4)?;
-    let (insn, _) = match decode(&window) {
-        Ok(v) => v,
-        Err(DecodeError::Truncated) | Err(DecodeError::Unsupported(_)) => {
-            return Err(illegal(m, pc));
+    // Cached-dispatch loop: a hit in the predecoded-instruction cache
+    // skips fetch and decode entirely (the cache is push-invalidated by
+    // every write/permission path, so a hit is valid by construction).
+    let insn = match m.mem.dcache_get(pc) {
+        Some(crate::dcache::CachedInsn::Arm(insn)) => insn,
+        _ => {
+            let mut window = [0u8; 4];
+            let n = m.mem.fetch_into(pc, &mut window)?;
+            let (insn, _) = match decode(&window[..n]) {
+                Ok(v) => v,
+                Err(DecodeError::Truncated) | Err(DecodeError::Unsupported(_)) => {
+                    return Err(illegal(m, pc));
+                }
+            };
+            m.mem
+                .dcache_insert(pc, crate::dcache::CachedInsn::Arm(insn), 4);
+            insn
         }
     };
     let next = pc.wrapping_add(4);
@@ -139,22 +151,26 @@ pub(crate) fn step(m: &mut Machine) -> Result<Option<RunOutcome>, Fault> {
             m.regs.set_pc(target);
         }
         Insn::B { offset } => {
-            m.regs.set_pc(pc.wrapping_add(8).wrapping_add(offset as u32));
+            m.regs
+                .set_pc(pc.wrapping_add(8).wrapping_add(offset as u32));
         }
         Insn::BEq { offset } => {
             if m.regs.arm().zf {
-                m.regs.set_pc(pc.wrapping_add(8).wrapping_add(offset as u32));
+                m.regs
+                    .set_pc(pc.wrapping_add(8).wrapping_add(offset as u32));
             }
         }
         Insn::BNe { offset } => {
             if !m.regs.arm().zf {
-                m.regs.set_pc(pc.wrapping_add(8).wrapping_add(offset as u32));
+                m.regs
+                    .set_pc(pc.wrapping_add(8).wrapping_add(offset as u32));
             }
         }
         Insn::Bl { offset } => {
             m.regs.arm_mut().set(ArmReg::LR, next);
             m.shadow_push(next);
-            m.regs.set_pc(pc.wrapping_add(8).wrapping_add(offset as u32));
+            m.regs
+                .set_pc(pc.wrapping_add(8).wrapping_add(offset as u32));
         }
         Insn::Svc { .. } => return hooks::syscall_arm(m, pc),
     }
@@ -178,9 +194,22 @@ mod tests {
 
     fn machine(code: Vec<u8>) -> Machine {
         let mut m = Machine::new(Arch::Armv7);
-        m.mem.map(".text", Some(SectionKind::Text), 0x1_0000, 0x1000, Perms::RX);
-        m.mem.map("data", Some(SectionKind::Data), 0x3_0000, 0x100, Perms::RW);
-        m.mem.map("stack", Some(SectionKind::Stack), 0x7e00_0000, 0x1000, Perms::RW);
+        m.mem.map(
+            ".text",
+            Some(SectionKind::Text),
+            0x1_0000,
+            0x1000,
+            Perms::RX,
+        );
+        m.mem
+            .map("data", Some(SectionKind::Data), 0x3_0000, 0x100, Perms::RW);
+        m.mem.map(
+            "stack",
+            Some(SectionKind::Stack),
+            0x7e00_0000,
+            0x1000,
+            Perms::RW,
+        );
         m.mem.poke(0x1_0000, &code).unwrap();
         m.regs.set_pc(0x1_0000);
         m.regs.set_sp(0x7e00_0800);
@@ -247,7 +276,11 @@ mod tests {
 
     #[test]
     fn blx_sets_lr_and_branches() {
-        let code = Asm::new().mov_imm(3, 0x1_0000).add_imm(3, 3, 0x10).blx(3).finish();
+        let code = Asm::new()
+            .mov_imm(3, 0x1_0000)
+            .add_imm(3, 3, 0x10)
+            .blx(3)
+            .finish();
         let mut m = machine(code);
         run_steps(&mut m, 3);
         assert_eq!(m.regs.pc(), 0x1_0010);
@@ -260,12 +293,7 @@ mod tests {
         // 0x10004: mov r0, #1   (returned here)
         // 0x10008: (never)
         // 0x1000c: bx lr
-        let code = Asm::new()
-            .bl(4)
-            .mov_imm(0, 1)
-            .mov_imm(0, 2)
-            .bx(14)
-            .finish();
+        let code = Asm::new().bl(4).mov_imm(0, 1).mov_imm(0, 2).bx(14).finish();
         let mut m = machine(code);
         run_steps(&mut m, 1);
         assert_eq!(m.regs.pc(), 0x1_000C);

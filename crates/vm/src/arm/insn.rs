@@ -236,7 +236,11 @@ pub fn decode(bytes: &[u8]) -> Result<(Insn, usize), DecodeError> {
         if (cond == 0x0 || cond == 0x1) && w & 0x0F00_0000 == 0x0A00_0000 {
             let imm24 = w & 0x00FF_FFFF;
             let offset = ((imm24 << 8) as i32 >> 8) << 2;
-            let insn = if cond == 0x0 { Insn::BEq { offset } } else { Insn::BNe { offset } };
+            let insn = if cond == 0x0 {
+                Insn::BEq { offset }
+            } else {
+                Insn::BNe { offset }
+            };
             return Ok((insn, 4));
         }
         return Err(DecodeError::Unsupported(w));
@@ -248,14 +252,20 @@ pub fn decode(bytes: &[u8]) -> Result<(Insn, usize), DecodeError> {
 fn decode_word(w: u32) -> Option<Insn> {
     // bx / blx (register form)
     if w & 0x0FFF_FFF0 == 0x012F_FF10 {
-        return Some(Insn::Bx { rm: (w & 0xF) as u8 });
+        return Some(Insn::Bx {
+            rm: (w & 0xF) as u8,
+        });
     }
     if w & 0x0FFF_FFF0 == 0x012F_FF30 {
-        return Some(Insn::Blx { rm: (w & 0xF) as u8 });
+        return Some(Insn::Blx {
+            rm: (w & 0xF) as u8,
+        });
     }
     // svc
     if w & 0x0F00_0000 == 0x0F00_0000 {
-        return Some(Insn::Svc { imm: w & 0x00FF_FFFF });
+        return Some(Insn::Svc {
+            imm: w & 0x00FF_FFFF,
+        });
     }
     // b / bl
     if w & 0x0E00_0000 == 0x0A00_0000 {
@@ -270,10 +280,14 @@ fn decode_word(w: u32) -> Option<Insn> {
     }
     // push (stmdb sp!) / pop (ldmia sp!)
     if w & 0x0FFF_0000 == 0x092D_0000 {
-        return Some(Insn::Push { list: (w & 0xFFFF) as u16 });
+        return Some(Insn::Push {
+            list: (w & 0xFFFF) as u16,
+        });
     }
     if w & 0x0FFF_0000 == 0x08BD_0000 {
-        return Some(Insn::Pop { list: (w & 0xFFFF) as u16 });
+        return Some(Insn::Pop {
+            list: (w & 0xFFFF) as u16,
+        });
     }
     // ldr/str word or byte immediate, P=1 W=0 (offset addressing)
     if w & 0x0E00_0000 == 0x0400_0000 {
@@ -521,8 +535,22 @@ mod tests {
     #[test]
     fn data_processing_immediates() {
         assert_eq!(d(0xE3A0_700B), Insn::MovImm { rd: 7, imm: 11 });
-        assert_eq!(d(0xE280_0004), Insn::AddImm { rd: 0, rn: 0, imm: 4 });
-        assert_eq!(d(0xE240_D010), Insn::SubImm { rd: 13, rn: 0, imm: 16 });
+        assert_eq!(
+            d(0xE280_0004),
+            Insn::AddImm {
+                rd: 0,
+                rn: 0,
+                imm: 4
+            }
+        );
+        assert_eq!(
+            d(0xE240_D010),
+            Insn::SubImm {
+                rd: 13,
+                rn: 0,
+                imm: 16
+            }
+        );
         assert_eq!(d(0xE350_0000), Insn::CmpImm { rn: 0, imm: 0 });
         assert_eq!(d(0xE3E0_0000), Insn::MvnImm { rd: 0, imm: 0 });
     }
@@ -539,9 +567,30 @@ mod tests {
 
     #[test]
     fn ldr_str_offsets() {
-        assert_eq!(d(0xE591_2004), Insn::Ldr { rd: 2, rn: 1, offset: 4 });
-        assert_eq!(d(0xE511_2004), Insn::Ldr { rd: 2, rn: 1, offset: -4 });
-        assert_eq!(d(0xE581_2008), Insn::Str { rd: 2, rn: 1, offset: 8 });
+        assert_eq!(
+            d(0xE591_2004),
+            Insn::Ldr {
+                rd: 2,
+                rn: 1,
+                offset: 4
+            }
+        );
+        assert_eq!(
+            d(0xE511_2004),
+            Insn::Ldr {
+                rd: 2,
+                rn: 1,
+                offset: -4
+            }
+        );
+        assert_eq!(
+            d(0xE581_2008),
+            Insn::Str {
+                rd: 2,
+                rn: 1,
+                offset: 8
+            }
+        );
     }
 
     #[test]
@@ -582,17 +631,59 @@ mod tests {
 
     #[test]
     fn logic_immediates_and_shift() {
-        assert_eq!(d(0xE380_1001), Insn::OrrImm { rd: 1, rn: 0, imm: 1 });
-        assert_eq!(d(0xE200_10FF), Insn::AndImm { rd: 1, rn: 0, imm: 0xFF });
-        assert_eq!(d(0xE220_1001), Insn::EorImm { rd: 1, rn: 0, imm: 1 });
-        assert_eq!(d(0xE1A0_1182), Insn::LslImm { rd: 1, rm: 2, shift: 3 });
+        assert_eq!(
+            d(0xE380_1001),
+            Insn::OrrImm {
+                rd: 1,
+                rn: 0,
+                imm: 1
+            }
+        );
+        assert_eq!(
+            d(0xE200_10FF),
+            Insn::AndImm {
+                rd: 1,
+                rn: 0,
+                imm: 0xFF
+            }
+        );
+        assert_eq!(
+            d(0xE220_1001),
+            Insn::EorImm {
+                rd: 1,
+                rn: 0,
+                imm: 1
+            }
+        );
+        assert_eq!(
+            d(0xE1A0_1182),
+            Insn::LslImm {
+                rd: 1,
+                rm: 2,
+                shift: 3
+            }
+        );
         assert_eq!(d(0xE1A0_1182).to_string(), "lsl r1, r2, #3");
     }
 
     #[test]
     fn byte_transfers() {
-        assert_eq!(d(0xE5D1_2004), Insn::Ldrb { rd: 2, rn: 1, offset: 4 });
-        assert_eq!(d(0xE5C1_2004), Insn::Strb { rd: 2, rn: 1, offset: 4 });
+        assert_eq!(
+            d(0xE5D1_2004),
+            Insn::Ldrb {
+                rd: 2,
+                rn: 1,
+                offset: 4
+            }
+        );
+        assert_eq!(
+            d(0xE5C1_2004),
+            Insn::Strb {
+                rd: 2,
+                rn: 1,
+                offset: 4
+            }
+        );
     }
 
     #[test]

@@ -1,0 +1,283 @@
+//! Predecoded-instruction cache.
+//!
+//! Decoding is pure — the same bytes at the same pc always decode to the
+//! same [`Insn`](crate::x86::Insn) — so the fetch/decode half of the
+//! interpreter loop can be memoised. The cache is owned by
+//! [`Memory`](crate::Memory) and uses *push* invalidation: every path
+//! that can change code bytes or their executability (`write_u8`,
+//! `poke`, `set_perms`, `map`) notifies the cache directly, so a cache
+//! hit needs **no** validation — no permission re-check, no generation
+//! compare. This keeps self-modifying shellcode and per-boot reloads
+//! correct while the hot path is a single probe of an open-addressing
+//! table.
+//!
+//! Invalidation is deliberately coarse (any write to a page that holds
+//! cached decodes flushes the whole table): flushes are rare — code is
+//! written in bursts and then executed — and coarse flushing keeps the
+//! write path to one compare in the common sequential-write case.
+
+use cml_image::Addr;
+
+use crate::{arm, x86};
+
+/// Pages are the invalidation granule.
+pub(crate) const PAGE_SIZE: u32 = 0x1000;
+pub(crate) const PAGE_MASK: u32 = !(PAGE_SIZE - 1);
+
+/// A memoised decode for either ISA.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum CachedInsn {
+    /// x86 instruction plus its encoded length.
+    X86(x86::Insn, u8),
+    /// ARM instructions are always 4 bytes.
+    Arm(arm::Insn),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    pc: Addr,
+    insn: CachedInsn,
+}
+
+/// Open-addressing pc → decoded-instruction table.
+///
+/// Starts empty (a machine that never executes pays nothing), grows
+/// geometrically from a small table so short-lived machines pay a few
+/// hundred nanoseconds at most.
+#[derive(Debug, Clone)]
+pub(crate) struct DecodeCache {
+    enabled: bool,
+    slots: Vec<Option<Entry>>,
+    len: usize,
+    /// Sorted page bases that contain (or contribute bytes to) cached
+    /// decodes. Writes consult this to decide whether to flush.
+    code_pages: Vec<u32>,
+    /// Last page verified *not* to hold cached decodes — dedups the
+    /// `code_pages` lookup for sequential write bursts.
+    last_clean_page: Option<u32>,
+    hits: u64,
+    misses: u64,
+}
+
+impl Default for DecodeCache {
+    fn default() -> Self {
+        DecodeCache {
+            enabled: true,
+            slots: Vec::new(),
+            len: 0,
+            code_pages: Vec::new(),
+            last_clean_page: None,
+            hits: 0,
+            misses: 0,
+        }
+    }
+}
+
+const INITIAL_SLOTS: usize = 256;
+
+fn hash(pc: Addr) -> usize {
+    (pc.wrapping_mul(0x9E37_79B1)) as usize
+}
+
+impl DecodeCache {
+    /// Turns the cache on or off (off = decode every step; used by the
+    /// ablation benchmark). Disabling drops all cached decodes.
+    pub(crate) fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+        if !on {
+            self.flush();
+            self.slots = Vec::new();
+        }
+    }
+
+    pub(crate) fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// `(hits, misses)` counters.
+    pub(crate) fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Looks up a memoised decode. A hit is valid by construction: any
+    /// mutation since insertion would have flushed the table.
+    pub(crate) fn get(&mut self, pc: Addr) -> Option<CachedInsn> {
+        if !self.enabled {
+            return None;
+        }
+        if self.slots.is_empty() {
+            self.misses += 1;
+            return None;
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = hash(pc) & mask;
+        loop {
+            match self.slots[i] {
+                Some(e) if e.pc == pc => {
+                    self.hits += 1;
+                    return Some(e.insn);
+                }
+                Some(_) => i = (i + 1) & mask,
+                None => {
+                    self.misses += 1;
+                    return None;
+                }
+            }
+        }
+    }
+
+    /// Memoises a successful decode of `byte_len` bytes at `pc`.
+    pub(crate) fn insert(&mut self, pc: Addr, insn: CachedInsn, byte_len: u32) {
+        if !self.enabled {
+            return;
+        }
+        if self.slots.len() * 3 <= (self.len + 1) * 4 {
+            self.grow();
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = hash(pc) & mask;
+        loop {
+            match &self.slots[i] {
+                Some(e) if e.pc == pc => break,
+                Some(_) => i = (i + 1) & mask,
+                None => {
+                    self.slots[i] = Some(Entry { pc, insn });
+                    self.len += 1;
+                    break;
+                }
+            }
+        }
+        // Record every page the encoding touches so writes to any of
+        // them (including the tail page of a straddling x86 insn) flush.
+        let first = pc & PAGE_MASK;
+        let last = pc.wrapping_add(byte_len.saturating_sub(1)) & PAGE_MASK;
+        self.note_code_page(first);
+        if last != first {
+            self.note_code_page(last);
+        }
+    }
+
+    fn note_code_page(&mut self, page: u32) {
+        if let Err(at) = self.code_pages.binary_search(&page) {
+            self.code_pages.insert(at, page);
+            // The page just became cache-backed; a previous "clean"
+            // verdict for it no longer holds.
+            self.last_clean_page = None;
+        }
+    }
+
+    fn grow(&mut self) {
+        let cap = if self.slots.is_empty() {
+            INITIAL_SLOTS
+        } else {
+            self.slots.len() * 4
+        };
+        let old = std::mem::replace(&mut self.slots, vec![None; cap]);
+        let mask = cap - 1;
+        for e in old.into_iter().flatten() {
+            let mut i = hash(e.pc) & mask;
+            while self.slots[i].is_some() {
+                i = (i + 1) & mask;
+            }
+            self.slots[i] = Some(e);
+        }
+    }
+
+    /// A byte at `addr` is about to change. One compare in the common
+    /// case (sequential writes to a non-code page); flushes the table
+    /// when the page holds cached decodes.
+    #[inline]
+    pub(crate) fn note_write(&mut self, addr: Addr) {
+        let page = addr & PAGE_MASK;
+        if self.last_clean_page == Some(page) {
+            return;
+        }
+        if self.code_pages.binary_search(&page).is_ok() {
+            self.flush();
+        }
+        self.last_clean_page = Some(page);
+    }
+
+    /// A whole range is about to change (chunked writes / pokes).
+    pub(crate) fn note_write_range(&mut self, addr: Addr, len: usize) {
+        let mut page = addr & PAGE_MASK;
+        let last = addr.wrapping_add(len.saturating_sub(1) as u32) & PAGE_MASK;
+        loop {
+            self.note_write(page);
+            if page == last {
+                break;
+            }
+            page = page.wrapping_add(PAGE_SIZE);
+        }
+    }
+
+    /// Drops every cached decode (permission change, new mapping, or a
+    /// write to a cached page).
+    pub(crate) fn flush(&mut self) {
+        if self.len > 0 {
+            self.slots.iter_mut().for_each(|s| *s = None);
+            self.len = 0;
+        }
+        self.code_pages.clear();
+        self.last_clean_page = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x86_nop() -> CachedInsn {
+        CachedInsn::X86(x86::Insn::Nop, 1)
+    }
+
+    #[test]
+    fn get_insert_roundtrip_and_stats() {
+        let mut c = DecodeCache::default();
+        assert!(c.get(0x1000).is_none());
+        c.insert(0x1000, x86_nop(), 1);
+        assert!(matches!(
+            c.get(0x1000),
+            Some(CachedInsn::X86(x86::Insn::Nop, 1))
+        ));
+        assert_eq!(c.stats(), (1, 1));
+    }
+
+    #[test]
+    fn write_to_cached_page_flushes() {
+        let mut c = DecodeCache::default();
+        c.insert(0x1000, x86_nop(), 1);
+        c.note_write(0x8000); // unrelated page: no flush
+        assert!(c.get(0x1000).is_some());
+        c.note_write(0x1A00); // same page as the cached pc
+        assert!(c.get(0x1000).is_none());
+    }
+
+    #[test]
+    fn clean_page_verdict_is_revoked_when_page_becomes_cached() {
+        let mut c = DecodeCache::default();
+        c.note_write(0x1004); // page 0x1000 marked clean
+        c.insert(0x1000, x86_nop(), 1); // …now it holds a decode
+        c.note_write(0x1004); // must flush despite the earlier verdict
+        assert!(c.get(0x1000).is_none());
+    }
+
+    #[test]
+    fn straddling_insert_tracks_tail_page() {
+        let mut c = DecodeCache::default();
+        c.insert(0x1FFE, CachedInsn::X86(x86::Insn::Nop, 5), 5);
+        c.note_write(0x2001); // tail page of the straddling encoding
+        assert!(c.get(0x1FFE).is_none());
+    }
+
+    #[test]
+    fn grows_past_initial_capacity() {
+        let mut c = DecodeCache::default();
+        for i in 0..2_000u32 {
+            c.insert(0x1000 + i, x86_nop(), 1);
+        }
+        for i in 0..2_000u32 {
+            assert!(c.get(0x1000 + i).is_some(), "entry {i} survived growth");
+        }
+    }
+}

@@ -30,7 +30,10 @@ impl<'m> Inspector<'m> {
 
     /// Attaches with a load map for symbol resolution.
     pub fn with_map(machine: &'m Machine, map: &'m LoadMap) -> Self {
-        Inspector { machine, map: Some(map) }
+        Inspector {
+            machine,
+            map: Some(map),
+        }
     }
 
     /// Resolves a symbol to its runtime address (requires a load map).
@@ -194,7 +197,12 @@ impl FaultReport {
         let stack = (0..8)
             .filter_map(|i| machine.mem().read_u32(sp.wrapping_add(4 * i), 0).ok())
             .collect();
-        FaultReport { pc: fault.pc(), fault, sp, stack }
+        FaultReport {
+            pc: fault.pc(),
+            fault,
+            sp,
+            stack,
+        }
     }
 }
 
@@ -220,10 +228,15 @@ mod tests {
 
     fn machine() -> Machine {
         let mut m = Machine::new(Arch::X86);
-        m.mem_mut().map(".text", Some(SectionKind::Text), 0x1000, 0x100, Perms::RX);
-        m.mem_mut().map("stack", Some(SectionKind::Stack), 0x8000, 0x1000, Perms::RW);
         m.mem_mut()
-            .poke(0x1000, &Asm::new().nop().push_r(crate::X86Reg::Eax).ret().finish())
+            .map(".text", Some(SectionKind::Text), 0x1000, 0x100, Perms::RX);
+        m.mem_mut()
+            .map("stack", Some(SectionKind::Stack), 0x8000, 0x1000, Perms::RW);
+        m.mem_mut()
+            .poke(
+                0x1000,
+                &Asm::new().nop().push_r(crate::X86Reg::Eax).ret().finish(),
+            )
             .unwrap();
         m.regs_mut().set_pc(0x1000);
         m.regs_mut().set_sp(0x8800);

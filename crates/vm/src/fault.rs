@@ -192,10 +192,24 @@ mod tests {
 
     #[test]
     fn pc_extraction() {
-        assert_eq!(Fault::UnmappedFetch { pc: 0x41414141 }.pc(), Some(0x41414141));
-        assert_eq!(Fault::CanarySmashed { found: 0, expected: 1 }.pc(), None);
         assert_eq!(
-            Fault::NxViolation { pc: 0xbffff000, perms: Perms::RW }.pc(),
+            Fault::UnmappedFetch { pc: 0x41414141 }.pc(),
+            Some(0x41414141)
+        );
+        assert_eq!(
+            Fault::CanarySmashed {
+                found: 0,
+                expected: 1
+            }
+            .pc(),
+            None
+        );
+        assert_eq!(
+            Fault::NxViolation {
+                pc: 0xbffff000,
+                perms: Perms::RW
+            }
+            .pc(),
             Some(0xbffff000)
         );
     }
@@ -203,9 +217,17 @@ mod tests {
     #[test]
     fn segfault_classification() {
         assert!(Fault::UnmappedFetch { pc: 0 }.is_segfault());
-        assert!(Fault::NxViolation { pc: 0, perms: Perms::RW }.is_segfault());
+        assert!(Fault::NxViolation {
+            pc: 0,
+            perms: Perms::RW
+        }
+        .is_segfault());
         assert!(!Fault::StepLimit { limit: 10 }.is_segfault());
-        assert!(!Fault::CanarySmashed { found: 0, expected: 1 }.is_segfault());
+        assert!(!Fault::CanarySmashed {
+            found: 0,
+            expected: 1
+        }
+        .is_segfault());
     }
 
     #[test]

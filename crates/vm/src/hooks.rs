@@ -81,7 +81,10 @@ fn read_args(m: &Machine, pc: Addr) -> Result<(Addr, [u32; 3]), Fault> {
         Arch::Armv7 => {
             let r = m.regs.arm();
             use crate::regs::ArmReg;
-            Ok((r.get(ArmReg::LR), [r.get(ArmReg(0)), r.get(ArmReg(1)), r.get(ArmReg(2))]))
+            Ok((
+                r.get(ArmReg::LR),
+                [r.get(ArmReg(0)), r.get(ArmReg(1)), r.get(ArmReg(2))],
+            ))
         }
     }
 }
@@ -110,21 +113,44 @@ fn do_return(m: &mut Machine, ret: Addr, retval: u32) -> Result<(), Fault> {
 ///
 /// Propagates memory faults raised while reading arguments or copying
 /// data (e.g. `memcpy` into a read-only page).
-pub(crate) fn invoke(
-    m: &mut Machine,
-    f: LibcFn,
-    pc: Addr,
-) -> Result<Option<RunOutcome>, Fault> {
+pub(crate) fn invoke(m: &mut Machine, f: LibcFn, pc: Addr) -> Result<Option<RunOutcome>, Fault> {
     let (ret, args) = read_args(m, pc)?;
-    m.events.push(Event::LibcCall { name: f.name(), args });
+    m.events.push(Event::LibcCall {
+        name: f.name(),
+        args,
+    });
     match f {
         LibcFn::Memcpy => {
             let [dest, src, n] = args;
-            // Byte-wise copy through the MMU: a destination without the W
-            // bit faults exactly as a real memcpy would.
-            for i in 0..n {
-                let b = m.mem.read_u8(src.wrapping_add(i), pc)?;
-                m.mem.write_u8(dest.wrapping_add(i), b, pc)?;
+            // Copy through the MMU: a destination without the W bit
+            // faults exactly as a real memcpy would. Non-overlapping
+            // copies go region-sized chunks at a time (reads bounded to
+            // one region fault only at the chunk head, and chunked
+            // writes fault after their written prefix — byte-for-byte
+            // the same observable behaviour as a byte-wise copy).
+            let (s0, s1) = (src as u64, src as u64 + n as u64);
+            let (d0, d1) = (dest as u64, dest as u64 + n as u64);
+            let wraps = s1 > u32::MAX as u64 + 1 || d1 > u32::MAX as u64 + 1;
+            if wraps || (s0 < d1 && d0 < s1) {
+                // Overlapping (or address-space-wrapping) copy keeps the
+                // forward byte-wise smear of the original memcpy.
+                for i in 0..n {
+                    let b = m.mem.read_u8(src.wrapping_add(i), pc)?;
+                    m.mem.write_u8(dest.wrapping_add(i), b, pc)?;
+                }
+            } else {
+                let mut i = 0u32;
+                while i < n {
+                    let a = src.wrapping_add(i);
+                    let avail = m
+                        .mem
+                        .region_containing(a)
+                        .map_or(1, |r| (r.end() - a as u64) as u32);
+                    let take = avail.min(n - i);
+                    let chunk = m.mem.read_bytes(a, take as usize, pc)?;
+                    m.mem.write_bytes(dest.wrapping_add(i), &chunk, pc)?;
+                    i += take;
+                }
             }
             do_return(m, ret, dest)?;
             Ok(None)
@@ -239,10 +265,14 @@ mod tests {
 
     fn x86_machine() -> Machine {
         let mut m = Machine::new(Arch::X86);
-        m.mem.map(".text", Some(SectionKind::Text), 0x1000, 0x100, Perms::RX);
-        m.mem.map(".bss", Some(SectionKind::Bss), 0x3000, 0x100, Perms::RW);
-        m.mem.map("libc", Some(SectionKind::Libc), 0x7000, 0x100, Perms::RX);
-        m.mem.map("stack", Some(SectionKind::Stack), 0x8000, 0x1000, Perms::RW);
+        m.mem
+            .map(".text", Some(SectionKind::Text), 0x1000, 0x100, Perms::RX);
+        m.mem
+            .map(".bss", Some(SectionKind::Bss), 0x3000, 0x100, Perms::RW);
+        m.mem
+            .map("libc", Some(SectionKind::Libc), 0x7000, 0x100, Perms::RX);
+        m.mem
+            .map("stack", Some(SectionKind::Stack), 0x8000, 0x1000, Perms::RW);
         m.regs.set_sp(0x8800);
         m
     }
@@ -274,7 +304,10 @@ mod tests {
             m.push_u32(v).unwrap();
         }
         m.regs.set_pc(0x7000);
-        assert!(matches!(m.step(), Err(Fault::ProtectedWrite { addr: 0x1000, .. })));
+        assert!(matches!(
+            m.step(),
+            Err(Fault::ProtectedWrite { addr: 0x1000, .. })
+        ));
     }
 
     #[test]
@@ -293,8 +326,10 @@ mod tests {
     #[test]
     fn execlp_on_arm_uses_r0() {
         let mut m = Machine::new(Arch::Armv7);
-        m.mem.map(".bss", Some(SectionKind::Bss), 0x3000, 0x100, Perms::RW);
-        m.mem.map(".plt", Some(SectionKind::Plt), 0x1b000, 0x100, Perms::RX);
+        m.mem
+            .map(".bss", Some(SectionKind::Bss), 0x3000, 0x100, Perms::RW);
+        m.mem
+            .map(".plt", Some(SectionKind::Plt), 0x1b000, 0x100, Perms::RX);
         m.mem.write_bytes(0x3004, b"sh\0", 0).unwrap();
         m.register_hook(0x1b2d0, LibcFn::Execlp);
         m.regs.arm_mut().set(crate::regs::ArmReg(0), 0x3004);

@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod arm;
+mod dcache;
 pub mod debug;
 mod fault;
 pub mod hooks;

@@ -32,18 +32,27 @@ pub struct AslrConfig {
 impl AslrConfig {
     /// ASLR disabled.
     pub fn disabled() -> Self {
-        AslrConfig { enabled: false, entropy_bits: 0 }
+        AslrConfig {
+            enabled: false,
+            entropy_bits: 0,
+        }
     }
 
     /// ASLR at the default 32-bit entropy.
     pub fn default_on() -> Self {
-        AslrConfig { enabled: true, entropy_bits: layout::DEFAULT_ASLR_ENTROPY_BITS }
+        AslrConfig {
+            enabled: true,
+            entropy_bits: layout::DEFAULT_ASLR_ENTROPY_BITS,
+        }
     }
 
     /// ASLR with explicit entropy (the brute-force experiment sweeps
     /// this).
     pub fn with_entropy(entropy_bits: u32) -> Self {
-        AslrConfig { enabled: true, entropy_bits }
+        AslrConfig {
+            enabled: true,
+            entropy_bits,
+        }
     }
 }
 
@@ -81,12 +90,20 @@ impl Protections {
 
     /// Paper §III-B: W⊕X only.
     pub fn wxorx() -> Self {
-        Protections { aslr: AslrConfig::disabled(), wxorx: true, ..Protections::none() }
+        Protections {
+            aslr: AslrConfig::disabled(),
+            wxorx: true,
+            ..Protections::none()
+        }
     }
 
     /// Paper §III-C: W⊕X + ASLR.
     pub fn full() -> Self {
-        Protections { aslr: AslrConfig::default_on(), wxorx: true, ..Protections::none() }
+        Protections {
+            aslr: AslrConfig::default_on(),
+            wxorx: true,
+            ..Protections::none()
+        }
     }
 
     /// Adds stack canaries to this policy.
@@ -192,7 +209,11 @@ pub struct Loader<'a> {
 impl<'a> Loader<'a> {
     /// Starts a loader for `image` with no protections and seed 0.
     pub fn new(image: &'a Image) -> Self {
-        Loader { image, protections: Protections::none(), seed: 0 }
+        Loader {
+            image,
+            protections: Protections::none(),
+            seed: 0,
+        }
     }
 
     /// Sets the protection policy.
@@ -226,7 +247,10 @@ impl<'a> Loader<'a> {
         // PIE: all program sections share one slide so intra-binary
         // offsets stay valid (as a real PIE relocation does).
         let pie_slide: i64 = if p.pie {
-            let bits = p.aslr.entropy_bits.max(layout::DEFAULT_ASLR_ENTROPY_BITS).min(16);
+            let bits = p
+                .aslr
+                .entropy_bits
+                .clamp(layout::DEFAULT_ASLR_ENTROPY_BITS, 16);
             let span = (1u64 << bits).max(2);
             rng.gen_range(1..span) as i64 * layout::ASLR_PAGE as i64
         } else {
@@ -234,33 +258,38 @@ impl<'a> Loader<'a> {
         };
         for section in self.image.sections() {
             let kind = section.kind();
-            let slide: i64 = if p.aslr.enabled && kind.randomized_by_aslr() && p.aslr.entropy_bits > 0
-            {
-                // Slides are 1..2^bits pages: the degenerate zero slide
-                // would silently equal an ASLR-off boot.
-                let span = (1u64 << p.aslr.entropy_bits.min(16)).max(2);
-                let pages = rng.gen_range(1..span) as i64;
-                // The stack slides down, mmap regions slide up; both stay
-                // clear of neighbouring sections for supported entropies.
-                if kind == SectionKind::Stack {
-                    -pages * layout::ASLR_PAGE as i64
+            let slide: i64 =
+                if p.aslr.enabled && kind.randomized_by_aslr() && p.aslr.entropy_bits > 0 {
+                    // Slides are 1..2^bits pages: the degenerate zero slide
+                    // would silently equal an ASLR-off boot.
+                    let span = (1u64 << p.aslr.entropy_bits.min(16)).max(2);
+                    let pages = rng.gen_range(1..span) as i64;
+                    // The stack slides down, mmap regions slide up; both stay
+                    // clear of neighbouring sections for supported entropies.
+                    if kind == SectionKind::Stack {
+                        -pages * layout::ASLR_PAGE as i64
+                    } else {
+                        pages * layout::ASLR_PAGE as i64
+                    }
+                } else if !kind.randomized_by_aslr() {
+                    pie_slide
                 } else {
-                    pages * layout::ASLR_PAGE as i64
-                }
-            } else if !kind.randomized_by_aslr() {
-                pie_slide
-            } else {
-                0
-            };
+                    0
+                };
             slides.insert(kind, slide);
             let base = (section.base() as i64 + slide) as Addr;
             let mut perms = section.perms();
             if p.wxorx && perms.writable() {
                 perms = perms.without_exec();
             }
-            machine.mem.map(kind.name(), Some(kind), base, section.size(), perms);
+            machine
+                .mem
+                .map(kind.name(), Some(kind), base, section.size(), perms);
             if !section.bytes().is_empty() {
-                machine.mem.poke(base, section.bytes()).expect("mapped just above");
+                machine
+                    .mem
+                    .poke(base, section.bytes())
+                    .expect("mapped just above");
             }
             if kind == SectionKind::Stack {
                 stack_top = (section.end() as i64 + slide) as Addr;
@@ -301,7 +330,13 @@ impl<'a> Loader<'a> {
             machine.regs_mut().set_sp(stack_top - 0x200);
         }
 
-        let map = LoadMap { slides, symbols, stack_top, stack_size, canary };
+        let map = LoadMap {
+            slides,
+            symbols,
+            stack_top,
+            stack_size,
+            canary,
+        };
         (machine, map)
     }
 }
@@ -322,11 +357,7 @@ mod tests {
         b.section_default(SectionKind::Plt, l.plt_base, 0x100);
         b.section_default(SectionKind::Bss, l.bss_base, 0x100);
         b.section_default(SectionKind::Libc, l.libc_base, 0x2000);
-        b.section_default(
-            SectionKind::Stack,
-            l.stack_top - l.stack_size,
-            l.stack_size,
-        );
+        b.section_default(SectionKind::Stack, l.stack_top - l.stack_size, l.stack_size);
         b.append_code(SectionKind::Text, &[0x90, 0xC3]);
         b.append_code(SectionKind::Libc, &[0xC3; 16]);
         b.symbol("system", l.libc_base, 4, SymbolKind::LibcFunction);
@@ -358,7 +389,10 @@ mod tests {
     #[test]
     fn aslr_slides_libc_and_stack_only() {
         let img = image();
-        let (_, map) = Loader::new(&img).protections(Protections::full()).seed(1234).load();
+        let (_, map) = Loader::new(&img)
+            .protections(Protections::full())
+            .seed(1234)
+            .load();
         assert_eq!(map.slide(SectionKind::Text), 0);
         assert_eq!(map.slide(SectionKind::Bss), 0);
         assert_ne!(map.slide(SectionKind::Libc), 0);
@@ -387,11 +421,17 @@ mod tests {
     #[test]
     fn hooks_registered_at_runtime_addresses() {
         let img = image();
-        let (m, map) = Loader::new(&img).protections(Protections::full()).seed(99).load();
+        let (m, map) = Loader::new(&img)
+            .protections(Protections::full())
+            .seed(99)
+            .load();
         let sys = map.symbol("system").unwrap();
         assert_eq!(m.hook_at(sys), Some(LibcFn::System));
         // PLT entry is at a *fixed* address.
-        assert_eq!(m.hook_at(map.symbol("memcpy@plt").unwrap()), Some(LibcFn::Memcpy));
+        assert_eq!(
+            m.hook_at(map.symbol("memcpy@plt").unwrap()),
+            Some(LibcFn::Memcpy)
+        );
         assert_eq!(map.symbol("memcpy@plt").unwrap(), 0x0805_2000);
     }
 
@@ -478,7 +518,10 @@ mod pie_tests {
     #[test]
     fn without_pie_program_sections_stay_fixed() {
         let img = image();
-        let (_, map) = Loader::new(&img).protections(Protections::full()).seed(77).load();
+        let (_, map) = Loader::new(&img)
+            .protections(Protections::full())
+            .seed(77)
+            .load();
         assert_eq!(map.slide(SectionKind::Text), 0);
         assert_eq!(map.slide(SectionKind::Plt), 0);
     }

@@ -146,6 +146,23 @@ impl Machine {
         &mut self.mem
     }
 
+    /// Turns the predecoded-instruction cache on or off (on by default;
+    /// the ablation benchmark runs with it off). Execution results are
+    /// identical either way — only decode work is saved.
+    pub fn set_decode_cache_enabled(&mut self, on: bool) {
+        self.mem.dcache_set_enabled(on);
+    }
+
+    /// Whether the predecoded-instruction cache is enabled.
+    pub fn decode_cache_enabled(&self) -> bool {
+        self.mem.dcache_enabled()
+    }
+
+    /// `(hits, misses)` counters of the predecoded-instruction cache.
+    pub fn decode_cache_stats(&self) -> (u64, u64) {
+        self.mem.dcache_stats()
+    }
+
     /// Registers, shared view.
     pub fn regs(&self) -> &Regs {
         &self.regs
@@ -254,7 +271,11 @@ impl Machine {
             match s.pop() {
                 Some(expected) if expected == target => {}
                 other => {
-                    return Err(Fault::CfiViolation { target, expected: other, pc });
+                    return Err(Fault::CfiViolation {
+                        target,
+                        expected: other,
+                        pc,
+                    });
                 }
             }
         }
@@ -274,7 +295,11 @@ impl Machine {
         let pc = self.regs.pc();
         let hook = self.hooks.get(&pc).copied();
         if let Some(t) = &mut self.trace {
-            t.push(TraceEntry { pc, sp: self.regs.sp(), hook: hook.map(LibcFn::name) });
+            t.push(TraceEntry {
+                pc,
+                sp: self.regs.sp(),
+                hook: hook.map(LibcFn::name),
+            });
         }
         if let Some(f) = hook {
             return hooks::invoke(self, f, pc);
@@ -330,7 +355,9 @@ impl Machine {
                     if p == 0 {
                         break;
                     }
-                    argv.push(String::from_utf8_lossy(&self.mem.read_cstr(p, 256, pc)?).into_owned());
+                    argv.push(
+                        String::from_utf8_lossy(&self.mem.read_cstr(p, 256, pc)?).into_owned(),
+                    );
                 }
             }
         }
@@ -363,8 +390,10 @@ mod tests {
 
     fn machine_with(code: Vec<u8>) -> Machine {
         let mut m = Machine::new(Arch::X86);
-        m.mem.map(".text", Some(SectionKind::Text), 0x1000, 0x1000, Perms::RX);
-        m.mem.map("stack", Some(SectionKind::Stack), 0x8000, 0x1000, Perms::RW);
+        m.mem
+            .map(".text", Some(SectionKind::Text), 0x1000, 0x1000, Perms::RX);
+        m.mem
+            .map("stack", Some(SectionKind::Stack), 0x8000, 0x1000, Perms::RW);
         m.mem.poke(0x1000, &code).unwrap();
         m.regs.set_pc(0x1000);
         m.regs.set_sp(0x8800);
@@ -382,7 +411,10 @@ mod tests {
             .finish();
         let mut m = machine_with(code);
         assert_eq!(m.run(100), RunOutcome::Exited(7));
-        assert!(m.events().iter().any(|e| matches!(e, Event::ProcessExited { code: 7 })));
+        assert!(m
+            .events()
+            .iter()
+            .any(|e| matches!(e, Event::ProcessExited { code: 7 })));
     }
 
     #[test]
@@ -463,6 +495,9 @@ mod tests {
         m.regs.set_pc(0x8100); // stack is RW, not X
         let out = m.run(5);
         assert!(out.is_crash());
-        assert!(matches!(out, RunOutcome::Fault(Fault::NxViolation { pc: 0x8100, .. })));
+        assert!(matches!(
+            out,
+            RunOutcome::Fault(Fault::NxViolation { pc: 0x8100, .. })
+        ));
     }
 }

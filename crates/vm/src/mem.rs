@@ -1,7 +1,10 @@
 //! Region-based permissioned memory.
 
+use std::cell::Cell;
+
 use cml_image::{Addr, Perms, SectionKind};
 
+use crate::dcache::{CachedInsn, DecodeCache};
 use crate::Fault;
 
 /// One mapped region of the address space.
@@ -64,6 +67,12 @@ impl Region {
 #[derive(Debug, Clone, Default)]
 pub struct Memory {
     regions: Vec<Region>,
+    /// Index of the most recently hit region — repeated lookups (step
+    /// loops, bulk copies) resolve with a single range compare.
+    last_region: Cell<usize>,
+    /// Predecoded-instruction cache; every mutation path below notifies
+    /// it so cached decodes can never go stale.
+    dcache: DecodeCache,
 }
 
 impl Memory {
@@ -107,6 +116,9 @@ impl Memory {
             data: vec![0; size as usize],
         });
         self.regions.sort_by_key(|r| r.base);
+        // A fresh mapping (firmware reload, per-boot ASLR slide) must
+        // never execute through decodes cached for the old layout.
+        self.dcache.flush();
         self.regions
             .iter_mut()
             .find(|r| r.base == base)
@@ -120,23 +132,43 @@ impl Memory {
 
     /// The region containing `addr`, if any.
     pub fn region_containing(&self, addr: Addr) -> Option<&Region> {
-        self.regions.iter().find(|r| r.contains(addr))
+        let cached = self.last_region.get();
+        if let Some(r) = self.regions.get(cached) {
+            if r.contains(addr) {
+                return Some(r);
+            }
+        }
+        let i = self.regions.iter().position(|r| r.contains(addr))?;
+        self.last_region.set(i);
+        Some(&self.regions[i])
     }
 
     fn region_mut(&mut self, addr: Addr) -> Option<&mut Region> {
-        self.regions.iter_mut().find(|r| r.contains(addr))
+        let cached = self.last_region.get();
+        if self.regions.get(cached).is_some_and(|r| r.contains(addr)) {
+            return self.regions.get_mut(cached);
+        }
+        let i = self.regions.iter().position(|r| r.contains(addr))?;
+        self.last_region.set(i);
+        self.regions.get_mut(i)
     }
 
     /// Changes the permissions of the region containing `addr`
     /// (`mprotect` analogue). Returns `false` if nothing is mapped there.
     pub fn set_perms(&mut self, addr: Addr, perms: Perms) -> bool {
-        match self.region_mut(addr) {
+        let found = match self.region_mut(addr) {
             Some(r) => {
                 r.perms = perms;
                 true
             }
             None => false,
+        };
+        if found {
+            // Cached decodes were validated under the old permissions
+            // (a hit implies the X bit was set at insert time).
+            self.dcache.flush();
         }
+        found
     }
 
     /// Reads one byte, honouring permissions.
@@ -149,7 +181,11 @@ impl Memory {
             .region_containing(addr)
             .ok_or(Fault::UnmappedRead { addr, pc })?;
         if !r.perms.readable() {
-            return Err(Fault::ProtectedRead { addr, perms: r.perms, pc });
+            return Err(Fault::ProtectedRead {
+                addr,
+                perms: r.perms,
+                pc,
+            });
         }
         Ok(r.data[(addr - r.base) as usize])
     }
@@ -168,15 +204,28 @@ impl Memory {
         Ok(v)
     }
 
-    /// Reads `len` bytes.
+    /// Reads `len` bytes (region-sized chunks, not byte-at-a-time).
     ///
     /// # Errors
     ///
     /// Returns a read fault at the first inaccessible byte.
     pub fn read_bytes(&self, addr: Addr, len: usize, pc: Addr) -> Result<Vec<u8>, Fault> {
         let mut out = Vec::with_capacity(len);
-        for i in 0..len {
-            out.push(self.read_u8(addr.wrapping_add(i as u32), pc)?);
+        while out.len() < len {
+            let a = addr.wrapping_add(out.len() as u32);
+            let r = self
+                .region_containing(a)
+                .ok_or(Fault::UnmappedRead { addr: a, pc })?;
+            if !r.perms.readable() {
+                return Err(Fault::ProtectedRead {
+                    addr: a,
+                    perms: r.perms,
+                    pc,
+                });
+            }
+            let off = (a - r.base) as usize;
+            let n = (r.data.len() - off).min(len - out.len());
+            out.extend_from_slice(&r.data[off..off + n]);
         }
         Ok(out)
     }
@@ -206,11 +255,16 @@ impl Memory {
     ///
     /// Returns [`Fault::UnmappedWrite`] or [`Fault::ProtectedWrite`].
     pub fn write_u8(&mut self, addr: Addr, v: u8, pc: Addr) -> Result<(), Fault> {
+        self.dcache.note_write(addr);
         let r = self
             .region_mut(addr)
             .ok_or(Fault::UnmappedWrite { addr, pc })?;
         if !r.perms.writable() {
-            return Err(Fault::ProtectedWrite { addr, perms: r.perms, pc });
+            return Err(Fault::ProtectedWrite {
+                addr,
+                perms: r.perms,
+                pc,
+            });
         }
         r.data[(addr - r.base) as usize] = v;
         Ok(())
@@ -228,15 +282,34 @@ impl Memory {
         Ok(())
     }
 
-    /// Writes a byte slice.
+    /// Writes a byte slice (region-sized chunks, not byte-at-a-time).
     ///
     /// # Errors
     ///
     /// Returns a write fault at the first inaccessible byte; bytes before
     /// it will already have been written (matching real partial stores).
     pub fn write_bytes(&mut self, addr: Addr, bytes: &[u8], pc: Addr) -> Result<(), Fault> {
-        for (i, b) in bytes.iter().enumerate() {
-            self.write_u8(addr.wrapping_add(i as u32), *b, pc)?;
+        if bytes.is_empty() {
+            return Ok(());
+        }
+        self.dcache.note_write_range(addr, bytes.len());
+        let mut done = 0usize;
+        while done < bytes.len() {
+            let a = addr.wrapping_add(done as u32);
+            let r = self
+                .region_mut(a)
+                .ok_or(Fault::UnmappedWrite { addr: a, pc })?;
+            if !r.perms.writable() {
+                return Err(Fault::ProtectedWrite {
+                    addr: a,
+                    perms: r.perms,
+                    pc,
+                });
+            }
+            let off = (a - r.base) as usize;
+            let n = (r.data.len() - off).min(bytes.len() - done);
+            r.data[off..off + n].copy_from_slice(&bytes[done..done + n]);
+            done += n;
         }
         Ok(())
     }
@@ -248,11 +321,20 @@ impl Memory {
     ///
     /// Returns [`Fault::UnmappedWrite`] if the range is not fully mapped.
     pub fn poke(&mut self, addr: Addr, bytes: &[u8]) -> Result<(), Fault> {
-        for (i, b) in bytes.iter().enumerate() {
-            let a = addr.wrapping_add(i as u32);
-            let r = self.region_mut(a).ok_or(Fault::UnmappedWrite { addr: a, pc: 0 })?;
+        if bytes.is_empty() {
+            return Ok(());
+        }
+        self.dcache.note_write_range(addr, bytes.len());
+        let mut done = 0usize;
+        while done < bytes.len() {
+            let a = addr.wrapping_add(done as u32);
+            let r = self
+                .region_mut(a)
+                .ok_or(Fault::UnmappedWrite { addr: a, pc: 0 })?;
             let off = (a - r.base) as usize;
-            r.data[off] = *b;
+            let n = (r.data.len() - off).min(bytes.len() - done);
+            r.data[off..off + n].copy_from_slice(&bytes[done..done + n]);
+            done += n;
         }
         Ok(())
     }
@@ -265,7 +347,9 @@ impl Memory {
     /// Returns [`Fault::UnmappedFetch`] or [`Fault::NxViolation`].
     pub fn fetch_u8(&self, pc: Addr, offset: u32) -> Result<u8, Fault> {
         let addr = pc.wrapping_add(offset);
-        let r = self.region_containing(addr).ok_or(Fault::UnmappedFetch { pc })?;
+        let r = self
+            .region_containing(addr)
+            .ok_or(Fault::UnmappedFetch { pc })?;
         if !r.perms.executable() {
             return Err(Fault::NxViolation { pc, perms: r.perms });
         }
@@ -281,15 +365,62 @@ impl Memory {
     /// Returns [`Fault::UnmappedFetch`] or [`Fault::NxViolation`] if even
     /// the first byte is unavailable.
     pub fn fetch_window(&self, pc: Addr, len: usize) -> Result<Vec<u8>, Fault> {
-        let mut out = Vec::with_capacity(len);
-        for i in 0..len {
-            match self.fetch_u8(pc, i as u32) {
-                Ok(b) => out.push(b),
-                Err(e) if i == 0 => return Err(e),
-                Err(_) => break,
-            }
-        }
+        let mut out = vec![0; len];
+        let n = self.fetch_into(pc, &mut out)?;
+        out.truncate(n);
         Ok(out)
+    }
+
+    /// Allocation-free [`fetch_window`](Memory::fetch_window): fills
+    /// `buf` and returns how many bytes were fetchable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Fault::UnmappedFetch`] or [`Fault::NxViolation`] if even
+    /// the first byte is unavailable.
+    pub fn fetch_into(&self, pc: Addr, buf: &mut [u8]) -> Result<usize, Fault> {
+        let mut n = 0usize;
+        while n < buf.len() {
+            let a = pc.wrapping_add(n as u32);
+            let r = match self.region_containing(a) {
+                Some(r) if r.perms.executable() => r,
+                _ => break,
+            };
+            let off = (a - r.base) as usize;
+            let take = (r.data.len() - off).min(buf.len() - n);
+            buf[n..n + take].copy_from_slice(&r.data[off..off + take]);
+            n += take;
+        }
+        if n == 0 {
+            return match self.region_containing(pc) {
+                None => Err(Fault::UnmappedFetch { pc }),
+                Some(r) => Err(Fault::NxViolation { pc, perms: r.perms }),
+            };
+        }
+        Ok(n)
+    }
+
+    // ---- predecoded-instruction cache plumbing (used by the
+    // interpreters; invalidation happens in the mutators above) ----
+
+    pub(crate) fn dcache_get(&mut self, pc: Addr) -> Option<CachedInsn> {
+        self.dcache.get(pc)
+    }
+
+    pub(crate) fn dcache_insert(&mut self, pc: Addr, insn: CachedInsn, byte_len: u32) {
+        self.dcache.insert(pc, insn, byte_len);
+    }
+
+    pub(crate) fn dcache_set_enabled(&mut self, on: bool) {
+        self.dcache.set_enabled(on);
+    }
+
+    pub(crate) fn dcache_enabled(&self) -> bool {
+        self.dcache.enabled()
+    }
+
+    pub(crate) fn dcache_stats(&self) -> (u64, u64) {
+        self.dcache.stats()
     }
 }
 
@@ -317,11 +448,17 @@ mod tests {
         let mut m = mem();
         assert_eq!(
             m.read_u8(0x4000, 0x77),
-            Err(Fault::UnmappedRead { addr: 0x4000, pc: 0x77 })
+            Err(Fault::UnmappedRead {
+                addr: 0x4000,
+                pc: 0x77
+            })
         );
         assert_eq!(
             m.write_u8(0x4000, 1, 0x77),
-            Err(Fault::UnmappedWrite { addr: 0x4000, pc: 0x77 })
+            Err(Fault::UnmappedWrite {
+                addr: 0x4000,
+                pc: 0x77
+            })
         );
     }
 
@@ -371,7 +508,10 @@ mod tests {
     #[test]
     fn word_read_across_region_edge_faults() {
         let m = mem();
-        assert!(matches!(m.read_u32(0x10FE, 0), Err(Fault::UnmappedRead { .. })));
+        assert!(matches!(
+            m.read_u32(0x10FE, 0),
+            Err(Fault::UnmappedRead { .. })
+        ));
     }
 
     #[test]
@@ -379,7 +519,10 @@ mod tests {
         let m = mem();
         let w = m.fetch_window(0x10FE, 8).unwrap();
         assert_eq!(w.len(), 2);
-        assert!(matches!(m.fetch_window(0x2000, 4), Err(Fault::UnmappedFetch { .. })));
+        assert!(matches!(
+            m.fetch_window(0x2000, 4),
+            Err(Fault::UnmappedFetch { .. })
+        ));
     }
 
     #[test]

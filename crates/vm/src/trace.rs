@@ -39,7 +39,11 @@ pub struct Trace {
 impl Trace {
     /// Creates a trace holding at most `capacity` entries.
     pub fn new(capacity: usize) -> Self {
-        Trace { entries: Vec::with_capacity(capacity.min(4096)), capacity: capacity.max(1), dropped: 0 }
+        Trace {
+            entries: Vec::with_capacity(capacity.min(4096)),
+            capacity: capacity.max(1),
+            dropped: 0,
+        }
     }
 
     /// Records one step.
@@ -79,7 +83,11 @@ mod tests {
     use super::*;
 
     fn e(pc: Addr) -> TraceEntry {
-        TraceEntry { pc, sp: 0x8000, hook: None }
+        TraceEntry {
+            pc,
+            sp: 0x8000,
+            hook: None,
+        }
     }
 
     #[test]
@@ -97,7 +105,11 @@ mod tests {
 
     #[test]
     fn display_includes_hook() {
-        let entry = TraceEntry { pc: 0x1000, sp: 0x8000, hook: Some("memcpy") };
+        let entry = TraceEntry {
+            pc: 0x1000,
+            sp: 0x8000,
+            hook: Some("memcpy"),
+        };
         assert!(entry.to_string().contains("[memcpy]"));
     }
 }

@@ -350,41 +350,80 @@ mod tests {
     fn assembler_decoder_roundtrip() {
         let cases: Vec<(Vec<u8>, Insn)> = vec![
             (Asm::new().nop().finish(), Insn::Nop),
-            (Asm::new().push_r(X86Reg::Ebx).finish(), Insn::PushR(X86Reg::Ebx)),
-            (Asm::new().pop_r(X86Reg::Edi).finish(), Insn::PopR(X86Reg::Edi)),
-            (Asm::new().push_imm(0xdeadbeef).finish(), Insn::PushImm(0xdeadbeef)),
+            (
+                Asm::new().push_r(X86Reg::Ebx).finish(),
+                Insn::PushR(X86Reg::Ebx),
+            ),
+            (
+                Asm::new().pop_r(X86Reg::Edi).finish(),
+                Insn::PopR(X86Reg::Edi),
+            ),
+            (
+                Asm::new().push_imm(0xdeadbeef).finish(),
+                Insn::PushImm(0xdeadbeef),
+            ),
             (
                 Asm::new().mov_r_imm(X86Reg::Ecx, 0x1234).finish(),
                 Insn::MovRImm(X86Reg::Ecx, 0x1234),
             ),
-            (Asm::new().mov_r8_imm(X86Reg::Eax, 11).finish(), Insn::MovR8Imm(X86Reg::Eax, 11)),
+            (
+                Asm::new().mov_r8_imm(X86Reg::Eax, 11).finish(),
+                Insn::MovR8Imm(X86Reg::Eax, 11),
+            ),
             (
                 Asm::new().mov_rr(X86Reg::Ebx, X86Reg::Esp).finish(),
-                Insn::MovRmR { dst: Operand::Reg(X86Reg::Ebx), src: X86Reg::Esp },
+                Insn::MovRmR {
+                    dst: Operand::Reg(X86Reg::Ebx),
+                    src: X86Reg::Esp,
+                },
             ),
             (
                 Asm::new().xor_rr(X86Reg::Eax, X86Reg::Eax).finish(),
-                Insn::XorRmR { dst: Operand::Reg(X86Reg::Eax), src: X86Reg::Eax },
+                Insn::XorRmR {
+                    dst: Operand::Reg(X86Reg::Eax),
+                    src: X86Reg::Eax,
+                },
             ),
             (
                 Asm::new().add_r_imm8(X86Reg::Esp, 0x0C).finish(),
-                Insn::AddRmImm8 { dst: Operand::Reg(X86Reg::Esp), imm: 0x0C },
+                Insn::AddRmImm8 {
+                    dst: Operand::Reg(X86Reg::Esp),
+                    imm: 0x0C,
+                },
             ),
             (
                 Asm::new().sub_r_imm8(X86Reg::Esp, 8).finish(),
-                Insn::SubRmImm8 { dst: Operand::Reg(X86Reg::Esp), imm: 8 },
+                Insn::SubRmImm8 {
+                    dst: Operand::Reg(X86Reg::Esp),
+                    imm: 8,
+                },
             ),
-            (Asm::new().inc_r(X86Reg::Eax).finish(), Insn::IncR(X86Reg::Eax)),
-            (Asm::new().dec_r(X86Reg::Edx).finish(), Insn::DecR(X86Reg::Edx)),
+            (
+                Asm::new().inc_r(X86Reg::Eax).finish(),
+                Insn::IncR(X86Reg::Eax),
+            ),
+            (
+                Asm::new().dec_r(X86Reg::Edx).finish(),
+                Insn::DecR(X86Reg::Edx),
+            ),
             (Asm::new().ret().finish(), Insn::Ret),
             (Asm::new().ret_imm16(8).finish(), Insn::RetImm16(8)),
             (Asm::new().leave().finish(), Insn::Leave),
             (Asm::new().call_rel32(-5).finish(), Insn::CallRel32(-5)),
-            (Asm::new().call_r(X86Reg::Eax).finish(), Insn::CallRm(Operand::Reg(X86Reg::Eax))),
-            (Asm::new().jmp_r(X86Reg::Ebx).finish(), Insn::JmpRm(Operand::Reg(X86Reg::Ebx))),
+            (
+                Asm::new().call_r(X86Reg::Eax).finish(),
+                Insn::CallRm(Operand::Reg(X86Reg::Eax)),
+            ),
+            (
+                Asm::new().jmp_r(X86Reg::Ebx).finish(),
+                Insn::JmpRm(Operand::Reg(X86Reg::Ebx)),
+            ),
             (
                 Asm::new().jmp_abs_mem(0x0805_6000).finish(),
-                Insn::JmpRm(Operand::Mem { base: None, disp: 0x0805_6000 }),
+                Insn::JmpRm(Operand::Mem {
+                    base: None,
+                    disp: 0x0805_6000,
+                }),
             ),
             (Asm::new().jmp_rel8(-2).finish(), Insn::JmpRel8(-2)),
             (Asm::new().jz_rel8(4).finish(), Insn::Jz8(4)),
@@ -394,7 +433,10 @@ mod tests {
             (
                 Asm::new().mov_mem_r(X86Reg::Ebp, -8, X86Reg::Eax).finish(),
                 Insn::MovRmR {
-                    dst: Operand::Mem { base: Some(X86Reg::Ebp), disp: -8 },
+                    dst: Operand::Mem {
+                        base: Some(X86Reg::Ebp),
+                        disp: -8,
+                    },
                     src: X86Reg::Eax,
                 },
             ),
@@ -402,14 +444,20 @@ mod tests {
                 Asm::new().mov_r_mem(X86Reg::Eax, X86Reg::Esp, 4).finish(),
                 Insn::MovRRm {
                     dst: X86Reg::Eax,
-                    src: Operand::Mem { base: Some(X86Reg::Esp), disp: 4 },
+                    src: Operand::Mem {
+                        base: Some(X86Reg::Esp),
+                        disp: 4,
+                    },
                 },
             ),
             (
                 Asm::new().mov_r_abs(X86Reg::Eax, 0x0812_0200).finish(),
                 Insn::MovRRm {
                     dst: X86Reg::Eax,
-                    src: Operand::Mem { base: None, disp: 0x0812_0200 },
+                    src: Operand::Mem {
+                        base: None,
+                        disp: 0x0812_0200,
+                    },
                 },
             ),
         ];
@@ -422,7 +470,11 @@ mod tests {
 
     #[test]
     fn chaining_concatenates() {
-        let code = Asm::new().xor_rr(X86Reg::Eax, X86Reg::Eax).push_r(X86Reg::Eax).ret().finish();
+        let code = Asm::new()
+            .xor_rr(X86Reg::Eax, X86Reg::Eax)
+            .push_r(X86Reg::Eax)
+            .ret()
+            .finish();
         assert_eq!(code.len(), 4);
     }
 }

@@ -47,13 +47,29 @@ fn write_operand(m: &mut Machine, op: Operand, v: u32, pc: Addr) -> Result<(), F
 }
 
 /// Executes one x86 instruction at the current `eip`.
+///
+/// Cached-dispatch loop: a hit in the predecoded-instruction cache
+/// skips fetch and decode entirely (the cache is push-invalidated by
+/// every write/permission path, so a hit is valid by construction).
 pub(crate) fn step(m: &mut Machine) -> Result<Option<RunOutcome>, Fault> {
     let pc = m.regs.pc();
-    let window = m.mem.fetch_window(pc, FETCH_WINDOW)?;
-    let (insn, len) = match decode(&window) {
-        Ok(v) => v,
-        Err(DecodeError::Truncated) | Err(DecodeError::Unsupported(_)) => {
-            return Err(illegal(m, pc));
+    let (insn, len) = match m.mem.dcache_get(pc) {
+        Some(crate::dcache::CachedInsn::X86(insn, len)) => (insn, len as usize),
+        _ => {
+            let mut window = [0u8; FETCH_WINDOW];
+            let n = m.mem.fetch_into(pc, &mut window)?;
+            let (insn, len) = match decode(&window[..n]) {
+                Ok(v) => v,
+                Err(DecodeError::Truncated) | Err(DecodeError::Unsupported(_)) => {
+                    return Err(illegal(m, pc));
+                }
+            };
+            m.mem.dcache_insert(
+                pc,
+                crate::dcache::CachedInsn::X86(insn, len as u8),
+                len as u32,
+            );
+            (insn, len)
         }
     };
     let next = pc.wrapping_add(len as u32);
@@ -229,9 +245,12 @@ mod tests {
 
     fn machine(code: Vec<u8>) -> Machine {
         let mut m = Machine::new(Arch::X86);
-        m.mem.map(".text", Some(SectionKind::Text), 0x1000, 0x1000, Perms::RX);
-        m.mem.map("data", Some(SectionKind::Data), 0x3000, 0x100, Perms::RW);
-        m.mem.map("stack", Some(SectionKind::Stack), 0x8000, 0x1000, Perms::RW);
+        m.mem
+            .map(".text", Some(SectionKind::Text), 0x1000, 0x1000, Perms::RX);
+        m.mem
+            .map("data", Some(SectionKind::Data), 0x3000, 0x100, Perms::RW);
+        m.mem
+            .map("stack", Some(SectionKind::Stack), 0x8000, 0x1000, Perms::RW);
         m.mem.poke(0x1000, &code).unwrap();
         m.regs.set_pc(0x1000);
         m.regs.set_sp(0x8800);
@@ -314,7 +333,10 @@ mod tests {
 
     #[test]
     fn jmp_indirect_via_register() {
-        let code = Asm::new().mov_r_imm(X86Reg::Eax, 0x1007).jmp_r(X86Reg::Eax).finish();
+        let code = Asm::new()
+            .mov_r_imm(X86Reg::Eax, 0x1007)
+            .jmp_r(X86Reg::Eax)
+            .finish();
         let mut m = machine(code);
         run_steps(&mut m, 2);
         assert_eq!(m.regs.pc(), 0x1007);
@@ -349,7 +371,10 @@ mod tests {
         let mut m = machine(code);
         assert!(matches!(
             m.step(),
-            Err(Fault::IllegalInstruction { pc: 0x1000, bytes: [0xF4, ..] })
+            Err(Fault::IllegalInstruction {
+                pc: 0x1000,
+                bytes: [0xF4, ..]
+            })
         ));
     }
 

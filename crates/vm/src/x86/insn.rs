@@ -24,11 +24,20 @@ impl fmt::Display for Operand {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Operand::Reg(r) => write!(f, "{r}"),
-            Operand::Mem { base: Some(b), disp: 0 } => write!(f, "[{b}]"),
-            Operand::Mem { base: Some(b), disp } if *disp > 0 => {
+            Operand::Mem {
+                base: Some(b),
+                disp: 0,
+            } => write!(f, "[{b}]"),
+            Operand::Mem {
+                base: Some(b),
+                disp,
+            } if *disp > 0 => {
                 write!(f, "[{b}+{disp:#x}]")
             }
-            Operand::Mem { base: Some(b), disp } => write!(f, "[{b}-{:#x}]", -disp),
+            Operand::Mem {
+                base: Some(b),
+                disp,
+            } => write!(f, "[{b}-{:#x}]", -disp),
             Operand::Mem { base: None, disp } => write!(f, "[{:#010x}]", *disp as u32),
         }
     }
@@ -214,7 +223,12 @@ fn need(bytes: &[u8], n: usize) -> Result<(), DecodeError> {
 
 fn imm32(bytes: &[u8], at: usize) -> Result<u32, DecodeError> {
     need(bytes, at + 4)?;
-    Ok(u32::from_le_bytes([bytes[at], bytes[at + 1], bytes[at + 2], bytes[at + 3]]))
+    Ok(u32::from_le_bytes([
+        bytes[at],
+        bytes[at + 1],
+        bytes[at + 2],
+        bytes[at + 3],
+    ]))
 }
 
 fn imm16(bytes: &[u8], at: usize) -> Result<u16, DecodeError> {
@@ -237,11 +251,19 @@ fn modrm(bytes: &[u8], at: usize) -> Result<ModRm, DecodeError> {
     let reg = (b >> 3) & 7;
     let rm = b & 7;
     match md {
-        0b11 => Ok(ModRm { reg, rm: Operand::Reg(X86Reg::from_bits(rm)), len: 1 }),
+        0b11 => Ok(ModRm {
+            reg,
+            rm: Operand::Reg(X86Reg::from_bits(rm)),
+            len: 1,
+        }),
         0b00 => match rm {
             0b101 => {
                 let disp = imm32(bytes, at + 1)? as i32;
-                Ok(ModRm { reg, rm: Operand::Mem { base: None, disp }, len: 5 })
+                Ok(ModRm {
+                    reg,
+                    rm: Operand::Mem { base: None, disp },
+                    len: 5,
+                })
             }
             0b100 => {
                 // SIB; support the no-index form (index == 100).
@@ -251,11 +273,21 @@ fn modrm(bytes: &[u8], at: usize) -> Result<ModRm, DecodeError> {
                     return Err(DecodeError::Unsupported(sib));
                 }
                 let base = X86Reg::from_bits(sib & 7);
-                Ok(ModRm { reg, rm: Operand::Mem { base: Some(base), disp: 0 }, len: 2 })
+                Ok(ModRm {
+                    reg,
+                    rm: Operand::Mem {
+                        base: Some(base),
+                        disp: 0,
+                    },
+                    len: 2,
+                })
             }
             _ => Ok(ModRm {
                 reg,
-                rm: Operand::Mem { base: Some(X86Reg::from_bits(rm)), disp: 0 },
+                rm: Operand::Mem {
+                    base: Some(X86Reg::from_bits(rm)),
+                    disp: 0,
+                },
                 len: 1,
             }),
         },
@@ -272,7 +304,14 @@ fn modrm(bytes: &[u8], at: usize) -> Result<ModRm, DecodeError> {
             };
             need(bytes, at + 1 + extra + 1)?;
             let disp = bytes[at + 1 + extra] as i8 as i32;
-            Ok(ModRm { reg, rm: Operand::Mem { base: Some(base), disp }, len: 2 + extra })
+            Ok(ModRm {
+                reg,
+                rm: Operand::Mem {
+                    base: Some(base),
+                    disp,
+                },
+                len: 2 + extra,
+            })
         }
         _ => {
             // mod == 10: disp32
@@ -287,7 +326,14 @@ fn modrm(bytes: &[u8], at: usize) -> Result<ModRm, DecodeError> {
                 (X86Reg::from_bits(rm), 0)
             };
             let disp = imm32(bytes, at + 1 + extra)? as i32;
-            Ok(ModRm { reg, rm: Operand::Mem { base: Some(base), disp }, len: 5 + extra })
+            Ok(ModRm {
+                reg,
+                rm: Operand::Mem {
+                    base: Some(base),
+                    disp,
+                },
+                len: 5 + extra,
+            })
         }
     }
 }
@@ -311,45 +357,94 @@ pub fn decode(bytes: &[u8]) -> Result<(Insn, usize), DecodeError> {
             need(bytes, 2)?;
             Ok((Insn::PushImm(bytes[1] as i8 as i32 as u32), 2))
         }
-        0xB8..=0xBF => Ok((Insn::MovRImm(X86Reg::from_bits(op - 0xB8), imm32(bytes, 1)?), 6 - 1)),
+        0xB8..=0xBF => Ok((
+            Insn::MovRImm(X86Reg::from_bits(op - 0xB8), imm32(bytes, 1)?),
+            6 - 1,
+        )),
         0xB0..=0xB7 => {
             need(bytes, 2)?;
             Ok((Insn::MovR8Imm(X86Reg::from_bits(op - 0xB0), bytes[1]), 2))
         }
         0x89 => {
             let m = modrm(bytes, 1)?;
-            Ok((Insn::MovRmR { dst: m.rm, src: X86Reg::from_bits(m.reg) }, 1 + m.len))
+            Ok((
+                Insn::MovRmR {
+                    dst: m.rm,
+                    src: X86Reg::from_bits(m.reg),
+                },
+                1 + m.len,
+            ))
         }
         0x8B => {
             let m = modrm(bytes, 1)?;
-            Ok((Insn::MovRRm { dst: X86Reg::from_bits(m.reg), src: m.rm }, 1 + m.len))
+            Ok((
+                Insn::MovRRm {
+                    dst: X86Reg::from_bits(m.reg),
+                    src: m.rm,
+                },
+                1 + m.len,
+            ))
         }
         0x31 => {
             let m = modrm(bytes, 1)?;
-            Ok((Insn::XorRmR { dst: m.rm, src: X86Reg::from_bits(m.reg) }, 1 + m.len))
+            Ok((
+                Insn::XorRmR {
+                    dst: m.rm,
+                    src: X86Reg::from_bits(m.reg),
+                },
+                1 + m.len,
+            ))
         }
         0x21 => {
             let m = modrm(bytes, 1)?;
-            Ok((Insn::AndRmR { dst: m.rm, src: X86Reg::from_bits(m.reg) }, 1 + m.len))
+            Ok((
+                Insn::AndRmR {
+                    dst: m.rm,
+                    src: X86Reg::from_bits(m.reg),
+                },
+                1 + m.len,
+            ))
         }
         0x09 => {
             let m = modrm(bytes, 1)?;
-            Ok((Insn::OrRmR { dst: m.rm, src: X86Reg::from_bits(m.reg) }, 1 + m.len))
+            Ok((
+                Insn::OrRmR {
+                    dst: m.rm,
+                    src: X86Reg::from_bits(m.reg),
+                },
+                1 + m.len,
+            ))
         }
         0x39 => {
             let m = modrm(bytes, 1)?;
-            Ok((Insn::CmpRmR { dst: m.rm, src: X86Reg::from_bits(m.reg) }, 1 + m.len))
+            Ok((
+                Insn::CmpRmR {
+                    dst: m.rm,
+                    src: X86Reg::from_bits(m.reg),
+                },
+                1 + m.len,
+            ))
         }
         0x85 => {
             let m = modrm(bytes, 1)?;
-            Ok((Insn::TestRmR { dst: m.rm, src: X86Reg::from_bits(m.reg) }, 1 + m.len))
+            Ok((
+                Insn::TestRmR {
+                    dst: m.rm,
+                    src: X86Reg::from_bits(m.reg),
+                },
+                1 + m.len,
+            ))
         }
         0x8D => {
             let m = modrm(bytes, 1)?;
             match m.rm {
-                Operand::Mem { .. } => {
-                    Ok((Insn::Lea { dst: X86Reg::from_bits(m.reg), src: m.rm }, 1 + m.len))
-                }
+                Operand::Mem { .. } => Ok((
+                    Insn::Lea {
+                        dst: X86Reg::from_bits(m.reg),
+                        src: m.rm,
+                    },
+                    1 + m.len,
+                )),
                 Operand::Reg(_) => Err(DecodeError::Unsupported(op)),
             }
         }
@@ -415,7 +510,13 @@ pub fn decode(bytes: &[u8]) -> Result<(Insn, usize), DecodeError> {
                 0x85 => Ok((Insn::Jnz32(imm32(bytes, 2)? as i32), 6)),
                 0xB6 => {
                     let m = modrm(bytes, 2)?;
-                    Ok((Insn::Movzx8 { dst: X86Reg::from_bits(m.reg), src: m.rm }, 2 + m.len))
+                    Ok((
+                        Insn::Movzx8 {
+                            dst: X86Reg::from_bits(m.reg),
+                            src: m.rm,
+                        },
+                        2 + m.len,
+                    ))
                 }
                 other => Err(DecodeError::Unsupported(other)),
             }
@@ -498,8 +599,8 @@ mod tests {
     fn classic_shellcode_decodes() {
         // xor eax,eax; push eax; push "//sh"; push "/bin"; mov ebx,esp
         let code: &[u8] = &[
-            0x31, 0xC0, 0x50, 0x68, 0x2F, 0x2F, 0x73, 0x68, 0x68, 0x2F, 0x62, 0x69, 0x6E,
-            0x89, 0xE3,
+            0x31, 0xC0, 0x50, 0x68, 0x2F, 0x2F, 0x73, 0x68, 0x68, 0x2F, 0x62, 0x69, 0x6E, 0x89,
+            0xE3,
         ];
         let mut at = 0;
         let mut out = Vec::new();
@@ -511,11 +612,17 @@ mod tests {
         assert_eq!(
             out,
             vec![
-                Insn::XorRmR { dst: Operand::Reg(X86Reg::Eax), src: X86Reg::Eax },
+                Insn::XorRmR {
+                    dst: Operand::Reg(X86Reg::Eax),
+                    src: X86Reg::Eax
+                },
                 Insn::PushR(X86Reg::Eax),
                 Insn::PushImm(0x6873_2F2F),
                 Insn::PushImm(0x6E69_622F),
-                Insn::MovRmR { dst: Operand::Reg(X86Reg::Ebx), src: X86Reg::Esp },
+                Insn::MovRmR {
+                    dst: Operand::Reg(X86Reg::Ebx),
+                    src: X86Reg::Esp
+                },
             ]
         );
     }
@@ -533,15 +640,27 @@ mod tests {
         // add esp, 0xC; pop ebp; ret
         let code = [0x83, 0xC4, 0x0C, 0x5D, 0xC3];
         let (i, n) = decode(&code).unwrap();
-        assert_eq!(i, Insn::AddRmImm8 { dst: Operand::Reg(X86Reg::Esp), imm: 0x0C });
+        assert_eq!(
+            i,
+            Insn::AddRmImm8 {
+                dst: Operand::Reg(X86Reg::Esp),
+                imm: 0x0C
+            }
+        );
         assert_eq!(n, 3);
     }
 
     #[test]
     fn int80_and_mov_al() {
-        assert_eq!(decode(&[0xB0, 0x0B]).unwrap(), (Insn::MovR8Imm(X86Reg::Eax, 11), 2));
+        assert_eq!(
+            decode(&[0xB0, 0x0B]).unwrap(),
+            (Insn::MovR8Imm(X86Reg::Eax, 11), 2)
+        );
         assert_eq!(decode(&[0xCD, 0x80]).unwrap(), (Insn::Int80, 2));
-        assert!(matches!(decode(&[0xCD, 0x21]), Err(DecodeError::Unsupported(0x21))));
+        assert!(matches!(
+            decode(&[0xCD, 0x21]),
+            Err(DecodeError::Unsupported(0x21))
+        ));
     }
 
     #[test]
@@ -551,7 +670,10 @@ mod tests {
             decode(&[0x89, 0x03]).unwrap(),
             (
                 Insn::MovRmR {
-                    dst: Operand::Mem { base: Some(X86Reg::Ebx), disp: 0 },
+                    dst: Operand::Mem {
+                        base: Some(X86Reg::Ebx),
+                        disp: 0
+                    },
                     src: X86Reg::Eax
                 },
                 2
@@ -563,7 +685,10 @@ mod tests {
             (
                 Insn::MovRRm {
                     dst: X86Reg::Eax,
-                    src: Operand::Mem { base: Some(X86Reg::Ebp), disp: -4 }
+                    src: Operand::Mem {
+                        base: Some(X86Reg::Ebp),
+                        disp: -4
+                    }
                 },
                 3
             )
@@ -574,7 +699,10 @@ mod tests {
             (
                 Insn::MovRRm {
                     dst: X86Reg::Eax,
-                    src: Operand::Mem { base: None, disp: 0x0812_0200 }
+                    src: Operand::Mem {
+                        base: None,
+                        disp: 0x0812_0200
+                    }
                 },
                 6
             )
@@ -584,7 +712,10 @@ mod tests {
             decode(&[0x89, 0x0C, 0x24]).unwrap(),
             (
                 Insn::MovRmR {
-                    dst: Operand::Mem { base: Some(X86Reg::Esp), disp: 0 },
+                    dst: Operand::Mem {
+                        base: Some(X86Reg::Esp),
+                        disp: 0
+                    },
                     src: X86Reg::Ecx
                 },
                 3
@@ -619,7 +750,13 @@ mod tests {
         // movzx eax, cl → 0F B6 C1
         assert_eq!(
             decode(&[0x0F, 0xB6, 0xC1]).unwrap(),
-            (Insn::Movzx8 { dst: X86Reg::Eax, src: Operand::Reg(X86Reg::Ecx) }, 3)
+            (
+                Insn::Movzx8 {
+                    dst: X86Reg::Eax,
+                    src: Operand::Reg(X86Reg::Ecx)
+                },
+                3
+            )
         );
     }
 
@@ -633,6 +770,9 @@ mod tests {
 
     #[test]
     fn push_imm8_sign_extends() {
-        assert_eq!(decode(&[0x6A, 0xFF]).unwrap(), (Insn::PushImm(0xFFFF_FFFF), 2));
+        assert_eq!(
+            decode(&[0x6A, 0xFF]).unwrap(),
+            (Insn::PushImm(0xFFFF_FFFF), 2)
+        );
     }
 }

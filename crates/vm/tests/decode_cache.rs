@@ -1,0 +1,155 @@
+//! The predecoded-instruction cache must never serve stale decodes:
+//! self-modifying shellcode, permission flips and page-straddling
+//! instructions all have to observe the current bytes.
+
+use cml_image::{Arch, Perms, SectionKind};
+use cml_vm::{x86, Fault, Machine, X86Reg};
+
+fn x86_machine(code: &[u8], perms: Perms) -> Machine {
+    let mut m = Machine::new(Arch::X86);
+    m.mem_mut()
+        .map(".text", Some(SectionKind::Text), 0x1000, 0x2000, perms);
+    m.mem_mut()
+        .map("stack", Some(SectionKind::Stack), 0x8000, 0x1000, Perms::RW);
+    m.mem_mut().poke(0x1000, code).unwrap();
+    m.regs_mut().set_pc(0x1000);
+    m.regs_mut().set_sp(0x8800);
+    m
+}
+
+#[test]
+fn repeat_execution_hits_the_cache() {
+    let code = x86::Asm::new().mov_r_imm(X86Reg::Eax, 1).finish();
+    let mut m = x86_machine(&code, Perms::RX);
+    for _ in 0..10 {
+        m.regs_mut().set_pc(0x1000);
+        m.step().unwrap();
+    }
+    let (hits, misses) = m.decode_cache_stats();
+    assert_eq!(misses, 1, "only the first visit decodes");
+    assert_eq!(hits, 9, "every revisit is served from the cache");
+}
+
+#[test]
+fn self_modifying_code_invalidates_cached_decode() {
+    // mov eax, 1 on an RWX page (the code-injection scenario).
+    let code = x86::Asm::new().mov_r_imm(X86Reg::Eax, 1).finish();
+    let mut m = x86_machine(&code, Perms::RWX);
+    m.step().unwrap();
+    assert_eq!(m.regs().x86().get(X86Reg::Eax), 1);
+
+    // The shellcode patches its own immediate: mov eax, 1 -> mov eax, 2.
+    // A stale cache would keep executing the old constant.
+    m.regs_mut().set_pc(0x1000);
+    m.step().unwrap(); // warm the cache a second time
+    m.mem_mut().write_u8(0x1001, 2, 0).unwrap();
+    m.regs_mut().set_pc(0x1000);
+    m.step().unwrap();
+    assert_eq!(
+        m.regs().x86().get(X86Reg::Eax),
+        2,
+        "patched byte must be decoded"
+    );
+}
+
+#[test]
+fn poke_invalidates_cached_decode() {
+    let code = x86::Asm::new().mov_r_imm(X86Reg::Eax, 7).finish();
+    let mut m = x86_machine(&code, Perms::RX);
+    m.step().unwrap();
+    assert_eq!(m.regs().x86().get(X86Reg::Eax), 7);
+
+    // Debugger/loader-style poke ignores W but must still invalidate.
+    let patched = x86::Asm::new().mov_r_imm(X86Reg::Eax, 0xBEEF).finish();
+    m.mem_mut().poke(0x1000, &patched).unwrap();
+    m.regs_mut().set_pc(0x1000);
+    m.step().unwrap();
+    assert_eq!(m.regs().x86().get(X86Reg::Eax), 0xBEEF);
+}
+
+#[test]
+fn permission_flip_drops_cached_page() {
+    let code = x86::Asm::new().nop().finish();
+    let mut m = x86_machine(&code, Perms::RX);
+    m.step().unwrap(); // cache the nop
+    assert!(m.mem_mut().set_perms(0x1000, Perms::RW));
+    m.regs_mut().set_pc(0x1000);
+    assert!(
+        matches!(m.step(), Err(Fault::NxViolation { pc: 0x1000, .. })),
+        "a cached decode must not bypass a revoked X bit"
+    );
+}
+
+#[test]
+fn page_straddling_instruction_sees_writes_to_second_page() {
+    // Place a 5-byte mov eax,imm32 so its immediate crosses the 4 KiB
+    // page boundary at 0x2000 (region is 0x1000..0x3000).
+    let code = x86::Asm::new().mov_r_imm(X86Reg::Eax, 0x11111111).finish();
+    assert_eq!(code.len(), 5);
+    let mut m = x86_machine(&[], Perms::RWX);
+    m.mem_mut().poke(0x1FFE, &code).unwrap();
+    m.regs_mut().set_pc(0x1FFE);
+    m.step().unwrap();
+    assert_eq!(m.regs().x86().get(X86Reg::Eax), 0x11111111);
+
+    // Patch an immediate byte that lives on the *second* page.
+    m.mem_mut().write_u8(0x2001, 0x22, 0).unwrap();
+    m.regs_mut().set_pc(0x1FFE);
+    m.step().unwrap();
+    assert_ne!(m.regs().x86().get(X86Reg::Eax), 0x11111111);
+}
+
+#[test]
+fn arm_self_modifying_word_is_not_stale() {
+    use cml_vm::{arm, ArmReg};
+    let mut m = Machine::new(Arch::Armv7);
+    m.mem_mut().map(
+        ".text",
+        Some(SectionKind::Text),
+        0x1_0000,
+        0x1000,
+        Perms::RWX,
+    );
+    m.mem_mut().map(
+        "stack",
+        Some(SectionKind::Stack),
+        0x7e00_0000,
+        0x1000,
+        Perms::RW,
+    );
+    let code = arm::Asm::new().mov_imm(0, 5).finish();
+    m.mem_mut().poke(0x1_0000, &code).unwrap();
+    m.regs_mut().set_pc(0x1_0000);
+    m.regs_mut().set_sp(0x7e00_0800);
+    m.step().unwrap();
+    assert_eq!(m.regs().arm().get(ArmReg(0)), 5);
+
+    let patched = arm::Asm::new().mov_imm(0, 9).finish();
+    for (i, b) in patched.iter().enumerate() {
+        m.mem_mut().write_u8(0x1_0000 + i as u32, *b, 0).unwrap();
+    }
+    m.regs_mut().set_pc(0x1_0000);
+    m.step().unwrap();
+    assert_eq!(
+        m.regs().arm().get(ArmReg(0)),
+        9,
+        "patched word must be decoded"
+    );
+}
+
+#[test]
+fn disabled_cache_matches_enabled_results() {
+    let code = x86::Asm::new()
+        .mov_r_imm(X86Reg::Eax, 3)
+        .add_r_imm8(X86Reg::Eax, 4)
+        .finish();
+    let run = |cache: bool| {
+        let mut m = x86_machine(&code, Perms::RX);
+        m.set_decode_cache_enabled(cache);
+        for _ in 0..2 {
+            m.step().unwrap();
+        }
+        m.regs().x86().get(X86Reg::Eax)
+    };
+    assert_eq!(run(true), run(false));
+}

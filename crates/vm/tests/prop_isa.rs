@@ -161,19 +161,13 @@ proptest! {
     /// beyond the input.
     #[test]
     fn x86_decode_total(bytes in proptest::collection::vec(any::<u8>(), 0..32)) {
-        match x86::decode(&bytes) {
-            Ok((_, len)) => prop_assert!(len > 0 && len <= bytes.len()),
-            Err(_) => {}
-        }
+        if let Ok((_, len)) = x86::decode(&bytes) { prop_assert!(len > 0 && len <= bytes.len()) }
     }
 
     /// ARM decode is total as well.
     #[test]
     fn arm_decode_total(word in any::<u32>()) {
-        match arm::decode(&word.to_le_bytes()) {
-            Ok((_, len)) => prop_assert_eq!(len, 4),
-            Err(_) => {}
-        }
+        if let Ok((_, len)) = arm::decode(&word.to_le_bytes()) { prop_assert_eq!(len, 4) }
     }
 }
 
@@ -303,8 +297,10 @@ fn execution_is_deterministic() {
     ]);
     let run = || {
         let mut m = Machine::new(Arch::X86);
-        m.mem_mut().map(".text", Some(SectionKind::Text), 0x1000, 0x1000, Perms::RX);
-        m.mem_mut().map("stack", Some(SectionKind::Stack), 0x8000, 0x1000, Perms::RW);
+        m.mem_mut()
+            .map(".text", Some(SectionKind::Text), 0x1000, 0x1000, Perms::RX);
+        m.mem_mut()
+            .map("stack", Some(SectionKind::Stack), 0x8000, 0x1000, Perms::RW);
         m.mem_mut().poke(0x1000, &code).unwrap();
         m.regs_mut().set_pc(0x1000);
         m.regs_mut().set_sp(0x8800);

@@ -31,15 +31,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", attack(Protections::none(), &CodeInjection::new(arm))?);
 
     println!("\n-- rung 2: W⊕X stops injection, gadgets reuse code --");
-    println!("{}", attack(Protections::wxorx(), &CodeInjection::new(arm))?);
+    println!(
+        "{}",
+        attack(Protections::wxorx(), &CodeInjection::new(arm))?
+    );
     println!("{}", attack(Protections::wxorx(), &ArmGadgetExeclp::new())?);
 
     println!("\n-- rung 3: ASLR moves libc, ROP over fixed sections survives --");
     println!("{}", attack(Protections::full(), &ArmGadgetExeclp::new())?);
-    println!("{}", attack(Protections::full(), &RopMemcpyChain::new(arm))?);
+    println!(
+        "{}",
+        attack(Protections::full(), &RopMemcpyChain::new(arm))?
+    );
 
     println!("\n-- rung 4: the paper's §IV mitigations --");
-    for protections in [Protections::full().with_canary(), Protections::full().with_cfi()] {
+    for protections in [
+        Protections::full().with_canary(),
+        Protections::full().with_cfi(),
+    ] {
         for strategy in strategies_for(arm) {
             let line = attack(protections, strategy.as_ref())?;
             println!("{line}");
@@ -52,7 +61,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Err(e) => println!("rop-memcpy-chain         vs Connman 1.35    → {e}"),
         Ok(r) => {
             assert_ne!(r.outcome, AttackOutcome::RootShell);
-            println!("rop-memcpy-chain         vs Connman 1.35    → {}", r.outcome);
+            println!(
+                "rop-memcpy-chain         vs Connman 1.35    → {}",
+                r.outcome
+            );
         }
     }
     Ok(())

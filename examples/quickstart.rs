@@ -13,8 +13,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 1. An OpenELEC-style firmware (Connman 1.34) on ARMv7, with both
     //    W⊕X and ASLR enabled — the paper's hardest configuration.
-    let lab = Lab::new(FirmwareKind::OpenElec, Arch::Armv7)
-        .with_protections(Protections::full());
+    let lab = Lab::new(FirmwareKind::OpenElec, Arch::Armv7).with_protections(Protections::full());
     println!(
         "target: {} on {}, protections: {}",
         lab.firmware().kind(),
@@ -37,8 +36,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 4. The patched firmware (Connman 1.35) shrugs both off:
     //    reconnaissance cannot even crash it.
-    let patched = Lab::new(FirmwareKind::Patched, Arch::Armv7)
-        .with_protections(Protections::full());
+    let patched =
+        Lab::new(FirmwareKind::Patched, Arch::Armv7).with_protections(Protections::full());
     match patched.run_exploit(&RopMemcpyChain::new(Arch::Armv7)) {
         Err(e) => println!("[3] same attack vs Connman 1.35 → blocked: {e}"),
         Ok(r) => println!("[3] unexpected: {}", r.outcome),

@@ -47,13 +47,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     device.reconnect(&mut env);
     let ota = Name::parse("ota.vendor.example")?;
-    println!("device joins, resolves normally: {}", device.lookup(&mut env, &ota, RecordType::A));
+    println!(
+        "device joins, resolves normally: {}",
+        device.lookup(&mut env, &ota, RecordType::A)
+    );
 
     // -- The Pineapple goes live --
     let mut evil = MaliciousDnsServer::new(&payload)?;
-    let pineapple =
-        WifiPineapple::deploy(&mut env, &Ssid::new("CoffeeShopWiFi"), share(move |p: &[u8]| evil.handle(p)))
-            .expect("target ssid on air");
+    let pineapple = WifiPineapple::deploy(
+        &mut env,
+        &Ssid::new("CoffeeShopWiFi"),
+        share(move |p: &[u8]| evil.handle(p)),
+    )
+    .expect("target ssid on air");
     println!(
         "\npineapple up: cloning {:?}, malicious DNS at {}",
         pineapple.cloned_ssid().as_str(),

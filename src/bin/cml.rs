@@ -6,7 +6,8 @@
 //! cml exploit --arch x86 --prot full --strategy rop
 //! cml dos    --arch arm --prot wxorx      # crash-only probe
 //! cml pineapple --arch arm                # the remote §III-D scenario
-//! cml experiments [e1 .. e8]              # regenerate paper tables
+//! cml fleet --devices 1000 --jobs 4       # fleet-scale rogue-AP attack
+//! cml experiments [e1 .. e8] --jobs 4     # regenerate paper tables
 //! ```
 
 use std::process::ExitCode;
@@ -28,6 +29,7 @@ fn main() -> ExitCode {
         "exploit" => exploit(&opts),
         "dos" => dos(&opts),
         "pineapple" => pineapple(&opts),
+        "fleet" => fleet(&opts),
         "experiments" => experiments(&opts),
         "--help" | "-h" | "help" => {
             usage();
@@ -51,13 +53,17 @@ fn usage() {
          \x20 exploit     --arch A --prot P --strategy S\n\
          \x20 dos         --arch A --prot P  crash-only probe\n\
          \x20 pineapple   --arch A           remote rogue-AP scenario\n\
+         \x20 fleet       --devices N        rogue-AP attack on an N-device fleet\n\
          \x20 experiments [e1 .. e8]         regenerate the paper tables\n\
          \n\
          options:\n\
          \x20 --arch      x86 | arm              (default arm)\n\
          \x20 --prot      none | wxorx | full | full+canary | full+cfi (default full)\n\
          \x20 --strategy  injection | ret2libc | execlp | rop | auto (default auto)\n\
-         \x20 --firmware  yocto | openelec | tizen | patched (default openelec)"
+         \x20 --firmware  yocto | openelec | tizen | patched (default openelec)\n\
+         \x20 --jobs      N                      worker threads for experiments/fleet\n\
+         \x20                                    (default 1, 0 = one per CPU)\n\
+         \x20 --devices   N                      fleet size (default 100)"
     );
 }
 
@@ -66,6 +72,8 @@ struct Opts {
     prot: Protections,
     strategy: String,
     firmware: FirmwareKind,
+    jobs: usize,
+    devices: usize,
     rest: Vec<String>,
 }
 
@@ -76,6 +84,8 @@ impl Opts {
             prot: Protections::full(),
             strategy: "auto".to_string(),
             firmware: FirmwareKind::OpenElec,
+            jobs: 1,
+            devices: 100,
             rest: Vec::new(),
         };
         let mut it = args.iter();
@@ -119,6 +129,18 @@ impl Opts {
                         }
                     }
                 }
+                "--jobs" => {
+                    o.jobs = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                        eprintln!("--jobs wants a number, using 1");
+                        1
+                    });
+                }
+                "--devices" => {
+                    o.devices = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                        eprintln!("--devices wants a number, using 100");
+                        100
+                    });
+                }
                 other => o.rest.push(other.to_string()),
             }
         }
@@ -157,7 +179,12 @@ fn recon(opts: &Opts) -> ExitCode {
     let lab = Lab::new(opts.firmware, opts.arch).with_protections(opts.prot);
     match lab.recon() {
         Ok(info) => {
-            println!("target: {} on {} ({})", opts.firmware.os_name(), opts.arch, opts.prot.label());
+            println!(
+                "target: {} on {} ({})",
+                opts.firmware.os_name(),
+                opts.arch,
+                opts.prot.label()
+            );
             println!("buffer → ret offset : {}", info.frame.ret_offset);
             println!("reference buffer    : {:#010x}", info.frame.buf_addr);
             println!("NULL-check slots    : {:?}", info.frame.null_offsets);
@@ -193,7 +220,14 @@ fn exploit(opts: &Opts) -> ExitCode {
     match lab.run_exploit(strategy.as_ref()) {
         Ok(report) => {
             println!("outcome   : {}", report.outcome);
-            println!("predicted : {}", if report.predicted_success { "shell" } else { "no shell" });
+            println!(
+                "predicted : {}",
+                if report.predicted_success {
+                    "shell"
+                } else {
+                    "no shell"
+                }
+            );
             println!("detail    : {}", report.proxy_outcome);
             println!("\n{}", report.listing);
             if report.outcome == AttackOutcome::RootShell {
@@ -233,19 +267,37 @@ fn pineapple(opts: &Opts) -> ExitCode {
         .collect();
     println!("### remote rogue-AP runs for {}\n", opts.arch);
     for r in rows {
-        println!("{} [{}]: lured={} rogue-dns={} → {}", r[0], r[2], r[3], r[4], r[5]);
+        println!(
+            "{} [{}]: lured={} rogue-dns={} → {}",
+            r[0], r[2], r[3], r[4], r[5]
+        );
     }
+    ExitCode::SUCCESS
+}
+
+fn fleet(opts: &Opts) -> ExitCode {
+    let spec = connman_lab::fleet::FleetSpec::heterogeneous(opts.devices, 0xF1EE7);
+    let report = connman_lab::fleet::run_fleet(&spec, opts.jobs);
+    print!("{}", report.render());
+    println!(
+        "({} workers, {:.1} devices/sec)",
+        report.jobs,
+        report.devices_per_sec()
+    );
     ExitCode::SUCCESS
 }
 
 fn experiments(opts: &Opts) -> ExitCode {
     if opts.rest.is_empty() {
-        println!("{}", connman_lab::experiments::run_all().to_markdown());
+        println!(
+            "{}",
+            connman_lab::experiments::run_all_jobs(opts.jobs).to_markdown()
+        );
         return ExitCode::SUCCESS;
     }
     let mut ok = true;
     for id in &opts.rest {
-        match connman_lab::experiments::run_one(id) {
+        match connman_lab::experiments::run_one_jobs(id, opts.jobs) {
             Some(t) => println!("{}", t.to_markdown()),
             None => {
                 eprintln!("unknown experiment {id:?}");

@@ -2,8 +2,8 @@
 //!
 //! Re-exports the public API of [`cml_core`] so that examples and
 //! downstream users need a single dependency.
-pub use cml_core::*;
 pub use cml_connman as connman;
+pub use cml_core::*;
 pub use cml_dns as dns;
 pub use cml_exploit as exploit;
 pub use cml_firmware as firmware;

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli-513c521be8dee32c.d: tests/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli-513c521be8dee32c.rmeta: tests/cli.rs Cargo.toml
+
+tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_cml=placeholder:cml
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

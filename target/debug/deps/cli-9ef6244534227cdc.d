@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-9ef6244534227cdc.d: tests/cli.rs
+
+/root/repo/target/debug/deps/cli-9ef6244534227cdc: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_cml=/root/repo/target/debug/cml

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cml-2074b79a2ac79fa4.d: src/bin/cml.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcml-2074b79a2ac79fa4.rmeta: src/bin/cml.rs Cargo.toml
+
+src/bin/cml.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cml-4dc47ed241369725.d: src/bin/cml.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcml-4dc47ed241369725.rmeta: src/bin/cml.rs Cargo.toml
+
+src/bin/cml.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cml-4e3ce5d22ac8ea13.d: src/bin/cml.rs
+
+/root/repo/target/debug/deps/cml-4e3ce5d22ac8ea13: src/bin/cml.rs
+
+src/bin/cml.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cml-92ceec23b0c4e13a.d: src/bin/cml.rs
+
+/root/repo/target/debug/deps/cml-92ceec23b0c4e13a: src/bin/cml.rs
+
+src/bin/cml.rs:

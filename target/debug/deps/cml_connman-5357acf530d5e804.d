@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/cml_connman-5357acf530d5e804.d: crates/connman/src/lib.rs crates/connman/src/cache.rs crates/connman/src/daemon.rs crates/connman/src/frame.rs crates/connman/src/outcome.rs crates/connman/src/uncompress.rs crates/connman/src/version.rs
+
+/root/repo/target/debug/deps/libcml_connman-5357acf530d5e804.rlib: crates/connman/src/lib.rs crates/connman/src/cache.rs crates/connman/src/daemon.rs crates/connman/src/frame.rs crates/connman/src/outcome.rs crates/connman/src/uncompress.rs crates/connman/src/version.rs
+
+/root/repo/target/debug/deps/libcml_connman-5357acf530d5e804.rmeta: crates/connman/src/lib.rs crates/connman/src/cache.rs crates/connman/src/daemon.rs crates/connman/src/frame.rs crates/connman/src/outcome.rs crates/connman/src/uncompress.rs crates/connman/src/version.rs
+
+crates/connman/src/lib.rs:
+crates/connman/src/cache.rs:
+crates/connman/src/daemon.rs:
+crates/connman/src/frame.rs:
+crates/connman/src/outcome.rs:
+crates/connman/src/uncompress.rs:
+crates/connman/src/version.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cml_connman-fbce6d32c0f5af5f.d: crates/connman/src/lib.rs crates/connman/src/cache.rs crates/connman/src/daemon.rs crates/connman/src/frame.rs crates/connman/src/outcome.rs crates/connman/src/uncompress.rs crates/connman/src/version.rs
+
+/root/repo/target/debug/deps/cml_connman-fbce6d32c0f5af5f: crates/connman/src/lib.rs crates/connman/src/cache.rs crates/connman/src/daemon.rs crates/connman/src/frame.rs crates/connman/src/outcome.rs crates/connman/src/uncompress.rs crates/connman/src/version.rs
+
+crates/connman/src/lib.rs:
+crates/connman/src/cache.rs:
+crates/connman/src/daemon.rs:
+crates/connman/src/frame.rs:
+crates/connman/src/outcome.rs:
+crates/connman/src/uncompress.rs:
+crates/connman/src/version.rs:

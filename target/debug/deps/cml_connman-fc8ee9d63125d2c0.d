@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/cml_connman-fc8ee9d63125d2c0.d: crates/connman/src/lib.rs crates/connman/src/cache.rs crates/connman/src/daemon.rs crates/connman/src/frame.rs crates/connman/src/outcome.rs crates/connman/src/uncompress.rs crates/connman/src/version.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcml_connman-fc8ee9d63125d2c0.rmeta: crates/connman/src/lib.rs crates/connman/src/cache.rs crates/connman/src/daemon.rs crates/connman/src/frame.rs crates/connman/src/outcome.rs crates/connman/src/uncompress.rs crates/connman/src/version.rs Cargo.toml
+
+crates/connman/src/lib.rs:
+crates/connman/src/cache.rs:
+crates/connman/src/daemon.rs:
+crates/connman/src/frame.rs:
+crates/connman/src/outcome.rs:
+crates/connman/src/uncompress.rs:
+crates/connman/src/version.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/cml_core-1099daf65b353713.d: crates/core/src/lib.rs crates/core/src/device.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/e1.rs crates/core/src/experiments/e2.rs crates/core/src/experiments/e3.rs crates/core/src/experiments/e4.rs crates/core/src/experiments/e5.rs crates/core/src/experiments/e6.rs crates/core/src/experiments/e7.rs crates/core/src/experiments/e8.rs crates/core/src/fleet.rs crates/core/src/lab.rs crates/core/src/report.rs crates/core/src/runner.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcml_core-1099daf65b353713.rmeta: crates/core/src/lib.rs crates/core/src/device.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/e1.rs crates/core/src/experiments/e2.rs crates/core/src/experiments/e3.rs crates/core/src/experiments/e4.rs crates/core/src/experiments/e5.rs crates/core/src/experiments/e6.rs crates/core/src/experiments/e7.rs crates/core/src/experiments/e8.rs crates/core/src/fleet.rs crates/core/src/lab.rs crates/core/src/report.rs crates/core/src/runner.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/device.rs:
+crates/core/src/experiments/mod.rs:
+crates/core/src/experiments/e1.rs:
+crates/core/src/experiments/e2.rs:
+crates/core/src/experiments/e3.rs:
+crates/core/src/experiments/e4.rs:
+crates/core/src/experiments/e5.rs:
+crates/core/src/experiments/e6.rs:
+crates/core/src/experiments/e7.rs:
+crates/core/src/experiments/e8.rs:
+crates/core/src/fleet.rs:
+crates/core/src/lab.rs:
+crates/core/src/report.rs:
+crates/core/src/runner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

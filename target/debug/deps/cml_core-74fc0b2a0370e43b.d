@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/cml_core-74fc0b2a0370e43b.d: crates/core/src/lib.rs crates/core/src/device.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/e1.rs crates/core/src/experiments/e2.rs crates/core/src/experiments/e3.rs crates/core/src/experiments/e4.rs crates/core/src/experiments/e5.rs crates/core/src/experiments/e6.rs crates/core/src/experiments/e7.rs crates/core/src/experiments/e8.rs crates/core/src/fleet.rs crates/core/src/lab.rs crates/core/src/report.rs crates/core/src/runner.rs
+
+/root/repo/target/debug/deps/libcml_core-74fc0b2a0370e43b.rlib: crates/core/src/lib.rs crates/core/src/device.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/e1.rs crates/core/src/experiments/e2.rs crates/core/src/experiments/e3.rs crates/core/src/experiments/e4.rs crates/core/src/experiments/e5.rs crates/core/src/experiments/e6.rs crates/core/src/experiments/e7.rs crates/core/src/experiments/e8.rs crates/core/src/fleet.rs crates/core/src/lab.rs crates/core/src/report.rs crates/core/src/runner.rs
+
+/root/repo/target/debug/deps/libcml_core-74fc0b2a0370e43b.rmeta: crates/core/src/lib.rs crates/core/src/device.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/e1.rs crates/core/src/experiments/e2.rs crates/core/src/experiments/e3.rs crates/core/src/experiments/e4.rs crates/core/src/experiments/e5.rs crates/core/src/experiments/e6.rs crates/core/src/experiments/e7.rs crates/core/src/experiments/e8.rs crates/core/src/fleet.rs crates/core/src/lab.rs crates/core/src/report.rs crates/core/src/runner.rs
+
+crates/core/src/lib.rs:
+crates/core/src/device.rs:
+crates/core/src/experiments/mod.rs:
+crates/core/src/experiments/e1.rs:
+crates/core/src/experiments/e2.rs:
+crates/core/src/experiments/e3.rs:
+crates/core/src/experiments/e4.rs:
+crates/core/src/experiments/e5.rs:
+crates/core/src/experiments/e6.rs:
+crates/core/src/experiments/e7.rs:
+crates/core/src/experiments/e8.rs:
+crates/core/src/fleet.rs:
+crates/core/src/lab.rs:
+crates/core/src/report.rs:
+crates/core/src/runner.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/cml_dns-640423dad5c8f21f.d: crates/dns/src/lib.rs crates/dns/src/error.rs crates/dns/src/forge.rs crates/dns/src/header.rs crates/dns/src/message.rs crates/dns/src/name.rs crates/dns/src/question.rs crates/dns/src/record.rs crates/dns/src/validate.rs crates/dns/src/wire.rs crates/dns/src/zone.rs
+
+/root/repo/target/debug/deps/cml_dns-640423dad5c8f21f: crates/dns/src/lib.rs crates/dns/src/error.rs crates/dns/src/forge.rs crates/dns/src/header.rs crates/dns/src/message.rs crates/dns/src/name.rs crates/dns/src/question.rs crates/dns/src/record.rs crates/dns/src/validate.rs crates/dns/src/wire.rs crates/dns/src/zone.rs
+
+crates/dns/src/lib.rs:
+crates/dns/src/error.rs:
+crates/dns/src/forge.rs:
+crates/dns/src/header.rs:
+crates/dns/src/message.rs:
+crates/dns/src/name.rs:
+crates/dns/src/question.rs:
+crates/dns/src/record.rs:
+crates/dns/src/validate.rs:
+crates/dns/src/wire.rs:
+crates/dns/src/zone.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/cml_dns-750ec1c9e72bdc26.d: crates/dns/src/lib.rs crates/dns/src/error.rs crates/dns/src/forge.rs crates/dns/src/header.rs crates/dns/src/message.rs crates/dns/src/name.rs crates/dns/src/question.rs crates/dns/src/record.rs crates/dns/src/validate.rs crates/dns/src/wire.rs crates/dns/src/zone.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcml_dns-750ec1c9e72bdc26.rmeta: crates/dns/src/lib.rs crates/dns/src/error.rs crates/dns/src/forge.rs crates/dns/src/header.rs crates/dns/src/message.rs crates/dns/src/name.rs crates/dns/src/question.rs crates/dns/src/record.rs crates/dns/src/validate.rs crates/dns/src/wire.rs crates/dns/src/zone.rs Cargo.toml
+
+crates/dns/src/lib.rs:
+crates/dns/src/error.rs:
+crates/dns/src/forge.rs:
+crates/dns/src/header.rs:
+crates/dns/src/message.rs:
+crates/dns/src/name.rs:
+crates/dns/src/question.rs:
+crates/dns/src/record.rs:
+crates/dns/src/validate.rs:
+crates/dns/src/wire.rs:
+crates/dns/src/zone.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

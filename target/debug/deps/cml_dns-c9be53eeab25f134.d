@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/cml_dns-c9be53eeab25f134.d: crates/dns/src/lib.rs crates/dns/src/error.rs crates/dns/src/forge.rs crates/dns/src/header.rs crates/dns/src/message.rs crates/dns/src/name.rs crates/dns/src/question.rs crates/dns/src/record.rs crates/dns/src/validate.rs crates/dns/src/wire.rs crates/dns/src/zone.rs
+
+/root/repo/target/debug/deps/libcml_dns-c9be53eeab25f134.rlib: crates/dns/src/lib.rs crates/dns/src/error.rs crates/dns/src/forge.rs crates/dns/src/header.rs crates/dns/src/message.rs crates/dns/src/name.rs crates/dns/src/question.rs crates/dns/src/record.rs crates/dns/src/validate.rs crates/dns/src/wire.rs crates/dns/src/zone.rs
+
+/root/repo/target/debug/deps/libcml_dns-c9be53eeab25f134.rmeta: crates/dns/src/lib.rs crates/dns/src/error.rs crates/dns/src/forge.rs crates/dns/src/header.rs crates/dns/src/message.rs crates/dns/src/name.rs crates/dns/src/question.rs crates/dns/src/record.rs crates/dns/src/validate.rs crates/dns/src/wire.rs crates/dns/src/zone.rs
+
+crates/dns/src/lib.rs:
+crates/dns/src/error.rs:
+crates/dns/src/forge.rs:
+crates/dns/src/header.rs:
+crates/dns/src/message.rs:
+crates/dns/src/name.rs:
+crates/dns/src/question.rs:
+crates/dns/src/record.rs:
+crates/dns/src/validate.rs:
+crates/dns/src/wire.rs:
+crates/dns/src/zone.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cml_firmware-4f2978b05b88e074.d: crates/firmware/src/lib.rs crates/firmware/src/build.rs crates/firmware/src/profile.rs
+
+/root/repo/target/debug/deps/cml_firmware-4f2978b05b88e074: crates/firmware/src/lib.rs crates/firmware/src/build.rs crates/firmware/src/profile.rs
+
+crates/firmware/src/lib.rs:
+crates/firmware/src/build.rs:
+crates/firmware/src/profile.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cml_firmware-d1f23a12404a06f6.d: crates/firmware/src/lib.rs crates/firmware/src/build.rs crates/firmware/src/profile.rs
+
+/root/repo/target/debug/deps/libcml_firmware-d1f23a12404a06f6.rlib: crates/firmware/src/lib.rs crates/firmware/src/build.rs crates/firmware/src/profile.rs
+
+/root/repo/target/debug/deps/libcml_firmware-d1f23a12404a06f6.rmeta: crates/firmware/src/lib.rs crates/firmware/src/build.rs crates/firmware/src/profile.rs
+
+crates/firmware/src/lib.rs:
+crates/firmware/src/build.rs:
+crates/firmware/src/profile.rs:

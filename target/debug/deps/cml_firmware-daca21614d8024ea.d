@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cml_firmware-daca21614d8024ea.d: crates/firmware/src/lib.rs crates/firmware/src/build.rs crates/firmware/src/profile.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcml_firmware-daca21614d8024ea.rmeta: crates/firmware/src/lib.rs crates/firmware/src/build.rs crates/firmware/src/profile.rs Cargo.toml
+
+crates/firmware/src/lib.rs:
+crates/firmware/src/build.rs:
+crates/firmware/src/profile.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

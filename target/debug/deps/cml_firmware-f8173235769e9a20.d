@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cml_firmware-f8173235769e9a20.d: crates/firmware/src/lib.rs crates/firmware/src/build.rs crates/firmware/src/profile.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcml_firmware-f8173235769e9a20.rmeta: crates/firmware/src/lib.rs crates/firmware/src/build.rs crates/firmware/src/profile.rs Cargo.toml
+
+crates/firmware/src/lib.rs:
+crates/firmware/src/build.rs:
+crates/firmware/src/profile.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cml_image-29adcdc3120d6eb8.d: crates/image/src/lib.rs crates/image/src/arch.rs crates/image/src/builder.rs crates/image/src/image.rs crates/image/src/layout.rs crates/image/src/perms.rs crates/image/src/section.rs crates/image/src/symbol.rs
+
+/root/repo/target/debug/deps/cml_image-29adcdc3120d6eb8: crates/image/src/lib.rs crates/image/src/arch.rs crates/image/src/builder.rs crates/image/src/image.rs crates/image/src/layout.rs crates/image/src/perms.rs crates/image/src/section.rs crates/image/src/symbol.rs
+
+crates/image/src/lib.rs:
+crates/image/src/arch.rs:
+crates/image/src/builder.rs:
+crates/image/src/image.rs:
+crates/image/src/layout.rs:
+crates/image/src/perms.rs:
+crates/image/src/section.rs:
+crates/image/src/symbol.rs:

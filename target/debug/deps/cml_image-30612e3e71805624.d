@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/cml_image-30612e3e71805624.d: crates/image/src/lib.rs crates/image/src/arch.rs crates/image/src/builder.rs crates/image/src/image.rs crates/image/src/layout.rs crates/image/src/perms.rs crates/image/src/section.rs crates/image/src/symbol.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcml_image-30612e3e71805624.rmeta: crates/image/src/lib.rs crates/image/src/arch.rs crates/image/src/builder.rs crates/image/src/image.rs crates/image/src/layout.rs crates/image/src/perms.rs crates/image/src/section.rs crates/image/src/symbol.rs Cargo.toml
+
+crates/image/src/lib.rs:
+crates/image/src/arch.rs:
+crates/image/src/builder.rs:
+crates/image/src/image.rs:
+crates/image/src/layout.rs:
+crates/image/src/perms.rs:
+crates/image/src/section.rs:
+crates/image/src/symbol.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/cml_image-d85ecd5f2e1335a4.d: crates/image/src/lib.rs crates/image/src/arch.rs crates/image/src/builder.rs crates/image/src/image.rs crates/image/src/layout.rs crates/image/src/perms.rs crates/image/src/section.rs crates/image/src/symbol.rs
+
+/root/repo/target/debug/deps/libcml_image-d85ecd5f2e1335a4.rlib: crates/image/src/lib.rs crates/image/src/arch.rs crates/image/src/builder.rs crates/image/src/image.rs crates/image/src/layout.rs crates/image/src/perms.rs crates/image/src/section.rs crates/image/src/symbol.rs
+
+/root/repo/target/debug/deps/libcml_image-d85ecd5f2e1335a4.rmeta: crates/image/src/lib.rs crates/image/src/arch.rs crates/image/src/builder.rs crates/image/src/image.rs crates/image/src/layout.rs crates/image/src/perms.rs crates/image/src/section.rs crates/image/src/symbol.rs
+
+crates/image/src/lib.rs:
+crates/image/src/arch.rs:
+crates/image/src/builder.rs:
+crates/image/src/image.rs:
+crates/image/src/layout.rs:
+crates/image/src/perms.rs:
+crates/image/src/section.rs:
+crates/image/src/symbol.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/cml_netsim-aaa77f1447de5c0c.d: crates/netsim/src/lib.rs crates/netsim/src/addr.rs crates/netsim/src/ap.rs crates/netsim/src/env.rs crates/netsim/src/pineapple.rs crates/netsim/src/station.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcml_netsim-aaa77f1447de5c0c.rmeta: crates/netsim/src/lib.rs crates/netsim/src/addr.rs crates/netsim/src/ap.rs crates/netsim/src/env.rs crates/netsim/src/pineapple.rs crates/netsim/src/station.rs Cargo.toml
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/addr.rs:
+crates/netsim/src/ap.rs:
+crates/netsim/src/env.rs:
+crates/netsim/src/pineapple.rs:
+crates/netsim/src/station.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cml_netsim-e37c3ed39a03afc5.d: crates/netsim/src/lib.rs crates/netsim/src/addr.rs crates/netsim/src/ap.rs crates/netsim/src/env.rs crates/netsim/src/pineapple.rs crates/netsim/src/station.rs
+
+/root/repo/target/debug/deps/cml_netsim-e37c3ed39a03afc5: crates/netsim/src/lib.rs crates/netsim/src/addr.rs crates/netsim/src/ap.rs crates/netsim/src/env.rs crates/netsim/src/pineapple.rs crates/netsim/src/station.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/addr.rs:
+crates/netsim/src/ap.rs:
+crates/netsim/src/env.rs:
+crates/netsim/src/pineapple.rs:
+crates/netsim/src/station.rs:

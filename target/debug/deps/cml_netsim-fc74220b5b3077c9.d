@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cml_netsim-fc74220b5b3077c9.d: crates/netsim/src/lib.rs crates/netsim/src/addr.rs crates/netsim/src/ap.rs crates/netsim/src/env.rs crates/netsim/src/pineapple.rs crates/netsim/src/station.rs
+
+/root/repo/target/debug/deps/libcml_netsim-fc74220b5b3077c9.rlib: crates/netsim/src/lib.rs crates/netsim/src/addr.rs crates/netsim/src/ap.rs crates/netsim/src/env.rs crates/netsim/src/pineapple.rs crates/netsim/src/station.rs
+
+/root/repo/target/debug/deps/libcml_netsim-fc74220b5b3077c9.rmeta: crates/netsim/src/lib.rs crates/netsim/src/addr.rs crates/netsim/src/ap.rs crates/netsim/src/env.rs crates/netsim/src/pineapple.rs crates/netsim/src/station.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/addr.rs:
+crates/netsim/src/ap.rs:
+crates/netsim/src/env.rs:
+crates/netsim/src/pineapple.rs:
+crates/netsim/src/station.rs:

@@ -1,0 +1,26 @@
+/root/repo/target/debug/deps/cml_vm-115ce098cdc05fd1.d: crates/vm/src/lib.rs crates/vm/src/arm/mod.rs crates/vm/src/arm/asm.rs crates/vm/src/arm/exec.rs crates/vm/src/arm/insn.rs crates/vm/src/dcache.rs crates/vm/src/debug.rs crates/vm/src/fault.rs crates/vm/src/hooks.rs crates/vm/src/loader.rs crates/vm/src/machine.rs crates/vm/src/mem.rs crates/vm/src/regs.rs crates/vm/src/trace.rs crates/vm/src/x86/mod.rs crates/vm/src/x86/asm.rs crates/vm/src/x86/exec.rs crates/vm/src/x86/insn.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcml_vm-115ce098cdc05fd1.rmeta: crates/vm/src/lib.rs crates/vm/src/arm/mod.rs crates/vm/src/arm/asm.rs crates/vm/src/arm/exec.rs crates/vm/src/arm/insn.rs crates/vm/src/dcache.rs crates/vm/src/debug.rs crates/vm/src/fault.rs crates/vm/src/hooks.rs crates/vm/src/loader.rs crates/vm/src/machine.rs crates/vm/src/mem.rs crates/vm/src/regs.rs crates/vm/src/trace.rs crates/vm/src/x86/mod.rs crates/vm/src/x86/asm.rs crates/vm/src/x86/exec.rs crates/vm/src/x86/insn.rs Cargo.toml
+
+crates/vm/src/lib.rs:
+crates/vm/src/arm/mod.rs:
+crates/vm/src/arm/asm.rs:
+crates/vm/src/arm/exec.rs:
+crates/vm/src/arm/insn.rs:
+crates/vm/src/dcache.rs:
+crates/vm/src/debug.rs:
+crates/vm/src/fault.rs:
+crates/vm/src/hooks.rs:
+crates/vm/src/loader.rs:
+crates/vm/src/machine.rs:
+crates/vm/src/mem.rs:
+crates/vm/src/regs.rs:
+crates/vm/src/trace.rs:
+crates/vm/src/x86/mod.rs:
+crates/vm/src/x86/asm.rs:
+crates/vm/src/x86/exec.rs:
+crates/vm/src/x86/insn.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

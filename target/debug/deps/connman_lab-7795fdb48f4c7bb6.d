@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/connman_lab-7795fdb48f4c7bb6.d: src/lib.rs
+
+/root/repo/target/debug/deps/libconnman_lab-7795fdb48f4c7bb6.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libconnman_lab-7795fdb48f4c7bb6.rmeta: src/lib.rs
+
+src/lib.rs:

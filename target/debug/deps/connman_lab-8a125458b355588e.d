@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/connman_lab-8a125458b355588e.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconnman_lab-8a125458b355588e.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

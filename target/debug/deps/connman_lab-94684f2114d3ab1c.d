@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/connman_lab-94684f2114d3ab1c.d: src/lib.rs
+
+/root/repo/target/debug/deps/connman_lab-94684f2114d3ab1c: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/decode_cache-94ae76eacd0f1735.d: crates/vm/tests/decode_cache.rs
+
+/root/repo/target/debug/deps/decode_cache-94ae76eacd0f1735: crates/vm/tests/decode_cache.rs
+
+crates/vm/tests/decode_cache.rs:

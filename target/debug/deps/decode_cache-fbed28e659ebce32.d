@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/decode_cache-fbed28e659ebce32.d: crates/vm/tests/decode_cache.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdecode_cache-fbed28e659ebce32.rmeta: crates/vm/tests/decode_cache.rs Cargo.toml
+
+crates/vm/tests/decode_cache.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dns_codec-e9924f57419af243.d: crates/bench/benches/dns_codec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdns_codec-e9924f57419af243.rmeta: crates/bench/benches/dns_codec.rs Cargo.toml
+
+crates/bench/benches/dns_codec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-3f647e85670cb04e.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-3f647e85670cb04e: tests/failure_injection.rs
+
+tests/failure_injection.rs:

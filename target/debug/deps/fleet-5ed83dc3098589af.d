@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fleet-5ed83dc3098589af.d: tests/fleet.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfleet-5ed83dc3098589af.rmeta: tests/fleet.rs Cargo.toml
+
+tests/fleet.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

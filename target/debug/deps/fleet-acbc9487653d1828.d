@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fleet-acbc9487653d1828.d: tests/fleet.rs
+
+/root/repo/target/debug/deps/fleet-acbc9487653d1828: tests/fleet.rs
+
+tests/fleet.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fleet_throughput-47209ddc14896984.d: crates/bench/benches/fleet_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfleet_throughput-47209ddc14896984.rmeta: crates/bench/benches/fleet_throughput.rs Cargo.toml
+
+crates/bench/benches/fleet_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gadget_search-ee02fdafd03c53c2.d: crates/bench/benches/gadget_search.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgadget_search-ee02fdafd03c53c2.rmeta: crates/bench/benches/gadget_search.rs Cargo.toml
+
+crates/bench/benches/gadget_search.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gadget_soundness-a946e3255df8fb9e.d: crates/exploit/tests/gadget_soundness.rs
+
+/root/repo/target/debug/deps/gadget_soundness-a946e3255df8fb9e: crates/exploit/tests/gadget_soundness.rs
+
+crates/exploit/tests/gadget_soundness.rs:

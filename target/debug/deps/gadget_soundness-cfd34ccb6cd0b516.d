@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gadget_soundness-cfd34ccb6cd0b516.d: crates/exploit/tests/gadget_soundness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgadget_soundness-cfd34ccb6cd0b516.rmeta: crates/exploit/tests/gadget_soundness.rs Cargo.toml
+
+crates/exploit/tests/gadget_soundness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

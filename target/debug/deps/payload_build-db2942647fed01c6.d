@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/payload_build-db2942647fed01c6.d: crates/bench/benches/payload_build.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpayload_build-db2942647fed01c6.rmeta: crates/bench/benches/payload_build.rs Cargo.toml
+
+crates/bench/benches/payload_build.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_isa-5e26ac824d2b6b00.d: crates/vm/tests/prop_isa.rs
+
+/root/repo/target/debug/deps/prop_isa-5e26ac824d2b6b00: crates/vm/tests/prop_isa.rs
+
+crates/vm/tests/prop_isa.rs:

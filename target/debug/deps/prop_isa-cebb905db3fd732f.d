@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_isa-cebb905db3fd732f.d: crates/vm/tests/prop_isa.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_isa-cebb905db3fd732f.rmeta: crates/vm/tests/prop_isa.rs Cargo.toml
+
+crates/vm/tests/prop_isa.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_wire-67a59bce260a2599.d: crates/dns/tests/prop_wire.rs
+
+/root/repo/target/debug/deps/prop_wire-67a59bce260a2599: crates/dns/tests/prop_wire.rs
+
+crates/dns/tests/prop_wire.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_wire-d711d393ccfbd6e7.d: crates/dns/tests/prop_wire.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_wire-d711d393ccfbd6e7.rmeta: crates/dns/tests/prop_wire.rs Cargo.toml
+
+crates/dns/tests/prop_wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

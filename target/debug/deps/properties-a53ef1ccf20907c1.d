@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-a53ef1ccf20907c1.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-a53ef1ccf20907c1: tests/properties.rs
+
+tests/properties.rs:

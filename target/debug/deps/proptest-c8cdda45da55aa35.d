@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-c8cdda45da55aa35.d: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-c8cdda45da55aa35: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/remote_attack-94eaa4bb5997332e.d: tests/remote_attack.rs
+
+/root/repo/target/debug/deps/remote_attack-94eaa4bb5997332e: tests/remote_attack.rs
+
+tests/remote_attack.rs:

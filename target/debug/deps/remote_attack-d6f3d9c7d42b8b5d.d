@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/remote_attack-d6f3d9c7d42b8b5d.d: tests/remote_attack.rs Cargo.toml
+
+/root/repo/target/debug/deps/libremote_attack-d6f3d9c7d42b8b5d.rmeta: tests/remote_attack.rs Cargo.toml
+
+tests/remote_attack.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-6cdadcdc1d4dac75.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-6cdadcdc1d4dac75: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

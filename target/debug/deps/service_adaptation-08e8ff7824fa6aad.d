@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/service_adaptation-08e8ff7824fa6aad.d: crates/exploit/tests/service_adaptation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libservice_adaptation-08e8ff7824fa6aad.rmeta: crates/exploit/tests/service_adaptation.rs Cargo.toml
+
+crates/exploit/tests/service_adaptation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

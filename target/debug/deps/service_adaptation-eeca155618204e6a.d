@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/service_adaptation-eeca155618204e6a.d: crates/exploit/tests/service_adaptation.rs
+
+/root/repo/target/debug/deps/service_adaptation-eeca155618204e6a: crates/exploit/tests/service_adaptation.rs
+
+crates/exploit/tests/service_adaptation.rs:

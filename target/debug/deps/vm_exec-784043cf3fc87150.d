@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vm_exec-784043cf3fc87150.d: crates/bench/benches/vm_exec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvm_exec-784043cf3fc87150.rmeta: crates/bench/benches/vm_exec.rs Cargo.toml
+
+crates/bench/benches/vm_exec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

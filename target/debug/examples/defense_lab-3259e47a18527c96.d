@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/defense_lab-3259e47a18527c96.d: examples/defense_lab.rs
+
+/root/repo/target/debug/examples/defense_lab-3259e47a18527c96: examples/defense_lab.rs
+
+examples/defense_lab.rs:

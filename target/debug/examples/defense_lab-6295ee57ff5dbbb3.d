@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/defense_lab-6295ee57ff5dbbb3.d: examples/defense_lab.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdefense_lab-6295ee57ff5dbbb3.rmeta: examples/defense_lab.rs Cargo.toml
+
+examples/defense_lab.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

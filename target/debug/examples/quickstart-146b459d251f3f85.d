@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-146b459d251f3f85.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-146b459d251f3f85: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/rogue_access_point-0bd3bd59b1747cc7.d: examples/rogue_access_point.rs Cargo.toml
+
+/root/repo/target/debug/examples/librogue_access_point-0bd3bd59b1747cc7.rmeta: examples/rogue_access_point.rs Cargo.toml
+
+examples/rogue_access_point.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/rogue_access_point-d758743155cd36c0.d: examples/rogue_access_point.rs
+
+/root/repo/target/debug/examples/rogue_access_point-d758743155cd36c0: examples/rogue_access_point.rs
+
+examples/rogue_access_point.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/rop_workbench-750631612ce6dc3a.d: examples/rop_workbench.rs Cargo.toml
+
+/root/repo/target/debug/examples/librop_workbench-750631612ce6dc3a.rmeta: examples/rop_workbench.rs Cargo.toml
+
+examples/rop_workbench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

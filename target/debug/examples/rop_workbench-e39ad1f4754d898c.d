@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/rop_workbench-e39ad1f4754d898c.d: examples/rop_workbench.rs
+
+/root/repo/target/debug/examples/rop_workbench-e39ad1f4754d898c: examples/rop_workbench.rs
+
+examples/rop_workbench.rs:

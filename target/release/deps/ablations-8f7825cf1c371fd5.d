@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-8f7825cf1c371fd5.d: crates/bench/benches/ablations.rs
+
+/root/repo/target/release/deps/ablations-8f7825cf1c371fd5: crates/bench/benches/ablations.rs
+
+crates/bench/benches/ablations.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cli-c8845ead6c26be9c.d: tests/cli.rs
+
+/root/repo/target/release/deps/cli-c8845ead6c26be9c: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_cml=/root/repo/target/release/cml

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cml-2debefe2610bb37d.d: src/bin/cml.rs
+
+/root/repo/target/release/deps/cml-2debefe2610bb37d: src/bin/cml.rs
+
+src/bin/cml.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cml-93d3abf993f78e40.d: src/bin/cml.rs
+
+/root/repo/target/release/deps/cml-93d3abf993f78e40: src/bin/cml.rs
+
+src/bin/cml.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/cml_connman-53f20ba998e16a25.d: crates/connman/src/lib.rs crates/connman/src/cache.rs crates/connman/src/daemon.rs crates/connman/src/frame.rs crates/connman/src/outcome.rs crates/connman/src/uncompress.rs crates/connman/src/version.rs
+
+/root/repo/target/release/deps/cml_connman-53f20ba998e16a25: crates/connman/src/lib.rs crates/connman/src/cache.rs crates/connman/src/daemon.rs crates/connman/src/frame.rs crates/connman/src/outcome.rs crates/connman/src/uncompress.rs crates/connman/src/version.rs
+
+crates/connman/src/lib.rs:
+crates/connman/src/cache.rs:
+crates/connman/src/daemon.rs:
+crates/connman/src/frame.rs:
+crates/connman/src/outcome.rs:
+crates/connman/src/uncompress.rs:
+crates/connman/src/version.rs:

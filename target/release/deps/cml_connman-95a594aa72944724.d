@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/cml_connman-95a594aa72944724.d: crates/connman/src/lib.rs crates/connman/src/cache.rs crates/connman/src/daemon.rs crates/connman/src/frame.rs crates/connman/src/outcome.rs crates/connman/src/uncompress.rs crates/connman/src/version.rs
+
+/root/repo/target/release/deps/libcml_connman-95a594aa72944724.rlib: crates/connman/src/lib.rs crates/connman/src/cache.rs crates/connman/src/daemon.rs crates/connman/src/frame.rs crates/connman/src/outcome.rs crates/connman/src/uncompress.rs crates/connman/src/version.rs
+
+/root/repo/target/release/deps/libcml_connman-95a594aa72944724.rmeta: crates/connman/src/lib.rs crates/connman/src/cache.rs crates/connman/src/daemon.rs crates/connman/src/frame.rs crates/connman/src/outcome.rs crates/connman/src/uncompress.rs crates/connman/src/version.rs
+
+crates/connman/src/lib.rs:
+crates/connman/src/cache.rs:
+crates/connman/src/daemon.rs:
+crates/connman/src/frame.rs:
+crates/connman/src/outcome.rs:
+crates/connman/src/uncompress.rs:
+crates/connman/src/version.rs:

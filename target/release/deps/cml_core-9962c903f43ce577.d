@@ -1,0 +1,21 @@
+/root/repo/target/release/deps/cml_core-9962c903f43ce577.d: crates/core/src/lib.rs crates/core/src/device.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/e1.rs crates/core/src/experiments/e2.rs crates/core/src/experiments/e3.rs crates/core/src/experiments/e4.rs crates/core/src/experiments/e5.rs crates/core/src/experiments/e6.rs crates/core/src/experiments/e7.rs crates/core/src/experiments/e8.rs crates/core/src/fleet.rs crates/core/src/lab.rs crates/core/src/report.rs crates/core/src/runner.rs
+
+/root/repo/target/release/deps/libcml_core-9962c903f43ce577.rlib: crates/core/src/lib.rs crates/core/src/device.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/e1.rs crates/core/src/experiments/e2.rs crates/core/src/experiments/e3.rs crates/core/src/experiments/e4.rs crates/core/src/experiments/e5.rs crates/core/src/experiments/e6.rs crates/core/src/experiments/e7.rs crates/core/src/experiments/e8.rs crates/core/src/fleet.rs crates/core/src/lab.rs crates/core/src/report.rs crates/core/src/runner.rs
+
+/root/repo/target/release/deps/libcml_core-9962c903f43ce577.rmeta: crates/core/src/lib.rs crates/core/src/device.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/e1.rs crates/core/src/experiments/e2.rs crates/core/src/experiments/e3.rs crates/core/src/experiments/e4.rs crates/core/src/experiments/e5.rs crates/core/src/experiments/e6.rs crates/core/src/experiments/e7.rs crates/core/src/experiments/e8.rs crates/core/src/fleet.rs crates/core/src/lab.rs crates/core/src/report.rs crates/core/src/runner.rs
+
+crates/core/src/lib.rs:
+crates/core/src/device.rs:
+crates/core/src/experiments/mod.rs:
+crates/core/src/experiments/e1.rs:
+crates/core/src/experiments/e2.rs:
+crates/core/src/experiments/e3.rs:
+crates/core/src/experiments/e4.rs:
+crates/core/src/experiments/e5.rs:
+crates/core/src/experiments/e6.rs:
+crates/core/src/experiments/e7.rs:
+crates/core/src/experiments/e8.rs:
+crates/core/src/fleet.rs:
+crates/core/src/lab.rs:
+crates/core/src/report.rs:
+crates/core/src/runner.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/cml_firmware-60659d8929d917d2.d: crates/firmware/src/lib.rs crates/firmware/src/build.rs crates/firmware/src/profile.rs
+
+/root/repo/target/release/deps/libcml_firmware-60659d8929d917d2.rlib: crates/firmware/src/lib.rs crates/firmware/src/build.rs crates/firmware/src/profile.rs
+
+/root/repo/target/release/deps/libcml_firmware-60659d8929d917d2.rmeta: crates/firmware/src/lib.rs crates/firmware/src/build.rs crates/firmware/src/profile.rs
+
+crates/firmware/src/lib.rs:
+crates/firmware/src/build.rs:
+crates/firmware/src/profile.rs:

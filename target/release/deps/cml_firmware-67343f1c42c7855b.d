@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cml_firmware-67343f1c42c7855b.d: crates/firmware/src/lib.rs crates/firmware/src/build.rs crates/firmware/src/profile.rs
+
+/root/repo/target/release/deps/cml_firmware-67343f1c42c7855b: crates/firmware/src/lib.rs crates/firmware/src/build.rs crates/firmware/src/profile.rs
+
+crates/firmware/src/lib.rs:
+crates/firmware/src/build.rs:
+crates/firmware/src/profile.rs:

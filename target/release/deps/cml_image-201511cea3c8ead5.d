@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/cml_image-201511cea3c8ead5.d: crates/image/src/lib.rs crates/image/src/arch.rs crates/image/src/builder.rs crates/image/src/image.rs crates/image/src/layout.rs crates/image/src/perms.rs crates/image/src/section.rs crates/image/src/symbol.rs
+
+/root/repo/target/release/deps/libcml_image-201511cea3c8ead5.rlib: crates/image/src/lib.rs crates/image/src/arch.rs crates/image/src/builder.rs crates/image/src/image.rs crates/image/src/layout.rs crates/image/src/perms.rs crates/image/src/section.rs crates/image/src/symbol.rs
+
+/root/repo/target/release/deps/libcml_image-201511cea3c8ead5.rmeta: crates/image/src/lib.rs crates/image/src/arch.rs crates/image/src/builder.rs crates/image/src/image.rs crates/image/src/layout.rs crates/image/src/perms.rs crates/image/src/section.rs crates/image/src/symbol.rs
+
+crates/image/src/lib.rs:
+crates/image/src/arch.rs:
+crates/image/src/builder.rs:
+crates/image/src/image.rs:
+crates/image/src/layout.rs:
+crates/image/src/perms.rs:
+crates/image/src/section.rs:
+crates/image/src/symbol.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/cml_image-c376c3917b01586f.d: crates/image/src/lib.rs crates/image/src/arch.rs crates/image/src/builder.rs crates/image/src/image.rs crates/image/src/layout.rs crates/image/src/perms.rs crates/image/src/section.rs crates/image/src/symbol.rs
+
+/root/repo/target/release/deps/cml_image-c376c3917b01586f: crates/image/src/lib.rs crates/image/src/arch.rs crates/image/src/builder.rs crates/image/src/image.rs crates/image/src/layout.rs crates/image/src/perms.rs crates/image/src/section.rs crates/image/src/symbol.rs
+
+crates/image/src/lib.rs:
+crates/image/src/arch.rs:
+crates/image/src/builder.rs:
+crates/image/src/image.rs:
+crates/image/src/layout.rs:
+crates/image/src/perms.rs:
+crates/image/src/section.rs:
+crates/image/src/symbol.rs:

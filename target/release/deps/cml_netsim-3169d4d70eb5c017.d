@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/cml_netsim-3169d4d70eb5c017.d: crates/netsim/src/lib.rs crates/netsim/src/addr.rs crates/netsim/src/ap.rs crates/netsim/src/env.rs crates/netsim/src/pineapple.rs crates/netsim/src/station.rs
+
+/root/repo/target/release/deps/cml_netsim-3169d4d70eb5c017: crates/netsim/src/lib.rs crates/netsim/src/addr.rs crates/netsim/src/ap.rs crates/netsim/src/env.rs crates/netsim/src/pineapple.rs crates/netsim/src/station.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/addr.rs:
+crates/netsim/src/ap.rs:
+crates/netsim/src/env.rs:
+crates/netsim/src/pineapple.rs:
+crates/netsim/src/station.rs:

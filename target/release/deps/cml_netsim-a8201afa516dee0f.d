@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/cml_netsim-a8201afa516dee0f.d: crates/netsim/src/lib.rs crates/netsim/src/addr.rs crates/netsim/src/ap.rs crates/netsim/src/env.rs crates/netsim/src/pineapple.rs crates/netsim/src/station.rs
+
+/root/repo/target/release/deps/libcml_netsim-a8201afa516dee0f.rlib: crates/netsim/src/lib.rs crates/netsim/src/addr.rs crates/netsim/src/ap.rs crates/netsim/src/env.rs crates/netsim/src/pineapple.rs crates/netsim/src/station.rs
+
+/root/repo/target/release/deps/libcml_netsim-a8201afa516dee0f.rmeta: crates/netsim/src/lib.rs crates/netsim/src/addr.rs crates/netsim/src/ap.rs crates/netsim/src/env.rs crates/netsim/src/pineapple.rs crates/netsim/src/station.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/addr.rs:
+crates/netsim/src/ap.rs:
+crates/netsim/src/env.rs:
+crates/netsim/src/pineapple.rs:
+crates/netsim/src/station.rs:

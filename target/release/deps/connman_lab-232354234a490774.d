@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/connman_lab-232354234a490774.d: src/lib.rs
+
+/root/repo/target/release/deps/libconnman_lab-232354234a490774.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libconnman_lab-232354234a490774.rmeta: src/lib.rs
+
+src/lib.rs:

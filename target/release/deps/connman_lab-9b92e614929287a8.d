@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/connman_lab-9b92e614929287a8.d: src/lib.rs
+
+/root/repo/target/release/deps/connman_lab-9b92e614929287a8: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/decode_cache-e31764b0bd72586e.d: crates/vm/tests/decode_cache.rs
+
+/root/repo/target/release/deps/decode_cache-e31764b0bd72586e: crates/vm/tests/decode_cache.rs
+
+crates/vm/tests/decode_cache.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dns_codec-af8f3d90602ba155.d: crates/bench/benches/dns_codec.rs
+
+/root/repo/target/release/deps/dns_codec-af8f3d90602ba155: crates/bench/benches/dns_codec.rs
+
+crates/bench/benches/dns_codec.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-bd46b9105bcdcab3.d: crates/bench/benches/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-bd46b9105bcdcab3: crates/bench/benches/end_to_end.rs
+
+crates/bench/benches/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/failure_injection-727b21d90d2cbe55.d: tests/failure_injection.rs
+
+/root/repo/target/release/deps/failure_injection-727b21d90d2cbe55: tests/failure_injection.rs
+
+tests/failure_injection.rs:

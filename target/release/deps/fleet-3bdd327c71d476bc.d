@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fleet-3bdd327c71d476bc.d: tests/fleet.rs
+
+/root/repo/target/release/deps/fleet-3bdd327c71d476bc: tests/fleet.rs
+
+tests/fleet.rs:

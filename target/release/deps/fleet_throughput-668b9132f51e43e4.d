@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fleet_throughput-668b9132f51e43e4.d: crates/bench/benches/fleet_throughput.rs
+
+/root/repo/target/release/deps/fleet_throughput-668b9132f51e43e4: crates/bench/benches/fleet_throughput.rs
+
+crates/bench/benches/fleet_throughput.rs:

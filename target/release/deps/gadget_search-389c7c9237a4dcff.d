@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gadget_search-389c7c9237a4dcff.d: crates/bench/benches/gadget_search.rs
+
+/root/repo/target/release/deps/gadget_search-389c7c9237a4dcff: crates/bench/benches/gadget_search.rs
+
+crates/bench/benches/gadget_search.rs:

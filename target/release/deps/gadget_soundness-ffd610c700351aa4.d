@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gadget_soundness-ffd610c700351aa4.d: crates/exploit/tests/gadget_soundness.rs
+
+/root/repo/target/release/deps/gadget_soundness-ffd610c700351aa4: crates/exploit/tests/gadget_soundness.rs
+
+crates/exploit/tests/gadget_soundness.rs:

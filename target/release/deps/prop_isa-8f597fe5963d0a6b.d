@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop_isa-8f597fe5963d0a6b.d: crates/vm/tests/prop_isa.rs
+
+/root/repo/target/release/deps/prop_isa-8f597fe5963d0a6b: crates/vm/tests/prop_isa.rs
+
+crates/vm/tests/prop_isa.rs:

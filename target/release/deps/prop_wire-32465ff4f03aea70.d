@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop_wire-32465ff4f03aea70.d: crates/dns/tests/prop_wire.rs
+
+/root/repo/target/release/deps/prop_wire-32465ff4f03aea70: crates/dns/tests/prop_wire.rs
+
+crates/dns/tests/prop_wire.rs:

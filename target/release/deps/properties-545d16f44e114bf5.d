@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-545d16f44e114bf5.d: tests/properties.rs
+
+/root/repo/target/release/deps/properties-545d16f44e114bf5: tests/properties.rs
+
+tests/properties.rs:

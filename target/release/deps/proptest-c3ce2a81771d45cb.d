@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-c3ce2a81771d45cb.d: shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-c3ce2a81771d45cb.rlib: shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-c3ce2a81771d45cb.rmeta: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/remote_attack-2463f3c1c246e038.d: tests/remote_attack.rs
+
+/root/repo/target/release/deps/remote_attack-2463f3c1c246e038: tests/remote_attack.rs
+
+tests/remote_attack.rs:

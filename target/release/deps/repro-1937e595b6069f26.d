@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-1937e595b6069f26.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-1937e595b6069f26: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

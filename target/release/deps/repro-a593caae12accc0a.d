@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-a593caae12accc0a.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-a593caae12accc0a: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/service_adaptation-bec9ed13a177e6bc.d: crates/exploit/tests/service_adaptation.rs
+
+/root/repo/target/release/deps/service_adaptation-bec9ed13a177e6bc: crates/exploit/tests/service_adaptation.rs
+
+crates/exploit/tests/service_adaptation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/vm_exec-22b9d11dbd6991dc.d: crates/bench/benches/vm_exec.rs
+
+/root/repo/target/release/deps/vm_exec-22b9d11dbd6991dc: crates/bench/benches/vm_exec.rs
+
+crates/bench/benches/vm_exec.rs:

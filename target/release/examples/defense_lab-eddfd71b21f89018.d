@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/defense_lab-eddfd71b21f89018.d: examples/defense_lab.rs
+
+/root/repo/target/release/examples/defense_lab-eddfd71b21f89018: examples/defense_lab.rs
+
+examples/defense_lab.rs:

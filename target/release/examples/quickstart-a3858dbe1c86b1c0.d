@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-a3858dbe1c86b1c0.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-a3858dbe1c86b1c0: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/rogue_access_point-83d07b18c21a49ab.d: examples/rogue_access_point.rs
+
+/root/repo/target/release/examples/rogue_access_point-83d07b18c21a49ab: examples/rogue_access_point.rs
+
+examples/rogue_access_point.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/rop_workbench-a589b31785e83143.d: examples/rop_workbench.rs
+
+/root/repo/target/release/examples/rop_workbench-a589b31785e83143: examples/rop_workbench.rs
+
+examples/rop_workbench.rs:

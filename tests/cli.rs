@@ -18,7 +18,14 @@ fn cml(args: &[&str]) -> (String, String, Option<i32>) {
 fn help_lists_commands() {
     let (_, err, code) = cml(&["--help"]);
     assert_eq!(code, Some(0));
-    for cmd in ["survey", "recon", "exploit", "dos", "pineapple", "experiments"] {
+    for cmd in [
+        "survey",
+        "recon",
+        "exploit",
+        "dos",
+        "pineapple",
+        "experiments",
+    ] {
         assert!(err.contains(cmd), "missing {cmd} in help:\n{err}");
     }
 }
@@ -42,7 +49,13 @@ fn recon_prints_frame_and_gadgets() {
 #[test]
 fn exploit_rop_spawns_shell_and_prints_listing() {
     let (out, err, code) = cml(&[
-        "exploit", "--arch", "x86", "--prot", "full", "--strategy", "rop",
+        "exploit",
+        "--arch",
+        "x86",
+        "--prot",
+        "full",
+        "--strategy",
+        "rop",
     ]);
     assert_eq!(code, Some(0), "stderr: {err}\nstdout: {out}");
     assert!(out.contains("outcome   : root shell"), "{out}");
@@ -52,10 +65,19 @@ fn exploit_rop_spawns_shell_and_prints_listing() {
 #[test]
 fn exploit_blocked_returns_nonzero() {
     let (out, _, code) = cml(&[
-        "exploit", "--arch", "arm", "--prot", "full+cfi", "--strategy", "rop",
+        "exploit",
+        "--arch",
+        "arm",
+        "--prot",
+        "full+cfi",
+        "--strategy",
+        "rop",
     ]);
     assert_eq!(code, Some(2), "{out}");
-    assert!(out.contains("DoS (crash)") || out.contains("survived"), "{out}");
+    assert!(
+        out.contains("DoS (crash)") || out.contains("survived"),
+        "{out}"
+    );
 }
 
 #[test]

@@ -28,7 +28,10 @@ fn truncated_packets_rejected_cleanly() {
     for cut in [0, 1, 5, 11, 12, 20, full.len() / 2] {
         let out = daemon.deliver_response(&full[..cut]);
         assert!(
-            matches!(out, ProxyOutcome::Rejected(_) | ProxyOutcome::ParseFailed { .. }),
+            matches!(
+                out,
+                ProxyOutcome::Rejected(_) | ProxyOutcome::ParseFailed { .. }
+            ),
             "cut at {cut}: {out}"
         );
         assert!(daemon.is_running(), "cut at {cut}");
@@ -60,9 +63,15 @@ fn pointer_loop_terminates_without_hanging() {
             .with_payload_labels(vec![b"loop".to_vec()])
             .unwrap();
         let off = forge.answer_name_offset();
-        let bytes = forge.terminate(NameTermination::Pointer(off)).build().unwrap();
+        let bytes = forge
+            .terminate(NameTermination::Pointer(off))
+            .build()
+            .unwrap();
         let out = daemon.deliver_response(&bytes);
-        assert!(matches!(out, ProxyOutcome::ParseFailed { .. }), "{kind:?}: {out}");
+        assert!(
+            matches!(out, ProxyOutcome::ParseFailed { .. }),
+            "{kind:?}: {out}"
+        );
         assert!(daemon.is_running());
     }
 }
@@ -79,7 +88,11 @@ fn wrong_arch_payload_crashes_but_never_shells() {
     let fw2 = x86_fw.clone();
     let info =
         TargetInfo::gather(x86_fw.image(), move || fw2.boot(Protections::none(), 5)).unwrap();
-    let labels = RopMemcpyChain::new(Arch::X86).build(&info).unwrap().to_labels().unwrap();
+    let labels = RopMemcpyChain::new(Arch::X86)
+        .build(&info)
+        .unwrap()
+        .to_labels()
+        .unwrap();
 
     let arm_fw = Firmware::build(FirmwareKind::OpenElec, Arch::Armv7);
     let mut victim = arm_fw.boot(Protections::none(), 9);
@@ -124,7 +137,10 @@ fn response_flood_with_wrong_ids_changes_nothing() {
         let out = daemon.deliver_response(&attack);
         assert!(matches!(out, ProxyOutcome::Rejected(_)), "id {id}: {out}");
     }
-    assert!(daemon.is_running(), "spoofing without the txid goes nowhere");
+    assert!(
+        daemon.is_running(),
+        "spoofing without the txid goes nowhere"
+    );
 }
 
 #[test]

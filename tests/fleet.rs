@@ -10,9 +10,7 @@ use connman_lab::exploit::{MaliciousDnsServer, RopMemcpyChain};
 use connman_lab::netsim::{
     share, AccessPoint, ApConfig, DhcpConfig, HwAddr, RadioEnvironment, Ssid, WifiPineapple,
 };
-use connman_lab::{
-    Arch, ExploitStrategy, Firmware, FirmwareKind, IotDevice, Lab, Protections,
-};
+use connman_lab::{Arch, ExploitStrategy, Firmware, FirmwareKind, IotDevice, Lab, Protections};
 
 #[test]
 fn one_pineapple_harvests_a_heterogeneous_fleet() {
@@ -46,7 +44,13 @@ fn one_pineapple_harvests_a_heterogeneous_fleet() {
         let fw = Firmware::build(FirmwareKind::OpenElec, Arch::Armv7);
         fleet.push((
             format!("smart-tv-{i}"),
-            IotDevice::boot(&fw, protections, 100 + i as u64, HwAddr::local(0x10 + i), ssid.clone()),
+            IotDevice::boot(
+                &fw,
+                protections,
+                100 + i as u64,
+                HwAddr::local(0x10 + i),
+                ssid.clone(),
+            ),
             true,
         ));
     }
@@ -54,7 +58,13 @@ fn one_pineapple_harvests_a_heterogeneous_fleet() {
         let fw = Firmware::build(FirmwareKind::Yocto, Arch::X86);
         fleet.push((
             format!("thermostat-{i}"),
-            IotDevice::boot(&fw, protections, 200 + i as u64, HwAddr::local(0x20 + i), ssid.clone()),
+            IotDevice::boot(
+                &fw,
+                protections,
+                200 + i as u64,
+                HwAddr::local(0x20 + i),
+                ssid.clone(),
+            ),
             true,
         ));
     }
@@ -62,7 +72,13 @@ fn one_pineapple_harvests_a_heterogeneous_fleet() {
         let fw = Firmware::build(FirmwareKind::Patched, Arch::Armv7);
         fleet.push((
             format!("updated-cam-{i}"),
-            IotDevice::boot(&fw, protections, 300 + i as u64, HwAddr::local(0x30 + i), ssid.clone()),
+            IotDevice::boot(
+                &fw,
+                protections,
+                300 + i as u64,
+                HwAddr::local(0x30 + i),
+                ssid.clone(),
+            ),
             false,
         ));
     }
@@ -82,8 +98,9 @@ fn one_pineapple_harvests_a_heterogeneous_fleet() {
     let (_, arm_payload) = payloads.iter().find(|(a, _)| *a == Arch::Armv7).unwrap();
     let (_, x86_payload) = payloads.iter().find(|(a, _)| *a == Arch::X86).unwrap();
     let mut evil_arm = MaliciousDnsServer::new(arm_payload).unwrap();
-    let pineapple = WifiPineapple::deploy(&mut env, &ssid, share(move |p: &[u8]| evil_arm.handle(p)))
-        .expect("ssid on air");
+    let pineapple =
+        WifiPineapple::deploy(&mut env, &ssid, share(move |p: &[u8]| evil_arm.handle(p)))
+            .expect("ssid on air");
 
     // Round one: every device re-scans (hops to the stronger clone) and
     // phones home — ARM devices die here.
@@ -95,7 +112,10 @@ fn one_pineapple_harvests_a_heterogeneous_fleet() {
 
     // Round two: swap in the x86 payload and let survivors look up again.
     let mut evil_x86 = MaliciousDnsServer::new(x86_payload).unwrap();
-    env.register_service(pineapple.dns_addr(), share(move |p: &[u8]| evil_x86.handle(p)));
+    env.register_service(
+        pineapple.dns_addr(),
+        share(move |p: &[u8]| evil_x86.handle(p)),
+    );
     for (name, dev, _) in fleet.iter_mut() {
         let fresh = Name::parse(&format!("round2-{name}.vendor.example")).unwrap();
         let _ = dev.lookup(&mut env, &fresh, RecordType::A);
@@ -112,4 +132,20 @@ fn one_pineapple_harvests_a_heterogeneous_fleet() {
         }
     }
     assert_eq!(compromised, 5, "the whole vulnerable fleet fell");
+}
+
+/// The throughput-oriented fleet runner must be deterministic in its
+/// worker count: device seeds derive from the device index, not from
+/// scheduling order, and results merge in fleet order.
+#[test]
+fn fleet_scenario_is_byte_identical_serial_vs_parallel() {
+    use connman_lab::fleet::{run_fleet, FleetSpec};
+
+    let spec = FleetSpec::heterogeneous(25, 0xBEEF);
+    let serial = run_fleet(&spec, 1);
+    let parallel = run_fleet(&spec, 4);
+    assert_eq!(serial.render(), parallel.render());
+    assert_eq!(serial.compromised(), parallel.compromised());
+    // Re-running the same spec reproduces the same bytes, too.
+    assert_eq!(parallel.render(), run_fleet(&spec, 3).render());
 }

@@ -9,7 +9,9 @@ use connman_lab::netsim::{
     share, AccessPoint, ApConfig, DhcpConfig, HwAddr, NetEvent, RadioEnvironment, Ssid,
     WifiPineapple,
 };
-use connman_lab::{Arch, ExploitStrategy, FirmwareKind, IotDevice, Lab, LookupOutcome, Protections};
+use connman_lab::{
+    Arch, ExploitStrategy, FirmwareKind, IotDevice, Lab, LookupOutcome, Protections,
+};
 
 fn legit_env(dns: Ipv4Addr) -> RadioEnvironment {
     let mut env = RadioEnvironment::new();
@@ -48,9 +50,12 @@ fn pineapple_compromises_stock_device() {
     ));
 
     let mut evil = MaliciousDnsServer::new(&payload).unwrap();
-    let pineapple =
-        WifiPineapple::deploy(&mut env, &Ssid::new("FieldNet"), share(move |p: &[u8]| evil.handle(p)))
-            .unwrap();
+    let pineapple = WifiPineapple::deploy(
+        &mut env,
+        &Ssid::new("FieldNet"),
+        share(move |p: &[u8]| evil.handle(p)),
+    )
+    .unwrap();
     assert!(device.reconnect(&mut env), "device lured");
     assert_eq!(device.station().dns_server(), Some(pineapple.dns_addr()));
 
@@ -62,7 +67,9 @@ fn pineapple_compromises_stock_device() {
     // The network transcript shows the full story.
     let events = env.events();
     assert!(events.iter().any(|e| matches!(e, NetEvent::ApUp { .. })));
-    assert!(events.iter().any(|e| matches!(e, NetEvent::Associated { .. })));
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, NetEvent::Associated { .. })));
     assert!(events
         .iter()
         .any(|e| matches!(e, NetEvent::Delivered { answered: true, .. })));
@@ -91,8 +98,12 @@ fn cached_entries_never_touch_the_rogue_resolver() {
     device.lookup(&mut env, &host, RecordType::A);
 
     let mut evil = MaliciousDnsServer::new(&payload).unwrap();
-    WifiPineapple::deploy(&mut env, &Ssid::new("FieldNet"), share(move |p: &[u8]| evil.handle(p)))
-        .unwrap();
+    WifiPineapple::deploy(
+        &mut env,
+        &Ssid::new("FieldNet"),
+        share(move |p: &[u8]| evil.handle(p)),
+    )
+    .unwrap();
     device.reconnect(&mut env);
 
     // Cached lookup: safe. Fresh name: compromised.
@@ -127,8 +138,12 @@ fn patched_device_survives_the_pineapple() {
     device.reconnect(&mut env);
 
     let mut evil = MaliciousDnsServer::new(&payload).unwrap();
-    WifiPineapple::deploy(&mut env, &Ssid::new("FieldNet"), share(move |p: &[u8]| evil.handle(p)))
-        .unwrap();
+    WifiPineapple::deploy(
+        &mut env,
+        &Ssid::new("FieldNet"),
+        share(move |p: &[u8]| evil.handle(p)),
+    )
+    .unwrap();
     device.reconnect(&mut env);
     let host = Name::parse("ota.vendor.example").unwrap();
     let outcome = device.lookup(&mut env, &host, RecordType::A);
@@ -177,7 +192,10 @@ fn dns_cache_poisoning_alternative_vector() {
     let host = Name::parse("payments.vendor.example").unwrap();
     let out = device.lookup(&mut env, &host, RecordType::A);
     assert!(
-        matches!(out, LookupOutcome::Network(connman_lab::ProxyOutcome::Answered { .. })),
+        matches!(
+            out,
+            LookupOutcome::Network(connman_lab::ProxyOutcome::Answered { .. })
+        ),
         "{out}"
     );
 
