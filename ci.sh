@@ -17,4 +17,10 @@ cargo build --workspace --release --offline
 echo "==> cargo test"
 cargo test --workspace --release --offline -q
 
+echo "==> cml analyze --self-test"
+cargo run --release --offline -q -p connman-lab --bin cml -- analyze --self-test
+
+echo "==> cargo doc --no-deps"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline -q
+
 echo "CI green."

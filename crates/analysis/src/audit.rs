@@ -1,0 +1,114 @@
+//! Mitigation audit: W⊕X posture, stack-canary instrumentation, and
+//! per-section gadget surface.
+//!
+//! The audit is deliberately separate from the taint pass: taint
+//! findings are about the *code* (and vanish on the patched body),
+//! while the audit describes the *deployment* — an image loaded with
+//! the no-protection profile keeps an executable stack regardless of
+//! which `parse_response` flavour it carries, exactly as the paper's
+//! OpenElec target does.
+
+use cml_exploit::GadgetSet;
+use cml_image::Image;
+
+use crate::cfg::Cfg;
+
+/// Audit row for one section.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SectionAudit {
+    /// Section name (`".text"`, `"[stack]"`, ...).
+    pub name: String,
+    /// Permission string, `"rwx"` style.
+    pub perms: String,
+    /// Section size in bytes.
+    pub size: u32,
+    /// Whether the section is executable.
+    pub executable: bool,
+    /// Whether the section is both writable and executable.
+    pub wx_violation: bool,
+    /// ROP/JOP gadgets found in the section (fixed sections only; the
+    /// scanner skips ASLR-randomized regions).
+    pub gadgets: usize,
+    /// Gadgets per KiB of section, the paper's surface metric.
+    pub gadget_density_per_kib: f64,
+}
+
+/// Whole-image mitigation report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuditReport {
+    /// Names of sections mapped writable *and* executable.
+    pub wx_violations: Vec<String>,
+    /// Whether any call edge targets a `__stack_chk`-style guard —
+    /// i.e. whether the compiler emitted stack canaries.
+    pub canary_instrumented: bool,
+    /// Total gadget count across fixed executable sections.
+    pub gadget_total: usize,
+    /// Per-section rows, in image order.
+    pub sections: Vec<SectionAudit>,
+}
+
+/// Audits an image's mitigation posture.
+pub fn audit(image: &Image, cfg: &Cfg) -> AuditReport {
+    let gadgets = GadgetSet::scan(image);
+    let mut sections = Vec::new();
+    let mut wx_violations = Vec::new();
+    for section in image.sections() {
+        let name = section.kind().name().to_string();
+        let in_section = gadgets.iter().filter(|g| section.contains(g.addr)).count();
+        let wx = section.perms().violates_wxorx();
+        if wx {
+            wx_violations.push(name.clone());
+        }
+        let kib = f64::from(section.size().max(1)) / 1024.0;
+        sections.push(SectionAudit {
+            name,
+            perms: section.perms().to_string(),
+            size: section.size(),
+            executable: section.perms().executable(),
+            wx_violation: wx,
+            gadgets: in_section,
+            gadget_density_per_kib: in_section as f64 / kib,
+        });
+    }
+    AuditReport {
+        wx_violations,
+        canary_instrumented: cfg
+            .call_edges
+            .iter()
+            .any(|e| e.callee.contains("stack_chk")),
+        gadget_total: gadgets.len(),
+        sections,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg;
+    use cml_firmware::build_image_for;
+    use cml_image::Arch;
+
+    #[test]
+    fn flags_executable_stack_and_counts_gadgets() {
+        for arch in Arch::ALL {
+            let (img, _) = build_image_for(arch, 0, false);
+            let report = audit(&img, &cfg::recover(&img));
+            assert!(
+                report.wx_violations.iter().any(|n| n == "[stack]"),
+                "{arch}: no-protection stack must be rwx"
+            );
+            assert!(report.gadget_total > 0, "{arch}");
+            assert!(
+                !report.canary_instrumented,
+                "{arch}: lab images carry no canaries"
+            );
+            let text = report
+                .sections
+                .iter()
+                .find(|s| s.name == ".text")
+                .expect("text row");
+            assert!(text.executable && !text.wx_violation, "{arch}");
+            assert!(text.gadget_density_per_kib > 0.0, "{arch}");
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! `cml-analyze`: static binary analysis for connman-lab firmware
+//! images.
+//!
+//! Where the rest of the workspace *exploits* CVE-2017-12865, this
+//! crate *detects* it without executing a single instruction:
+//!
+//! 1. [`cfg::recover`] lifts every function symbol into a control-flow
+//!    graph using the VM's own decoders through a predecode memo (the
+//!    static twin of the interpreter's decode cache).
+//! 2. [`taint::taint_pass`] runs an abstract interpretation that flags
+//!    DNS-response bytes flowing into a fixed-size stack buffer through
+//!    a copy loop with no untainted bound — the `get_name` bug shape.
+//!    It fires on the vulnerable 1.34 body and stays quiet on the
+//!    bounds-checked 1.35 body.
+//! 3. [`audit::audit`] reports the mitigation posture: W⊕X violations,
+//!    canary instrumentation, and per-section gadget surface.
+//!
+//! [`analyze`] bundles all three into an [`AnalysisReport`] with a
+//! stable machine-readable JSON rendering (`cml-analyze/v1`), and
+//! [`self_test`] is the CI entry point behind `cml analyze
+//! --self-test`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod audit;
+pub mod cfg;
+pub mod json;
+pub mod taint;
+
+use cml_image::Image;
+
+pub use audit::{AuditReport, SectionAudit};
+pub use cfg::{Cfg, CfgStats};
+pub use taint::{TaintConfig, TaintFinding};
+
+/// Everything the analyzer has to say about one image.
+#[derive(Debug, Clone)]
+pub struct AnalysisReport {
+    /// Architecture name (`"x86"` / `"armv7"` style, from the image).
+    pub arch: String,
+    /// CFG size metrics.
+    pub cfg: CfgStats,
+    /// Taint findings (empty on a patched image).
+    pub findings: Vec<TaintFinding>,
+    /// Mitigation posture.
+    pub audit: AuditReport,
+}
+
+impl AnalysisReport {
+    /// Whether the taint pass found nothing. The audit is intentionally
+    /// excluded: an executable stack is a property of the deployment,
+    /// not of the `parse_response` body.
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Renders the report as a `cml-analyze/v1` JSON document.
+    pub fn to_json(&self) -> json::Value {
+        use json::{n, s, Value};
+        let hex = |a: u32| s(format!("{a:#010x}"));
+        let findings = self
+            .findings
+            .iter()
+            .map(|f| {
+                Value::Obj(vec![
+                    ("function".into(), s(f.function.clone())),
+                    ("store_addr".into(), hex(f.store_addr)),
+                    ("loop_head".into(), hex(f.loop_head)),
+                    ("source".into(), s(f.source.clone())),
+                    ("sink".into(), s(f.sink.clone())),
+                    ("capacity".into(), n(f.capacity)),
+                ])
+            })
+            .collect();
+        let sections = self
+            .audit
+            .sections
+            .iter()
+            .map(|sec| {
+                Value::Obj(vec![
+                    ("name".into(), s(sec.name.clone())),
+                    ("perms".into(), s(sec.perms.clone())),
+                    ("size".into(), n(sec.size)),
+                    ("executable".into(), Value::Bool(sec.executable)),
+                    ("wx_violation".into(), Value::Bool(sec.wx_violation)),
+                    ("gadgets".into(), n(sec.gadgets as u32)),
+                    (
+                        "gadget_density_per_kib".into(),
+                        n(sec.gadget_density_per_kib),
+                    ),
+                ])
+            })
+            .collect();
+        Value::Obj(vec![
+            ("schema".into(), s("cml-analyze/v1")),
+            ("arch".into(), s(self.arch.clone())),
+            (
+                "cfg".into(),
+                Value::Obj(vec![
+                    ("functions".into(), n(self.cfg.functions as u32)),
+                    ("blocks".into(), n(self.cfg.blocks as u32)),
+                    ("instructions".into(), n(self.cfg.instructions as u32)),
+                    ("call_edges".into(), n(self.cfg.call_edges as u32)),
+                    ("decode_hits".into(), n(self.cfg.decode_hits as u32)),
+                    ("decode_misses".into(), n(self.cfg.decode_misses as u32)),
+                ]),
+            ),
+            ("clean".into(), Value::Bool(self.clean())),
+            ("findings".into(), Value::Arr(findings)),
+            (
+                "audit".into(),
+                Value::Obj(vec![
+                    (
+                        "wx_violations".into(),
+                        Value::Arr(
+                            self.audit
+                                .wx_violations
+                                .iter()
+                                .map(|v| s(v.clone()))
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "canary_instrumented".into(),
+                        Value::Bool(self.audit.canary_instrumented),
+                    ),
+                    ("gadget_total".into(), n(self.audit.gadget_total as u32)),
+                    ("sections".into(), Value::Arr(sections)),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// Runs the full pipeline — CFG recovery, taint pass, mitigation
+/// audit — over one image with the default [`TaintConfig`].
+pub fn analyze(image: &Image) -> AnalysisReport {
+    analyze_with(image, &TaintConfig::default())
+}
+
+/// [`analyze`] with an explicit source/sink configuration.
+pub fn analyze_with(image: &Image, config: &TaintConfig) -> AnalysisReport {
+    let cfg = cfg::recover(image);
+    let findings = taint::taint_pass(&cfg, config);
+    let audit = audit::audit(image, &cfg);
+    AnalysisReport {
+        arch: image.arch().to_string(),
+        cfg: cfg.stats,
+        findings,
+        audit,
+    }
+}
+
+/// The analyzer's CI gate, run by `cml analyze --self-test`.
+///
+/// For each architecture it analyzes a vulnerable and a bounds-checked
+/// image and checks the end-to-end contract: exactly one taint finding
+/// on the vulnerable body (in `parse_response`, 1024-byte sink), zero
+/// on the patched body, an executable-stack W⊕X violation and no
+/// canaries under the no-protection loader, and a JSON rendering that
+/// round-trips through the crate's own parser.
+///
+/// # Errors
+///
+/// Returns a description of the first violated check.
+pub fn self_test() -> Result<String, String> {
+    use cml_image::Arch;
+    let mut lines = Vec::new();
+    for arch in Arch::ALL {
+        let (vuln, _) = cml_firmware::build_image_for(arch, 0, false);
+        let report = analyze(&vuln);
+        if report.findings.len() != 1 {
+            return Err(format!(
+                "{arch}: expected exactly 1 taint finding on the vulnerable image, got {}",
+                report.findings.len()
+            ));
+        }
+        let f = &report.findings[0];
+        if f.function != cml_connman::SYM_PARSE_RESPONSE {
+            return Err(format!(
+                "{arch}: finding in {}, not parse_response",
+                f.function
+            ));
+        }
+        if f.capacity != cml_connman::NAME_BUFFER_SIZE as u32 {
+            return Err(format!("{arch}: sink capacity {} != 1024", f.capacity));
+        }
+        if report.audit.wx_violations.is_empty() {
+            return Err(format!("{arch}: audit missed the executable stack"));
+        }
+        if report.audit.canary_instrumented {
+            return Err(format!(
+                "{arch}: lab images must not appear canary-instrumented"
+            ));
+        }
+        let text = report.to_json().to_string();
+        let parsed =
+            json::parse(&text).map_err(|e| format!("{arch}: emitted JSON invalid: {e}"))?;
+        if parsed.get("schema").and_then(json::Value::as_str) != Some("cml-analyze/v1") {
+            return Err(format!("{arch}: schema tag missing after round-trip"));
+        }
+
+        let (fixed, _) = cml_firmware::build_image_for(arch, 0, true);
+        let patched = analyze(&fixed);
+        if !patched.clean() {
+            return Err(format!(
+                "{arch}: false positive on the bounds-checked image: {:?}",
+                patched.findings
+            ));
+        }
+        lines.push(format!(
+            "{arch}: {} functions, {} blocks, {} gadgets; vulnerable flagged, patched clean",
+            report.cfg.functions, report.cfg.blocks, report.audit.gadget_total
+        ));
+    }
+    Ok(lines.join("\n"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cml_firmware::build_image_for;
+    use cml_image::Arch;
+
+    #[test]
+    fn self_test_passes() {
+        let summary = self_test().expect("self-test");
+        assert!(summary.contains("patched clean"));
+    }
+
+    #[test]
+    fn report_json_exposes_findings() {
+        let (img, _) = build_image_for(Arch::X86, 0, false);
+        let report = analyze(&img);
+        let doc = json::parse(&report.to_json().to_string()).unwrap();
+        assert_eq!(doc.get("clean").and_then(json::Value::as_bool), Some(false));
+        let findings = doc.get("findings").and_then(json::Value::as_arr).unwrap();
+        assert_eq!(findings.len(), 1);
+        assert_eq!(
+            findings[0].get("capacity").and_then(json::Value::as_num),
+            Some(1024.0)
+        );
+    }
+}

@@ -1,0 +1,499 @@
+//! Static taint pass: DNS-response bytes → fixed-size stack buffers.
+//!
+//! The pass runs a small abstract interpretation over each recovered
+//! function. In a configured *source* function (by default
+//! `parse_response`, whose argument is the decompressing DNS response)
+//! the incoming packet pointer is seeded as tainted; loads through it
+//! yield tainted data, and stores of tainted data through stack-derived
+//! pointers are candidate sinks. A candidate becomes a finding when it
+//! sits inside a loop none of whose exits compare an *untainted* value
+//! against a constant — i.e. the copy runs until attacker-controlled
+//! data says stop, the exact shape of CVE-2017-12865's `get_name`.
+//! The bounds-checked 1.35 body adds a counter-vs-capacity exit, which
+//! is untainted-vs-constant, so the same loop is classified bounded and
+//! the pass stays quiet.
+//!
+//! This is a may-taint analysis: joins prefer `Tainted`, and pointer
+//! classes collapse to `Top` on conflict. Buffer capacities come from
+//! [`TaintConfig`] frame metadata (the lab's stand-in for DWARF variable
+//! info).
+
+use std::collections::{BTreeSet, HashMap};
+
+use cml_image::{Addr, Arch};
+use cml_vm::{arm, x86, X86Reg};
+
+use crate::cfg::{BasicBlock, Cfg, Function, Op, Terminator};
+
+/// Abstract value tracked per register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Abs {
+    /// Unknown.
+    Top,
+    /// A known constant (from an immediate move / register zeroing).
+    Const(u32),
+    /// Pointer into the tainted input (the DNS response).
+    ArgPtr,
+    /// Data derived from the tainted input.
+    Tainted,
+    /// Pointer into the current stack frame.
+    StackPtr,
+}
+
+impl Abs {
+    fn join(self, other: Abs) -> Abs {
+        if self == other {
+            self
+        } else if self == Abs::Tainted || other == Abs::Tainted {
+            Abs::Tainted
+        } else {
+            Abs::Top
+        }
+    }
+
+    fn is_tainted(self) -> bool {
+        matches!(self, Abs::Tainted | Abs::ArgPtr)
+    }
+
+    fn is_const(self) -> bool {
+        matches!(self, Abs::Const(_))
+    }
+
+    /// Pointer arithmetic / increments preserve pointer and taint
+    /// classes; a stale constant becomes unknown.
+    fn after_arith(self) -> Abs {
+        match self {
+            Abs::ArgPtr | Abs::StackPtr | Abs::Tainted => self,
+            Abs::Const(_) | Abs::Top => Abs::Top,
+        }
+    }
+}
+
+/// Per-program-point abstract state: 16 register slots (x86 uses the
+/// low 8) plus the class pair of the last flag-setting comparison.
+#[derive(Debug, Clone, PartialEq)]
+struct State {
+    regs: [Abs; 16],
+    flags: (Abs, Abs),
+}
+
+impl State {
+    fn entry(arch: Arch, is_source: bool) -> State {
+        let mut regs = [Abs::Top; 16];
+        match arch {
+            Arch::X86 => {
+                regs[X86Reg::Esp.bits() as usize] = Abs::StackPtr;
+            }
+            Arch::Armv7 => {
+                regs[13] = Abs::StackPtr;
+                if is_source {
+                    regs[0] = Abs::ArgPtr;
+                }
+            }
+        }
+        State {
+            regs,
+            flags: (Abs::Top, Abs::Top),
+        }
+    }
+
+    /// Joins `other` in; returns whether anything widened.
+    fn join_with(&mut self, other: &State) -> bool {
+        let mut changed = false;
+        for i in 0..16 {
+            let j = self.regs[i].join(other.regs[i]);
+            if j != self.regs[i] {
+                self.regs[i] = j;
+                changed = true;
+            }
+        }
+        let f = (
+            self.flags.0.join(other.flags.0),
+            self.flags.1.join(other.flags.1),
+        );
+        if f != self.flags {
+            self.flags = f;
+            changed = true;
+        }
+        changed
+    }
+}
+
+/// A store of some abstract value through a stack-derived pointer.
+#[derive(Debug, Clone, Copy)]
+struct StackStore {
+    addr: Addr,
+    value: Abs,
+}
+
+/// Source/sink configuration.
+#[derive(Debug, Clone)]
+pub struct TaintConfig {
+    /// Functions whose arguments carry attacker-controlled bytes.
+    pub sources: Vec<String>,
+    /// Frame metadata: function name → stack-buffer capacity in bytes
+    /// (the lab's stand-in for DWARF local-variable info).
+    pub sink_capacities: Vec<(String, u32)>,
+}
+
+impl Default for TaintConfig {
+    fn default() -> Self {
+        TaintConfig {
+            sources: vec![cml_connman::SYM_PARSE_RESPONSE.to_string()],
+            sink_capacities: vec![(
+                cml_connman::SYM_PARSE_RESPONSE.to_string(),
+                cml_connman::NAME_BUFFER_SIZE as u32,
+            )],
+        }
+    }
+}
+
+/// One tainted, unbounded copy into a stack buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaintFinding {
+    /// Function the flow lives in.
+    pub function: String,
+    /// Address of (one of) the offending store instruction(s).
+    pub store_addr: Addr,
+    /// Head of the unbounded copy loop.
+    pub loop_head: Addr,
+    /// Human-readable taint source.
+    pub source: String,
+    /// Human-readable sink description.
+    pub sink: String,
+    /// Sink buffer capacity in bytes (0 when unknown).
+    pub capacity: u32,
+}
+
+/// Runs the taint pass over a recovered CFG.
+pub fn taint_pass(cfg: &Cfg, config: &TaintConfig) -> Vec<TaintFinding> {
+    let mut findings = Vec::new();
+    for f in &cfg.functions {
+        let is_source = config.sources.iter().any(|s| s == &f.name);
+        findings.extend(analyze_function(cfg.arch, f, is_source, config));
+    }
+    findings
+}
+
+fn analyze_function(
+    arch: Arch,
+    f: &Function,
+    is_source: bool,
+    config: &TaintConfig,
+) -> Vec<TaintFinding> {
+    if f.blocks.is_empty() {
+        return Vec::new();
+    }
+    let idx: HashMap<Addr, usize> = f
+        .blocks
+        .iter()
+        .enumerate()
+        .map(|(i, b)| (b.start, i))
+        .collect();
+    let n = f.blocks.len();
+
+    // Fixed point over block input states.
+    let mut inputs: Vec<Option<State>> = vec![None; n];
+    inputs[0] = Some(State::entry(arch, is_source));
+    loop {
+        let mut changed = false;
+        for i in 0..n {
+            let Some(mut st) = inputs[i].clone() else {
+                continue;
+            };
+            walk_block(&mut st, &f.blocks[i], is_source, None);
+            for succ in &f.blocks[i].succs {
+                let Some(&j) = idx.get(succ) else { continue };
+                match &mut inputs[j] {
+                    slot @ None => {
+                        *slot = Some(st.clone());
+                        changed = true;
+                    }
+                    Some(existing) => changed |= existing.join_with(&st),
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Final pass: collect stack stores and per-block exit flag states.
+    let mut stores: Vec<StackStore> = Vec::new();
+    let mut exit_flags: Vec<Option<(Abs, Abs)>> = vec![None; n];
+    for i in 0..n {
+        let Some(mut st) = inputs[i].clone() else {
+            continue;
+        };
+        walk_block(&mut st, &f.blocks[i], is_source, Some(&mut stores));
+        exit_flags[i] = Some(st.flags);
+    }
+
+    // Natural-loop approximation: a back edge `b -> h` (h ≤ b.start)
+    // bounds the address range [h, b.end). Sufficient for the reducible
+    // compiler-shaped loops these images contain.
+    let loops: Vec<(Addr, Addr)> = f
+        .blocks
+        .iter()
+        .flat_map(|b| {
+            b.succs
+                .iter()
+                .filter(move |&&s| s <= b.start)
+                .map(move |&s| (s, b.end))
+        })
+        .collect();
+
+    let capacity = config
+        .sink_capacities
+        .iter()
+        .find(|(name, _)| name == &f.name)
+        .map_or(0, |(_, c)| *c);
+
+    let mut out = Vec::new();
+    let mut seen: BTreeSet<(Addr, Addr)> = BTreeSet::new();
+    for store in stores.iter().filter(|s| s.value == Abs::Tainted) {
+        for &(head, end) in &loops {
+            let in_loop = store.addr >= head && store.addr < end;
+            if !in_loop || !seen.insert((head, store.addr)) {
+                continue;
+            }
+            if loop_has_bounding_exit(f, &exit_flags, head, end) {
+                continue;
+            }
+            out.push(TaintFinding {
+                function: f.name.clone(),
+                store_addr: store.addr,
+                loop_head: head,
+                source: format!("DNS response bytes ({} argument)", f.name),
+                sink: if capacity > 0 {
+                    format!("{capacity}-byte stack name buffer")
+                } else {
+                    "stack buffer (capacity unknown)".to_string()
+                },
+                capacity,
+            });
+        }
+    }
+    // One finding per loop is enough signal; collapse duplicate stores.
+    out.sort_by_key(|f| (f.loop_head, f.store_addr));
+    out.dedup_by_key(|f| f.loop_head);
+    out
+}
+
+/// Whether any conditional exit of the loop `[head, end)` compares an
+/// untainted value against a constant — the signature of a capacity
+/// check.
+fn loop_has_bounding_exit(
+    f: &Function,
+    exit_flags: &[Option<(Abs, Abs)>],
+    head: Addr,
+    end: Addr,
+) -> bool {
+    let in_range = |a: Addr| a >= head && a < end;
+    f.blocks.iter().enumerate().any(|(i, b)| {
+        if !in_range(b.start) {
+            return false;
+        }
+        let Terminator::Branch { taken, fall } = b.term else {
+            return false;
+        };
+        if in_range(taken) && in_range(fall) {
+            return false; // not an exit
+        }
+        let Some((l, r)) = exit_flags[i] else {
+            return false;
+        };
+        !l.is_tainted() && !r.is_tainted() && (l.is_const() || r.is_const())
+    })
+}
+
+fn walk_block(
+    st: &mut State,
+    b: &BasicBlock,
+    is_source: bool,
+    mut stores: Option<&mut Vec<StackStore>>,
+) {
+    for insn in &b.insns {
+        match insn.op {
+            Op::X86(i) => step_x86(st, &i, is_source, insn.addr, stores.as_deref_mut()),
+            Op::Arm(i) => step_arm(st, &i, insn.addr, stores.as_deref_mut()),
+        }
+    }
+}
+
+fn step_x86(
+    st: &mut State,
+    i: &x86::Insn,
+    is_source: bool,
+    addr: Addr,
+    stores: Option<&mut Vec<StackStore>>,
+) {
+    use x86::Insn as I;
+    use x86::Operand as O;
+    let r = |reg: X86Reg| reg.bits() as usize;
+    match *i {
+        I::MovRImm(d, v) => st.regs[r(d)] = Abs::Const(v),
+        I::MovR8Imm(d, _) => st.regs[r(d)] = Abs::Top,
+        I::MovRmR { dst, src } => match dst {
+            O::Reg(d) => st.regs[r(d)] = st.regs[r(src)],
+            O::Mem { base: Some(b), .. } => {
+                if st.regs[r(b)] == Abs::StackPtr {
+                    if let Some(out) = stores {
+                        out.push(StackStore {
+                            addr,
+                            value: st.regs[r(src)],
+                        });
+                    }
+                }
+            }
+            O::Mem { base: None, .. } => {}
+        },
+        I::MovRRm { dst, src } | I::Movzx8 { dst, src } => {
+            st.regs[r(dst)] = load_class(st, src, is_source, &r);
+        }
+        I::Lea { dst, src } => {
+            st.regs[r(dst)] = match src {
+                O::Mem { base: Some(b), .. } => st.regs[r(b)].after_arith(),
+                _ => Abs::Top,
+            };
+        }
+        I::XorRmR {
+            dst: O::Reg(d),
+            src,
+        } if d == src => st.regs[r(d)] = Abs::Const(0),
+        I::XorRmR { dst: O::Reg(d), .. }
+        | I::AndRmR { dst: O::Reg(d), .. }
+        | I::OrRmR { dst: O::Reg(d), .. } => st.regs[r(d)] = Abs::Top,
+        I::AddRmImm8 { dst: O::Reg(d), .. } | I::SubRmImm8 { dst: O::Reg(d), .. } => {
+            st.regs[r(d)] = st.regs[r(d)].after_arith();
+        }
+        I::IncR(d) | I::DecR(d) => st.regs[r(d)] = st.regs[r(d)].after_arith(),
+        I::ShlRImm8 { reg, .. } | I::ShrRImm8 { reg, .. } => st.regs[r(reg)] = Abs::Top,
+        I::PopR(d) => st.regs[r(d)] = Abs::Top,
+        I::XchgEaxR(d) => {
+            let eax = r(X86Reg::Eax);
+            st.regs.swap(eax, r(d));
+        }
+        I::TestRmR { dst, src } | I::CmpRmR { dst, src } => {
+            st.flags = (load_class(st, dst, is_source, &r), st.regs[r(src)]);
+        }
+        I::CmpRmImm8 { dst, imm } => {
+            st.flags = (
+                load_class(st, dst, is_source, &r),
+                Abs::Const(imm as i32 as u32),
+            );
+        }
+        I::CallRel32(_) | I::CallRm(_) => {
+            // Caller-saved registers are clobbered by the callee.
+            for reg in [X86Reg::Eax, X86Reg::Ecx, X86Reg::Edx] {
+                st.regs[r(reg)] = Abs::Top;
+            }
+        }
+        _ => {}
+    }
+}
+
+/// The abstract value read through an operand: argument slots of a
+/// source function yield [`Abs::ArgPtr`] (the DNS response pointer);
+/// dereferencing a tainted pointer yields tainted data.
+fn load_class(
+    st: &State,
+    operand: x86::Operand,
+    is_source: bool,
+    r: &impl Fn(X86Reg) -> usize,
+) -> Abs {
+    match operand {
+        x86::Operand::Reg(s) => st.regs[r(s)],
+        x86::Operand::Mem {
+            base: Some(b),
+            disp,
+        } => match st.regs[r(b)] {
+            Abs::StackPtr if is_source && disp >= 8 => Abs::ArgPtr,
+            Abs::ArgPtr | Abs::Tainted => Abs::Tainted,
+            _ => Abs::Top,
+        },
+        x86::Operand::Mem { base: None, .. } => Abs::Top,
+    }
+}
+
+fn step_arm(st: &mut State, i: &arm::Insn, addr: Addr, stores: Option<&mut Vec<StackStore>>) {
+    use arm::Insn as I;
+    match *i {
+        I::MovImm { rd, imm } => st.regs[rd as usize] = Abs::Const(imm),
+        I::MvnImm { rd, .. } => st.regs[rd as usize] = Abs::Top,
+        I::MovReg { rd, rm } => st.regs[rd as usize] = st.regs[rm as usize],
+        I::AddImm { rd, rn, .. } | I::SubImm { rd, rn, .. } => {
+            st.regs[rd as usize] = st.regs[rn as usize].after_arith();
+        }
+        I::OrrImm { rd, .. } | I::AndImm { rd, .. } | I::EorImm { rd, .. } => {
+            st.regs[rd as usize] = Abs::Top;
+        }
+        I::LslImm { rd, .. } => st.regs[rd as usize] = Abs::Top,
+        I::CmpImm { rn, imm } => st.flags = (st.regs[rn as usize], Abs::Const(imm)),
+        I::Ldr { rd, rn, .. } | I::Ldrb { rd, rn, .. } => {
+            st.regs[rd as usize] = match st.regs[rn as usize] {
+                Abs::ArgPtr | Abs::Tainted => Abs::Tainted,
+                _ => Abs::Top,
+            };
+        }
+        I::Str { rd, rn, .. } | I::Strb { rd, rn, .. } if st.regs[rn as usize] == Abs::StackPtr => {
+            if let Some(out) = stores {
+                out.push(StackStore {
+                    addr,
+                    value: st.regs[rd as usize],
+                });
+            }
+        }
+        I::Pop { list } => {
+            for reg in arm::reg_list(list) {
+                if reg != 15 && reg != 13 {
+                    st.regs[reg as usize] = Abs::Top;
+                }
+            }
+        }
+        I::Bl { .. } | I::Blx { .. } => {
+            // AAPCS caller-saved registers.
+            for reg in 0..4 {
+                st.regs[reg] = Abs::Top;
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg;
+    use cml_firmware::build_image_for;
+
+    #[test]
+    fn flags_vulnerable_quiet_on_patched() {
+        for arch in Arch::ALL {
+            let (vuln, _) = build_image_for(arch, 0, false);
+            let findings = taint_pass(&cfg::recover(&vuln), &TaintConfig::default());
+            assert_eq!(findings.len(), 1, "{arch}: expected exactly one finding");
+            let f = &findings[0];
+            assert_eq!(f.function, "parse_response", "{arch}");
+            assert_eq!(f.capacity, 1024, "{arch}");
+            assert!(f.source.contains("DNS response"), "{arch}");
+
+            let (fixed, _) = build_image_for(arch, 0, true);
+            let quiet = taint_pass(&cfg::recover(&fixed), &TaintConfig::default());
+            assert!(
+                quiet.is_empty(),
+                "{arch}: patched body must be clean: {quiet:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn non_source_functions_stay_untainted() {
+        let (img, _) = build_image_for(Arch::X86, 0, false);
+        let config = TaintConfig {
+            sources: vec!["daemon_loop".to_string()],
+            sink_capacities: Vec::new(),
+        };
+        assert!(taint_pass(&cfg::recover(&img), &config).is_empty());
+    }
+}

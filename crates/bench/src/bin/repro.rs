@@ -7,7 +7,11 @@
 //! repro --json          # machine-readable output
 //! repro --jobs 4        # fan matrix experiments across 4 workers
 //! repro --bench-json    # also time each experiment + a 1,000-device
-//!                       # fleet and write BENCH_<n>.json
+//!                       # fleet + the static analyzer and write
+//!                       # BENCH_<n>.json
+//! repro --sanitize      # run the 6-cell exploit matrix under the VM
+//!                       # shadow-memory sanitizer and print precise
+//!                       # overflow diagnostics per cell
 //! ```
 
 use std::io::Write;
@@ -16,6 +20,9 @@ use std::time::Instant;
 use cml_core::experiments;
 use cml_core::fleet::{run_fleet, FleetSpec};
 use cml_core::report::Suite;
+use cml_core::{Arch, Firmware, FirmwareKind, Lab, Protections, ProxyOutcome};
+use cml_exploit::{ArmGadgetExeclp, CodeInjection, ExploitStrategy, Ret2Libc, RopMemcpyChain};
+use cml_vm::Fault;
 
 const ALL_IDS: [&str; 8] = ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8"];
 const FLEET_DEVICES: usize = 1000;
@@ -25,6 +32,7 @@ fn main() {
     let mut out_path: Option<String> = None;
     let mut json = false;
     let mut bench_json = false;
+    let mut sanitize = false;
     let mut jobs = 1usize;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -33,6 +41,7 @@ fn main() {
             "--out" => out_path = args.next(),
             "--json" => json = true,
             "--bench-json" | "--timings" => bench_json = true,
+            "--sanitize" => sanitize = true,
             "--jobs" => {
                 jobs = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
                     eprintln!("--jobs wants a number, using 1");
@@ -42,12 +51,16 @@ fn main() {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: repro [--exp e1 e2 …] [--out FILE] [--json] \
-                     [--jobs N] [--bench-json|--timings]"
+                     [--jobs N] [--bench-json|--timings] [--sanitize]"
                 );
                 return;
             }
             other => ids.push(other.to_string()),
         }
+    }
+
+    if sanitize {
+        std::process::exit(sanitize_matrix());
     }
 
     let run_ids: Vec<String> = if ids.is_empty() {
@@ -102,13 +115,89 @@ fn main() {
             report.devices_per_sec(),
             report.compromised()
         );
+        eprintln!("timing the static analyzer on both architectures…");
+        let analysis = analysis_timings();
+        for (arch, secs, insns) in &analysis {
+            eprintln!("analyzer: {arch} CFG+taint+audit over {insns} instructions in {secs:.4}s");
+        }
         let path = next_bench_path();
-        let doc = bench_json_doc(jobs, &timings, &report);
+        let doc = bench_json_doc(jobs, &timings, &report, &analysis);
         match std::fs::File::create(&path).and_then(|mut f| f.write_all(doc.as_bytes())) {
             Ok(()) => eprintln!("wrote {path}"),
             Err(e) => eprintln!("failed to write {path}: {e}"),
         }
     }
+}
+
+/// Runs the six-cell exploit matrix (x86/ARM × none/W⊕X/W⊕X+ASLR) with
+/// the VM shadow-memory sanitizer armed on the victim and prints the
+/// precise overflow diagnostics each cell produces. Returns the process
+/// exit code: 0 when every cell is pinpointed, 1 otherwise.
+fn sanitize_matrix() -> i32 {
+    let cells: [(Protections, &str); 3] = [
+        (Protections::none(), "none"),
+        (Protections::wxorx(), "wxorx"),
+        (Protections::full(), "full"),
+    ];
+    let mut all_pinpointed = true;
+    println!("### shadow-memory sanitizer: 6-cell exploit matrix\n");
+    for arch in Arch::ALL {
+        for (prot, prot_name) in cells {
+            let strategy: Box<dyn ExploitStrategy> = if prot.aslr.enabled {
+                Box::new(RopMemcpyChain::new(arch))
+            } else if prot.wxorx {
+                match arch {
+                    Arch::X86 => Box::new(Ret2Libc::new()),
+                    Arch::Armv7 => Box::new(ArmGadgetExeclp::new()),
+                }
+            } else {
+                Box::new(CodeInjection::new(arch))
+            };
+            let lab = Lab::new(FirmwareKind::OpenElec, arch)
+                .with_protections(prot)
+                .with_sanitizer(true);
+            let cell = format!("{arch}/{prot_name} ({})", strategy.name());
+            match lab.run_exploit(strategy.as_ref()) {
+                Ok(report) => match report.proxy_outcome {
+                    ProxyOutcome::Crashed(ref fr)
+                        if matches!(fr.fault, Fault::RedzoneViolation { .. }) =>
+                    {
+                        println!("{cell}: {}", fr.fault);
+                    }
+                    ref other => {
+                        all_pinpointed = false;
+                        println!("{cell}: NOT PINPOINTED — {other}");
+                    }
+                },
+                Err(e) => {
+                    all_pinpointed = false;
+                    println!("{cell}: attack could not be built: {e}");
+                }
+            }
+        }
+    }
+    println!();
+    if all_pinpointed {
+        println!("all 6 cells pinpointed by the sanitizer");
+        0
+    } else {
+        println!("some cells escaped the sanitizer");
+        1
+    }
+}
+
+/// Times one full static-analysis pipeline (CFG recovery + taint pass +
+/// mitigation audit) per architecture over the OpenElec image.
+fn analysis_timings() -> Vec<(Arch, f64, usize)> {
+    Arch::ALL
+        .iter()
+        .map(|&arch| {
+            let firmware = Firmware::build(FirmwareKind::OpenElec, arch);
+            let t0 = Instant::now();
+            let report = cml_analyze::analyze(firmware.image());
+            (arch, t0.elapsed().as_secs_f64(), report.cfg.instructions)
+        })
+        .collect()
 }
 
 /// First `BENCH_<n>.json` name not already taken in the working dir.
@@ -123,16 +212,24 @@ fn bench_json_doc(
     jobs: usize,
     timings: &[(String, f64)],
     fleet: &cml_core::fleet::FleetReport,
+    analysis: &[(Arch, f64, usize)],
 ) -> String {
     let exps: Vec<String> = timings
         .iter()
         .map(|(id, secs)| format!("{{\"id\":\"{id}\",\"wall_secs\":{secs:.6}}}"))
         .collect();
+    let ana: Vec<String> = analysis
+        .iter()
+        .map(|(arch, secs, insns)| {
+            format!("{{\"arch\":\"{arch}\",\"wall_secs\":{secs:.6},\"instructions\":{insns}}}")
+        })
+        .collect();
     format!(
-        "{{\"jobs\":{jobs},\"experiments\":[{}],\"fleet\":{{\"devices\":{},\
+        "{{\"jobs\":{jobs},\"experiments\":[{}],\"analysis\":[{}],\"fleet\":{{\"devices\":{},\
          \"jobs\":{},\"wall_secs\":{:.6},\"devices_per_sec\":{:.2},\
          \"compromised\":{},\"survivors\":{}}}}}\n",
         exps.join(","),
+        ana.join(","),
         fleet.outcomes.len(),
         fleet.jobs,
         fleet.elapsed.as_secs_f64(),

@@ -119,6 +119,9 @@ pub struct Daemon {
     issued: u64,
     clock: u64,
     state: DaemonState,
+    /// When set, a shadow-memory redzone guards the name buffer during
+    /// each parse (see [`Daemon::with_sanitizer`]).
+    sanitize: bool,
 }
 
 impl Daemon {
@@ -156,6 +159,7 @@ impl Daemon {
             issued: 0,
             clock: 0,
             state: DaemonState::Running,
+            sanitize: false,
         })
     }
 
@@ -170,6 +174,21 @@ impl Daemon {
     /// The active frame geometry.
     pub fn frame_layout(&self) -> FrameLayout {
         self.layout
+    }
+
+    /// Enables the shadow-memory sanitizer: during each parse a redzone
+    /// is armed past the name buffer, out-of-bounds writes are diverted
+    /// instead of corrupting the frame, and an overflow surfaces as a
+    /// precise [`Fault::RedzoneViolation`] crash (faulting pc, buffer,
+    /// extent) rather than a hijack or silent corruption.
+    pub fn with_sanitizer(mut self, on: bool) -> Self {
+        self.sanitize = on;
+        self
+    }
+
+    /// Whether the shadow-memory sanitizer is enabled.
+    pub fn sanitizer_enabled(&self) -> bool {
+        self.sanitize
     }
 
     /// The Connman release being simulated.
@@ -305,6 +324,21 @@ impl Daemon {
             Err(fault) => return self.crash(fault),
         };
 
+        // 2b. Sanitizer: arm a redzone from the buffer's end to the top
+        //     of the stack region. Frame setup above already committed,
+        //     so every absorbed write is a genuine overflow.
+        if self.sanitize {
+            let buf = frame.buf_addr();
+            let cap = self.layout.buf_size as u32;
+            let zone_start = buf.wrapping_add(cap);
+            let zone_end = self
+                .machine
+                .mem()
+                .region_containing(zone_start)
+                .map_or(zone_start as u64, |r| r.end());
+            self.machine.mem_mut().arm_redzone(buf, cap, zone_end);
+        }
+
         // 3. Walk the answer records through the (possibly unchecked)
         //    decompressor.
         let mut offset = gate.answers_offset;
@@ -321,7 +355,14 @@ impl Daemon {
                 self.parse_pc,
             ) {
                 Ok(out) => offset = out.next_offset,
-                Err(UncompressError::MachineFault(fault)) => return self.crash(fault),
+                Err(UncompressError::MachineFault(fault)) => {
+                    // Prefer the precise sanitizer diagnostic over the
+                    // raw machine fault, if the redzone saw the overflow.
+                    if let Some(f) = self.sanitizer_verdict() {
+                        return self.crash(f);
+                    }
+                    return self.crash(fault);
+                }
                 Err(e) => {
                     parse_failure = Some(uncompress_reason(&e));
                     break;
@@ -340,6 +381,13 @@ impl Daemon {
                     break;
                 }
             }
+        }
+
+        // 3b. Sanitizer: disarm. An absorbed overflow becomes a precise
+        //     crash diagnostic; the frame beneath is untouched, so the
+        //     exploit never progresses past this point.
+        if let Some(fault) = self.sanitizer_verdict() {
+            return self.crash(fault);
         }
 
         // 4. parse_rr's pointer checks (the ARM NULL-slot quirk).
@@ -385,6 +433,20 @@ impl Daemon {
             }
             RunOutcome::Fault(fault) => self.crash_with_context(fault),
         }
+    }
+
+    /// Disarms the parse-time redzone (no-op when the sanitizer is off
+    /// or nothing overflowed) and converts an absorbed overflow into
+    /// the sanitizer fault.
+    fn sanitizer_verdict(&mut self) -> Option<Fault> {
+        let hit = self.machine.mem_mut().disarm_redzone()?;
+        Some(Fault::RedzoneViolation {
+            buffer: hit.buffer,
+            capacity: hit.capacity,
+            first: hit.first,
+            extent: hit.extent(),
+            pc: hit.pc,
+        })
     }
 
     fn crash(&mut self, fault: Fault) -> ProxyOutcome {
@@ -559,6 +621,52 @@ mod tests {
             }
             other => panic!("expected crash, got {other}"),
         }
+    }
+
+    #[test]
+    fn sanitizer_reports_precise_overflow() {
+        for arch in Arch::ALL {
+            let mut d =
+                daemon(arch, ConnmanVersion::V1_34, Protections::none()).with_sanitizer(true);
+            let q = issue_query(&mut d);
+            let forge = ResponseForge::answering(&q)
+                .with_chunked_payload(&[0x41; 1300])
+                .unwrap();
+            // Total bytes the decompressor emits: labels + final root.
+            let written = forge.decompressed_len() as u32 + 1;
+            let resp = forge.build().unwrap();
+            let out = d.deliver_response(&resp);
+            let ProxyOutcome::Crashed(report) = out else {
+                panic!("{arch}: expected sanitizer crash, got {out}");
+            };
+            match &report.fault {
+                Fault::RedzoneViolation {
+                    capacity, extent, ..
+                } => {
+                    assert_eq!(*capacity, 1024, "{arch}");
+                    assert_eq!(*extent, written - 1024, "{arch}");
+                }
+                f => panic!("{arch}: unexpected fault {f}"),
+            }
+            assert!(!d.is_running(), "{arch}: sanitizer abort is fail-stop");
+        }
+    }
+
+    #[test]
+    fn sanitizer_quiet_on_benign_response() {
+        let mut d =
+            daemon(Arch::X86, ConnmanVersion::V1_34, Protections::none()).with_sanitizer(true);
+        let q = issue_query(&mut d);
+        let resp = ResponseForge::answering(&q)
+            .with_payload_labels(vec![b"iot".to_vec(), b"example".to_vec(), b"com".to_vec()])
+            .unwrap()
+            .build()
+            .unwrap();
+        assert_eq!(
+            d.deliver_response(&resp),
+            ProxyOutcome::Answered { cached: 1 }
+        );
+        assert!(d.is_running());
     }
 
     #[test]

@@ -100,6 +100,7 @@ pub struct Lab {
     firmware: Firmware,
     protections: Protections,
     victim_seed: u64,
+    sanitize: bool,
 }
 
 impl Lab {
@@ -110,6 +111,7 @@ impl Lab {
             firmware: Firmware::build(kind, arch),
             protections: Protections::none(),
             victim_seed: VICTIM_SEED,
+            sanitize: false,
         }
     }
 
@@ -119,6 +121,7 @@ impl Lab {
             firmware,
             protections: Protections::none(),
             victim_seed: VICTIM_SEED,
+            sanitize: false,
         }
     }
 
@@ -132,6 +135,15 @@ impl Lab {
     /// Sets the victim's boot seed (its ASLR layout).
     pub fn with_victim_seed(mut self, seed: u64) -> Self {
         self.victim_seed = seed;
+        self
+    }
+
+    /// Runs the *victim* under the shadow-memory sanitizer: buffer
+    /// overflows during parsing abort with a precise diagnostic instead
+    /// of corrupting the frame. Recon replicas are unaffected (the
+    /// attacker's own copy obviously doesn't run the defender's tooling).
+    pub fn with_sanitizer(mut self, on: bool) -> Self {
+        self.sanitize = on;
         self
     }
 
@@ -170,7 +182,9 @@ impl Lab {
 
     /// Boots a fresh victim daemon.
     pub fn boot_victim(&self) -> cml_firmware::Daemon {
-        self.firmware.boot(self.protections, self.victim_seed)
+        self.firmware
+            .boot(self.protections, self.victim_seed)
+            .with_sanitizer(self.sanitize)
     }
 
     /// Full run: recon → build → deliver → classify.

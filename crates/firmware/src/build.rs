@@ -78,6 +78,20 @@ pub fn build_image(arch: Arch) -> (Image, GadgetAddrs) {
 /// with "minimal modification" because reconnaissance re-discovers all
 /// addresses).
 pub fn build_image_variant(arch: Arch, variant: u64) -> (Image, GadgetAddrs) {
+    build_image_for(arch, variant, false)
+}
+
+/// Builds a firmware image variant with an explicit `parse_response`
+/// body flavour.
+///
+/// When `bounds_checked` is `false` the emitted copy loop reproduces the
+/// CVE-2017-12865 defect: packet bytes stream into a fixed-size stack
+/// buffer and the only loop exit tests the (attacker-controlled) data
+/// itself. When `true` the loop additionally compares an untainted
+/// counter against the buffer capacity (`0x400`) before every store —
+/// the Connman 1.35 fix. The bodies are what `cml-analyze`'s CFG/taint
+/// passes inspect; the daemon models the parse natively either way.
+pub fn build_image_for(arch: Arch, variant: u64, bounds_checked: bool) -> (Image, GadgetAddrs) {
     let l = layout::layout_for(arch);
     let mut b = ImageBuilder::new(arch);
     b.section_default(SectionKind::Text, l.text_base, 0x8000);
@@ -92,8 +106,8 @@ pub fn build_image_variant(arch: Arch, variant: u64) -> (Image, GadgetAddrs) {
 
     let mut gadgets = GadgetAddrs::default();
     match arch {
-        Arch::X86 => build_x86_text(&mut b, &mut gadgets, variant),
-        Arch::Armv7 => build_arm_text(&mut b, &mut gadgets, variant),
+        Arch::X86 => build_x86_text(&mut b, &mut gadgets, variant, bounds_checked),
+        Arch::Armv7 => build_arm_text(&mut b, &mut gadgets, variant, bounds_checked),
     }
     build_plt_got(&mut b, arch, l.got_base, l.libc_base);
     build_rodata(&mut b);
@@ -107,7 +121,7 @@ pub fn build_image_variant(arch: Arch, variant: u64) -> (Image, GadgetAddrs) {
     )
 }
 
-fn build_x86_text(b: &mut ImageBuilder, g: &mut GadgetAddrs, variant: u64) {
+fn build_x86_text(b: &mut ImageBuilder, g: &mut GadgetAddrs, variant: u64, bounds_checked: bool) {
     let mut rng = StdRng::seed_from_u64(0xC0FF_EE00 ^ variant.wrapping_mul(0x9E37_79B9));
     let shift = (variant % 5) as usize;
     // _start-ish preamble.
@@ -120,20 +134,56 @@ fn build_x86_text(b: &mut ImageBuilder, g: &mut GadgetAddrs, variant: u64) {
     );
     b.symbol(SYM_DAEMON_LOOP, loop_addr, 4, SymbolKind::Function);
 
-    // parse_response: a plausible prologue/epilogue shell. Its body is
-    // modelled natively (cml-connman); the symbol anchors fault reports.
-    let parse_addr = b.append_code(
-        SectionKind::Text,
-        &x86::Asm::new()
+    // parse_response: prologue/epilogue around a `get_name`-style copy
+    // loop. The daemon models the parse natively (cml-connman); these
+    // bytes exist so static analysis sees the same defect the paper
+    // exploits — esi walks the packet, edi walks a 0x40-slot stack
+    // buffer, and the vulnerable flavour's only exit tests packet data.
+    let body = if bounds_checked {
+        // 1.35: `xor ecx,ecx; mov edx,0x400` seeds an untainted counter
+        // checked against the capacity before every store.
+        x86::Asm::new()
             .push_r(X86Reg::Ebp)
             .mov_rr(X86Reg::Ebp, X86Reg::Esp)
             .sub_r_imm8(X86Reg::Esp, 0x40)
-            .nop()
-            .leave()
+            .mov_r_mem(X86Reg::Esi, X86Reg::Ebp, 8)
+            .lea(X86Reg::Edi, X86Reg::Ebp, -0x40)
+            .xor_rr(X86Reg::Ecx, X86Reg::Ecx)
+            .mov_r_imm(X86Reg::Edx, 0x400)
+            .mov_r_mem(X86Reg::Eax, X86Reg::Esi, 0) // loop:
+            .test_rr(X86Reg::Eax, X86Reg::Eax)
+            .jz_rel8(12) // -> done
+            .cmp_rr(X86Reg::Ecx, X86Reg::Edx)
+            .jz_rel8(8) // -> done (capacity reached)
+            .mov_mem_r(X86Reg::Edi, 0, X86Reg::Eax)
+            .inc_r(X86Reg::Esi)
+            .inc_r(X86Reg::Edi)
+            .inc_r(X86Reg::Ecx)
+            .jmp_rel8(-19) // -> loop
+            .leave() // done:
             .ret()
-            .finish(),
-    );
-    b.symbol(SYM_PARSE_RESPONSE, parse_addr, 16, SymbolKind::Function);
+            .finish()
+    } else {
+        x86::Asm::new()
+            .push_r(X86Reg::Ebp)
+            .mov_rr(X86Reg::Ebp, X86Reg::Esp)
+            .sub_r_imm8(X86Reg::Esp, 0x40)
+            .mov_r_mem(X86Reg::Esi, X86Reg::Ebp, 8)
+            .lea(X86Reg::Edi, X86Reg::Ebp, -0x40)
+            .mov_r_mem(X86Reg::Eax, X86Reg::Esi, 0) // loop:
+            .test_rr(X86Reg::Eax, X86Reg::Eax)
+            .jz_rel8(7) // -> done
+            .mov_mem_r(X86Reg::Edi, 0, X86Reg::Eax)
+            .inc_r(X86Reg::Esi)
+            .inc_r(X86Reg::Edi)
+            .jmp_rel8(-14) // -> loop
+            .leave() // done:
+            .ret()
+            .finish()
+    };
+    let size = body.len() as u32;
+    let parse_addr = b.append_code(SectionKind::Text, &body);
+    b.symbol(SYM_PARSE_RESPONSE, parse_addr, size, SymbolKind::Function);
 
     // Filler + gadget pool, interleaved the way optimized epilogues pepper
     // a real binary.
@@ -212,7 +262,7 @@ fn filler_fn_x86(b: &mut ImageBuilder, rng: &mut StdRng) {
     b.append_code(SectionKind::Text, &code);
 }
 
-fn build_arm_text(b: &mut ImageBuilder, g: &mut GadgetAddrs, variant: u64) {
+fn build_arm_text(b: &mut ImageBuilder, g: &mut GadgetAddrs, variant: u64, bounds_checked: bool) {
     let mut rng = StdRng::seed_from_u64(0xC0FF_EE01 ^ variant.wrapping_mul(0x9E37_79B9));
     let shift = (variant % 5) as usize;
     b.append_code(SectionKind::Text, &arm::Asm::new().mov_reg(1, 1).finish());
@@ -224,16 +274,49 @@ fn build_arm_text(b: &mut ImageBuilder, g: &mut GadgetAddrs, variant: u64) {
     );
     b.symbol(SYM_DAEMON_LOOP, loop_addr, 8, SymbolKind::Function);
 
-    let parse_addr = b.append_code(
-        SectionKind::Text,
-        &arm::Asm::new()
+    // parse_response: r2 walks the packet (arg in r0), r3 walks a stack
+    // buffer carved by `sub sp, sp, #0x40`. Branch offsets are relative
+    // to pc+8, in bytes. See build_x86_text for the flavour semantics.
+    let body = if bounds_checked {
+        arm::Asm::new()
             .push(&[4, 5, 6, 7, 8, 9, 10, 11, 14])
             .sub_imm(13, 13, 0x40)
-            .mov_reg(1, 1)
-            .add_imm(13, 13, 0x40)
-            .finish(),
-    );
-    b.symbol(SYM_PARSE_RESPONSE, parse_addr, 20, SymbolKind::Function);
+            .mov_reg(2, 0)
+            .mov_reg(3, 13)
+            .mov_imm(7, 0)
+            .ldrb(5, 2, 0) // loop:
+            .cmp_imm(5, 0)
+            .beq(24) // -> done
+            .cmp_imm(7, 0x400)
+            .beq(16) // -> done (capacity reached)
+            .strb(5, 3, 0)
+            .add_imm(2, 2, 1)
+            .add_imm(3, 3, 1)
+            .add_imm(7, 7, 1)
+            .b(-44) // -> loop
+            .add_imm(13, 13, 0x40) // done:
+            .finish()
+    } else {
+        arm::Asm::new()
+            .push(&[4, 5, 6, 7, 8, 9, 10, 11, 14])
+            .sub_imm(13, 13, 0x40)
+            .mov_reg(2, 0)
+            .mov_reg(3, 13)
+            .ldrb(5, 2, 0) // loop:
+            .cmp_imm(5, 0)
+            .beq(12) // -> done
+            .strb(5, 3, 0)
+            .add_imm(2, 2, 1)
+            .add_imm(3, 3, 1)
+            .b(-32) // -> loop
+            .add_imm(13, 13, 0x40) // done:
+            .finish()
+    };
+    // The symbol span includes the epilogue below, so CFG recovery sees
+    // the function terminate at the `pop {.., pc}` return.
+    let size = body.len() as u32 + 4;
+    let parse_addr = b.append_code(SectionKind::Text, &body);
+    b.symbol(SYM_PARSE_RESPONSE, parse_addr, size, SymbolKind::Function);
     // parse_response's own epilogue doubles as a gadget.
     g.pop_r4_r11_pc = Some(
         b.append_code(
@@ -431,6 +514,30 @@ mod tests {
             let (img, _) = build_image(arch);
             let addr = img.symbol("str_bin_sh").unwrap().addr();
             assert_eq!(img.bytes_at(addr, 8), Some(&b"/bin/sh\0"[..]));
+        }
+    }
+
+    #[test]
+    fn parse_response_bodies_decode_cleanly_and_differ_by_flavour() {
+        for arch in Arch::ALL {
+            let (vuln, _) = build_image_for(arch, 0, false);
+            let (fixed, _) = build_image_for(arch, 0, true);
+            for img in [&vuln, &fixed] {
+                let sym = img.symbol(SYM_PARSE_RESPONSE).unwrap();
+                let bytes = img.bytes_at(sym.addr(), sym.size() as usize).unwrap();
+                let mut off = 0usize;
+                while off < bytes.len() {
+                    let len = match arch {
+                        Arch::X86 => x86::decode(&bytes[off..]).expect("body decodes").1,
+                        Arch::Armv7 => arm::decode(&bytes[off..]).expect("body decodes").1,
+                    };
+                    off += len;
+                }
+                assert_eq!(off, bytes.len(), "{arch}: ragged decode");
+            }
+            let vs = vuln.symbol(SYM_PARSE_RESPONSE).unwrap();
+            let fs = fixed.symbol(SYM_PARSE_RESPONSE).unwrap();
+            assert!(fs.size() > vs.size(), "{arch}: patched body not larger");
         }
     }
 

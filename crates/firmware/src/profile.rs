@@ -6,7 +6,7 @@ use cml_connman::{ConnmanVersion, Daemon, FrameLayout};
 use cml_image::{Arch, Image};
 use cml_vm::{Loader, Protections};
 
-use crate::build::{build_image_variant, GadgetAddrs};
+use crate::build::{build_image_for, GadgetAddrs};
 
 /// The firmware families the paper surveys (§III): each pins a Connman
 /// release.
@@ -144,7 +144,10 @@ impl Firmware {
     /// interface, shuffled code layout (see
     /// [`build_image_variant`](crate::build_image_variant)).
     pub fn build_variant(kind: FirmwareKind, arch: Arch, variant: u64) -> Self {
-        let (image, gadgets) = build_image_variant(arch, variant);
+        // Patched firmware carries the bounds-checked `parse_response`
+        // body, so static analysis can tell the builds apart the same
+        // way the runtime `uncompress` switch does.
+        let (image, gadgets) = build_image_for(arch, variant, !kind.is_vulnerable());
         Firmware {
             kind,
             arch,

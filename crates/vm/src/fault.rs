@@ -100,6 +100,22 @@ pub enum Fault {
         /// The budget that was exhausted.
         limit: u64,
     },
+    /// The shadow-memory sanitizer absorbed writes past the end of a
+    /// protected buffer (ASan-style redzone detection). Unlike a raw
+    /// segfault this pinpoints the overflowed buffer and the overwrite
+    /// extent, not just the eventual bad access.
+    RedzoneViolation {
+        /// Base address of the overflowed buffer.
+        buffer: Addr,
+        /// Declared buffer capacity in bytes.
+        capacity: u32,
+        /// First out-of-bounds address written.
+        first: Addr,
+        /// Bytes written past the buffer's end.
+        extent: u32,
+        /// Program counter of the first out-of-bounds store.
+        pc: Addr,
+    },
 }
 
 impl Fault {
@@ -117,7 +133,8 @@ impl Fault {
             | Fault::IllegalInstruction { pc, .. }
             | Fault::UnalignedFetch { pc }
             | Fault::UnknownSyscall { pc, .. }
-            | Fault::CfiViolation { pc, .. } => Some(pc),
+            | Fault::CfiViolation { pc, .. }
+            | Fault::RedzoneViolation { pc, .. } => Some(pc),
             Fault::CanarySmashed { .. } | Fault::StepLimit { .. } => None,
         }
     }
@@ -180,6 +197,17 @@ impl fmt::Display for Fault {
                 "stack canary smashed: found {found:#010x}, expected {expected:#010x}"
             ),
             Fault::StepLimit { limit } => write!(f, "step limit of {limit} exhausted"),
+            Fault::RedzoneViolation {
+                buffer,
+                capacity,
+                first,
+                extent,
+                pc,
+            } => write!(
+                f,
+                "sanitizer: {extent}-byte overflow of {capacity}-byte buffer at {buffer:#010x} \
+                 (first oob write {first:#010x}, pc {pc:#010x})"
+            ),
         }
     }
 }

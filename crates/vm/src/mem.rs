@@ -59,6 +59,48 @@ impl Region {
     }
 }
 
+/// An armed shadow-memory redzone: the poisoned address range past the
+/// end of a protected buffer, plus a record of the out-of-bounds writes
+/// it has absorbed so far.
+#[derive(Debug, Clone)]
+struct Redzone {
+    buffer: Addr,
+    capacity: u32,
+    /// Poisoned range `[zone_start, zone_end)`.
+    zone_start: Addr,
+    zone_end: u64,
+    /// Lowest / highest poisoned address written, and the pc of the
+    /// first offending store.
+    first: Option<Addr>,
+    last: Addr,
+    pc: Addr,
+}
+
+/// Diagnostic returned when disarming a redzone that absorbed at least
+/// one out-of-bounds write (the shadow-memory sanitizer's finding).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RedzoneHit {
+    /// Base address of the protected buffer.
+    pub buffer: Addr,
+    /// Declared capacity of the buffer in bytes.
+    pub capacity: u32,
+    /// First (lowest) poisoned address written.
+    pub first: Addr,
+    /// Last (highest) poisoned address written.
+    pub last: Addr,
+    /// pc of the instruction that performed the first poisoned write.
+    pub pc: Addr,
+}
+
+impl RedzoneHit {
+    /// How many bytes past the buffer's end the writer reached.
+    pub fn extent(&self) -> u32 {
+        self.last
+            .wrapping_sub(self.buffer.wrapping_add(self.capacity))
+            .wrapping_add(1)
+    }
+}
+
 /// The machine's memory: a set of disjoint regions with R/W/X checking.
 ///
 /// All accessors take the current program counter so that faults can
@@ -73,6 +115,8 @@ pub struct Memory {
     /// Predecoded-instruction cache; every mutation path below notifies
     /// it so cached decodes can never go stale.
     dcache: DecodeCache,
+    /// Armed shadow-memory redzone, if any (ASan-style sanitizer).
+    redzone: Option<Box<Redzone>>,
 }
 
 impl Memory {
@@ -255,6 +299,9 @@ impl Memory {
     ///
     /// Returns [`Fault::UnmappedWrite`] or [`Fault::ProtectedWrite`].
     pub fn write_u8(&mut self, addr: Addr, v: u8, pc: Addr) -> Result<(), Fault> {
+        if self.redzone_absorbs(addr, pc) {
+            return Ok(());
+        }
         self.dcache.note_write(addr);
         let r = self
             .region_mut(addr)
@@ -290,6 +337,14 @@ impl Memory {
     /// it will already have been written (matching real partial stores).
     pub fn write_bytes(&mut self, addr: Addr, bytes: &[u8], pc: Addr) -> Result<(), Fault> {
         if bytes.is_empty() {
+            return Ok(());
+        }
+        if self.redzone.is_some() {
+            // Byte-at-a-time so the in-bounds prefix commits and every
+            // poisoned byte is recorded individually.
+            for (i, b) in bytes.iter().enumerate() {
+                self.write_u8(addr.wrapping_add(i as u32), *b, pc)?;
+            }
             return Ok(());
         }
         self.dcache.note_write_range(addr, bytes.len());
@@ -398,6 +453,71 @@ impl Memory {
             };
         }
         Ok(n)
+    }
+
+    // ---- shadow-memory sanitizer (ASan-style redzone) ----
+
+    /// Arms a redzone over `[buffer + capacity, zone_end)`: permissioned
+    /// writes landing there are *diverted* — recorded, not stored — so
+    /// an overflow neither corrupts adjacent state nor faults early,
+    /// and its full extent can be measured on disarm.
+    ///
+    /// Only one redzone can be armed at a time; re-arming replaces any
+    /// previous one. `poke` and reads are unaffected.
+    pub fn arm_redzone(&mut self, buffer: Addr, capacity: u32, zone_end: u64) {
+        let zone_start = buffer.wrapping_add(capacity);
+        self.redzone = Some(Box::new(Redzone {
+            buffer,
+            capacity,
+            zone_start,
+            zone_end,
+            first: None,
+            last: 0,
+            pc: 0,
+        }));
+    }
+
+    /// Disarms the redzone. Returns the absorbed-overflow diagnostic if
+    /// any poisoned byte was written while armed; `None` on a clean run
+    /// (or when nothing was armed).
+    pub fn disarm_redzone(&mut self) -> Option<RedzoneHit> {
+        let z = self.redzone.take()?;
+        let first = z.first?;
+        Some(RedzoneHit {
+            buffer: z.buffer,
+            capacity: z.capacity,
+            first,
+            last: z.last,
+            pc: z.pc,
+        })
+    }
+
+    /// Whether a redzone is currently armed.
+    pub fn redzone_armed(&self) -> bool {
+        self.redzone.is_some()
+    }
+
+    /// Records `addr` if it falls in the poisoned range; returns `true`
+    /// when the write must be diverted.
+    fn redzone_absorbs(&mut self, addr: Addr, pc: Addr) -> bool {
+        let Some(z) = self.redzone.as_deref_mut() else {
+            return false;
+        };
+        if (addr as u64) < (z.zone_start as u64) || (addr as u64) >= z.zone_end {
+            return false;
+        }
+        match z.first {
+            None => {
+                z.first = Some(addr);
+                z.pc = pc;
+                z.last = addr;
+            }
+            Some(f) => {
+                z.first = Some(f.min(addr));
+                z.last = z.last.max(addr);
+            }
+        }
+        true
     }
 
     // ---- predecoded-instruction cache plumbing (used by the
@@ -530,6 +650,43 @@ mod tests {
     fn overlapping_map_panics() {
         let mut m = mem();
         m.map("bad", None, 0x10FF, 0x10, Perms::RW);
+    }
+
+    #[test]
+    fn redzone_diverts_and_measures_overflow() {
+        let mut m = mem();
+        // Buffer of 8 bytes at 0x8000; zone to end of the region.
+        m.arm_redzone(0x8000, 8, 0x8100);
+        assert!(m.redzone_armed());
+        // 12-byte write: 8 in bounds, 4 diverted.
+        m.write_bytes(0x8000, &[0xAA; 12], 0x42).unwrap();
+        assert_eq!(m.read_u8(0x8007, 0).unwrap(), 0xAA);
+        assert_eq!(m.read_u8(0x8008, 0).unwrap(), 0, "poisoned byte diverted");
+        let hit = m.disarm_redzone().expect("overflow recorded");
+        assert_eq!(hit.first, 0x8008);
+        assert_eq!(hit.last, 0x800B);
+        assert_eq!(hit.pc, 0x42);
+        assert_eq!(hit.extent(), 4);
+        assert!(!m.redzone_armed());
+    }
+
+    #[test]
+    fn clean_run_disarms_quietly() {
+        let mut m = mem();
+        m.arm_redzone(0x8000, 8, 0x8100);
+        m.write_bytes(0x8000, &[1; 8], 0).unwrap();
+        assert!(m.disarm_redzone().is_none());
+    }
+
+    #[test]
+    fn redzone_does_not_mask_unmapped_faults() {
+        let mut m = mem();
+        m.arm_redzone(0x8000, 8, 0x8100);
+        // Past zone_end (= region end) still faults.
+        assert!(matches!(
+            m.write_u8(0x8100, 1, 0),
+            Err(Fault::UnmappedWrite { .. })
+        ));
     }
 
     #[test]

@@ -378,7 +378,7 @@ impl Strategy for String {
 pub mod collection {
     use super::{Strategy, TestRng};
 
-    /// Element-count bound for [`vec`].
+    /// Element-count bound for [`vec()`].
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         min: usize,

@@ -25,6 +25,7 @@ fn main() -> ExitCode {
     let opts = Opts::parse(&args[1..]);
     match cmd.as_str() {
         "survey" => survey(),
+        "analyze" => analyze_cmd(&opts),
         "recon" => recon(&opts),
         "exploit" => exploit(&opts),
         "dos" => dos(&opts),
@@ -49,6 +50,8 @@ fn usage() {
          \n\
          commands:\n\
          \x20 survey                         exploitability per firmware profile\n\
+         \x20 analyze     --arch A --firmware F   static analysis report (JSON)\n\
+         \x20 analyze     --self-test        run the analyzer's CI self-test\n\
          \x20 recon       --arch A           run reconnaissance, print findings\n\
          \x20 exploit     --arch A --prot P --strategy S\n\
          \x20 dos         --arch A --prot P  crash-only probe\n\
@@ -173,6 +176,32 @@ impl Opts {
 fn survey() -> ExitCode {
     println!("{}", connman_lab::experiments::e4::run().to_markdown());
     ExitCode::SUCCESS
+}
+
+fn analyze_cmd(opts: &Opts) -> ExitCode {
+    if opts.rest.iter().any(|a| a == "--self-test") {
+        return match connman_lab::analysis::self_test() {
+            Ok(summary) => {
+                println!("analyze self-test OK");
+                println!("{summary}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("analyze self-test FAILED: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let firmware = connman_lab::Firmware::build(opts.firmware, opts.arch);
+    let report = connman_lab::analysis::analyze(firmware.image());
+    println!("{}", report.to_json());
+    // Exit 2 signals "findings present" so scripts can gate on it, the
+    // same convention the exploit command uses for "no shell".
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
 }
 
 fn recon(opts: &Opts) -> ExitCode {

@@ -2,6 +2,7 @@
 //!
 //! Re-exports the public API of [`cml_core`] so that examples and
 //! downstream users need a single dependency.
+pub use cml_analyze as analysis;
 pub use cml_connman as connman;
 pub use cml_core::*;
 pub use cml_dns as dns;

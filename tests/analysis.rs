@@ -1,0 +1,173 @@
+//! Integration: the static analyzer and the VM shadow-memory sanitizer
+//! across the paper's full exploit matrix (x86/ARM × none/W⊕X/W⊕X+ASLR).
+//!
+//! The analyzer must flag the vulnerable firmware and stay quiet on the
+//! patched one in every cell; the sanitizer must pinpoint every matrix
+//! payload with the exact overflow extent; and switching the sanitizer
+//! off must leave the exploits fully functional.
+
+use connman_lab::analysis::{self, json};
+use connman_lab::exploit::{ArmGadgetExeclp, BufferImage, CodeInjection, Ret2Libc, RopMemcpyChain};
+use connman_lab::vm::Fault;
+use connman_lab::{
+    Arch, AttackOutcome, ExploitStrategy, Firmware, FirmwareKind, Lab, Protections, ProxyOutcome,
+};
+
+fn matrix() -> Vec<(Arch, Protections)> {
+    let mut cells = Vec::new();
+    for arch in Arch::ALL {
+        for prot in [
+            Protections::none(),
+            Protections::wxorx(),
+            Protections::full(),
+        ] {
+            cells.push((arch, prot));
+        }
+    }
+    cells
+}
+
+/// The paper's technique for each protection level (same pairing the
+/// CLI's `auto` strategy uses).
+fn strategy_for(arch: Arch, prot: &Protections) -> Box<dyn ExploitStrategy> {
+    if prot.aslr.enabled {
+        Box::new(RopMemcpyChain::new(arch))
+    } else if prot.wxorx {
+        match arch {
+            Arch::X86 => Box::new(Ret2Libc::new()),
+            Arch::Armv7 => Box::new(ArmGadgetExeclp::new()),
+        }
+    } else {
+        Box::new(CodeInjection::new(arch))
+    }
+}
+
+#[test]
+fn analyzer_flags_vulnerable_and_passes_patched_in_every_cell() {
+    for (arch, prot) in matrix() {
+        let cell = format!("{arch}/{}", prot.label());
+
+        let vulnerable = Firmware::build(FirmwareKind::OpenElec, arch);
+        let report = analysis::analyze(vulnerable.image());
+        assert!(!report.clean(), "{cell}: vulnerable image must be flagged");
+        assert_eq!(report.findings.len(), 1, "{cell}");
+        let f = &report.findings[0];
+        assert_eq!(f.function, "parse_response", "{cell}");
+        assert_eq!(f.capacity, 1024, "{cell}");
+        assert!(f.source.contains("DNS response"), "{cell}");
+        assert!(f.sink.contains("1024-byte"), "{cell}");
+
+        let patched = Firmware::build(FirmwareKind::Patched, arch);
+        let clean = analysis::analyze(patched.image());
+        assert!(
+            clean.clean(),
+            "{cell}: patched image must pass: {:?}",
+            clean.findings
+        );
+    }
+}
+
+#[test]
+fn sanitizer_pinpoints_every_matrix_payload_with_exact_extent() {
+    for (arch, prot) in matrix() {
+        let cell = format!("{arch}/{}", prot.label());
+        let strategy = strategy_for(arch, &prot);
+
+        // Predict the overflow extent from the payload itself: the
+        // daemon writes every decompressed label byte plus the root
+        // terminator into the 1024-byte name buffer.
+        let lab = Lab::new(FirmwareKind::OpenElec, arch).with_protections(prot);
+        let info = lab.recon().expect("recon");
+        let payload = strategy
+            .build(&info)
+            .unwrap_or_else(|e| panic!("{cell}: {e}"));
+        let labels = payload.to_labels().expect("labelizable payload");
+        let written = BufferImage::decompress(&labels).len() as u32 + 1;
+        assert!(
+            written > 1024,
+            "{cell}: matrix payloads overflow the buffer"
+        );
+
+        let report = lab
+            .with_sanitizer(true)
+            .run_exploit(strategy.as_ref())
+            .unwrap_or_else(|e| panic!("{cell}: {e}"));
+        let ProxyOutcome::Crashed(fault_report) = &report.proxy_outcome else {
+            panic!(
+                "{cell}: sanitizer must crash the daemon, got {}",
+                report.proxy_outcome
+            );
+        };
+        let Fault::RedzoneViolation {
+            capacity, extent, ..
+        } = fault_report.fault
+        else {
+            panic!(
+                "{cell}: expected a redzone violation, got {}",
+                fault_report.fault
+            );
+        };
+        assert_eq!(capacity, 1024, "{cell}");
+        assert_eq!(extent, written - 1024, "{cell}: imprecise overflow extent");
+        assert_ne!(
+            report.outcome,
+            AttackOutcome::RootShell,
+            "{cell}: the diverted overflow must not still pop a shell"
+        );
+    }
+}
+
+#[test]
+fn exploits_still_succeed_with_sanitizer_off() {
+    for (arch, prot) in matrix() {
+        let cell = format!("{arch}/{}", prot.label());
+        let strategy = strategy_for(arch, &prot);
+        let outcome = Lab::new(FirmwareKind::OpenElec, arch)
+            .with_protections(prot)
+            .run_exploit(strategy.as_ref())
+            .unwrap_or_else(|e| panic!("{cell}: {e}"))
+            .outcome;
+        assert_eq!(outcome, AttackOutcome::RootShell, "{cell}");
+    }
+}
+
+#[test]
+fn report_json_schema_round_trips() {
+    for arch in Arch::ALL {
+        let firmware = Firmware::build(FirmwareKind::OpenElec, arch);
+        let report = analysis::analyze(firmware.image());
+        let text = report.to_json().to_string();
+        let doc = json::parse(&text).expect("emitted JSON parses");
+
+        assert_eq!(
+            doc.get("schema").and_then(json::Value::as_str),
+            Some("cml-analyze/v1")
+        );
+        assert_eq!(doc.get("clean").and_then(json::Value::as_bool), Some(false));
+        let findings = doc.get("findings").and_then(json::Value::as_arr).unwrap();
+        assert_eq!(findings.len(), 1);
+        assert_eq!(
+            findings[0].get("capacity").and_then(json::Value::as_num),
+            Some(1024.0)
+        );
+        let audit = doc.get("audit").expect("audit object");
+        let wx = audit
+            .get("wx_violations")
+            .and_then(json::Value::as_arr)
+            .unwrap();
+        assert!(
+            wx.iter().any(|v| v.as_str() == Some("[stack]")),
+            "{arch}: executable stack must be audited"
+        );
+        let sections = audit.get("sections").and_then(json::Value::as_arr).unwrap();
+        assert!(!sections.is_empty());
+        assert!(
+            audit
+                .get("gadget_total")
+                .and_then(json::Value::as_num)
+                .unwrap()
+                > 0.0,
+            "{arch}"
+        );
+    }
+}
