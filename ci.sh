@@ -20,6 +20,12 @@ cargo test --workspace --release --offline -q
 echo "==> cml analyze --self-test"
 cargo run --release --offline -q -p connman-lab --bin cml -- analyze --self-test
 
+echo "==> repro --bench-smoke"
+# Tiny-iteration snapshot/dispatch ablations, compared against the newest
+# committed BENCH_*.json (fails on a >2x regression of the snapshot
+# advantage; skips with a note when no baseline is committed yet).
+cargo run --release --offline -q -p cml-bench --bin repro -- --bench-smoke
+
 echo "==> cargo doc --no-deps"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline -q
 

@@ -146,11 +146,74 @@ fn ablation_decode_cache(c: &mut Criterion) {
     }
 }
 
+/// Ablation 5 — boot-once/fork-many: one E8-style brute-force trial
+/// (boot the OpenELEC/x86 daemon under full protections, deliver one
+/// oversized response) paying a full boot per trial vs. forking a
+/// snapshot (restore + fresh ASLR re-slide) per trial.
+fn ablation_snapshot_vs_reboot(c: &mut Criterion) {
+    use cml_exploit::target::deliver_labels;
+    let fw = Firmware::build(FirmwareKind::OpenElec, Arch::X86);
+    let prot = Protections::full();
+    let labels: Vec<Vec<u8>> = vec![0x41u8; 1300].chunks(63).map(<[u8]>::to_vec).collect();
+    c.bench_function("ablation/snapshot_vs_reboot/fresh_boot", |b| {
+        b.iter(|| {
+            let mut daemon = fw.boot(prot, 0x5EED_0000);
+            black_box(deliver_labels(&mut daemon, labels.clone()))
+        })
+    });
+    let mut forge = fw.forge(prot, 0x5EED_0000);
+    c.bench_function("ablation/snapshot_vs_reboot/snapshot_fork", |b| {
+        b.iter(|| {
+            // A non-base seed so every fork pays the full restore +
+            // re-slide path, like an E8 trial.
+            let daemon = forge.fork(0x5EED_0001);
+            black_box(deliver_labels(daemon, labels.clone()))
+        })
+    });
+}
+
+/// Ablation 6 — fused basic-block dispatch: the decode-cache hot loop
+/// again (a daemon_init-shaped backward loop), dispatching fused
+/// straight-line blocks (what we ship) vs. stepping per instruction.
+fn ablation_block_dispatch(c: &mut Criterion) {
+    use cml_image::{Perms, SectionKind};
+    let code = x86::Asm::new()
+        .mov_r_imm(X86Reg::Ecx, 2_000)
+        .inc_r(X86Reg::Eax)
+        .inc_r(X86Reg::Eax)
+        .inc_r(X86Reg::Eax)
+        .inc_r(X86Reg::Eax)
+        .dec_r(X86Reg::Ecx)
+        .jnz_rel8(-7)
+        .xor_rr(X86Reg::Eax, X86Reg::Eax)
+        .mov_r8_imm(X86Reg::Eax, 1)
+        .int80()
+        .finish();
+    for (name, blocks_on) in [("block_dispatch", true), ("insn_dispatch", false)] {
+        c.bench_function(format!("ablation/block_vs_insn/{name}"), |b| {
+            b.iter(|| {
+                let mut m = Machine::new(Arch::X86);
+                m.set_block_dispatch_enabled(blocks_on);
+                m.mem_mut()
+                    .map(".text", Some(SectionKind::Text), 0x1000, 0x1000, Perms::RX);
+                m.mem_mut()
+                    .map("stack", Some(SectionKind::Stack), 0x8000, 0x1000, Perms::RW);
+                m.mem_mut().poke(0x1000, &code).unwrap();
+                m.regs_mut().set_pc(0x1000);
+                m.regs_mut().set_sp(0x8800);
+                black_box(m.run(100_000))
+            })
+        });
+    }
+}
+
 criterion_group!(
     benches,
     ablation_scan_mode,
     ablation_frame_sim,
     ablation_labelize,
-    ablation_decode_cache
+    ablation_decode_cache,
+    ablation_snapshot_vs_reboot,
+    ablation_block_dispatch
 );
 criterion_main!(benches);

@@ -7,8 +7,14 @@
 //! repro --json          # machine-readable output
 //! repro --jobs 4        # fan matrix experiments across 4 workers
 //! repro --bench-json    # also time each experiment + a 1,000-device
-//!                       # fleet + the static analyzer and write
-//!                       # BENCH_<n>.json
+//!                       # fleet + the static analyzer + the snapshot /
+//!                       # dispatch ablations and write BENCH_<n>.json
+//! repro --bench-smoke   # tiny-iteration ablation run compared against
+//!                       # the newest committed BENCH_*.json; exits 1 on
+//!                       # a >2x regression, 0 (with a note) when no
+//!                       # baseline exists
+//! repro --no-snapshot   # boot every E8 trial from scratch instead of
+//!                       # forking a per-entropy-level snapshot
 //! repro --sanitize      # run the 6-cell exploit matrix under the VM
 //!                       # shadow-memory sanitizer and print precise
 //!                       # overflow diagnostics per cell
@@ -18,11 +24,12 @@ use std::io::Write;
 use std::time::Instant;
 
 use cml_core::experiments;
-use cml_core::fleet::{run_fleet, FleetSpec};
+use cml_core::fleet::{run_fleet_with, FleetSpec};
 use cml_core::report::Suite;
 use cml_core::{Arch, Firmware, FirmwareKind, Lab, Protections, ProxyOutcome};
+use cml_exploit::target::deliver_labels;
 use cml_exploit::{ArmGadgetExeclp, CodeInjection, ExploitStrategy, Ret2Libc, RopMemcpyChain};
-use cml_vm::Fault;
+use cml_vm::{x86, Fault, Machine, X86Reg};
 
 const ALL_IDS: [&str; 8] = ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8"];
 const FLEET_DEVICES: usize = 1000;
@@ -32,7 +39,9 @@ fn main() {
     let mut out_path: Option<String> = None;
     let mut json = false;
     let mut bench_json = false;
+    let mut bench_smoke = false;
     let mut sanitize = false;
+    let mut snapshot = true;
     let mut jobs = 1usize;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -41,7 +50,9 @@ fn main() {
             "--out" => out_path = args.next(),
             "--json" => json = true,
             "--bench-json" | "--timings" => bench_json = true,
+            "--bench-smoke" => bench_smoke = true,
             "--sanitize" => sanitize = true,
+            "--no-snapshot" => snapshot = false,
             "--jobs" => {
                 jobs = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
                     eprintln!("--jobs wants a number, using 1");
@@ -51,7 +62,8 @@ fn main() {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: repro [--exp e1 e2 …] [--out FILE] [--json] \
-                     [--jobs N] [--bench-json|--timings] [--sanitize]"
+                     [--jobs N] [--bench-json|--timings] [--bench-smoke] \
+                     [--no-snapshot] [--sanitize]"
                 );
                 return;
             }
@@ -59,6 +71,9 @@ fn main() {
         }
     }
 
+    if bench_smoke {
+        std::process::exit(smoke_vs_baseline());
+    }
     if sanitize {
         std::process::exit(sanitize_matrix());
     }
@@ -79,7 +94,7 @@ fn main() {
     let mut timings: Vec<(String, f64)> = Vec::new();
     for id in &run_ids {
         let t0 = Instant::now();
-        match experiments::run_one_jobs(id, jobs) {
+        match experiments::run_one_jobs_with(id, jobs, snapshot) {
             Some(t) => {
                 let secs = t0.elapsed().as_secs_f64();
                 eprintln!("finished {id} in {:.2}s", secs);
@@ -107,7 +122,7 @@ fn main() {
     if bench_json {
         let spec = FleetSpec::heterogeneous(FLEET_DEVICES, 0xF1EE7);
         eprintln!("timing a {FLEET_DEVICES}-device fleet on {jobs} worker(s)…");
-        let report = run_fleet(&spec, jobs);
+        let report = run_fleet_with(&spec, jobs, snapshot);
         eprintln!(
             "fleet: {} devices in {:.2}s ({:.1} devices/sec, {} compromised)",
             report.outcomes.len(),
@@ -120,13 +135,211 @@ fn main() {
         for (arch, secs, insns) in &analysis {
             eprintln!("analyzer: {arch} CFG+taint+audit over {insns} instructions in {secs:.4}s");
         }
+        eprintln!("running the snapshot/dispatch ablations…");
+        let ablations = run_ablations(ABLATION_TRIALS);
+        eprintln!("{}", ablations.describe());
         let path = next_bench_path();
-        let doc = bench_json_doc(jobs, &timings, &report, &analysis);
+        let doc = bench_json_doc(jobs, &timings, &report, &analysis, &ablations);
         match std::fs::File::create(&path).and_then(|mut f| f.write_all(doc.as_bytes())) {
             Ok(()) => eprintln!("wrote {path}"),
             Err(e) => eprintln!("failed to write {path}: {e}"),
         }
     }
+}
+
+/// Trials per ablation arm for the full `--bench-json` run.
+const ABLATION_TRIALS: u64 = 48;
+
+/// Trials per ablation arm for the `--bench-smoke` CI stage.
+const SMOKE_TRIALS: u64 = 6;
+
+/// The harness-throughput ablation numbers recorded in `BENCH_<n>.json`.
+struct Ablations {
+    trials: u64,
+    /// Mean executed instructions per E8-style trial, fresh boot each.
+    fresh_insns: u64,
+    /// Same, forking one snapshot (restore + reslide) per trial.
+    forked_insns: u64,
+    fresh_wall_secs: f64,
+    forked_wall_secs: f64,
+    /// Wall seconds for the same hot-loop run under fused basic-block
+    /// dispatch vs. forced per-instruction stepping (same insn counts —
+    /// the modes are semantically identical; only dispatch cost moves).
+    block_wall_secs: f64,
+    insn_wall_secs: f64,
+    /// Executed instructions per run in both dispatch arms.
+    dispatch_insns: u64,
+}
+
+impl Ablations {
+    fn insn_ratio(&self) -> f64 {
+        self.fresh_insns as f64 / self.forked_insns.max(1) as f64
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "snapshot_vs_reboot: {} vs {} insns/trial ({:.1}x fewer), \
+             {:.3}s vs {:.3}s over {} trials\n\
+             block_vs_insn: {:.3}s vs {:.3}s for {} insns/trial",
+            self.fresh_insns,
+            self.forked_insns,
+            self.insn_ratio(),
+            self.fresh_wall_secs,
+            self.forked_wall_secs,
+            self.trials,
+            self.block_wall_secs,
+            self.insn_wall_secs,
+            self.dispatch_insns
+        )
+    }
+}
+
+/// Runs both ablations at `trials` iterations per arm. The workload is
+/// one E8-style trial: boot (or fork) an OpenELEC/x86 daemon under full
+/// protections and deliver one oversized response.
+fn run_ablations(trials: u64) -> Ablations {
+    let fw = Firmware::build(FirmwareKind::OpenElec, Arch::X86);
+    let prot = Protections::full();
+    let labels: Vec<Vec<u8>> = vec![0x41u8; 1300].chunks(63).map(<[u8]>::to_vec).collect();
+
+    // Arm 1: a fresh boot per trial.
+    let t0 = Instant::now();
+    let mut fresh_insns = 0u64;
+    for seed in 0..trials {
+        let mut daemon = fw.boot(prot, 0x5EED_0000 + seed);
+        deliver_labels(&mut daemon, labels.clone());
+        fresh_insns += daemon.machine().insn_count();
+    }
+    let fresh_wall_secs = t0.elapsed().as_secs_f64();
+
+    // Arm 2: boot once, fork (restore + reslide) per trial. insn_count
+    // is monotonic across restore, so the delta is the true trial cost.
+    let t0 = Instant::now();
+    let mut forge = fw.forge(prot, 0x5EED_0000);
+    let mut forked_insns = 0u64;
+    for seed in 0..trials {
+        let daemon = forge.fork(0x5EED_0000 + seed);
+        let before = daemon.machine().insn_count();
+        deliver_labels(daemon, labels.clone());
+        forked_insns += daemon.machine().insn_count() - before;
+    }
+    let forked_wall_secs = t0.elapsed().as_secs_f64();
+
+    // Dispatch ablation: a daemon_init-shaped hot loop (the dominant
+    // straight-line/backward-branch mix the fused dispatcher targets)
+    // under fused basic-block dispatch vs. per-instruction stepping.
+    let mut dispatch = [0.0f64; 2];
+    let mut dispatch_insns = 0u64;
+    for (slot, blocks_on) in [(0usize, true), (1usize, false)] {
+        let t0 = Instant::now();
+        let mut insns = 0u64;
+        for _ in 0..trials {
+            let mut m = dispatch_loop_machine();
+            m.set_block_dispatch_enabled(blocks_on);
+            m.run(1_000_000);
+            insns += m.insn_count();
+        }
+        dispatch[slot] = t0.elapsed().as_secs_f64();
+        dispatch_insns = insns / trials.max(1);
+    }
+
+    Ablations {
+        trials,
+        fresh_insns: fresh_insns / trials.max(1),
+        forked_insns: forked_insns / trials.max(1),
+        fresh_wall_secs,
+        forked_wall_secs,
+        block_wall_secs: dispatch[0],
+        insn_wall_secs: dispatch[1],
+        dispatch_insns,
+    }
+}
+
+/// A machine running a daemon_init-shaped x86 hot loop (~300k executed
+/// instructions): `mov ecx, 50000; loop: inc eax ×4; dec ecx; jnz loop`
+/// then `exit(0)`.
+fn dispatch_loop_machine() -> Machine {
+    use cml_image::{Perms, SectionKind};
+    let code = x86::Asm::new()
+        .mov_r_imm(X86Reg::Ecx, 50_000)
+        .inc_r(X86Reg::Eax)
+        .inc_r(X86Reg::Eax)
+        .inc_r(X86Reg::Eax)
+        .inc_r(X86Reg::Eax)
+        .dec_r(X86Reg::Ecx)
+        .jnz_rel8(-7)
+        .xor_rr(X86Reg::Eax, X86Reg::Eax)
+        .mov_r8_imm(X86Reg::Eax, 1)
+        .int80()
+        .finish();
+    let mut m = Machine::new(cml_image::Arch::X86);
+    m.mem_mut()
+        .map(".text", Some(SectionKind::Text), 0x1000, 0x1000, Perms::RX);
+    m.mem_mut()
+        .map("stack", Some(SectionKind::Stack), 0x8000, 0x1000, Perms::RW);
+    m.mem_mut().poke(0x1000, &code).expect("code fits");
+    m.regs_mut().set_pc(0x1000);
+    m.regs_mut().set_sp(0x8800);
+    m
+}
+
+/// `--bench-smoke`: a tiny-iteration ablation run compared against the
+/// newest committed `BENCH_<n>.json` that carries ablation records.
+/// Fails (exit 1) when the snapshot advantage collapsed by more than 2x
+/// in instruction terms; skips with a note (exit 0) when no baseline
+/// file exists yet.
+fn smoke_vs_baseline() -> i32 {
+    let current = run_ablations(SMOKE_TRIALS);
+    println!("{}", current.describe());
+    let Some((path, baseline_ratio)) = newest_baseline_ratio() else {
+        println!("bench-smoke: no committed BENCH_*.json with ablations — skipping comparison");
+        return 0;
+    };
+    let ratio = current.insn_ratio();
+    println!(
+        "bench-smoke: snapshot insn ratio {ratio:.1}x vs {baseline_ratio:.1}x baseline ({path})"
+    );
+    if ratio < baseline_ratio / 2.0 {
+        println!("bench-smoke: FAIL — snapshot advantage regressed by more than 2x");
+        return 1;
+    }
+    println!("bench-smoke: OK");
+    0
+}
+
+/// Finds the highest-numbered `BENCH_<n>.json` in the working directory
+/// that contains a `snapshot_vs_reboot` record and extracts its
+/// instruction ratio.
+fn newest_baseline_ratio() -> Option<(String, f64)> {
+    let mut best: Option<(u64, String)> = None;
+    for entry in std::fs::read_dir(".").ok()?.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if let Some(n) = name
+            .strip_prefix("BENCH_")
+            .and_then(|s| s.strip_suffix(".json"))
+            .and_then(|s| s.parse::<u64>().ok())
+        {
+            if best.as_ref().is_none_or(|(b, _)| n > *b) {
+                best = Some((n, name));
+            }
+        }
+    }
+    let (_, path) = best?;
+    let doc = std::fs::read_to_string(&path).ok()?;
+    let ratio = json_number_after(&doc, "\"snapshot_vs_reboot\"", "\"insn_ratio\":")?;
+    Some((path, ratio))
+}
+
+/// Extracts the first number following `key` after `section` in a JSON
+/// document we generated ourselves (the approved dependency set has no
+/// JSON parser; our own output is regular enough for a scan).
+fn json_number_after(doc: &str, section: &str, key: &str) -> Option<f64> {
+    let tail = &doc[doc.find(section)? + section.len()..];
+    let tail = &tail[tail.find(key)? + key.len()..];
+    let end = tail
+        .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
+        .unwrap_or(tail.len());
+    tail[..end].parse().ok()
 }
 
 /// Runs the six-cell exploit matrix (x86/ARM × none/W⊕X/W⊕X+ASLR) with
@@ -213,6 +426,7 @@ fn bench_json_doc(
     timings: &[(String, f64)],
     fleet: &cml_core::fleet::FleetReport,
     analysis: &[(Arch, f64, usize)],
+    ablations: &Ablations,
 ) -> String {
     let exps: Vec<String> = timings
         .iter()
@@ -224,12 +438,30 @@ fn bench_json_doc(
             format!("{{\"arch\":\"{arch}\",\"wall_secs\":{secs:.6},\"instructions\":{insns}}}")
         })
         .collect();
+    let abl = format!(
+        "{{\"snapshot_vs_reboot\":{{\"trials\":{},\"fresh_insns_per_trial\":{},\
+         \"forked_insns_per_trial\":{},\"insn_ratio\":{:.2},\"fresh_wall_secs\":{:.6},\
+         \"forked_wall_secs\":{:.6}}},\"block_vs_insn\":{{\"trials\":{},\
+         \"insns_per_trial\":{},\"block_wall_secs\":{:.6},\"insn_wall_secs\":{:.6}}}}}",
+        ablations.trials,
+        ablations.fresh_insns,
+        ablations.forked_insns,
+        ablations.insn_ratio(),
+        ablations.fresh_wall_secs,
+        ablations.forked_wall_secs,
+        ablations.trials,
+        ablations.dispatch_insns,
+        ablations.block_wall_secs,
+        ablations.insn_wall_secs
+    );
     format!(
-        "{{\"jobs\":{jobs},\"experiments\":[{}],\"analysis\":[{}],\"fleet\":{{\"devices\":{},\
+        "{{\"jobs\":{jobs},\"experiments\":[{}],\"analysis\":[{}],\"ablations\":{},\
+         \"fleet\":{{\"devices\":{},\
          \"jobs\":{},\"wall_secs\":{:.6},\"devices_per_sec\":{:.2},\
          \"compromised\":{},\"survivors\":{}}}}}\n",
         exps.join(","),
         ana.join(","),
+        abl,
         fleet.outcomes.len(),
         fleet.jobs,
         fleet.elapsed.as_secs_f64(),

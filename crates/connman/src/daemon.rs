@@ -16,7 +16,7 @@ use cml_dns::validate::{gate_response, ResponseRejection};
 use cml_dns::{Message, Name, Question, RecordType, WireReader};
 use cml_image::Addr;
 use cml_vm::debug::FaultReport;
-use cml_vm::{Fault, LoadMap, Machine, RunOutcome, ShellSpawn};
+use cml_vm::{Fault, LoadMap, Loader, Machine, MachineSnapshot, RunOutcome, ShellSpawn};
 
 use crate::frame::{Frame, FrameLayout};
 use crate::uncompress::{get_name_into, UncompressError};
@@ -96,6 +96,30 @@ pub enum Resolution {
     /// An upstream query was issued; deliver its wire bytes to the
     /// configured DNS server.
     Query(Vec<u8>),
+}
+
+/// Everything needed to rewind a booted [`Daemon`] to an earlier point:
+/// the machine snapshot (copy-on-write pages) plus the daemon's own
+/// protocol state. Produced by [`Daemon::snapshot`], consumed by
+/// [`Daemon::restore`] — the "boot once, fork per trial" primitive the
+/// experiment harness builds on.
+#[derive(Debug, Clone)]
+pub struct DaemonSnapshot {
+    version: ConnmanVersion,
+    machine: MachineSnapshot,
+    map: LoadMap,
+    cache: Cache,
+    layout: FrameLayout,
+    parse_pc: Addr,
+    resume_pc: Addr,
+    boot_sp: Addr,
+    next_id: u16,
+    pending: HashMap<u16, PendingQuery>,
+    pending_order: VecDeque<(u16, u64)>,
+    issued: u64,
+    clock: u64,
+    state: DaemonState,
+    sanitize: bool,
 }
 
 /// The simulated Connman DNS proxy daemon.
@@ -186,6 +210,12 @@ impl Daemon {
         self
     }
 
+    /// In-place variant of [`Daemon::with_sanitizer`] — for daemons that
+    /// are already booted (e.g. a snapshot fork).
+    pub fn set_sanitizer(&mut self, on: bool) {
+        self.sanitize = on;
+    }
+
     /// Whether the shadow-memory sanitizer is enabled.
     pub fn sanitizer_enabled(&self) -> bool {
         self.sanitize
@@ -214,6 +244,14 @@ impl Daemon {
     /// The underlying machine (for inspection).
     pub fn machine(&self) -> &Machine {
         &self.machine
+    }
+
+    /// The underlying machine, mutably — for harness-level toggles
+    /// (dispatch mode, decode cache) and instrumentation. Daemon
+    /// bookkeeping (pcs, pending queries) is not touched, so callers
+    /// must not move regions or rewrite register state.
+    pub fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
     }
 
     /// Enables execution tracing on the underlying machine: hijacked
@@ -435,6 +473,80 @@ impl Daemon {
         }
     }
 
+    /// Captures the daemon's complete state for later [`Daemon::restore`].
+    ///
+    /// Cheap to restore from: memory pages are shared copy-on-write with
+    /// the live machine, so rewinding costs O(pages dirtied since the
+    /// snapshot), not O(address space).
+    pub fn snapshot(&mut self) -> DaemonSnapshot {
+        DaemonSnapshot {
+            version: self.version,
+            machine: self.machine.snapshot(),
+            map: self.map.clone(),
+            cache: self.cache.clone(),
+            layout: self.layout,
+            parse_pc: self.parse_pc,
+            resume_pc: self.resume_pc,
+            boot_sp: self.boot_sp,
+            next_id: self.next_id,
+            pending: self.pending.clone(),
+            pending_order: self.pending_order.clone(),
+            issued: self.issued,
+            clock: self.clock,
+            state: self.state.clone(),
+            sanitize: self.sanitize,
+        }
+    }
+
+    /// Rewinds the daemon to `snap` (taken from this daemon or a clone of
+    /// it booted from the same image).
+    pub fn restore(&mut self, snap: &DaemonSnapshot) {
+        self.version = snap.version;
+        self.machine.restore(&snap.machine);
+        self.map = snap.map.clone();
+        self.cache = snap.cache.clone();
+        self.layout = snap.layout;
+        self.parse_pc = snap.parse_pc;
+        self.resume_pc = snap.resume_pc;
+        self.boot_sp = snap.boot_sp;
+        self.next_id = snap.next_id;
+        self.pending = snap.pending.clone();
+        self.pending_order = snap.pending_order.clone();
+        self.issued = snap.issued;
+        self.clock = snap.clock;
+        self.state = snap.state.clone();
+        self.sanitize = snap.sanitize;
+    }
+
+    /// Re-randomizes the booted machine with `loader`'s seed (see
+    /// [`Loader::reslide`]) and rebases every symbol-derived address the
+    /// daemon caches. Used by the fork-per-trial boot path to give each
+    /// fork its own ASLR layout without re-booting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DaemonError::MissingSymbol`] if the reslid map lost a
+    /// required symbol (it cannot, for images accepted by
+    /// [`Daemon::new`]).
+    pub fn reslide(&mut self, loader: Loader<'_>) -> Result<(), DaemonError> {
+        // An idle daemon parks its pc at the loop; keep it parked at the
+        // loop's *new* address so a forked boot matches a fresh one.
+        let at_loop = self.machine.regs().pc() == self.resume_pc;
+        let map = loader.reslide(&mut self.machine);
+        self.parse_pc = map
+            .symbol(SYM_PARSE_RESPONSE)
+            .ok_or(DaemonError::MissingSymbol(SYM_PARSE_RESPONSE))?;
+        self.resume_pc = map
+            .symbol(SYM_DAEMON_LOOP)
+            .ok_or(DaemonError::MissingSymbol(SYM_DAEMON_LOOP))?;
+        self.boot_sp = self.machine.regs().sp();
+        if at_loop {
+            self.machine.regs_mut().set_pc(self.resume_pc);
+        }
+        self.map = map;
+        Ok(())
+    }
+
     /// Disarms the parse-time redzone (no-op when the sanitizer is off
     /// or nothing overflowed) and converts an absorbed overflow into
     /// the sanitizer fault.
@@ -470,24 +582,27 @@ fn uncompress_reason(e: &UncompressError) -> String {
     }
 }
 
-struct RrFixed {
+/// Fixed RR fields, borrowing `rdata` straight from the packet — one
+/// record is parsed per decompressed name, so a per-record `Vec` here
+/// would be the only allocation left in the DNS decode loop.
+struct RrFixed<'a> {
     rtype: RecordType,
     ttl: u32,
-    rdata: Vec<u8>,
+    rdata: &'a [u8],
     next_offset: usize,
 }
 
-impl RrFixed {
+impl RrFixed<'_> {
     fn address(&self) -> Option<IpAddr> {
         match (self.rtype, self.rdata.len()) {
             (RecordType::A, 4) => {
                 let mut o = [0u8; 4];
-                o.copy_from_slice(&self.rdata);
+                o.copy_from_slice(self.rdata);
                 Some(IpAddr::from(o))
             }
             (RecordType::Aaaa, 16) => {
                 let mut o = [0u8; 16];
-                o.copy_from_slice(&self.rdata);
+                o.copy_from_slice(self.rdata);
                 Some(IpAddr::from(o))
             }
             _ => None,
@@ -495,7 +610,7 @@ impl RrFixed {
     }
 }
 
-fn parse_rr_fixed(bytes: &[u8], offset: usize) -> Result<RrFixed, &'static str> {
+fn parse_rr_fixed(bytes: &[u8], offset: usize) -> Result<RrFixed<'_>, &'static str> {
     let mut r = WireReader::new(bytes);
     r.seek(offset).map_err(|_| "record header truncated")?;
     let rtype = RecordType::from_u16(r.read_u16("type").map_err(|_| "record header truncated")?);
@@ -506,8 +621,7 @@ fn parse_rr_fixed(bytes: &[u8], offset: usize) -> Result<RrFixed, &'static str> 
         .map_err(|_| "record header truncated")? as usize;
     let rdata = r
         .read_bytes(rdlen, "rdata")
-        .map_err(|_| "rdata truncated")?
-        .to_vec();
+        .map_err(|_| "rdata truncated")?;
     Ok(RrFixed {
         rtype,
         ttl,

@@ -34,7 +34,7 @@ pub mod uncompress;
 mod version;
 
 pub use cache::{Cache, CacheEntry};
-pub use daemon::{Daemon, DaemonError, DaemonState, PendingQuery, Resolution};
+pub use daemon::{Daemon, DaemonError, DaemonSnapshot, DaemonState, PendingQuery, Resolution};
 pub use frame::{layout_for, Frame, FrameLayout};
 pub use outcome::ProxyOutcome;
 pub use version::ConnmanVersion;
@@ -50,3 +50,9 @@ pub const SYM_PARSE_RESPONSE: &str = "parse_response";
 
 /// Symbol name for the legitimate return site inside the daemon loop.
 pub const SYM_DAEMON_LOOP: &str = "daemon_loop";
+
+/// Symbol name for the one-time boot initialization routine. Optional:
+/// when an image defines it, `Firmware::boot_service` executes it once
+/// before the daemon starts serving — which is exactly the work the
+/// snapshot/fork boot path amortizes away.
+pub const SYM_DAEMON_INIT: &str = "daemon_init";

@@ -19,8 +19,16 @@ const TRIALS: u64 = 48;
 /// The slide the attacker bets on, in pages.
 const GUESSED_PAGES: u32 = 1;
 
-/// Runs the experiment.
+/// Runs the experiment (snapshot/fork boot path).
 pub fn run() -> Table {
+    run_with(true)
+}
+
+/// Runs the experiment, choosing the victim boot path: `snapshot` forks
+/// each trial from one boot per entropy level (restore + reslide);
+/// otherwise every trial pays for a full boot. Output is byte-identical
+/// either way — that equivalence is what `tests/snapshot.rs` pins down.
+pub fn run_with(snapshot: bool) -> Table {
     let mut t = Table::new(
         "E8",
         "ASLR brute force: ret2libc success rate vs. entropy (x86)",
@@ -55,12 +63,16 @@ pub fn run() -> Table {
             ..Protections::wxorx()
         };
         let mut shells = 0u64;
+        let mut forge = snapshot.then(|| fw.forge(protections, 0x5EED_0000));
         for seed in 0..TRIALS {
-            let mut victim = fw.boot(protections, 0x5EED_0000 + seed);
-            if let Some(out) = deliver_labels(&mut victim, labels.clone()) {
-                if out.is_root_shell() {
-                    shells += 1;
-                }
+            let boot_seed = 0x5EED_0000 + seed;
+            let outcome = match &mut forge {
+                // Boot once per entropy level, fork per trial.
+                Some(forge) => deliver_labels(forge.fork(boot_seed), labels.clone()),
+                None => deliver_labels(&mut fw.boot(protections, boot_seed), labels.clone()),
+            };
+            if outcome.is_some_and(|out| out.is_root_shell()) {
+                shells += 1;
             }
         }
         let expected = 1.0 / ((1u64 << bits) - 1) as f64;
@@ -85,6 +97,11 @@ pub fn run() -> Table {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn snapshot_and_fresh_boot_tables_are_byte_identical() {
+        assert_eq!(run_with(true).to_markdown(), run_with(false).to_markdown());
+    }
 
     #[test]
     fn success_rate_decays_with_entropy() {

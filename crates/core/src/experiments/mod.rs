@@ -32,6 +32,14 @@ pub fn run_all() -> Suite {
 /// experiments (E2/E4/E6/E7) fan their cells across the pool; output is
 /// byte-identical to a serial run at any `jobs` value.
 pub fn run_all_jobs(jobs: usize) -> Suite {
+    run_all_jobs_with(jobs, true)
+}
+
+/// [`run_all_jobs`] with an explicit victim boot path for the
+/// boot-heavy experiments (currently E8): `snapshot` forks each trial
+/// from one boot per configuration instead of booting per trial. Output
+/// is byte-identical either way.
+pub fn run_all_jobs_with(jobs: usize, snapshot: bool) -> Suite {
     Suite {
         tables: vec![
             e1::run(),
@@ -41,7 +49,7 @@ pub fn run_all_jobs(jobs: usize) -> Suite {
             e5::run(),
             e6::run_jobs(jobs),
             e7::run_jobs(jobs),
-            e8::run(),
+            e8::run_with(snapshot),
         ],
     }
 }
@@ -54,6 +62,12 @@ pub fn run_one(id: &str) -> Option<crate::report::Table> {
 /// Runs one experiment by id on `jobs` workers (ids without a matrix
 /// fan-out run serially regardless).
 pub fn run_one_jobs(id: &str, jobs: usize) -> Option<crate::report::Table> {
+    run_one_jobs_with(id, jobs, true)
+}
+
+/// [`run_one_jobs`] with an explicit victim boot path (see
+/// [`run_all_jobs_with`]).
+pub fn run_one_jobs_with(id: &str, jobs: usize, snapshot: bool) -> Option<crate::report::Table> {
     match id.to_ascii_lowercase().as_str() {
         "e1" => Some(e1::run()),
         "e2" => Some(e2::run_jobs(jobs)),
@@ -62,7 +76,7 @@ pub fn run_one_jobs(id: &str, jobs: usize) -> Option<crate::report::Table> {
         "e5" => Some(e5::run()),
         "e6" => Some(e6::run_jobs(jobs)),
         "e7" => Some(e7::run_jobs(jobs)),
-        "e8" => Some(e8::run()),
+        "e8" => Some(e8::run_with(snapshot)),
         _ => None,
     }
 }

@@ -13,12 +13,13 @@
 //! [`derive_seed`]`(base_seed, i)` and results merge in device order, so
 //! [`FleetReport::render`] is byte-identical at any worker count.
 
+use std::cell::RefCell;
 use std::net::Ipv4Addr;
 use std::time::{Duration, Instant};
 
 use cml_dns::{Name, RecordType};
 use cml_exploit::{ExploitStrategy, MaliciousDnsServer, Payload, RopMemcpyChain};
-use cml_firmware::{Arch, Firmware, FirmwareKind, Protections};
+use cml_firmware::{Arch, BootForge, Firmware, FirmwareKind, Protections};
 use cml_netsim::{share, AccessPoint, ApConfig, DhcpConfig, HwAddr, RadioEnvironment, Ssid};
 
 use crate::device::IotDevice;
@@ -175,6 +176,21 @@ impl FleetReport {
 /// architecture present in the spec — the fleet scenario is only
 /// meaningful with working exploits.
 pub fn run_fleet(spec: &FleetSpec, jobs: usize) -> FleetReport {
+    run_fleet_with(spec, jobs, false)
+}
+
+thread_local! {
+    /// Per-worker boot forges, keyed by device profile: within one
+    /// worker thread, the first device of each profile pays for a full
+    /// boot and every later one forks it (restore + per-device reslide).
+    static FORGES: RefCell<Vec<(DeviceSpec, BootForge)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// [`run_fleet`] with an explicit boot path: when `snapshot` is true,
+/// each worker boots one daemon per firmware profile and forks it per
+/// device instead of booting every device from scratch. The report
+/// renders byte-identically either way.
+pub fn run_fleet_with(spec: &FleetSpec, jobs: usize, snapshot: bool) -> FleetReport {
     let ssid = Ssid::new("SmartHome");
     let protections = Protections::full();
     let dns = Ipv4Addr::new(10, 0, 0, 53);
@@ -220,13 +236,25 @@ pub fn run_fleet(spec: &FleetSpec, jobs: usize) -> FleetReport {
         let mut evil = MaliciousDnsServer::new(payload).expect("payload fits DNS labels");
         env.register_service(dns, share(move |p: &[u8]| evil.handle(p)));
 
-        let mut dev = IotDevice::boot(
-            fw,
-            protections,
-            derive_seed(spec.base_seed, i as u64),
-            HwAddr::local((i % u16::MAX as usize) as u16),
-            ssid.clone(),
-        );
+        let seed = derive_seed(spec.base_seed, i as u64);
+        let mac = HwAddr::local((i % u16::MAX as usize) as u16);
+        let mut dev = if snapshot {
+            let daemon = FORGES.with(|forges| {
+                let mut forges = forges.borrow_mut();
+                if !forges.iter().any(|(k, _)| *k == d) {
+                    forges.push((d, fw.forge(protections, seed)));
+                }
+                let forge = &mut forges
+                    .iter_mut()
+                    .find(|(k, _)| *k == d)
+                    .expect("just added")
+                    .1;
+                forge.fork(seed).clone()
+            });
+            IotDevice::with_daemon(daemon, mac, ssid.clone())
+        } else {
+            IotDevice::boot(fw, protections, seed, mac, ssid.clone())
+        };
         let name = format!("dev-{i:04} {}/{}", d.kind.os_name(), d.arch);
         dev.reconnect(&mut env);
         let host = Name::parse(&format!("telemetry-{i}.vendor.example")).expect("valid name");
@@ -273,5 +301,13 @@ mod tests {
         let serial = run_fleet(&spec, 1).render();
         let parallel = run_fleet(&spec, 4).render();
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn snapshot_fleet_matches_fresh_boot_fleet() {
+        let spec = FleetSpec::heterogeneous(12, 0xF1EE7);
+        let fresh = run_fleet_with(&spec, 2, false).render();
+        let forked = run_fleet_with(&spec, 2, true).render();
+        assert_eq!(fresh, forked);
     }
 }

@@ -5,7 +5,7 @@
 //! the loader). Program text mixes filler "functions" with the gadget
 //! material the paper's exploits harvest with `ropper`/`ROPgadget`.
 
-use cml_connman::{SYM_DAEMON_LOOP, SYM_PARSE_RESPONSE};
+use cml_connman::{SYM_DAEMON_INIT, SYM_DAEMON_LOOP, SYM_PARSE_RESPONSE};
 use cml_image::{layout, Addr, Arch, Image, ImageBuilder, SectionKind, SymbolKind};
 use cml_vm::{arm, x86, X86Reg};
 use rand::rngs::StdRng;
@@ -133,6 +133,19 @@ fn build_x86_text(b: &mut ImageBuilder, g: &mut GadgetAddrs, variant: u64, bound
         &x86::Asm::new().nop().nop().jmp_rel8(-4).finish(),
     );
     b.symbol(SYM_DAEMON_LOOP, loop_addr, 4, SymbolKind::Function);
+
+    // daemon_init: one-time boot work (config parse, plugin scan, …)
+    // modelled as a pure-register countdown. Runs once per boot; the
+    // snapshot/fork path executes it exactly once per firmware profile.
+    let init = x86::Asm::new()
+        .mov_r_imm(X86Reg::Ecx, 1536)
+        .dec_r(X86Reg::Ecx) // loop:
+        .jnz_rel8(-3) // -> loop
+        .ret()
+        .finish();
+    let init_size = init.len() as u32;
+    let init_addr = b.append_code(SectionKind::Text, &init);
+    b.symbol(SYM_DAEMON_INIT, init_addr, init_size, SymbolKind::Function);
 
     // parse_response: prologue/epilogue around a `get_name`-style copy
     // loop. The daemon models the parse natively (cml-connman); these
@@ -273,6 +286,19 @@ fn build_arm_text(b: &mut ImageBuilder, g: &mut GadgetAddrs, variant: u64, bound
         &arm::Asm::new().mov_reg(1, 1).b(-12).finish(),
     );
     b.symbol(SYM_DAEMON_LOOP, loop_addr, 8, SymbolKind::Function);
+
+    // daemon_init: see build_x86_text. Branch offset is relative to
+    // pc+8: from the `bne` at +12 back to the `sub` at +4 is −16.
+    let init = arm::Asm::new()
+        .mov_imm(0, 0x600)
+        .sub_imm(0, 0, 1) // loop:
+        .cmp_imm(0, 0)
+        .bne(-16) // -> loop
+        .bx(14)
+        .finish();
+    let init_size = init.len() as u32;
+    let init_addr = b.append_code(SectionKind::Text, &init);
+    b.symbol(SYM_DAEMON_INIT, init_addr, init_size, SymbolKind::Function);
 
     // parse_response: r2 walks the packet (arg in r0), r3 walks a stack
     // buffer carved by `sub sp, sp, #0x40`. Branch offsets are relative
@@ -451,6 +477,7 @@ mod tests {
         for arch in Arch::ALL {
             let (img, _) = build_image(arch);
             for sym in [
+                SYM_DAEMON_INIT,
                 SYM_DAEMON_LOOP,
                 SYM_PARSE_RESPONSE,
                 "memcpy@plt",
@@ -538,6 +565,24 @@ mod tests {
             let vs = vuln.symbol(SYM_PARSE_RESPONSE).unwrap();
             let fs = fixed.symbol(SYM_PARSE_RESPONSE).unwrap();
             assert!(fs.size() > vs.size(), "{arch}: patched body not larger");
+        }
+    }
+
+    #[test]
+    fn daemon_init_decodes_cleanly() {
+        for arch in Arch::ALL {
+            let (img, _) = build_image(arch);
+            let sym = img.symbol(SYM_DAEMON_INIT).unwrap();
+            let bytes = img.bytes_at(sym.addr(), sym.size() as usize).unwrap();
+            let mut off = 0usize;
+            while off < bytes.len() {
+                let len = match arch {
+                    Arch::X86 => x86::decode(&bytes[off..]).expect("init decodes").1,
+                    Arch::Armv7 => arm::decode(&bytes[off..]).expect("init decodes").1,
+                };
+                off += len;
+            }
+            assert_eq!(off, bytes.len(), "{arch}: ragged init decode");
         }
     }
 

@@ -2,11 +2,16 @@
 
 use std::fmt;
 
-use cml_connman::{ConnmanVersion, Daemon, FrameLayout};
-use cml_image::{Arch, Image};
-use cml_vm::{Loader, Protections};
+use cml_connman::{
+    ConnmanVersion, Daemon, DaemonSnapshot, FrameLayout, SYM_DAEMON_INIT, SYM_DAEMON_LOOP,
+};
+use cml_image::{Addr, Arch, Image};
+use cml_vm::{ArmReg, Loader, Machine, Protections, Regs};
 
 use crate::build::{build_image_for, GadgetAddrs};
+
+/// Instruction budget for the boot-time `daemon_init` routine.
+const INIT_STEP_BUDGET: u64 = 65_536;
 
 /// The firmware families the paper surveys (§III): each pins a Connman
 /// release.
@@ -191,14 +196,135 @@ impl Firmware {
         seed: u64,
         service: ServiceProfile,
     ) -> Daemon {
-        let (machine, map) = Loader::new(&self.image)
+        let (mut machine, map) = Loader::new(&self.image)
             .protections(protections)
             .seed(seed)
             .load();
+        // Run the one-time boot routine when the image provides it. This
+        // is the work a forked boot (see [`Firmware::forge`]) skips.
+        if let (Some(init), Some(target)) =
+            (map.symbol(SYM_DAEMON_INIT), map.symbol(SYM_DAEMON_LOOP))
+        {
+            run_daemon_init(&mut machine, init, target);
+        }
         let layout = FrameLayout::scaled(self.arch, service.buf_size);
         Daemon::new(machine, map, self.kind.connman_version())
             .expect("firmware images define the daemon symbols")
             .with_frame_layout(layout)
+    }
+
+    /// Boots the firmware once and wraps the result in a [`BootForge`]:
+    /// subsequent [`BootForge::fork`] calls rewind to the just-booted
+    /// state (and reslide the layout for other seeds) instead of paying
+    /// for a full load and `daemon_init` run per trial.
+    pub fn forge(&self, protections: Protections, seed: u64) -> BootForge {
+        self.forge_service(protections, seed, ServiceProfile::CONNMAN)
+    }
+
+    /// [`Firmware::forge`] with an explicit service profile.
+    pub fn forge_service(
+        &self,
+        protections: Protections,
+        seed: u64,
+        service: ServiceProfile,
+    ) -> BootForge {
+        let mut daemon = self.boot_service(protections, seed, service);
+        let snap = daemon.snapshot();
+        BootForge {
+            firmware: self.clone(),
+            protections,
+            base_seed: seed,
+            daemon,
+            snap,
+        }
+    }
+}
+
+/// Calls the image's `daemon_init` routine and scrubs the
+/// layout-dependent call residue, so that a forked boot (snapshot →
+/// restore → reslide) is byte-identical to a fresh boot of the same
+/// seed.
+fn run_daemon_init(machine: &mut Machine, init: Addr, target: Addr) {
+    // The init call's return edge must be shadowed like any other (CFI).
+    machine.shadow_push(target);
+    match machine.arch() {
+        Arch::X86 => {
+            let sp = machine.regs().sp().wrapping_sub(4);
+            machine.regs_mut().set_sp(sp);
+            machine
+                .mem_mut()
+                .poke(sp, &target.to_le_bytes())
+                .expect("boot stack is mapped");
+        }
+        Arch::Armv7 => {
+            if let Regs::Arm(r) = machine.regs_mut() {
+                r.set(ArmReg::LR, target);
+            }
+        }
+    }
+    machine.regs_mut().set_pc(init);
+    machine
+        .run_to(target, INIT_STEP_BUDGET)
+        .expect("daemon_init runs to completion");
+    // Scrub the return-address residue: the x86 `ret` leaves it just
+    // below sp, ARM leaves it in lr. Both are layout-dependent values a
+    // reslide could not fix up.
+    match machine.arch() {
+        Arch::X86 => {
+            let sp = machine.regs().sp();
+            machine
+                .mem_mut()
+                .poke(sp.wrapping_sub(4), &[0u8; 4])
+                .expect("boot stack is mapped");
+        }
+        Arch::Armv7 => {
+            if let Regs::Arm(r) = machine.regs_mut() {
+                r.set(ArmReg::LR, 0);
+            }
+        }
+    }
+}
+
+/// A booted daemon plus the snapshot needed to rewind it: the
+/// "boot once, fork many" primitive. One expensive boot (image load,
+/// `daemon_init`) amortizes over every [`BootForge::fork`] call.
+#[derive(Debug)]
+pub struct BootForge {
+    firmware: Firmware,
+    protections: Protections,
+    base_seed: u64,
+    daemon: Daemon,
+    snap: DaemonSnapshot,
+}
+
+impl BootForge {
+    /// The protection policy every fork boots under.
+    pub fn protections(&self) -> Protections {
+        self.protections
+    }
+
+    /// The seed of the boot the snapshot was taken from.
+    pub fn base_seed(&self) -> u64 {
+        self.base_seed
+    }
+
+    /// Rewinds the daemon to its just-booted state under `seed`.
+    ///
+    /// For the base seed this is a pure snapshot restore; for any other
+    /// seed the restored machine is additionally reslid to the layout a
+    /// fresh boot with that seed would have produced (same ASLR draws,
+    /// same canary — see [`cml_vm::Loader::reslide`]).
+    pub fn fork(&mut self, seed: u64) -> &mut Daemon {
+        self.daemon.restore(&self.snap);
+        if seed != self.base_seed {
+            let loader = Loader::new(self.firmware.image())
+                .protections(self.protections)
+                .seed(seed);
+            self.daemon
+                .reslide(loader)
+                .expect("reslide preserves the daemon symbols");
+        }
+        &mut self.daemon
     }
 }
 
@@ -262,6 +388,55 @@ mod tests {
             );
             assert!(daemon.is_running());
         }
+    }
+
+    fn attack_outcome(daemon: &mut Daemon) -> String {
+        let name = Name::parse("update.example").unwrap();
+        let Resolution::Query(qbytes) = daemon.resolve(&name, RecordType::A) else {
+            panic!("cold cache");
+        };
+        let query = Message::decode(&qbytes).unwrap();
+        let attack = ResponseForge::answering(&query)
+            .with_chunked_payload(&[0x41; 1300])
+            .unwrap()
+            .build()
+            .unwrap();
+        format!("{:?}", daemon.deliver_response(&attack))
+    }
+
+    #[test]
+    fn forked_boot_matches_fresh_boot() {
+        for arch in Arch::ALL {
+            let fw = Firmware::build(FirmwareKind::OpenElec, arch);
+            let p = Protections::full().with_canary();
+            let mut forge = fw.forge(p, 100);
+            // Base seed (pure restore) and two reslid seeds.
+            for seed in [100u64, 101, 202] {
+                let mut fresh = fw.boot(p, seed);
+                let forked = forge.fork(seed);
+                assert_eq!(
+                    forked.map().canary(),
+                    fresh.map().canary(),
+                    "{arch} seed {seed}"
+                );
+                let out_fork = attack_outcome(forked);
+                let out_fresh = attack_outcome(&mut fresh);
+                assert_eq!(out_fork, out_fresh, "{arch} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn fork_skips_daemon_init_instructions() {
+        let fw = Firmware::build(FirmwareKind::OpenElec, Arch::X86);
+        let mut forge = fw.forge(Protections::none(), 9);
+        let booted = forge.fork(9).machine().insn_count();
+        let _ = forge.fork(9);
+        let after_second_fork = forge.fork(9).machine().insn_count();
+        // Forking executes zero instructions; only the single boot paid
+        // for daemon_init.
+        assert_eq!(booted, after_second_fork);
+        assert!(booted > 1000, "daemon_init ran at boot: {booted}");
     }
 
     #[test]

@@ -17,17 +17,13 @@ fn illegal(m: &Machine, pc: Addr) -> Fault {
     Fault::IllegalInstruction { pc, bytes }
 }
 
-/// Executes one A32 instruction at the current `pc`.
-pub(crate) fn step(m: &mut Machine) -> Result<Option<RunOutcome>, Fault> {
-    let pc = m.regs.pc();
-    if !pc.is_multiple_of(4) {
-        return Err(Fault::UnalignedFetch { pc });
-    }
-    // Cached-dispatch loop: a hit in the predecoded-instruction cache
-    // skips fetch and decode entirely (the cache is push-invalidated by
-    // every write/permission path, so a hit is valid by construction).
-    let insn = match m.mem.dcache_get(pc) {
-        Some(crate::dcache::CachedInsn::Arm(insn)) => insn,
+/// Fetches and decodes the A32 word at `pc`, going through the
+/// predecoded-instruction cache (a hit skips fetch and decode entirely;
+/// the cache is push-invalidated by every write/permission path, so a
+/// hit is valid by construction).
+pub(crate) fn decode_at(m: &mut Machine, pc: Addr) -> Result<Insn, Fault> {
+    match m.mem.dcache_get(pc) {
+        Some(crate::dcache::CachedInsn::Arm(insn)) => Ok(insn),
         _ => {
             let mut window = [0u8; 4];
             let n = m.mem.fetch_into(pc, &mut window)?;
@@ -39,9 +35,57 @@ pub(crate) fn step(m: &mut Machine) -> Result<Option<RunOutcome>, Fault> {
             };
             m.mem
                 .dcache_insert(pc, crate::dcache::CachedInsn::Arm(insn), 4);
-            insn
+            Ok(insn)
         }
-    };
+    }
+}
+
+/// Whether `insn` terminates a fused basic block: explicit branches,
+/// returns, traps, and any data-processing/load form whose destination
+/// is the pc.
+pub(crate) fn ends_block(insn: &Insn) -> bool {
+    match *insn {
+        Insn::B { .. }
+        | Insn::BEq { .. }
+        | Insn::BNe { .. }
+        | Insn::Bl { .. }
+        | Insn::Bx { .. }
+        | Insn::Blx { .. }
+        | Insn::Pop { .. }
+        | Insn::Svc { .. } => true,
+        Insn::MovImm { rd, .. }
+        | Insn::MvnImm { rd, .. }
+        | Insn::MovReg { rd, .. }
+        | Insn::AddImm { rd, .. }
+        | Insn::SubImm { rd, .. }
+        | Insn::OrrImm { rd, .. }
+        | Insn::AndImm { rd, .. }
+        | Insn::EorImm { rd, .. }
+        | Insn::LslImm { rd, .. }
+        | Insn::Ldr { rd, .. }
+        | Insn::Ldrb { rd, .. } => rd == 15,
+        Insn::CmpImm { .. } | Insn::Str { .. } | Insn::Strb { .. } | Insn::Push { .. } => false,
+    }
+}
+
+/// Executes one A32 instruction at the current `pc`.
+pub(crate) fn step(m: &mut Machine) -> Result<Option<RunOutcome>, Fault> {
+    let pc = m.regs.pc();
+    if !pc.is_multiple_of(4) {
+        return Err(Fault::UnalignedFetch { pc });
+    }
+    let insn = decode_at(m, pc)?;
+    exec_insn(m, insn, pc)
+}
+
+/// Executes an already-decoded instruction at `pc` — the semantic half
+/// of [`step`], shared with the fused-block dispatcher so both modes
+/// are one implementation.
+pub(crate) fn exec_insn(
+    m: &mut Machine,
+    insn: Insn,
+    pc: Addr,
+) -> Result<Option<RunOutcome>, Fault> {
     let next = pc.wrapping_add(4);
     m.regs.set_pc(next);
     // Architectural pc reads as the *executing* instruction + 8, not the

@@ -13,4 +13,4 @@ mod insn;
 pub use asm::Asm;
 pub use insn::{decode, reg_list, DecodeError, Insn};
 
-pub(crate) use exec::step;
+pub(crate) use exec::{decode_at, ends_block, exec_insn, step};

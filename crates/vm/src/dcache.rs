@@ -16,6 +16,8 @@
 //! written in bursts and then executed — and coarse flushing keeps the
 //! write path to one compare in the common sequential-write case.
 
+use std::sync::Arc;
+
 use cml_image::Addr;
 
 use crate::{arm, x86};
@@ -33,6 +35,32 @@ pub(crate) enum CachedInsn {
     Arm(arm::Insn),
 }
 
+impl CachedInsn {
+    /// Encoded length of the instruction in bytes.
+    pub(crate) fn byte_len(self) -> u32 {
+        match self {
+            CachedInsn::X86(_, len) => len as u32,
+            CachedInsn::Arm(_) => 4,
+        }
+    }
+}
+
+/// A fused basic block: a straight-line run of predecoded instructions
+/// ending at the first control-flow instruction (or a hook/decode
+/// boundary). Executed as a unit by [`Machine::run`](crate::Machine),
+/// with one table probe instead of one per instruction.
+#[derive(Debug)]
+pub(crate) struct Block {
+    /// The decoded instructions, in address order.
+    pub(crate) insns: Vec<CachedInsn>,
+}
+
+#[derive(Debug, Clone)]
+struct BlockEntry {
+    pc: Addr,
+    block: Arc<Block>,
+}
+
 #[derive(Debug, Clone, Copy)]
 struct Entry {
     pc: Addr,
@@ -47,14 +75,22 @@ struct Entry {
 #[derive(Debug, Clone)]
 pub(crate) struct DecodeCache {
     enabled: bool,
+    /// Whether fused-block dispatch may use the block table (per-insn
+    /// entries stay usable either way).
+    blocks_enabled: bool,
     slots: Vec<Option<Entry>>,
     len: usize,
+    block_slots: Vec<Option<BlockEntry>>,
+    block_len: usize,
     /// Sorted page bases that contain (or contribute bytes to) cached
     /// decodes. Writes consult this to decide whether to flush.
     code_pages: Vec<u32>,
     /// Last page verified *not* to hold cached decodes — dedups the
     /// `code_pages` lookup for sequential write bursts.
     last_clean_page: Option<u32>,
+    /// Bumped on every flush; the block executor snapshots it so a
+    /// self-modifying write mid-block aborts fused dispatch.
+    generation: u64,
     hits: u64,
     misses: u64,
 }
@@ -63,10 +99,14 @@ impl Default for DecodeCache {
     fn default() -> Self {
         DecodeCache {
             enabled: true,
+            blocks_enabled: true,
             slots: Vec::new(),
             len: 0,
+            block_slots: Vec::new(),
+            block_len: 0,
             code_pages: Vec::new(),
             last_clean_page: None,
+            generation: 0,
             hits: 0,
             misses: 0,
         }
@@ -87,11 +127,32 @@ impl DecodeCache {
         if !on {
             self.flush();
             self.slots = Vec::new();
+            self.block_slots = Vec::new();
         }
     }
 
     pub(crate) fn enabled(&self) -> bool {
         self.enabled
+    }
+
+    /// Turns fused-block dispatch on or off (on by default; the
+    /// `block_vs_insn` ablation runs with it off). Per-instruction
+    /// caching is unaffected. Disabling drops all cached blocks.
+    pub(crate) fn set_blocks_enabled(&mut self, on: bool) {
+        self.blocks_enabled = on;
+        if !on && self.block_len > 0 {
+            self.block_slots = Vec::new();
+            self.block_len = 0;
+        }
+    }
+
+    pub(crate) fn blocks_enabled(&self) -> bool {
+        self.blocks_enabled
+    }
+
+    /// Flush-generation counter; bumped whenever cached state is dropped.
+    pub(crate) fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// `(hits, misses)` counters.
@@ -157,6 +218,73 @@ impl DecodeCache {
         }
     }
 
+    /// Looks up a fused block starting at `pc`. Like per-insn entries, a
+    /// hit is valid by construction (push invalidation).
+    pub(crate) fn get_block(&mut self, pc: Addr) -> Option<Arc<Block>> {
+        if !self.enabled || !self.blocks_enabled || self.block_slots.is_empty() {
+            return None;
+        }
+        let mask = self.block_slots.len() - 1;
+        let mut i = hash(pc) & mask;
+        loop {
+            match &self.block_slots[i] {
+                Some(e) if e.pc == pc => return Some(Arc::clone(&e.block)),
+                Some(_) => i = (i + 1) & mask,
+                None => return None,
+            }
+        }
+    }
+
+    /// Memoises a fused block whose encodings span `span` bytes at `pc`.
+    pub(crate) fn insert_block(&mut self, pc: Addr, block: Arc<Block>, span: u32) {
+        if !self.enabled || !self.blocks_enabled {
+            return;
+        }
+        if self.block_slots.len() * 3 <= (self.block_len + 1) * 4 {
+            self.grow_blocks();
+        }
+        let mask = self.block_slots.len() - 1;
+        let mut i = hash(pc) & mask;
+        loop {
+            match &self.block_slots[i] {
+                Some(e) if e.pc == pc => break,
+                Some(_) => i = (i + 1) & mask,
+                None => {
+                    self.block_slots[i] = Some(BlockEntry { pc, block });
+                    self.block_len += 1;
+                    break;
+                }
+            }
+        }
+        // Every page the block's encodings touch must flush on write.
+        let mut page = pc & PAGE_MASK;
+        let last = pc.wrapping_add(span.saturating_sub(1)) & PAGE_MASK;
+        loop {
+            self.note_code_page(page);
+            if page == last {
+                break;
+            }
+            page = page.wrapping_add(PAGE_SIZE);
+        }
+    }
+
+    fn grow_blocks(&mut self) {
+        let cap = if self.block_slots.is_empty() {
+            INITIAL_SLOTS
+        } else {
+            self.block_slots.len() * 4
+        };
+        let old = std::mem::replace(&mut self.block_slots, vec![None; cap]);
+        let mask = cap - 1;
+        for e in old.into_iter().flatten() {
+            let mut i = hash(e.pc) & mask;
+            while self.block_slots[i].is_some() {
+                i = (i + 1) & mask;
+            }
+            self.block_slots[i] = Some(e);
+        }
+    }
+
     fn note_code_page(&mut self, page: u32) {
         if let Err(at) = self.code_pages.binary_search(&page) {
             self.code_pages.insert(at, page);
@@ -211,15 +339,21 @@ impl DecodeCache {
         }
     }
 
-    /// Drops every cached decode (permission change, new mapping, or a
-    /// write to a cached page).
+    /// Drops every cached decode and block (permission change, new
+    /// mapping, hook registration, snapshot restore, or a write to a
+    /// cached page).
     pub(crate) fn flush(&mut self) {
         if self.len > 0 {
             self.slots.iter_mut().for_each(|s| *s = None);
             self.len = 0;
         }
+        if self.block_len > 0 {
+            self.block_slots.iter_mut().for_each(|s| *s = None);
+            self.block_len = 0;
+        }
         self.code_pages.clear();
         self.last_clean_page = None;
+        self.generation = self.generation.wrapping_add(1);
     }
 }
 

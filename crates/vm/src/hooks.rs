@@ -139,6 +139,9 @@ pub(crate) fn invoke(m: &mut Machine, f: LibcFn, pc: Addr) -> Result<Option<RunO
                     m.mem.write_u8(dest.wrapping_add(i), b, pc)?;
                 }
             } else {
+                // Fixed stack buffer + `read_into`: no per-chunk `Vec`
+                // allocation on what is the exploits' hottest libc path.
+                let mut buf = [0u8; 256];
                 let mut i = 0u32;
                 while i < n {
                     let a = src.wrapping_add(i);
@@ -146,9 +149,10 @@ pub(crate) fn invoke(m: &mut Machine, f: LibcFn, pc: Addr) -> Result<Option<RunO
                         .mem
                         .region_containing(a)
                         .map_or(1, |r| (r.end() - a as u64) as u32);
-                    let take = avail.min(n - i);
-                    let chunk = m.mem.read_bytes(a, take as usize, pc)?;
-                    m.mem.write_bytes(dest.wrapping_add(i), &chunk, pc)?;
+                    let take = avail.min(n - i).min(buf.len() as u32);
+                    m.mem.read_into(a, &mut buf[..take as usize], pc)?;
+                    m.mem
+                        .write_bytes(dest.wrapping_add(i), &buf[..take as usize], pc)?;
                     i += take;
                 }
             }

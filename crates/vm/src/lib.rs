@@ -43,8 +43,8 @@ pub mod x86;
 pub use fault::Fault;
 pub use hooks::{HookOutcome, LibcFn};
 pub use loader::{AslrConfig, LoadMap, Loader, Protections};
-pub use machine::{Event, Machine, RunOutcome, ShellSpawn};
-pub use mem::{Memory, RedzoneHit, Region};
+pub use machine::{Event, Machine, MachineSnapshot, RunOutcome, ShellSpawn};
+pub use mem::{Memory, MemorySnapshot, RedzoneHit, Region};
 pub use regs::{ArmReg, ArmRegs, Regs, X86Reg, X86Regs};
 pub use trace::{Trace, TraceEntry};
 

@@ -206,6 +206,14 @@ pub struct Loader<'a> {
     seed: u64,
 }
 
+/// The random choices of one boot. Computed by [`Loader::plan`] so that
+/// [`Loader::load`] and [`Loader::reslide`] consume the seeded RNG in
+/// exactly the same draw order and can never drift apart.
+struct BootPlan {
+    slides: HashMap<SectionKind, i64>,
+    canary: u32,
+}
+
 impl<'a> Loader<'a> {
     /// Starts a loader for `image` with no protections and seed 0.
     pub fn new(image: &'a Image) -> Self {
@@ -229,21 +237,13 @@ impl<'a> Loader<'a> {
         self
     }
 
-    /// Performs the load.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the image's sections cannot be mapped (overlap after
-    /// slides); the firmware layouts leave wide gaps precisely to make
-    /// this impossible for the supported entropies.
-    pub fn load(self) -> (Machine, LoadMap) {
+    /// Draws every random choice of this boot in a fixed order:
+    /// the PIE slide (when enabled), then one slide per section in image
+    /// order, then the canary. Both [`Loader::load`] and
+    /// [`Loader::reslide`] go through here.
+    fn plan(&self) -> BootPlan {
         let mut rng = StdRng::seed_from_u64(self.seed);
-        let mut machine = Machine::new(self.image.arch());
-        let mut slides: HashMap<SectionKind, i64> = HashMap::new();
         let p = self.protections;
-
-        let mut stack_top = 0u32;
-        let mut stack_size = 0u32;
         // PIE: all program sections share one slide so intra-binary
         // offsets stay valid (as a real PIE relocation does).
         let pie_slide: i64 = if p.pie {
@@ -256,6 +256,7 @@ impl<'a> Loader<'a> {
         } else {
             0
         };
+        let mut slides: HashMap<SectionKind, i64> = HashMap::new();
         for section in self.image.sections() {
             let kind = section.kind();
             let slide: i64 =
@@ -277,6 +278,59 @@ impl<'a> Loader<'a> {
                     0
                 };
             slides.insert(kind, slide);
+        }
+        let canary = if p.stack_canary {
+            // Real glibc canaries keep a NUL low byte to stop string
+            // overflows; ours does too.
+            rng.gen::<u32>() & 0xFFFF_FF00
+        } else {
+            0
+        };
+        BootPlan { slides, canary }
+    }
+
+    /// Resolves runtime symbol addresses under `slides` and registers
+    /// libc hooks at them.
+    fn place_symbols(
+        &self,
+        machine: &mut Machine,
+        slides: &HashMap<SectionKind, i64>,
+    ) -> HashMap<String, Addr> {
+        let mut symbols = HashMap::new();
+        for sym in self.image.symbols() {
+            let kind = self
+                .image
+                .section_containing(sym.addr())
+                .map(|s| s.kind())
+                .expect("image validated symbols");
+            let slide = slides.get(&kind).copied().unwrap_or(0);
+            let runtime = (sym.addr() as i64 + slide) as Addr;
+            symbols.insert(sym.name().to_string(), runtime);
+            let base_name = sym.name().strip_suffix("@plt").unwrap_or(sym.name());
+            if let Some(f) = libc_fn_by_name(base_name) {
+                machine.register_hook(runtime, f);
+            }
+        }
+        symbols
+    }
+
+    /// Performs the load.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image's sections cannot be mapped (overlap after
+    /// slides); the firmware layouts leave wide gaps precisely to make
+    /// this impossible for the supported entropies.
+    pub fn load(self) -> (Machine, LoadMap) {
+        let plan = self.plan();
+        let mut machine = Machine::new(self.image.arch());
+        let p = self.protections;
+
+        let mut stack_top = 0u32;
+        let mut stack_size = 0u32;
+        for section in self.image.sections() {
+            let kind = section.kind();
+            let slide = plan.slides.get(&kind).copied().unwrap_or(0);
             let base = (section.base() as i64 + slide) as Addr;
             let mut perms = section.perms();
             if p.wxorx && perms.writable() {
@@ -297,31 +351,9 @@ impl<'a> Loader<'a> {
             }
         }
 
-        // Resolve runtime symbol addresses and register libc hooks.
-        let mut symbols = HashMap::new();
-        for sym in self.image.symbols() {
-            let kind = self
-                .image
-                .section_containing(sym.addr())
-                .map(|s| s.kind())
-                .expect("image validated symbols");
-            let slide = slides.get(&kind).copied().unwrap_or(0);
-            let runtime = (sym.addr() as i64 + slide) as Addr;
-            symbols.insert(sym.name().to_string(), runtime);
-            let base_name = sym.name().strip_suffix("@plt").unwrap_or(sym.name());
-            if let Some(f) = libc_fn_by_name(base_name) {
-                machine.register_hook(runtime, f);
-            }
-        }
+        let symbols = self.place_symbols(&mut machine, &plan.slides);
 
-        let canary = if p.stack_canary {
-            // Real glibc canaries keep a NUL low byte to stop string
-            // overflows; ours does too.
-            rng.gen::<u32>() & 0xFFFF_FF00
-        } else {
-            0
-        };
-        machine.set_canary(canary);
+        machine.set_canary(plan.canary);
         if p.cfi {
             machine.enable_cfi();
         }
@@ -331,13 +363,64 @@ impl<'a> Loader<'a> {
         }
 
         let map = LoadMap {
-            slides,
+            slides: plan.slides,
             symbols,
             stack_top,
             stack_size,
-            canary,
+            canary: plan.canary,
         };
         (machine, map)
+    }
+
+    /// Re-randomizes an already-loaded `machine` in place to the layout a
+    /// fresh [`Loader::load`] with this seed would produce: region bases
+    /// move, hooks are re-registered at the slid symbol addresses, the
+    /// canary and initial stack pointer are reset. Section *contents* are
+    /// not re-poked — the firmware images are slide-independent (all
+    /// in-image pokes are section-relative and libc calls resolve through
+    /// pc-entry hooks, never absolute pointers), which is what makes the
+    /// snapshot/fork boot path sound.
+    ///
+    /// The caller is expected to have restored a
+    /// [`crate::MachineSnapshot`] of a boot of the *same image under the
+    /// same protections* first; only the seed may differ.
+    ///
+    /// # Panics
+    ///
+    /// Panics (like `load`) if the slid sections would overlap.
+    pub fn reslide(self, machine: &mut Machine) -> LoadMap {
+        let plan = self.plan();
+
+        let mut stack_top = 0u32;
+        let mut stack_size = 0u32;
+        let mut moves = Vec::new();
+        for section in self.image.sections() {
+            let kind = section.kind();
+            let slide = plan.slides.get(&kind).copied().unwrap_or(0);
+            let base = (section.base() as i64 + slide) as Addr;
+            moves.push((kind, base));
+            if kind == SectionKind::Stack {
+                stack_top = (section.end() as i64 + slide) as Addr;
+                stack_size = section.size();
+            }
+        }
+        machine.mem.rebase_regions(&moves);
+
+        machine.clear_hooks();
+        let symbols = self.place_symbols(machine, &plan.slides);
+
+        machine.set_canary(plan.canary);
+        if stack_top != 0 {
+            machine.regs_mut().set_sp(stack_top - 0x200);
+        }
+
+        LoadMap {
+            slides: plan.slides,
+            symbols,
+            stack_top,
+            stack_size,
+            canary: plan.canary,
+        }
     }
 }
 
@@ -461,6 +544,45 @@ mod tests {
         let img = image();
         let (m, map) = Loader::new(&img).load();
         assert_eq!(m.regs().sp(), map.stack_top() - 0x200);
+    }
+
+    #[test]
+    fn reslide_matches_fresh_load() {
+        let img = image();
+        let p = Protections::full().with_canary();
+        // Boot under seed 7, then reslide the same machine to seed 21.
+        let (mut m, _) = Loader::new(&img).protections(p).seed(7).load();
+        let map = Loader::new(&img).protections(p).seed(21).reslide(&mut m);
+        // A fresh boot under seed 21 must agree on everything observable.
+        let (fresh, fresh_map) = Loader::new(&img).protections(p).seed(21).load();
+        assert_eq!(
+            map.slide(SectionKind::Libc),
+            fresh_map.slide(SectionKind::Libc)
+        );
+        assert_eq!(
+            map.slide(SectionKind::Stack),
+            fresh_map.slide(SectionKind::Stack)
+        );
+        assert_eq!(map.stack_top(), fresh_map.stack_top());
+        assert_eq!(map.canary(), fresh_map.canary());
+        assert_eq!(m.canary(), fresh.canary());
+        assert_eq!(m.regs().sp(), fresh.regs().sp());
+        for (name, addr) in fresh_map.symbols() {
+            assert_eq!(map.symbol(name), Some(*addr), "symbol {name}");
+        }
+        let sys = map.symbol("system").unwrap();
+        assert_eq!(m.hook_at(sys), Some(LibcFn::System));
+        // Old-layout hook addresses are gone.
+        let (_, old_map) = Loader::new(&img).protections(p).seed(7).load();
+        let old_sys = old_map.symbol("system").unwrap();
+        if old_sys != sys {
+            assert_eq!(m.hook_at(old_sys), None);
+        }
+        // Region contents followed their section: the libc bytes live at
+        // the new base.
+        let b = m.mem().read_bytes(sys, 4, 0).unwrap();
+        let fb = fresh.mem().read_bytes(sys, 4, 0).unwrap();
+        assert_eq!(b, fb);
     }
 }
 

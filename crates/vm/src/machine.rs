@@ -2,14 +2,21 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 use cml_image::{Addr, Arch};
 
+use crate::dcache::{Block, CachedInsn};
 use crate::hooks::{self, LibcFn};
-use crate::mem::Memory;
+use crate::mem::{Memory, MemorySnapshot};
 use crate::regs::Regs;
 use crate::trace::{Trace, TraceEntry};
 use crate::{arm, x86, Fault};
+
+/// Fused blocks stop after this many instructions (straight-line runs
+/// longer than a real basic block are rare; bounding keeps block build
+/// cost and the budget-accounting granularity small).
+const MAX_BLOCK: usize = 32;
 
 /// A simulated `/bin/sh` spawn — the goal state of every exploit in the
 /// paper ("interrupt the flow of Connman and spawn a root shell").
@@ -114,6 +121,24 @@ pub struct Machine {
     pub(crate) events: Vec<Event>,
     pub(crate) canary: u32,
     pub(crate) trace: Option<Trace>,
+    /// Monotonic count of executed instructions (hooked calls count as
+    /// one). Deliberately *not* restored by [`Machine::restore`] — it is
+    /// the meter the snapshot-vs-reboot ablation reads.
+    pub(crate) insn_count: u64,
+}
+
+/// A point-in-time capture of a [`Machine`]: registers, memory (as
+/// `Arc`-shared pages — see [`MemorySnapshot`]), hooks, shadow stack,
+/// event log, and canary. Restoring costs O(pages dirtied since the
+/// snapshot); cloning the snapshot itself is cheap.
+#[derive(Debug, Clone)]
+pub struct MachineSnapshot {
+    mem: MemorySnapshot,
+    regs: Regs,
+    hooks: HashMap<Addr, LibcFn>,
+    shadow: Option<Vec<Addr>>,
+    events: Vec<Event>,
+    canary: u32,
 }
 
 impl Machine {
@@ -128,6 +153,7 @@ impl Machine {
             events: Vec::new(),
             canary: 0,
             trace: None,
+            insn_count: 0,
         }
     }
 
@@ -163,6 +189,57 @@ impl Machine {
         self.mem.dcache_stats()
     }
 
+    /// Turns fused basic-block dispatch on or off (on by default; the
+    /// `block_vs_insn` ablation runs with it off). Execution results are
+    /// byte-identical either way — blocks reuse the per-instruction
+    /// semantics and abort on any taken branch or code write.
+    pub fn set_block_dispatch_enabled(&mut self, on: bool) {
+        self.mem.dcache_set_blocks_enabled(on);
+    }
+
+    /// Whether fused basic-block dispatch is enabled.
+    pub fn block_dispatch_enabled(&self) -> bool {
+        self.mem.dcache_blocks_enabled()
+    }
+
+    /// Total instructions executed by this machine since creation
+    /// (hooked native calls count as one). Monotonic: survives
+    /// [`restore`](Machine::restore), so a boot-once/fork-many harness
+    /// can meter exactly how much execution each trial cost.
+    pub fn insn_count(&self) -> u64 {
+        self.insn_count
+    }
+
+    /// Captures the machine: registers, memory (page-granular, with
+    /// dirty tracking armed so restore is O(dirty pages)), hooks, shadow
+    /// stack, events, and canary. The execution trace (if any) and the
+    /// instruction meter are *not* captured.
+    pub fn snapshot(&mut self) -> MachineSnapshot {
+        MachineSnapshot {
+            mem: self.mem.snapshot(),
+            regs: self.regs,
+            hooks: self.hooks.clone(),
+            shadow: self.shadow.clone(),
+            events: self.events.clone(),
+            canary: self.canary,
+        }
+    }
+
+    /// Rewinds the machine to `snap`. Memory restore copies back only
+    /// the pages dirtied since the snapshot and pushes them through the
+    /// decode cache's invalidation hooks, so predecoded instructions and
+    /// fused blocks for restored pages can never execute stale. Tracing
+    /// is reset; [`insn_count`](Machine::insn_count) keeps counting.
+    pub fn restore(&mut self, snap: &MachineSnapshot) {
+        self.mem.restore(&snap.mem);
+        self.regs = snap.regs;
+        self.hooks.clone_from(&snap.hooks);
+        self.shadow.clone_from(&snap.shadow);
+        self.events.clone_from(&snap.events);
+        self.canary = snap.canary;
+        self.trace = None;
+    }
+
     /// Registers, shared view.
     pub fn regs(&self) -> &Regs {
         &self.regs
@@ -175,8 +252,19 @@ impl Machine {
 
     /// Registers a native libc function at `addr`; entering that address
     /// runs the native semantics instead of fetching instructions.
+    ///
+    /// Flushes the decode cache: a fused block built before the hook
+    /// existed could otherwise run straight through the hooked address.
     pub fn register_hook(&mut self, addr: Addr, f: LibcFn) {
         self.hooks.insert(addr, f);
+        self.mem.dcache_flush();
+    }
+
+    /// Drops every registered hook (the loader's re-slide path
+    /// re-registers them at their new addresses).
+    pub(crate) fn clear_hooks(&mut self) {
+        self.hooks.clear();
+        self.mem.dcache_flush();
     }
 
     /// The hooked function at `addr`, if any.
@@ -292,6 +380,7 @@ impl Machine {
     ///
     /// Returns the [`Fault`] that stopped the machine.
     pub fn step(&mut self) -> Result<Option<RunOutcome>, Fault> {
+        self.insn_count += 1;
         let pc = self.regs.pc();
         let hook = self.hooks.get(&pc).copied();
         if let Some(t) = &mut self.trace {
@@ -310,13 +399,114 @@ impl Machine {
         }
     }
 
+    /// Decodes a fused basic block starting at the current pc: a
+    /// straight-line run that stops at the first control-flow
+    /// instruction, hooked address, decode failure, or [`MAX_BLOCK`]
+    /// instructions. Returns `None` when not even one instruction
+    /// decodes (the caller falls back to [`step`](Machine::step), which
+    /// raises the identical fault).
+    fn build_block(&mut self, start: Addr) -> Option<Arc<Block>> {
+        if self.arch == Arch::Armv7 && !start.is_multiple_of(4) {
+            return None;
+        }
+        let mut insns = Vec::new();
+        let mut pc = start;
+        while insns.len() < MAX_BLOCK {
+            if pc != start && self.hooks.contains_key(&pc) {
+                break;
+            }
+            let (ci, ends) = match self.arch {
+                Arch::X86 => match x86::decode_at(self, pc) {
+                    Ok((insn, len)) => (CachedInsn::X86(insn, len as u8), x86::ends_block(&insn)),
+                    Err(_) => break,
+                },
+                Arch::Armv7 => match arm::decode_at(self, pc) {
+                    Ok(insn) => (CachedInsn::Arm(insn), arm::ends_block(&insn)),
+                    Err(_) => break,
+                },
+            };
+            pc = pc.wrapping_add(ci.byte_len());
+            insns.push(ci);
+            if ends {
+                break;
+            }
+        }
+        if insns.is_empty() {
+            return None;
+        }
+        let block = Arc::new(Block { insns });
+        self.mem
+            .dcache_insert_block(start, Arc::clone(&block), pc.wrapping_sub(start));
+        Some(block)
+    }
+
+    /// Executes up to `budget` instructions of the fused block at the
+    /// current pc, falling back to a single [`step`](Machine::step) when
+    /// no block applies (hooked pc, undecodable bytes). Returns how many
+    /// instructions were consumed and the step result. Execution leaves
+    /// the block early on a taken branch (pc ≠ fall-through) or when a
+    /// store invalidates cached code (flush-generation change), so
+    /// results are byte-identical to per-instruction dispatch.
+    fn step_block(&mut self, budget: u64) -> (u64, Result<Option<RunOutcome>, Fault>) {
+        let start = self.regs.pc();
+        if self.hooks.contains_key(&start) {
+            return (1, self.step());
+        }
+        let block = match self.mem.dcache_get_block(start) {
+            Some(b) => b,
+            None => match self.build_block(start) {
+                Some(b) => b,
+                None => return (1, self.step()),
+            },
+        };
+        let gen = self.mem.dcache_generation();
+        let mut used = 0u64;
+        let mut pc = start;
+        for &ci in &block.insns {
+            if used >= budget {
+                break;
+            }
+            used += 1;
+            self.insn_count += 1;
+            let res = match ci {
+                CachedInsn::X86(insn, len) => x86::exec_insn(self, insn, len as usize, pc),
+                CachedInsn::Arm(insn) => arm::exec_insn(self, insn, pc),
+            };
+            match res {
+                Ok(None) => {}
+                terminal => return (used, terminal),
+            }
+            let next = pc.wrapping_add(ci.byte_len());
+            if self.regs.pc() != next || self.mem.dcache_generation() != gen {
+                break;
+            }
+            pc = next;
+        }
+        (used, Ok(None))
+    }
+
+    /// Whether [`run`](Machine::run) may use fused-block dispatch:
+    /// tracing wants one entry per instruction, and the ablation
+    /// toggles force the per-instruction path.
+    fn fused_dispatch(&self) -> bool {
+        self.trace.is_none() && self.block_dispatch_enabled() && self.decode_cache_enabled()
+    }
+
     /// Runs until a terminal state or `max_steps` instructions.
     ///
     /// Faults are recorded as [`Event::Faulted`] before being returned,
     /// so post-mortem inspection sees them in the event log.
     pub fn run(&mut self, max_steps: u64) -> RunOutcome {
-        for _ in 0..max_steps {
-            match self.step() {
+        let fused = self.fused_dispatch();
+        let mut left = max_steps;
+        while left > 0 {
+            let (used, res) = if fused {
+                self.step_block(left)
+            } else {
+                (1, self.step())
+            };
+            left = left.saturating_sub(used.max(1));
+            match res {
                 Ok(None) => {}
                 Ok(Some(outcome)) => return outcome,
                 Err(fault) => {
@@ -328,6 +518,35 @@ impl Machine {
         let fault = Fault::StepLimit { limit: max_steps };
         self.events.push(Event::Faulted(fault.clone()));
         RunOutcome::Fault(fault)
+    }
+
+    /// Single-steps until the pc reaches `target` (checked before each
+    /// step), for running a known-benign stretch like the firmware's
+    /// boot path. Always per-instruction, so arrival is detected
+    /// exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns the fault that stopped the machine, or
+    /// [`Fault::StepLimit`] if `target` was not reached within
+    /// `max_steps` (a terminal outcome before `target` counts as not
+    /// reaching it).
+    pub fn run_to(&mut self, target: Addr, max_steps: u64) -> Result<(), Fault> {
+        for _ in 0..max_steps {
+            if self.regs.pc() == target {
+                return Ok(());
+            }
+            match self.step() {
+                Ok(None) => {}
+                Ok(Some(_)) => return Err(Fault::StepLimit { limit: max_steps }),
+                Err(fault) => return Err(fault),
+            }
+        }
+        if self.regs.pc() == target {
+            Ok(())
+        } else {
+            Err(Fault::StepLimit { limit: max_steps })
+        }
     }
 
     /// Shared semantics of `execve`-like entries: read the path (and
@@ -499,5 +718,110 @@ mod tests {
             out,
             RunOutcome::Fault(Fault::NxViolation { pc: 0x8100, .. })
         ));
+    }
+
+    /// A hot backward loop then `exit(ebx)` — the workload fused-block
+    /// dispatch targets (and the shape of the firmware's `daemon_init`).
+    fn loop_code() -> Vec<u8> {
+        Asm::new()
+            .mov_r_imm(X86Reg::Ecx, 200)
+            .inc_r(X86Reg::Eax)
+            .inc_r(X86Reg::Eax)
+            .dec_r(X86Reg::Ecx)
+            .jnz_rel8(-5)
+            .xor_rr(X86Reg::Eax, X86Reg::Eax)
+            .mov_r8_imm(X86Reg::Eax, 1)
+            .mov_r_imm(X86Reg::Ebx, 7)
+            .int80()
+            .finish()
+    }
+
+    #[test]
+    fn block_and_insn_dispatch_agree() {
+        let mut block = machine_with(loop_code());
+        let mut insn = machine_with(loop_code());
+        insn.set_block_dispatch_enabled(false);
+        let (a, b) = (block.run(10_000), insn.run(10_000));
+        assert_eq!(a, b);
+        assert_eq!(a, RunOutcome::Exited(7));
+        assert_eq!(block.insn_count(), insn.insn_count());
+        assert_eq!(block.events(), insn.events());
+        assert_eq!(format!("{:?}", block.regs()), format!("{:?}", insn.regs()));
+    }
+
+    #[test]
+    fn block_dispatch_respects_step_budget() {
+        let mut m = machine_with(loop_code());
+        let out = m.run(50);
+        assert_eq!(out, RunOutcome::Fault(Fault::StepLimit { limit: 50 }));
+        let mut reference = machine_with(loop_code());
+        reference.set_block_dispatch_enabled(false);
+        reference.run(50);
+        assert_eq!(m.insn_count(), reference.insn_count());
+        assert_eq!(format!("{:?}", m.regs()), format!("{:?}", reference.regs()));
+    }
+
+    #[test]
+    fn snapshot_restore_rewinds_machine_state() {
+        let mut m = machine_with(loop_code());
+        m.push_u32(0x1234).unwrap();
+        let snap = m.snapshot();
+        let insns_at_snap = m.insn_count();
+        let first = m.run(10_000);
+        assert_eq!(first, RunOutcome::Exited(7));
+        assert!(!m.events().is_empty());
+
+        m.restore(&snap);
+        assert_eq!(m.regs().pc(), 0x1000);
+        assert_eq!(m.pop_u32().unwrap(), 0x1234, "stack contents rewound");
+        m.push_u32(0x1234).unwrap();
+        assert!(m.events().is_empty(), "events rewound");
+        assert!(
+            m.insn_count() > insns_at_snap,
+            "insn meter keeps counting across restore"
+        );
+        assert_eq!(m.run(10_000), first, "replay is identical");
+    }
+
+    #[test]
+    fn text_mutation_after_snapshot_is_coherent_and_undone_by_restore() {
+        // The imm32 of `mov ebx, 7` sits one byte into the instruction.
+        let code = loop_code();
+        let imm_off = (code.len() - 2 - 4) as Addr; // before int80's 2 bytes
+        for blocks_on in [true, false] {
+            let mut m = machine_with(loop_code());
+            m.set_block_dispatch_enabled(blocks_on);
+            let snap = m.snapshot();
+            // Populate the decode cache and block table.
+            assert_eq!(m.run(10_000), RunOutcome::Exited(7));
+
+            // Mutate .text after restoring: cached decodes for the page
+            // must not serve the stale exit code.
+            m.restore(&snap);
+            m.mem_mut().poke(0x1000 + imm_off, &[9]).unwrap();
+            assert_eq!(
+                m.run(10_000),
+                RunOutcome::Exited(9),
+                "blocks_on={blocks_on}: mutated code must execute"
+            );
+
+            // Restore again: the mutation itself is rewound.
+            m.restore(&snap);
+            assert_eq!(
+                m.run(10_000),
+                RunOutcome::Exited(7),
+                "blocks_on={blocks_on}: restore must undo the .text write"
+            );
+        }
+    }
+
+    #[test]
+    fn restore_drops_hooks_registered_after_snapshot() {
+        let mut m = machine_with(loop_code());
+        let snap = m.snapshot();
+        m.register_hook(0x1000, LibcFn::Exit);
+        m.restore(&snap);
+        assert!(m.hooks.is_empty());
+        assert_eq!(m.run(10_000), RunOutcome::Exited(7), "code runs, not hook");
     }
 }

@@ -1,10 +1,11 @@
 //! Region-based permissioned memory.
 
 use std::cell::Cell;
+use std::sync::Arc;
 
 use cml_image::{Addr, Perms, SectionKind};
 
-use crate::dcache::{CachedInsn, DecodeCache};
+use crate::dcache::{Block, CachedInsn, DecodeCache, PAGE_SIZE};
 use crate::Fault;
 
 /// One mapped region of the address space.
@@ -15,6 +16,11 @@ pub struct Region {
     base: Addr,
     perms: Perms,
     data: Vec<u8>,
+    /// Dirty-page bitmap, armed while a snapshot is outstanding. One bit
+    /// per [`PAGE_SIZE`] page of `data`; a set bit means the page has
+    /// changed since the snapshot and must be copied back on restore.
+    /// `None` = no snapshot taken, writes pay nothing.
+    dirty: Option<Vec<u64>>,
 }
 
 impl Region {
@@ -57,6 +63,60 @@ impl Region {
     pub fn data(&self) -> &[u8] {
         &self.data
     }
+
+    /// (Re-)arms dirty-page tracking with all pages clean.
+    fn arm_dirty(&mut self) {
+        let pages = self.data.len().div_ceil(PAGE_SIZE as usize);
+        self.dirty = Some(vec![0u64; pages.div_ceil(64)]);
+    }
+
+    /// Marks the page containing `addr` dirty. One branch when no
+    /// snapshot is outstanding — this is on the per-store path.
+    #[inline]
+    fn mark_dirty(&mut self, addr: Addr) {
+        if let Some(bits) = &mut self.dirty {
+            let page = ((addr - self.base) / PAGE_SIZE) as usize;
+            bits[page / 64] |= 1 << (page % 64);
+        }
+    }
+
+    /// Marks every page overlapping `len` bytes at `addr` dirty.
+    fn mark_dirty_range(&mut self, addr: Addr, len: usize) {
+        if len == 0 {
+            return;
+        }
+        if let Some(bits) = &mut self.dirty {
+            let first = ((addr - self.base) / PAGE_SIZE) as usize;
+            let last = ((addr - self.base) as usize + len - 1) / PAGE_SIZE as usize;
+            for page in first..=last {
+                bits[page / 64] |= 1 << (page % 64);
+            }
+        }
+    }
+}
+
+/// Copy-on-restore capture of one region: page-granular `Arc` chunks, so
+/// cloning a snapshot shares every page and restoring copies back only
+/// the pages the run dirtied.
+#[derive(Debug, Clone)]
+struct RegionSnapshot {
+    name: String,
+    kind: Option<SectionKind>,
+    base: Addr,
+    perms: Perms,
+    /// `data` split into [`PAGE_SIZE`] chunks (last may be short).
+    pages: Vec<Arc<[u8]>>,
+}
+
+/// A point-in-time capture of the whole address space, taken by
+/// [`Memory::snapshot`] and replayed by [`Memory::restore`].
+///
+/// Pages are `Arc`-shared: cloning a snapshot is O(regions), not
+/// O(image), and restore cost is proportional to the pages written since
+/// the snapshot (plus any permission/mapping deltas), not to image size.
+#[derive(Debug, Clone)]
+pub struct MemorySnapshot {
+    regions: Vec<RegionSnapshot>,
 }
 
 /// An armed shadow-memory redzone: the poisoned address range past the
@@ -158,6 +218,7 @@ impl Memory {
             base,
             perms,
             data: vec![0; size as usize],
+            dirty: None,
         });
         self.regions.sort_by_key(|r| r.base);
         // A fresh mapping (firmware reload, per-boot ASLR slide) must
@@ -250,13 +311,30 @@ impl Memory {
 
     /// Reads `len` bytes (region-sized chunks, not byte-at-a-time).
     ///
+    /// Prefer [`read_into`](Memory::read_into) or
+    /// [`read_slice`](Memory::read_slice) on hot paths — this variant
+    /// allocates the returned `Vec`.
+    ///
     /// # Errors
     ///
     /// Returns a read fault at the first inaccessible byte.
     pub fn read_bytes(&self, addr: Addr, len: usize, pc: Addr) -> Result<Vec<u8>, Fault> {
-        let mut out = Vec::with_capacity(len);
-        while out.len() < len {
-            let a = addr.wrapping_add(out.len() as u32);
+        let mut out = vec![0u8; len];
+        self.read_into(addr, &mut out, pc)?;
+        Ok(out)
+    }
+
+    /// Allocation-free bulk read: fills `buf` from `addr`, honouring
+    /// permissions and crossing region boundaries like
+    /// [`read_bytes`](Memory::read_bytes).
+    ///
+    /// # Errors
+    ///
+    /// Returns a read fault at the first inaccessible byte.
+    pub fn read_into(&self, addr: Addr, buf: &mut [u8], pc: Addr) -> Result<(), Fault> {
+        let mut done = 0usize;
+        while done < buf.len() {
+            let a = addr.wrapping_add(done as u32);
             let r = self
                 .region_containing(a)
                 .ok_or(Fault::UnmappedRead { addr: a, pc })?;
@@ -268,10 +346,43 @@ impl Memory {
                 });
             }
             let off = (a - r.base) as usize;
-            let n = (r.data.len() - off).min(len - out.len());
-            out.extend_from_slice(&r.data[off..off + n]);
+            let n = (r.data.len() - off).min(buf.len() - done);
+            buf[done..done + n].copy_from_slice(&r.data[off..off + n]);
+            done += n;
         }
-        Ok(out)
+        Ok(())
+    }
+
+    /// Borrowing read fast path: a permission-checked view of `len`
+    /// bytes at `addr` with **zero** copies, valid only when the whole
+    /// range lies inside one region (the common case for packet buffers
+    /// and stack frames).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Fault::UnmappedRead`] when nothing is mapped at `addr`
+    /// *or* when the range spills past the containing region (callers
+    /// needing cross-region reads use [`read_into`](Memory::read_into)),
+    /// and [`Fault::ProtectedRead`] on a permission violation.
+    pub fn read_slice(&self, addr: Addr, len: usize, pc: Addr) -> Result<&[u8], Fault> {
+        let r = self
+            .region_containing(addr)
+            .ok_or(Fault::UnmappedRead { addr, pc })?;
+        if !r.perms.readable() {
+            return Err(Fault::ProtectedRead {
+                addr,
+                perms: r.perms,
+                pc,
+            });
+        }
+        let off = (addr - r.base) as usize;
+        if r.data.len() - off < len {
+            return Err(Fault::UnmappedRead {
+                addr: addr.wrapping_add((r.data.len() - off) as u32),
+                pc,
+            });
+        }
+        Ok(&r.data[off..off + len])
     }
 
     /// Reads a NUL-terminated C string of at most `max` bytes.
@@ -313,6 +424,7 @@ impl Memory {
                 pc,
             });
         }
+        r.mark_dirty(addr);
         r.data[(addr - r.base) as usize] = v;
         Ok(())
     }
@@ -363,6 +475,7 @@ impl Memory {
             }
             let off = (a - r.base) as usize;
             let n = (r.data.len() - off).min(bytes.len() - done);
+            r.mark_dirty_range(a, n);
             r.data[off..off + n].copy_from_slice(&bytes[done..done + n]);
             done += n;
         }
@@ -388,6 +501,7 @@ impl Memory {
                 .ok_or(Fault::UnmappedWrite { addr: a, pc: 0 })?;
             let off = (a - r.base) as usize;
             let n = (r.data.len() - off).min(bytes.len() - done);
+            r.mark_dirty_range(a, n);
             r.data[off..off + n].copy_from_slice(&bytes[done..done + n]);
             done += n;
         }
@@ -520,6 +634,122 @@ impl Memory {
         true
     }
 
+    // ---- snapshot / restore (boot-once, fork-many) ----
+
+    /// Captures the whole address space and arms dirty-page tracking, so
+    /// a later [`restore`](Memory::restore) only has to copy back the
+    /// pages written in between.
+    ///
+    /// Taking a snapshot is O(image) — it happens once per boot. The
+    /// returned value is cheap to clone (pages are `Arc`-shared).
+    pub fn snapshot(&mut self) -> MemorySnapshot {
+        let regions = self
+            .regions
+            .iter_mut()
+            .map(|r| {
+                r.arm_dirty();
+                RegionSnapshot {
+                    name: r.name.clone(),
+                    kind: r.kind,
+                    base: r.base,
+                    perms: r.perms,
+                    pages: r.data.chunks(PAGE_SIZE as usize).map(Arc::from).collect(),
+                }
+            })
+            .collect();
+        MemorySnapshot { regions }
+    }
+
+    /// Rewinds the address space to `snap`: every page dirtied since the
+    /// snapshot is copied back (O(dirty pages), not O(image)), regions
+    /// mapped afterwards are dropped, and bases/permissions that drifted
+    /// are reset. Restored code pages are pushed through the decode
+    /// cache's write hooks, so stale predecoded instructions and fused
+    /// blocks can never execute. Any armed redzone is disarmed.
+    ///
+    /// Dirty tracking is re-armed, so the same snapshot can be restored
+    /// any number of times.
+    pub fn restore(&mut self, snap: &MemorySnapshot) {
+        if self.regions.len() != snap.regions.len() {
+            // Regions mapped after the snapshot (there is no unmap, so
+            // the live set is always a superset).
+            self.regions
+                .retain(|r| snap.regions.iter().any(|s| s.name == r.name));
+            self.last_region.set(0);
+            self.dcache.flush();
+        }
+        let mut resort = false;
+        for rs in &snap.regions {
+            let Some(r) = self.regions.iter_mut().find(|r| r.name == rs.name) else {
+                unreachable!("snapshot region {} cannot be unmapped", rs.name);
+            };
+            if r.perms != rs.perms {
+                r.perms = rs.perms;
+                self.dcache.flush();
+            }
+            if r.base != rs.base {
+                // A post-snapshot reslide moved the region; move it back.
+                r.base = rs.base;
+                resort = true;
+                self.dcache.flush();
+            }
+            r.kind = rs.kind;
+            if let Some(bits) = r.dirty.take() {
+                for (word_idx, mut word) in bits.into_iter().enumerate() {
+                    while word != 0 {
+                        let page = word_idx * 64 + word.trailing_zeros() as usize;
+                        word &= word - 1;
+                        let off = page * PAGE_SIZE as usize;
+                        let src = &rs.pages[page];
+                        r.data[off..off + src.len()].copy_from_slice(src);
+                        self.dcache
+                            .note_write_range(rs.base.wrapping_add(off as u32), src.len());
+                    }
+                }
+            } else {
+                // Tracking was never armed for this region — full copy.
+                for (page, src) in rs.pages.iter().enumerate() {
+                    let off = page * PAGE_SIZE as usize;
+                    r.data[off..off + src.len()].copy_from_slice(src);
+                }
+                self.dcache.flush();
+            }
+            r.arm_dirty();
+        }
+        if resort {
+            self.regions.sort_by_key(|r| r.base);
+            self.last_region.set(0);
+        }
+        self.redzone = None;
+    }
+
+    /// Moves the named sections to new bases (the loader's re-slide path
+    /// for forking a snapshot under a different ASLR seed). Contents and
+    /// dirty tracking travel with the region; the decode cache is
+    /// flushed because every cached pc is now stale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new bases make any two regions overlap.
+    pub(crate) fn rebase_regions(&mut self, moves: &[(SectionKind, Addr)]) {
+        for &(kind, base) in moves {
+            if let Some(r) = self.regions.iter_mut().find(|r| r.kind == Some(kind)) {
+                r.base = base;
+            }
+        }
+        self.regions.sort_by_key(|r| r.base);
+        for w in self.regions.windows(2) {
+            assert!(
+                w[0].end() <= w[1].base as u64,
+                "rebase made {} overlap {}",
+                w[0].name,
+                w[1].name
+            );
+        }
+        self.last_region.set(0);
+        self.dcache.flush();
+    }
+
     // ---- predecoded-instruction cache plumbing (used by the
     // interpreters; invalidation happens in the mutators above) ----
 
@@ -541,6 +771,30 @@ impl Memory {
 
     pub(crate) fn dcache_stats(&self) -> (u64, u64) {
         self.dcache.stats()
+    }
+
+    pub(crate) fn dcache_get_block(&mut self, pc: Addr) -> Option<Arc<Block>> {
+        self.dcache.get_block(pc)
+    }
+
+    pub(crate) fn dcache_insert_block(&mut self, pc: Addr, block: Arc<Block>, span: u32) {
+        self.dcache.insert_block(pc, block, span);
+    }
+
+    pub(crate) fn dcache_set_blocks_enabled(&mut self, on: bool) {
+        self.dcache.set_blocks_enabled(on);
+    }
+
+    pub(crate) fn dcache_blocks_enabled(&self) -> bool {
+        self.dcache.blocks_enabled()
+    }
+
+    pub(crate) fn dcache_generation(&self) -> u64 {
+        self.dcache.generation()
+    }
+
+    pub(crate) fn dcache_flush(&mut self) {
+        self.dcache.flush();
     }
 }
 

@@ -46,15 +46,13 @@ fn write_operand(m: &mut Machine, op: Operand, v: u32, pc: Addr) -> Result<(), F
     }
 }
 
-/// Executes one x86 instruction at the current `eip`.
-///
-/// Cached-dispatch loop: a hit in the predecoded-instruction cache
-/// skips fetch and decode entirely (the cache is push-invalidated by
-/// every write/permission path, so a hit is valid by construction).
-pub(crate) fn step(m: &mut Machine) -> Result<Option<RunOutcome>, Fault> {
-    let pc = m.regs.pc();
-    let (insn, len) = match m.mem.dcache_get(pc) {
-        Some(crate::dcache::CachedInsn::X86(insn, len)) => (insn, len as usize),
+/// Fetches and decodes the instruction at `pc`, going through the
+/// predecoded-instruction cache (a hit skips fetch and decode entirely;
+/// the cache is push-invalidated by every write/permission path, so a
+/// hit is valid by construction).
+pub(crate) fn decode_at(m: &mut Machine, pc: Addr) -> Result<(Insn, usize), Fault> {
+    match m.mem.dcache_get(pc) {
+        Some(crate::dcache::CachedInsn::X86(insn, len)) => Ok((insn, len as usize)),
         _ => {
             let mut window = [0u8; FETCH_WINDOW];
             let n = m.mem.fetch_into(pc, &mut window)?;
@@ -69,9 +67,49 @@ pub(crate) fn step(m: &mut Machine) -> Result<Option<RunOutcome>, Fault> {
                 crate::dcache::CachedInsn::X86(insn, len as u8),
                 len as u32,
             );
-            (insn, len)
+            Ok((insn, len))
         }
-    };
+    }
+}
+
+/// Whether `insn` terminates a fused basic block: anything that can set
+/// the pc to something other than the fall-through address (the block
+/// builder stops decoding here — the textbook basic-block boundary).
+pub(crate) fn ends_block(insn: &Insn) -> bool {
+    matches!(
+        insn,
+        Insn::Ret
+            | Insn::RetImm16(_)
+            | Insn::CallRel32(_)
+            | Insn::CallRm(_)
+            | Insn::JmpRm(_)
+            | Insn::JmpRel8(_)
+            | Insn::JmpRel32(_)
+            | Insn::Jz8(_)
+            | Insn::Jnz8(_)
+            | Insn::Jz32(_)
+            | Insn::Jnz32(_)
+            | Insn::Int80
+            | Insn::Hlt
+    )
+}
+
+/// Executes one x86 instruction at the current `eip`.
+pub(crate) fn step(m: &mut Machine) -> Result<Option<RunOutcome>, Fault> {
+    let pc = m.regs.pc();
+    let (insn, len) = decode_at(m, pc)?;
+    exec_insn(m, insn, len, pc)
+}
+
+/// Executes an already-decoded instruction of `len` encoded bytes at
+/// `pc` — the semantic half of [`step`], shared with the fused-block
+/// dispatcher so both modes are one implementation.
+pub(crate) fn exec_insn(
+    m: &mut Machine,
+    insn: Insn,
+    len: usize,
+    pc: Addr,
+) -> Result<Option<RunOutcome>, Fault> {
     let next = pc.wrapping_add(len as u32);
     // Default fall-through; control-flow instructions overwrite it below.
     m.regs.set_pc(next);

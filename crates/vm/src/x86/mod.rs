@@ -14,4 +14,4 @@ mod insn;
 pub use asm::Asm;
 pub use insn::{decode, DecodeError, Insn, Operand};
 
-pub(crate) use exec::step;
+pub(crate) use exec::{decode_at, ends_block, exec_insn, step};

@@ -56,7 +56,7 @@ fn usage() {
          \x20 exploit     --arch A --prot P --strategy S\n\
          \x20 dos         --arch A --prot P  crash-only probe\n\
          \x20 pineapple   --arch A           remote rogue-AP scenario\n\
-         \x20 fleet       --devices N        rogue-AP attack on an N-device fleet\n\
+         \x20 fleet       --devices N [--snapshot]  rogue-AP attack on an N-device fleet\n\
          \x20 experiments [e1 .. e8]         regenerate the paper tables\n\
          \n\
          options:\n\
@@ -66,7 +66,9 @@ fn usage() {
          \x20 --firmware  yocto | openelec | tizen | patched (default openelec)\n\
          \x20 --jobs      N                      worker threads for experiments/fleet\n\
          \x20                                    (default 1, 0 = one per CPU)\n\
-         \x20 --devices   N                      fleet size (default 100)"
+         \x20 --devices   N                      fleet size (default 100)\n\
+         \x20 --snapshot                         fleet: boot one daemon per firmware\n\
+         \x20                                    profile per worker, fork per device"
     );
 }
 
@@ -77,6 +79,7 @@ struct Opts {
     firmware: FirmwareKind,
     jobs: usize,
     devices: usize,
+    snapshot: bool,
     rest: Vec<String>,
 }
 
@@ -89,6 +92,7 @@ impl Opts {
             firmware: FirmwareKind::OpenElec,
             jobs: 1,
             devices: 100,
+            snapshot: false,
             rest: Vec::new(),
         };
         let mut it = args.iter();
@@ -144,6 +148,7 @@ impl Opts {
                         100
                     });
                 }
+                "--snapshot" => o.snapshot = true,
                 other => o.rest.push(other.to_string()),
             }
         }
@@ -306,7 +311,7 @@ fn pineapple(opts: &Opts) -> ExitCode {
 
 fn fleet(opts: &Opts) -> ExitCode {
     let spec = connman_lab::fleet::FleetSpec::heterogeneous(opts.devices, 0xF1EE7);
-    let report = connman_lab::fleet::run_fleet(&spec, opts.jobs);
+    let report = connman_lab::fleet::run_fleet_with(&spec, opts.jobs, opts.snapshot);
     print!("{}", report.render());
     println!(
         "({} workers, {:.1} devices/sec)",
