@@ -21,9 +21,10 @@ echo "==> cml analyze --self-test"
 cargo run --release --offline -q -p connman-lab --bin cml -- analyze --self-test
 
 echo "==> repro --bench-smoke"
-# Tiny-iteration snapshot/dispatch ablations, compared against the newest
-# committed BENCH_*.json (fails on a >2x regression of the snapshot
-# advantage; skips with a note when no baseline is committed yet).
+# Tiny-iteration snapshot/dispatch/template/pool ablations, compared
+# against the newest committed BENCH_*.json (fails on a >2x regression of
+# the snapshot insn advantage or the template_vs_rebuild wall advantage;
+# each guard skips with a note when the baseline predates its record).
 cargo run --release --offline -q -p cml-bench --bin repro -- --bench-smoke
 
 echo "==> cargo doc --no-deps"

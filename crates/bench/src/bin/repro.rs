@@ -8,7 +8,8 @@
 //! repro --jobs 4        # fan matrix experiments across 4 workers
 //! repro --bench-json    # also time each experiment + a 1,000-device
 //!                       # fleet + the static analyzer + the snapshot /
-//!                       # dispatch ablations and write BENCH_<n>.json
+//!                       # dispatch / template / pool ablations and
+//!                       # write BENCH_<n>.json
 //! repro --bench-smoke   # tiny-iteration ablation run compared against
 //!                       # the newest committed BENCH_*.json; exits 1 on
 //!                       # a >2x regression, 0 (with a note) when no
@@ -20,16 +21,57 @@
 //!                       # overflow diagnostics per cell
 //! ```
 
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use cml_core::experiments;
 use cml_core::fleet::{run_fleet_with, FleetSpec};
 use cml_core::report::Suite;
 use cml_core::{Arch, Firmware, FirmwareKind, Lab, Protections, ProxyOutcome};
+use cml_dns::{BufPool, Message, Name, Question, RecordType};
 use cml_exploit::target::deliver_labels;
-use cml_exploit::{ArmGadgetExeclp, CodeInjection, ExploitStrategy, Ret2Libc, RopMemcpyChain};
+use cml_exploit::template::apply_slides;
+use cml_exploit::{
+    ArmGadgetExeclp, CodeInjection, ExploitStrategy, MaliciousDnsServer, PayloadTemplate, Ret2Libc,
+    RopMemcpyChain, Slides,
+};
 use cml_vm::{x86, Fault, Machine, X86Reg};
+
+/// Counts allocation-acquiring calls so the ablations can report heap
+/// traffic alongside wall time (frees are uninteresting here).
+struct CountingAllocator;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocs_so_far() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
 
 const ALL_IDS: [&str; 8] = ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8"];
 const FLEET_DEVICES: usize = 1000;
@@ -169,6 +211,20 @@ struct Ablations {
     insn_wall_secs: f64,
     /// Executed instructions per run in both dispatch arms.
     dispatch_insns: u64,
+    /// Template-vs-rebuild: producing per-device payload labels by
+    /// relocating a compiled template vs. rebuilding from scratch.
+    /// Both arms run the same number of label builds (`pooled_queries`).
+    rebuild_wall_secs: f64,
+    template_wall_secs: f64,
+    rebuild_allocs_per_build: u64,
+    template_allocs_per_build: u64,
+    /// Pooled-vs-alloc: answering the canonical proxy query into a warm
+    /// pooled buffer vs. allocating a fresh response vector each time.
+    pooled_queries: u64,
+    alloc_wall_secs: f64,
+    pooled_wall_secs: f64,
+    alloc_allocs_per_query: u64,
+    pooled_allocs_per_query: u64,
 }
 
 impl Ablations {
@@ -176,11 +232,23 @@ impl Ablations {
         self.fresh_insns as f64 / self.forked_insns.max(1) as f64
     }
 
+    fn template_wall_ratio(&self) -> f64 {
+        self.rebuild_wall_secs / self.template_wall_secs.max(1e-12)
+    }
+
+    fn pooled_wall_ratio(&self) -> f64 {
+        self.alloc_wall_secs / self.pooled_wall_secs.max(1e-12)
+    }
+
     fn describe(&self) -> String {
         format!(
             "snapshot_vs_reboot: {} vs {} insns/trial ({:.1}x fewer), \
              {:.3}s vs {:.3}s over {} trials\n\
-             block_vs_insn: {:.3}s vs {:.3}s for {} insns/trial",
+             block_vs_insn: {:.3}s vs {:.3}s for {} insns/trial\n\
+             template_vs_rebuild: {:.4}s rebuild vs {:.4}s relocate \
+             ({:.1}x cheaper wall; {} vs {} allocs/build)\n\
+             pooled_vs_alloc: {:.4}s alloc vs {:.4}s pooled over {} queries \
+             ({:.1}x cheaper wall; {} vs {} allocs/query)",
             self.fresh_insns,
             self.forked_insns,
             self.insn_ratio(),
@@ -189,14 +257,31 @@ impl Ablations {
             self.trials,
             self.block_wall_secs,
             self.insn_wall_secs,
-            self.dispatch_insns
+            self.dispatch_insns,
+            self.rebuild_wall_secs,
+            self.template_wall_secs,
+            self.template_wall_ratio(),
+            self.rebuild_allocs_per_build,
+            self.template_allocs_per_build,
+            self.alloc_wall_secs,
+            self.pooled_wall_secs,
+            self.pooled_queries,
+            self.pooled_wall_ratio(),
+            self.alloc_allocs_per_query,
+            self.pooled_allocs_per_query
         )
     }
 }
 
-/// Runs both ablations at `trials` iterations per arm. The workload is
-/// one E8-style trial: boot (or fork) an OpenELEC/x86 daemon under full
-/// protections and deliver one oversized response.
+/// Inner repetitions per trial for the allocation-path ablations (one
+/// template relocation or pooled query is far below timer resolution).
+const PATH_REPS: u64 = 64;
+
+/// Runs the ablations at `trials` iterations per arm. The snapshot and
+/// dispatch workloads are one E8-style trial: boot (or fork) an
+/// OpenELEC/x86 daemon under full protections and deliver one oversized
+/// response. The template and pool workloads are one steady-state fleet
+/// payload/packet step.
 fn run_ablations(trials: u64) -> Ablations {
     let fw = Firmware::build(FirmwareKind::OpenElec, Arch::X86);
     let prot = Protections::full();
@@ -243,6 +328,95 @@ fn run_ablations(trials: u64) -> Ablations {
         dispatch_insns = insns / trials.max(1);
     }
 
+    // Template ablation: per-device payload labels by rebuilding from
+    // scratch against the slid target vs. relocating a compiled
+    // template into warm buffers. Same slide sequence in both arms.
+    let strategy = RopMemcpyChain::new(Arch::X86);
+    let lab = Lab::new(FirmwareKind::OpenElec, Arch::X86).with_protections(prot);
+    let reference = lab.recon().expect("replica recon");
+    let template = PayloadTemplate::compile(&strategy, &reference).expect("template compiles");
+    let slides_for = |i: u64| Slides {
+        pie: ((i % 29) * 0x1000) as i64,
+        libc: ((i % 23) * 0x1000) as i64,
+        stack: ((i % 31) * 0x1000) as i64,
+        canary: 0,
+    };
+    let reps = trials * PATH_REPS;
+
+    let a0 = allocs_so_far();
+    let t0 = Instant::now();
+    for i in 0..reps {
+        let labels = strategy
+            .build(&apply_slides(&reference, &slides_for(i)))
+            .expect("rebuild against the slid target")
+            .to_labels()
+            .expect("rebuild labels");
+        std::hint::black_box(&labels);
+    }
+    let rebuild_wall_secs = t0.elapsed().as_secs_f64();
+    let rebuild_allocs = allocs_so_far() - a0;
+
+    let mut image_buf = Vec::new();
+    let mut label_buf = Vec::new();
+    for i in 0..4 {
+        // Warm-up sizes the buffers before the measured window.
+        template
+            .relocate_labels(&slides_for(i), &mut image_buf, &mut label_buf)
+            .expect("static plan");
+    }
+    let a0 = allocs_so_far();
+    let t0 = Instant::now();
+    for i in 0..reps {
+        template
+            .relocate_labels(&slides_for(i), &mut image_buf, &mut label_buf)
+            .expect("static plan");
+        std::hint::black_box(&label_buf);
+    }
+    let template_wall_secs = t0.elapsed().as_secs_f64();
+    let template_allocs = allocs_so_far() - a0;
+
+    // Pool ablation: answering the canonical proxy query into a fresh
+    // Vec per query vs. into a warm pooled buffer.
+    let labels = template
+        .instantiate(&Slides::identity())
+        .expect("identity labels");
+    let mut server = MaliciousDnsServer::with_labels(labels, template.name());
+    let query = Message::query(
+        0x5150,
+        Question::new(
+            Name::parse("telemetry.vendor.example").expect("valid"),
+            RecordType::A,
+        ),
+    )
+    .encode()
+    .expect("encodes");
+
+    let a0 = allocs_so_far();
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        let response = server.handle(&query).expect("query answered");
+        std::hint::black_box(&response);
+    }
+    let alloc_wall_secs = t0.elapsed().as_secs_f64();
+    let alloc_allocs = allocs_so_far() - a0;
+
+    let mut pool = BufPool::new();
+    for _ in 0..4 {
+        let mut out = pool.checkout();
+        assert!(server.handle_into(&query, &mut out), "query answered");
+        pool.checkin(out);
+    }
+    let a0 = allocs_so_far();
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        let mut out = pool.checkout();
+        server.handle_into(&query, &mut out);
+        std::hint::black_box(out.as_bytes());
+        pool.checkin(out);
+    }
+    let pooled_wall_secs = t0.elapsed().as_secs_f64();
+    let pooled_allocs = allocs_so_far() - a0;
+
     Ablations {
         trials,
         fresh_insns: fresh_insns / trials.max(1),
@@ -252,6 +426,15 @@ fn run_ablations(trials: u64) -> Ablations {
         block_wall_secs: dispatch[0],
         insn_wall_secs: dispatch[1],
         dispatch_insns,
+        rebuild_wall_secs,
+        template_wall_secs,
+        rebuild_allocs_per_build: rebuild_allocs / reps.max(1),
+        template_allocs_per_build: template_allocs / reps.max(1),
+        pooled_queries: reps,
+        alloc_wall_secs,
+        pooled_wall_secs,
+        alloc_allocs_per_query: alloc_allocs / reps.max(1),
+        pooled_allocs_per_query: pooled_allocs / reps.max(1),
     }
 }
 
@@ -284,23 +467,50 @@ fn dispatch_loop_machine() -> Machine {
 }
 
 /// `--bench-smoke`: a tiny-iteration ablation run compared against the
-/// newest committed `BENCH_<n>.json` that carries ablation records.
-/// Fails (exit 1) when the snapshot advantage collapsed by more than 2x
-/// in instruction terms; skips with a note (exit 0) when no baseline
-/// file exists yet.
+/// newest committed `BENCH_<n>.json`. Fails (exit 1) when the snapshot
+/// advantage collapsed by more than 2x in instruction terms, or when
+/// the template-relocation wall advantage collapsed by more than 2x;
+/// skips with a note (exit 0) when no baseline file exists yet. A
+/// baseline predating a given record (e.g. one without
+/// `template_vs_rebuild`) skips that comparison only.
 fn smoke_vs_baseline() -> i32 {
     let current = run_ablations(SMOKE_TRIALS);
     println!("{}", current.describe());
-    let Some((path, baseline_ratio)) = newest_baseline_ratio() else {
+    let Some((path, doc)) = newest_baseline_doc() else {
         println!("bench-smoke: no committed BENCH_*.json with ablations — skipping comparison");
         return 0;
     };
+    let mut failed = false;
+
     let ratio = current.insn_ratio();
-    println!(
-        "bench-smoke: snapshot insn ratio {ratio:.1}x vs {baseline_ratio:.1}x baseline ({path})"
-    );
-    if ratio < baseline_ratio / 2.0 {
-        println!("bench-smoke: FAIL — snapshot advantage regressed by more than 2x");
+    match json_number_after(&doc, "\"snapshot_vs_reboot\"", "\"insn_ratio\":") {
+        Some(baseline) => {
+            println!(
+                "bench-smoke: snapshot insn ratio {ratio:.1}x vs {baseline:.1}x baseline ({path})"
+            );
+            if ratio < baseline / 2.0 {
+                println!("bench-smoke: FAIL — snapshot advantage regressed by more than 2x");
+                failed = true;
+            }
+        }
+        None => println!("bench-smoke: baseline {path} has no snapshot_vs_reboot — skipping"),
+    }
+
+    let ratio = current.template_wall_ratio();
+    match json_number_after(&doc, "\"template_vs_rebuild\"", "\"wall_ratio\":") {
+        Some(baseline) => {
+            println!(
+                "bench-smoke: template wall ratio {ratio:.1}x vs {baseline:.1}x baseline ({path})"
+            );
+            if ratio < baseline / 2.0 {
+                println!("bench-smoke: FAIL — template advantage regressed by more than 2x");
+                failed = true;
+            }
+        }
+        None => println!("bench-smoke: baseline {path} has no template_vs_rebuild — skipping"),
+    }
+
+    if failed {
         return 1;
     }
     println!("bench-smoke: OK");
@@ -308,9 +518,8 @@ fn smoke_vs_baseline() -> i32 {
 }
 
 /// Finds the highest-numbered `BENCH_<n>.json` in the working directory
-/// that contains a `snapshot_vs_reboot` record and extracts its
-/// instruction ratio.
-fn newest_baseline_ratio() -> Option<(String, f64)> {
+/// that contains an ablation record and returns its contents.
+fn newest_baseline_doc() -> Option<(String, String)> {
     let mut best: Option<(u64, String)> = None;
     for entry in std::fs::read_dir(".").ok()?.flatten() {
         let name = entry.file_name().to_string_lossy().into_owned();
@@ -326,8 +535,8 @@ fn newest_baseline_ratio() -> Option<(String, f64)> {
     }
     let (_, path) = best?;
     let doc = std::fs::read_to_string(&path).ok()?;
-    let ratio = json_number_after(&doc, "\"snapshot_vs_reboot\"", "\"insn_ratio\":")?;
-    Some((path, ratio))
+    doc.contains("\"ablations\"").then_some(())?;
+    Some((path, doc))
 }
 
 /// Extracts the first number following `key` after `section` in a JSON
@@ -413,12 +622,26 @@ fn analysis_timings() -> Vec<(Arch, f64, usize)> {
         .collect()
 }
 
-/// First `BENCH_<n>.json` name not already taken in the working dir.
+/// `BENCH_<n>.json` one past the highest index in the working dir
+/// (never fills holes — the smoke guard baselines on the highest index,
+/// so a hole-filling name would be invisible to it).
 fn next_bench_path() -> String {
-    (0..)
-        .map(|n| format!("BENCH_{n}.json"))
-        .find(|p| !std::path::Path::new(p).exists())
-        .expect("some index is free")
+    let next = std::fs::read_dir(".")
+        .into_iter()
+        .flatten()
+        .flatten()
+        .filter_map(|entry| {
+            entry
+                .file_name()
+                .to_string_lossy()
+                .strip_prefix("BENCH_")?
+                .strip_suffix(".json")?
+                .parse::<u64>()
+                .ok()
+        })
+        .max()
+        .map_or(0, |n| n + 1);
+    format!("BENCH_{next}.json")
 }
 
 fn bench_json_doc(
@@ -442,7 +665,13 @@ fn bench_json_doc(
         "{{\"snapshot_vs_reboot\":{{\"trials\":{},\"fresh_insns_per_trial\":{},\
          \"forked_insns_per_trial\":{},\"insn_ratio\":{:.2},\"fresh_wall_secs\":{:.6},\
          \"forked_wall_secs\":{:.6}}},\"block_vs_insn\":{{\"trials\":{},\
-         \"insns_per_trial\":{},\"block_wall_secs\":{:.6},\"insn_wall_secs\":{:.6}}}}}",
+         \"insns_per_trial\":{},\"block_wall_secs\":{:.6},\"insn_wall_secs\":{:.6}}},\
+         \"template_vs_rebuild\":{{\"builds\":{},\"rebuild_wall_secs\":{:.6},\
+         \"template_wall_secs\":{:.6},\"wall_ratio\":{:.2},\
+         \"rebuild_allocs_per_build\":{},\"template_allocs_per_build\":{}}},\
+         \"pooled_vs_alloc\":{{\"queries\":{},\"alloc_wall_secs\":{:.6},\
+         \"pooled_wall_secs\":{:.6},\"wall_ratio\":{:.2},\
+         \"alloc_allocs_per_query\":{},\"pooled_allocs_per_query\":{}}}}}",
         ablations.trials,
         ablations.fresh_insns,
         ablations.forked_insns,
@@ -452,7 +681,19 @@ fn bench_json_doc(
         ablations.trials,
         ablations.dispatch_insns,
         ablations.block_wall_secs,
-        ablations.insn_wall_secs
+        ablations.insn_wall_secs,
+        ablations.pooled_queries,
+        ablations.rebuild_wall_secs,
+        ablations.template_wall_secs,
+        ablations.template_wall_ratio(),
+        ablations.rebuild_allocs_per_build,
+        ablations.template_allocs_per_build,
+        ablations.pooled_queries,
+        ablations.alloc_wall_secs,
+        ablations.pooled_wall_secs,
+        ablations.pooled_wall_ratio(),
+        ablations.alloc_allocs_per_query,
+        ablations.pooled_allocs_per_query
     );
     format!(
         "{{\"jobs\":{jobs},\"experiments\":[{}],\"analysis\":[{}],\"ablations\":{},\

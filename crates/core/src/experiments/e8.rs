@@ -7,7 +7,7 @@
 //! rate is 1/(2^bits − 1) (our loader never draws the zero slide).
 
 use cml_exploit::target::deliver_labels;
-use cml_exploit::{ExploitStrategy, Ret2Libc, TargetInfo};
+use cml_exploit::{PayloadTemplate, Ret2Libc, Slides, TargetInfo};
 use cml_firmware::{Arch, Firmware, FirmwareKind, Protections};
 use cml_vm::AslrConfig;
 
@@ -46,18 +46,18 @@ pub fn run_with(snapshot: bool) -> Table {
     let base_info = TargetInfo::gather(fw.image(), move || fw2.boot(Protections::wxorx(), 0xA11C))
         .expect("vulnerable firmware");
 
-    for bits in [2u32, 3, 4, 6, 8] {
-        // The attacker's guess: every libc address shifted by the same
-        // candidate slide.
-        let mut guess = base_info.clone();
-        let slide = GUESSED_PAGES * 0x1000;
-        for addr in guess.libc.values_mut() {
-            *addr += slide;
-        }
-        guess.str_bin_sh += slide;
-        let payload = Ret2Libc::new().build(&guess).expect("payload builds");
-        let labels = payload.to_labels().expect("labelizes");
+    // The payload is compiled once into a relocatable template; the
+    // attacker's guess — every libc address shifted by the same
+    // candidate slide — is then a slide relocation, not a rebuild.
+    let template =
+        PayloadTemplate::compile(&Ret2Libc::new(), &base_info).expect("payload templates");
+    let guess = Slides {
+        libc: (GUESSED_PAGES as i64) * 0x1000,
+        ..Slides::identity()
+    };
+    let labels = template.instantiate(&guess).expect("labelizes");
 
+    for bits in [2u32, 3, 4, 6, 8] {
         let protections = Protections {
             aslr: AslrConfig::with_entropy(bits),
             ..Protections::wxorx()

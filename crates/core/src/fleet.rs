@@ -4,10 +4,16 @@
 //! The paper closes with "exploit code designed to create a botnet" —
 //! `tests/fleet.rs` walks a 7-device version of that story on a shared
 //! radio environment. This module is the *throughput* version: every
-//! device's boot + lure + attack session is independent (its own radio
-//! cell, its own rogue AP), so the whole fleet fans across a
-//! [`Runner`] pool. Payloads and firmwares are built once up front; each
-//! per-device session only boots a daemon and delivers one response.
+//! device's boot + lure + attack session is independent, so the whole
+//! fleet fans across a [`Runner`] pool.
+//!
+//! The steady-state iteration is allocation-lean by construction: each
+//! worker thread keeps a persistent [`RadioEnvironment`] with one rogue
+//! AP, one malicious DNS server per architecture (its payload labels
+//! produced once from a [`TemplateSet`] relocation), per-profile
+//! [`BootForge`]s for boot-once/fork-many victims, and a [`BufPool`]
+//! whose warm buffers carry the DNS round trip without copying. Per
+//! device, the only payload-sized work left is the VM session itself.
 //!
 //! Determinism: device `i` boots with
 //! [`derive_seed`]`(base_seed, i)` and results merge in device order, so
@@ -15,14 +21,18 @@
 
 use std::cell::RefCell;
 use std::net::Ipv4Addr;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
-use cml_dns::{Name, RecordType};
-use cml_exploit::{ExploitStrategy, MaliciousDnsServer, Payload, RopMemcpyChain};
+use cml_connman::{Daemon, Resolution};
+use cml_dns::{BufPool, Name, RecordType, WireBuf};
+use cml_exploit::{MaliciousDnsServer, RopMemcpyChain, Slides, TargetInfo, TemplateSet};
 use cml_firmware::{Arch, BootForge, Firmware, FirmwareKind, Protections};
-use cml_netsim::{share, AccessPoint, ApConfig, DhcpConfig, HwAddr, RadioEnvironment, Ssid};
+use cml_netsim::{
+    share, AccessPoint, ApConfig, ApId, DhcpConfig, HwAddr, RadioEnvironment, Ssid, Station,
+    UdpService,
+};
 
-use crate::device::IotDevice;
 use crate::lab::Lab;
 use crate::runner::{derive_seed, Runner};
 
@@ -112,16 +122,32 @@ pub struct DeviceOutcome {
     pub alive: bool,
 }
 
+/// Cumulative per-phase wall time across all devices of a fleet run
+/// (summed over workers, so the phases can exceed the run's wall
+/// clock when `jobs > 1`).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseTimings {
+    /// Booting or forking the victim daemon and tuning its radio cell.
+    pub forge_secs: f64,
+    /// Resolving through the proxy and delivering the forged response
+    /// over the (pooled) packet path.
+    pub deliver_secs: f64,
+    /// Executing the delivered payload in the victim VM.
+    pub vm_secs: f64,
+}
+
 /// The merged result of a fleet run.
 #[derive(Debug, Clone)]
 pub struct FleetReport {
     /// Per-device outcomes, in fleet order.
     pub outcomes: Vec<DeviceOutcome>,
     /// Wall-clock time of the attack fan-out (excludes the shared
-    /// firmware/payload prep).
+    /// firmware/recon prep).
     pub elapsed: Duration,
     /// Worker count used.
     pub jobs: usize,
+    /// Where the per-device time went, summed across workers.
+    pub phases: PhaseTimings,
 }
 
 impl FleetReport {
@@ -166,24 +192,72 @@ impl FleetReport {
 /// Runs the rogue-AP attack against every device in the spec on `jobs`
 /// workers (0 = one per CPU).
 ///
-/// Attacker prep (one recon + payload build per architecture, one
-/// firmware build per distinct profile) happens once, serially; the
-/// per-device boot + lure + attack sessions fan across the pool.
+/// Attacker prep (one recon per architecture, one firmware build per
+/// distinct profile) happens once, serially; the per-device boot +
+/// lure + attack sessions fan across the pool, where each worker
+/// compiles its payload templates on first use and reuses them for
+/// every later device.
 ///
 /// # Panics
 ///
-/// Panics if reconnaissance or payload construction fails for an
-/// architecture present in the spec — the fleet scenario is only
+/// Panics if reconnaissance or payload-template construction fails for
+/// an architecture present in the spec — the fleet scenario is only
 /// meaningful with working exploits.
 pub fn run_fleet(spec: &FleetSpec, jobs: usize) -> FleetReport {
     run_fleet_with(spec, jobs, false)
 }
 
+/// Per-worker persistent attack state: built on the worker's first
+/// device of a run, reused for every later one.
+struct Worker {
+    /// Which [`run_fleet_with`] invocation this state belongs to; a
+    /// stale generation (a previous run on the same thread) rebuilds.
+    run_gen: u64,
+    env: RadioEnvironment,
+    ap: ApId,
+    /// Architectures whose malicious server is already on the air.
+    servers: Vec<Arch>,
+    /// Boot-once/fork-many snapshots, keyed by device profile.
+    forges: Vec<(DeviceSpec, BootForge)>,
+    /// Compiled payload templates, keyed by (strategy, arch).
+    templates: TemplateSet,
+    /// Warm DNS round-trip buffers.
+    pool: BufPool,
+}
+
 thread_local! {
-    /// Per-worker boot forges, keyed by device profile: within one
-    /// worker thread, the first device of each profile pays for a full
-    /// boot and every later one forks it (restore + per-device reslide).
-    static FORGES: RefCell<Vec<(DeviceSpec, BootForge)>> = const { RefCell::new(Vec::new()) };
+    static WORKER: RefCell<Option<Worker>> = const { RefCell::new(None) };
+}
+
+/// Distinguishes runs so a worker thread surviving across calls (the
+/// `jobs == 1` path runs on the caller) never reuses another run's
+/// leases or servers.
+static RUN_GEN: AtomicU64 = AtomicU64::new(0);
+
+/// Address the malicious resolver for `arch` listens on.
+fn server_addr(arch: Arch) -> Ipv4Addr {
+    let idx = Arch::ALL
+        .iter()
+        .position(|a| *a == arch)
+        .expect("known arch") as u8;
+    Ipv4Addr::new(10, 0, 0, 53 + idx)
+}
+
+/// Adapts [`MaliciousDnsServer`] to the netsim service trait, routing
+/// the buffered entry point to the server's zero-copy encoder.
+struct EvilService(MaliciousDnsServer);
+
+impl UdpService for EvilService {
+    fn handle_datagram(&mut self, payload: &[u8]) -> Option<Vec<u8>> {
+        self.0.handle(payload)
+    }
+
+    fn handle_datagram_into(&mut self, payload: &[u8], out: &mut Vec<u8>) -> bool {
+        let mut buf = WireBuf::from_vec(std::mem::take(out));
+        let answered = self.0.handle_into(payload, &mut buf);
+        *out = buf.into_vec();
+        answered
+    }
 }
 
 /// [`run_fleet`] with an explicit boot path: when `snapshot` is true,
@@ -193,18 +267,15 @@ thread_local! {
 pub fn run_fleet_with(spec: &FleetSpec, jobs: usize, snapshot: bool) -> FleetReport {
     let ssid = Ssid::new("SmartHome");
     let protections = Protections::full();
-    let dns = Ipv4Addr::new(10, 0, 0, 53);
 
-    // One payload per architecture, from the attacker's own replica.
-    let mut payloads: Vec<(Arch, Payload)> = Vec::new();
+    // One recon per architecture, from the attacker's own replica;
+    // workers compile payload templates against these references.
+    let mut references: Vec<(Arch, TargetInfo)> = Vec::new();
     for arch in Arch::ALL {
         if spec.devices.iter().any(|d| d.arch == arch) {
             let lab = Lab::new(FirmwareKind::OpenElec, arch).with_protections(protections);
             let target = lab.recon().expect("vulnerable replica recon succeeds");
-            let payload = RopMemcpyChain::new(arch)
-                .build(&target)
-                .expect("payload builds against the replica");
-            payloads.push((arch, payload));
+            references.push((arch, target));
         }
     }
     // One firmware build per distinct profile.
@@ -215,62 +286,170 @@ pub fn run_fleet_with(spec: &FleetSpec, jobs: usize, snapshot: bool) -> FleetRep
         }
     }
 
+    let run_gen = RUN_GEN.fetch_add(1, Ordering::Relaxed) + 1;
     let start = Instant::now();
     let runner = Runner::new(jobs);
-    let outcomes = runner.run(spec.devices.clone(), |i, d| {
-        let fw = &firmwares.iter().find(|(k, _)| *k == d).expect("prebuilt").1;
-        let payload = &payloads
-            .iter()
-            .find(|(a, _)| *a == d.arch)
-            .expect("prebuilt")
-            .1;
-        // Each device gets its own radio cell with the rogue AP as the
-        // only (strongest) network, serving the arch-matched payload.
-        let mut env = RadioEnvironment::new();
-        env.add_ap(AccessPoint::new(ApConfig {
-            ssid: ssid.clone(),
-            bssid: HwAddr::local(1),
-            signal_dbm: -40,
-            dhcp: DhcpConfig::new([10, 0, 0], dns),
-        }));
-        let mut evil = MaliciousDnsServer::new(payload).expect("payload fits DNS labels");
-        env.register_service(dns, share(move |p: &[u8]| evil.handle(p)));
-
-        let seed = derive_seed(spec.base_seed, i as u64);
-        let mac = HwAddr::local((i % u16::MAX as usize) as u16);
-        let mut dev = if snapshot {
-            let daemon = FORGES.with(|forges| {
-                let mut forges = forges.borrow_mut();
-                if !forges.iter().any(|(k, _)| *k == d) {
-                    forges.push((d, fw.forge(protections, seed)));
+    let results = runner.run(spec.devices.clone(), |i, d| {
+        WORKER.with(|slot| {
+            let mut slot = slot.borrow_mut();
+            let worker = match slot.as_mut() {
+                Some(w) if w.run_gen == run_gen => w,
+                _ => {
+                    let mut env = RadioEnvironment::new();
+                    let ap = env.add_ap(AccessPoint::new(ApConfig {
+                        ssid: ssid.clone(),
+                        bssid: HwAddr::local(1),
+                        signal_dbm: -40,
+                        dhcp: DhcpConfig::new([10, 0, 0], Ipv4Addr::new(10, 0, 0, 53)),
+                    }));
+                    *slot = Some(Worker {
+                        run_gen,
+                        env,
+                        ap,
+                        servers: Vec::new(),
+                        forges: Vec::new(),
+                        templates: TemplateSet::new(),
+                        pool: BufPool::new(),
+                    });
+                    slot.as_mut().expect("just set")
                 }
-                let forge = &mut forges
-                    .iter_mut()
-                    .find(|(k, _)| *k == d)
-                    .expect("just added")
-                    .1;
-                forge.fork(seed).clone()
-            });
-            IotDevice::with_daemon(daemon, mac, ssid.clone())
-        } else {
-            IotDevice::boot(fw, protections, seed, mac, ssid.clone())
-        };
-        let name = format!("dev-{i:04} {}/{}", d.kind.os_name(), d.arch);
-        dev.reconnect(&mut env);
-        let host = Name::parse(&format!("telemetry-{i}.vendor.example")).expect("valid name");
-        let lookup = dev.lookup(&mut env, &host, RecordType::A);
-        DeviceOutcome {
-            name,
-            vulnerable: d.kind.is_vulnerable(),
-            compromised: lookup.compromised(),
-            alive: dev.is_alive(),
-        }
+            };
+            attack_device(
+                worker,
+                spec.base_seed,
+                &ssid,
+                protections,
+                snapshot,
+                i,
+                d,
+                &firmwares,
+                &references,
+            )
+        })
     });
+
+    let mut outcomes = Vec::with_capacity(results.len());
+    let mut phases = PhaseTimings::default();
+    for (outcome, [forge, deliver, vm]) in results {
+        outcomes.push(outcome);
+        phases.forge_secs += forge;
+        phases.deliver_secs += deliver;
+        phases.vm_secs += vm;
+    }
     FleetReport {
         outcomes,
         elapsed: start.elapsed(),
         jobs: runner.jobs(),
+        phases,
     }
+}
+
+/// One device's boot + lure + attack session against the worker's
+/// persistent environment. Returns the outcome plus
+/// `[forge, deliver, vm]` phase seconds.
+#[allow(clippy::too_many_arguments)]
+fn attack_device(
+    worker: &mut Worker,
+    base_seed: u64,
+    ssid: &Ssid,
+    protections: Protections,
+    snapshot: bool,
+    i: usize,
+    d: DeviceSpec,
+    firmwares: &[(DeviceSpec, Firmware)],
+    references: &[(Arch, TargetInfo)],
+) -> (DeviceOutcome, [f64; 3]) {
+    let Worker {
+        env,
+        ap,
+        servers,
+        forges,
+        templates,
+        pool,
+        ..
+    } = worker;
+
+    let t_forge = Instant::now();
+    // First device of an architecture on this worker: relocate the
+    // payload template at the reference slides and put its server on
+    // the air. Every later device of the arch reuses the live server.
+    let dns = server_addr(d.arch);
+    if !servers.contains(&d.arch) {
+        let reference = &references
+            .iter()
+            .find(|(a, _)| *a == d.arch)
+            .expect("reconned")
+            .1;
+        let strategy = RopMemcpyChain::new(d.arch);
+        let template = templates
+            .get_or_compile(&strategy, reference)
+            .expect("fleet payload templates against the replica");
+        let labels = template
+            .instantiate(&Slides::identity())
+            .expect("identity relocation labelizes");
+        let evil = MaliciousDnsServer::with_labels(labels, template.name());
+        env.register_service(dns, share(EvilService(evil)));
+        servers.push(d.arch);
+    }
+    env.ap_mut(*ap).expect("worker AP on the air").set_dns(dns);
+    env.clear_events();
+
+    let seed = derive_seed(base_seed, i as u64);
+    let mac = HwAddr::local((i % u16::MAX as usize) as u16);
+    let mut fresh_daemon;
+    let daemon: &mut Daemon = if snapshot {
+        if !forges.iter().any(|(k, _)| *k == d) {
+            let fw = &firmwares.iter().find(|(k, _)| *k == d).expect("prebuilt").1;
+            forges.push((d, fw.forge(protections, seed)));
+        }
+        forges
+            .iter_mut()
+            .find(|(k, _)| *k == d)
+            .expect("just added")
+            .1
+            .fork(seed)
+    } else {
+        let fw = &firmwares.iter().find(|(k, _)| *k == d).expect("prebuilt").1;
+        fresh_daemon = fw.boot(protections, seed);
+        &mut fresh_daemon
+    };
+    let mut station = Station::new(mac, ssid.clone());
+    station.rescan(env);
+    let forge_secs = t_forge.elapsed().as_secs_f64();
+
+    // The attack session: cache-missing lookup → proxied query to the
+    // rogue resolver → forged response into a pooled buffer → VM run.
+    let host = Name::parse(&format!("telemetry-{i}.vendor.example")).expect("valid name");
+    let mut deliver_secs = 0.0;
+    let mut vm_secs = 0.0;
+    let mut compromised = false;
+    if daemon.is_running() && station.association().is_some() {
+        let t = Instant::now();
+        match daemon.resolve(&host, RecordType::A) {
+            Resolution::Query(query) => {
+                let mut buf = pool.checkout();
+                let answered = station.query_dns_into(env, &query, buf.as_mut_vec());
+                deliver_secs = t.elapsed().as_secs_f64();
+                if answered {
+                    let t_vm = Instant::now();
+                    compromised = daemon.deliver_response(buf.as_bytes()).is_root_shell();
+                    vm_secs = t_vm.elapsed().as_secs_f64();
+                }
+                pool.checkin(buf);
+            }
+            Resolution::Cached(_) => {
+                deliver_secs = t.elapsed().as_secs_f64();
+            }
+        }
+    }
+
+    let outcome = DeviceOutcome {
+        name: format!("dev-{i:04} {}/{}", d.kind.os_name(), d.arch),
+        vulnerable: d.kind.is_vulnerable(),
+        compromised,
+        alive: daemon.is_running(),
+    };
+    (outcome, [forge_secs, deliver_secs, vm_secs])
 }
 
 #[cfg(test)]
@@ -309,5 +488,15 @@ mod tests {
         let fresh = run_fleet_with(&spec, 2, false).render();
         let forked = run_fleet_with(&spec, 2, true).render();
         assert_eq!(fresh, forked);
+    }
+
+    #[test]
+    fn phase_timings_cover_the_session() {
+        let spec = FleetSpec::heterogeneous(6, 7);
+        let report = run_fleet(&spec, 1);
+        let p = report.phases;
+        assert!(p.forge_secs > 0.0, "boot time is accounted");
+        assert!(p.deliver_secs > 0.0, "delivery time is accounted");
+        assert!(p.vm_secs > 0.0, "vm time is accounted");
     }
 }

@@ -187,6 +187,32 @@ impl Lab {
             .with_sanitizer(self.sanitize)
     }
 
+    /// Delivers pre-solved payload labels to a freshly booted victim
+    /// and classifies what happened — the delivery tail of
+    /// [`run_exploit`](Self::run_exploit), shared with callers that
+    /// produce labels some other way (e.g. relocating a
+    /// [`cml_exploit::PayloadTemplate`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LabError::NoQuery`] when the victim never issues a
+    /// DNS query to attack.
+    pub fn attack_with_labels(
+        &self,
+        labels: Vec<Vec<u8>>,
+    ) -> Result<(AttackOutcome, ProxyOutcome), LabError> {
+        let mut victim = self.boot_victim();
+        let proxy_outcome = deliver_labels(&mut victim, labels).ok_or(LabError::NoQuery)?;
+        let outcome = if proxy_outcome.is_root_shell() {
+            AttackOutcome::RootShell
+        } else if proxy_outcome.daemon_alive() {
+            AttackOutcome::Survived
+        } else {
+            AttackOutcome::DenialOfService
+        };
+        Ok((outcome, proxy_outcome))
+    }
+
     /// Full run: recon → build → deliver → classify.
     ///
     /// # Errors
@@ -197,15 +223,7 @@ impl Lab {
         let target = self.recon()?;
         let payload = strategy.build(&target).map_err(LabError::Build)?;
         let labels = payload.to_labels().map_err(LabError::Layout)?;
-        let mut victim = self.boot_victim();
-        let proxy_outcome = deliver_labels(&mut victim, labels).ok_or(LabError::NoQuery)?;
-        let outcome = if proxy_outcome.is_root_shell() {
-            AttackOutcome::RootShell
-        } else if proxy_outcome.daemon_alive() {
-            AttackOutcome::Survived
-        } else {
-            AttackOutcome::DenialOfService
-        };
+        let (outcome, proxy_outcome) = self.attack_with_labels(labels)?;
         let predicted_success = match strategy.goal() {
             Goal::RootShell => strategy.expected_to_defeat(&self.protections),
             Goal::DenialOfService => true,

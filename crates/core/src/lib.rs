@@ -40,7 +40,7 @@ pub mod report;
 pub mod runner;
 
 pub use device::{IotDevice, LookupOutcome};
-pub use fleet::{FleetReport, FleetSpec};
+pub use fleet::{FleetReport, FleetSpec, PhaseTimings};
 pub use lab::{AttackOutcome, AttackReport, Lab, LabError};
 pub use runner::{derive_seed, Runner};
 

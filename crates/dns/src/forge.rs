@@ -27,7 +27,7 @@ use std::net::Ipv4Addr;
 use crate::message::Message;
 use crate::name::MAX_LABEL_LEN;
 use crate::record::{RecordClass, RecordType};
-use crate::wire::WireWriter;
+use crate::wire::{WireBuf, WireWriter};
 use crate::DnsError;
 
 /// How the forged answer's owner name terminates.
@@ -187,6 +187,42 @@ impl ResponseForge {
         (12 + qlen) as u16
     }
 
+    /// Re-aims an already-configured forge at a new query without
+    /// rebuilding it: replaces the transaction id and overwrites the
+    /// echoed question section with `question_wire` (the query's raw
+    /// question bytes — the proxy's own queries encode their single
+    /// question uncompressed, so the echo is a verbatim copy). Labels,
+    /// termination, TTL and claimed counts are kept; capacity of the
+    /// stored echo is reused.
+    pub fn retarget(&mut self, id: u16, question_wire: &[u8]) {
+        self.id = id;
+        match &mut self.question {
+            Some(q) => {
+                q.wire.clear();
+                q.wire.extend_from_slice(question_wire);
+            }
+            None => {
+                self.question = Some(QuestionEcho {
+                    wire: question_wire.to_vec(),
+                });
+            }
+        }
+    }
+
+    /// In-place companion to [`record_type`](Self::record_type) for
+    /// forge reuse: sets the answer type and resets RDATA to that
+    /// type's default (what a freshly constructed forge would carry).
+    pub fn set_record_type(&mut self, rtype: RecordType) {
+        self.rtype = rtype;
+        self.rdata.clear();
+        if rtype == RecordType::Aaaa {
+            self.rdata
+                .extend_from_slice(&[0x20, 0x01, 0x0d, 0xb8, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1]);
+        } else {
+            self.rdata.extend_from_slice(&[10, 13, 37, 1]);
+        }
+    }
+
     /// Emits the forged response bytes.
     ///
     /// # Errors
@@ -194,7 +230,24 @@ impl ResponseForge {
     /// Returns [`DnsError::MessageTooLarge`] if the result would exceed
     /// [`crate::MAX_PROXY_MESSAGE`].
     pub fn build(&self) -> Result<Vec<u8>, DnsError> {
-        let mut w = WireWriter::with_limit(crate::MAX_PROXY_MESSAGE);
+        let mut out = WireBuf::new();
+        self.encode_into(&mut out)?;
+        Ok(out.into_vec())
+    }
+
+    /// [`build`](Self::build) into a reusable buffer: `out`'s contents
+    /// are replaced, its capacity is kept, and a warm buffer makes the
+    /// whole encode allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DnsError::MessageTooLarge`] if the result would exceed
+    /// [`crate::MAX_PROXY_MESSAGE`].
+    pub fn encode_into(&self, out: &mut WireBuf) -> Result<(), DnsError> {
+        let mut w = WireWriter::from_vec_with_limit(
+            std::mem::take(out.as_mut_vec()),
+            crate::MAX_PROXY_MESSAGE,
+        );
         // Header: response, recursion available, NOERROR.
         w.write_u16(self.id)?;
         w.write_u16(0x8180)?;
@@ -219,7 +272,8 @@ impl ResponseForge {
         w.write_u32(self.ttl)?;
         w.write_u16(self.rdata.len() as u16)?;
         w.write_bytes(&self.rdata)?;
-        Ok(w.into_bytes())
+        *out.as_mut_vec() = w.into_bytes();
+        Ok(())
     }
 
     /// Total decompressed size the proxy will attempt to write into its
@@ -331,6 +385,61 @@ mod tests {
             .unwrap();
         let m = Message::decode(&bytes).unwrap();
         assert_eq!(m.answers()[0].rtype(), RecordType::Aaaa);
+    }
+
+    #[test]
+    fn retargeted_forge_matches_fresh_forge() {
+        let labels = vec![b"pay".to_vec(), b"load".to_vec()];
+        let q2 = Message::query(
+            0x9999,
+            Question::new(Name::parse("other.example.com").unwrap(), RecordType::Aaaa),
+        );
+        let mut reused = ResponseForge::answering(&query())
+            .with_payload_labels(labels.clone())
+            .unwrap();
+        let mut qwire = WireWriter::new();
+        let qq = &q2.questions()[0];
+        qq.qname().encode_uncompressed(&mut qwire).unwrap();
+        qwire.write_u16(qq.qtype().to_u16()).unwrap();
+        qwire.write_u16(qq.qclass().to_u16()).unwrap();
+        reused.retarget(0x9999, qwire.as_bytes());
+        reused.set_record_type(RecordType::Aaaa);
+        let fresh = ResponseForge::answering(&q2)
+            .with_payload_labels(labels.clone())
+            .unwrap()
+            .record_type(RecordType::Aaaa)
+            .build()
+            .unwrap();
+        assert_eq!(reused.build().unwrap(), fresh);
+        // And back: a later A query on the same forge must also match a
+        // fresh forge (RDATA resets to the A default).
+        let mut qwire = WireWriter::new();
+        let q1 = query();
+        let qq = &q1.questions()[0];
+        qq.qname().encode_uncompressed(&mut qwire).unwrap();
+        qwire.write_u16(qq.qtype().to_u16()).unwrap();
+        qwire.write_u16(qq.qclass().to_u16()).unwrap();
+        reused.retarget(0x4242, qwire.as_bytes());
+        reused.set_record_type(RecordType::A);
+        let fresh_a = ResponseForge::answering(&query())
+            .with_payload_labels(labels)
+            .unwrap()
+            .build()
+            .unwrap();
+        assert_eq!(reused.build().unwrap(), fresh_a);
+    }
+
+    #[test]
+    fn encode_into_matches_build_and_reuses_capacity() {
+        let forge = ResponseForge::answering(&query())
+            .with_chunked_payload(&[0x41; 200])
+            .unwrap();
+        let mut out = WireBuf::new();
+        forge.encode_into(&mut out).unwrap();
+        assert_eq!(out.as_bytes(), &forge.build().unwrap()[..]);
+        let ptr = out.as_bytes().as_ptr();
+        forge.encode_into(&mut out).unwrap();
+        assert_eq!(out.as_bytes().as_ptr(), ptr, "warm buffer reused");
     }
 
     #[test]

@@ -55,7 +55,7 @@ pub use message::Message;
 pub use name::{Label, Name, MAX_LABEL_LEN, MAX_NAME_LEN};
 pub use question::Question;
 pub use record::{Record, RecordClass, RecordData, RecordType};
-pub use wire::{WireReader, WireWriter};
+pub use wire::{BufPool, WireBuf, WireReader, WireWriter};
 pub use zone::{Zone, ZoneServer};
 
 /// Maximum size of a DNS message carried over UDP without EDNS0, in bytes.

@@ -6,7 +6,7 @@ use std::fmt;
 use crate::header::{Header, Rcode};
 use crate::question::Question;
 use crate::record::Record;
-use crate::wire::{WireReader, WireWriter};
+use crate::wire::{WireBuf, WireReader, WireWriter};
 use crate::DnsError;
 
 /// A complete DNS message: header plus the four sections.
@@ -138,7 +138,7 @@ impl Message {
     ///
     /// Returns a [`DnsError`] if any component fails to encode.
     pub fn encode(&self) -> Result<Vec<u8>, DnsError> {
-        self.encode_into(WireWriter::new())
+        self.encode_with(WireWriter::new())
     }
 
     /// Encodes with a size ceiling (e.g. [`crate::MAX_UDP_MESSAGE`]).
@@ -147,10 +147,23 @@ impl Message {
     ///
     /// Returns [`DnsError::MessageTooLarge`] if the ceiling is exceeded.
     pub fn encode_with_limit(&self, limit: usize) -> Result<Vec<u8>, DnsError> {
-        self.encode_into(WireWriter::with_limit(limit))
+        self.encode_with(WireWriter::with_limit(limit))
     }
 
-    fn encode_into(&self, mut w: WireWriter) -> Result<Vec<u8>, DnsError> {
+    /// [`encode`](Self::encode) into a reusable buffer: `out`'s
+    /// contents are replaced, its capacity is kept, and a warm buffer
+    /// makes the whole encode allocation-free (name compression aside).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DnsError`] if any component fails to encode.
+    pub fn encode_into(&self, out: &mut WireBuf) -> Result<(), DnsError> {
+        let w = WireWriter::from_vec(std::mem::take(out.as_mut_vec()));
+        *out.as_mut_vec() = self.encode_with(w)?;
+        Ok(())
+    }
+
+    fn encode_with(&self, mut w: WireWriter) -> Result<Vec<u8>, DnsError> {
         let mut offsets = HashMap::new();
         self.header.encode(&mut w)?;
         for q in &self.questions {

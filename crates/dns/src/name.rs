@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use crate::wire::{WireReader, WireWriter};
+use crate::wire::{WireBuf, WireReader, WireWriter};
 use crate::DnsError;
 
 /// Maximum length of a single label on the wire (RFC 1035 §2.3.4).
@@ -245,6 +245,20 @@ impl Name {
             w.write_bytes(label.as_bytes())?;
         }
         w.write_u8(0)
+    }
+
+    /// [`encode_uncompressed`](Self::encode_uncompressed) into a
+    /// reusable buffer: `out`'s contents are replaced, its capacity is
+    /// kept, and a warm buffer makes the encode allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer capacity errors.
+    pub fn encode_into(&self, out: &mut WireBuf) -> Result<(), DnsError> {
+        let mut w = WireWriter::from_vec(std::mem::take(out.as_mut_vec()));
+        self.encode_uncompressed(&mut w)?;
+        *out.as_mut_vec() = w.into_bytes();
+        Ok(())
     }
 
     /// Encodes with RFC 1035 §4.1.4 compression.

@@ -140,6 +140,24 @@ impl WireWriter {
         }
     }
 
+    /// Creates an unbounded writer on top of an existing buffer: the
+    /// buffer is cleared but its capacity is kept, so a warm buffer
+    /// makes the whole encode allocation-free. Recover the bytes with
+    /// [`into_bytes`](Self::into_bytes).
+    pub fn from_vec(mut buf: Vec<u8>) -> Self {
+        buf.clear();
+        WireWriter { buf, limit: None }
+    }
+
+    /// [`from_vec`](Self::from_vec) with a size ceiling.
+    pub fn from_vec_with_limit(mut buf: Vec<u8>, limit: usize) -> Self {
+        buf.clear();
+        WireWriter {
+            buf,
+            limit: Some(limit),
+        }
+    }
+
     /// Bytes written so far.
     pub fn len(&self) -> usize {
         self.buf.len()
@@ -232,6 +250,107 @@ impl WireWriter {
     }
 }
 
+/// A reusable wire-serialization buffer.
+///
+/// Thin wrapper over `Vec<u8>` whose point is the *protocol*: encoders
+/// take `&mut WireBuf` and replace its contents while keeping its
+/// capacity, so a warm buffer is filled with zero heap allocations.
+/// Pair with [`BufPool`] to recycle buffers across packets.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WireBuf {
+    buf: Vec<u8>,
+}
+
+impl WireBuf {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        WireBuf::default()
+    }
+
+    /// An empty buffer with `cap` bytes preallocated.
+    pub fn with_capacity(cap: usize) -> Self {
+        WireBuf {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Wraps an existing vector (contents preserved).
+    pub fn from_vec(buf: Vec<u8>) -> Self {
+        WireBuf { buf }
+    }
+
+    /// Unwraps into the underlying vector.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the buffer holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The current contents.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Clears the contents, keeping capacity.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    /// Direct access to the underlying vector (encoders use this to
+    /// move the storage into a [`WireWriter`] and back).
+    pub fn as_mut_vec(&mut self) -> &mut Vec<u8> {
+        &mut self.buf
+    }
+}
+
+/// A free-list of [`WireBuf`]s.
+///
+/// `checkout` hands out a cleared buffer (reusing a returned one when
+/// available), `checkin` returns it. Steady state — every checkout
+/// matched by a checkin — performs no heap allocation once the pooled
+/// buffers have grown to the working-set packet size.
+#[derive(Debug, Clone, Default)]
+pub struct BufPool {
+    free: Vec<WireBuf>,
+}
+
+impl BufPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        BufPool::default()
+    }
+
+    /// Takes a cleared buffer from the pool, or a fresh one if none are
+    /// free.
+    pub fn checkout(&mut self) -> WireBuf {
+        match self.free.pop() {
+            Some(mut b) => {
+                b.clear();
+                b
+            }
+            None => WireBuf::new(),
+        }
+    }
+
+    /// Returns a buffer to the pool for reuse.
+    pub fn checkin(&mut self, buf: WireBuf) {
+        self.free.push(buf);
+    }
+
+    /// Number of idle buffers.
+    pub fn available(&self) -> usize {
+        self.free.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -298,5 +417,39 @@ mod tests {
         w.write_u16(0x0102).unwrap();
         w.write_u32(0x0304_0506).unwrap();
         assert_eq!(w.into_bytes(), vec![1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn writer_from_vec_keeps_capacity() {
+        let mut v = vec![9u8; 64];
+        let cap = v.capacity();
+        v.truncate(64);
+        let mut w = WireWriter::from_vec(v);
+        assert!(w.is_empty());
+        w.write_u16(0xbeef).unwrap();
+        let out = w.into_bytes();
+        assert_eq!(out, vec![0xbe, 0xef]);
+        assert_eq!(out.capacity(), cap);
+    }
+
+    #[test]
+    fn from_vec_with_limit_still_enforces_ceiling() {
+        let mut w = WireWriter::from_vec_with_limit(Vec::with_capacity(16), 2);
+        w.write_u16(1).unwrap();
+        assert!(w.write_u8(0).is_err());
+    }
+
+    #[test]
+    fn pool_reuses_returned_buffers() {
+        let mut pool = BufPool::new();
+        let mut b = pool.checkout();
+        b.as_mut_vec().extend_from_slice(&[1, 2, 3]);
+        let ptr = b.as_bytes().as_ptr();
+        pool.checkin(b);
+        assert_eq!(pool.available(), 1);
+        let b2 = pool.checkout();
+        assert!(b2.is_empty(), "checked-out buffers are cleared");
+        assert_eq!(b2.as_bytes().as_ptr(), ptr, "same allocation reused");
+        assert_eq!(pool.available(), 0);
     }
 }

@@ -1,6 +1,7 @@
 //! Link-layer addresses and SSIDs.
 
 use std::fmt;
+use std::sync::Arc;
 
 /// A 48-bit hardware (MAC) address.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -38,12 +39,16 @@ impl fmt::Display for HwAddr {
 
 /// A wireless network name. Matching is exact and case-sensitive, as in
 /// 802.11.
+///
+/// Backed by a shared string so the many places that carry an SSID copy
+/// — beacons, scan results, events, Pineapple clones — bump a refcount
+/// instead of reallocating the name.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-pub struct Ssid(String);
+pub struct Ssid(Arc<str>);
 
 impl Ssid {
     /// Creates an SSID.
-    pub fn new(name: impl Into<String>) -> Self {
+    pub fn new(name: impl Into<Arc<str>>) -> Self {
         Ssid(name.into())
     }
 
@@ -61,6 +66,12 @@ impl fmt::Display for Ssid {
 
 impl From<&str> for Ssid {
     fn from(s: &str) -> Self {
+        Ssid::new(s)
+    }
+}
+
+impl From<String> for Ssid {
+    fn from(s: String) -> Self {
         Ssid::new(s)
     }
 }

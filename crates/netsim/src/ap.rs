@@ -93,6 +93,13 @@ impl AccessPoint {
         self.config.signal_dbm = dbm;
     }
 
+    /// Repoints the DHCP-advertised DNS server. Only future leases see
+    /// the new address; clients already holding a lease keep the old
+    /// one until they re-associate, as with a real DHCP renewal.
+    pub fn set_dns(&mut self, dns: Ipv4Addr) {
+        self.config.dhcp.dns = dns;
+    }
+
     /// Grants (or renews) a DHCP lease for a client.
     pub fn lease(&mut self, mac: HwAddr) -> Lease {
         if let Some(existing) = self.leases.get(&mac) {

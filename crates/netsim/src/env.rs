@@ -31,6 +31,24 @@ pub struct ScanResult {
 pub trait UdpService: Send {
     /// Handles one datagram; `Some(bytes)` is sent back to the caller.
     fn handle_datagram(&mut self, payload: &[u8]) -> Option<Vec<u8>>;
+
+    /// [`handle_datagram`](Self::handle_datagram) into a reusable
+    /// buffer: replaces `out`'s contents with the response and returns
+    /// `true`, or returns `false` when the datagram goes unanswered.
+    ///
+    /// The default just wraps `handle_datagram`; services with a
+    /// zero-copy encoder override this so a warm `out` never
+    /// reallocates.
+    fn handle_datagram_into(&mut self, payload: &[u8], out: &mut Vec<u8>) -> bool {
+        match self.handle_datagram(payload) {
+            Some(resp) => {
+                out.clear();
+                out.extend_from_slice(&resp);
+                true
+            }
+            None => false,
+        }
+    }
 }
 
 impl<F> UdpService for F
@@ -168,37 +186,60 @@ impl RadioEnvironment {
     /// Associates `mac` with the **strongest** AP broadcasting `ssid`
     /// and runs DHCP — the 802.11 roaming behaviour the Pineapple preys
     /// on.
+    ///
+    /// Walks the beacon table directly rather than materializing a
+    /// [`scan`](Self::scan) result vector; ties break toward the
+    /// most-recently deployed AP, matching `Iterator::max_by_key` over
+    /// the scan order.
     pub fn associate(&mut self, mac: HwAddr, ssid: &Ssid) -> Option<(ApId, Lease)> {
-        let best = self
-            .scan()
-            .into_iter()
-            .filter(|r| &r.ssid == ssid)
-            .max_by_key(|r| r.signal_dbm)?;
-        let ap = self.ap_mut(best.ap)?;
+        let mut best: Option<(usize, i32)> = None;
+        for (i, slot) in self.aps.iter().enumerate() {
+            if let Some(ap) = slot {
+                if ap.ssid() == ssid && best.is_none_or(|(_, dbm)| ap.signal_dbm() >= dbm) {
+                    best = Some((i, ap.signal_dbm()));
+                }
+            }
+        }
+        let (idx, _) = best?;
+        let ap = self.aps[idx].as_mut()?;
         let lease = ap.lease(mac);
         self.events.push(NetEvent::Associated {
             mac,
-            ap: best.ap,
+            ap: ApId(idx),
             lease,
         });
-        Some((best.ap, lease))
+        Some((ApId(idx), lease))
     }
 
     /// Sends a datagram to the service at `dst`, returning its response.
     pub fn send(&mut self, dst: Ipv4Addr, payload: &[u8]) -> Option<Vec<u8>> {
+        let mut out = Vec::new();
+        if self.send_into(dst, payload, &mut out) {
+            Some(out)
+        } else {
+            None
+        }
+    }
+
+    /// [`send`](Self::send) into a reusable buffer: replaces `out`'s
+    /// contents with the response and returns `true`, or returns `false`
+    /// when the datagram was unroutable or unanswered. With a service
+    /// that overrides [`UdpService::handle_datagram_into`], a warm `out`
+    /// makes the whole round trip allocation-free.
+    pub fn send_into(&mut self, dst: Ipv4Addr, payload: &[u8], out: &mut Vec<u8>) -> bool {
         match self.services.get(&dst).cloned() {
             Some(service) => {
-                let response = service.lock().handle_datagram(payload);
+                let answered = service.lock().handle_datagram_into(payload, out);
                 self.events.push(NetEvent::Delivered {
                     dst,
                     len: payload.len(),
-                    answered: response.is_some(),
+                    answered,
                 });
-                response
+                answered
             }
             None => {
                 self.events.push(NetEvent::Unroutable { dst });
-                None
+                false
             }
         }
     }
@@ -206,6 +247,15 @@ impl RadioEnvironment {
     /// The event transcript so far.
     pub fn events(&self) -> &[NetEvent] {
         &self.events
+    }
+
+    /// Discards the event transcript, releasing its memory for reuse.
+    ///
+    /// Long-lived environments (the fleet harness runs thousands of
+    /// sessions through one) call this between sessions so the
+    /// transcript does not grow without bound.
+    pub fn clear_events(&mut self) {
+        self.events.clear();
     }
 }
 

@@ -76,6 +76,21 @@ impl Station {
         let dns = self.dns_server()?;
         env.send(dns, query)
     }
+
+    /// [`query_dns`](Self::query_dns) into a reusable buffer: replaces
+    /// `out`'s contents with the response and returns `true`, or
+    /// returns `false` when disconnected or unanswered.
+    pub fn query_dns_into(
+        &self,
+        env: &mut RadioEnvironment,
+        query: &[u8],
+        out: &mut Vec<u8>,
+    ) -> bool {
+        match self.dns_server() {
+            Some(dns) => env.send_into(dns, query, out),
+            None => false,
+        }
+    }
 }
 
 #[cfg(test)]

