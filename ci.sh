@@ -20,6 +20,12 @@ cargo test --workspace --release --offline -q
 echo "==> cml analyze --self-test"
 cargo run --release --offline -q -p connman-lab --bin cml -- analyze --self-test
 
+echo "==> cml fuzz --smoke"
+# Fixed-seed fuzzing gate: the coverage-guided fuzzer must rediscover
+# the dnsproxy overflow on vulnerable firmware (both ISAs) and find
+# nothing on patched 1.35, within a small deterministic budget.
+cargo run --release --offline -q -p connman-lab --bin cml -- fuzz --smoke --jobs 2
+
 echo "==> repro --bench-smoke"
 # Tiny-iteration snapshot/dispatch/template/pool ablations, compared
 # against the newest committed BENCH_*.json (fails on a >2x regression of

@@ -37,6 +37,7 @@ use cml_exploit::{
     ArmGadgetExeclp, CodeInjection, ExploitStrategy, MaliciousDnsServer, PayloadTemplate, Ret2Libc,
     RopMemcpyChain, Slides,
 };
+use cml_fuzz::FuzzConfig;
 use cml_vm::{x86, Fault, Machine, X86Reg};
 
 /// Counts allocation-acquiring calls so the ablations can report heap
@@ -225,6 +226,20 @@ struct Ablations {
     pooled_wall_secs: f64,
     alloc_allocs_per_query: u64,
     pooled_allocs_per_query: u64,
+    /// Fuzzing throughput: a fixed-seed coverage-guided campaign on the
+    /// vulnerable x86 daemon, snapshot-fork per exec, edge map armed.
+    fuzz_execs: u64,
+    fuzz_wall_secs: f64,
+    /// Same campaign with a full boot per exec instead of a fork (the
+    /// two campaigns execute identical input sequences — same derived
+    /// RNG streams — so only the restore-vs-boot cost moves).
+    fuzz_reboot_wall_secs: f64,
+    /// Coverage-hook cost, measured by replaying one fixed input set
+    /// through the harness with the edge map armed vs disarmed —
+    /// identical work in both arms, only the bitmap writes differ.
+    cov_replay_execs: u64,
+    cov_on_wall_secs: f64,
+    cov_off_wall_secs: f64,
 }
 
 impl Ablations {
@@ -240,6 +255,21 @@ impl Ablations {
         self.alloc_wall_secs / self.pooled_wall_secs.max(1e-12)
     }
 
+    fn fuzz_execs_per_sec(&self) -> f64 {
+        self.fuzz_execs as f64 / self.fuzz_wall_secs.max(1e-12)
+    }
+
+    /// Wall cost of the coverage bitmap: armed / disarmed (≥ 1.0 means
+    /// the hook costs something; close to 1.0 is the goal).
+    fn coverage_overhead_ratio(&self) -> f64 {
+        self.cov_on_wall_secs / self.cov_off_wall_secs.max(1e-12)
+    }
+
+    /// Snapshot-fork advantage inside the fuzz loop: reboot / fork.
+    fn fork_vs_reboot_fuzz_ratio(&self) -> f64 {
+        self.fuzz_reboot_wall_secs / self.fuzz_wall_secs.max(1e-12)
+    }
+
     fn describe(&self) -> String {
         format!(
             "snapshot_vs_reboot: {} vs {} insns/trial ({:.1}x fewer), \
@@ -248,7 +278,9 @@ impl Ablations {
              template_vs_rebuild: {:.4}s rebuild vs {:.4}s relocate \
              ({:.1}x cheaper wall; {} vs {} allocs/build)\n\
              pooled_vs_alloc: {:.4}s alloc vs {:.4}s pooled over {} queries \
-             ({:.1}x cheaper wall; {} vs {} allocs/query)",
+             ({:.1}x cheaper wall; {} vs {} allocs/query)\n\
+             fuzz: {} execs in {:.3}s ({:.0} execs/sec); coverage hook \
+             {:.2}x wall overhead; reboot-per-exec {:.1}x slower than fork",
             self.fresh_insns,
             self.forked_insns,
             self.insn_ratio(),
@@ -268,7 +300,12 @@ impl Ablations {
             self.pooled_queries,
             self.pooled_wall_ratio(),
             self.alloc_allocs_per_query,
-            self.pooled_allocs_per_query
+            self.pooled_allocs_per_query,
+            self.fuzz_execs,
+            self.fuzz_wall_secs,
+            self.fuzz_execs_per_sec(),
+            self.coverage_overhead_ratio(),
+            self.fork_vs_reboot_fuzz_ratio()
         )
     }
 }
@@ -417,6 +454,57 @@ fn run_ablations(trials: u64) -> Ablations {
     let pooled_wall_secs = t0.elapsed().as_secs_f64();
     let pooled_allocs = allocs_so_far() - a0;
 
+    // Fuzzing ablations: the same fixed-seed campaign three ways —
+    // coverage-on fork (the production configuration), coverage-off
+    // (bitmap cost), reboot-per-exec (snapshot advantage inside the
+    // fuzz loop, which also forfeits the warm dirty-page working set).
+    let fuzz_execs = trials * 64;
+    let base_cfg = FuzzConfig::new(FirmwareKind::OpenElec, Arch::X86, 0x5EED, fuzz_execs, 1);
+    let t0 = Instant::now();
+    let report = cml_fuzz::fuzz(&base_cfg);
+    let fuzz_wall_secs = t0.elapsed().as_secs_f64();
+    assert_eq!(
+        report.total_execs(),
+        fuzz_execs,
+        "campaign spends its budget"
+    );
+
+    let mut reboot = base_cfg;
+    reboot.reboot_per_exec = true;
+    let t0 = Instant::now();
+    cml_fuzz::fuzz(&reboot);
+    let fuzz_reboot_wall_secs = t0.elapsed().as_secs_f64();
+
+    // Coverage-hook arm: one fixed input set (the benign seeds plus
+    // deterministic mutants of them), replayed with the map armed and
+    // disarmed. Same parses, same forks — only the bitmap differs.
+    let replay: Vec<Vec<u8>> = {
+        let mut h = cml_fuzz::Harness::new(FirmwareKind::OpenElec, Arch::X86, 0x5EED, true, false);
+        let seeds = h.seed_inputs();
+        let mut m = cml_fuzz::Mutator::new(0x5EED);
+        let mut out = Vec::new();
+        let mut inputs = seeds.clone();
+        for i in 0..61usize {
+            m.mutate(&seeds[i % seeds.len()], None, &mut out);
+            inputs.push(out.clone());
+        }
+        inputs
+    };
+    let cov_replay_execs = trials * replay.len() as u64;
+    let mut cov_wall = [0.0f64; 2];
+    for (slot, cov_on) in [(0usize, true), (1usize, false)] {
+        let mut h =
+            cml_fuzz::Harness::new(FirmwareKind::OpenElec, Arch::X86, 0x5EED, cov_on, false);
+        let mut acc = cml_fuzz::CoverageAccum::new();
+        let t0 = Instant::now();
+        for _ in 0..trials {
+            for input in &replay {
+                std::hint::black_box(h.exec(input, &mut acc));
+            }
+        }
+        cov_wall[slot] = t0.elapsed().as_secs_f64();
+    }
+
     Ablations {
         trials,
         fresh_insns: fresh_insns / trials.max(1),
@@ -435,6 +523,12 @@ fn run_ablations(trials: u64) -> Ablations {
         pooled_wall_secs,
         alloc_allocs_per_query: alloc_allocs / reps.max(1),
         pooled_allocs_per_query: pooled_allocs / reps.max(1),
+        fuzz_execs,
+        fuzz_wall_secs,
+        fuzz_reboot_wall_secs,
+        cov_replay_execs,
+        cov_on_wall_secs: cov_wall[0],
+        cov_off_wall_secs: cov_wall[1],
     }
 }
 
@@ -508,6 +602,36 @@ fn smoke_vs_baseline() -> i32 {
             }
         }
         None => println!("bench-smoke: baseline {path} has no template_vs_rebuild — skipping"),
+    }
+
+    let ratio = current.fork_vs_reboot_fuzz_ratio();
+    match json_number_after(&doc, "\"fork_vs_reboot_fuzz\"", "\"wall_ratio\":") {
+        Some(baseline) => {
+            println!(
+                "bench-smoke: fuzz fork-vs-reboot ratio {ratio:.1}x vs {baseline:.1}x baseline ({path})"
+            );
+            if ratio < baseline / 2.0 {
+                println!("bench-smoke: FAIL — fuzz snapshot advantage regressed by more than 2x");
+                failed = true;
+            }
+        }
+        None => println!("bench-smoke: baseline {path} has no fork_vs_reboot_fuzz — skipping"),
+    }
+
+    let overhead = current.coverage_overhead_ratio();
+    match json_number_after(&doc, "\"coverage_hook_overhead\"", "\"overhead_ratio\":") {
+        Some(baseline) => {
+            println!(
+                "bench-smoke: coverage hook overhead {overhead:.2}x vs {baseline:.2}x baseline ({path})"
+            );
+            // Overhead is a cost (≥ ~1.0): fail when it doubles over
+            // the recorded baseline, with slack for timer noise.
+            if overhead > baseline.max(1.0) * 2.0 {
+                println!("bench-smoke: FAIL — coverage hook overhead more than doubled");
+                failed = true;
+            }
+        }
+        None => println!("bench-smoke: baseline {path} has no coverage_hook_overhead — skipping"),
     }
 
     if failed {
@@ -671,7 +795,12 @@ fn bench_json_doc(
          \"rebuild_allocs_per_build\":{},\"template_allocs_per_build\":{}}},\
          \"pooled_vs_alloc\":{{\"queries\":{},\"alloc_wall_secs\":{:.6},\
          \"pooled_wall_secs\":{:.6},\"wall_ratio\":{:.2},\
-         \"alloc_allocs_per_query\":{},\"pooled_allocs_per_query\":{}}}}}",
+         \"alloc_allocs_per_query\":{},\"pooled_allocs_per_query\":{}}},\
+         \"fuzz\":{{\"execs\":{},\"fuzz_execs_per_sec\":{:.2},\
+         \"coverage_hook_overhead\":{{\"replay_execs\":{},\"on_wall_secs\":{:.6},\
+         \"off_wall_secs\":{:.6},\"overhead_ratio\":{:.3}}},\
+         \"fork_vs_reboot_fuzz\":{{\"fork_wall_secs\":{:.6},\
+         \"reboot_wall_secs\":{:.6},\"wall_ratio\":{:.2}}}}}}}",
         ablations.trials,
         ablations.fresh_insns,
         ablations.forked_insns,
@@ -693,7 +822,16 @@ fn bench_json_doc(
         ablations.pooled_wall_secs,
         ablations.pooled_wall_ratio(),
         ablations.alloc_allocs_per_query,
-        ablations.pooled_allocs_per_query
+        ablations.pooled_allocs_per_query,
+        ablations.fuzz_execs,
+        ablations.fuzz_execs_per_sec(),
+        ablations.cov_replay_execs,
+        ablations.cov_on_wall_secs,
+        ablations.cov_off_wall_secs,
+        ablations.coverage_overhead_ratio(),
+        ablations.fuzz_wall_secs,
+        ablations.fuzz_reboot_wall_secs,
+        ablations.fork_vs_reboot_fuzz_ratio()
     );
     format!(
         "{{\"jobs\":{jobs},\"experiments\":[{}],\"analysis\":[{}],\"ablations\":{},\

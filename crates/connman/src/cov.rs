@@ -1,0 +1,52 @@
+//! Virtual-edge locations for the fuzzer's coverage map.
+//!
+//! The daemon's DNS parsing is *ported* code: it writes through the
+//! simulated MMU but executes no guest instructions, so the VM's
+//! block-dispatch coverage hook alone cannot see parse progress. These
+//! constants are the ported code's instrumentation points — the moral
+//! equivalent of compile-time coverage instrumentation of the real
+//! `dnsproxy.c`. Each call site feeds
+//! [`cml_vm::Machine::cov_note`] a base tag mixed with a coarse
+//! power-of-two bucket, so "the name grew past 256 bytes" or "the walk
+//! took a 17th pointer hop" lights a fresh edge while byte-level noise
+//! does not. Every note is a no-op unless the fuzzer armed the map.
+
+/// Label appended to the name buffer; bucketed by bytes written so far.
+pub(crate) const LABEL: u32 = 0x00C0_0000;
+/// Compression-pointer hop taken; bucketed by hop count.
+pub(crate) const HOP: u32 = 0x00C1_0000;
+/// `get_name` returned successfully; bucketed by final name length.
+pub(crate) const NAME_OK: u32 = 0x00C2_0000;
+/// `get_name` bailed: truncated or reserved-bit label.
+pub(crate) const NAME_MALFORMED: u32 = 0x00C3_0000;
+/// `get_name` bailed: pointer-loop cap.
+pub(crate) const NAME_LOOP: u32 = 0x00C4_0000;
+/// `get_name` bailed: the 1.35 bounds check; bucketed by needed bytes.
+pub(crate) const NAME_FULL: u32 = 0x00C5_0000;
+/// `get_name` bailed: the overflowing write itself faulted.
+pub(crate) const NAME_FAULT: u32 = 0x00C6_0000;
+/// Response passed the daemon's header/question gate.
+pub(crate) const GATE_PASS: u32 = 0x00C7_0000;
+/// One answer record fully parsed; bucketed by record index.
+pub(crate) const RR_PARSED: u32 = 0x00C8_0000;
+
+/// Coarse power-of-two bucket: 0 for 0, else `floor(log2(n)) + 1`.
+pub(crate) fn bucket(n: usize) -> u32 {
+    usize::BITS - n.leading_zeros()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::bucket;
+
+    #[test]
+    fn buckets_are_coarse_and_monotonic() {
+        assert_eq!(bucket(0), 0);
+        assert_eq!(bucket(1), 1);
+        assert_eq!(bucket(2), 2);
+        assert_eq!(bucket(3), 2);
+        assert_eq!(bucket(1023), 10);
+        assert_eq!(bucket(1024), 11);
+        assert!(bucket(4096) > bucket(1024));
+    }
+}

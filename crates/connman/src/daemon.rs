@@ -18,6 +18,7 @@ use cml_image::Addr;
 use cml_vm::debug::FaultReport;
 use cml_vm::{Fault, LoadMap, Loader, Machine, MachineSnapshot, RunOutcome, ShellSpawn};
 
+use crate::cov;
 use crate::frame::{Frame, FrameLayout};
 use crate::uncompress::{get_name_into, UncompressError};
 use crate::{Cache, ConnmanVersion, ProxyOutcome, SYM_DAEMON_LOOP, SYM_PARSE_RESPONSE};
@@ -346,6 +347,8 @@ impl Daemon {
             Ok(g) => g,
             Err(rej) => return ProxyOutcome::Rejected(rej),
         };
+        self.machine
+            .cov_note(cov::GATE_PASS | cov::bucket(gate.header.ancount as usize));
 
         // 2. Enter the parse_response frame on the simulated stack.
         let caller_sp = self.boot_sp - CALL_DEPTH;
@@ -382,7 +385,7 @@ impl Daemon {
         let mut offset = gate.answers_offset;
         let mut parse_failure: Option<String> = None;
         let mut to_cache: Vec<(RecordType, Vec<IpAddr>, u32)> = Vec::new();
-        for _ in 0..gate.header.ancount {
+        for rr_idx in 0..gate.header.ancount {
             match get_name_into(
                 &mut self.machine,
                 self.version,
@@ -410,6 +413,8 @@ impl Daemon {
             match parse_rr_fixed(bytes, offset) {
                 Ok(rr) => {
                     offset = rr.next_offset;
+                    self.machine
+                        .cov_note(cov::RR_PARSED | cov::bucket(rr_idx as usize));
                     if let Some(addr) = rr.address() {
                         to_cache.push((rr.rtype, vec![addr], rr.ttl));
                     }

@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 
 mod cache;
+mod cov;
 mod daemon;
 mod frame;
 mod outcome;

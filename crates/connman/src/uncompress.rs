@@ -19,7 +19,7 @@
 
 use cml_vm::{Addr, Fault, Machine};
 
-use crate::{ConnmanVersion, NAME_BUFFER_SIZE};
+use crate::{cov, ConnmanVersion, NAME_BUFFER_SIZE};
 
 /// Why decompression stopped without producing a name.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -107,16 +107,30 @@ pub fn get_name_into(
     let mut hops = 0usize;
     let mut resume: Option<usize> = None;
     loop {
-        let len = *packet.get(pos).ok_or(UncompressError::Malformed)? as usize;
+        let len = match packet.get(pos) {
+            Some(&b) => b as usize,
+            None => {
+                machine.cov_note(cov::NAME_MALFORMED);
+                return Err(UncompressError::Malformed);
+            }
+        };
         if len == 0 {
             pos += 1;
             break;
         }
         if len & 0xC0 == 0xC0 {
-            let lo = *packet.get(pos + 1).ok_or(UncompressError::Malformed)? as usize;
+            let lo = match packet.get(pos + 1) {
+                Some(&b) => b as usize,
+                None => {
+                    machine.cov_note(cov::NAME_MALFORMED);
+                    return Err(UncompressError::Malformed);
+                }
+            };
             let target = ((len & 0x3F) << 8) | lo;
             hops += 1;
+            machine.cov_note(cov::HOP | cov::bucket(hops));
             if hops > MAX_HOPS {
+                machine.cov_note(cov::NAME_LOOP | cov::bucket(name_len));
                 return Err(UncompressError::PointerLoop);
             }
             if resume.is_none() {
@@ -126,6 +140,7 @@ pub fn get_name_into(
             continue;
         }
         if len & 0xC0 != 0 {
+            machine.cov_note(cov::NAME_MALFORMED);
             return Err(UncompressError::Malformed);
         }
         // The wire already stores `label_len` immediately followed by the
@@ -139,31 +154,44 @@ pub fn get_name_into(
         // stops at the first inaccessible byte with everything before it
         // written, so overflow and fault behaviour stay byte-identical to
         // the split writes.
-        let chunk = packet
-            .get(pos..pos + 1 + len)
-            .ok_or(UncompressError::Malformed)?;
+        let Some(chunk) = packet.get(pos..pos + 1 + len) else {
+            machine.cov_note(cov::NAME_MALFORMED);
+            return Err(UncompressError::Malformed);
+        };
         if !version.is_vulnerable() {
             // The 1.35 fix: refuse labels that would overflow the buffer
             // (length byte + label + eventual terminator).
             if name_len + len + 2 > buf_cap {
+                machine.cov_note(cov::NAME_FULL | cov::bucket(name_len + len + 2));
                 return Err(UncompressError::BufferFull {
                     needed: name_len + len + 2,
                 });
             }
         }
-        machine
-            .mem_mut()
-            .write_bytes(buf_addr.wrapping_add(name_len as u32), chunk, pc)
-            .map_err(UncompressError::MachineFault)?;
+        if let Err(f) =
+            machine
+                .mem_mut()
+                .write_bytes(buf_addr.wrapping_add(name_len as u32), chunk, pc)
+        {
+            machine.cov_note(cov::NAME_FAULT);
+            return Err(UncompressError::MachineFault(f));
+        }
         name_len += 1 + len;
         pos += 1 + len;
+        // Bucketed growth of the name buffer — the gradient that walks
+        // the fuzzer's corpus toward (and past) the 1024-byte boundary.
+        machine.cov_note(cov::LABEL | cov::bucket(name_len));
     }
     // Trailing root byte.
-    machine
+    if let Err(f) = machine
         .mem_mut()
         .write_u8(buf_addr.wrapping_add(name_len as u32), 0, pc)
-        .map_err(UncompressError::MachineFault)?;
+    {
+        machine.cov_note(cov::NAME_FAULT);
+        return Err(UncompressError::MachineFault(f));
+    }
     name_len += 1;
+    machine.cov_note(cov::NAME_OK | cov::bucket(name_len));
     Ok(Uncompressed {
         name_len,
         next_offset: resume.unwrap_or(pos),

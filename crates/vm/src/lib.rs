@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod arm;
+pub mod coverage;
 mod dcache;
 pub mod debug;
 mod fault;
@@ -40,11 +41,12 @@ mod regs;
 pub mod trace;
 pub mod x86;
 
+pub use coverage::{CoverageMap, COV_MAP_SIZE};
 pub use fault::Fault;
 pub use hooks::{HookOutcome, LibcFn};
 pub use loader::{AslrConfig, LoadMap, Loader, Protections};
 pub use machine::{Event, Machine, MachineSnapshot, RunOutcome, ShellSpawn};
-pub use mem::{Memory, MemorySnapshot, RedzoneHit, Region};
+pub use mem::{Memory, MemorySnapshot, RedzoneAccess, RedzoneHit, Region};
 pub use regs::{ArmReg, ArmRegs, Regs, X86Reg, X86Regs};
 pub use trace::{Trace, TraceEntry};
 

@@ -6,6 +6,7 @@ use std::sync::Arc;
 
 use cml_image::{Addr, Arch};
 
+use crate::coverage::CoverageMap;
 use crate::dcache::{Block, CachedInsn};
 use crate::hooks::{self, LibcFn};
 use crate::mem::{Memory, MemorySnapshot};
@@ -125,6 +126,11 @@ pub struct Machine {
     /// one). Deliberately *not* restored by [`Machine::restore`] — it is
     /// the meter the snapshot-vs-reboot ablation reads.
     pub(crate) insn_count: u64,
+    /// Edge-coverage map, armed only by the fuzzer. Like `insn_count`
+    /// it observes execution rather than being part of machine state, so
+    /// [`Machine::restore`] leaves it alone — the fork-server resets it
+    /// per input instead.
+    pub(crate) cov: Option<Box<CoverageMap>>,
 }
 
 /// A point-in-time capture of a [`Machine`]: registers, memory (as
@@ -154,6 +160,7 @@ impl Machine {
             canary: 0,
             trace: None,
             insn_count: 0,
+            cov: None,
         }
     }
 
@@ -200,6 +207,49 @@ impl Machine {
     /// Whether fused basic-block dispatch is enabled.
     pub fn block_dispatch_enabled(&self) -> bool {
         self.mem.dcache_blocks_enabled()
+    }
+
+    /// Arms or drops the edge-coverage bitmap (off by default; the
+    /// fuzzer turns it on). When off, execution pays a single `Option`
+    /// check per dispatched block — the same "pay only when armed"
+    /// contract as the shadow-memory sanitizer.
+    pub fn set_coverage_enabled(&mut self, on: bool) {
+        match (on, self.cov.is_some()) {
+            (true, false) => self.cov = Some(Box::default()),
+            (false, true) => self.cov = None,
+            _ => {}
+        }
+    }
+
+    /// Whether the edge-coverage bitmap is armed.
+    pub fn coverage_enabled(&self) -> bool {
+        self.cov.is_some()
+    }
+
+    /// The coverage map, when armed.
+    pub fn coverage(&self) -> Option<&CoverageMap> {
+        self.cov.as_deref()
+    }
+
+    /// Zeroes the coverage map (no-op when disarmed). The fork server
+    /// calls this between inputs; [`Machine::restore`] deliberately does
+    /// not, since the map observes execution rather than machine state.
+    pub fn coverage_reset(&mut self) {
+        if let Some(c) = &mut self.cov {
+            c.reset();
+        }
+    }
+
+    /// Feeds a **virtual edge** into the coverage map (no-op when
+    /// disarmed). Ported native code — the DNS parse loop that executes
+    /// no guest instructions but writes through this machine's MMU —
+    /// calls this with bucketed progress locations, the moral equivalent
+    /// of compile-time instrumentation of the real `get_name`.
+    #[inline]
+    pub fn cov_note(&mut self, loc: u32) {
+        if let Some(c) = &mut self.cov {
+            c.note(loc);
+        }
     }
 
     /// Total instructions executed by this machine since creation
@@ -382,6 +432,9 @@ impl Machine {
     pub fn step(&mut self) -> Result<Option<RunOutcome>, Fault> {
         self.insn_count += 1;
         let pc = self.regs.pc();
+        if let Some(c) = &mut self.cov {
+            c.note(pc);
+        }
         let hook = self.hooks.get(&pc).copied();
         if let Some(t) = &mut self.trace {
             t.push(TraceEntry {
@@ -460,6 +513,9 @@ impl Machine {
             },
         };
         let gen = self.mem.dcache_generation();
+        if let Some(c) = &mut self.cov {
+            c.note(start);
+        }
         let mut used = 0u64;
         let mut pc = start;
         for &ci in &block.insns {
@@ -663,6 +719,59 @@ mod tests {
             }
             other => panic!("unexpected outcome {other}"),
         }
+    }
+
+    #[test]
+    fn coverage_map_records_dispatch_and_virtual_edges() {
+        // A short loop so block dispatch takes distinct edges.
+        let mut m = machine_with(loop_code());
+        assert!(!m.coverage_enabled());
+        m.cov_note(0xDEAD); // no-op while disarmed
+        assert!(m.coverage().is_none());
+
+        m.set_coverage_enabled(true);
+        let _ = m.run(10_000);
+        let guest_edges = m.coverage().unwrap().edges();
+        assert!(guest_edges >= 2, "loop should light several edges");
+
+        // Virtual edges land in the same map.
+        m.cov_note(0xAAAA_0001);
+        assert!(m.coverage().unwrap().edges() >= guest_edges);
+
+        // Reset clears; restore does not (the map observes execution).
+        m.coverage_reset();
+        assert_eq!(m.coverage().unwrap().edges(), 0);
+        let mut m2 = machine_with(loop_code());
+        m2.set_coverage_enabled(true);
+        let snap = m2.snapshot();
+        let _ = m2.run(10_000);
+        let before = m2.coverage().unwrap().edges();
+        assert!(before > 0);
+        m2.restore(&snap);
+        assert_eq!(
+            m2.coverage().unwrap().edges(),
+            before,
+            "restore must leave the coverage map alone"
+        );
+        m2.set_coverage_enabled(false);
+        assert!(m2.coverage().is_none());
+    }
+
+    #[test]
+    fn coverage_identical_across_dispatch_for_straightline_blocks() {
+        // Per-insn dispatch notes every pc; fused dispatch notes block
+        // entries. For a program whose blocks are all single-entry
+        // straight lines ending in control flow, the *set* of noted
+        // locations differs but determinism per mode must hold.
+        let run_mode = |blocks: bool| {
+            let mut m = machine_with(loop_code());
+            m.set_block_dispatch_enabled(blocks);
+            m.set_coverage_enabled(true);
+            let _ = m.run(10_000);
+            m.coverage().unwrap().bytes().to_vec()
+        };
+        assert_eq!(run_mode(true), run_mode(true), "fused mode deterministic");
+        assert_eq!(run_mode(false), run_mode(false), "insn mode deterministic");
     }
 
     #[test]

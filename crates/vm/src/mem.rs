@@ -1,6 +1,7 @@
 //! Region-based permissioned memory.
 
 use std::cell::Cell;
+use std::fmt;
 use std::sync::Arc;
 
 use cml_image::{Addr, Perms, SectionKind};
@@ -119,9 +120,31 @@ pub struct MemorySnapshot {
     regions: Vec<RegionSnapshot>,
 }
 
+/// How an access touched the redzone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RedzoneAccess {
+    /// An out-of-bounds store — diverted: recorded, never committed.
+    Store,
+    /// An out-of-bounds load — diverted: reads the poison byte `0`.
+    Load,
+}
+
+impl fmt::Display for RedzoneAccess {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RedzoneAccess::Store => "store",
+            RedzoneAccess::Load => "load",
+        })
+    }
+}
+
 /// An armed shadow-memory redzone: the poisoned address range past the
-/// end of a protected buffer, plus a record of the out-of-bounds writes
-/// it has absorbed so far.
+/// end of a protected buffer, plus a record of the out-of-bounds
+/// accesses it has absorbed so far.
+///
+/// The hit-recording fields are `Cell`s because loads arrive through
+/// `&self` accessors — the same interior-mutability trick as the
+/// region-lookup memo above.
 #[derive(Debug, Clone)]
 struct Redzone {
     buffer: Addr,
@@ -129,27 +152,30 @@ struct Redzone {
     /// Poisoned range `[zone_start, zone_end)`.
     zone_start: Addr,
     zone_end: u64,
-    /// Lowest / highest poisoned address written, and the pc of the
-    /// first offending store.
-    first: Option<Addr>,
-    last: Addr,
-    pc: Addr,
+    /// Lowest / highest poisoned address touched, plus the pc and
+    /// access kind of the first offending instruction.
+    first: Cell<Option<Addr>>,
+    last: Cell<Addr>,
+    pc: Cell<Addr>,
+    access: Cell<RedzoneAccess>,
 }
 
 /// Diagnostic returned when disarming a redzone that absorbed at least
-/// one out-of-bounds write (the shadow-memory sanitizer's finding).
+/// one out-of-bounds access (the shadow-memory sanitizer's finding).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RedzoneHit {
     /// Base address of the protected buffer.
     pub buffer: Addr,
     /// Declared capacity of the buffer in bytes.
     pub capacity: u32,
-    /// First (lowest) poisoned address written.
+    /// First (lowest) poisoned address touched.
     pub first: Addr,
-    /// Last (highest) poisoned address written.
+    /// Last (highest) poisoned address touched.
     pub last: Addr,
-    /// pc of the instruction that performed the first poisoned write.
+    /// pc of the instruction that performed the first poisoned access.
     pub pc: Addr,
+    /// Whether the first poisoned access was a store or a load.
+    pub access: RedzoneAccess,
 }
 
 impl RedzoneHit {
@@ -282,6 +308,10 @@ impl Memory {
     ///
     /// Returns [`Fault::UnmappedRead`] or [`Fault::ProtectedRead`].
     pub fn read_u8(&self, addr: Addr, pc: Addr) -> Result<u8, Fault> {
+        if self.redzone_absorbs(addr, pc, RedzoneAccess::Load) {
+            // A diverted load sees poison, never the shadowed contents.
+            return Ok(0);
+        }
         let r = self
             .region_containing(addr)
             .ok_or(Fault::UnmappedRead { addr, pc })?;
@@ -332,6 +362,14 @@ impl Memory {
     ///
     /// Returns a read fault at the first inaccessible byte.
     pub fn read_into(&self, addr: Addr, buf: &mut [u8], pc: Addr) -> Result<(), Fault> {
+        if self.redzone.is_some() {
+            // Byte-at-a-time so every poisoned byte is diverted and
+            // recorded individually, mirroring `write_bytes`.
+            for (i, slot) in buf.iter_mut().enumerate() {
+                *slot = self.read_u8(addr.wrapping_add(i as u32), pc)?;
+            }
+            return Ok(());
+        }
         let mut done = 0usize;
         while done < buf.len() {
             let a = addr.wrapping_add(done as u32);
@@ -410,7 +448,7 @@ impl Memory {
     ///
     /// Returns [`Fault::UnmappedWrite`] or [`Fault::ProtectedWrite`].
     pub fn write_u8(&mut self, addr: Addr, v: u8, pc: Addr) -> Result<(), Fault> {
-        if self.redzone_absorbs(addr, pc) {
+        if self.redzone_absorbs(addr, pc, RedzoneAccess::Store) {
             return Ok(());
         }
         self.dcache.note_write(addr);
@@ -572,12 +610,17 @@ impl Memory {
     // ---- shadow-memory sanitizer (ASan-style redzone) ----
 
     /// Arms a redzone over `[buffer + capacity, zone_end)`: permissioned
-    /// writes landing there are *diverted* — recorded, not stored — so
-    /// an overflow neither corrupts adjacent state nor faults early,
-    /// and its full extent can be measured on disarm.
+    /// stores landing there are *diverted* — recorded, not committed —
+    /// so an overflow neither corrupts adjacent state nor faults early,
+    /// and its full extent can be measured on disarm. Permissioned loads
+    /// from the zone are likewise diverted: they read the poison byte
+    /// `0` and are recorded, so read-overflow mutants trip the oracle
+    /// too.
     ///
     /// Only one redzone can be armed at a time; re-arming replaces any
-    /// previous one. `poke` and reads are unaffected.
+    /// previous one. `poke`, instruction fetch, and the borrowing
+    /// [`read_slice`](Memory::read_slice) fast path (host-side views,
+    /// not guest loads) are unaffected.
     pub fn arm_redzone(&mut self, buffer: Addr, capacity: u32, zone_end: u64) {
         let zone_start = buffer.wrapping_add(capacity);
         self.redzone = Some(Box::new(Redzone {
@@ -585,9 +628,10 @@ impl Memory {
             capacity,
             zone_start,
             zone_end,
-            first: None,
-            last: 0,
-            pc: 0,
+            first: Cell::new(None),
+            last: Cell::new(0),
+            pc: Cell::new(0),
+            access: Cell::new(RedzoneAccess::Store),
         }));
     }
 
@@ -596,13 +640,14 @@ impl Memory {
     /// (or when nothing was armed).
     pub fn disarm_redzone(&mut self) -> Option<RedzoneHit> {
         let z = self.redzone.take()?;
-        let first = z.first?;
+        let first = z.first.get()?;
         Some(RedzoneHit {
             buffer: z.buffer,
             capacity: z.capacity,
             first,
-            last: z.last,
-            pc: z.pc,
+            last: z.last.get(),
+            pc: z.pc.get(),
+            access: z.access.get(),
         })
     }
 
@@ -612,23 +657,25 @@ impl Memory {
     }
 
     /// Records `addr` if it falls in the poisoned range; returns `true`
-    /// when the write must be diverted.
-    fn redzone_absorbs(&mut self, addr: Addr, pc: Addr) -> bool {
-        let Some(z) = self.redzone.as_deref_mut() else {
+    /// when the access must be diverted. `&self` because loads arrive
+    /// through shared accessors — the recording fields are `Cell`s.
+    fn redzone_absorbs(&self, addr: Addr, pc: Addr, access: RedzoneAccess) -> bool {
+        let Some(z) = self.redzone.as_deref() else {
             return false;
         };
         if (addr as u64) < (z.zone_start as u64) || (addr as u64) >= z.zone_end {
             return false;
         }
-        match z.first {
+        match z.first.get() {
             None => {
-                z.first = Some(addr);
-                z.pc = pc;
-                z.last = addr;
+                z.first.set(Some(addr));
+                z.pc.set(pc);
+                z.last.set(addr);
+                z.access.set(access);
             }
             Some(f) => {
-                z.first = Some(f.min(addr));
-                z.last = z.last.max(addr);
+                z.first.set(Some(f.min(addr)));
+                z.last.set(z.last.get().max(addr));
             }
         }
         true
@@ -922,6 +969,48 @@ mod tests {
         assert_eq!(hit.pc, 0x42);
         assert_eq!(hit.extent(), 4);
         assert!(!m.redzone_armed());
+    }
+
+    #[test]
+    fn redzone_diverts_and_reports_oob_loads() {
+        let mut m = mem();
+        m.write_u8(0x8008, 0x5A, 0).unwrap();
+        m.arm_redzone(0x8000, 8, 0x8100);
+        assert_eq!(m.read_u8(0x8008, 0x77).unwrap(), 0, "load reads poison");
+        let hit = m.disarm_redzone().expect("load recorded");
+        assert_eq!(hit.first, 0x8008);
+        assert_eq!(hit.last, 0x8008);
+        assert_eq!(hit.pc, 0x77);
+        assert_eq!(hit.access, RedzoneAccess::Load);
+        assert_eq!(hit.extent(), 1);
+        // The shadowed byte itself is intact once disarmed.
+        assert_eq!(m.read_u8(0x8008, 0).unwrap(), 0x5A);
+    }
+
+    #[test]
+    fn redzone_bulk_read_diverts_poisoned_suffix() {
+        let mut m = mem();
+        m.write_bytes(0x8000, &[0x11; 16], 0).unwrap();
+        m.arm_redzone(0x8000, 8, 0x8100);
+        let mut buf = [0xFFu8; 12];
+        m.read_into(0x8000, &mut buf, 0x99).unwrap();
+        assert_eq!(&buf[..8], &[0x11; 8], "in-bounds prefix reads through");
+        assert_eq!(&buf[8..], &[0; 4], "poisoned tail reads 0");
+        let hit = m.disarm_redzone().unwrap();
+        assert_eq!((hit.first, hit.last), (0x8008, 0x800B));
+        assert_eq!(hit.access, RedzoneAccess::Load);
+    }
+
+    #[test]
+    fn redzone_reports_kind_of_first_access() {
+        let mut m = mem();
+        m.arm_redzone(0x8000, 8, 0x8100);
+        m.write_u8(0x8009, 0xAB, 0x42).unwrap();
+        let _ = m.read_u8(0x8008, 0x77).unwrap();
+        let hit = m.disarm_redzone().unwrap();
+        assert_eq!(hit.access, RedzoneAccess::Store, "store came first");
+        assert_eq!(hit.pc, 0x42);
+        assert_eq!((hit.first, hit.last), (0x8008, 0x8009));
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! cml dos    --arch arm --prot wxorx      # crash-only probe
 //! cml pineapple --arch arm                # the remote §III-D scenario
 //! cml fleet --devices 1000 --jobs 4       # fleet-scale rogue-AP attack
+//! cml fuzz --arch x86 --variant vulnerable --seed 7 --max-execs 2000
 //! cml experiments [e1 .. e8] --jobs 4     # regenerate paper tables
 //! ```
 
@@ -31,6 +32,7 @@ fn main() -> ExitCode {
         "dos" => dos(&opts),
         "pineapple" => pineapple(&opts),
         "fleet" => fleet(&opts),
+        "fuzz" => fuzz_cmd(&opts),
         "experiments" => experiments(&opts),
         "--help" | "-h" | "help" => {
             usage();
@@ -57,6 +59,11 @@ fn usage() {
          \x20 dos         --arch A --prot P  crash-only probe\n\
          \x20 pineapple   --arch A           remote rogue-AP scenario\n\
          \x20 fleet       --devices N [--snapshot]  rogue-AP attack on an N-device fleet\n\
+         \x20 fuzz        --arch A --variant vulnerable|patched --seed N\n\
+         \x20             --max-execs N [--out DIR]  coverage-guided fuzzing campaign\n\
+         \x20 fuzz        --smoke            fixed-seed CI check: the fuzzer must\n\
+         \x20                                rediscover the overflow on vulnerable\n\
+         \x20                                firmware and find nothing on patched\n\
          \x20 experiments [e1 .. e8]         regenerate the paper tables\n\
          \n\
          options:\n\
@@ -324,6 +331,103 @@ fn fleet(opts: &Opts) -> ExitCode {
         p.forge_secs, p.deliver_secs, p.vm_secs
     );
     ExitCode::SUCCESS
+}
+
+fn fuzz_cmd(opts: &Opts) -> ExitCode {
+    use connman_lab::fuzz::{fuzz, FuzzConfig};
+
+    if opts.rest.iter().any(|a| a == "--smoke") {
+        // Fixed-seed CI gate: the three campaigns below must behave
+        // exactly this way on every run or the build fails.
+        let budget = 1500;
+        let checks = [
+            (FirmwareKind::OpenElec, Arch::X86, true),
+            (FirmwareKind::OpenElec, Arch::Armv7, true),
+            (FirmwareKind::Patched, Arch::X86, false),
+        ];
+        for (kind, arch, expect_crash) in checks {
+            let cfg = FuzzConfig::new(kind, arch, 0x5EED, budget, opts.jobs.max(1));
+            let report = fuzz(&cfg);
+            let found = report.found_overflow();
+            println!(
+                "fuzz smoke {kind:?}/{arch}: {} execs, {} unique crashes {:?}",
+                report.total_execs(),
+                report.crashes.len(),
+                report.crash_keys()
+            );
+            if expect_crash && !found {
+                eprintln!("fuzz smoke FAILED: expected overflow rediscovery on {kind:?}/{arch}");
+                return ExitCode::FAILURE;
+            }
+            if !expect_crash && !report.crashes.is_empty() {
+                eprintln!(
+                    "fuzz smoke FAILED: patched firmware crashed: {:?}",
+                    report.crash_keys()
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+        println!("fuzz smoke OK");
+        return ExitCode::SUCCESS;
+    }
+
+    let mut kind = opts.firmware;
+    let mut seed = 0x5EEDu64;
+    let mut max_execs = 2000u64;
+    let mut out_dir = std::path::PathBuf::from("fuzz_out");
+    let mut it = opts.rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--variant" => match it.next().map(String::as_str) {
+                Some("vulnerable") => kind = FirmwareKind::OpenElec,
+                Some("patched") => kind = FirmwareKind::Patched,
+                other => {
+                    eprintln!("unknown variant {other:?} (want vulnerable|patched)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => {
+                    eprintln!("--seed wants a number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--max-execs" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => max_execs = v,
+                None => {
+                    eprintln!("--max-execs wants a number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--out" => match it.next() {
+                Some(v) => out_dir = std::path::PathBuf::from(v),
+                None => {
+                    eprintln!("--out wants a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown fuzz option {other:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let cfg = FuzzConfig::new(kind, opts.arch, seed, max_execs, opts.jobs.max(1));
+    let report = fuzz(&cfg);
+    if let Err(e) = report.write_artifacts(&out_dir) {
+        eprintln!("could not write artifacts under {}: {e}", out_dir.display());
+        return ExitCode::FAILURE;
+    }
+    print!("{}", report.stats_json());
+    println!("artifacts: {}", out_dir.display());
+    // Exit 2 signals "crashes found" so scripts can gate on it, the
+    // same convention analyze/exploit use.
+    if report.crashes.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
 }
 
 fn experiments(opts: &Opts) -> ExitCode {

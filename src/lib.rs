@@ -8,6 +8,7 @@ pub use cml_core::*;
 pub use cml_dns as dns;
 pub use cml_exploit as exploit;
 pub use cml_firmware as firmware;
+pub use cml_fuzz as fuzz;
 pub use cml_image as image;
 pub use cml_netsim as netsim;
 pub use cml_vm as vm;

@@ -1,0 +1,105 @@
+//! End-to-end fuzzing campaigns: the acceptance criteria for the
+//! coverage-guided rediscovery of CVE-2017-12865.
+
+use connman_lab::fuzz::{fuzz, FuzzConfig};
+use connman_lab::vm::Fault;
+use connman_lab::{Arch, FirmwareKind};
+
+const SMOKE_SEED: u64 = 0x5EED;
+const SMOKE_BUDGET: u64 = 1500;
+
+fn campaign(kind: FirmwareKind, arch: Arch) -> connman_lab::fuzz::FuzzReport {
+    fuzz(&FuzzConfig::new(kind, arch, SMOKE_SEED, SMOKE_BUDGET, 2))
+}
+
+#[test]
+fn rediscovers_the_overflow_on_x86() {
+    let report = campaign(FirmwareKind::OpenElec, Arch::X86);
+    assert!(
+        report.found_overflow(),
+        "no redzone crash on x86; keys: {:?}",
+        report.crash_keys()
+    );
+    assert_eq!(report.total_execs(), SMOKE_BUDGET);
+}
+
+#[test]
+fn rediscovers_the_overflow_on_arm() {
+    let report = campaign(FirmwareKind::OpenElec, Arch::Armv7);
+    assert!(
+        report.found_overflow(),
+        "no redzone crash on ARM; keys: {:?}",
+        report.crash_keys()
+    );
+}
+
+#[test]
+fn patched_firmware_yields_zero_crashes_on_both_isas() {
+    for arch in [Arch::X86, Arch::Armv7] {
+        let report = campaign(FirmwareKind::Patched, arch);
+        assert!(
+            report.crashes.is_empty(),
+            "patched 1.35 crashed on {arch}: {:?}",
+            report.crash_keys()
+        );
+        assert_eq!(report.total_execs(), SMOKE_BUDGET, "budget still spent");
+    }
+}
+
+#[test]
+fn same_seed_reruns_are_byte_identical() {
+    let cfg = FuzzConfig::new(FirmwareKind::OpenElec, Arch::X86, 0xFEED, 600, 3);
+    let a = fuzz(&cfg);
+    let b = fuzz(&cfg);
+    // Identical stats document, crash set, and corpus — including
+    // admission order, which the report encodes positionally.
+    assert_eq!(a.stats_json(), b.stats_json());
+    assert_eq!(a.crash_keys(), b.crash_keys());
+    assert_eq!(a.corpus, b.corpus);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn minimized_reproducers_still_crash_a_fresh_daemon() {
+    use connman_lab::connman::{ProxyOutcome, Resolution};
+    use connman_lab::dns::{Name, RecordType};
+    use connman_lab::firmware::Firmware;
+    use connman_lab::Protections;
+
+    let report = campaign(FirmwareKind::OpenElec, Arch::X86);
+    let redzone: Vec<_> = report
+        .crashes
+        .iter()
+        .filter(|c| c.key.starts_with("redzone-"))
+        .collect();
+    assert!(!redzone.is_empty());
+    for crash in redzone {
+        let fw = Firmware::build(FirmwareKind::OpenElec, Arch::X86);
+        let mut daemon = fw.boot(Protections::none(), SMOKE_SEED);
+        daemon.set_sanitizer(true);
+        let name = Name::parse("iot.example.com").unwrap();
+        let Resolution::Query(_) = daemon.resolve(&name, RecordType::A) else {
+            panic!("cold cache");
+        };
+        match daemon.deliver_response(&crash.input) {
+            ProxyOutcome::Crashed(report) => {
+                assert!(
+                    matches!(report.fault, Fault::RedzoneViolation { .. }),
+                    "minimized input faults differently: {}",
+                    report.fault
+                );
+            }
+            other => panic!("minimized reproducer no longer crashes: {other}"),
+        }
+    }
+}
+
+#[test]
+fn coverage_off_campaign_still_runs_but_admits_blind() {
+    let mut cfg = FuzzConfig::new(FirmwareKind::OpenElec, Arch::X86, SMOKE_SEED, 300, 1);
+    cfg.coverage = false;
+    let report = fuzz(&cfg);
+    assert_eq!(report.total_execs(), 300);
+    // No coverage signal → no novelty → corpus stays at the seeds.
+    assert_eq!(report.workers[0].edges, 0);
+}

@@ -114,4 +114,55 @@ proptest! {
         let back = Message::decode(&bytes).unwrap();
         prop_assert_eq!(back, resp);
     }
+
+    /// The strict decoder is total: arbitrary bytes produce a typed
+    /// result, never a panic. (The fuzzer feeds the decoder far nastier
+    /// inputs than the forge can construct; this is its safety net.)
+    #[test]
+    fn dns_decoder_total_over_arbitrary_bytes(
+        bytes in proptest::collection::vec(any::<u8>(), 0..1024),
+    ) {
+        let _ = Message::decode(&bytes);
+    }
+
+    /// The buffered server entry point — the same
+    /// [`UdpService::handle_datagram_into`] path the fleet and fuzz
+    /// drivers use — is total over arbitrary datagrams, for both the
+    /// armed and the benign server, with a warm reused buffer.
+    #[test]
+    fn server_handle_datagram_into_total_over_arbitrary_bytes(
+        datagrams in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..256),
+            1..8,
+        ),
+    ) {
+        use connman_lab::dns::WireBuf;
+        use connman_lab::exploit::MaliciousDnsServer;
+        use connman_lab::netsim::UdpService;
+        use std::net::Ipv4Addr;
+
+        struct Svc(MaliciousDnsServer);
+        impl UdpService for Svc {
+            fn handle_datagram(&mut self, payload: &[u8]) -> Option<Vec<u8>> {
+                self.0.handle(payload)
+            }
+            fn handle_datagram_into(&mut self, payload: &[u8], out: &mut Vec<u8>) -> bool {
+                let mut buf = WireBuf::from_vec(std::mem::take(out));
+                let answered = self.0.handle_into(payload, &mut buf);
+                *out = buf.into_vec();
+                answered
+            }
+        }
+
+        let mut armed = Svc(MaliciousDnsServer::with_labels(
+            vec![b"payload".to_vec()],
+            "probe",
+        ));
+        let mut benign = Svc(MaliciousDnsServer::benign(Ipv4Addr::new(10, 0, 0, 53)));
+        let mut out = Vec::new();
+        for d in &datagrams {
+            let _ = armed.handle_datagram_into(d, &mut out);
+            let _ = benign.handle_datagram_into(d, &mut out);
+        }
+    }
 }
