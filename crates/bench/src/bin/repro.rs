@@ -16,6 +16,9 @@
 //!                       # baseline exists
 //! repro --no-snapshot   # boot every E8 trial from scratch instead of
 //!                       # forking a per-entropy-level snapshot
+//! repro --no-ir         # pin the whole run to fused-block dispatch
+//!                       # (threaded-code IR off), the CI fallback lane
+
 //! repro --sanitize      # run the 6-cell exploit matrix under the VM
 //!                       # shadow-memory sanitizer and print precise
 //!                       # overflow diagnostics per cell
@@ -96,6 +99,7 @@ fn main() {
             "--bench-smoke" => bench_smoke = true,
             "--sanitize" => sanitize = true,
             "--no-snapshot" => snapshot = false,
+            "--no-ir" => cml_vm::set_ir_dispatch_default(false),
             "--jobs" => {
                 jobs = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
                     eprintln!("--jobs wants a number, using 1");
@@ -106,7 +110,7 @@ fn main() {
                 eprintln!(
                     "usage: repro [--exp e1 e2 …] [--out FILE] [--json] \
                      [--jobs N] [--bench-json|--timings] [--bench-smoke] \
-                     [--no-snapshot] [--sanitize]"
+                     [--no-snapshot] [--no-ir] [--sanitize]"
                 );
                 return;
             }
@@ -205,9 +209,13 @@ struct Ablations {
     forked_insns: u64,
     fresh_wall_secs: f64,
     forked_wall_secs: f64,
-    /// Wall seconds for the same hot-loop run under fused basic-block
-    /// dispatch vs. forced per-instruction stepping (same insn counts —
-    /// the modes are semantically identical; only dispatch cost moves).
+    /// Wall seconds for the same hot-loop run under threaded-code IR
+    /// dispatch vs. fused basic-block dispatch vs. forced
+    /// per-instruction stepping (same insn counts — the modes are
+    /// semantically identical; only dispatch cost moves). Under
+    /// `--no-ir` the IR arm inherits the disabled default and measures
+    /// the block path again.
+    ir_wall_secs: f64,
     block_wall_secs: f64,
     insn_wall_secs: f64,
     /// Executed instructions per run in both dispatch arms.
@@ -259,6 +267,17 @@ impl Ablations {
         self.fuzz_execs as f64 / self.fuzz_wall_secs.max(1e-12)
     }
 
+    /// Fused-block advantage over per-instruction stepping.
+    fn block_vs_insn_ratio(&self) -> f64 {
+        self.insn_wall_secs / self.block_wall_secs.max(1e-12)
+    }
+
+    /// Threaded-code IR advantage over fused-block dispatch (the PR 6
+    /// tentpole metric; ≥ 5.0 is the acceptance bar).
+    fn ir_vs_block_ratio(&self) -> f64 {
+        self.block_wall_secs / self.ir_wall_secs.max(1e-12)
+    }
+
     /// Wall cost of the coverage bitmap: armed / disarmed (≥ 1.0 means
     /// the hook costs something; close to 1.0 is the goal).
     fn coverage_overhead_ratio(&self) -> f64 {
@@ -274,7 +293,8 @@ impl Ablations {
         format!(
             "snapshot_vs_reboot: {} vs {} insns/trial ({:.1}x fewer), \
              {:.3}s vs {:.3}s over {} trials\n\
-             block_vs_insn: {:.3}s vs {:.3}s for {} insns/trial\n\
+             block_vs_insn: {:.3}s vs {:.3}s for {} insns/trial ({:.1}x)\n\
+             ir_vs_block: {:.3}s vs {:.3}s for the same loop ({:.1}x)\n\
              template_vs_rebuild: {:.4}s rebuild vs {:.4}s relocate \
              ({:.1}x cheaper wall; {} vs {} allocs/build)\n\
              pooled_vs_alloc: {:.4}s alloc vs {:.4}s pooled over {} queries \
@@ -290,6 +310,10 @@ impl Ablations {
             self.block_wall_secs,
             self.insn_wall_secs,
             self.dispatch_insns,
+            self.block_vs_insn_ratio(),
+            self.ir_wall_secs,
+            self.block_wall_secs,
+            self.ir_vs_block_ratio(),
             self.rebuild_wall_secs,
             self.template_wall_secs,
             self.template_wall_ratio(),
@@ -349,20 +373,33 @@ fn run_ablations(trials: u64) -> Ablations {
 
     // Dispatch ablation: a daemon_init-shaped hot loop (the dominant
     // straight-line/backward-branch mix the fused dispatcher targets)
-    // under fused basic-block dispatch vs. per-instruction stepping.
-    let mut dispatch = [0.0f64; 2];
+    // under threaded-code IR dispatch vs. fused basic-block dispatch
+    // vs. per-instruction stepping. The IR arm inherits the process
+    // default so `--no-ir` measures the fallback honestly; the block
+    // arm pins IR off so its number stays comparable to PR 3.
+    // Trials interleave the three arms round-robin and time only the
+    // `run()` call, so slow machine phases hit every arm equally and
+    // setup cost stays out of the ratio.
+    let mut dispatch = [0.0f64; 3];
     let mut dispatch_insns = 0u64;
-    for (slot, blocks_on) in [(0usize, true), (1usize, false)] {
-        let t0 = Instant::now();
+    for _ in 0..trials {
         let mut insns = 0u64;
-        for _ in 0..trials {
+        for (slot, ir_on, blocks_on) in [
+            (0usize, None, true),
+            (1, Some(false), true),
+            (2, Some(false), false),
+        ] {
             let mut m = dispatch_loop_machine();
+            if let Some(on) = ir_on {
+                m.set_ir_dispatch_enabled(on);
+            }
             m.set_block_dispatch_enabled(blocks_on);
+            let t0 = Instant::now();
             m.run(1_000_000);
-            insns += m.insn_count();
+            dispatch[slot] += t0.elapsed().as_secs_f64();
+            insns = m.insn_count();
         }
-        dispatch[slot] = t0.elapsed().as_secs_f64();
-        dispatch_insns = insns / trials.max(1);
+        dispatch_insns = insns;
     }
 
     // Template ablation: per-device payload labels by rebuilding from
@@ -460,6 +497,11 @@ fn run_ablations(trials: u64) -> Ablations {
     // fuzz loop, which also forfeits the warm dirty-page working set).
     let fuzz_execs = trials * 64;
     let base_cfg = FuzzConfig::new(FirmwareKind::OpenElec, Arch::X86, 0x5EED, fuzz_execs, 1);
+    // Warm-up, like the template/pool windows above: the first campaign
+    // on a thread builds and boots the firmware; a throwaway run leaves
+    // the fork server cached so the measured wall is campaign
+    // throughput, not boot cost.
+    cml_fuzz::fuzz(&base_cfg);
     let t0 = Instant::now();
     let report = cml_fuzz::fuzz(&base_cfg);
     let fuzz_wall_secs = t0.elapsed().as_secs_f64();
@@ -491,18 +533,27 @@ fn run_ablations(trials: u64) -> Ablations {
         inputs
     };
     let cov_replay_execs = trials * replay.len() as u64;
+    // Interleaved like the dispatch ablation: one on-trial then one
+    // off-trial per round, so a machine-speed phase hits both arms
+    // equally instead of skewing whichever arm ran through it.
     let mut cov_wall = [0.0f64; 2];
-    for (slot, cov_on) in [(0usize, true), (1usize, false)] {
-        let mut h =
-            cml_fuzz::Harness::new(FirmwareKind::OpenElec, Arch::X86, 0x5EED, cov_on, false);
-        let mut acc = cml_fuzz::CoverageAccum::new();
-        let t0 = Instant::now();
-        for _ in 0..trials {
+    let mut cov_harness = [
+        cml_fuzz::Harness::new(FirmwareKind::OpenElec, Arch::X86, 0x5EED, true, false),
+        cml_fuzz::Harness::new(FirmwareKind::OpenElec, Arch::X86, 0x5EED, false, false),
+    ];
+    let mut cov_acc = [
+        cml_fuzz::CoverageAccum::new(),
+        cml_fuzz::CoverageAccum::new(),
+    ];
+    for _ in 0..trials {
+        for slot in 0..2 {
+            let (h, acc) = (&mut cov_harness[slot], &mut cov_acc[slot]);
+            let t0 = Instant::now();
             for input in &replay {
-                std::hint::black_box(h.exec(input, &mut acc));
+                std::hint::black_box(h.exec(input, acc));
             }
+            cov_wall[slot] += t0.elapsed().as_secs_f64();
         }
-        cov_wall[slot] = t0.elapsed().as_secs_f64();
     }
 
     Ablations {
@@ -511,8 +562,9 @@ fn run_ablations(trials: u64) -> Ablations {
         forked_insns: forked_insns / trials.max(1),
         fresh_wall_secs,
         forked_wall_secs,
-        block_wall_secs: dispatch[0],
-        insn_wall_secs: dispatch[1],
+        ir_wall_secs: dispatch[0],
+        block_wall_secs: dispatch[1],
+        insn_wall_secs: dispatch[2],
         dispatch_insns,
         rebuild_wall_secs,
         template_wall_secs,
@@ -602,6 +654,24 @@ fn smoke_vs_baseline() -> i32 {
             }
         }
         None => println!("bench-smoke: baseline {path} has no template_vs_rebuild — skipping"),
+    }
+
+    if cml_vm::ir_dispatch_default() {
+        let ratio = current.ir_vs_block_ratio();
+        match json_number_after(&doc, "\"ir_vs_block\"", "\"wall_ratio\":") {
+            Some(baseline) => {
+                println!(
+                    "bench-smoke: IR-vs-block wall ratio {ratio:.1}x vs {baseline:.1}x baseline ({path})"
+                );
+                if ratio < baseline / 2.0 {
+                    println!("bench-smoke: FAIL — IR dispatch advantage regressed by more than 2x");
+                    failed = true;
+                }
+            }
+            None => println!("bench-smoke: baseline {path} has no ir_vs_block — skipping"),
+        }
+    } else {
+        println!("bench-smoke: IR dispatch disabled (--no-ir) — skipping ir_vs_block guard");
     }
 
     let ratio = current.fork_vs_reboot_fuzz_ratio();
@@ -789,7 +859,10 @@ fn bench_json_doc(
         "{{\"snapshot_vs_reboot\":{{\"trials\":{},\"fresh_insns_per_trial\":{},\
          \"forked_insns_per_trial\":{},\"insn_ratio\":{:.2},\"fresh_wall_secs\":{:.6},\
          \"forked_wall_secs\":{:.6}}},\"block_vs_insn\":{{\"trials\":{},\
-         \"insns_per_trial\":{},\"block_wall_secs\":{:.6},\"insn_wall_secs\":{:.6}}},\
+         \"insns_per_trial\":{},\"block_wall_secs\":{:.6},\"insn_wall_secs\":{:.6},\
+         \"wall_ratio\":{:.2}}},\"ir_vs_block\":{{\"trials\":{},\
+         \"insns_per_trial\":{},\"ir_wall_secs\":{:.6},\"block_wall_secs\":{:.6},\
+         \"wall_ratio\":{:.2}}},\
          \"template_vs_rebuild\":{{\"builds\":{},\"rebuild_wall_secs\":{:.6},\
          \"template_wall_secs\":{:.6},\"wall_ratio\":{:.2},\
          \"rebuild_allocs_per_build\":{},\"template_allocs_per_build\":{}}},\
@@ -811,6 +884,12 @@ fn bench_json_doc(
         ablations.dispatch_insns,
         ablations.block_wall_secs,
         ablations.insn_wall_secs,
+        ablations.block_vs_insn_ratio(),
+        ablations.trials,
+        ablations.dispatch_insns,
+        ablations.ir_wall_secs,
+        ablations.block_wall_secs,
+        ablations.ir_vs_block_ratio(),
         ablations.pooled_queries,
         ablations.rebuild_wall_secs,
         ablations.template_wall_secs,

@@ -47,8 +47,28 @@ impl CoverageAccum {
     /// Folds one execution's coverage map in. Returns `true` when the
     /// run showed any new edge/count-class — the admission signal.
     pub fn note_new(&mut self, map: &[u8]) -> bool {
+        // The map is sparse (a few hundred lit edges out of 8 Ki), so
+        // the scan skips zero bytes a word at a time: this runs once
+        // per fuzz exec and the byte-wise version was ~a third of the
+        // whole coverage overhead.
         let mut novel = false;
-        for (seen, &count) in self.virgin.iter_mut().zip(map) {
+        let words = self.virgin.len().min(map.len()) / 8;
+        for (seen8, map8) in self.virgin[..words * 8]
+            .chunks_exact_mut(8)
+            .zip(map[..words * 8].chunks_exact(8))
+        {
+            if u64::from_ne_bytes(map8.try_into().expect("exact chunk")) == 0 {
+                continue;
+            }
+            for (seen, &count) in seen8.iter_mut().zip(map8) {
+                let bit = class_bit(count);
+                if bit & !*seen != 0 {
+                    novel = true;
+                    *seen |= bit;
+                }
+            }
+        }
+        for (seen, &count) in self.virgin[words * 8..].iter_mut().zip(&map[words * 8..]) {
             let bit = class_bit(count);
             if bit & !*seen != 0 {
                 novel = true;

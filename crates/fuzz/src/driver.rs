@@ -14,7 +14,6 @@ use std::fmt::Write as _;
 use std::fs;
 use std::io;
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 use cml_core::{derive_seed, Runner};
 use cml_dns::BufPool;
@@ -193,8 +192,15 @@ struct WorkerResult {
 
 /// A worker's cached fork server plus mutation scratch, reused across
 /// execs (and across campaigns with identical identity).
+///
+/// Reuse is safe because everything campaign-visible lives outside this
+/// cache: the corpus, coverage accumulator, and RNG streams are rebuilt
+/// per campaign, and every exec starts from a snapshot rewind, so a
+/// warm harness is indistinguishable from a fresh boot (the
+/// `same_seed_same_report` test pins this down). What reuse buys is
+/// skipping the firmware build + boot on every campaign after a
+/// thread's first — the dominant fixed cost of short campaigns.
 struct WorkerState {
-    run_gen: u64,
     identity: (FirmwareKind, Arch, u64, bool, bool),
     harness: Harness,
     pool: BufPool,
@@ -204,14 +210,9 @@ thread_local! {
     static WORKER: RefCell<Option<WorkerState>> = const { RefCell::new(None) };
 }
 
-/// Distinguishes campaigns so a thread surviving across `fuzz` calls
-/// (the `jobs == 1` path runs on the caller) never reuses stale state.
-static RUN_GEN: AtomicU64 = AtomicU64::new(0);
-
 /// Runs one campaign and merges the worker results deterministically.
 pub fn fuzz(cfg: &FuzzConfig) -> FuzzReport {
     let cfg = *cfg;
-    let run_gen = RUN_GEN.fetch_add(1, Ordering::Relaxed) + 1;
     let runner = Runner::new(cfg.jobs);
     let per_worker = cfg.max_execs / cfg.jobs as u64;
     let remainder = cfg.max_execs % cfg.jobs as u64;
@@ -227,13 +228,9 @@ pub fn fuzz(cfg: &FuzzConfig) -> FuzzReport {
                 cfg.reboot_per_exec,
             );
             let state = match slot.as_mut() {
-                Some(s) if s.run_gen == run_gen && s.identity == identity => {
-                    s.run_gen = run_gen;
-                    s
-                }
+                Some(s) if s.identity == identity => s,
                 _ => {
                     *slot = Some(WorkerState {
-                        run_gen,
                         identity,
                         harness: Harness::new(
                             cfg.kind,
@@ -310,12 +307,9 @@ fn run_campaign(
             // still spends its budget.
             corpus.admit(&[0u8; 12]);
         }
-        let (base, donor) = {
-            let base = corpus.pick(&mut pick_rng).to_vec();
-            let donor = corpus.pick_donor(&mut pick_rng, &base).map(<[u8]>::to_vec);
-            (base, donor)
-        };
-        mutator.mutate(&base, donor.as_deref(), scratch.as_mut_vec());
+        let base = corpus.pick(&mut pick_rng);
+        let donor = corpus.pick_donor(&mut pick_rng, base);
+        mutator.mutate(base, donor, scratch.as_mut_vec());
         let out = harness.exec(scratch.as_bytes(), &mut accum);
         stats.execs += 1;
         tally(&mut stats, out.tag);

@@ -36,6 +36,14 @@ fn mix(loc: u32) -> u32 {
     h ^ (h >> 16)
 }
 
+/// [`mix`] exposed to the threaded-code IR lowering, which bakes the
+/// mixed block-entry hash into a `Cov` op at build time so the dispatch
+/// loop's coverage update is two loads, an xor and a saturating add.
+#[inline]
+pub(crate) fn premix(loc: u32) -> u32 {
+    mix(loc)
+}
+
 /// A fixed-size edge-coverage map: saturating hit counters plus the
 /// rolling `prev` location register.
 #[derive(Debug, Clone)]
@@ -67,6 +75,17 @@ impl CoverageMap {
         let idx = (self.prev ^ h) as usize & (COV_MAP_SIZE - 1);
         self.map[idx] = self.map[idx].saturating_add(1);
         // Shift so that A→B and B→A land in different slots.
+        self.prev = h >> 1;
+    }
+
+    /// Records one location whose [`premix`] hash was computed at IR
+    /// build time. `note_premixed(premix(loc))` updates the map exactly
+    /// like `note(loc)` — the differential suite holds the two dispatch
+    /// modes to byte-identical maps.
+    #[inline]
+    pub(crate) fn note_premixed(&mut self, h: u32) {
+        let idx = (self.prev ^ h) as usize & (COV_MAP_SIZE - 1);
+        self.map[idx] = self.map[idx].saturating_add(1);
         self.prev = h >> 1;
     }
 
@@ -112,6 +131,17 @@ mod tests {
         }
         assert_eq!(m.bytes().iter().max().copied(), Some(255));
         assert!(m.edges() >= 2);
+    }
+
+    #[test]
+    fn premixed_note_matches_plain_note() {
+        let mut plain = CoverageMap::new();
+        let mut pre = CoverageMap::new();
+        for loc in [0x1000u32, 0x2044, 0xAAAA_0001, 7] {
+            plain.note(loc);
+            pre.note_premixed(premix(loc));
+        }
+        assert_eq!(plain.bytes(), pre.bytes(), "same edges, same map");
     }
 
     #[test]

@@ -16,11 +16,29 @@
 //! written in bursts and then executed — and coarse flushing keeps the
 //! write path to one compare in the common sequential-write case.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use cml_image::Addr;
 
+use crate::ir::IrBlock;
 use crate::{arm, x86};
+
+/// Process-wide default for the threaded-code IR dispatcher, read when a
+/// [`DecodeCache`] (and so a machine) is created. Lets the bench/CLI
+/// layer force the interpreter fallback for every machine a campaign
+/// spawns without plumbing a flag through the firmware constructors.
+pub(crate) static IR_DEFAULT: AtomicBool = AtomicBool::new(true);
+
+/// Reads [`IR_DEFAULT`].
+pub(crate) fn ir_default() -> bool {
+    IR_DEFAULT.load(Ordering::Relaxed)
+}
+
+/// Writes [`IR_DEFAULT`].
+pub(crate) fn set_ir_default(on: bool) {
+    IR_DEFAULT.store(on, Ordering::Relaxed);
+}
 
 /// Pages are the invalidation granule.
 pub(crate) const PAGE_SIZE: u32 = 0x1000;
@@ -61,6 +79,12 @@ struct BlockEntry {
     block: Arc<Block>,
 }
 
+#[derive(Debug, Clone)]
+struct IrEntry {
+    pc: Addr,
+    block: Arc<IrBlock>,
+}
+
 #[derive(Debug, Clone, Copy)]
 struct Entry {
     pc: Addr,
@@ -78,10 +102,15 @@ pub(crate) struct DecodeCache {
     /// Whether fused-block dispatch may use the block table (per-insn
     /// entries stay usable either way).
     blocks_enabled: bool,
+    /// Whether the threaded-code IR dispatcher may use the IR table
+    /// (block and per-insn entries stay usable either way).
+    ir_enabled: bool,
     slots: Vec<Option<Entry>>,
     len: usize,
     block_slots: Vec<Option<BlockEntry>>,
     block_len: usize,
+    ir_slots: Vec<Option<IrEntry>>,
+    ir_len: usize,
     /// Sorted page bases that contain (or contribute bytes to) cached
     /// decodes. Writes consult this to decide whether to flush.
     code_pages: Vec<u32>,
@@ -100,10 +129,13 @@ impl Default for DecodeCache {
         DecodeCache {
             enabled: true,
             blocks_enabled: true,
+            ir_enabled: ir_default(),
             slots: Vec::new(),
             len: 0,
             block_slots: Vec::new(),
             block_len: 0,
+            ir_slots: Vec::new(),
+            ir_len: 0,
             code_pages: Vec::new(),
             last_clean_page: None,
             generation: 0,
@@ -128,6 +160,7 @@ impl DecodeCache {
             self.flush();
             self.slots = Vec::new();
             self.block_slots = Vec::new();
+            self.ir_slots = Vec::new();
         }
     }
 
@@ -148,6 +181,21 @@ impl DecodeCache {
 
     pub(crate) fn blocks_enabled(&self) -> bool {
         self.blocks_enabled
+    }
+
+    /// Turns the threaded-code IR dispatcher on or off for this machine
+    /// (the `ir_vs_block` ablation and the CI interpreter-fallback run
+    /// turn it off). Disabling drops all lowered blocks.
+    pub(crate) fn set_ir_enabled(&mut self, on: bool) {
+        self.ir_enabled = on;
+        if !on && self.ir_len > 0 {
+            self.ir_slots = Vec::new();
+            self.ir_len = 0;
+        }
+    }
+
+    pub(crate) fn ir_enabled(&self) -> bool {
+        self.ir_enabled
     }
 
     /// Flush-generation counter; bumped whenever cached state is dropped.
@@ -268,6 +316,75 @@ impl DecodeCache {
         }
     }
 
+    /// Looks up a lowered IR block starting at `pc`. Valid by
+    /// construction, like the other two tables (push invalidation), and
+    /// additionally hook-free by construction: hook registration flushes,
+    /// and the builder refuses hooked start addresses, so a hit never
+    /// needs the per-entry hook probe `step_block` pays.
+    pub(crate) fn get_ir(&mut self, pc: Addr) -> Option<Arc<IrBlock>> {
+        if !self.enabled || !self.ir_enabled || self.ir_slots.is_empty() {
+            return None;
+        }
+        let mask = self.ir_slots.len() - 1;
+        let mut i = hash(pc) & mask;
+        loop {
+            match &self.ir_slots[i] {
+                Some(e) if e.pc == pc => return Some(Arc::clone(&e.block)),
+                Some(_) => i = (i + 1) & mask,
+                None => return None,
+            }
+        }
+    }
+
+    /// Memoises a lowered IR block whose encodings span `span` bytes.
+    pub(crate) fn insert_ir(&mut self, pc: Addr, block: Arc<IrBlock>, span: u32) {
+        if !self.enabled || !self.ir_enabled {
+            return;
+        }
+        if self.ir_slots.len() * 3 <= (self.ir_len + 1) * 4 {
+            self.grow_ir();
+        }
+        let mask = self.ir_slots.len() - 1;
+        let mut i = hash(pc) & mask;
+        loop {
+            match &self.ir_slots[i] {
+                Some(e) if e.pc == pc => break,
+                Some(_) => i = (i + 1) & mask,
+                None => {
+                    self.ir_slots[i] = Some(IrEntry { pc, block });
+                    self.ir_len += 1;
+                    break;
+                }
+            }
+        }
+        let mut page = pc & PAGE_MASK;
+        let last = pc.wrapping_add(span.saturating_sub(1)) & PAGE_MASK;
+        loop {
+            self.note_code_page(page);
+            if page == last {
+                break;
+            }
+            page = page.wrapping_add(PAGE_SIZE);
+        }
+    }
+
+    fn grow_ir(&mut self) {
+        let cap = if self.ir_slots.is_empty() {
+            INITIAL_SLOTS
+        } else {
+            self.ir_slots.len() * 4
+        };
+        let old = std::mem::replace(&mut self.ir_slots, vec![None; cap]);
+        let mask = cap - 1;
+        for e in old.into_iter().flatten() {
+            let mut i = hash(e.pc) & mask;
+            while self.ir_slots[i].is_some() {
+                i = (i + 1) & mask;
+            }
+            self.ir_slots[i] = Some(e);
+        }
+    }
+
     fn grow_blocks(&mut self) {
         let cap = if self.block_slots.is_empty() {
             INITIAL_SLOTS
@@ -350,6 +467,10 @@ impl DecodeCache {
         if self.block_len > 0 {
             self.block_slots.iter_mut().for_each(|s| *s = None);
             self.block_len = 0;
+        }
+        if self.ir_len > 0 {
+            self.ir_slots.iter_mut().for_each(|s| *s = None);
+            self.ir_len = 0;
         }
         self.code_pages.clear();
         self.last_clean_page = None;

@@ -209,6 +209,21 @@ impl Machine {
         self.mem.dcache_blocks_enabled()
     }
 
+    /// Turns threaded-code IR dispatch on or off for this machine (the
+    /// process-wide default comes from
+    /// [`set_ir_dispatch_default`](crate::set_ir_dispatch_default)).
+    /// With IR off, execution falls back to fused-block dispatch —
+    /// results are byte-identical either way; the `ir_vs_block`
+    /// ablation and the CI fallback lane run with it off.
+    pub fn set_ir_dispatch_enabled(&mut self, on: bool) {
+        self.mem.dcache_set_ir_enabled(on);
+    }
+
+    /// Whether threaded-code IR dispatch is enabled.
+    pub fn ir_dispatch_enabled(&self) -> bool {
+        self.mem.dcache_ir_enabled()
+    }
+
     /// Arms or drops the edge-coverage bitmap (off by default; the
     /// fuzzer turns it on). When off, execution pays a single `Option`
     /// check per dispatched block — the same "pay only when armed"
@@ -283,6 +298,14 @@ impl Machine {
     pub fn restore(&mut self, snap: &MachineSnapshot) {
         self.mem.restore(&snap.mem);
         self.regs = snap.regs;
+        if self.hooks != snap.hooks {
+            // Restoring a different hook set re-legitimises addresses a
+            // later `register_hook` poisoned (or vice versa); cached
+            // blocks spanning them would run straight through. The
+            // comparison keeps the fork-many fuzz path — identical
+            // hooks every restore — on its warm cache.
+            self.mem.dcache_flush();
+        }
         self.hooks.clone_from(&snap.hooks);
         self.shadow.clone_from(&snap.shadow);
         self.events.clone_from(&snap.events);
@@ -458,7 +481,7 @@ impl Machine {
     /// instructions. Returns `None` when not even one instruction
     /// decodes (the caller falls back to [`step`](Machine::step), which
     /// raises the identical fault).
-    fn build_block(&mut self, start: Addr) -> Option<Arc<Block>> {
+    pub(crate) fn build_block(&mut self, start: Addr) -> Option<Arc<Block>> {
         if self.arch == Arch::Armv7 && !start.is_multiple_of(4) {
             return None;
         }
@@ -554,9 +577,12 @@ impl Machine {
     /// so post-mortem inspection sees them in the event log.
     pub fn run(&mut self, max_steps: u64) -> RunOutcome {
         let fused = self.fused_dispatch();
+        let ir = fused && self.ir_dispatch_enabled();
         let mut left = max_steps;
         while left > 0 {
-            let (used, res) = if fused {
+            let (used, res) = if ir {
+                crate::ir::step_ir(self, left)
+            } else if fused {
                 self.step_block(left)
             } else {
                 (1, self.step())
@@ -846,28 +872,46 @@ mod tests {
     }
 
     #[test]
-    fn block_and_insn_dispatch_agree() {
+    fn ir_block_and_insn_dispatch_agree() {
+        let mut ir = machine_with(loop_code());
         let mut block = machine_with(loop_code());
+        block.set_ir_dispatch_enabled(false);
         let mut insn = machine_with(loop_code());
         insn.set_block_dispatch_enabled(false);
-        let (a, b) = (block.run(10_000), insn.run(10_000));
+        let (a, b, c) = (ir.run(10_000), block.run(10_000), insn.run(10_000));
         assert_eq!(a, b);
+        assert_eq!(a, c);
         assert_eq!(a, RunOutcome::Exited(7));
+        assert_eq!(ir.insn_count(), insn.insn_count());
         assert_eq!(block.insn_count(), insn.insn_count());
+        assert_eq!(ir.events(), insn.events());
         assert_eq!(block.events(), insn.events());
+        assert_eq!(format!("{:?}", ir.regs()), format!("{:?}", insn.regs()));
         assert_eq!(format!("{:?}", block.regs()), format!("{:?}", insn.regs()));
     }
 
     #[test]
-    fn block_dispatch_respects_step_budget() {
-        let mut m = machine_with(loop_code());
-        let out = m.run(50);
-        assert_eq!(out, RunOutcome::Fault(Fault::StepLimit { limit: 50 }));
+    fn fused_dispatch_respects_step_budget() {
+        // Budget 50 expires mid-loop — inside a lowered block (and a
+        // folded `inc` run) for the IR arm.
         let mut reference = machine_with(loop_code());
         reference.set_block_dispatch_enabled(false);
-        reference.run(50);
-        assert_eq!(m.insn_count(), reference.insn_count());
-        assert_eq!(format!("{:?}", m.regs()), format!("{:?}", reference.regs()));
+        assert_eq!(
+            reference.run(50),
+            RunOutcome::Fault(Fault::StepLimit { limit: 50 })
+        );
+        for ir_on in [true, false] {
+            let mut m = machine_with(loop_code());
+            m.set_ir_dispatch_enabled(ir_on);
+            let out = m.run(50);
+            assert_eq!(out, RunOutcome::Fault(Fault::StepLimit { limit: 50 }));
+            assert_eq!(m.insn_count(), reference.insn_count(), "ir_on={ir_on}");
+            assert_eq!(
+                format!("{:?}", m.regs()),
+                format!("{:?}", reference.regs()),
+                "ir_on={ir_on}"
+            );
+        }
     }
 
     #[test]
@@ -897,8 +941,9 @@ mod tests {
         // The imm32 of `mov ebx, 7` sits one byte into the instruction.
         let code = loop_code();
         let imm_off = (code.len() - 2 - 4) as Addr; // before int80's 2 bytes
-        for blocks_on in [true, false] {
+        for (ir_on, blocks_on) in [(true, true), (false, true), (false, false)] {
             let mut m = machine_with(loop_code());
+            m.set_ir_dispatch_enabled(ir_on);
             m.set_block_dispatch_enabled(blocks_on);
             let snap = m.snapshot();
             // Populate the decode cache and block table.

@@ -7,6 +7,7 @@ use std::sync::Arc;
 use cml_image::{Addr, Perms, SectionKind};
 
 use crate::dcache::{Block, CachedInsn, DecodeCache, PAGE_SIZE};
+use crate::ir::IrBlock;
 use crate::Fault;
 
 /// One mapped region of the address space.
@@ -842,6 +843,129 @@ impl Memory {
 
     pub(crate) fn dcache_flush(&mut self) {
         self.dcache.flush();
+    }
+
+    // ---- threaded-code IR block table plumbing ----
+
+    pub(crate) fn dcache_get_ir(&mut self, pc: Addr) -> Option<Arc<IrBlock>> {
+        self.dcache.get_ir(pc)
+    }
+
+    pub(crate) fn dcache_insert_ir(&mut self, pc: Addr, block: Arc<IrBlock>, span: u32) {
+        self.dcache.insert_ir(pc, block, span);
+    }
+
+    pub(crate) fn dcache_set_ir_enabled(&mut self, on: bool) {
+        self.dcache.set_ir_enabled(on);
+    }
+
+    pub(crate) fn dcache_ir_enabled(&self) -> bool {
+        self.dcache.ir_enabled()
+    }
+
+    // ---- word-at-a-time fast paths for the IR dispatcher ----
+    //
+    // Each falls back to the canonical byte path on any anomaly —
+    // redzone armed, region straddle, permission violation, unmapped —
+    // so the observable faults and sanitizer records stay
+    // byte-identical with per-instruction execution.
+
+    /// Word load with a single region probe; exact same result as
+    /// [`read_u32`](Memory::read_u32).
+    #[inline]
+    pub(crate) fn read_u32_ir(&self, addr: Addr, pc: Addr) -> Result<u32, Fault> {
+        if self.redzone.is_none() {
+            if let Some(r) = self.region_containing(addr) {
+                if r.perms.readable() {
+                    let off = (addr.wrapping_sub(r.base)) as usize;
+                    if let Some(b) = r.data.get(off..off + 4) {
+                        return Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]));
+                    }
+                }
+            }
+        }
+        self.read_u32(addr, pc)
+    }
+
+    /// Word store with a single region probe. The decode-cache write
+    /// note precedes the permission check, matching the byte path's
+    /// ordering (a store that faults still invalidates).
+    #[inline]
+    pub(crate) fn write_u32_ir(&mut self, addr: Addr, v: u32, pc: Addr) -> Result<(), Fault> {
+        if self.redzone.is_none() {
+            self.dcache.note_write_range(addr, 4);
+            let done = match self.region_mut(addr) {
+                Some(r) if r.perms.writable() => {
+                    let off = (addr.wrapping_sub(r.base)) as usize;
+                    if off + 4 <= r.data.len() {
+                        r.mark_dirty_range(addr, 4);
+                        r.data[off..off + 4].copy_from_slice(&v.to_le_bytes());
+                        true
+                    } else {
+                        false
+                    }
+                }
+                _ => false,
+            };
+            if done {
+                return Ok(());
+            }
+        }
+        self.write_u32(addr, v, pc)
+    }
+
+    /// Block-entry licence for the IR's fast stack ops: `true` when the
+    /// whole `len`-byte window at `addr` sits inside one readable,
+    /// writable, **non-executable** region with no redzone armed. The
+    /// fast push/pop ops may then skip per-access permission checks and
+    /// decode-cache write notes — a non-X region holds no cached
+    /// decodes, and turning one executable flushes the caches.
+    pub(crate) fn stack_precheck(&self, addr: Addr, len: u32) -> bool {
+        if self.redzone.is_some() {
+            return false;
+        }
+        match self.region_containing(addr) {
+            Some(r) => {
+                r.perms.readable()
+                    && r.perms.writable()
+                    && !r.perms.executable()
+                    && (addr as u64) + len as u64 <= r.end()
+            }
+            None => false,
+        }
+    }
+
+    /// Prechecked word store — sound only under a passing
+    /// [`stack_precheck`](Memory::stack_precheck) covering `addr`.
+    /// Returns `false` (nothing written) if the probe lands badly so
+    /// the caller can take the canonical path instead.
+    #[inline]
+    pub(crate) fn stack_write_u32(&mut self, addr: Addr, v: u32) -> bool {
+        match self.region_mut(addr) {
+            Some(r) if r.perms.writable() && !r.perms.executable() => {
+                let off = (addr.wrapping_sub(r.base)) as usize;
+                if off + 4 <= r.data.len() {
+                    r.mark_dirty_range(addr, 4);
+                    r.data[off..off + 4].copy_from_slice(&v.to_le_bytes());
+                    true
+                } else {
+                    false
+                }
+            }
+            _ => false,
+        }
+    }
+
+    /// Prechecked word load; `None` sends the caller to the slow path.
+    #[inline]
+    pub(crate) fn stack_read_u32(&self, addr: Addr) -> Option<u32> {
+        let r = self.region_containing(addr)?;
+        if !r.perms.readable() {
+            return None;
+        }
+        let off = (addr.wrapping_sub(r.base)) as usize;
+        let b = r.data.get(off..off + 4)?;
+        Some(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
 }
 

@@ -264,6 +264,49 @@ impl Regs {
             Regs::X86(_) => panic!("expected arm registers"),
         }
     }
+
+    // ---- raw indexed accessors for the threaded-code IR dispatcher ----
+    //
+    // The IR lowers register operands to plain indices at block-build
+    // time; these accessors skip the per-access enum-variant plus
+    // `ArmReg`/`X86Reg` wrapping of the public views. ARM r15 reads raw
+    // (the lowering constant-folds the architectural pc+8 instead).
+
+    /// Reads general-purpose register `i` (x86: 0..=7, ARM: 0..=15 raw).
+    #[inline]
+    pub(crate) fn gp(&self, i: u8) -> u32 {
+        match self {
+            Regs::X86(r) => r.gpr[(i & 7) as usize],
+            Regs::Arm(r) => r.r[(i & 15) as usize],
+        }
+    }
+
+    /// Writes general-purpose register `i`.
+    #[inline]
+    pub(crate) fn set_gp(&mut self, i: u8, v: u32) {
+        match self {
+            Regs::X86(r) => r.gpr[(i & 7) as usize] = v,
+            Regs::Arm(r) => r.r[(i & 15) as usize] = v,
+        }
+    }
+
+    /// The zero flag, whichever ISA owns it.
+    #[inline]
+    pub(crate) fn zf(&self) -> bool {
+        match self {
+            Regs::X86(r) => r.zf,
+            Regs::Arm(r) => r.zf,
+        }
+    }
+
+    /// Sets the zero flag.
+    #[inline]
+    pub(crate) fn set_zf(&mut self, z: bool) {
+        match self {
+            Regs::X86(r) => r.zf = z,
+            Regs::Arm(r) => r.zf = z,
+        }
+    }
 }
 
 #[cfg(test)]
