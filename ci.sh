@@ -20,6 +20,18 @@ cargo test --workspace --release --offline -q
 echo "==> cml analyze --self-test"
 cargo run --release --offline -q -p connman-lab --bin cml -- analyze --self-test
 
+echo "==> cml analyze --sarif (VSA report smoke)"
+# The interprocedural VSA layer must flag the vulnerable firmware
+# (exit 2 = findings present) and emit parseable SARIF, and must stay
+# quiet on patched 1.35 — on both ISAs.
+for arch in x86 arm; do
+  cargo run --release --offline -q -p connman-lab --bin cml -- \
+    analyze --arch "$arch" --firmware openelec --sarif > /dev/null && {
+      echo "analyze --sarif: vulnerable $arch not flagged"; exit 1; } || [ $? -eq 2 ]
+  cargo run --release --offline -q -p connman-lab --bin cml -- \
+    analyze --arch "$arch" --firmware patched --sarif > /dev/null
+done
+
 echo "==> cml fuzz --smoke"
 # Fixed-seed fuzzing gate: the coverage-guided fuzzer must rediscover
 # the dnsproxy overflow on vulnerable firmware (both ISAs) and find

@@ -6,10 +6,12 @@
 //! idea the interpreter's decode cache uses at run time, applied
 //! statically so no byte is decoded twice across passes.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 use cml_image::{Addr, Arch, Image, SymbolKind};
 use cml_vm::{arm, x86};
+
+use crate::predecode::Predecoder;
 
 /// One lifted instruction from either ISA.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -145,55 +147,6 @@ impl Cfg {
     }
 }
 
-/// Per-address decode memo — the static twin of the VM's predecoded
-/// instruction cache. Both passes (and repeated analyses of the same
-/// image) resolve an address with one real decode.
-struct Predecoder<'a> {
-    image: &'a Image,
-    arch: Arch,
-    memo: HashMap<Addr, Option<(Op, u32)>>,
-    hits: u64,
-    misses: u64,
-}
-
-impl<'a> Predecoder<'a> {
-    fn new(image: &'a Image) -> Self {
-        Predecoder {
-            image,
-            arch: image.arch(),
-            memo: HashMap::new(),
-            hits: 0,
-            misses: 0,
-        }
-    }
-
-    /// Decodes the instruction at `addr`, bounded by its section.
-    fn decode_at(&mut self, addr: Addr) -> Option<(Op, u32)> {
-        if let Some(cached) = self.memo.get(&addr) {
-            self.hits += 1;
-            return *cached;
-        }
-        self.misses += 1;
-        let decoded = self.decode_uncached(addr);
-        self.memo.insert(addr, decoded);
-        decoded
-    }
-
-    fn decode_uncached(&self, addr: Addr) -> Option<(Op, u32)> {
-        let section = self.image.section_containing(addr)?;
-        let off = (addr - section.base()) as usize;
-        let bytes = section.bytes().get(off..)?;
-        match self.arch {
-            Arch::X86 => x86::decode(bytes)
-                .ok()
-                .map(|(i, len)| (Op::X86(i), len as u32)),
-            Arch::Armv7 => arm::decode(bytes)
-                .ok()
-                .map(|(i, len)| (Op::Arm(i), len as u32)),
-        }
-    }
-}
-
 /// Control-flow class of a single instruction.
 enum Flow {
     Seq,
@@ -303,8 +256,8 @@ pub fn recover(image: &Image) -> Cfg {
             .map(|f| f.blocks.iter().map(|b| b.insns.len()).sum::<usize>())
             .sum(),
         call_edges: call_edges.len(),
-        decode_hits: pred.hits,
-        decode_misses: pred.misses,
+        decode_hits: pred.hits(),
+        decode_misses: pred.misses(),
     };
 
     Cfg {

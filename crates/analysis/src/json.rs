@@ -1,31 +1,40 @@
 //! Minimal JSON tree: an emitter for the analysis report and a parser
 //! so the schema can be round-trip tested without external crates (the
 //! workspace is fully offline).
+//!
+//! Strings are [`Cow`]s: report emission borrows every name straight
+//! out of the [`crate::AnalysisReport`] (no per-field `clone()` churn),
+//! while the parser returns an owned `Value<'static>`.
 
+use std::borrow::Cow;
 use std::fmt;
 
-/// A JSON value.
+/// A JSON value. The lifetime is the borrow of whatever the document
+/// was built from; parsed documents are `Value<'static>`.
 #[derive(Debug, Clone, PartialEq)]
-pub enum Value {
+pub enum Value<'a> {
     /// `null`.
     Null,
     /// `true` / `false`.
     Bool(bool),
     /// Any number (emitted without a trailing `.0` when integral).
     Num(f64),
-    /// A string.
-    Str(String),
+    /// A string, borrowed or owned.
+    Str(Cow<'a, str>),
     /// An array.
-    Arr(Vec<Value>),
+    Arr(Vec<Value<'a>>),
     /// An object; insertion order is preserved.
-    Obj(Vec<(String, Value)>),
+    Obj(Vec<(Cow<'a, str>, Value<'a>)>),
 }
 
-impl Value {
+impl<'a> Value<'a> {
     /// Object field lookup.
-    pub fn get(&self, key: &str) -> Option<&Value> {
+    pub fn get(&self, key: &str) -> Option<&Value<'a>> {
         match self {
-            Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            Value::Obj(fields) => fields
+                .iter()
+                .find(|(k, _)| k.as_ref() == key)
+                .map(|(_, v)| v),
             _ => None,
         }
     }
@@ -41,13 +50,13 @@ impl Value {
     /// The string contents, if this is a string.
     pub fn as_str(&self) -> Option<&str> {
         match self {
-            Value::Str(s) => Some(s),
+            Value::Str(s) => Some(s.as_ref()),
             _ => None,
         }
     }
 
     /// The elements, if this is an array.
-    pub fn as_arr(&self) -> Option<&[Value]> {
+    pub fn as_arr(&self) -> Option<&[Value<'a>]> {
         match self {
             Value::Arr(items) => Some(items),
             _ => None,
@@ -63,13 +72,13 @@ impl Value {
     }
 }
 
-/// Convenience: builds `Value::Str`.
-pub fn s(v: impl Into<String>) -> Value {
+/// Convenience: builds `Value::Str`, borrowing when it can.
+pub fn s<'a>(v: impl Into<Cow<'a, str>>) -> Value<'a> {
     Value::Str(v.into())
 }
 
 /// Convenience: builds `Value::Num` from anything numeric.
-pub fn n(v: impl Into<f64>) -> Value {
+pub fn n<'a>(v: impl Into<f64>) -> Value<'a> {
     Value::Num(v.into())
 }
 
@@ -89,7 +98,7 @@ fn escape(out: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
     write!(out, "\"")
 }
 
-impl fmt::Display for Value {
+impl fmt::Display for Value<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Value::Null => write!(f, "null"),
@@ -148,12 +157,12 @@ impl fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
-/// Parses a JSON document.
+/// Parses a JSON document into an owned tree.
 ///
 /// # Errors
 ///
 /// Returns a [`ParseError`] locating the first malformed construct.
-pub fn parse(text: &str) -> Result<Value, ParseError> {
+pub fn parse(text: &str) -> Result<Value<'static>, ParseError> {
     let bytes = text.as_bytes();
     let mut pos = 0usize;
     let v = parse_value(bytes, &mut pos)?;
@@ -185,12 +194,12 @@ fn expect(b: &[u8], pos: &mut usize, c: u8, what: &'static str) -> Result<(), Pa
     }
 }
 
-fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, ParseError> {
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value<'static>, ParseError> {
     skip_ws(b, pos);
     match b.get(*pos) {
         Some(b'{') => parse_obj(b, pos),
         Some(b'[') => parse_arr(b, pos),
-        Some(b'"') => Ok(Value::Str(parse_str(b, pos)?)),
+        Some(b'"') => Ok(Value::Str(Cow::Owned(parse_str(b, pos)?))),
         Some(b't') => parse_lit(b, pos, b"true", Value::Bool(true)),
         Some(b'f') => parse_lit(b, pos, b"false", Value::Bool(false)),
         Some(b'n') => parse_lit(b, pos, b"null", Value::Null),
@@ -202,7 +211,12 @@ fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, ParseError> {
     }
 }
 
-fn parse_lit(b: &[u8], pos: &mut usize, lit: &'static [u8], v: Value) -> Result<Value, ParseError> {
+fn parse_lit(
+    b: &[u8],
+    pos: &mut usize,
+    lit: &'static [u8],
+    v: Value<'static>,
+) -> Result<Value<'static>, ParseError> {
     if b.len() >= *pos + lit.len() && &b[*pos..*pos + lit.len()] == lit {
         *pos += lit.len();
         Ok(v)
@@ -214,7 +228,7 @@ fn parse_lit(b: &[u8], pos: &mut usize, lit: &'static [u8], v: Value) -> Result<
     }
 }
 
-fn parse_num(b: &[u8], pos: &mut usize) -> Result<Value, ParseError> {
+fn parse_num(b: &[u8], pos: &mut usize) -> Result<Value<'static>, ParseError> {
     let start = *pos;
     if b.get(*pos) == Some(&b'-') {
         *pos += 1;
@@ -302,7 +316,7 @@ fn parse_str(b: &[u8], pos: &mut usize) -> Result<String, ParseError> {
     }
 }
 
-fn parse_arr(b: &[u8], pos: &mut usize) -> Result<Value, ParseError> {
+fn parse_arr(b: &[u8], pos: &mut usize) -> Result<Value<'static>, ParseError> {
     expect(b, pos, b'[', "an array")?;
     let mut items = Vec::new();
     skip_ws(b, pos);
@@ -329,7 +343,7 @@ fn parse_arr(b: &[u8], pos: &mut usize) -> Result<Value, ParseError> {
     }
 }
 
-fn parse_obj(b: &[u8], pos: &mut usize) -> Result<Value, ParseError> {
+fn parse_obj(b: &[u8], pos: &mut usize) -> Result<Value<'static>, ParseError> {
     expect(b, pos, b'{', "an object")?;
     let mut fields = Vec::new();
     skip_ws(b, pos);
@@ -343,7 +357,7 @@ fn parse_obj(b: &[u8], pos: &mut usize) -> Result<Value, ParseError> {
         skip_ws(b, pos);
         expect(b, pos, b':', "':'")?;
         let value = parse_value(b, pos)?;
-        fields.push((key, value));
+        fields.push((Cow::Owned(key), value));
         skip_ws(b, pos);
         match b.get(*pos) {
             Some(b',') => *pos += 1,
@@ -378,6 +392,14 @@ mod tests {
         ]);
         let text = v.to_string();
         assert_eq!(parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn strings_can_borrow_their_source() {
+        let owner = String::from("parse_response");
+        let v = s(owner.as_str());
+        assert!(matches!(v, Value::Str(Cow::Borrowed(_))));
+        assert_eq!(v.as_str(), Some("parse_response"));
     }
 
     #[test]

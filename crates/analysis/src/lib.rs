@@ -5,34 +5,98 @@
 //! crate *detects* it without executing a single instruction:
 //!
 //! 1. [`cfg::recover`] lifts every function symbol into a control-flow
-//!    graph using the VM's own decoders through a predecode memo (the
-//!    static twin of the interpreter's decode cache).
-//! 2. [`taint::taint_pass`] runs an abstract interpretation that flags
+//!    graph using the VM's own decoders through a shared
+//!    [`predecode::Predecoder`] memo (the static twin of the
+//!    interpreter's decode cache).
+//! 2. [`callgraph::CallGraph`] organizes the resolved call edges into a
+//!    whole-image graph with per-function [`callgraph::FnSummary`]s.
+//! 3. [`taint::taint_pass`] runs an abstract interpretation that flags
 //!    DNS-response bytes flowing into a fixed-size stack buffer through
-//!    a copy loop with no untainted bound — the `get_name` bug shape.
-//!    It fires on the vulnerable 1.34 body and stays quiet on the
-//!    bounds-checked 1.35 body.
-//! 3. [`audit::audit`] reports the mitigation posture: W⊕X violations,
+//!    a copy loop with no untainted bound — the `get_name` bug shape —
+//!    propagating taint interprocedurally down the recovered
+//!    `forward_dns_reply → uncompress → parse_response` chain.
+//! 4. [`vsa::vsa_pass`] runs a value-set analysis with a
+//!    strided-interval domain that derives, per store, *which* stack
+//!    bytes can be written, and [`frames::recover_frames`] recovers each
+//!    function's frame geometry from its prologue.
+//! 5. [`audit::audit`] reports the mitigation posture: W⊕X violations,
 //!    canary instrumentation, and per-section gadget surface.
 //!
-//! [`analyze`] bundles all three into an [`AnalysisReport`] with a
-//! stable machine-readable JSON rendering (`cml-analyze/v1`), and
-//! [`self_test`] is the CI entry point behind `cml analyze
-//! --self-test`.
+//! The pieces combine into a static **exploitability verdict**
+//! ([`Exploitability`]): write start, maximum extent, byte distance
+//! from buffer to saved return address, and whether a stack canary
+//! would be clobbered — numbers the dynamic sanitizer and exploit
+//! harness measure independently, which the oracle test suite pins
+//! byte-for-byte against these predictions.
+//!
+//! [`analyze`] bundles everything into an [`AnalysisReport`] with a
+//! stable machine-readable JSON rendering (`cml-analyze/v2`; v1
+//! documents still parse) plus a SARIF 2.1.0 view ([`AnalysisReport::
+//! to_sarif`]), and [`self_test`] is the CI entry point behind `cml
+//! analyze --self-test`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod audit;
+pub mod callgraph;
 pub mod cfg;
+pub mod frames;
 pub mod json;
+pub mod predecode;
 pub mod taint;
+pub mod vsa;
 
-use cml_image::Image;
+use cml_image::{Addr, Image};
 
 pub use audit::{AuditReport, SectionAudit};
+pub use callgraph::{CallGraph, FnSummary, Summaries};
 pub use cfg::{Cfg, CfgStats};
+pub use frames::FrameInfo;
 pub use taint::{TaintConfig, TaintFinding};
+pub use vsa::{FnVsa, Region, StackWrite, StridedInterval, ValueSet};
+
+/// Current report schema tag.
+pub const SCHEMA: &str = "cml-analyze/v2";
+
+/// Digest of the whole-image call graph carried in the report.
+#[derive(Debug, Clone)]
+pub struct CallGraphReport {
+    /// Total direct call edges.
+    pub edges: usize,
+    /// Functions nothing in the image calls.
+    pub roots: Vec<String>,
+    /// Per-function call summaries, sorted by name.
+    pub summaries: Vec<(String, FnSummary)>,
+}
+
+/// Static exploitability verdict for one taint finding, in the same
+/// entry-SP-relative coordinates as [`frames`] and [`vsa`].
+#[derive(Debug, Clone)]
+pub struct Exploitability {
+    /// Function containing the write.
+    pub function: String,
+    /// Address of the store instruction.
+    pub store_addr: Addr,
+    /// Entry-SP-relative offset of the first byte written (the buffer).
+    pub write_start: i64,
+    /// Entry-SP-relative offset of the saved return address.
+    pub ret_offset: Option<i64>,
+    /// Byte distance from buffer start to the saved return address —
+    /// the overwrite distance an exploit payload must cover.
+    pub buf_to_ret: Option<i64>,
+    /// Maximum bytes the write can touch; `None` = statically
+    /// unbounded (attacker-controlled length).
+    pub max_extent: Option<u32>,
+    /// Whether the write can reach the saved return address.
+    pub reaches_ret: bool,
+    /// Whether a stack canary between buffer and return address would
+    /// be clobbered (a contiguous overwrite cannot skip it).
+    pub clobbers_canary: bool,
+    /// Statically recovered call chain from the taint source to the
+    /// vulnerable function.
+    pub call_chain: Vec<String>,
+}
 
 /// Everything the analyzer has to say about one image.
 #[derive(Debug, Clone)]
@@ -43,6 +107,12 @@ pub struct AnalysisReport {
     pub cfg: CfgStats,
     /// Taint findings (empty on a patched image).
     pub findings: Vec<TaintFinding>,
+    /// Per-function frame layouts recovered from prologues.
+    pub frames: Vec<FrameInfo>,
+    /// Call-graph digest with per-function summaries.
+    pub call_graph: CallGraphReport,
+    /// Static exploitability verdicts, one per finding.
+    pub exploitability: Vec<Exploitability>,
     /// Mitigation posture.
     pub audit: AuditReport,
 }
@@ -55,21 +125,77 @@ impl AnalysisReport {
         self.findings.is_empty()
     }
 
-    /// Renders the report as a `cml-analyze/v1` JSON document.
-    pub fn to_json(&self) -> json::Value {
+    /// Renders the report as a `cml-analyze/v2` JSON document. Strings
+    /// are borrowed from the report — no clone churn on the hot
+    /// emission path.
+    pub fn to_json(&self) -> json::Value<'_> {
         use json::{n, s, Value};
         let hex = |a: u32| s(format!("{a:#010x}"));
+        let opt_i = |v: Option<i64>| v.map_or(Value::Null, |x| n(x as f64));
         let findings = self
             .findings
             .iter()
             .map(|f| {
                 Value::Obj(vec![
-                    ("function".into(), s(f.function.clone())),
+                    ("function".into(), s(f.function.as_str())),
                     ("store_addr".into(), hex(f.store_addr)),
                     ("loop_head".into(), hex(f.loop_head)),
-                    ("source".into(), s(f.source.clone())),
-                    ("sink".into(), s(f.sink.clone())),
+                    ("source".into(), s(f.source.as_str())),
+                    ("sink".into(), s(f.sink.as_str())),
                     ("capacity".into(), n(f.capacity)),
+                ])
+            })
+            .collect();
+        let frames = self
+            .frames
+            .iter()
+            .map(|fr| {
+                Value::Obj(vec![
+                    ("function".into(), s(fr.function.as_str())),
+                    ("frame_size".into(), n(fr.frame_size)),
+                    ("saved_regs".into(), n(fr.saved_regs)),
+                    ("buf_offset".into(), opt_i(fr.buf_offset)),
+                    ("ret_offset".into(), opt_i(fr.ret_offset)),
+                    ("canary_offset".into(), opt_i(fr.canary_offset)),
+                    ("buf_to_ret".into(), opt_i(fr.buf_to_ret())),
+                ])
+            })
+            .collect();
+        let summaries = self
+            .call_graph
+            .summaries
+            .iter()
+            .map(|(name, sum)| {
+                Value::Obj(vec![
+                    ("function".into(), s(name.as_str())),
+                    (
+                        "returns_const".into(),
+                        sum.returns_const.map_or(Value::Null, n),
+                    ),
+                    ("writes_mem".into(), Value::Bool(sum.writes_mem)),
+                    ("unbounded_copy".into(), Value::Bool(sum.unbounded_copy)),
+                    ("may_overflow".into(), Value::Bool(sum.may_overflow)),
+                ])
+            })
+            .collect();
+        let exploitability = self
+            .exploitability
+            .iter()
+            .map(|e| {
+                Value::Obj(vec![
+                    ("function".into(), s(e.function.as_str())),
+                    ("store_addr".into(), hex(e.store_addr)),
+                    ("write_start".into(), n(e.write_start as f64)),
+                    ("ret_offset".into(), opt_i(e.ret_offset)),
+                    ("buf_to_ret".into(), opt_i(e.buf_to_ret)),
+                    ("max_extent".into(), e.max_extent.map_or(Value::Null, n)),
+                    ("unbounded".into(), Value::Bool(e.max_extent.is_none())),
+                    ("reaches_saved_ret".into(), Value::Bool(e.reaches_ret)),
+                    ("clobbers_canary".into(), Value::Bool(e.clobbers_canary)),
+                    (
+                        "call_chain".into(),
+                        Value::Arr(e.call_chain.iter().map(|c| s(c.as_str())).collect()),
+                    ),
                 ])
             })
             .collect();
@@ -79,8 +205,8 @@ impl AnalysisReport {
             .iter()
             .map(|sec| {
                 Value::Obj(vec![
-                    ("name".into(), s(sec.name.clone())),
-                    ("perms".into(), s(sec.perms.clone())),
+                    ("name".into(), s(sec.name.as_str())),
+                    ("perms".into(), s(sec.perms.as_str())),
                     ("size".into(), n(sec.size)),
                     ("executable".into(), Value::Bool(sec.executable)),
                     ("wx_violation".into(), Value::Bool(sec.wx_violation)),
@@ -93,8 +219,8 @@ impl AnalysisReport {
             })
             .collect();
         Value::Obj(vec![
-            ("schema".into(), s("cml-analyze/v1")),
-            ("arch".into(), s(self.arch.clone())),
+            ("schema".into(), s(SCHEMA)),
+            ("arch".into(), s(self.arch.as_str())),
             (
                 "cfg".into(),
                 Value::Obj(vec![
@@ -108,6 +234,25 @@ impl AnalysisReport {
             ),
             ("clean".into(), Value::Bool(self.clean())),
             ("findings".into(), Value::Arr(findings)),
+            ("frames".into(), Value::Arr(frames)),
+            (
+                "callgraph".into(),
+                Value::Obj(vec![
+                    ("edges".into(), n(self.call_graph.edges as u32)),
+                    (
+                        "roots".into(),
+                        Value::Arr(
+                            self.call_graph
+                                .roots
+                                .iter()
+                                .map(|r| s(r.as_str()))
+                                .collect(),
+                        ),
+                    ),
+                    ("summaries".into(), Value::Arr(summaries)),
+                ]),
+            ),
+            ("exploitability".into(), Value::Arr(exploitability)),
             (
                 "audit".into(),
                 Value::Obj(vec![
@@ -117,7 +262,7 @@ impl AnalysisReport {
                             self.audit
                                 .wx_violations
                                 .iter()
-                                .map(|v| s(v.clone()))
+                                .map(|v| s(v.as_str()))
                                 .collect(),
                         ),
                     ),
@@ -131,10 +276,119 @@ impl AnalysisReport {
             ),
         ])
     }
+
+    /// Renders the findings as a SARIF 2.1.0 log, one result per taint
+    /// finding with the store address as the physical location and the
+    /// exploitability verdict folded into the message.
+    pub fn to_sarif(&self) -> json::Value<'_> {
+        use json::{n, s, Value};
+        let results = self
+            .findings
+            .iter()
+            .map(|f| {
+                let verdict = self
+                    .exploitability
+                    .iter()
+                    .find(|e| e.function == f.function && e.store_addr == f.store_addr);
+                let text = match verdict {
+                    Some(e) => format!(
+                        "Unbounded copy of {} into a {}-byte stack buffer; the write can \
+                         cover the {} bytes up to the saved return address (chain: {}).",
+                        f.source,
+                        f.capacity,
+                        e.buf_to_ret.unwrap_or_default(),
+                        e.call_chain.join(" -> "),
+                    ),
+                    None => format!(
+                        "Unbounded copy of {} into a {}-byte stack buffer.",
+                        f.source, f.capacity
+                    ),
+                };
+                Value::Obj(vec![
+                    ("ruleId".into(), s("CML001")),
+                    ("level".into(), s("error")),
+                    ("message".into(), Value::Obj(vec![("text".into(), s(text))])),
+                    (
+                        "locations".into(),
+                        Value::Arr(vec![Value::Obj(vec![
+                            (
+                                "physicalLocation".into(),
+                                Value::Obj(vec![
+                                    (
+                                        "artifactLocation".into(),
+                                        Value::Obj(vec![(
+                                            "uri".into(),
+                                            s(format!("firmware://{}/.text", self.arch)),
+                                        )]),
+                                    ),
+                                    (
+                                        "address".into(),
+                                        Value::Obj(vec![(
+                                            "absoluteAddress".into(),
+                                            n(f.store_addr),
+                                        )]),
+                                    ),
+                                ]),
+                            ),
+                            (
+                                "logicalLocations".into(),
+                                Value::Arr(vec![Value::Obj(vec![
+                                    ("name".into(), s(f.function.as_str())),
+                                    ("kind".into(), s("function")),
+                                ])]),
+                            ),
+                        ])]),
+                    ),
+                ])
+            })
+            .collect();
+        Value::Obj(vec![
+            (
+                "$schema".into(),
+                s("https://json.schemastore.org/sarif-2.1.0.json"),
+            ),
+            ("version".into(), s("2.1.0")),
+            (
+                "runs".into(),
+                Value::Arr(vec![Value::Obj(vec![
+                    (
+                        "tool".into(),
+                        Value::Obj(vec![(
+                            "driver".into(),
+                            Value::Obj(vec![
+                                ("name".into(), s("cml-analyze")),
+                                ("version".into(), s("2.0.0")),
+                                (
+                                    "informationUri".into(),
+                                    s("https://nvd.nist.gov/vuln/detail/CVE-2017-12865"),
+                                ),
+                                (
+                                    "rules".into(),
+                                    Value::Arr(vec![Value::Obj(vec![
+                                        ("id".into(), s("CML001")),
+                                        ("name".into(), s("UnboundedTaintedStackCopy")),
+                                        (
+                                            "shortDescription".into(),
+                                            Value::Obj(vec![(
+                                                "text".into(),
+                                                s("Attacker-length copy into a fixed stack buffer"),
+                                            )]),
+                                        ),
+                                    ])]),
+                                ),
+                            ]),
+                        )]),
+                    ),
+                    ("results".into(), Value::Arr(results)),
+                ])]),
+            ),
+        ])
+    }
 }
 
-/// Runs the full pipeline — CFG recovery, taint pass, mitigation
-/// audit — over one image with the default [`TaintConfig`].
+/// Runs the full pipeline — CFG recovery, call graph + summaries,
+/// interprocedural taint, VSA, frame recovery, exploitability verdicts,
+/// mitigation audit — over one image with the default [`TaintConfig`].
 pub fn analyze(image: &Image) -> AnalysisReport {
     analyze_with(image, &TaintConfig::default())
 }
@@ -142,24 +396,91 @@ pub fn analyze(image: &Image) -> AnalysisReport {
 /// [`analyze`] with an explicit source/sink configuration.
 pub fn analyze_with(image: &Image, config: &TaintConfig) -> AnalysisReport {
     let cfg = cfg::recover(image);
-    let findings = taint::taint_pass(&cfg, config);
+    let summaries = Summaries::compute(&cfg);
+    let graph = CallGraph::build(&cfg);
+    let findings = taint::taint_pass_with(&cfg, config, &summaries);
+    let sources = taint::effective_sources(&cfg, config);
+    let value_sets = vsa::vsa_pass(&cfg, image, &sources);
+    let frames = frames::recover_frames(&cfg);
+    let exploitability = assess(&findings, &value_sets, &graph, config);
     let audit = audit::audit(image, &cfg);
     AnalysisReport {
         arch: image.arch().to_string(),
         cfg: cfg.stats,
         findings,
+        frames,
+        call_graph: CallGraphReport {
+            edges: graph.edge_count(),
+            roots: graph.roots().iter().map(|r| (*r).to_string()).collect(),
+            summaries: summaries
+                .iter()
+                .map(|(name, s)| (name.to_string(), s.clone()))
+                .collect(),
+        },
+        exploitability,
         audit,
     }
+}
+
+/// Joins taint findings with VSA write geometry and the call graph into
+/// per-finding exploitability verdicts.
+fn assess(
+    findings: &[TaintFinding],
+    value_sets: &[FnVsa],
+    graph: &CallGraph,
+    config: &TaintConfig,
+) -> Vec<Exploitability> {
+    findings
+        .iter()
+        .map(|f| {
+            let fv = value_sets.iter().find(|v| v.function == f.function);
+            let write = fv.and_then(|v| v.writes.iter().find(|w| w.store_addr == f.store_addr));
+            let ret_offset = fv.and_then(|v| v.ret_slot);
+            let write_start = write.map_or(0, |w| w.start);
+            let buf_to_ret = ret_offset.map(|r| r - write_start);
+            // An unbounded write reaches anything above it; a bounded
+            // one reaches the slot only if its last byte does.
+            let reaches_ret = match (write, ret_offset) {
+                (Some(w), Some(ret)) => match w.end() {
+                    None => ret >= w.start,
+                    Some(end) => end >= ret,
+                },
+                _ => false,
+            };
+            // A contiguous (stride-1) overwrite cannot skip an interior
+            // canary slot on its way to the return address.
+            let clobbers_canary = reaches_ret && write.is_some_and(|w| w.stride <= 1);
+            let call_chain = config
+                .sources
+                .iter()
+                .find_map(|src| graph.chain_to(src, &f.function))
+                .unwrap_or_else(|| vec![f.function.clone()]);
+            Exploitability {
+                function: f.function.clone(),
+                store_addr: f.store_addr,
+                write_start,
+                ret_offset,
+                buf_to_ret,
+                max_extent: write.and_then(|w| w.extent),
+                reaches_ret,
+                clobbers_canary,
+                call_chain,
+            }
+        })
+        .collect()
 }
 
 /// The analyzer's CI gate, run by `cml analyze --self-test`.
 ///
 /// For each architecture it analyzes a vulnerable and a bounds-checked
 /// image and checks the end-to-end contract: exactly one taint finding
-/// on the vulnerable body (in `parse_response`, 1024-byte sink), zero
-/// on the patched body, an executable-stack W⊕X violation and no
-/// canaries under the no-protection loader, and a JSON rendering that
-/// round-trips through the crate's own parser.
+/// on the vulnerable body (reached through the recovered
+/// `forward_dns_reply → uncompress → parse_response` chain, 1024-byte
+/// sink), an exploitability verdict whose geometry matches the
+/// firmware's ground-truth frame layout, zero findings on the patched
+/// body, an executable-stack W⊕X violation and no canaries under the
+/// no-protection loader, and JSON + SARIF renderings that round-trip
+/// through the crate's own parser.
 ///
 /// # Errors
 ///
@@ -186,6 +507,34 @@ pub fn self_test() -> Result<String, String> {
         if f.capacity != cml_connman::NAME_BUFFER_SIZE as u32 {
             return Err(format!("{arch}: sink capacity {} != 1024", f.capacity));
         }
+
+        // Exploitability verdict vs the firmware's ground-truth frame.
+        let truth = cml_connman::layout_for(arch);
+        let e = report
+            .exploitability
+            .first()
+            .ok_or_else(|| format!("{arch}: no exploitability verdict"))?;
+        if e.buf_to_ret != Some(truth.ret_offset as i64) {
+            return Err(format!(
+                "{arch}: static buf_to_ret {:?} != ground truth {}",
+                e.buf_to_ret, truth.ret_offset
+            ));
+        }
+        if e.max_extent.is_some() || !e.reaches_ret || !e.clobbers_canary {
+            return Err(format!(
+                "{arch}: vulnerable verdict must be unbounded+reaches+clobbers, got {e:?}"
+            ));
+        }
+        if e.call_chain
+            != [
+                cml_connman::SYM_FORWARD_DNS_REPLY,
+                cml_connman::SYM_UNCOMPRESS,
+                cml_connman::SYM_PARSE_RESPONSE,
+            ]
+        {
+            return Err(format!("{arch}: wrong call chain {:?}", e.call_chain));
+        }
+
         if report.audit.wx_violations.is_empty() {
             return Err(format!("{arch}: audit missed the executable stack"));
         }
@@ -197,8 +546,13 @@ pub fn self_test() -> Result<String, String> {
         let text = report.to_json().to_string();
         let parsed =
             json::parse(&text).map_err(|e| format!("{arch}: emitted JSON invalid: {e}"))?;
-        if parsed.get("schema").and_then(json::Value::as_str) != Some("cml-analyze/v1") {
+        if parsed.get("schema").and_then(json::Value::as_str) != Some(SCHEMA) {
             return Err(format!("{arch}: schema tag missing after round-trip"));
+        }
+        let sarif = json::parse(&report.to_sarif().to_string())
+            .map_err(|e| format!("{arch}: SARIF invalid: {e}"))?;
+        if sarif.get("version").and_then(json::Value::as_str) != Some("2.1.0") {
+            return Err(format!("{arch}: SARIF version tag wrong"));
         }
 
         let (fixed, _) = cml_firmware::build_image_for(arch, 0, true);
@@ -209,9 +563,17 @@ pub fn self_test() -> Result<String, String> {
                 patched.findings
             ));
         }
+        if !patched.exploitability.is_empty() {
+            return Err(format!("{arch}: patched image has exploitability entries"));
+        }
         lines.push(format!(
-            "{arch}: {} functions, {} blocks, {} gadgets; vulnerable flagged, patched clean",
-            report.cfg.functions, report.cfg.blocks, report.audit.gadget_total
+            "{arch}: {} functions, {} blocks, {} call edges, {} gadgets; \
+             vulnerable flagged (ret at +{}), patched clean",
+            report.cfg.functions,
+            report.cfg.blocks,
+            report.call_graph.edges,
+            report.audit.gadget_total,
+            truth.ret_offset
         ));
     }
     Ok(lines.join("\n"))
@@ -230,7 +592,7 @@ mod tests {
     }
 
     #[test]
-    fn report_json_exposes_findings() {
+    fn report_json_exposes_findings_and_verdicts() {
         let (img, _) = build_image_for(Arch::X86, 0, false);
         let report = analyze(&img);
         let doc = json::parse(&report.to_json().to_string()).unwrap();
@@ -240,6 +602,76 @@ mod tests {
         assert_eq!(
             findings[0].get("capacity").and_then(json::Value::as_num),
             Some(1024.0)
+        );
+        let verdicts = doc
+            .get("exploitability")
+            .and_then(json::Value::as_arr)
+            .unwrap();
+        assert_eq!(verdicts.len(), 1);
+        assert_eq!(
+            verdicts[0].get("buf_to_ret").and_then(json::Value::as_num),
+            Some(1040.0)
+        );
+        assert_eq!(
+            verdicts[0].get("unbounded").and_then(json::Value::as_bool),
+            Some(true)
+        );
+        let frames = doc.get("frames").and_then(json::Value::as_arr).unwrap();
+        assert!(frames.iter().any(|fr| {
+            fr.get("function").and_then(json::Value::as_str) == Some("parse_response")
+                && fr.get("buf_to_ret").and_then(json::Value::as_num) == Some(1040.0)
+        }));
+    }
+
+    #[test]
+    fn v1_documents_still_parse() {
+        // A frozen v1 report fragment (pre-exploitability schema): old
+        // consumers' documents must keep parsing with the same parser.
+        let v1 = r#"{"schema":"cml-analyze/v1","arch":"x86","cfg":{"functions":9,"blocks":21,"instructions":120,"call_edges":0,"decode_hits":3,"decode_misses":117},"clean":false,"findings":[{"function":"parse_response","store_addr":"0x08048412","loop_head":"0x08048410","source":"DNS response bytes (parse_response argument)","sink":"1024-byte stack name buffer","capacity":1024}],"audit":{"wx_violations":["stack"],"canary_instrumented":false,"gadget_total":44,"sections":[]}}"#;
+        let doc = json::parse(v1).expect("v1 parses");
+        assert_eq!(
+            doc.get("schema").and_then(json::Value::as_str),
+            Some("cml-analyze/v1")
+        );
+        let findings = doc.get("findings").and_then(json::Value::as_arr).unwrap();
+        assert_eq!(
+            findings[0].get("capacity").and_then(json::Value::as_num),
+            Some(1024.0)
+        );
+    }
+
+    #[test]
+    fn sarif_carries_the_store_address() {
+        let (img, _) = build_image_for(Arch::Armv7, 0, false);
+        let report = analyze(&img);
+        let sarif = json::parse(&report.to_sarif().to_string()).unwrap();
+        let runs = sarif.get("runs").and_then(json::Value::as_arr).unwrap();
+        let results = runs[0]
+            .get("results")
+            .and_then(json::Value::as_arr)
+            .unwrap();
+        assert_eq!(results.len(), 1);
+        let addr = results[0]
+            .get("locations")
+            .and_then(json::Value::as_arr)
+            .and_then(|l| l[0].get("physicalLocation"))
+            .and_then(|p| p.get("address"))
+            .and_then(|a| a.get("absoluteAddress"))
+            .and_then(json::Value::as_num)
+            .unwrap();
+        assert_eq!(addr as u32, report.findings[0].store_addr);
+
+        // A patched image yields an empty (but valid) run.
+        let (fixed, _) = build_image_for(Arch::Armv7, 0, true);
+        let quiet = analyze(&fixed);
+        let sarif = json::parse(&quiet.to_sarif().to_string()).unwrap();
+        let runs = sarif.get("runs").and_then(json::Value::as_arr).unwrap();
+        assert_eq!(
+            runs[0]
+                .get("results")
+                .and_then(json::Value::as_arr)
+                .map(<[_]>::len),
+            Some(0)
         );
     }
 }

@@ -1,0 +1,103 @@
+//! Shared per-address predecode memo — the static twin of the VM's
+//! predecoded instruction cache.
+//!
+//! CFG recovery, the taint pass and the value-set analysis all lift the
+//! same text bytes; routing every decode through one memo table means
+//! an address is decoded exactly once no matter how many passes (or
+//! repeated analyses of the same image) consume it. Before this module
+//! existed each pass carried its own copy of the memo; now they share
+//! this one.
+
+use std::collections::HashMap;
+
+use cml_image::{Addr, Arch, Image};
+use cml_vm::{arm, x86};
+
+use crate::cfg::Op;
+
+/// Per-address decode memo over one image.
+pub struct Predecoder<'a> {
+    image: &'a Image,
+    arch: Arch,
+    memo: HashMap<Addr, Option<(Op, u32)>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl<'a> Predecoder<'a> {
+    /// A fresh memo over `image`.
+    pub fn new(image: &'a Image) -> Self {
+        Predecoder {
+            image,
+            arch: image.arch(),
+            memo: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Decodes the instruction at `addr`, bounded by its section.
+    /// Returns `None` for unmapped or undecodable bytes.
+    pub fn decode_at(&mut self, addr: Addr) -> Option<(Op, u32)> {
+        if let Some(cached) = self.memo.get(&addr) {
+            self.hits += 1;
+            return *cached;
+        }
+        self.misses += 1;
+        let decoded = self.decode_uncached(addr);
+        self.memo.insert(addr, decoded);
+        decoded
+    }
+
+    /// Memo hits so far (an address decoded once, consumed again).
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Memo misses so far (fresh decodes).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    fn decode_uncached(&self, addr: Addr) -> Option<(Op, u32)> {
+        let section = self.image.section_containing(addr)?;
+        let off = (addr - section.base()) as usize;
+        let bytes = section.bytes().get(off..)?;
+        match self.arch {
+            Arch::X86 => x86::decode(bytes)
+                .ok()
+                .map(|(i, len)| (Op::X86(i), len as u32)),
+            Arch::Armv7 => arm::decode(bytes)
+                .ok()
+                .map(|(i, len)| (Op::Arm(i), len as u32)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cml_firmware::build_image_for;
+
+    #[test]
+    fn second_decode_of_an_address_hits_the_memo() {
+        let (img, _) = build_image_for(Arch::X86, 0, false);
+        let entry = img.symbol("parse_response").unwrap().addr();
+        let mut pred = Predecoder::new(&img);
+        let first = pred.decode_at(entry).expect("decodes");
+        let again = pred.decode_at(entry).expect("decodes");
+        assert_eq!(first, again);
+        assert_eq!(pred.misses(), 1);
+        assert_eq!(pred.hits(), 1);
+    }
+
+    #[test]
+    fn unmapped_addresses_memoize_as_undecodable() {
+        let (img, _) = build_image_for(Arch::Armv7, 0, false);
+        let mut pred = Predecoder::new(&img);
+        assert!(pred.decode_at(0xDEAD_0001).is_none());
+        assert!(pred.decode_at(0xDEAD_0001).is_none());
+        assert_eq!(pred.misses(), 1);
+        assert_eq!(pred.hits(), 1);
+    }
+}

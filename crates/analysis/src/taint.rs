@@ -1,17 +1,28 @@
 //! Static taint pass: DNS-response bytes → fixed-size stack buffers.
 //!
 //! The pass runs a small abstract interpretation over each recovered
-//! function. In a configured *source* function (by default
-//! `parse_response`, whose argument is the decompressing DNS response)
-//! the incoming packet pointer is seeded as tainted; loads through it
-//! yield tainted data, and stores of tainted data through stack-derived
-//! pointers are candidate sinks. A candidate becomes a finding when it
-//! sits inside a loop none of whose exits compare an *untainted* value
-//! against a constant — i.e. the copy runs until attacker-controlled
-//! data says stop, the exact shape of CVE-2017-12865's `get_name`.
-//! The bounds-checked 1.35 body adds a counter-vs-capacity exit, which
-//! is untainted-vs-constant, so the same loop is classified bounded and
-//! the pass stays quiet.
+//! function. In a *source* function (by default `forward_dns_reply`,
+//! where the raw DNS reply first enters dnsproxy) the incoming packet
+//! pointer is seeded as tainted; loads through it yield tainted data,
+//! and stores of tainted data through stack-derived pointers are
+//! candidate sinks. Sources propagate **interprocedurally**: when a
+//! source function passes a tainted argument at a call site (last push
+//! on x86, `r0` on ARM), the callee joins the source set — which is how
+//! taint walks the real CVE-2017-12865 chain `forward_dns_reply` →
+//! `uncompress` → `parse_response` without `parse_response` being
+//! configured by hand.
+//!
+//! A candidate store becomes a finding when it sits inside a loop none
+//! of whose exits compare an *untainted* value against a constant —
+//! i.e. the copy runs until attacker-controlled data says stop, the
+//! exact shape of CVE-2017-12865's `get_name`. The bounds-checked 1.35
+//! body adds a counter-vs-capacity exit, which is untainted-vs-constant,
+//! so the same loop is classified bounded and the pass stays quiet.
+//!
+//! The pass also *consumes* call summaries (see [`crate::callgraph`]):
+//! a call site whose callee is summarized as returning a statically
+//! evident constant re-seeds the return register with that constant
+//! instead of clobbering it to unknown.
 //!
 //! This is a may-taint analysis: joins prefer `Tainted`, and pointer
 //! classes collapse to `Top` on conflict. Buffer capacities come from
@@ -23,6 +34,7 @@ use std::collections::{BTreeSet, HashMap};
 use cml_image::{Addr, Arch};
 use cml_vm::{arm, x86, X86Reg};
 
+use crate::callgraph::Summaries;
 use crate::cfg::{BasicBlock, Cfg, Function, Op, Terminator};
 
 /// Abstract value tracked per register.
@@ -70,11 +82,13 @@ impl Abs {
 }
 
 /// Per-program-point abstract state: 16 register slots (x86 uses the
-/// low 8) plus the class pair of the last flag-setting comparison.
+/// low 8), the class pair of the last flag-setting comparison, and the
+/// class of the most recent push (the outgoing x86 call argument).
 #[derive(Debug, Clone, PartialEq)]
 struct State {
     regs: [Abs; 16],
     flags: (Abs, Abs),
+    last_push: Abs,
 }
 
 impl State {
@@ -94,6 +108,7 @@ impl State {
         State {
             regs,
             flags: (Abs::Top, Abs::Top),
+            last_push: Abs::Top,
         }
     }
 
@@ -115,6 +130,11 @@ impl State {
             self.flags = f;
             changed = true;
         }
+        let p = self.last_push.join(other.last_push);
+        if p != self.last_push {
+            self.last_push = p;
+            changed = true;
+        }
         changed
     }
 }
@@ -126,10 +146,22 @@ struct StackStore {
     value: Abs,
 }
 
+/// Facts collected on the post-fixpoint pass.
+#[derive(Debug, Default)]
+struct Collected {
+    /// Stores through stack-derived pointers.
+    stores: Vec<StackStore>,
+    /// Per-call-site outgoing first argument: (call insn addr, class).
+    call_args: Vec<(Addr, Abs)>,
+    /// Whether any store through any pointer class was seen.
+    writes_mem: bool,
+}
+
 /// Source/sink configuration.
 #[derive(Debug, Clone)]
 pub struct TaintConfig {
     /// Functions whose arguments carry attacker-controlled bytes.
+    /// Taint propagates from here down the call graph.
     pub sources: Vec<String>,
     /// Frame metadata: function name → stack-buffer capacity in bytes
     /// (the lab's stand-in for DWARF local-variable info).
@@ -139,7 +171,7 @@ pub struct TaintConfig {
 impl Default for TaintConfig {
     fn default() -> Self {
         TaintConfig {
-            sources: vec![cml_connman::SYM_PARSE_RESPONSE.to_string()],
+            sources: vec![cml_connman::SYM_FORWARD_DNS_REPLY.to_string()],
             sink_capacities: vec![(
                 cml_connman::SYM_PARSE_RESPONSE.to_string(),
                 cml_connman::NAME_BUFFER_SIZE as u32,
@@ -165,24 +197,139 @@ pub struct TaintFinding {
     pub capacity: u32,
 }
 
-/// Runs the taint pass over a recovered CFG.
+/// Runs the taint pass over a recovered CFG, computing call summaries
+/// on the fly. [`taint_pass_with`] accepts precomputed summaries.
 pub fn taint_pass(cfg: &Cfg, config: &TaintConfig) -> Vec<TaintFinding> {
+    taint_pass_with(cfg, config, &Summaries::compute(cfg))
+}
+
+/// [`taint_pass`] with precomputed call summaries.
+pub fn taint_pass_with(
+    cfg: &Cfg,
+    config: &TaintConfig,
+    summaries: &Summaries,
+) -> Vec<TaintFinding> {
+    let ret_consts = ret_const_sites(cfg, summaries);
+    let sources = effective_sources(cfg, config);
     let mut findings = Vec::new();
     for f in &cfg.functions {
-        let is_source = config.sources.iter().any(|s| s == &f.name);
-        findings.extend(analyze_function(cfg.arch, f, is_source, config));
+        let is_source = sources.contains(&f.name);
+        findings.extend(findings_in(cfg.arch, f, is_source, config, &ret_consts));
     }
     findings
 }
 
-fn analyze_function(
+/// The transitive source set: configured sources plus every function
+/// reached by a tainted first argument at a call site, to a fixpoint.
+pub fn effective_sources(cfg: &Cfg, config: &TaintConfig) -> BTreeSet<String> {
+    let callee_by_site: HashMap<Addr, &str> = cfg
+        .call_edges
+        .iter()
+        .map(|e| (e.at, e.callee.as_str()))
+        .collect();
+    let mut sources: BTreeSet<String> = config.sources.iter().cloned().collect();
+    let no_consts = HashMap::new();
+    loop {
+        let mut grew = false;
+        for f in &cfg.functions {
+            if !sources.contains(&f.name) {
+                continue;
+            }
+            let collected = collect_function(cfg.arch, f, true, &no_consts);
+            for (site, class) in &collected.call_args {
+                if !class.is_tainted() {
+                    continue;
+                }
+                if let Some(callee) = callee_by_site.get(site) {
+                    grew |= sources.insert((*callee).to_string());
+                }
+            }
+        }
+        if !grew {
+            return sources;
+        }
+    }
+}
+
+/// Per-function facts the call-summary computation needs, derived with
+/// the same abstract interpreter the findings pass uses (arguments
+/// assumed tainted, no summaries consumed).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct FnProfile {
+    /// Whether the body stores through any pointer.
+    pub writes_mem: bool,
+    /// Whether the body copies tainted data into the stack through a
+    /// loop with no untainted bound, assuming its arguments are
+    /// attacker-controlled.
+    pub unbounded_copy: bool,
+    /// The constant the function leaves in the return register on every
+    /// `ret` path, when statically evident.
+    pub returns_const: Option<u32>,
+}
+
+pub(crate) fn function_profile(arch: Arch, f: &Function) -> FnProfile {
+    let no_consts = HashMap::new();
+    let Some(fx) = fixpoint(arch, f, true, &no_consts) else {
+        return FnProfile::default();
+    };
+    // Return-constant detection: every Return block must leave the
+    // return register holding the same constant.
+    let ret_reg = match arch {
+        Arch::X86 => X86Reg::Eax.bits() as usize,
+        Arch::Armv7 => 0,
+    };
+    let mut returns_const = None;
+    let mut consistent = true;
+    for (i, b) in f.blocks.iter().enumerate() {
+        if b.term != Terminator::Return {
+            continue;
+        }
+        match fx.exit_states[i].as_ref().map(|s| s.regs[ret_reg]) {
+            Some(Abs::Const(v)) => match returns_const {
+                None => returns_const = Some(v),
+                Some(prev) if prev == v => {}
+                Some(_) => consistent = false,
+            },
+            _ => consistent = false,
+        }
+    }
+    let writes_mem = fx.collected.writes_mem;
+    FnProfile {
+        writes_mem,
+        unbounded_copy: !unbounded_stores(f, fx).is_empty(),
+        returns_const: if consistent { returns_const } else { None },
+    }
+}
+
+/// Call-site address → constant the callee returns, per the summaries.
+fn ret_const_sites(cfg: &Cfg, summaries: &Summaries) -> HashMap<Addr, u32> {
+    cfg.call_edges
+        .iter()
+        .filter_map(|e| {
+            summaries
+                .get(&e.callee)
+                .and_then(|s| s.returns_const)
+                .map(|v| (e.at, v))
+        })
+        .collect()
+}
+
+/// The fixpoint result of one function analysis.
+struct Fixpoint {
+    /// Post-state of every block (indexed like `f.blocks`).
+    exit_states: Vec<Option<State>>,
+    /// Facts collected on the final pass.
+    collected: Collected,
+}
+
+fn fixpoint(
     arch: Arch,
     f: &Function,
     is_source: bool,
-    config: &TaintConfig,
-) -> Vec<TaintFinding> {
+    ret_consts: &HashMap<Addr, u32>,
+) -> Option<Fixpoint> {
     if f.blocks.is_empty() {
-        return Vec::new();
+        return None;
     }
     let idx: HashMap<Addr, usize> = f
         .blocks
@@ -201,7 +348,7 @@ fn analyze_function(
             let Some(mut st) = inputs[i].clone() else {
                 continue;
             };
-            walk_block(&mut st, &f.blocks[i], is_source, None);
+            walk_block(&mut st, &f.blocks[i], is_source, ret_consts, None);
             for succ in &f.blocks[i].succs {
                 let Some(&j) = idx.get(succ) else { continue };
                 match &mut inputs[j] {
@@ -218,17 +365,42 @@ fn analyze_function(
         }
     }
 
-    // Final pass: collect stack stores and per-block exit flag states.
-    let mut stores: Vec<StackStore> = Vec::new();
-    let mut exit_flags: Vec<Option<(Abs, Abs)>> = vec![None; n];
+    // Final pass: collect stores / call args and per-block exit states.
+    let mut collected = Collected::default();
+    let mut exit_states: Vec<Option<State>> = vec![None; n];
     for i in 0..n {
         let Some(mut st) = inputs[i].clone() else {
             continue;
         };
-        walk_block(&mut st, &f.blocks[i], is_source, Some(&mut stores));
-        exit_flags[i] = Some(st.flags);
+        walk_block(
+            &mut st,
+            &f.blocks[i],
+            is_source,
+            ret_consts,
+            Some(&mut collected),
+        );
+        exit_states[i] = Some(st);
     }
+    Some(Fixpoint {
+        exit_states,
+        collected,
+    })
+}
 
+fn collect_function(
+    arch: Arch,
+    f: &Function,
+    is_source: bool,
+    ret_consts: &HashMap<Addr, u32>,
+) -> Collected {
+    fixpoint(arch, f, is_source, ret_consts)
+        .map(|fx| fx.collected)
+        .unwrap_or_default()
+}
+
+/// Tainted stores sitting in loops with no untainted bounding exit:
+/// `(store addr, loop head)` pairs, one per loop.
+fn unbounded_stores(f: &Function, fx: Fixpoint) -> Vec<(Addr, Addr)> {
     // Natural-loop approximation: a back edge `b -> h` (h ≤ b.start)
     // bounds the address range [h, b.end). Sufficient for the reducible
     // compiler-shaped loops these images contain.
@@ -242,16 +414,20 @@ fn analyze_function(
                 .map(move |&s| (s, b.end))
         })
         .collect();
-
-    let capacity = config
-        .sink_capacities
+    let exit_flags: Vec<Option<(Abs, Abs)>> = fx
+        .exit_states
         .iter()
-        .find(|(name, _)| name == &f.name)
-        .map_or(0, |(_, c)| *c);
+        .map(|s| s.as_ref().map(|s| s.flags))
+        .collect();
 
     let mut out = Vec::new();
     let mut seen: BTreeSet<(Addr, Addr)> = BTreeSet::new();
-    for store in stores.iter().filter(|s| s.value == Abs::Tainted) {
+    for store in fx
+        .collected
+        .stores
+        .iter()
+        .filter(|s| s.value == Abs::Tainted)
+    {
         for &(head, end) in &loops {
             let in_loop = store.addr >= head && store.addr < end;
             if !in_loop || !seen.insert((head, store.addr)) {
@@ -260,24 +436,45 @@ fn analyze_function(
             if loop_has_bounding_exit(f, &exit_flags, head, end) {
                 continue;
             }
-            out.push(TaintFinding {
-                function: f.name.clone(),
-                store_addr: store.addr,
-                loop_head: head,
-                source: format!("DNS response bytes ({} argument)", f.name),
-                sink: if capacity > 0 {
-                    format!("{capacity}-byte stack name buffer")
-                } else {
-                    "stack buffer (capacity unknown)".to_string()
-                },
-                capacity,
-            });
+            out.push((store.addr, head));
         }
     }
     // One finding per loop is enough signal; collapse duplicate stores.
-    out.sort_by_key(|f| (f.loop_head, f.store_addr));
-    out.dedup_by_key(|f| f.loop_head);
+    out.sort_by_key(|&(store, head)| (head, store));
+    out.dedup_by_key(|&mut (_, head)| head);
     out
+}
+
+fn findings_in(
+    arch: Arch,
+    f: &Function,
+    is_source: bool,
+    config: &TaintConfig,
+    ret_consts: &HashMap<Addr, u32>,
+) -> Vec<TaintFinding> {
+    let Some(fx) = fixpoint(arch, f, is_source, ret_consts) else {
+        return Vec::new();
+    };
+    let capacity = config
+        .sink_capacities
+        .iter()
+        .find(|(name, _)| name == &f.name)
+        .map_or(0, |(_, c)| *c);
+    unbounded_stores(f, fx)
+        .into_iter()
+        .map(|(store_addr, loop_head)| TaintFinding {
+            function: f.name.clone(),
+            store_addr,
+            loop_head,
+            source: format!("DNS response bytes ({} argument)", f.name),
+            sink: if capacity > 0 {
+                format!("{capacity}-byte stack name buffer")
+            } else {
+                "stack buffer (capacity unknown)".to_string()
+            },
+            capacity,
+        })
+        .collect()
 }
 
 /// Whether any conditional exit of the loop `[head, end)` compares an
@@ -311,12 +508,20 @@ fn walk_block(
     st: &mut State,
     b: &BasicBlock,
     is_source: bool,
-    mut stores: Option<&mut Vec<StackStore>>,
+    ret_consts: &HashMap<Addr, u32>,
+    mut collect: Option<&mut Collected>,
 ) {
     for insn in &b.insns {
         match insn.op {
-            Op::X86(i) => step_x86(st, &i, is_source, insn.addr, stores.as_deref_mut()),
-            Op::Arm(i) => step_arm(st, &i, insn.addr, stores.as_deref_mut()),
+            Op::X86(i) => step_x86(
+                st,
+                &i,
+                is_source,
+                insn.addr,
+                ret_consts,
+                collect.as_deref_mut(),
+            ),
+            Op::Arm(i) => step_arm(st, &i, insn.addr, ret_consts, collect.as_deref_mut()),
         }
     }
 }
@@ -326,7 +531,8 @@ fn step_x86(
     i: &x86::Insn,
     is_source: bool,
     addr: Addr,
-    stores: Option<&mut Vec<StackStore>>,
+    ret_consts: &HashMap<Addr, u32>,
+    collect: Option<&mut Collected>,
 ) {
     use x86::Insn as I;
     use x86::Operand as O;
@@ -337,9 +543,10 @@ fn step_x86(
         I::MovRmR { dst, src } => match dst {
             O::Reg(d) => st.regs[r(d)] = st.regs[r(src)],
             O::Mem { base: Some(b), .. } => {
-                if st.regs[r(b)] == Abs::StackPtr {
-                    if let Some(out) = stores {
-                        out.push(StackStore {
+                if let Some(out) = collect {
+                    out.writes_mem = true;
+                    if st.regs[r(b)] == Abs::StackPtr {
+                        out.stores.push(StackStore {
                             addr,
                             value: st.regs[r(src)],
                         });
@@ -364,11 +571,16 @@ fn step_x86(
         I::XorRmR { dst: O::Reg(d), .. }
         | I::AndRmR { dst: O::Reg(d), .. }
         | I::OrRmR { dst: O::Reg(d), .. } => st.regs[r(d)] = Abs::Top,
-        I::AddRmImm8 { dst: O::Reg(d), .. } | I::SubRmImm8 { dst: O::Reg(d), .. } => {
+        I::AddRmImm8 { dst: O::Reg(d), .. }
+        | I::SubRmImm8 { dst: O::Reg(d), .. }
+        | I::AddRmImm32 { dst: O::Reg(d), .. }
+        | I::SubRmImm32 { dst: O::Reg(d), .. } => {
             st.regs[r(d)] = st.regs[r(d)].after_arith();
         }
         I::IncR(d) | I::DecR(d) => st.regs[r(d)] = st.regs[r(d)].after_arith(),
         I::ShlRImm8 { reg, .. } | I::ShrRImm8 { reg, .. } => st.regs[r(reg)] = Abs::Top,
+        I::PushR(s) => st.last_push = st.regs[r(s)],
+        I::PushImm(v) => st.last_push = Abs::Const(v),
         I::PopR(d) => st.regs[r(d)] = Abs::Top,
         I::XchgEaxR(d) => {
             let eax = r(X86Reg::Eax);
@@ -383,10 +595,20 @@ fn step_x86(
                 Abs::Const(imm as i32 as u32),
             );
         }
+        I::CmpRmImm32 { dst, imm } => {
+            st.flags = (load_class(st, dst, is_source, &r), Abs::Const(imm));
+        }
         I::CallRel32(_) | I::CallRm(_) => {
-            // Caller-saved registers are clobbered by the callee.
+            if let Some(out) = collect {
+                out.call_args.push((addr, st.last_push));
+            }
+            // Caller-saved registers are clobbered by the callee; a
+            // summarized constant return re-seeds eax.
             for reg in [X86Reg::Eax, X86Reg::Ecx, X86Reg::Edx] {
                 st.regs[r(reg)] = Abs::Top;
+            }
+            if let Some(&v) = ret_consts.get(&addr) {
+                st.regs[r(X86Reg::Eax)] = Abs::Const(v);
             }
         }
         _ => {}
@@ -416,7 +638,13 @@ fn load_class(
     }
 }
 
-fn step_arm(st: &mut State, i: &arm::Insn, addr: Addr, stores: Option<&mut Vec<StackStore>>) {
+fn step_arm(
+    st: &mut State,
+    i: &arm::Insn,
+    addr: Addr,
+    ret_consts: &HashMap<Addr, u32>,
+    collect: Option<&mut Collected>,
+) {
     use arm::Insn as I;
     match *i {
         I::MovImm { rd, imm } => st.regs[rd as usize] = Abs::Const(imm),
@@ -436,12 +664,15 @@ fn step_arm(st: &mut State, i: &arm::Insn, addr: Addr, stores: Option<&mut Vec<S
                 _ => Abs::Top,
             };
         }
-        I::Str { rd, rn, .. } | I::Strb { rd, rn, .. } if st.regs[rn as usize] == Abs::StackPtr => {
-            if let Some(out) = stores {
-                out.push(StackStore {
-                    addr,
-                    value: st.regs[rd as usize],
-                });
+        I::Str { rd, rn, .. } | I::Strb { rd, rn, .. } => {
+            if let Some(out) = collect {
+                out.writes_mem = true;
+                if st.regs[rn as usize] == Abs::StackPtr {
+                    out.stores.push(StackStore {
+                        addr,
+                        value: st.regs[rd as usize],
+                    });
+                }
             }
         }
         I::Pop { list } => {
@@ -452,9 +683,16 @@ fn step_arm(st: &mut State, i: &arm::Insn, addr: Addr, stores: Option<&mut Vec<S
             }
         }
         I::Bl { .. } | I::Blx { .. } => {
-            // AAPCS caller-saved registers.
+            if let Some(out) = collect {
+                out.call_args.push((addr, st.regs[0]));
+            }
+            // AAPCS caller-saved registers; a summarized constant
+            // return re-seeds r0.
             for reg in 0..4 {
                 st.regs[reg] = Abs::Top;
+            }
+            if let Some(&v) = ret_consts.get(&addr) {
+                st.regs[0] = Abs::Const(v);
             }
         }
         _ => {}
@@ -484,6 +722,21 @@ mod tests {
                 quiet.is_empty(),
                 "{arch}: patched body must be clean: {quiet:?}"
             );
+        }
+    }
+
+    #[test]
+    fn taint_reaches_parse_response_through_the_call_chain() {
+        // The default source is forward_dns_reply; parse_response is
+        // flagged only because taint walks the planted call chain.
+        for arch in Arch::ALL {
+            let (img, _) = build_image_for(arch, 0, false);
+            let cfg = cfg::recover(&img);
+            let sources = effective_sources(&cfg, &TaintConfig::default());
+            for name in ["forward_dns_reply", "uncompress", "parse_response"] {
+                assert!(sources.contains(name), "{arch}: {name} not tainted");
+            }
+            assert!(!sources.contains("daemon_loop"), "{arch}");
         }
     }
 

@@ -1,0 +1,852 @@
+//! Interprocedural value-set analysis (VSA) with a strided-interval
+//! domain.
+//!
+//! Where the taint pass answers *"does attacker data reach this
+//! store?"*, VSA answers *"which stack bytes can the store touch?"* —
+//! the question an exploitability verdict actually needs. Every
+//! register holds a [`ValueSet`]: a memory-region tag ([`Region`])
+//! paired with a [`StridedInterval`] `stride[lo, hi]` describing the
+//! numeric values it may take, in the style of Balakrishnan & Reps'
+//! a-loc analysis.
+//!
+//! Stack offsets are entry-SP relative (the same coordinate system as
+//! [`crate::frames`]): the stack pointer enters every function as
+//! `StackRel 0[0,0]`, prologue arithmetic moves it exactly, and a
+//! pointer derived from it (`lea edi,[ebp-0x40C]`, `mov r3,sp`) stays
+//! `StackRel` with a known offset. A copy loop advances the pointer by
+//! its stride each iteration; at the loop head the interval is widened
+//! (`hi → +∞`, strides folded by gcd), so the fixpoint converges and
+//! the widened set `1[-1040, +∞]` *is* the write extent.
+//!
+//! Loop bounds are then narrowed back: a loop exit that compares an
+//! untainted counter with known start (`0`, stride 1) against an exact
+//! constant `k` caps the trip count at `k − lo`, so the patched 1.35
+//! body's `cmp counter, 0x400` exit bounds its copy to 1024 bytes —
+//! which never reaches the saved return address — while the vulnerable
+//! body's only exit tests a tainted byte and the write stays unbounded.
+
+use std::collections::{BTreeSet, HashMap};
+
+use cml_image::{Addr, Arch, Image};
+use cml_vm::{arm, x86, X86Reg};
+
+use crate::cfg::{BasicBlock, Cfg, Function, Op, Terminator};
+
+/// Joins at the same block input before widening kicks in.
+const WIDEN_AFTER: u32 = 4;
+
+/// A strided interval `stride[lo, hi]`: all values `lo + n·stride`
+/// within the bounds. `stride == 0` means a singleton.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StridedInterval {
+    /// Step between representable values (0 for a singleton).
+    pub stride: u32,
+    /// Lowest representable value (`i64::MIN` = unbounded below).
+    pub lo: i64,
+    /// Highest representable value (`i64::MAX` = unbounded above).
+    pub hi: i64,
+}
+
+impl StridedInterval {
+    /// The singleton `0[v, v]`.
+    pub fn exact(v: i64) -> Self {
+        StridedInterval {
+            stride: 0,
+            lo: v,
+            hi: v,
+        }
+    }
+
+    /// The full interval — no information.
+    pub fn top() -> Self {
+        StridedInterval {
+            stride: 1,
+            lo: i64::MIN,
+            hi: i64::MAX,
+        }
+    }
+
+    /// `Some(v)` when the interval is the singleton `v`.
+    pub fn as_exact(&self) -> Option<i64> {
+        (self.lo == self.hi).then_some(self.lo)
+    }
+
+    /// Whether the upper bound is unknown.
+    pub fn unbounded_above(&self) -> bool {
+        self.hi == i64::MAX
+    }
+
+    /// Shifts the interval by a constant.
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, k: i64) -> Self {
+        StridedInterval {
+            stride: self.stride,
+            lo: self.lo.saturating_add(k),
+            hi: self.hi.saturating_add(k),
+        }
+    }
+
+    /// Least upper bound: hull of the bounds, strides (and the gap
+    /// between anchors) folded by gcd.
+    pub fn join(self, other: Self) -> Self {
+        if self == other {
+            return self;
+        }
+        let gap = self.lo.abs_diff(other.lo);
+        let folded = fold_stride(self.stride as u64, other.stride as u64);
+        let stride = fold_stride(folded as u64, gap);
+        StridedInterval {
+            stride,
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Widening: any bound that moved jumps straight to ±∞ so loop
+    /// fixpoints terminate.
+    pub fn widen(self, next: Self) -> Self {
+        let joined = self.join(next);
+        StridedInterval {
+            stride: joined.stride,
+            lo: if joined.lo < self.lo {
+                i64::MIN
+            } else {
+                self.lo
+            },
+            hi: if joined.hi > self.hi {
+                i64::MAX
+            } else {
+                self.hi
+            },
+        }
+    }
+}
+
+fn fold_stride(a: u64, b: u64) -> u32 {
+    fn gcd(mut a: u64, mut b: u64) -> u64 {
+        while b != 0 {
+            let t = a % b;
+            a = b;
+            b = t;
+        }
+        a
+    }
+    gcd(a, b).min(u32::MAX as u64) as u32
+}
+
+/// Provenance tag of an abstract value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Region {
+    /// A plain number (or a value of unknown provenance — the domain's
+    /// top collapses here with a top interval).
+    Const,
+    /// An address inside the loaded image (position-dependent until
+    /// relocation; "PIE-relative" in a real build).
+    PieRel,
+    /// An offset from the function's entry stack pointer.
+    StackRel,
+    /// Attacker-controlled data, or a pointer into it.
+    Tainted,
+}
+
+/// One abstract value: a region tag plus a strided interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ValueSet {
+    /// Which memory region the value lives in / points into.
+    pub region: Region,
+    /// The numeric values it may take within that region.
+    pub si: StridedInterval,
+}
+
+impl ValueSet {
+    fn unknown() -> Self {
+        ValueSet {
+            region: Region::Const,
+            si: StridedInterval::top(),
+        }
+    }
+
+    fn constant(v: i64) -> Self {
+        ValueSet {
+            region: Region::Const,
+            si: StridedInterval::exact(v),
+        }
+    }
+
+    fn stack(off: i64) -> Self {
+        ValueSet {
+            region: Region::StackRel,
+            si: StridedInterval::exact(off),
+        }
+    }
+
+    fn tainted() -> Self {
+        ValueSet {
+            region: Region::Tainted,
+            si: StridedInterval::top(),
+        }
+    }
+
+    /// A tainted byte: attacker-chosen but 8-bit.
+    fn tainted_byte() -> Self {
+        ValueSet {
+            region: Region::Tainted,
+            si: StridedInterval {
+                stride: 1,
+                lo: 0,
+                hi: 0xFF,
+            },
+        }
+    }
+
+    fn add(self, k: i64) -> Self {
+        ValueSet {
+            region: self.region,
+            si: self.si.add(k),
+        }
+    }
+
+    fn merge(self, other: Self, widen: bool) -> Self {
+        let region = if self.region == other.region {
+            self.region
+        } else if self.region == Region::Tainted || other.region == Region::Tainted {
+            Region::Tainted
+        } else {
+            Region::Const
+        };
+        let si = if region == self.region && region == other.region {
+            if widen {
+                self.si.widen(other.si)
+            } else {
+                self.si.join(other.si)
+            }
+        } else {
+            StridedInterval::top()
+        };
+        ValueSet { region, si }
+    }
+
+    fn is_tainted(self) -> bool {
+        self.region == Region::Tainted
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct State {
+    regs: [ValueSet; 16],
+    flags: (ValueSet, ValueSet),
+}
+
+impl State {
+    fn entry(arch: Arch, is_source: bool) -> State {
+        let mut regs = [ValueSet::unknown(); 16];
+        match arch {
+            Arch::X86 => regs[X86Reg::Esp.bits() as usize] = ValueSet::stack(0),
+            Arch::Armv7 => {
+                regs[13] = ValueSet::stack(0);
+                if is_source {
+                    regs[0] = ValueSet::tainted();
+                }
+            }
+        }
+        State {
+            regs,
+            flags: (ValueSet::unknown(), ValueSet::unknown()),
+        }
+    }
+
+    fn merge_with(&mut self, other: &State, widen: bool) -> bool {
+        let mut changed = false;
+        for i in 0..16 {
+            let m = self.regs[i].merge(other.regs[i], widen);
+            if m != self.regs[i] {
+                self.regs[i] = m;
+                changed = true;
+            }
+        }
+        let f = (
+            self.flags.0.merge(other.flags.0, widen),
+            self.flags.1.merge(other.flags.1, widen),
+        );
+        if f != self.flags {
+            self.flags = f;
+            changed = true;
+        }
+        changed
+    }
+}
+
+/// One store through a stack-derived pointer, with its statically
+/// derived write geometry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StackWrite {
+    /// Address of the store instruction.
+    pub store_addr: Addr,
+    /// Entry-SP-relative offset of the first byte written.
+    pub start: i64,
+    /// Step between consecutive writes (1 for a byte-copy loop).
+    pub stride: u32,
+    /// Whether the stored value is attacker-derived.
+    pub tainted: bool,
+    /// Whether the store sits inside a loop.
+    pub in_loop: bool,
+    /// Maximum bytes the store can touch: `Some(n)` when every
+    /// enclosing loop is bounded (or the store is straight-line),
+    /// `None` when some enclosing loop has no untainted bound — a
+    /// statically unbounded write.
+    pub extent: Option<u32>,
+}
+
+impl StackWrite {
+    /// Highest entry-SP-relative offset this write can reach, when
+    /// bounded.
+    pub fn end(&self) -> Option<i64> {
+        self.extent.map(|e| self.start + e as i64 - 1)
+    }
+}
+
+/// Value-set results for one function.
+#[derive(Debug, Clone)]
+pub struct FnVsa {
+    /// Function name.
+    pub function: String,
+    /// Entry-SP-relative offset of the saved return address, when the
+    /// prologue stores one (x86: always 0; ARM: the pushed `lr` slot).
+    pub ret_slot: Option<i64>,
+    /// Stores through stack-derived pointers.
+    pub writes: Vec<StackWrite>,
+}
+
+impl FnVsa {
+    /// The tainted stack writes — the ones an exploit can steer.
+    pub fn tainted_writes(&self) -> impl Iterator<Item = &StackWrite> {
+        self.writes.iter().filter(|w| w.tainted)
+    }
+}
+
+/// Runs VSA over every function. `sources` is the effective taint
+/// source set (see [`crate::taint::effective_sources`]); in those
+/// functions the incoming packet pointer is modeled as `Tainted`.
+pub fn vsa_pass(cfg: &Cfg, image: &Image, sources: &BTreeSet<String>) -> Vec<FnVsa> {
+    cfg.functions
+        .iter()
+        .map(|f| vsa_function(cfg.arch, image, f, sources.contains(&f.name)))
+        .collect()
+}
+
+/// A raw store event observed on the post-fixpoint pass.
+struct RawStore {
+    addr: Addr,
+    width: u32,
+    target: ValueSet,
+    value: ValueSet,
+}
+
+#[derive(Default)]
+struct Collected {
+    stores: Vec<RawStore>,
+    ret_slot: Option<i64>,
+}
+
+fn vsa_function(arch: Arch, image: &Image, f: &Function, is_source: bool) -> FnVsa {
+    let mut out = FnVsa {
+        function: f.name.clone(),
+        ret_slot: match arch {
+            // The caller's `call` pushed the return address at entry SP.
+            Arch::X86 => Some(0),
+            Arch::Armv7 => None,
+        },
+        writes: Vec::new(),
+    };
+    if f.blocks.is_empty() {
+        return out;
+    }
+    let idx: HashMap<Addr, usize> = f
+        .blocks
+        .iter()
+        .enumerate()
+        .map(|(i, b)| (b.start, i))
+        .collect();
+    let n = f.blocks.len();
+
+    // Fixpoint over block inputs, widening after repeated joins.
+    let mut inputs: Vec<Option<State>> = vec![None; n];
+    let mut joins: Vec<u32> = vec![0; n];
+    inputs[0] = Some(State::entry(arch, is_source));
+    loop {
+        let mut changed = false;
+        for i in 0..n {
+            let Some(mut st) = inputs[i].clone() else {
+                continue;
+            };
+            walk_block(&mut st, &f.blocks[i], image, is_source, None);
+            for succ in &f.blocks[i].succs {
+                let Some(&j) = idx.get(succ) else { continue };
+                match &mut inputs[j] {
+                    slot @ None => {
+                        *slot = Some(st.clone());
+                        changed = true;
+                    }
+                    Some(existing) => {
+                        joins[j] += 1;
+                        changed |= existing.merge_with(&st, joins[j] > WIDEN_AFTER);
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Final pass: collect stores, the ARM ret slot and exit flags.
+    let mut collected = Collected::default();
+    let mut exit_flags: Vec<Option<(ValueSet, ValueSet)>> = vec![None; n];
+    for i in 0..n {
+        let Some(mut st) = inputs[i].clone() else {
+            continue;
+        };
+        walk_block(
+            &mut st,
+            &f.blocks[i],
+            image,
+            is_source,
+            Some(&mut collected),
+        );
+        exit_flags[i] = Some(st.flags);
+    }
+    if collected.ret_slot.is_some() {
+        out.ret_slot = collected.ret_slot;
+    }
+
+    // Natural-loop approximation (back edge b→h bounds [h, b.end)),
+    // then per-loop trip bounds from counter-vs-constant exits.
+    let loops: Vec<(Addr, Addr)> = f
+        .blocks
+        .iter()
+        .flat_map(|b| {
+            b.succs
+                .iter()
+                .filter(move |&&s| s <= b.start)
+                .map(move |&s| (s, b.end))
+        })
+        .collect();
+    let bounds: Vec<Option<u64>> = loops
+        .iter()
+        .map(|&(head, end)| loop_trip_bound(f, &exit_flags, head, end))
+        .collect();
+
+    for s in &collected.stores {
+        if s.target.region != Region::StackRel {
+            continue;
+        }
+        let stride = s.target.si.stride;
+        let enclosing: Vec<usize> = loops
+            .iter()
+            .enumerate()
+            .filter(|(_, &(h, e))| s.addr >= h && s.addr < e)
+            .map(|(i, _)| i)
+            .collect();
+        let extent = if enclosing.is_empty() {
+            // Straight-line store: the interval hull plus access width.
+            if s.target.si.unbounded_above() {
+                None
+            } else {
+                Some((s.target.si.lo.abs_diff(s.target.si.hi) as u32).saturating_add(s.width))
+            }
+        } else {
+            // One write of `stride` bytes per trip of the tightest
+            // bounded enclosing loop; unbounded if none is bounded.
+            enclosing
+                .iter()
+                .filter_map(|&i| bounds[i])
+                .min()
+                .map(|trips| {
+                    (trips.saturating_mul(stride.max(1) as u64)).min(u32::MAX as u64) as u32
+                })
+        };
+        out.writes.push(StackWrite {
+            store_addr: s.addr,
+            start: s.target.si.lo,
+            stride,
+            tainted: s.value.is_tainted(),
+            in_loop: !enclosing.is_empty(),
+            extent,
+        });
+    }
+    out
+}
+
+/// The best trip-count bound for the loop `[head, end)`: the smallest
+/// `k − lo` over exits comparing an untainted counter with known lower
+/// bound `lo` against an exact untainted constant `k`.
+fn loop_trip_bound(
+    f: &Function,
+    exit_flags: &[Option<(ValueSet, ValueSet)>],
+    head: Addr,
+    end: Addr,
+) -> Option<u64> {
+    let in_range = |a: Addr| a >= head && a < end;
+    let mut best: Option<u64> = None;
+    for (i, b) in f.blocks.iter().enumerate() {
+        if !in_range(b.start) {
+            continue;
+        }
+        let Terminator::Branch { taken, fall } = b.term else {
+            continue;
+        };
+        if in_range(taken) && in_range(fall) {
+            continue; // not an exit
+        }
+        let Some((l, r)) = exit_flags[i] else {
+            continue;
+        };
+        // Either order: (counter, k) or (k, counter).
+        for (counter, konst) in [(l, r), (r, l)] {
+            if counter.is_tainted() || konst.is_tainted() {
+                continue;
+            }
+            let Some(k) = konst.si.as_exact() else {
+                continue;
+            };
+            if counter.si.lo == i64::MIN {
+                continue;
+            }
+            if k > counter.si.lo {
+                let trips = (k - counter.si.lo) as u64;
+                best = Some(best.map_or(trips, |b| b.min(trips)));
+            }
+        }
+    }
+    best
+}
+
+fn walk_block(
+    st: &mut State,
+    b: &BasicBlock,
+    image: &Image,
+    is_source: bool,
+    mut collect: Option<&mut Collected>,
+) {
+    for insn in &b.insns {
+        match insn.op {
+            Op::X86(i) => step_x86(st, &i, image, is_source, insn.addr, collect.as_deref_mut()),
+            Op::Arm(i) => step_arm(st, &i, image, insn.addr, collect.as_deref_mut()),
+        }
+    }
+}
+
+/// Classifies an immediate: an address inside the loaded image is
+/// `PieRel`, anything else a plain constant.
+fn classify(image: &Image, v: u32) -> ValueSet {
+    if image.section_containing(v).is_some() {
+        ValueSet {
+            region: Region::PieRel,
+            si: StridedInterval::exact(v as i64),
+        }
+    } else {
+        ValueSet::constant(v as i64)
+    }
+}
+
+fn step_x86(
+    st: &mut State,
+    i: &x86::Insn,
+    image: &Image,
+    is_source: bool,
+    addr: Addr,
+    collect: Option<&mut Collected>,
+) {
+    use x86::Insn as I;
+    use x86::Operand as O;
+    let r = |reg: X86Reg| reg.bits() as usize;
+    let esp = r(X86Reg::Esp);
+    match *i {
+        I::MovRImm(d, v) => st.regs[r(d)] = classify(image, v),
+        I::MovR8Imm(d, _) => st.regs[r(d)] = ValueSet::unknown(),
+        I::MovRmR { dst, src } => match dst {
+            O::Reg(d) => st.regs[r(d)] = st.regs[r(src)],
+            O::Mem {
+                base: Some(b),
+                disp,
+            } => {
+                if let Some(out) = collect {
+                    out.stores.push(RawStore {
+                        addr,
+                        width: 4,
+                        target: st.regs[r(b)].add(disp as i64),
+                        value: st.regs[r(src)],
+                    });
+                }
+            }
+            O::Mem { base: None, .. } => {}
+        },
+        I::MovRRm { dst, src } => st.regs[r(dst)] = load_vs(st, src, is_source, false, &r),
+        I::Movzx8 { dst, src } => st.regs[r(dst)] = load_vs(st, src, is_source, true, &r),
+        I::Lea { dst, src } => {
+            st.regs[r(dst)] = match src {
+                O::Mem {
+                    base: Some(b),
+                    disp,
+                } => st.regs[r(b)].add(disp as i64),
+                _ => ValueSet::unknown(),
+            };
+        }
+        I::XorRmR {
+            dst: O::Reg(d),
+            src,
+        } if d == src => st.regs[r(d)] = ValueSet::constant(0),
+        I::XorRmR { dst: O::Reg(d), .. }
+        | I::AndRmR { dst: O::Reg(d), .. }
+        | I::OrRmR { dst: O::Reg(d), .. } => st.regs[r(d)] = ValueSet::unknown(),
+        I::AddRmImm8 {
+            dst: O::Reg(d),
+            imm,
+        } => st.regs[r(d)] = st.regs[r(d)].add(imm as i64),
+        I::SubRmImm8 {
+            dst: O::Reg(d),
+            imm,
+        } => st.regs[r(d)] = st.regs[r(d)].add(-(imm as i64)),
+        I::AddRmImm32 {
+            dst: O::Reg(d),
+            imm,
+        } => st.regs[r(d)] = st.regs[r(d)].add(imm as i64),
+        I::SubRmImm32 {
+            dst: O::Reg(d),
+            imm,
+        } => st.regs[r(d)] = st.regs[r(d)].add(-(imm as i64)),
+        I::IncR(d) => st.regs[r(d)] = st.regs[r(d)].add(1),
+        I::DecR(d) => st.regs[r(d)] = st.regs[r(d)].add(-1),
+        I::ShlRImm8 { reg, .. } | I::ShrRImm8 { reg, .. } => {
+            st.regs[r(reg)] = if st.regs[r(reg)].is_tainted() {
+                ValueSet::tainted()
+            } else {
+                ValueSet::unknown()
+            };
+        }
+        I::PushR(_) | I::PushImm(_) => st.regs[esp] = st.regs[esp].add(-4),
+        I::PopR(d) => {
+            st.regs[r(d)] = ValueSet::unknown();
+            st.regs[esp] = st.regs[esp].add(4);
+        }
+        I::XchgEaxR(d) => {
+            let eax = r(X86Reg::Eax);
+            st.regs.swap(eax, r(d));
+        }
+        I::TestRmR { dst, src } | I::CmpRmR { dst, src } => {
+            st.flags = (load_vs(st, dst, is_source, false, &r), st.regs[r(src)]);
+        }
+        I::CmpRmImm8 { dst, imm } => {
+            st.flags = (
+                load_vs(st, dst, is_source, false, &r),
+                ValueSet::constant(imm as i64),
+            );
+        }
+        I::CmpRmImm32 { dst, imm } => {
+            st.flags = (
+                load_vs(st, dst, is_source, false, &r),
+                ValueSet::constant(imm as i64),
+            );
+        }
+        I::Leave => {
+            let ebp = st.regs[r(X86Reg::Ebp)];
+            st.regs[esp] = ebp.add(4);
+            st.regs[r(X86Reg::Ebp)] = ValueSet::unknown();
+        }
+        I::CallRel32(_) | I::CallRm(_) => {
+            for reg in [X86Reg::Eax, X86Reg::Ecx, X86Reg::Edx] {
+                st.regs[r(reg)] = ValueSet::unknown();
+            }
+        }
+        _ => {}
+    }
+}
+
+fn load_vs(
+    st: &State,
+    operand: x86::Operand,
+    is_source: bool,
+    byte: bool,
+    r: &impl Fn(X86Reg) -> usize,
+) -> ValueSet {
+    match operand {
+        x86::Operand::Reg(s) => st.regs[r(s)],
+        x86::Operand::Mem {
+            base: Some(b),
+            disp,
+        } => match st.regs[r(b)].region {
+            // Argument slot of a source function: the packet pointer.
+            Region::StackRel if is_source && disp >= 8 => ValueSet::tainted(),
+            Region::Tainted => {
+                if byte {
+                    ValueSet::tainted_byte()
+                } else {
+                    ValueSet::tainted()
+                }
+            }
+            _ => ValueSet::unknown(),
+        },
+        x86::Operand::Mem { base: None, .. } => ValueSet::unknown(),
+    }
+}
+
+fn step_arm(
+    st: &mut State,
+    i: &arm::Insn,
+    image: &Image,
+    addr: Addr,
+    collect: Option<&mut Collected>,
+) {
+    use arm::Insn as I;
+    match *i {
+        I::MovImm { rd, imm } => st.regs[rd as usize] = classify(image, imm),
+        I::MvnImm { rd, .. } => st.regs[rd as usize] = ValueSet::unknown(),
+        I::MovReg { rd, rm } => st.regs[rd as usize] = st.regs[rm as usize],
+        I::AddImm { rd, rn, imm } => st.regs[rd as usize] = st.regs[rn as usize].add(imm as i64),
+        I::SubImm { rd, rn, imm } => st.regs[rd as usize] = st.regs[rn as usize].add(-(imm as i64)),
+        I::OrrImm { rd, rn, .. } | I::AndImm { rd, rn, .. } | I::EorImm { rd, rn, .. } => {
+            st.regs[rd as usize] = if st.regs[rn as usize].is_tainted() {
+                ValueSet::tainted()
+            } else {
+                ValueSet::unknown()
+            };
+        }
+        I::LslImm { rd, .. } => st.regs[rd as usize] = ValueSet::unknown(),
+        I::CmpImm { rn, imm } => {
+            st.flags = (st.regs[rn as usize], ValueSet::constant(imm as i64));
+        }
+        I::Ldr { rd, rn, .. } => {
+            st.regs[rd as usize] = if st.regs[rn as usize].is_tainted() {
+                ValueSet::tainted()
+            } else {
+                ValueSet::unknown()
+            };
+        }
+        I::Ldrb { rd, rn, .. } => {
+            st.regs[rd as usize] = if st.regs[rn as usize].is_tainted() {
+                ValueSet::tainted_byte()
+            } else {
+                ValueSet::unknown()
+            };
+        }
+        I::Str { rd, rn, offset } => {
+            if let Some(out) = collect {
+                out.stores.push(RawStore {
+                    addr,
+                    width: 4,
+                    target: st.regs[rn as usize].add(offset as i64),
+                    value: st.regs[rd as usize],
+                });
+            }
+        }
+        I::Strb { rd, rn, offset } => {
+            if let Some(out) = collect {
+                out.stores.push(RawStore {
+                    addr,
+                    width: 1,
+                    target: st.regs[rn as usize].add(offset as i64),
+                    value: st.regs[rd as usize],
+                });
+            }
+        }
+        I::Push { list } => {
+            let regs = arm::reg_list(list);
+            let sp_after = st.regs[13].add(-4 * regs.len() as i64);
+            if let Some(out) = collect {
+                if let Some(base) = sp_after.si.as_exact() {
+                    for (slot, reg) in regs.iter().enumerate() {
+                        if *reg == 14 && st.regs[13].region == Region::StackRel {
+                            out.ret_slot = Some(base + 4 * slot as i64);
+                        }
+                    }
+                }
+            }
+            st.regs[13] = sp_after;
+        }
+        I::Pop { list } => {
+            let regs = arm::reg_list(list);
+            for reg in &regs {
+                if *reg != 15 && *reg != 13 {
+                    st.regs[*reg as usize] = ValueSet::unknown();
+                }
+            }
+            st.regs[13] = st.regs[13].add(4 * regs.len() as i64);
+        }
+        I::Bl { .. } | I::Blx { .. } => {
+            for reg in 0..4 {
+                st.regs[reg] = ValueSet::unknown();
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg;
+    use crate::taint::{effective_sources, TaintConfig};
+    use cml_firmware::build_image_for;
+
+    fn vsa_of(arch: Arch, patched: bool, name: &str) -> FnVsa {
+        let (img, _) = build_image_for(arch, 0, patched);
+        let cfg = cfg::recover(&img);
+        let sources = effective_sources(&cfg, &TaintConfig::default());
+        vsa_pass(&cfg, &img, &sources)
+            .into_iter()
+            .find(|v| v.function == name)
+            .expect("function analyzed")
+    }
+
+    #[test]
+    fn vulnerable_write_is_unbounded_and_reaches_the_return_slot() {
+        for (arch, start, ret) in [(Arch::X86, -1040, 0), (Arch::Armv7, -1076, -4)] {
+            let v = vsa_of(arch, false, "parse_response");
+            assert_eq!(v.ret_slot, Some(ret), "{arch}");
+            let w: Vec<&StackWrite> = v.tainted_writes().collect();
+            assert_eq!(w.len(), 1, "{arch}: one tainted stack write");
+            assert_eq!(w[0].start, start, "{arch}");
+            assert_eq!(w[0].stride, 1, "{arch}");
+            assert!(w[0].in_loop, "{arch}");
+            assert_eq!(w[0].extent, None, "{arch}: statically unbounded");
+            assert_eq!(ret - w[0].start, i64::from(1024 + buf_pad(arch)), "{arch}");
+        }
+    }
+
+    #[test]
+    fn patched_write_is_bounded_below_the_return_slot() {
+        for arch in Arch::ALL {
+            let v = vsa_of(arch, true, "parse_response");
+            let w: Vec<&StackWrite> = v.tainted_writes().collect();
+            assert_eq!(w.len(), 1, "{arch}");
+            assert_eq!(w[0].extent, Some(1024), "{arch}: capped at NAME_SIZE");
+            let end = w[0].end().unwrap();
+            assert!(
+                end < v.ret_slot.unwrap(),
+                "{arch}: bounded write must stop short of the return slot"
+            );
+        }
+    }
+
+    /// Frame padding between the 1024-byte buffer and the saved return
+    /// address: x86 has 12 bytes of locals + saved ebp, ARM 48 bytes of
+    /// locals + callee saves below lr.
+    fn buf_pad(arch: Arch) -> u32 {
+        match arch {
+            Arch::X86 => 16,
+            Arch::Armv7 => 48,
+        }
+    }
+
+    #[test]
+    fn strided_interval_algebra_holds() {
+        let a = StridedInterval::exact(-1040);
+        let b = a.add(1);
+        let j = a.join(b);
+        assert_eq!((j.lo, j.hi, j.stride), (-1040, -1039, 1));
+        let w = j.widen(j.add(1));
+        assert_eq!((w.lo, w.hi), (-1040, i64::MAX));
+        assert!(w.unbounded_above());
+        assert_eq!(StridedInterval::exact(7).as_exact(), Some(7));
+    }
+}

@@ -179,8 +179,11 @@ fn main() {
         );
         eprintln!("timing the static analyzer on both architectures…");
         let analysis = analysis_timings();
-        for (arch, secs, insns) in &analysis {
-            eprintln!("analyzer: {arch} CFG+taint+audit over {insns} instructions in {secs:.4}s");
+        for (arch, secs, vsa_secs, insns) in &analysis {
+            eprintln!(
+                "analyzer: {arch} CFG+taint+VSA+audit over {insns} instructions \
+                 in {secs:.4}s (VSA alone {vsa_secs:.4}s)"
+            );
         }
         eprintln!("running the snapshot/dispatch ablations…");
         let ablations = run_ablations(ABLATION_TRIALS);
@@ -704,6 +707,28 @@ fn smoke_vs_baseline() -> i32 {
         None => println!("bench-smoke: baseline {path} has no coverage_hook_overhead — skipping"),
     }
 
+    // Value-set analysis: a correctness smoke (the interprocedural
+    // layer must still flag the unbounded copy on both ISAs), plus a
+    // wall-time guard against the recorded per-arch cost. Baselines
+    // predating the `vsa_wall_secs` record skip the timing comparison.
+    let analysis = analysis_timings();
+    let vsa_now: f64 = analysis.iter().map(|(_, _, vsa, _)| vsa).sum();
+    match json_number_after(&doc, "\"analysis\"", "\"vsa_wall_secs\":") {
+        Some(baseline) => {
+            println!(
+                "bench-smoke: VSA wall {:.4}s vs {:.4}s first-arch baseline ({path})",
+                vsa_now, baseline
+            );
+            // Timing across machines is noisy; only a blow-up an order
+            // of magnitude past the recorded cost fails the guard.
+            if baseline > 0.0 && vsa_now > baseline * 20.0 {
+                println!("bench-smoke: FAIL — VSA wall time blew up more than 20x");
+                failed = true;
+            }
+        }
+        None => println!("bench-smoke: baseline {path} has no vsa_wall_secs — skipping"),
+    }
+
     if failed {
         return 1;
     }
@@ -803,15 +828,33 @@ fn sanitize_matrix() -> i32 {
 }
 
 /// Times one full static-analysis pipeline (CFG recovery + taint pass +
-/// mitigation audit) per architecture over the OpenElec image.
-fn analysis_timings() -> Vec<(Arch, f64, usize)> {
+/// frames + VSA + mitigation audit) per architecture over the OpenElec
+/// image, plus the value-set pass alone so the interprocedural layer's
+/// cost is visible separately.
+fn analysis_timings() -> Vec<(Arch, f64, f64, usize)> {
     Arch::ALL
         .iter()
         .map(|&arch| {
             let firmware = Firmware::build(FirmwareKind::OpenElec, arch);
             let t0 = Instant::now();
             let report = cml_analyze::analyze(firmware.image());
-            (arch, t0.elapsed().as_secs_f64(), report.cfg.instructions)
+            let full = t0.elapsed().as_secs_f64();
+
+            let cfg = cml_analyze::cfg::recover(firmware.image());
+            let sources = cml_analyze::taint::effective_sources(
+                &cfg,
+                &cml_analyze::taint::TaintConfig::default(),
+            );
+            let t1 = Instant::now();
+            let value_sets = cml_analyze::vsa::vsa_pass(&cfg, firmware.image(), &sources);
+            let vsa = t1.elapsed().as_secs_f64();
+            assert!(
+                value_sets
+                    .iter()
+                    .any(|v| v.tainted_writes().next().is_some()),
+                "{arch}: VSA must see the tainted copy it is being timed on"
+            );
+            (arch, full, vsa, report.cfg.instructions)
         })
         .collect()
 }
@@ -842,7 +885,7 @@ fn bench_json_doc(
     jobs: usize,
     timings: &[(String, f64)],
     fleet: &cml_core::fleet::FleetReport,
-    analysis: &[(Arch, f64, usize)],
+    analysis: &[(Arch, f64, f64, usize)],
     ablations: &Ablations,
 ) -> String {
     let exps: Vec<String> = timings
@@ -851,8 +894,11 @@ fn bench_json_doc(
         .collect();
     let ana: Vec<String> = analysis
         .iter()
-        .map(|(arch, secs, insns)| {
-            format!("{{\"arch\":\"{arch}\",\"wall_secs\":{secs:.6},\"instructions\":{insns}}}")
+        .map(|(arch, secs, vsa_secs, insns)| {
+            format!(
+                "{{\"arch\":\"{arch}\",\"wall_secs\":{secs:.6},\
+                 \"vsa_wall_secs\":{vsa_secs:.6},\"instructions\":{insns}}}"
+            )
         })
         .collect();
     let abl = format!(

@@ -57,3 +57,14 @@ pub const SYM_DAEMON_LOOP: &str = "daemon_loop";
 /// before the daemon starts serving — which is exactly the work the
 /// snapshot/fork boot path amortizes away.
 pub const SYM_DAEMON_INIT: &str = "daemon_init";
+
+/// Symbol name for the dnsproxy reply entry point — the function that
+/// first touches attacker bytes (`dnsproxy.c: forward_dns_reply`). The
+/// static analyzer seeds taint here and propagates it down the call
+/// chain to [`SYM_PARSE_RESPONSE`].
+pub const SYM_FORWARD_DNS_REPLY: &str = "forward_dns_reply";
+
+/// Symbol name for the name-decompression helper sitting between
+/// [`SYM_FORWARD_DNS_REPLY`] and [`SYM_PARSE_RESPONSE`] on the real
+/// CVE-2017-12865 call path (`dnsproxy.c: uncompress`).
+pub const SYM_UNCOMPRESS: &str = "uncompress";

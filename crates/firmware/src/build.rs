@@ -5,7 +5,9 @@
 //! the loader). Program text mixes filler "functions" with the gadget
 //! material the paper's exploits harvest with `ropper`/`ROPgadget`.
 
-use cml_connman::{SYM_DAEMON_INIT, SYM_DAEMON_LOOP, SYM_PARSE_RESPONSE};
+use cml_connman::{
+    SYM_DAEMON_INIT, SYM_DAEMON_LOOP, SYM_FORWARD_DNS_REPLY, SYM_PARSE_RESPONSE, SYM_UNCOMPRESS,
+};
 use cml_image::{layout, Addr, Arch, Image, ImageBuilder, SectionKind, SymbolKind};
 use cml_vm::{arm, x86, X86Reg};
 use rand::rngs::StdRng;
@@ -150,29 +152,33 @@ fn build_x86_text(b: &mut ImageBuilder, g: &mut GadgetAddrs, variant: u64, bound
     // parse_response: prologue/epilogue around a `get_name`-style copy
     // loop. The daemon models the parse natively (cml-connman); these
     // bytes exist so static analysis sees the same defect the paper
-    // exploits — esi walks the packet, edi walks a 0x40-slot stack
-    // buffer, and the vulnerable flavour's only exit tests packet data.
+    // exploits — esi walks the packet, edi walks the 1024-byte name
+    // buffer at the bottom of a 0x40C-byte frame (8 locals + canary
+    // slot above it, so buf→saved-ret is the real 1040 bytes). The
+    // store sits *before* the terminator test (strcpy shape), so the
+    // static write count for an N-byte name is N+1 — byte-identical to
+    // the daemon's model — and the vulnerable flavour's only loop exit
+    // tests packet data.
     let body = if bounds_checked {
         // 1.35: `xor ecx,ecx; mov edx,0x400` seeds an untainted counter
         // checked against the capacity before every store.
         x86::Asm::new()
             .push_r(X86Reg::Ebp)
             .mov_rr(X86Reg::Ebp, X86Reg::Esp)
-            .sub_r_imm8(X86Reg::Esp, 0x40)
+            .sub_r_imm32(X86Reg::Esp, 0x40C)
             .mov_r_mem(X86Reg::Esi, X86Reg::Ebp, 8)
-            .lea(X86Reg::Edi, X86Reg::Ebp, -0x40)
+            .lea_disp32(X86Reg::Edi, X86Reg::Ebp, -0x40C)
             .xor_rr(X86Reg::Ecx, X86Reg::Ecx)
             .mov_r_imm(X86Reg::Edx, 0x400)
             .mov_r_mem(X86Reg::Eax, X86Reg::Esi, 0) // loop:
-            .test_rr(X86Reg::Eax, X86Reg::Eax)
-            .jz_rel8(12) // -> done
             .cmp_rr(X86Reg::Ecx, X86Reg::Edx)
-            .jz_rel8(8) // -> done (capacity reached)
+            .jz_rel8(10) // -> done (capacity reached)
             .mov_mem_r(X86Reg::Edi, 0, X86Reg::Eax)
             .inc_r(X86Reg::Esi)
             .inc_r(X86Reg::Edi)
             .inc_r(X86Reg::Ecx)
-            .jmp_rel8(-19) // -> loop
+            .test_rr(X86Reg::Eax, X86Reg::Eax)
+            .jnz_rel8(-17) // -> loop
             .leave() // done:
             .ret()
             .finish()
@@ -180,16 +186,15 @@ fn build_x86_text(b: &mut ImageBuilder, g: &mut GadgetAddrs, variant: u64, bound
         x86::Asm::new()
             .push_r(X86Reg::Ebp)
             .mov_rr(X86Reg::Ebp, X86Reg::Esp)
-            .sub_r_imm8(X86Reg::Esp, 0x40)
+            .sub_r_imm32(X86Reg::Esp, 0x40C)
             .mov_r_mem(X86Reg::Esi, X86Reg::Ebp, 8)
-            .lea(X86Reg::Edi, X86Reg::Ebp, -0x40)
+            .lea_disp32(X86Reg::Edi, X86Reg::Ebp, -0x40C)
             .mov_r_mem(X86Reg::Eax, X86Reg::Esi, 0) // loop:
-            .test_rr(X86Reg::Eax, X86Reg::Eax)
-            .jz_rel8(7) // -> done
             .mov_mem_r(X86Reg::Edi, 0, X86Reg::Eax)
             .inc_r(X86Reg::Esi)
             .inc_r(X86Reg::Edi)
-            .jmp_rel8(-14) // -> loop
+            .test_rr(X86Reg::Eax, X86Reg::Eax)
+            .jnz_rel8(-12) // -> loop
             .leave() // done:
             .ret()
             .finish()
@@ -197,6 +202,59 @@ fn build_x86_text(b: &mut ImageBuilder, g: &mut GadgetAddrs, variant: u64, bound
     let size = body.len() as u32;
     let parse_addr = b.append_code(SectionKind::Text, &body);
     b.symbol(SYM_PARSE_RESPONSE, parse_addr, size, SymbolKind::Function);
+
+    // The real CVE-2017-12865 call path, forward_dns_reply → uncompress
+    // → parse_response, planted as *static* material: nothing branches
+    // here at run time (the daemon parses natively), but the analyzer's
+    // call graph and interprocedural taint propagation walk exactly
+    // this chain — attacker bytes enter at forward_dns_reply and reach
+    // the copy loop two calls down. Each hop loads its pointer argument
+    // and pushes it for the callee; uncompress returns a constant
+    // status, which call summaries propagate to its caller.
+    let unc_pre = x86::Asm::new()
+        .push_r(X86Reg::Ebp)
+        .mov_rr(X86Reg::Ebp, X86Reg::Esp)
+        .mov_r_mem(X86Reg::Eax, X86Reg::Ebp, 8)
+        .push_r(X86Reg::Eax)
+        .finish();
+    let unc_addr = b.append_code(SectionKind::Text, &unc_pre);
+    let call_end = unc_addr + unc_pre.len() as u32 + 5;
+    let unc_rest = x86::Asm::new()
+        .call_rel32(parse_addr.wrapping_sub(call_end) as i32)
+        .add_r_imm8(X86Reg::Esp, 4)
+        .xor_rr(X86Reg::Eax, X86Reg::Eax)
+        .leave()
+        .ret()
+        .finish();
+    b.append_code(SectionKind::Text, &unc_rest);
+    b.symbol(
+        SYM_UNCOMPRESS,
+        unc_addr,
+        (unc_pre.len() + unc_rest.len()) as u32,
+        SymbolKind::Function,
+    );
+
+    let fwd_pre = x86::Asm::new()
+        .push_r(X86Reg::Ebp)
+        .mov_rr(X86Reg::Ebp, X86Reg::Esp)
+        .mov_r_mem(X86Reg::Eax, X86Reg::Ebp, 8)
+        .push_r(X86Reg::Eax)
+        .finish();
+    let fwd_addr = b.append_code(SectionKind::Text, &fwd_pre);
+    let call_end = fwd_addr + fwd_pre.len() as u32 + 5;
+    let fwd_rest = x86::Asm::new()
+        .call_rel32(unc_addr.wrapping_sub(call_end) as i32)
+        .add_r_imm8(X86Reg::Esp, 4)
+        .leave()
+        .ret()
+        .finish();
+    b.append_code(SectionKind::Text, &fwd_rest);
+    b.symbol(
+        SYM_FORWARD_DNS_REPLY,
+        fwd_addr,
+        (fwd_pre.len() + fwd_rest.len()) as u32,
+        SymbolKind::Function,
+    );
 
     // Filler + gadget pool, interleaved the way optimized epilogues pepper
     // a real binary.
@@ -300,42 +358,46 @@ fn build_arm_text(b: &mut ImageBuilder, g: &mut GadgetAddrs, variant: u64, bound
     let init_addr = b.append_code(SectionKind::Text, &init);
     b.symbol(SYM_DAEMON_INIT, init_addr, init_size, SymbolKind::Function);
 
-    // parse_response: r2 walks the packet (arg in r0), r3 walks a stack
-    // buffer carved by `sub sp, sp, #0x40`. Branch offsets are relative
-    // to pc+8, in bytes. See build_x86_text for the flavour semantics.
+    // parse_response: r2 walks the packet (arg in r0), r3 walks the
+    // 1024-byte name buffer at the bottom of the 0x410-byte frame
+    // carved by `sub sp, sp, #0x410` (null-check slots, canary and pad
+    // above it; with the 8 callee-saved registers pushed under lr the
+    // buf→saved-ret distance is the real 1072 bytes). The store sits
+    // before the terminator test (strcpy shape), so an N-byte name
+    // writes N+1 bytes — byte-identical to the daemon's model. Branch
+    // offsets are relative to pc+8, in bytes. See build_x86_text for
+    // the flavour semantics.
     let body = if bounds_checked {
         arm::Asm::new()
             .push(&[4, 5, 6, 7, 8, 9, 10, 11, 14])
-            .sub_imm(13, 13, 0x40)
+            .sub_imm(13, 13, 0x410)
             .mov_reg(2, 0)
             .mov_reg(3, 13)
             .mov_imm(7, 0)
             .ldrb(5, 2, 0) // loop:
-            .cmp_imm(5, 0)
-            .beq(24) // -> done
             .cmp_imm(7, 0x400)
-            .beq(16) // -> done (capacity reached)
+            .beq(20) // -> done (capacity reached)
             .strb(5, 3, 0)
             .add_imm(2, 2, 1)
             .add_imm(3, 3, 1)
             .add_imm(7, 7, 1)
-            .b(-44) // -> loop
-            .add_imm(13, 13, 0x40) // done:
+            .cmp_imm(5, 0)
+            .bne(-40) // -> loop
+            .add_imm(13, 13, 0x410) // done:
             .finish()
     } else {
         arm::Asm::new()
             .push(&[4, 5, 6, 7, 8, 9, 10, 11, 14])
-            .sub_imm(13, 13, 0x40)
+            .sub_imm(13, 13, 0x410)
             .mov_reg(2, 0)
             .mov_reg(3, 13)
             .ldrb(5, 2, 0) // loop:
-            .cmp_imm(5, 0)
-            .beq(12) // -> done
             .strb(5, 3, 0)
             .add_imm(2, 2, 1)
             .add_imm(3, 3, 1)
-            .b(-32) // -> loop
-            .add_imm(13, 13, 0x40) // done:
+            .cmp_imm(5, 0)
+            .bne(-28) // -> loop
+            .add_imm(13, 13, 0x410) // done:
             .finish()
     };
     // The symbol span includes the epilogue below, so CFG recovery sees
@@ -351,6 +413,39 @@ fn build_arm_text(b: &mut ImageBuilder, g: &mut GadgetAddrs, variant: u64, bound
                 .pop(&[4, 5, 6, 7, 8, 9, 10, 11, 15])
                 .finish(),
         ),
+    );
+
+    // The static CVE call chain (see build_x86_text): forward_dns_reply
+    // → uncompress → parse_response, never executed, analyzed. The
+    // reply pointer rides r0 untouched into each callee; uncompress
+    // returns a constant status after the call.
+    let unc_pre = arm::Asm::new().push(&[4, 14]).finish();
+    let unc_addr = b.append_code(SectionKind::Text, &unc_pre);
+    let unc_rest = arm::Asm::new()
+        .bl(parse_addr.wrapping_sub(unc_addr + 4 + 8) as i32)
+        .mov_imm(0, 0)
+        .pop(&[4, 15])
+        .finish();
+    b.append_code(SectionKind::Text, &unc_rest);
+    b.symbol(
+        SYM_UNCOMPRESS,
+        unc_addr,
+        (unc_pre.len() + unc_rest.len()) as u32,
+        SymbolKind::Function,
+    );
+
+    let fwd_pre = arm::Asm::new().push(&[4, 14]).finish();
+    let fwd_addr = b.append_code(SectionKind::Text, &fwd_pre);
+    let fwd_rest = arm::Asm::new()
+        .bl(unc_addr.wrapping_sub(fwd_addr + 4 + 8) as i32)
+        .pop(&[4, 15])
+        .finish();
+    b.append_code(SectionKind::Text, &fwd_rest);
+    b.symbol(
+        SYM_FORWARD_DNS_REPLY,
+        fwd_addr,
+        (fwd_pre.len() + fwd_rest.len()) as u32,
+        SymbolKind::Function,
     );
 
     for i in 0usize..40 {

@@ -23,6 +23,6 @@ mod profile;
 pub use build::{build_image, build_image_for, build_image_variant, GadgetAddrs};
 pub use profile::{BootForge, Firmware, FirmwareKind, ServiceProfile};
 
-pub use cml_connman::{ConnmanVersion, Daemon};
+pub use cml_connman::{ConnmanVersion, Daemon, FrameLayout};
 pub use cml_image::Arch;
 pub use cml_vm::Protections;

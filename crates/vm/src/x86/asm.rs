@@ -224,6 +224,43 @@ impl Asm {
         self
     }
 
+    /// `add r32, imm32` (0x81 /0).
+    pub fn add_r_imm32(mut self, r: X86Reg, imm: u32) -> Self {
+        self.bytes.push(0x81);
+        self.bytes.push(0xC0 | r.bits());
+        self.bytes.extend_from_slice(&imm.to_le_bytes());
+        self
+    }
+
+    /// `sub r32, imm32` (0x81 /5) — the large-frame prologue form.
+    pub fn sub_r_imm32(mut self, r: X86Reg, imm: u32) -> Self {
+        self.bytes.push(0x81);
+        self.bytes.push(0xE8 | r.bits());
+        self.bytes.extend_from_slice(&imm.to_le_bytes());
+        self
+    }
+
+    /// `cmp r32, imm32` (0x81 /7).
+    pub fn cmp_r_imm32(mut self, r: X86Reg, imm: u32) -> Self {
+        self.bytes.push(0x81);
+        self.bytes.push(0xF8 | r.bits());
+        self.bytes.extend_from_slice(&imm.to_le_bytes());
+        self
+    }
+
+    /// `lea dst, [base+disp32]` (mod=10, for frame-sized displacements).
+    pub fn lea_disp32(mut self, dst: X86Reg, base: X86Reg, disp: i32) -> Self {
+        self.bytes.push(0x8D);
+        if base == X86Reg::Esp {
+            self.bytes.push(0x80 | (dst.bits() << 3) | 0b100);
+            self.bytes.push(0x24);
+        } else {
+            self.bytes.push(0x80 | (dst.bits() << 3) | base.bits());
+        }
+        self.bytes.extend_from_slice(&disp.to_le_bytes());
+        self
+    }
+
     /// `inc r32`.
     pub fn inc_r(mut self, r: X86Reg) -> Self {
         self.bytes.push(0x40 + r.bits());
@@ -457,6 +494,51 @@ mod tests {
                     src: Operand::Mem {
                         base: None,
                         disp: 0x0812_0200,
+                    },
+                },
+            ),
+            (
+                Asm::new().add_r_imm32(X86Reg::Esp, 0x40C).finish(),
+                Insn::AddRmImm32 {
+                    dst: Operand::Reg(X86Reg::Esp),
+                    imm: 0x40C,
+                },
+            ),
+            (
+                Asm::new().sub_r_imm32(X86Reg::Esp, 0x40C).finish(),
+                Insn::SubRmImm32 {
+                    dst: Operand::Reg(X86Reg::Esp),
+                    imm: 0x40C,
+                },
+            ),
+            (
+                Asm::new().cmp_r_imm32(X86Reg::Ecx, 0x400).finish(),
+                Insn::CmpRmImm32 {
+                    dst: Operand::Reg(X86Reg::Ecx),
+                    imm: 0x400,
+                },
+            ),
+            (
+                Asm::new()
+                    .lea_disp32(X86Reg::Edi, X86Reg::Ebp, -0x40C)
+                    .finish(),
+                Insn::Lea {
+                    dst: X86Reg::Edi,
+                    src: Operand::Mem {
+                        base: Some(X86Reg::Ebp),
+                        disp: -0x40C,
+                    },
+                },
+            ),
+            (
+                Asm::new()
+                    .lea_disp32(X86Reg::Eax, X86Reg::Esp, 0x410)
+                    .finish(),
+                Insn::Lea {
+                    dst: X86Reg::Eax,
+                    src: Operand::Mem {
+                        base: Some(X86Reg::Esp),
+                        disp: 0x410,
                     },
                 },
             ),

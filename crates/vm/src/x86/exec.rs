@@ -156,6 +156,20 @@ pub(crate) fn exec_insn(
             let v = read_operand(m, dst, pc)?.wrapping_sub(imm as i32 as u32);
             m.regs.x86_mut().zf = v == 0;
         }
+        Insn::AddRmImm32 { dst, imm } => {
+            let v = read_operand(m, dst, pc)?.wrapping_add(imm);
+            write_operand(m, dst, v, pc)?;
+            m.regs.x86_mut().zf = v == 0;
+        }
+        Insn::SubRmImm32 { dst, imm } => {
+            let v = read_operand(m, dst, pc)?.wrapping_sub(imm);
+            write_operand(m, dst, v, pc)?;
+            m.regs.x86_mut().zf = v == 0;
+        }
+        Insn::CmpRmImm32 { dst, imm } => {
+            let v = read_operand(m, dst, pc)?.wrapping_sub(imm);
+            m.regs.x86_mut().zf = v == 0;
+        }
         Insn::AndRmR { dst, src } => {
             let v = read_operand(m, dst, pc)? & m.regs.x86().get(src);
             write_operand(m, dst, v, pc)?;

@@ -101,6 +101,27 @@ pub enum Insn {
         /// Sign-extended immediate.
         imm: i8,
     },
+    /// `add r/m32, imm32` (0x81 /0).
+    AddRmImm32 {
+        /// Destination.
+        dst: Operand,
+        /// Full-width immediate.
+        imm: u32,
+    },
+    /// `sub r/m32, imm32` (0x81 /5) — the large-frame prologue form.
+    SubRmImm32 {
+        /// Destination.
+        dst: Operand,
+        /// Full-width immediate.
+        imm: u32,
+    },
+    /// `cmp r/m32, imm32` (0x81 /7).
+    CmpRmImm32 {
+        /// Left-hand side.
+        dst: Operand,
+        /// Full-width immediate.
+        imm: u32,
+    },
     /// `and r/m32, r32` (0x21 /r).
     AndRmR {
         /// Destination.
@@ -476,6 +497,17 @@ pub fn decode(bytes: &[u8]) -> Result<(Insn, usize), DecodeError> {
             };
             Ok((insn, 1 + m.len + 1))
         }
+        0x81 => {
+            let m = modrm(bytes, 1)?;
+            let imm = imm32(bytes, 1 + m.len)?;
+            let insn = match m.reg {
+                0 => Insn::AddRmImm32 { dst: m.rm, imm },
+                5 => Insn::SubRmImm32 { dst: m.rm, imm },
+                7 => Insn::CmpRmImm32 { dst: m.rm, imm },
+                _ => return Err(DecodeError::Unsupported(op)),
+            };
+            Ok((insn, 1 + m.len + 4))
+        }
         0x40..=0x47 => Ok((Insn::IncR(X86Reg::from_bits(op - 0x40)), 1)),
         0x48..=0x4F => Ok((Insn::DecR(X86Reg::from_bits(op - 0x48)), 1)),
         0xC3 => Ok((Insn::Ret, 1)),
@@ -549,6 +581,9 @@ impl fmt::Display for Insn {
             Insn::AddRmImm8 { dst, imm } => write!(f, "add {dst}, {imm:#x}"),
             Insn::SubRmImm8 { dst, imm } => write!(f, "sub {dst}, {imm:#x}"),
             Insn::CmpRmImm8 { dst, imm } => write!(f, "cmp {dst}, {imm:#x}"),
+            Insn::AddRmImm32 { dst, imm } => write!(f, "add {dst}, {imm:#x}"),
+            Insn::SubRmImm32 { dst, imm } => write!(f, "sub {dst}, {imm:#x}"),
+            Insn::CmpRmImm32 { dst, imm } => write!(f, "cmp {dst}, {imm:#x}"),
             Insn::AndRmR { dst, src } => write!(f, "and {dst}, {src}"),
             Insn::OrRmR { dst, src } => write!(f, "or {dst}, {src}"),
             Insn::CmpRmR { dst, src } => write!(f, "cmp {dst}, {src}"),
@@ -728,6 +763,52 @@ mod tests {
         assert_eq!(decode(&[]), Err(DecodeError::Truncated));
         assert_eq!(decode(&[0x68, 1, 2]), Err(DecodeError::Truncated));
         assert_eq!(decode(&[0x83, 0xC4]), Err(DecodeError::Truncated));
+        assert_eq!(
+            decode(&[0x81, 0xEC, 0x0C, 0x04]),
+            Err(DecodeError::Truncated)
+        );
+    }
+
+    #[test]
+    fn imm32_arith_forms() {
+        // sub esp, 0x40C → 81 EC 0C 04 00 00 (the 1 KiB-frame prologue).
+        assert_eq!(
+            decode(&[0x81, 0xEC, 0x0C, 0x04, 0x00, 0x00]).unwrap(),
+            (
+                Insn::SubRmImm32 {
+                    dst: Operand::Reg(X86Reg::Esp),
+                    imm: 0x40C
+                },
+                6
+            )
+        );
+        // cmp ecx, 0x400 → 81 F9 00 04 00 00
+        assert_eq!(
+            decode(&[0x81, 0xF9, 0x00, 0x04, 0x00, 0x00]).unwrap(),
+            (
+                Insn::CmpRmImm32 {
+                    dst: Operand::Reg(X86Reg::Ecx),
+                    imm: 0x400
+                },
+                6
+            )
+        );
+        // add esp, 0x40C → 81 C4 0C 04 00 00 (the matching epilogue).
+        assert_eq!(
+            decode(&[0x81, 0xC4, 0x0C, 0x04, 0x00, 0x00]).unwrap(),
+            (
+                Insn::AddRmImm32 {
+                    dst: Operand::Reg(X86Reg::Esp),
+                    imm: 0x40C
+                },
+                6
+            )
+        );
+        // 0x81 /3 (sbb) is outside the subset.
+        assert_eq!(
+            decode(&[0x81, 0xD9, 0, 0, 0, 0]),
+            Err(DecodeError::Unsupported(0x81))
+        );
     }
 
     #[test]

@@ -53,6 +53,7 @@ fn usage() {
          commands:\n\
          \x20 survey                         exploitability per firmware profile\n\
          \x20 analyze     --arch A --firmware F   static analysis report (JSON)\n\
+         \x20 analyze     --sarif            emit the report as SARIF 2.1.0\n\
          \x20 analyze     --self-test        run the analyzer's CI self-test\n\
          \x20 recon       --arch A           run reconnaissance, print findings\n\
          \x20 exploit     --arch A --prot P --strategy S\n\
@@ -208,7 +209,11 @@ fn analyze_cmd(opts: &Opts) -> ExitCode {
     }
     let firmware = connman_lab::Firmware::build(opts.firmware, opts.arch);
     let report = connman_lab::analysis::analyze(firmware.image());
-    println!("{}", report.to_json());
+    if opts.rest.iter().any(|a| a == "--sarif") {
+        println!("{}", report.to_sarif());
+    } else {
+        println!("{}", report.to_json());
+    }
     // Exit 2 signals "findings present" so scripts can gate on it, the
     // same convention the exploit command uses for "no shell".
     if report.clean() {

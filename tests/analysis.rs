@@ -141,7 +141,7 @@ fn report_json_schema_round_trips() {
 
         assert_eq!(
             doc.get("schema").and_then(json::Value::as_str),
-            Some("cml-analyze/v1")
+            Some(analysis::SCHEMA)
         );
         assert_eq!(doc.get("clean").and_then(json::Value::as_bool), Some(false));
         let findings = doc.get("findings").and_then(json::Value::as_arr).unwrap();
@@ -167,6 +167,38 @@ fn report_json_schema_round_trips() {
                 .and_then(json::Value::as_num)
                 .unwrap()
                 > 0.0,
+            "{arch}"
+        );
+
+        // v2 sections: frame geometry, call summaries, exploitability.
+        let frames = doc.get("frames").and_then(json::Value::as_arr).unwrap();
+        let pr = frames
+            .iter()
+            .find(|f| f.get("function").and_then(json::Value::as_str) == Some("parse_response"))
+            .unwrap_or_else(|| panic!("{arch}: parse_response frame"));
+        let truth = connman_lab::connman::layout_for(arch);
+        assert_eq!(
+            pr.get("buf_to_ret").and_then(json::Value::as_num),
+            Some(truth.ret_offset as f64),
+            "{arch}: recovered frame distance must match ground truth"
+        );
+
+        let graph = doc.get("callgraph").expect("callgraph object");
+        assert!(
+            graph.get("edges").and_then(json::Value::as_num).unwrap() > 0.0,
+            "{arch}"
+        );
+
+        let exp = doc
+            .get("exploitability")
+            .and_then(json::Value::as_arr)
+            .unwrap();
+        assert_eq!(exp.len(), 1, "{arch}");
+        assert_eq!(
+            exp[0]
+                .get("reaches_saved_ret")
+                .and_then(json::Value::as_bool),
+            Some(true),
             "{arch}"
         );
     }

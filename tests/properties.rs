@@ -125,6 +125,56 @@ proptest! {
         let _ = Message::decode(&bytes);
     }
 
+    /// `cml-analyze/v2` report JSON round-trips: whatever the emitter
+    /// writes, the in-tree parser reads back identically — including
+    /// arbitrary function names that need escaping. The emitted report
+    /// borrows its strings (no clone churn), so this also pins the
+    /// borrow-aware emitter against the owning parser.
+    #[test]
+    fn analysis_v2_json_roundtrips(
+        name in "[ -~]{0,24}",
+        bounded in any::<bool>(),
+        raw_extent in any::<u32>(),
+        offsets in proptest::collection::vec(any::<i32>(), 0..6),
+    ) {
+        use connman_lab::analysis::json::{self, n, s, Value};
+        let extent = bounded.then_some(raw_extent);
+        let doc = Value::Obj(vec![
+            ("schema".into(), s(connman_lab::analysis::SCHEMA)),
+            ("function".into(), s(name.as_str())),
+            (
+                "max_extent".into(),
+                extent.map(n).unwrap_or(Value::Null),
+            ),
+            (
+                "offsets".into(),
+                Value::Arr(offsets.iter().map(|&o| n(o as f64)).collect()),
+            ),
+            ("clean".into(), Value::Bool(extent.is_none())),
+        ]);
+        let text = doc.to_string();
+        let back = json::parse(&text).unwrap();
+        prop_assert_eq!(back, doc);
+    }
+
+    /// The full analyzer report of every firmware variant survives the
+    /// same round trip and keeps its schema tag.
+    #[test]
+    fn analysis_report_roundtrips(seed in any::<u8>()) {
+        use connman_lab::analysis::{self, json};
+        let kind = if seed.is_multiple_of(2) { FirmwareKind::OpenElec } else { FirmwareKind::Patched };
+        let arch = if seed % 4 < 2 { Arch::X86 } else { Arch::Armv7 };
+        let fw = Firmware::build(kind, arch);
+        let report = analysis::analyze(fw.image());
+        let text = report.to_json().to_string();
+        let doc = json::parse(&text).unwrap();
+        prop_assert_eq!(
+            doc.get("schema").and_then(json::Value::as_str),
+            Some(analysis::SCHEMA)
+        );
+        prop_assert_eq!(doc.to_string(), text);
+    }
+
     /// The buffered server entry point — the same
     /// [`UdpService::handle_datagram_into`] path the fleet and fuzz
     /// drivers use — is total over arbitrary datagrams, for both the
