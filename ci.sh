@@ -38,6 +38,18 @@ echo "==> cml fuzz --smoke"
 # nothing on patched 1.35, within a small deterministic budget.
 cargo run --release --offline -q -p connman-lab --bin cml -- fuzz --smoke --jobs 2
 
+echo "==> cml fleet 10k smoke"
+# Million-device fleet path at smoke scale: a 10k-device cohort campaign
+# must complete and render byte-identical per-cohort sections serial vs
+# parallel (the trailing parenthesised lines carry wall-clock timings
+# and are excluded from the comparison).
+fleet_smoke() {
+  cargo run --release --offline -q -p connman-lab --bin cml -- \
+    fleet --devices 10000 --jobs "$1" | grep -v '^('
+}
+diff <(fleet_smoke 1) <(fleet_smoke 4) || {
+  echo "fleet smoke: serial vs parallel reports differ"; exit 1; }
+
 echo "==> repro --bench-smoke"
 # Tiny-iteration snapshot/dispatch/template/pool ablations, compared
 # against the newest committed BENCH_*.json (fails on a >2x regression of

@@ -20,5 +20,19 @@ fn bench_fleet(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fleet);
+fn bench_fleet_scale(c: &mut Criterion) {
+    // The million-device campaign: weak-boot-entropy classes, shared
+    // CoW boots, batched answer fan-out, streamed per-cohort report.
+    let spec = FleetSpec::homogeneous(1_000_000, 0xF1EE7);
+    let mut group = c.benchmark_group("fleet_scale");
+    group.sample_size(10);
+    for jobs in [1usize, 2] {
+        group.bench_function(format!("1M_devices_jobs{jobs}"), |b| {
+            b.iter(|| black_box(run_fleet(&spec, jobs)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fleet, bench_fleet_scale);
 criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! Regenerates every table/figure of the reproduced paper.
 //!
 //! ```text
-//! repro                 # run E1..E8, print markdown to stdout
+//! repro                 # run E1..E9, print markdown to stdout
 //! repro --exp e2 e5     # run selected experiments
 //! repro --out FILE      # also write the markdown to FILE
 //! repro --json          # machine-readable output
@@ -30,7 +30,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use cml_core::experiments;
-use cml_core::fleet::{run_fleet_with, FleetSpec};
+use cml_core::fleet::{run_fleet_cfg, run_fleet_with, FleetConfig, FleetSpec, ENTROPY_FULL};
 use cml_core::report::Suite;
 use cml_core::{Arch, Firmware, FirmwareKind, Lab, Protections, ProxyOutcome};
 use cml_dns::{BufPool, Message, Name, Question, RecordType};
@@ -77,8 +77,17 @@ fn allocs_so_far() -> u64 {
     ALLOCS.load(Ordering::Relaxed)
 }
 
-const ALL_IDS: [&str; 8] = ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8"];
-const FLEET_DEVICES: usize = 1000;
+const ALL_IDS: [&str; 9] = ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9"];
+const FLEET_DEVICES: u64 = 1000;
+
+/// Devices in the `fleet_scale` headline scenario (homogeneous cohort,
+/// weak-boot-entropy class model — the million-device campaign).
+const FLEET_SCALE_DEVICES: u64 = 1_000_000;
+
+/// Devices per `fleet_scale` ablation arm. Run at full boot entropy
+/// (one session per device) so per-session costs dominate and the
+/// batched/streamed arms are compared against real per-device work.
+const FLEET_ABLATION_DEVICES: u64 = 100_000;
 
 fn main() {
     let mut ids: Vec<String> = Vec::new();
@@ -131,7 +140,7 @@ fn main() {
         ids.clone()
     };
     if ids.is_empty() {
-        eprintln!("running all experiments (E1..E8) on {jobs} worker(s)…");
+        eprintln!("running all experiments (E1..E9) on {jobs} worker(s)…");
     }
 
     // Run experiment-by-experiment so --bench-json can attribute wall
@@ -148,7 +157,7 @@ fn main() {
                 timings.push((id.clone(), secs));
                 tables.push(t);
             }
-            None => eprintln!("unknown experiment id {id:?} (want e1..e8)"),
+            None => eprintln!("unknown experiment id {id:?} (want e1..e9)"),
         }
     }
     let suite = Suite { tables };
@@ -172,11 +181,14 @@ fn main() {
         let report = run_fleet_with(&spec, jobs, snapshot);
         eprintln!(
             "fleet: {} devices in {:.2}s ({:.1} devices/sec, {} compromised)",
-            report.outcomes.len(),
+            report.devices,
             report.elapsed.as_secs_f64(),
             report.devices_per_sec(),
             report.compromised()
         );
+        eprintln!("timing the fleet_scale campaign ({FLEET_SCALE_DEVICES} devices)…");
+        let scale = fleet_scale_timings(jobs);
+        eprintln!("{}", scale.describe());
         eprintln!("timing the static analyzer on both architectures…");
         let analysis = analysis_timings();
         for (arch, secs, vsa_secs, insns) in &analysis {
@@ -189,7 +201,7 @@ fn main() {
         let ablations = run_ablations(ABLATION_TRIALS);
         eprintln!("{}", ablations.describe());
         let path = next_bench_path();
-        let doc = bench_json_doc(jobs, &timings, &report, &analysis, &ablations);
+        let doc = bench_json_doc(jobs, &timings, &report, &scale, &analysis, &ablations);
         match std::fs::File::create(&path).and_then(|mut f| f.write_all(doc.as_bytes())) {
             Ok(()) => eprintln!("wrote {path}"),
             Err(e) => eprintln!("failed to write {path}: {e}"),
@@ -729,6 +741,28 @@ fn smoke_vs_baseline() -> i32 {
         None => println!("bench-smoke: baseline {path} has no vsa_wall_secs — skipping"),
     }
 
+    // Fleet scale: a 10k-device homogeneous campaign on the fast path
+    // must not collapse against the 10k rate recorded alongside the
+    // headline (same scale, so fixed per-class setup costs cancel).
+    // Wall-clock throughput across machines is noisy, so only an
+    // order-of-magnitude collapse fails the guard.
+    let smoke_spec = FleetSpec::homogeneous(10_000, 0xF1EE7);
+    let smoke_fleet = run_fleet_cfg(&smoke_spec, &FleetConfig::new(1));
+    let rate = smoke_fleet.devices_per_sec();
+    match json_number_after(&doc, "\"fleet_scale\"", "\"smoke_devices_per_sec\":") {
+        Some(baseline) => {
+            println!(
+                "bench-smoke: fleet {rate:.0} devices/sec (10k smoke) vs {baseline:.0} \
+                 baseline ({path})"
+            );
+            if baseline > 0.0 && rate < baseline / 20.0 {
+                println!("bench-smoke: FAIL — fleet throughput collapsed more than 20x");
+                failed = true;
+            }
+        }
+        None => println!("bench-smoke: baseline {path} has no fleet smoke rate — skipping"),
+    }
+
     if failed {
         return 1;
     }
@@ -881,10 +915,139 @@ fn next_bench_path() -> String {
     format!("BENCH_{next}.json")
 }
 
+/// The `fleet_scale` numbers recorded in `BENCH_<n>.json`: the
+/// million-device headline (weak-boot-entropy class model, shared CoW
+/// boots, batched answers, streamed report) plus the three ablation
+/// arms, each run at full boot entropy so every device pays a real
+/// session.
+struct FleetScale {
+    devices: u64,
+    jobs: usize,
+    wall_secs: f64,
+    devices_per_sec: f64,
+    sessions: u64,
+    compromised: u64,
+    ablation_devices: u64,
+    /// A 10k-device serial run — the scale the `--bench-smoke` guard
+    /// replays, recorded separately because fixed setup (one session
+    /// per address class) dominates at 10k and the headline rate does
+    /// not transfer across scales.
+    smoke_devices_per_sec: f64,
+    /// Fast path at full entropy — the per-arm comparison base.
+    full_entropy_wall_secs: f64,
+    per_worker_forge_wall_secs: f64,
+    per_device_answers_wall_secs: f64,
+    materialized_wall_secs: f64,
+}
+
+impl FleetScale {
+    fn forge_ratio(&self) -> f64 {
+        self.per_worker_forge_wall_secs / self.full_entropy_wall_secs.max(1e-9)
+    }
+
+    fn answer_ratio(&self) -> f64 {
+        self.per_device_answers_wall_secs / self.full_entropy_wall_secs.max(1e-9)
+    }
+
+    fn report_ratio(&self) -> f64 {
+        self.materialized_wall_secs / self.full_entropy_wall_secs.max(1e-9)
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "fleet_scale: {} devices in {:.3}s ({:.0} devices/sec, {} sessions, \
+             {} compromised)\n\
+             fleet_scale ablations ({} devices, full boot entropy): \
+             shared-CoW {:.3}s | per-worker forge {:.3}s ({:.2}x) | \
+             per-device answers {:.3}s ({:.2}x) | materialized report {:.3}s ({:.2}x)",
+            self.devices,
+            self.wall_secs,
+            self.devices_per_sec,
+            self.sessions,
+            self.compromised,
+            self.ablation_devices,
+            self.full_entropy_wall_secs,
+            self.per_worker_forge_wall_secs,
+            self.forge_ratio(),
+            self.per_device_answers_wall_secs,
+            self.answer_ratio(),
+            self.materialized_wall_secs,
+            self.report_ratio()
+        )
+    }
+}
+
+/// Times the headline campaign and the three fleet ablation arms.
+fn fleet_scale_timings(jobs: usize) -> FleetScale {
+    let spec = FleetSpec::homogeneous(FLEET_SCALE_DEVICES, 0xF1EE7);
+    let headline = run_fleet_cfg(&spec, &FleetConfig::new(jobs));
+
+    let smoke_spec = FleetSpec::homogeneous(10_000, 0xF1EE7);
+    let smoke = run_fleet_cfg(&smoke_spec, &FleetConfig::new(1));
+
+    let mut ab_spec = FleetSpec::homogeneous(FLEET_ABLATION_DEVICES, 0xF1EE7);
+    ab_spec.cohorts[0].entropy_bits = ENTROPY_FULL;
+    let base = run_fleet_cfg(&ab_spec, &FleetConfig::new(jobs));
+    let per_worker = run_fleet_cfg(
+        &ab_spec,
+        &FleetConfig {
+            jobs,
+            per_worker_forge: true,
+            ..FleetConfig::default()
+        },
+    );
+    let live = run_fleet_cfg(
+        &ab_spec,
+        &FleetConfig {
+            jobs,
+            per_device_answers: true,
+            ..FleetConfig::default()
+        },
+    );
+    let materialized = run_fleet_cfg(
+        &ab_spec,
+        &FleetConfig {
+            jobs,
+            materialize: true,
+            ..FleetConfig::default()
+        },
+    );
+    assert_eq!(
+        base.render(),
+        per_worker.render(),
+        "CoW and per-worker forges must agree before their times are comparable"
+    );
+    assert_eq!(
+        base.render(),
+        live.render(),
+        "batched and per-device answers must agree before their times are comparable"
+    );
+    assert_eq!(
+        base.render(),
+        materialized.render(),
+        "streamed and materialized reports must agree before their times are comparable"
+    );
+    FleetScale {
+        devices: headline.devices,
+        jobs: headline.jobs,
+        wall_secs: headline.elapsed.as_secs_f64(),
+        devices_per_sec: headline.devices_per_sec(),
+        sessions: headline.sessions,
+        compromised: headline.compromised() as u64,
+        ablation_devices: FLEET_ABLATION_DEVICES,
+        smoke_devices_per_sec: smoke.devices_per_sec(),
+        full_entropy_wall_secs: base.elapsed.as_secs_f64(),
+        per_worker_forge_wall_secs: per_worker.elapsed.as_secs_f64(),
+        per_device_answers_wall_secs: live.elapsed.as_secs_f64(),
+        materialized_wall_secs: materialized.elapsed.as_secs_f64(),
+    }
+}
+
 fn bench_json_doc(
     jobs: usize,
     timings: &[(String, f64)],
     fleet: &cml_core::fleet::FleetReport,
+    scale: &FleetScale,
     analysis: &[(Arch, f64, f64, usize)],
     ablations: &Ablations,
 ) -> String {
@@ -962,16 +1125,38 @@ fn bench_json_doc(
         "{{\"jobs\":{jobs},\"experiments\":[{}],\"analysis\":[{}],\"ablations\":{},\
          \"fleet\":{{\"devices\":{},\
          \"jobs\":{},\"wall_secs\":{:.6},\"devices_per_sec\":{:.2},\
-         \"compromised\":{},\"survivors\":{}}}}}\n",
+         \"compromised\":{},\"survivors\":{}}},\
+         \"fleet_scale\":{{\"devices\":{},\"jobs\":{},\"wall_secs\":{:.6},\
+         \"devices_per_sec\":{:.2},\"sessions\":{},\"compromised\":{},\
+         \"ablation_devices\":{},\"smoke_devices_per_sec\":{:.2},\
+         \"full_entropy_wall_secs\":{:.6},\
+         \"per_worker_forge_wall_secs\":{:.6},\"forge_ratio\":{:.2},\
+         \"per_device_answers_wall_secs\":{:.6},\"answer_ratio\":{:.2},\
+         \"materialized_wall_secs\":{:.6},\"report_ratio\":{:.2}}}}}\n",
         exps.join(","),
         ana.join(","),
         abl,
-        fleet.outcomes.len(),
+        fleet.devices,
         fleet.jobs,
         fleet.elapsed.as_secs_f64(),
         fleet.devices_per_sec(),
         fleet.compromised(),
-        fleet.survivors()
+        fleet.survivors(),
+        scale.devices,
+        scale.jobs,
+        scale.wall_secs,
+        scale.devices_per_sec,
+        scale.sessions,
+        scale.compromised,
+        scale.ablation_devices,
+        scale.smoke_devices_per_sec,
+        scale.full_entropy_wall_secs,
+        scale.per_worker_forge_wall_secs,
+        scale.forge_ratio(),
+        scale.per_device_answers_wall_secs,
+        scale.answer_ratio(),
+        scale.materialized_wall_secs,
+        scale.report_ratio()
     )
 }
 

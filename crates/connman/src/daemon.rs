@@ -508,18 +508,20 @@ impl Daemon {
     pub fn restore(&mut self, snap: &DaemonSnapshot) {
         self.version = snap.version;
         self.machine.restore(&snap.machine);
-        self.map = snap.map.clone();
-        self.cache = snap.cache.clone();
+        // `clone_from` so the fork-per-device loop reuses the live
+        // daemon's table capacity instead of reallocating every rewind.
+        self.map.clone_from(&snap.map);
+        self.cache.clone_from(&snap.cache);
         self.layout = snap.layout;
         self.parse_pc = snap.parse_pc;
         self.resume_pc = snap.resume_pc;
         self.boot_sp = snap.boot_sp;
         self.next_id = snap.next_id;
-        self.pending = snap.pending.clone();
-        self.pending_order = snap.pending_order.clone();
+        self.pending.clone_from(&snap.pending);
+        self.pending_order.clone_from(&snap.pending_order);
         self.issued = snap.issued;
         self.clock = snap.clock;
-        self.state = snap.state.clone();
+        self.state.clone_from(&snap.state);
         self.sanitize = snap.sanitize;
     }
 
@@ -537,18 +539,21 @@ impl Daemon {
         // An idle daemon parks its pc at the loop; keep it parked at the
         // loop's *new* address so a forked boot matches a fresh one.
         let at_loop = self.machine.regs().pc() == self.resume_pc;
-        let map = loader.reslide(&mut self.machine);
-        self.parse_pc = map
+        // In-place reslide: the daemon's existing symbol table is
+        // rewritten value-by-value, so a fork allocates no new keys.
+        loader.reslide_into(&mut self.machine, &mut self.map);
+        self.parse_pc = self
+            .map
             .symbol(SYM_PARSE_RESPONSE)
             .ok_or(DaemonError::MissingSymbol(SYM_PARSE_RESPONSE))?;
-        self.resume_pc = map
+        self.resume_pc = self
+            .map
             .symbol(SYM_DAEMON_LOOP)
             .ok_or(DaemonError::MissingSymbol(SYM_DAEMON_LOOP))?;
         self.boot_sp = self.machine.regs().sp();
         if at_loop {
             self.machine.regs_mut().set_pc(self.resume_pc);
         }
-        self.map = map;
         Ok(())
     }
 

@@ -1,0 +1,125 @@
+//! Per-worker bump arenas for fleet-scale scratch state.
+//!
+//! A million-device campaign cannot afford a heap allocation per
+//! device; it cannot even afford a `Vec` *resize* per batch once the
+//! steady state is reached. [`Bump`] is the minimal discipline that
+//! guarantees both: records are bump-appended during a batch, the whole
+//! arena is [`reset`](Bump::reset) between batches, and capacity is
+//! never returned to the allocator — after the first few batches the
+//! high-water mark stabilizes and the append path is a bounds check and
+//! a write.
+//!
+//! The arena is deliberately restricted to `Copy` records: per-device
+//! fleet state (outcome class, cohort id, timing deltas, RNG draws) is
+//! plain-old-data by design, so nothing ever needs dropping and `reset`
+//! is a length store.
+
+/// A typed bump arena over `Copy` records.
+#[derive(Debug, Clone)]
+pub struct Bump<T: Copy> {
+    items: Vec<T>,
+    high_water: usize,
+}
+
+impl<T: Copy> Bump<T> {
+    /// An empty arena.
+    pub fn new() -> Bump<T> {
+        Bump {
+            items: Vec::new(),
+            high_water: 0,
+        }
+    }
+
+    /// An arena pre-sized for `cap` records, so even the first batch
+    /// stays allocation-free when its size is known up front.
+    pub fn with_capacity(cap: usize) -> Bump<T> {
+        Bump {
+            items: Vec::with_capacity(cap),
+            high_water: 0,
+        }
+    }
+
+    /// Appends one record.
+    pub fn push(&mut self, item: T) {
+        self.items.push(item);
+    }
+
+    /// The records of the current batch, in push order.
+    pub fn records(&self) -> &[T] {
+        &self.items
+    }
+
+    /// Records pushed in the current batch.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the current batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Largest batch seen since construction — the arena's resident
+    /// footprint is `high_water × size_of::<T>()`, independent of how
+    /// many batches have passed through it.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Ends the batch: drops every record (trivially — `T: Copy`) and
+    /// keeps the capacity for the next one.
+    pub fn reset(&mut self) {
+        self.high_water = self.high_water.max(self.items.len());
+        self.items.clear();
+    }
+
+    /// Moves the batch's records out as a `Vec`, ending the batch.
+    /// Unlike [`reset`](Bump::reset) this *does* allocate (the caller
+    /// keeps the records); it is the materialized-report escape hatch,
+    /// not the steady-state path.
+    pub fn drain_to_vec(&mut self) -> Vec<T> {
+        self.high_water = self.high_water.max(self.items.len());
+        let out = self.items.clone();
+        self.items.clear();
+        out
+    }
+}
+
+impl<T: Copy> Default for Bump<T> {
+    fn default() -> Self {
+        Bump::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reset_keeps_capacity() {
+        let mut a: Bump<u64> = Bump::new();
+        for i in 0..1000 {
+            a.push(i);
+        }
+        let cap = a.items.capacity();
+        let ptr = a.items.as_ptr();
+        a.reset();
+        assert!(a.is_empty());
+        for i in 0..1000 {
+            a.push(i * 2);
+        }
+        assert_eq!(a.items.capacity(), cap, "no reallocation across batches");
+        assert_eq!(a.items.as_ptr(), ptr, "same backing store");
+        assert_eq!(a.high_water(), 1000);
+    }
+
+    #[test]
+    fn records_keep_push_order() {
+        let mut a = Bump::with_capacity(4);
+        a.push(3u32);
+        a.push(1);
+        a.push(2);
+        assert_eq!(a.records(), &[3, 1, 2]);
+        assert_eq!(a.len(), 3);
+    }
+}

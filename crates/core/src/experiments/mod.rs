@@ -11,6 +11,7 @@
 //! | E6 | §IV mitigations (canary, CFI) | [`e6::run`] |
 //! | E7 | §V adaptation to other builds | [`e7::run`] |
 //! | E8 | ASLR brute-force curve (related work §VI) | [`e8::run`] |
+//! | E9 | cohort fleet campaign (closing Mirai remark) | [`e9::run`] |
 
 pub mod e1;
 pub mod e2;
@@ -20,6 +21,7 @@ pub mod e5;
 pub mod e6;
 pub mod e7;
 pub mod e8;
+pub mod e9;
 
 use crate::report::Suite;
 
@@ -50,11 +52,12 @@ pub fn run_all_jobs_with(jobs: usize, snapshot: bool) -> Suite {
             e6::run_jobs(jobs),
             e7::run_jobs(jobs),
             e8::run_with(snapshot),
+            e9::run_jobs(jobs),
         ],
     }
 }
 
-/// Runs one experiment by id (`"e1"`…`"e8"`), if known, serially.
+/// Runs one experiment by id (`"e1"`…`"e9"`), if known, serially.
 pub fn run_one(id: &str) -> Option<crate::report::Table> {
     run_one_jobs(id, 1)
 }
@@ -77,6 +80,7 @@ pub fn run_one_jobs_with(id: &str, jobs: usize, snapshot: bool) -> Option<crate:
         "e6" => Some(e6::run_jobs(jobs)),
         "e7" => Some(e7::run_jobs(jobs)),
         "e8" => Some(e8::run_with(snapshot)),
+        "e9" => Some(e9::run_jobs(jobs)),
         _ => None,
     }
 }

@@ -1,228 +1,816 @@
-//! Fleet-scale rogue-AP scenario: N devices, one attacker, `--jobs`
-//! workers.
+//! Fleet-scale rogue-AP scenario: cohorts of devices, one attacker,
+//! `--jobs` workers, bounded memory at any fleet size.
 //!
 //! The paper closes with "exploit code designed to create a botnet" —
 //! `tests/fleet.rs` walks a 7-device version of that story on a shared
-//! radio environment. This module is the *throughput* version: every
-//! device's boot + lure + attack session is independent, so the whole
-//! fleet fans across a [`Runner`] pool.
+//! radio environment. This module is the *population* version: a
+//! campaign is described by a handful of [`CohortSpec`] descriptors
+//! (firmware version, CPU, mitigation config, packet-loss profile,
+//! boot-entropy model, device count), never by a materialized
+//! per-device list, so a million-device fleet costs the same to
+//! describe as a ten-device one.
 //!
-//! The steady-state iteration is allocation-lean by construction: each
-//! worker thread keeps a persistent [`RadioEnvironment`] with one rogue
-//! AP, one malicious DNS server per architecture (its payload labels
-//! produced once from a [`TemplateSet`] relocation), per-profile
-//! [`BootForge`]s for boot-once/fork-many victims, and a [`BufPool`]
-//! whose warm buffers carry the DNS round trip without copying. Per
-//! device, the only payload-sized work left is the VM session itself.
+//! # Scaling architecture
 //!
-//! Determinism: device `i` boots with
-//! [`derive_seed`]`(base_seed, i)` and results merge in device order, so
-//! [`FleetReport::render`] is byte-identical at any worker count.
+//! * **Shared copy-on-write boots.** Each firmware/protection profile
+//!   is booted **once** into a [`SharedForge`]; every worker spawns a
+//!   private [`BootForge`] whose snapshot pages ride along by `Arc`
+//!   refcount and whose dirty sets are its own. Memory is
+//!   O(workers × profiles), not O(workers × profiles × boots).
+//! * **Class-level sessions.** Embedded devices are notorious for
+//!   boot-time entropy starvation: a cohort's
+//!   [`entropy_bits`](CohortSpec::entropy_bits) bounds how many
+//!   distinct ASLR draws its population actually exhibits (default
+//!   [`DEFAULT_COHORT_ENTROPY_BITS`], i.e. 4096 layouts; use
+//!   [`ENTROPY_FULL`] for per-device unique layouts). Devices are
+//!   partitioned into contiguous *address classes* sharing one boot
+//!   layout; the attack session (fork → lookup → forged answer → VM
+//!   run) executes once per class and its verdict fans out to every
+//!   device of the class.
+//! * **Batched answer fan-out.** A forked victim's first lookup is a
+//!   pure function of its snapshot, so one [`AnswerBank`] per cohort
+//!   captures the relocated exploit response once; every further class
+//!   of the cohort is answered by a byte-compare and a borrow
+//!   ([`fan_out`] is allocation-free, see `tests/zero_alloc.rs`).
+//! * **Streaming reports.** Workers fold verdicts into per-cohort
+//!   integer accumulators ([`CohortAccum`]) per chunk; chunk partials
+//!   merge commutatively, so the report stays O(cohorts) and
+//!   [`FleetReport::render`] is byte-identical at any `--jobs`. The
+//!   materialized per-device record vector is an opt-in ablation arm
+//!   ([`FleetConfig::materialize`]), not the steady state.
+//!
+//! Determinism: the class containing device `i` boots with
+//! [`derive_seed`]`(base_seed, first_device_of_class)` and per-device
+//! packet-loss draws are a pure function of `(base_seed, i)`, so every
+//! aggregate is independent of worker count and chunk boundaries.
 
 use std::cell::RefCell;
+use std::collections::HashMap;
 use std::net::Ipv4Addr;
+use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use cml_connman::{Daemon, Resolution};
+use cml_connman::{ProxyOutcome, Resolution};
 use cml_dns::{BufPool, Name, RecordType, WireBuf};
-use cml_exploit::{MaliciousDnsServer, RopMemcpyChain, Slides, TargetInfo, TemplateSet};
-use cml_firmware::{Arch, BootForge, Firmware, FirmwareKind, Protections};
+use cml_exploit::{
+    AnswerBank, ArmGadgetExeclp, CodeInjection, ExploitStrategy, MaliciousDnsServer, Ret2Libc,
+    RopMemcpyChain, Slides, TargetInfo, TemplateSet,
+};
+use cml_firmware::{Arch, BootForge, Firmware, FirmwareKind, Protections, SharedForge};
 use cml_netsim::{
     share, AccessPoint, ApConfig, ApId, DhcpConfig, HwAddr, RadioEnvironment, Ssid, Station,
     UdpService,
 };
 
+use crate::arena::Bump;
 use crate::lab::Lab;
 use crate::runner::{derive_seed, Runner};
 
-/// One device in the fleet.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct DeviceSpec {
-    /// Firmware profile the device ships.
+/// Default per-cohort boot-entropy model: 2¹² = 4096 distinct ASLR
+/// layouts per cohort, the "entropy-starved embedded boot" regime the
+/// IoT literature documents. Raise to [`ENTROPY_FULL`] for per-device
+/// unique layouts.
+pub const DEFAULT_COHORT_ENTROPY_BITS: u8 = 12;
+
+/// Sentinel entropy: every device draws its own boot layout (the
+/// pre-cohort behavior, and the honest setting for benchmarking
+/// per-device session cost).
+pub const ENTROPY_FULL: u8 = 63;
+
+/// Salt mixed into per-device packet-loss draws so they decorrelate
+/// from the boot-seed stream.
+const LOSS_SALT: u64 = 0x4C4F_5353; // "LOSS"
+
+/// One cohort: a contiguous block of identically-provisioned devices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CohortSpec {
+    /// Cohort name (used in reports and as the DNS label the cohort's
+    /// telemetry hostname carries).
+    pub name: String,
+    /// Firmware profile the cohort ships.
     pub kind: FirmwareKind,
     /// Its CPU.
     pub arch: Arch,
+    /// Mitigation configuration its vendor enabled.
+    pub protections: Protections,
+    /// Devices in the cohort.
+    pub count: u64,
+    /// Packet-loss probability of the cohort's radio environment, in
+    /// parts per million (responses lost in flight; a lost response
+    /// leaves the device alive and uncompromised).
+    pub loss_ppm: u32,
+    /// Boot-entropy model: the cohort exhibits at most
+    /// `2^entropy_bits` distinct boot layouts (≥ 63 means every device
+    /// draws its own).
+    pub entropy_bits: u8,
 }
 
-/// A parameterized fleet.
+impl CohortSpec {
+    /// A cohort with no packet loss and the default entropy model.
+    pub fn new(name: &str, kind: FirmwareKind, arch: Arch, count: u64) -> CohortSpec {
+        CohortSpec {
+            name: name.to_string(),
+            kind,
+            arch,
+            protections: Protections::full(),
+            count,
+            loss_ppm: 0,
+            entropy_bits: DEFAULT_COHORT_ENTROPY_BITS,
+        }
+    }
+
+    /// Distinct boot layouts the cohort's population draws.
+    pub fn classes(&self) -> u64 {
+        if self.entropy_bits >= ENTROPY_FULL || self.count == 0 {
+            return self.count;
+        }
+        self.count.min(1u64 << self.entropy_bits)
+    }
+
+    /// Devices per address class (the last class may be shorter).
+    pub fn run_len(&self) -> u64 {
+        let classes = self.classes().max(1);
+        self.count.div_ceil(classes).max(1)
+    }
+
+    /// Parses a comma-separated cohort list:
+    /// `name=kind/arch/prot/count[/loss=P%|PPM][/entropy=BITS]`, e.g.
+    /// `tv=openelec/armv7/full/400000,cam=patched/armv7/full/100`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message naming the offending field.
+    pub fn parse_list(s: &str) -> Result<Vec<CohortSpec>, String> {
+        let mut out = Vec::new();
+        for (idx, part) in s.split(',').enumerate() {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (name, rest) = part
+                .split_once('=')
+                .ok_or_else(|| format!("cohort {idx}: expected name=..., got {part:?}"))?;
+            let mut fields = rest.split('/');
+            let kind = match fields.next() {
+                Some("openelec") => FirmwareKind::OpenElec,
+                Some("yocto") => FirmwareKind::Yocto,
+                Some("tizen") => FirmwareKind::Tizen,
+                Some("patched") => FirmwareKind::Patched,
+                other => return Err(format!("cohort {name}: unknown firmware {other:?}")),
+            };
+            let arch = match fields.next() {
+                Some("x86") => Arch::X86,
+                Some("arm") | Some("armv7") => Arch::Armv7,
+                other => return Err(format!("cohort {name}: unknown arch {other:?}")),
+            };
+            let protections = match fields.next() {
+                Some("none") => Protections::none(),
+                Some("wxorx") => Protections::wxorx(),
+                Some("full") => Protections::full(),
+                Some("canary") => Protections::full().with_canary(),
+                Some("cfi") => Protections::full().with_cfi(),
+                Some("pie") => Protections::full().with_pie(),
+                other => return Err(format!("cohort {name}: unknown protections {other:?}")),
+            };
+            let count: u64 = fields
+                .next()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| format!("cohort {name}: bad device count"))?;
+            let mut spec = CohortSpec {
+                name: name.to_string(),
+                kind,
+                arch,
+                protections,
+                count,
+                loss_ppm: 0,
+                entropy_bits: DEFAULT_COHORT_ENTROPY_BITS,
+            };
+            for extra in fields {
+                if let Some(v) = extra.strip_prefix("loss=") {
+                    spec.loss_ppm = if let Some(pct) = v.strip_suffix('%') {
+                        let pct: f64 = pct
+                            .parse()
+                            .map_err(|_| format!("cohort {name}: bad loss {v:?}"))?;
+                        (pct * 10_000.0).round() as u32
+                    } else {
+                        v.parse()
+                            .map_err(|_| format!("cohort {name}: bad loss {v:?}"))?
+                    };
+                } else if let Some(v) = extra.strip_prefix("entropy=") {
+                    spec.entropy_bits = v
+                        .parse()
+                        .map_err(|_| format!("cohort {name}: bad entropy {v:?}"))?;
+                } else {
+                    return Err(format!("cohort {name}: unknown field {extra:?}"));
+                }
+            }
+            out.push(spec);
+        }
+        if out.is_empty() {
+            return Err("no cohorts given".to_string());
+        }
+        Ok(out)
+    }
+}
+
+/// A parameterized fleet: a base seed plus cohort descriptors. Device
+/// membership is *computed*, never materialized — the spec for 10⁶
+/// devices is a few hundred bytes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FleetSpec {
-    /// Base seed; device `i` boots with `derive_seed(base_seed, i)`.
+    /// Base seed; the class containing device `i` boots with
+    /// `derive_seed(base_seed, first_device_of_class)`.
     pub base_seed: u64,
-    /// The devices, in fleet order.
-    pub devices: Vec<DeviceSpec>,
+    /// The cohorts, in fleet order (cohort `c` occupies the device
+    /// index range `[starts[c], starts[c] + counts[c])`).
+    pub cohorts: Vec<CohortSpec>,
 }
 
 impl FleetSpec {
-    /// A heterogeneous fleet of `n` devices in the 10-device pattern
-    /// 4× smart-TV (OpenELEC/ARMv7), 3× thermostat (Yocto/x86),
-    /// 2× set-top (Tizen/ARMv7), 1× patched camera (Patched/ARMv7) —
-    /// roughly the vulnerable/patched mix of the paper's survey.
-    pub fn heterogeneous(n: usize, base_seed: u64) -> FleetSpec {
-        const PATTERN: [DeviceSpec; 10] = [
-            DeviceSpec {
-                kind: FirmwareKind::OpenElec,
-                arch: Arch::Armv7,
-            },
-            DeviceSpec {
-                kind: FirmwareKind::OpenElec,
-                arch: Arch::Armv7,
-            },
-            DeviceSpec {
-                kind: FirmwareKind::OpenElec,
-                arch: Arch::Armv7,
-            },
-            DeviceSpec {
-                kind: FirmwareKind::OpenElec,
-                arch: Arch::Armv7,
-            },
-            DeviceSpec {
-                kind: FirmwareKind::Yocto,
-                arch: Arch::X86,
-            },
-            DeviceSpec {
-                kind: FirmwareKind::Yocto,
-                arch: Arch::X86,
-            },
-            DeviceSpec {
-                kind: FirmwareKind::Yocto,
-                arch: Arch::X86,
-            },
-            DeviceSpec {
-                kind: FirmwareKind::Tizen,
-                arch: Arch::Armv7,
-            },
-            DeviceSpec {
-                kind: FirmwareKind::Tizen,
-                arch: Arch::Armv7,
-            },
-            DeviceSpec {
-                kind: FirmwareKind::Patched,
-                arch: Arch::Armv7,
-            },
-        ];
+    /// Total devices across cohorts.
+    pub fn devices(&self) -> u64 {
+        self.cohorts.iter().map(|c| c.count).sum()
+    }
+
+    /// A single-cohort fleet: `n` smart-TVs (OpenELEC 1.34 / ARMv7,
+    /// full W⊕X+ASLR) — the homogeneous headline scenario.
+    pub fn homogeneous(n: u64, base_seed: u64) -> FleetSpec {
         FleetSpec {
             base_seed,
-            devices: (0..n).map(|i| PATTERN[i % PATTERN.len()]).collect(),
+            cohorts: vec![CohortSpec::new(
+                "tv",
+                FirmwareKind::OpenElec,
+                Arch::Armv7,
+                n,
+            )],
+        }
+    }
+
+    /// A heterogeneous fleet of `n` devices in four cohorts mirroring
+    /// the paper's survey mix — 40% smart-TV (OpenELEC/ARMv7, full
+    /// mitigations), 30% thermostat (Yocto/x86, W⊕X only), 20% set-top
+    /// (Tizen/ARMv7, full, on a lossy 2% link), 10% patched camera
+    /// (Connman 1.35) — so firmware versions, mitigation configs and
+    /// packet-loss profiles all vary across the population.
+    pub fn heterogeneous(n: u64, base_seed: u64) -> FleetSpec {
+        let tv = n * 4 / 10;
+        let thermo = n * 3 / 10;
+        let settop = n * 2 / 10;
+        let cam = n - tv - thermo - settop;
+        let mut cohorts = vec![
+            CohortSpec::new("tv", FirmwareKind::OpenElec, Arch::Armv7, tv),
+            CohortSpec {
+                protections: Protections::wxorx(),
+                ..CohortSpec::new("thermostat", FirmwareKind::Yocto, Arch::X86, thermo)
+            },
+            CohortSpec {
+                loss_ppm: 20_000,
+                ..CohortSpec::new("settop", FirmwareKind::Tizen, Arch::Armv7, settop)
+            },
+            CohortSpec::new("camera", FirmwareKind::Patched, Arch::Armv7, cam),
+        ];
+        cohorts.retain(|c| c.count > 0);
+        FleetSpec { base_seed, cohorts }
+    }
+
+    /// Device-index range of cohort `c`.
+    fn cohort_range(&self, c: usize) -> Range<u64> {
+        let start: u64 = self.cohorts[..c].iter().map(|x| x.count).sum();
+        start..start + self.cohorts[c].count
+    }
+}
+
+/// What one attack session (or its absence) did to a device. The
+/// buckets form the per-cohort fault histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Verdict {
+    /// Arbitrary code executed and spawned a root shell.
+    Shell = 0,
+    /// The daemon crashed (denial of service).
+    Crash = 1,
+    /// Hijacked execution ended in a clean exit.
+    Exit = 2,
+    /// The response was rejected (header gate or parse, including the
+    /// patched 1.35 bounds check); the daemon keeps serving.
+    Refused = 3,
+    /// The response was accepted and served benignly.
+    Served = 4,
+    /// The daemon was already down before the attack round.
+    Down = 5,
+    /// The forged response was lost in flight; the device was never
+    /// attacked this round.
+    Lost = 6,
+}
+
+impl Verdict {
+    /// Number of buckets.
+    pub const COUNT: usize = 7;
+
+    /// All verdicts, histogram order.
+    pub const ALL: [Verdict; Verdict::COUNT] = [
+        Verdict::Shell,
+        Verdict::Crash,
+        Verdict::Exit,
+        Verdict::Refused,
+        Verdict::Served,
+        Verdict::Down,
+        Verdict::Lost,
+    ];
+
+    /// Report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Verdict::Shell => "shell",
+            Verdict::Crash => "crash",
+            Verdict::Exit => "exit",
+            Verdict::Refused => "refused",
+            Verdict::Served => "served",
+            Verdict::Down => "down",
+            Verdict::Lost => "lost",
+        }
+    }
+
+    /// Whether the daemon still serves after this verdict.
+    pub fn alive(self) -> bool {
+        matches!(self, Verdict::Refused | Verdict::Served | Verdict::Lost)
+    }
+
+    /// Whether the attacker got a root shell.
+    pub fn compromised(self) -> bool {
+        self == Verdict::Shell
+    }
+
+    fn classify(outcome: &ProxyOutcome) -> Verdict {
+        match outcome {
+            ProxyOutcome::Compromised(_) => Verdict::Shell,
+            ProxyOutcome::Crashed(_) => Verdict::Crash,
+            ProxyOutcome::HijackedExit { .. } => Verdict::Exit,
+            ProxyOutcome::Rejected(_) | ProxyOutcome::ParseFailed { .. } => Verdict::Refused,
+            ProxyOutcome::Answered { .. } => Verdict::Served,
+            ProxyOutcome::DaemonDown => Verdict::Down,
+            // `ProxyOutcome` is non-exhaustive; a future outcome that
+            // doesn't kill the daemon reads as a benign serve.
+            _ => Verdict::Served,
         }
     }
 }
 
-/// What happened to one device.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct DeviceOutcome {
-    /// Stable device name (`"dev-0017 openelec/ARMv7"` style).
-    pub name: String,
-    /// Whether the firmware is a vulnerable build.
-    pub vulnerable: bool,
-    /// Whether the attack spawned a root shell on it.
-    pub compromised: bool,
-    /// Whether the daemon still serves after the attack round.
-    pub alive: bool,
+/// Streaming per-cohort accumulator: everything the report needs, in
+/// integers, so chunk partials merge commutatively and the rendered
+/// output cannot depend on worker count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CohortAccum {
+    /// Devices folded in.
+    pub devices: u64,
+    /// Devices with a root shell.
+    pub compromised: u64,
+    /// Devices whose daemon still serves.
+    pub alive: u64,
+    /// Devices whose forged response was lost in flight.
+    pub lost: u64,
+    /// Fault histogram over [`Verdict::ALL`].
+    pub histo: [u64; Verdict::COUNT],
 }
 
-/// Cumulative per-phase wall time across all devices of a fleet run
+impl CohortAccum {
+    /// Folds `n` devices sharing `verdict` into the accumulator.
+    pub fn fold(&mut self, verdict: Verdict, n: u64) {
+        self.devices += n;
+        if verdict.compromised() {
+            self.compromised += n;
+        }
+        if verdict.alive() {
+            self.alive += n;
+        }
+        if verdict == Verdict::Lost {
+            self.lost += n;
+        }
+        self.histo[verdict as usize] += n;
+    }
+
+    /// Merges another accumulator (commutative, associative).
+    pub fn merge(&mut self, other: &CohortAccum) {
+        self.devices += other.devices;
+        self.compromised += other.compromised;
+        self.alive += other.alive;
+        self.lost += other.lost;
+        for (a, b) in self.histo.iter_mut().zip(other.histo.iter()) {
+            *a += b;
+        }
+    }
+}
+
+/// Whether device `i`'s forged response is lost in flight — a pure
+/// function of `(base_seed, i)`, independent of scheduling.
+#[inline]
+fn response_lost(base_seed: u64, i: u64, loss_ppm: u32) -> bool {
+    loss_ppm != 0 && derive_seed(base_seed ^ LOSS_SALT, i) % 1_000_000 < loss_ppm as u64
+}
+
+/// The batched answer fan-out: applies one class session's `verdict`
+/// to every device in `range`, drawing each device's packet-loss fate
+/// from `(base_seed, index)`. This is the entire per-device cost of
+/// the streamed fleet path; it performs **zero heap allocations**
+/// (`tests/zero_alloc.rs` pins that under a counting allocator).
+pub fn fan_out(
+    verdict: Verdict,
+    range: Range<u64>,
+    base_seed: u64,
+    loss_ppm: u32,
+    acc: &mut CohortAccum,
+) {
+    if loss_ppm == 0 {
+        acc.fold(verdict, range.end.saturating_sub(range.start));
+        return;
+    }
+    for i in range {
+        if response_lost(base_seed, i, loss_ppm) {
+            acc.fold(Verdict::Lost, 1);
+        } else {
+            acc.fold(verdict, 1);
+        }
+    }
+}
+
+/// One materialized device record (the opt-in O(devices) ablation arm;
+/// the streamed path never builds these).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceRecord {
+    /// Global device index.
+    pub index: u64,
+    /// Cohort the device belongs to.
+    pub cohort: u32,
+    /// What happened to it.
+    pub verdict: Verdict,
+}
+
+/// Cumulative per-phase wall time across all sessions of a fleet run
 /// (summed over workers, so the phases can exceed the run's wall
 /// clock when `jobs > 1`).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct PhaseTimings {
-    /// Booting or forking the victim daemon and tuning its radio cell.
+    /// Forking (or booting) the victim daemon.
     pub forge_secs: f64,
-    /// Resolving through the proxy and delivering the forged response
-    /// over the (pooled) packet path.
+    /// Resolving through the proxy and obtaining the forged response
+    /// (answer bank or live packet path).
     pub deliver_secs: f64,
     /// Executing the delivered payload in the victim VM.
     pub vm_secs: f64,
 }
 
+/// One cohort's merged results.
+#[derive(Debug, Clone)]
+pub struct CohortReport {
+    /// The cohort description.
+    pub spec: CohortSpec,
+    /// Its merged accumulator.
+    pub accum: CohortAccum,
+}
+
 /// The merged result of a fleet run.
 #[derive(Debug, Clone)]
 pub struct FleetReport {
-    /// Per-device outcomes, in fleet order.
-    pub outcomes: Vec<DeviceOutcome>,
+    /// Total devices attacked (or lost) this run.
+    pub devices: u64,
+    /// Per-cohort results, in fleet order.
+    pub cohorts: Vec<CohortReport>,
+    /// Materialized per-device records (only with
+    /// [`FleetConfig::materialize`]; `None` on the streamed path).
+    pub outcomes: Option<Vec<DeviceRecord>>,
     /// Wall-clock time of the attack fan-out (excludes the shared
     /// firmware/recon prep).
     pub elapsed: Duration,
     /// Worker count used.
     pub jobs: usize,
-    /// Where the per-device time went, summed across workers.
+    /// Where the session time went, summed across workers.
     pub phases: PhaseTimings,
+    /// Distinct VM attack sessions executed (≤ devices; chunk
+    /// boundaries may replay a class, so this can vary with `--jobs`
+    /// and is excluded from [`FleetReport::render`]).
+    pub sessions: u64,
 }
 
 impl FleetReport {
     /// Number of devices with a root shell.
     pub fn compromised(&self) -> usize {
-        self.outcomes.iter().filter(|o| o.compromised).count()
+        self.cohorts
+            .iter()
+            .map(|c| c.accum.compromised)
+            .sum::<u64>() as usize
     }
 
     /// Number of devices still serving.
     pub fn survivors(&self) -> usize {
-        self.outcomes.iter().filter(|o| o.alive).count()
+        self.cohorts.iter().map(|c| c.accum.alive).sum::<u64>() as usize
     }
 
     /// Devices attacked per second of wall time.
     pub fn devices_per_sec(&self) -> f64 {
-        self.outcomes.len() as f64 / self.elapsed.as_secs_f64().max(1e-9)
+        self.devices as f64 / self.elapsed.as_secs_f64().max(1e-9)
     }
 
-    /// Deterministic rendering — excludes timing so serial and parallel
-    /// runs of the same [`FleetSpec`] produce identical bytes.
+    /// Deterministic rendering — integer-derived and ordered by cohort,
+    /// so serial and parallel runs of the same [`FleetSpec`] produce
+    /// identical bytes, including the per-cohort sections.
     pub fn render(&self) -> String {
         let mut out = format!(
             "fleet: {} devices, {} compromised, {} survivors\n",
-            self.outcomes.len(),
+            self.devices,
             self.compromised(),
             self.survivors()
         );
-        for o in &self.outcomes {
-            let verdict = if o.compromised {
-                "root shell"
-            } else if o.alive {
-                "alive"
+        out.push_str(&format!(
+            "{:<12} {:<18} {:<6} {:<7} {:>9} {:>9} {:>8} {:>9} {:>7}\n",
+            "cohort", "firmware", "arch", "prot", "devices", "shell", "rate", "alive", "lost"
+        ));
+        for c in &self.cohorts {
+            let a = &c.accum;
+            let rate = if a.devices == 0 {
+                0.0
             } else {
-                "crashed"
+                a.compromised as f64 * 100.0 / a.devices as f64
             };
-            out.push_str(&format!("{}: {}\n", o.name, verdict));
+            out.push_str(&format!(
+                "{:<12} {:<18} {:<6} {:<7} {:>9} {:>9} {:>7.2}% {:>9} {:>7}\n",
+                c.spec.name,
+                format!(
+                    "{} {}",
+                    c.spec.kind.os_name(),
+                    c.spec.kind.connman_version()
+                ),
+                c.spec.arch.to_string(),
+                prot_label(&c.spec.protections),
+                a.devices,
+                a.compromised,
+                rate,
+                a.alive,
+                a.lost
+            ));
+            let crash = a.histo[Verdict::Crash as usize];
+            let exit = a.histo[Verdict::Exit as usize];
+            let down = a.histo[Verdict::Down as usize];
+            if crash + exit + down > 0 {
+                out.push_str(&format!(
+                    "  faults[{}]: crash={crash} exit={exit} down={down}\n",
+                    c.spec.name
+                ));
+            }
         }
         out
+    }
+
+    /// The per-cohort table as a markdown [`crate::report::Table`]
+    /// (used to regenerate EXPERIMENTS.md).
+    pub fn to_table(&self, id: &str, title: &str) -> crate::report::Table {
+        let mut t = crate::report::Table::new(
+            id,
+            title,
+            &[
+                "cohort",
+                "firmware",
+                "arch",
+                "protections",
+                "devices",
+                "compromised",
+                "rate",
+                "alive",
+                "lost",
+            ],
+        );
+        for c in &self.cohorts {
+            let a = &c.accum;
+            let rate = if a.devices == 0 {
+                0.0
+            } else {
+                a.compromised as f64 * 100.0 / a.devices as f64
+            };
+            t.row([
+                c.spec.name.clone(),
+                format!(
+                    "{} {}",
+                    c.spec.kind.os_name(),
+                    c.spec.kind.connman_version()
+                ),
+                c.spec.arch.to_string(),
+                prot_label(&c.spec.protections).to_string(),
+                a.devices.to_string(),
+                a.compromised.to_string(),
+                format!("{rate:.2}%"),
+                a.alive.to_string(),
+                a.lost.to_string(),
+            ]);
+        }
+        t
+    }
+}
+
+/// Human label for the known protection configurations.
+fn prot_label(p: &Protections) -> &'static str {
+    match (p.wxorx, p.aslr.enabled, p.stack_canary, p.cfi, p.pie) {
+        (false, false, false, false, false) => "none",
+        (true, false, false, false, false) => "wxorx",
+        (true, true, false, false, false) => "full",
+        (true, true, true, false, false) => "canary",
+        (true, true, false, true, false) => "cfi",
+        (true, true, false, false, true) => "pie",
+        _ => "custom",
+    }
+}
+
+/// Progress callback: `(devices done so far, seconds elapsed)`. Called
+/// from worker threads after each chunk.
+pub type ProgressFn = Arc<dyn Fn(u64, f64) + Send + Sync>;
+
+/// Knobs of a fleet run. The defaults are the fast path; the `false`
+/// settings exist as honest ablation arms for `repro --bench-json`.
+#[derive(Clone, Default)]
+pub struct FleetConfig {
+    /// Worker threads (0 = one per CPU).
+    pub jobs: usize,
+    /// Fork each session from a boot snapshot instead of booting from
+    /// scratch (defaults on; `run_fleet_with(.., false)` is the
+    /// boot-per-session ablation).
+    pub no_snapshot: bool,
+    /// Boot forges per worker instead of spawning them from the shared
+    /// copy-on-write [`SharedForge`] (ablation arm).
+    pub per_worker_forge: bool,
+    /// Answer each session through the live netsim packet path instead
+    /// of the per-cohort [`AnswerBank`] (ablation arm).
+    pub per_device_answers: bool,
+    /// Materialize a [`DeviceRecord`] per device — O(devices) memory
+    /// (ablation arm; the streamed default keeps O(cohorts)).
+    pub materialize: bool,
+    /// Scheduling chunk size in devices (0 = auto).
+    pub chunk: u64,
+    /// Progress callback for `--stream`.
+    pub progress: Option<ProgressFn>,
+}
+
+impl std::fmt::Debug for FleetConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetConfig")
+            .field("jobs", &self.jobs)
+            .field("no_snapshot", &self.no_snapshot)
+            .field("per_worker_forge", &self.per_worker_forge)
+            .field("per_device_answers", &self.per_device_answers)
+            .field("materialize", &self.materialize)
+            .field("chunk", &self.chunk)
+            .field("progress", &self.progress.is_some())
+            .finish()
+    }
+}
+
+impl FleetConfig {
+    /// The fast path on `jobs` workers.
+    pub fn new(jobs: usize) -> FleetConfig {
+        FleetConfig {
+            jobs,
+            ..FleetConfig::default()
+        }
     }
 }
 
 /// Runs the rogue-AP attack against every device in the spec on `jobs`
-/// workers (0 = one per CPU).
-///
-/// Attacker prep (one recon per architecture, one firmware build per
-/// distinct profile) happens once, serially; the per-device boot +
-/// lure + attack sessions fan across the pool, where each worker
-/// compiles its payload templates on first use and reuses them for
-/// every later device.
+/// workers (0 = one per CPU), on the default fast path.
 ///
 /// # Panics
 ///
 /// Panics if reconnaissance or payload-template construction fails for
-/// an architecture present in the spec — the fleet scenario is only
+/// a profile present in the spec — the fleet scenario is only
 /// meaningful with working exploits.
 pub fn run_fleet(spec: &FleetSpec, jobs: usize) -> FleetReport {
-    run_fleet_with(spec, jobs, false)
+    run_fleet_cfg(spec, &FleetConfig::new(jobs))
+}
+
+/// [`run_fleet`] with an explicit boot path: when `snapshot` is false,
+/// every session boots its daemon from scratch instead of forking a
+/// snapshot. The report renders byte-identically either way.
+pub fn run_fleet_with(spec: &FleetSpec, jobs: usize, snapshot: bool) -> FleetReport {
+    run_fleet_cfg(
+        spec,
+        &FleetConfig {
+            jobs,
+            no_snapshot: !snapshot,
+            ..FleetConfig::default()
+        },
+    )
+}
+
+/// Profile key: firmware kind + arch + protection bits, used to index
+/// worker forges and shared boots in O(1).
+fn profile_key(kind: FirmwareKind, arch: Arch, p: &Protections) -> u64 {
+    let kind_idx = FirmwareKind::ALL
+        .iter()
+        .position(|k| *k == kind)
+        .expect("known kind") as u64;
+    let arch_idx = Arch::ALL
+        .iter()
+        .position(|a| *a == arch)
+        .expect("known arch") as u64;
+    (kind_idx << 40) | (arch_idx << 32) | prot_key(p)
+}
+
+/// Reference key: arch + protection bits (recon is kind-independent —
+/// the attacker probes their own vulnerable replica).
+fn reference_key(arch: Arch, p: &Protections) -> u64 {
+    let arch_idx = Arch::ALL
+        .iter()
+        .position(|a| *a == arch)
+        .expect("known arch") as u64;
+    (arch_idx << 32) | prot_key(p)
+}
+
+fn prot_key(p: &Protections) -> u64 {
+    (p.wxorx as u64)
+        | (p.aslr.enabled as u64) << 1
+        | (p.stack_canary as u64) << 2
+        | (p.cfi as u64) << 3
+        | (p.pie as u64) << 4
+        | (p.aslr.entropy_bits as u64) << 8
+}
+
+/// The attacker's exploitation strategy for a mitigation config —
+/// mirrors `cml --strategy auto`.
+fn pick_strategy(arch: Arch, p: &Protections) -> Box<dyn ExploitStrategy> {
+    if p.aslr.enabled {
+        Box::new(RopMemcpyChain::new(arch))
+    } else if p.wxorx {
+        match arch {
+            Arch::X86 => Box::new(Ret2Libc::new()),
+            Arch::Armv7 => Box::new(ArmGadgetExeclp::new()),
+        }
+    } else {
+        Box::new(CodeInjection::new(arch))
+    }
+}
+
+/// Immutable run context shared by every worker.
+struct FleetCtx<'a> {
+    spec: &'a FleetSpec,
+    cfg: &'a FleetConfig,
+    run_gen: u64,
+    started: Instant,
+    done: AtomicU64,
+    /// Cohort start indices (parallel to `spec.cohorts`).
+    starts: Vec<u64>,
+    /// One firmware build per distinct (kind, arch).
+    firmwares: HashMap<u64, Firmware>,
+    /// One shared boot per distinct (kind, arch, protections).
+    shared: HashMap<u64, SharedForge>,
+    /// One recon per distinct (arch, protections).
+    references: HashMap<u64, TargetInfo>,
+    ssid: Ssid,
+}
+
+impl FleetCtx<'_> {
+    /// Cohort containing global device index `i`.
+    fn locate(&self, i: u64) -> usize {
+        match self.starts.binary_search(&i) {
+            Ok(c) => c,
+            Err(c) => c - 1,
+        }
+    }
+}
+
+/// Per-cohort worker state: the malicious resolver (armed with the
+/// cohort's strategy), its captured answer bank, and the cohort's
+/// telemetry hostname.
+struct CohortState {
+    dns: Ipv4Addr,
+    host: Name,
+    server: MaliciousDnsServer,
+    bank: Option<AnswerBank>,
+    on_air: bool,
+    /// Victim station for the live packet path. Per cohort with a
+    /// distinct MAC: DHCP leases are sticky per MAC, so a shared
+    /// station would keep the previous cohort's resolver address.
+    station: Station,
 }
 
 /// Per-worker persistent attack state: built on the worker's first
-/// device of a run, reused for every later one.
+/// chunk of a run, reused for every later one.
 struct Worker {
-    /// Which [`run_fleet_with`] invocation this state belongs to; a
-    /// stale generation (a previous run on the same thread) rebuilds.
+    /// Which run this state belongs to; a stale generation (a previous
+    /// run on the same thread) rebuilds.
     run_gen: u64,
     env: RadioEnvironment,
     ap: ApId,
-    /// Architectures whose malicious server is already on the air.
-    servers: Vec<Arch>,
-    /// Boot-once/fork-many snapshots, keyed by device profile.
-    forges: Vec<(DeviceSpec, BootForge)>,
+    /// Boot-once/fork-many victims, **indexed by profile key** (O(1),
+    /// replacing the linear scan the Vec-keyed version paid per fork).
+    forges: HashMap<u64, BootForge>,
+    /// Per-cohort attacker state, indexed by cohort position.
+    cohorts: Vec<Option<CohortState>>,
+    /// Cohort whose resolver the AP currently advertises.
+    active_cohort: Option<usize>,
     /// Compiled payload templates, keyed by (strategy, arch).
     templates: TemplateSet,
     /// Warm DNS round-trip buffers.
     pool: BufPool,
+    /// Bump arena for materialized per-device records, reset per chunk.
+    records: Bump<DeviceRecord>,
 }
 
 thread_local! {
@@ -234,13 +822,9 @@ thread_local! {
 /// leases or servers.
 static RUN_GEN: AtomicU64 = AtomicU64::new(0);
 
-/// Address the malicious resolver for `arch` listens on.
-fn server_addr(arch: Arch) -> Ipv4Addr {
-    let idx = Arch::ALL
-        .iter()
-        .position(|a| *a == arch)
-        .expect("known arch") as u8;
-    Ipv4Addr::new(10, 0, 0, 53 + idx)
+/// Address the malicious resolver for cohort `c` listens on.
+fn server_addr(c: usize) -> Ipv4Addr {
+    Ipv4Addr::new(10, 0, (c / 200) as u8, (53 + c % 200) as u8)
 }
 
 /// Adapts [`MaliciousDnsServer`] to the netsim service trait, routing
@@ -260,196 +844,364 @@ impl UdpService for EvilService {
     }
 }
 
-/// [`run_fleet`] with an explicit boot path: when `snapshot` is true,
-/// each worker boots one daemon per firmware profile and forks it per
-/// device instead of booting every device from scratch. The report
-/// renders byte-identically either way.
-pub fn run_fleet_with(spec: &FleetSpec, jobs: usize, snapshot: bool) -> FleetReport {
-    let ssid = Ssid::new("SmartHome");
-    let protections = Protections::full();
+/// One chunk's partial result.
+struct ChunkPartial {
+    accums: Vec<CohortAccum>,
+    phases: PhaseTimings,
+    sessions: u64,
+    records: Vec<DeviceRecord>,
+}
 
-    // One recon per architecture, from the attacker's own replica;
-    // workers compile payload templates against these references.
-    let mut references: Vec<(Arch, TargetInfo)> = Vec::new();
-    for arch in Arch::ALL {
-        if spec.devices.iter().any(|d| d.arch == arch) {
-            let lab = Lab::new(FirmwareKind::OpenElec, arch).with_protections(protections);
-            let target = lab.recon().expect("vulnerable replica recon succeeds");
-            references.push((arch, target));
-        }
+/// Runs a fleet under an explicit [`FleetConfig`].
+///
+/// # Panics
+///
+/// Panics if reconnaissance or payload-template construction fails for
+/// a profile present in the spec (see [`run_fleet`]).
+pub fn run_fleet_cfg(spec: &FleetSpec, cfg: &FleetConfig) -> FleetReport {
+    assert!(
+        spec.cohorts.len() <= 1000,
+        "cohort count bounded by resolver address space"
+    );
+    let mut starts = Vec::with_capacity(spec.cohorts.len());
+    let mut acc = 0u64;
+    for c in &spec.cohorts {
+        starts.push(acc);
+        acc += c.count;
     }
-    // One firmware build per distinct profile.
-    let mut firmwares: Vec<(DeviceSpec, Firmware)> = Vec::new();
-    for d in &spec.devices {
-        if !firmwares.iter().any(|(k, _)| k == d) {
-            firmwares.push((*d, Firmware::build(d.kind, d.arch)));
+    let total = acc;
+
+    // Attacker prep, once and serially: one recon per (arch,
+    // protections), one firmware build per (kind, arch), one shared
+    // copy-on-write boot per (kind, arch, protections).
+    let mut firmwares: HashMap<u64, Firmware> = HashMap::new();
+    let mut references: HashMap<u64, TargetInfo> = HashMap::new();
+    let mut shared: HashMap<u64, SharedForge> = HashMap::new();
+    for (c, cohort) in spec.cohorts.iter().enumerate() {
+        if cohort.count == 0 {
+            continue;
+        }
+        let fw_key = profile_key(cohort.kind, cohort.arch, &Protections::none());
+        firmwares
+            .entry(fw_key)
+            .or_insert_with(|| Firmware::build(cohort.kind, cohort.arch));
+        let ref_key = reference_key(cohort.arch, &cohort.protections);
+        references.entry(ref_key).or_insert_with(|| {
+            Lab::new(FirmwareKind::OpenElec, cohort.arch)
+                .with_protections(cohort.protections)
+                .recon()
+                .expect("vulnerable replica recon succeeds")
+        });
+        if !cfg.per_worker_forge && !cfg.no_snapshot {
+            let forge_key = profile_key(cohort.kind, cohort.arch, &cohort.protections);
+            let seed = derive_seed(spec.base_seed, starts[c]);
+            let fw = &firmwares[&fw_key];
+            shared
+                .entry(forge_key)
+                .or_insert_with(|| SharedForge::new(fw, cohort.protections, seed));
         }
     }
 
     let run_gen = RUN_GEN.fetch_add(1, Ordering::Relaxed) + 1;
-    let start = Instant::now();
-    let runner = Runner::new(jobs);
-    let results = runner.run(spec.devices.clone(), |i, d| {
-        WORKER.with(|slot| {
-            let mut slot = slot.borrow_mut();
-            let worker = match slot.as_mut() {
-                Some(w) if w.run_gen == run_gen => w,
-                _ => {
-                    let mut env = RadioEnvironment::new();
-                    let ap = env.add_ap(AccessPoint::new(ApConfig {
-                        ssid: ssid.clone(),
-                        bssid: HwAddr::local(1),
-                        signal_dbm: -40,
-                        dhcp: DhcpConfig::new([10, 0, 0], Ipv4Addr::new(10, 0, 0, 53)),
-                    }));
-                    *slot = Some(Worker {
-                        run_gen,
-                        env,
-                        ap,
-                        servers: Vec::new(),
-                        forges: Vec::new(),
-                        templates: TemplateSet::new(),
-                        pool: BufPool::new(),
-                    });
-                    slot.as_mut().expect("just set")
-                }
-            };
-            attack_device(
-                worker,
-                spec.base_seed,
-                &ssid,
-                protections,
-                snapshot,
-                i,
-                d,
-                &firmwares,
-                &references,
-            )
-        })
-    });
+    let runner = Runner::new(cfg.jobs);
+    let chunk = if cfg.chunk > 0 {
+        cfg.chunk
+    } else {
+        (total.div_ceil(runner.jobs() as u64 * 8)).clamp(64, 16_384)
+    };
+    let ctx = FleetCtx {
+        spec,
+        cfg,
+        run_gen,
+        started: Instant::now(),
+        done: AtomicU64::new(0),
+        starts,
+        firmwares,
+        shared,
+        references,
+        ssid: Ssid::new("SmartHome"),
+    };
 
-    let mut outcomes = Vec::with_capacity(results.len());
+    let partials = runner.run_chunks(total, chunk, |range| process_chunk(&ctx, range));
+
+    let mut accums = vec![CohortAccum::default(); spec.cohorts.len()];
     let mut phases = PhaseTimings::default();
-    for (outcome, [forge, deliver, vm]) in results {
-        outcomes.push(outcome);
-        phases.forge_secs += forge;
-        phases.deliver_secs += deliver;
-        phases.vm_secs += vm;
+    let mut sessions = 0u64;
+    let mut outcomes = cfg.materialize.then(|| Vec::with_capacity(total as usize));
+    for p in &partials {
+        for (a, b) in accums.iter_mut().zip(p.accums.iter()) {
+            a.merge(b);
+        }
+        phases.forge_secs += p.phases.forge_secs;
+        phases.deliver_secs += p.phases.deliver_secs;
+        phases.vm_secs += p.phases.vm_secs;
+        sessions += p.sessions;
+        if let Some(out) = outcomes.as_mut() {
+            out.extend_from_slice(&p.records);
+        }
     }
     FleetReport {
+        devices: total,
+        cohorts: spec
+            .cohorts
+            .iter()
+            .zip(accums)
+            .map(|(spec, accum)| CohortReport {
+                spec: spec.clone(),
+                accum,
+            })
+            .collect(),
         outcomes,
-        elapsed: start.elapsed(),
+        elapsed: ctx.started.elapsed(),
         jobs: runner.jobs(),
         phases,
+        sessions,
     }
 }
 
-/// One device's boot + lure + attack session against the worker's
-/// persistent environment. Returns the outcome plus
-/// `[forge, deliver, vm]` phase seconds.
-#[allow(clippy::too_many_arguments)]
-fn attack_device(
-    worker: &mut Worker,
-    base_seed: u64,
-    ssid: &Ssid,
-    protections: Protections,
-    snapshot: bool,
-    i: usize,
-    d: DeviceSpec,
-    firmwares: &[(DeviceSpec, Firmware)],
-    references: &[(Arch, TargetInfo)],
-) -> (DeviceOutcome, [f64; 3]) {
-    let Worker {
-        env,
-        ap,
-        servers,
-        forges,
-        templates,
-        pool,
-        ..
-    } = worker;
+/// Processes one contiguous device-index chunk on the calling worker.
+fn process_chunk(ctx: &FleetCtx<'_>, range: Range<u64>) -> ChunkPartial {
+    WORKER.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        let worker = match slot.as_mut() {
+            Some(w) if w.run_gen == ctx.run_gen => w,
+            _ => {
+                let mut env = RadioEnvironment::new();
+                let ap = env.add_ap(AccessPoint::new(ApConfig {
+                    ssid: ctx.ssid.clone(),
+                    bssid: HwAddr::local(1),
+                    signal_dbm: -40,
+                    dhcp: DhcpConfig::new([10, 0, 0], server_addr(0)),
+                }));
+                *slot = Some(Worker {
+                    run_gen: ctx.run_gen,
+                    env,
+                    ap,
+                    forges: HashMap::new(),
+                    cohorts: (0..ctx.spec.cohorts.len()).map(|_| None).collect(),
+                    active_cohort: None,
+                    templates: TemplateSet::new(),
+                    pool: BufPool::new(),
+                    records: Bump::new(),
+                });
+                slot.as_mut().expect("just set")
+            }
+        };
+        let partial = run_range(worker, ctx, range.clone());
+        if let Some(progress) = &ctx.cfg.progress {
+            let done = ctx
+                .done
+                .fetch_add(range.end - range.start, Ordering::Relaxed)
+                + (range.end - range.start);
+            progress(done, ctx.started.elapsed().as_secs_f64());
+        }
+        partial
+    })
+}
 
-    let t_forge = Instant::now();
-    // First device of an architecture on this worker: relocate the
-    // payload template at the reference slides and put its server on
-    // the air. Every later device of the arch reuses the live server.
-    let dns = server_addr(d.arch);
-    if !servers.contains(&d.arch) {
-        let reference = &references
-            .iter()
-            .find(|(a, _)| *a == d.arch)
-            .expect("reconned")
-            .1;
-        let strategy = RopMemcpyChain::new(d.arch);
-        let template = templates
-            .get_or_compile(&strategy, reference)
+/// The chunk loop: walk the cohorts and address classes overlapping
+/// `range`, run one session per class, fan its verdict out.
+fn run_range(worker: &mut Worker, ctx: &FleetCtx<'_>, range: Range<u64>) -> ChunkPartial {
+    let mut partial = ChunkPartial {
+        accums: vec![CohortAccum::default(); ctx.spec.cohorts.len()],
+        phases: PhaseTimings::default(),
+        sessions: 0,
+        records: Vec::new(),
+    };
+    worker.records.reset();
+    let mut i = range.start;
+    while i < range.end {
+        let c = ctx.locate(i);
+        let cohort = &ctx.spec.cohorts[c];
+        let c_range = ctx.spec.cohort_range(c);
+        let upto = range.end.min(c_range.end);
+        let run_len = cohort.run_len();
+        while i < upto {
+            let local = i - c_range.start;
+            let class_first = c_range.start + (local / run_len) * run_len;
+            let sub = i..upto.min(class_first + run_len).min(c_range.end);
+            let seed = derive_seed(ctx.spec.base_seed, class_first);
+            let verdict = class_session(worker, ctx, c, seed, &mut partial);
+            partial.sessions += 1;
+            fan_out(
+                verdict,
+                sub.clone(),
+                ctx.spec.base_seed,
+                cohort.loss_ppm,
+                &mut partial.accums[c],
+            );
+            if ctx.cfg.materialize {
+                for index in sub.clone() {
+                    let v = if response_lost(ctx.spec.base_seed, index, cohort.loss_ppm) {
+                        Verdict::Lost
+                    } else {
+                        verdict
+                    };
+                    worker.records.push(DeviceRecord {
+                        index,
+                        cohort: c as u32,
+                        verdict: v,
+                    });
+                }
+            }
+            i = sub.end;
+        }
+    }
+    if ctx.cfg.materialize {
+        partial.records = worker.records.drain_to_vec();
+    }
+    partial
+}
+
+/// Ensures the worker's per-cohort attacker state exists and returns
+/// it: the strategy-armed resolver (template relocated once per
+/// worker × cohort profile), the cohort hostname, and — lazily, on
+/// first session — the captured answer bank.
+fn cohort_state<'w>(worker: &'w mut Worker, ctx: &FleetCtx<'_>, c: usize) -> &'w mut CohortState {
+    if worker.cohorts[c].is_none() {
+        let cohort = &ctx.spec.cohorts[c];
+        let reference = &ctx.references[&reference_key(cohort.arch, &cohort.protections)];
+        let strategy = pick_strategy(cohort.arch, &cohort.protections);
+        let template = worker
+            .templates
+            .get_or_compile(strategy.as_ref(), reference)
             .expect("fleet payload templates against the replica");
         let labels = template
             .instantiate(&Slides::identity())
             .expect("identity relocation labelizes");
-        let evil = MaliciousDnsServer::with_labels(labels, template.name());
-        env.register_service(dns, share(EvilService(evil)));
-        servers.push(d.arch);
+        let server = MaliciousDnsServer::with_labels(labels, template.name());
+        let host = Name::parse(&format!("telemetry.{}.vendor.example", cohort.name))
+            .expect("cohort names are label-safe");
+        worker.cohorts[c] = Some(CohortState {
+            dns: server_addr(c),
+            host,
+            server,
+            bank: None,
+            on_air: false,
+            station: Station::new(HwAddr::local(100 + c as u16), ctx.ssid.clone()),
+        });
     }
-    env.ap_mut(*ap).expect("worker AP on the air").set_dns(dns);
-    env.clear_events();
+    worker.cohorts[c].as_mut().expect("just ensured")
+}
 
-    let seed = derive_seed(base_seed, i as u64);
-    let mac = HwAddr::local((i % u16::MAX as usize) as u16);
+/// One attack session against a freshly forked (or freshly booted)
+/// victim of cohort `c` at boot seed `seed`. Returns the verdict every
+/// device of the class inherits.
+fn class_session(
+    worker: &mut Worker,
+    ctx: &FleetCtx<'_>,
+    c: usize,
+    seed: u64,
+    partial: &mut ChunkPartial,
+) -> Verdict {
+    let cohort = &ctx.spec.cohorts[c];
+    let cfg = ctx.cfg;
+
+    // Make sure the cohort's resolver exists (and is on the air when
+    // the live packet path is in use).
+    cohort_state(worker, ctx, c);
+
+    let t_forge = Instant::now();
+    let forge_key = profile_key(cohort.kind, cohort.arch, &cohort.protections);
+    let fw_key = profile_key(cohort.kind, cohort.arch, &Protections::none());
     let mut fresh_daemon;
-    let daemon: &mut Daemon = if snapshot {
-        if !forges.iter().any(|(k, _)| *k == d) {
-            let fw = &firmwares.iter().find(|(k, _)| *k == d).expect("prebuilt").1;
-            forges.push((d, fw.forge(protections, seed)));
-        }
-        forges
-            .iter_mut()
-            .find(|(k, _)| *k == d)
-            .expect("just added")
-            .1
-            .fork(seed)
-    } else {
-        let fw = &firmwares.iter().find(|(k, _)| *k == d).expect("prebuilt").1;
-        fresh_daemon = fw.boot(protections, seed);
+    let daemon = if cfg.no_snapshot {
+        fresh_daemon = ctx.firmwares[&fw_key].boot(cohort.protections, seed);
         &mut fresh_daemon
-    };
-    let mut station = Station::new(mac, ssid.clone());
-    station.rescan(env);
-    let forge_secs = t_forge.elapsed().as_secs_f64();
-
-    // The attack session: cache-missing lookup → proxied query to the
-    // rogue resolver → forged response into a pooled buffer → VM run.
-    let host = Name::parse(&format!("telemetry-{i}.vendor.example")).expect("valid name");
-    let mut deliver_secs = 0.0;
-    let mut vm_secs = 0.0;
-    let mut compromised = false;
-    if daemon.is_running() && station.association().is_some() {
-        let t = Instant::now();
-        match daemon.resolve(&host, RecordType::A) {
-            Resolution::Query(query) => {
-                let mut buf = pool.checkout();
-                let answered = station.query_dns_into(env, &query, buf.as_mut_vec());
-                deliver_secs = t.elapsed().as_secs_f64();
-                if answered {
-                    let t_vm = Instant::now();
-                    compromised = daemon.deliver_response(buf.as_bytes()).is_root_shell();
-                    vm_secs = t_vm.elapsed().as_secs_f64();
+    } else {
+        worker
+            .forges
+            .entry(forge_key)
+            .or_insert_with(|| {
+                if cfg.per_worker_forge {
+                    ctx.firmwares[&fw_key].forge(cohort.protections, seed)
+                } else {
+                    ctx.shared[&forge_key].spawn()
                 }
-                pool.checkin(buf);
-            }
-            Resolution::Cached(_) => {
-                deliver_secs = t.elapsed().as_secs_f64();
-            }
+            })
+            .fork(seed)
+    };
+    partial.phases.forge_secs += t_forge.elapsed().as_secs_f64();
+
+    if !daemon.is_running() {
+        return Verdict::Down;
+    }
+    let state = worker.cohorts[c].as_mut().expect("ensured above");
+
+    let t_deliver = Instant::now();
+    let query = match daemon.resolve(&state.host, RecordType::A) {
+        Resolution::Query(q) => q,
+        Resolution::Cached(_) => {
+            partial.phases.deliver_secs += t_deliver.elapsed().as_secs_f64();
+            return Verdict::Served;
         }
+    };
+
+    let outcome;
+    if !cfg.per_device_answers {
+        // Batched fan-out: the cohort's relocated response was encoded
+        // once; this class is answered by a byte-compare and a borrow.
+        if state.bank.is_none() {
+            state.bank = AnswerBank::capture(&mut state.server, &query);
+        }
+        let banked = state.bank.as_mut().and_then(|b| b.answer(&query)).is_some();
+        partial.phases.deliver_secs += t_deliver.elapsed().as_secs_f64();
+        let t_vm = Instant::now();
+        outcome = if banked {
+            let bytes = state
+                .bank
+                .as_ref()
+                .map(|b| b.response())
+                .expect("banked implies bank");
+            daemon.deliver_response(bytes)
+        } else {
+            // Non-canonical query (never on the forged boot path, but
+            // semantics must not depend on the bank): ask the live
+            // server.
+            match state.server.handle(&query) {
+                Some(resp) => daemon.deliver_response(&resp),
+                None => {
+                    partial.phases.vm_secs += t_vm.elapsed().as_secs_f64();
+                    return Verdict::Lost;
+                }
+            }
+        };
+        partial.phases.vm_secs += t_vm.elapsed().as_secs_f64();
+    } else {
+        // Ablation arm: full radio round trip per session.
+        if !state.on_air {
+            let service = EvilService(state.server.clone());
+            worker.env.register_service(state.dns, share(service));
+            state.on_air = true;
+        }
+        if worker.active_cohort != Some(c) {
+            worker
+                .env
+                .ap_mut(worker.ap)
+                .expect("worker AP on the air")
+                .set_dns(state.dns);
+            worker.active_cohort = Some(c);
+        }
+        worker.env.clear_events();
+        if state.station.association().is_none() {
+            state.station.rescan(&mut worker.env);
+        }
+        let mut buf = worker.pool.checkout();
+        let answered = state
+            .station
+            .query_dns_into(&mut worker.env, &query, buf.as_mut_vec());
+        partial.phases.deliver_secs += t_deliver.elapsed().as_secs_f64();
+        let t_vm = Instant::now();
+        if !answered {
+            worker.pool.checkin(buf);
+            return Verdict::Lost;
+        }
+        outcome = daemon.deliver_response(buf.as_bytes());
+        partial.phases.vm_secs += t_vm.elapsed().as_secs_f64();
+        worker.pool.checkin(buf);
     }
 
-    let outcome = DeviceOutcome {
-        name: format!("dev-{i:04} {}/{}", d.kind.os_name(), d.arch),
-        vulnerable: d.kind.is_vulnerable(),
-        compromised,
-        alive: daemon.is_running(),
-    };
-    (outcome, [forge_secs, deliver_secs, vm_secs])
+    Verdict::classify(&outcome)
 }
 
 #[cfg(test)]
@@ -457,29 +1209,58 @@ mod tests {
     use super::*;
 
     #[test]
-    fn vulnerable_devices_fall_and_patched_survive() {
-        let spec = FleetSpec::heterogeneous(10, 0xF1EE7);
+    fn vulnerable_cohorts_fall_and_patched_survive() {
+        let spec = FleetSpec::heterogeneous(20, 0xF1EE7);
         let report = run_fleet(&spec, 2);
-        assert_eq!(report.outcomes.len(), 10);
-        for o in &report.outcomes {
-            if o.vulnerable {
-                assert!(o.compromised, "{} should fall", o.name);
-                assert!(!o.alive, "{} daemon should be dead", o.name);
+        assert_eq!(report.devices, 20);
+        for c in &report.cohorts {
+            let a = &c.accum;
+            if c.spec.kind.is_vulnerable() {
+                assert_eq!(
+                    a.compromised + a.lost,
+                    a.devices,
+                    "{}: every delivered response pops a shell",
+                    c.spec.name
+                );
+                assert_eq!(
+                    a.alive, a.lost,
+                    "{}: only lost devices survive",
+                    c.spec.name
+                );
             } else {
-                assert!(!o.compromised, "{} is patched", o.name);
-                assert!(o.alive, "{} should survive", o.name);
+                assert_eq!(a.compromised, 0, "{} is patched", c.spec.name);
+                assert_eq!(a.alive, a.devices, "{} survives", c.spec.name);
+                assert_eq!(
+                    a.histo[Verdict::Refused as usize],
+                    a.devices - a.lost,
+                    "{}: bounds check refuses the payload",
+                    c.spec.name
+                );
             }
         }
-        assert_eq!(report.compromised(), 9);
-        assert_eq!(report.survivors(), 1);
     }
 
     #[test]
-    fn render_is_deterministic_across_worker_counts() {
-        let spec = FleetSpec::heterogeneous(12, 42);
-        let serial = run_fleet(&spec, 1).render();
-        let parallel = run_fleet(&spec, 4).render();
-        assert_eq!(serial, parallel);
+    fn render_is_byte_identical_across_worker_counts() {
+        let spec = FleetSpec::heterogeneous(30, 42);
+        let serial = run_fleet(&spec, 1);
+        for jobs in [2, 4] {
+            let parallel = run_fleet(&spec, jobs);
+            assert_eq!(serial.render(), parallel.render(), "jobs={jobs}");
+        }
+        // And across chunk geometries, which is the sharper contract.
+        for chunk in [1, 3, 7, 64] {
+            let cfg = FleetConfig {
+                jobs: 3,
+                chunk,
+                ..FleetConfig::default()
+            };
+            assert_eq!(
+                serial.render(),
+                run_fleet_cfg(&spec, &cfg).render(),
+                "chunk={chunk}"
+            );
+        }
     }
 
     #[test]
@@ -491,12 +1272,169 @@ mod tests {
     }
 
     #[test]
-    fn phase_timings_cover_the_session() {
-        let spec = FleetSpec::heterogeneous(6, 7);
-        let report = run_fleet(&spec, 1);
-        let p = report.phases;
-        assert!(p.forge_secs > 0.0, "boot time is accounted");
-        assert!(p.deliver_secs > 0.0, "delivery time is accounted");
-        assert!(p.vm_secs > 0.0, "vm time is accounted");
+    fn cow_forges_match_per_worker_forges_on_the_full_matrix() {
+        // The 6-cell matrix: {none, wxorx, full} × {x86, ARMv7}, one
+        // cohort each, plus loss on one cohort for good measure.
+        let mut cohorts = Vec::new();
+        for (pi, prot) in [
+            Protections::none(),
+            Protections::wxorx(),
+            Protections::full(),
+        ]
+        .iter()
+        .enumerate()
+        {
+            for arch in Arch::ALL {
+                cohorts.push(CohortSpec {
+                    protections: *prot,
+                    loss_ppm: if pi == 1 { 50_000 } else { 0 },
+                    ..CohortSpec::new(
+                        &format!("cell-{pi}-{arch}"),
+                        FirmwareKind::OpenElec,
+                        arch,
+                        5,
+                    )
+                });
+            }
+        }
+        let spec = FleetSpec {
+            base_seed: 0xC0C0A,
+            cohorts,
+        };
+        let shared = run_fleet_cfg(&spec, &FleetConfig::new(2));
+        let per_worker = run_fleet_cfg(
+            &spec,
+            &FleetConfig {
+                jobs: 2,
+                per_worker_forge: true,
+                ..FleetConfig::default()
+            },
+        );
+        assert_eq!(shared.render(), per_worker.render());
+        // Every vulnerable cell actually fell (modulo injected loss).
+        for c in &shared.cohorts {
+            assert_eq!(
+                c.accum.compromised + c.accum.lost,
+                c.accum.devices,
+                "{}",
+                c.spec.name
+            );
+        }
+    }
+
+    #[test]
+    fn batched_answers_match_per_device_packet_path() {
+        let spec = FleetSpec::heterogeneous(18, 0xBEEF);
+        let batched = run_fleet_cfg(&spec, &FleetConfig::new(2));
+        let live = run_fleet_cfg(
+            &spec,
+            &FleetConfig {
+                jobs: 2,
+                per_device_answers: true,
+                ..FleetConfig::default()
+            },
+        );
+        assert_eq!(batched.render(), live.render());
+    }
+
+    #[test]
+    fn streamed_report_matches_materialized_report() {
+        let spec = FleetSpec::heterogeneous(25, 7);
+        let streamed = run_fleet_cfg(&spec, &FleetConfig::new(3));
+        let materialized = run_fleet_cfg(
+            &spec,
+            &FleetConfig {
+                jobs: 3,
+                materialize: true,
+                ..FleetConfig::default()
+            },
+        );
+        assert_eq!(streamed.render(), materialized.render());
+        assert!(streamed.outcomes.is_none());
+        let records = materialized.outcomes.clone().expect("materialized records");
+        assert_eq!(records.len(), 25);
+        // Records arrive in global device order with per-device verdicts
+        // consistent with the cohort accumulators.
+        for (k, r) in records.iter().enumerate() {
+            assert_eq!(r.index, k as u64);
+        }
+        let shells = records.iter().filter(|r| r.verdict.compromised()).count();
+        assert_eq!(shells, materialized.compromised());
+    }
+
+    #[test]
+    fn entropy_classes_share_boot_layouts() {
+        // 16 devices, 2 bits of boot entropy → 4 classes of 4: exactly
+        // 4 distinct sessions at jobs=1, same compromise totals as the
+        // full-entropy run of the same cohort.
+        let narrow = FleetSpec {
+            base_seed: 0xE41,
+            cohorts: vec![CohortSpec {
+                entropy_bits: 2,
+                ..CohortSpec::new("tv", FirmwareKind::OpenElec, Arch::X86, 16)
+            }],
+        };
+        let full = FleetSpec {
+            base_seed: 0xE41,
+            cohorts: vec![CohortSpec {
+                entropy_bits: ENTROPY_FULL,
+                ..CohortSpec::new("tv", FirmwareKind::OpenElec, Arch::X86, 16)
+            }],
+        };
+        let narrow_report = run_fleet(&narrow, 1);
+        let full_report = run_fleet(&full, 1);
+        assert_eq!(narrow_report.sessions, 4);
+        assert_eq!(full_report.sessions, 16);
+        assert_eq!(narrow_report.compromised(), 16);
+        assert_eq!(full_report.compromised(), 16);
+    }
+
+    #[test]
+    fn loss_profile_spares_a_deterministic_subset() {
+        let spec = FleetSpec {
+            base_seed: 0x10,
+            cohorts: vec![CohortSpec {
+                loss_ppm: 300_000, // 30%
+                ..CohortSpec::new("lossy", FirmwareKind::OpenElec, Arch::Armv7, 40)
+            }],
+        };
+        let a = run_fleet(&spec, 1);
+        let b = run_fleet(&spec, 4);
+        let acc = &a.cohorts[0].accum;
+        assert!(acc.lost > 0, "30% loss over 40 devices loses some");
+        assert!(acc.lost < 40, "but not all");
+        assert_eq!(acc.compromised + acc.lost, 40);
+        assert_eq!(a.render(), b.render());
+    }
+
+    #[test]
+    fn cohort_spec_parsing_round_trips() {
+        let parsed = CohortSpec::parse_list(
+            "tv=openelec/armv7/full/400,stat=yocto/x86/wxorx/300/loss=2%,\
+             cam=patched/arm/canary/100/entropy=8",
+        )
+        .expect("parses");
+        assert_eq!(parsed.len(), 3);
+        assert_eq!(parsed[0].count, 400);
+        assert_eq!(parsed[1].loss_ppm, 20_000);
+        assert_eq!(parsed[1].protections, Protections::wxorx());
+        assert_eq!(parsed[2].entropy_bits, 8);
+        assert!(parsed[2].protections.stack_canary);
+        assert!(CohortSpec::parse_list("bogus").is_err());
+        assert!(CohortSpec::parse_list("a=nope/x86/full/1").is_err());
+    }
+
+    #[test]
+    fn fan_out_honours_loss_and_counts() {
+        let mut acc = CohortAccum::default();
+        fan_out(Verdict::Shell, 0..1000, 0xAB, 0, &mut acc);
+        assert_eq!(acc.devices, 1000);
+        assert_eq!(acc.compromised, 1000);
+        let mut lossy = CohortAccum::default();
+        fan_out(Verdict::Shell, 0..1000, 0xAB, 100_000, &mut lossy);
+        assert_eq!(lossy.devices, 1000);
+        assert!(lossy.lost > 50 && lossy.lost < 200, "≈10%: {}", lossy.lost);
+        assert_eq!(lossy.compromised + lossy.lost, 1000);
+        assert_eq!(lossy.alive, lossy.lost);
     }
 }

@@ -32,6 +32,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 mod device;
 pub mod experiments;
 pub mod fleet;
@@ -40,7 +41,10 @@ pub mod report;
 pub mod runner;
 
 pub use device::{IotDevice, LookupOutcome};
-pub use fleet::{FleetReport, FleetSpec, PhaseTimings};
+pub use fleet::{
+    CohortAccum, CohortReport, CohortSpec, DeviceRecord, FleetConfig, FleetReport, FleetSpec,
+    PhaseTimings, Verdict,
+};
 pub use lab::{AttackOutcome, AttackReport, Lab, LabError};
 pub use runner::{derive_seed, Runner};
 

@@ -21,6 +21,7 @@
 //! termination condition.
 
 use std::collections::VecDeque;
+use std::sync::atomic::AtomicU64;
 
 use parking_lot::Mutex;
 
@@ -107,6 +108,57 @@ impl Runner {
             .map(|m| m.into_inner().expect("every cell produces a result"))
             .collect()
     }
+
+    /// Maps `work` over the index ranges `[k·chunk, (k+1)·chunk) ∩
+    /// [0, total)` and returns one partial per chunk, ordered by chunk
+    /// index regardless of completion order.
+    ///
+    /// This is the O(1)-per-item scheduler for fleet-scale fan-outs:
+    /// where [`Runner::run`] materializes a slot and a mutex per item,
+    /// `run_chunks` keeps only an atomic claim counter and
+    /// `total / chunk` partials, so a million-device campaign's
+    /// scheduling state stays a few hundred accumulators. Chunks are
+    /// claimed dynamically, so uneven per-chunk cost load-balances like
+    /// work stealing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk` is zero.
+    pub fn run_chunks<P, F>(&self, total: u64, chunk: u64, work: F) -> Vec<P>
+    where
+        P: Send,
+        F: Fn(std::ops::Range<u64>) -> P + Sync,
+    {
+        assert!(chunk > 0, "chunk size must be positive");
+        let chunks = total.div_ceil(chunk);
+        let workers = self.jobs.min(chunks.max(1) as usize).max(1);
+        if workers == 1 {
+            return (0..chunks)
+                .map(|k| work(k * chunk..total.min((k + 1) * chunk)))
+                .collect();
+        }
+        let next = AtomicU64::new(0);
+        let partials: Vec<Mutex<Option<P>>> = (0..chunks).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let next = &next;
+                let partials = &partials;
+                let work = &work;
+                scope.spawn(move || loop {
+                    let k = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if k >= chunks {
+                        break;
+                    }
+                    let r = work(k * chunk..total.min((k + 1) * chunk));
+                    *partials[k as usize].lock() = Some(r);
+                });
+            }
+        });
+        partials
+            .into_iter()
+            .map(|m| m.into_inner().expect("every chunk produces a partial"))
+            .collect()
+    }
 }
 
 /// Pops the next index for worker `w`: front of its own shard, else the
@@ -175,5 +227,35 @@ mod tests {
     #[test]
     fn zero_jobs_means_all_cpus() {
         assert!(Runner::new(0).jobs() >= 1);
+    }
+
+    #[test]
+    fn chunk_partials_arrive_in_chunk_order_at_any_width() {
+        // Sum of each range, plus its bounds, so ordering and coverage
+        // are both checked.
+        for jobs in [1, 2, 4, 8] {
+            for (total, chunk) in [(0u64, 7u64), (1, 7), (97, 7), (96, 32), (5, 100)] {
+                let got = Runner::new(jobs).run_chunks(total, chunk, |r| (r.start, r.end));
+                let chunks = total.div_ceil(chunk);
+                assert_eq!(got.len() as u64, chunks, "jobs={jobs} total={total}");
+                for (k, (s, e)) in got.iter().enumerate() {
+                    assert_eq!(*s, k as u64 * chunk);
+                    assert_eq!(*e, total.min((k as u64 + 1) * chunk));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_sums_match_serial_at_any_width() {
+        let total = 100_000u64;
+        let want: u64 = (0..total).sum();
+        for jobs in [1, 3, 8] {
+            let got: u64 = Runner::new(jobs)
+                .run_chunks(total, 4096, |r| r.sum::<u64>())
+                .into_iter()
+                .sum();
+            assert_eq!(got, want, "jobs={jobs}");
+        }
     }
 }

@@ -21,7 +21,7 @@ mod build;
 mod profile;
 
 pub use build::{build_image, build_image_for, build_image_variant, GadgetAddrs};
-pub use profile::{BootForge, Firmware, FirmwareKind, ServiceProfile};
+pub use profile::{BootForge, Firmware, FirmwareKind, ServiceProfile, SharedForge};
 
 pub use cml_connman::{ConnmanVersion, Daemon, FrameLayout};
 pub use cml_image::Arch;

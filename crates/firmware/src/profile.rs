@@ -1,6 +1,7 @@
 //! Firmware profiles and booting.
 
 use std::fmt;
+use std::sync::Arc;
 
 use cml_connman::{
     ConnmanVersion, Daemon, DaemonSnapshot, FrameLayout, SYM_DAEMON_INIT, SYM_DAEMON_LOOP,
@@ -241,7 +242,7 @@ impl Firmware {
         let mut daemon = self.boot_service(protections, seed, service);
         let snap = daemon.snapshot();
         BootForge {
-            firmware: self.clone(),
+            firmware: Arc::new(self.clone()),
             protections,
             base_seed: seed,
             daemon,
@@ -300,7 +301,7 @@ fn run_daemon_init(machine: &mut Machine, init: Addr, target: Addr) {
 /// `daemon_init`) amortizes over every [`BootForge::fork`] call.
 #[derive(Debug)]
 pub struct BootForge {
-    firmware: Firmware,
+    firmware: Arc<Firmware>,
     protections: Protections,
     base_seed: u64,
     daemon: Daemon,
@@ -335,6 +336,86 @@ impl BootForge {
                 .expect("reslide preserves the daemon symbols");
         }
         &mut self.daemon
+    }
+}
+
+/// One boot shared copy-on-write across every worker of a campaign.
+///
+/// [`Firmware::forge`] boots per call site, so a fleet with `W` workers
+/// and `P` firmware profiles pays `W × P` boots and keeps `W × P`
+/// snapshots. `SharedForge` boots once per profile, takes one
+/// [`DaemonSnapshot`] (whose pages are `Arc`-shared), and hands each
+/// worker a [`BootForge`] through [`SharedForge::spawn`]:
+///
+/// * the snapshot **pages are shared** — a spawned forge's
+///   `DaemonSnapshot` clone only bumps `Arc` refcounts, so the heavy
+///   boot image exists once per profile no matter the worker count;
+/// * the **dirty sets are per worker** — each spawned forge owns a live
+///   daemon (one materialization copy at spawn) whose per-region dirty
+///   bitmaps track only *that worker's* writes, so a fork rewinds just
+///   the pages its own sessions touched.
+///
+/// `SharedForge` itself is `Clone + Send + Sync`: hand it to worker
+/// threads and let each spawn its private forge on first use.
+#[derive(Debug, Clone)]
+pub struct SharedForge {
+    inner: Arc<SharedForgeInner>,
+}
+
+#[derive(Debug)]
+struct SharedForgeInner {
+    firmware: Arc<Firmware>,
+    protections: Protections,
+    base_seed: u64,
+    // The live prototype machine carries `Cell`-based access bookkeeping
+    // and is not `Sync`; the mutex makes the *handle* shareable while
+    // spawns take one short lock to copy it out.
+    proto: std::sync::Mutex<Daemon>,
+    snap: DaemonSnapshot,
+}
+
+impl SharedForge {
+    /// Boots `firmware` once under `protections`/`seed` and snapshots
+    /// the just-booted daemon for sharing.
+    pub fn new(firmware: &Firmware, protections: Protections, seed: u64) -> SharedForge {
+        let mut proto = firmware.boot(protections, seed);
+        let snap = proto.snapshot();
+        SharedForge {
+            inner: Arc::new(SharedForgeInner {
+                firmware: Arc::new(firmware.clone()),
+                protections,
+                base_seed: seed,
+                proto: std::sync::Mutex::new(proto),
+                snap,
+            }),
+        }
+    }
+
+    /// The protection policy every fork boots under.
+    pub fn protections(&self) -> Protections {
+        self.inner.protections
+    }
+
+    /// The seed of the shared boot.
+    pub fn base_seed(&self) -> u64 {
+        self.inner.base_seed
+    }
+
+    /// Materializes a worker-private [`BootForge`] backed by the shared
+    /// snapshot.
+    ///
+    /// Costs one daemon copy (the worker's live, mutable machine); the
+    /// snapshot and firmware image ride along by refcount. Forks taken
+    /// from the result behave exactly like forks of a locally forged
+    /// boot with the same seed — `tests` pin that equivalence.
+    pub fn spawn(&self) -> BootForge {
+        BootForge {
+            firmware: Arc::clone(&self.inner.firmware),
+            protections: self.inner.protections,
+            base_seed: self.inner.base_seed,
+            daemon: self.inner.proto.lock().expect("proto lock").clone(),
+            snap: self.inner.snap.clone(),
+        }
     }
 }
 
@@ -447,6 +528,25 @@ mod tests {
         // for daemon_init.
         assert_eq!(booted, after_second_fork);
         assert!(booted > 1000, "daemon_init ran at boot: {booted}");
+    }
+
+    #[test]
+    fn shared_forge_spawns_match_local_forges() {
+        // A forge spawned from the shared snapshot must fork the exact
+        // machine a locally forged boot would — including across worker
+        // handles whose dirty sets diverge between forks.
+        for arch in Arch::ALL {
+            let fw = Firmware::build(FirmwareKind::OpenElec, arch);
+            let shared = SharedForge::new(&fw, Protections::full(), 0xA11CE);
+            let mut local = fw.forge(Protections::full(), 0xA11CE);
+            let mut a = shared.spawn();
+            let mut b = shared.spawn();
+            for seed in [0xA11CE, 0xD0_0D, 0xFEED] {
+                let want = local.fork(seed).machine().regs().pc();
+                assert_eq!(a.fork(seed).machine().regs().pc(), want, "{arch} {seed}");
+                assert_eq!(b.fork(seed).machine().regs().pc(), want, "{arch} {seed}");
+            }
+        }
     }
 
     #[test]

@@ -155,13 +155,52 @@ impl Protections {
 /// runtime symbol table. The *attacker* is not given this for randomized
 /// sections — exploits compute addresses from a reference boot, exactly
 /// like the paper's gdb reconnaissance.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct LoadMap {
     slides: HashMap<SectionKind, i64>,
     symbols: HashMap<String, Addr>,
     stack_top: Addr,
     stack_size: u32,
     canary: u32,
+}
+
+impl Clone for LoadMap {
+    fn clone(&self) -> Self {
+        LoadMap {
+            slides: self.slides.clone(),
+            symbols: self.symbols.clone(),
+            stack_top: self.stack_top,
+            stack_size: self.stack_size,
+            canary: self.canary,
+        }
+    }
+
+    /// Snapshot-restore loops rewind a map millions of times between
+    /// boots of the *same image*, where the symbol key set is invariant.
+    /// When the key sets match, only the `Addr` values are rewritten —
+    /// no `String` key is reallocated; any mismatch falls back to a full
+    /// clone.
+    fn clone_from(&mut self, src: &Self) {
+        self.slides.clone_from(&src.slides);
+        let mut matched = self.symbols.len() == src.symbols.len();
+        if matched {
+            for (name, addr) in &src.symbols {
+                match self.symbols.get_mut(name) {
+                    Some(slot) => *slot = *addr,
+                    None => {
+                        matched = false;
+                        break;
+                    }
+                }
+            }
+        }
+        if !matched {
+            self.symbols.clone_from(&src.symbols);
+        }
+        self.stack_top = src.stack_top;
+        self.stack_size = src.stack_size;
+        self.canary = src.canary;
+    }
 }
 
 impl LoadMap {
@@ -389,6 +428,30 @@ impl<'a> Loader<'a> {
     ///
     /// Panics (like `load`) if the slid sections would overlap.
     pub fn reslide(self, machine: &mut Machine) -> LoadMap {
+        let mut map = LoadMap {
+            slides: HashMap::new(),
+            symbols: HashMap::new(),
+            stack_top: 0,
+            stack_size: 0,
+            canary: 0,
+        };
+        self.reslide_into(machine, &mut map);
+        map
+    }
+
+    /// [`Loader::reslide`] that updates an existing [`LoadMap`] in place.
+    ///
+    /// The symbol set of an image is fixed, so a fork-per-device loop can
+    /// reuse the map's `String`-keyed table across forks: existing
+    /// entries are overwritten through `get_mut` and only a map from a
+    /// *different* image (or an empty one) pays for key allocation. This
+    /// is the allocation-lean path fork-per-device drivers (the firmware
+    /// crate's `BootForge::fork`) take millions of times per campaign.
+    ///
+    /// # Panics
+    ///
+    /// Panics (like `load`) if the slid sections would overlap.
+    pub fn reslide_into(self, machine: &mut Machine, map: &mut LoadMap) {
         let plan = self.plan();
 
         let mut stack_top = 0u32;
@@ -407,20 +470,35 @@ impl<'a> Loader<'a> {
         machine.mem.rebase_regions(&moves);
 
         machine.clear_hooks();
-        let symbols = self.place_symbols(machine, &plan.slides);
+        for sym in self.image.symbols() {
+            let kind = self
+                .image
+                .section_containing(sym.addr())
+                .map(|s| s.kind())
+                .expect("image validated symbols");
+            let slide = plan.slides.get(&kind).copied().unwrap_or(0);
+            let runtime = (sym.addr() as i64 + slide) as Addr;
+            match map.symbols.get_mut(sym.name()) {
+                Some(slot) => *slot = runtime,
+                None => {
+                    map.symbols.insert(sym.name().to_string(), runtime);
+                }
+            }
+            let base_name = sym.name().strip_suffix("@plt").unwrap_or(sym.name());
+            if let Some(f) = libc_fn_by_name(base_name) {
+                machine.register_hook(runtime, f);
+            }
+        }
 
         machine.set_canary(plan.canary);
         if stack_top != 0 {
             machine.regs_mut().set_sp(stack_top - 0x200);
         }
 
-        LoadMap {
-            slides: plan.slides,
-            symbols,
-            stack_top,
-            stack_size,
-            canary: plan.canary,
-        }
+        map.slides = plan.slides;
+        map.stack_top = stack_top;
+        map.stack_size = stack_size;
+        map.canary = plan.canary;
     }
 }
 

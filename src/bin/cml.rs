@@ -59,7 +59,8 @@ fn usage() {
          \x20 exploit     --arch A --prot P --strategy S\n\
          \x20 dos         --arch A --prot P  crash-only probe\n\
          \x20 pineapple   --arch A           remote rogue-AP scenario\n\
-         \x20 fleet       --devices N [--snapshot]  rogue-AP attack on an N-device fleet\n\
+         \x20 fleet       --devices N [--cohorts SPEC] [--stream]\n\
+         \x20                                rogue-AP attack on an N-device fleet\n\
          \x20 fuzz        --arch A --variant vulnerable|patched --seed N\n\
          \x20             --max-execs N [--out DIR] [--no-ir]\n\
          \x20                                coverage-guided fuzzing campaign\n\
@@ -77,8 +78,11 @@ fn usage() {
          \x20 --jobs      N                      worker threads for experiments/fleet\n\
          \x20                                    (default 1, 0 = one per CPU)\n\
          \x20 --devices   N                      fleet size (default 100)\n\
-         \x20 --snapshot                         fleet: boot one daemon per firmware\n\
-         \x20                                    profile per worker, fork per device"
+         \x20 --cohorts   name=kind/arch/prot/count[/loss=P%][/entropy=B],...\n\
+         \x20                                    explicit fleet mix (overrides --devices)\n\
+         \x20 --stream    fleet: live devices/sec progress line on stderr\n\
+         \x20 --fresh-boot                       fleet: boot every session from scratch\n\
+         \x20                                    instead of forking boot snapshots"
     );
 }
 
@@ -90,6 +94,8 @@ struct Opts {
     jobs: usize,
     devices: usize,
     snapshot: bool,
+    cohorts: Option<String>,
+    stream: bool,
     rest: Vec<String>,
 }
 
@@ -102,7 +108,9 @@ impl Opts {
             firmware: FirmwareKind::OpenElec,
             jobs: 1,
             devices: 100,
-            snapshot: false,
+            snapshot: true,
+            cohorts: None,
+            stream: false,
             rest: Vec::new(),
         };
         let mut it = args.iter();
@@ -159,6 +167,9 @@ impl Opts {
                     });
                 }
                 "--snapshot" => o.snapshot = true,
+                "--fresh-boot" => o.snapshot = false,
+                "--cohorts" => o.cohorts = it.next().cloned(),
+                "--stream" => o.stream = true,
                 other => o.rest.push(other.to_string()),
             }
         }
@@ -324,12 +335,40 @@ fn pineapple(opts: &Opts) -> ExitCode {
 }
 
 fn fleet(opts: &Opts) -> ExitCode {
-    let spec = connman_lab::fleet::FleetSpec::heterogeneous(opts.devices, 0xF1EE7);
-    let report = connman_lab::fleet::run_fleet_with(&spec, opts.jobs, opts.snapshot);
+    use connman_lab::fleet::{run_fleet_cfg, CohortSpec, FleetConfig, FleetSpec};
+
+    let spec = match &opts.cohorts {
+        Some(list) => match CohortSpec::parse_list(list) {
+            Ok(cohorts) => FleetSpec {
+                base_seed: 0xF1EE7,
+                cohorts,
+            },
+            Err(err) => {
+                eprintln!("--cohorts: {err}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => FleetSpec::heterogeneous(opts.devices as u64, 0xF1EE7),
+    };
+    let mut cfg = FleetConfig::new(opts.jobs);
+    cfg.no_snapshot = !opts.snapshot;
+    if opts.stream {
+        cfg.progress = Some(std::sync::Arc::new(|done, secs| {
+            eprint!(
+                "\r{done} devices, {:.0} devices/sec ",
+                done as f64 / secs.max(1e-9)
+            );
+        }));
+    }
+    let report = run_fleet_cfg(&spec, &cfg);
+    if opts.stream {
+        eprintln!();
+    }
     print!("{}", report.render());
     println!(
-        "({} workers, {:.1} devices/sec)",
+        "({} workers, {} sessions, {:.1} devices/sec)",
         report.jobs,
+        report.sessions,
         report.devices_per_sec()
     );
     let p = report.phases;

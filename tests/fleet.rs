@@ -149,3 +149,52 @@ fn fleet_scenario_is_byte_identical_serial_vs_parallel() {
     // Re-running the same spec reproduces the same bytes, too.
     assert_eq!(parallel.render(), run_fleet(&spec, 3).render());
 }
+
+/// A campaign described by explicit cohorts — mixed firmware versions,
+/// mitigation configs, packet-loss profiles and boot-entropy models —
+/// streams per-cohort accumulators and still renders byte-identically
+/// at any worker count.
+#[test]
+fn cohort_campaign_streams_byte_identical_reports() {
+    use connman_lab::fleet::{run_fleet, CohortSpec, FleetSpec};
+
+    let spec = FleetSpec {
+        base_seed: 0xB07,
+        cohorts: CohortSpec::parse_list(
+            "tv=openelec/armv7/full/40/entropy=3,\
+             thermostat=yocto/x86/wxorx/30,\
+             settop=tizen/armv7/full/20/loss=10%,\
+             camera=patched/armv7/full/10",
+        )
+        .expect("cohort spec parses"),
+    };
+    let serial = run_fleet(&spec, 1);
+    for jobs in [2, 4] {
+        assert_eq!(
+            serial.render(),
+            run_fleet(&spec, jobs).render(),
+            "per-cohort sections must not depend on worker count (jobs={jobs})"
+        );
+    }
+
+    assert_eq!(serial.devices, 100);
+    let by_name = |n: &str| {
+        serial
+            .cohorts
+            .iter()
+            .find(|c| c.spec.name == n)
+            .expect("cohort present")
+    };
+    // 3 bits of boot entropy over 40 TVs → 8 address classes, every
+    // device compromised by its class's session.
+    let tv = by_name("tv");
+    assert_eq!(tv.accum.compromised, 40);
+    // The lossy set-top cohort loses some devices to the air, and every
+    // delivered payload still lands.
+    let settop = by_name("settop");
+    assert_eq!(settop.accum.compromised + settop.accum.lost, 20);
+    // Patched firmware refuses the payload and survives.
+    let camera = by_name("camera");
+    assert_eq!(camera.accum.compromised, 0);
+    assert_eq!(camera.accum.alive, 10);
+}

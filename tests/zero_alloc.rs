@@ -119,4 +119,40 @@ fn steady_state_template_and_packet_path_is_allocation_free() {
         0,
         "steady-state iterations must not touch the heap"
     );
+
+    // Batched answer fan-out: the per-class answer is a byte-compare
+    // and a borrow from the cohort's AnswerBank, and spreading one
+    // verdict over a device range (with and without per-device loss
+    // draws) folds into integer accumulators — none of it may allocate.
+    use connman_lab::exploit::AnswerBank;
+    use connman_lab::fleet::{fan_out, CohortAccum, Verdict};
+
+    let mut bank =
+        AnswerBank::capture(&mut server, &query).expect("canonical query captures a response");
+    let mut acc = CohortAccum::default();
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for class in 0..64u64 {
+        let response = bank.answer(&query).expect("banked response matches");
+        assert!(!response.is_empty());
+        let first = class * 245;
+        // Lossless cohorts fan out in O(1); lossy cohorts draw each
+        // device's fate from the seed stream.
+        fan_out(Verdict::Shell, first..first + 245, 0xF1EE7, 0, &mut acc);
+        fan_out(
+            Verdict::Shell,
+            first..first + 245,
+            0xF1EE7,
+            20_000,
+            &mut acc,
+        );
+    }
+    let after = ALLOCS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "batched fan-out steady state must not touch the heap"
+    );
+    assert_eq!(acc.devices, 64 * 245 * 2);
+    assert!(acc.lost > 0, "the lossy draws actually fired");
 }
