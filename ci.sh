@@ -38,6 +38,12 @@ echo "==> cml fuzz --smoke"
 # nothing on patched 1.35, within a small deterministic budget.
 cargo run --release --offline -q -p connman-lab --bin cml -- fuzz --smoke --jobs 2
 
+echo "==> cml resolve --smoke"
+# Recursive-resolver gate: delegation chasing, CNAME following, glue
+# chasing, warm cache hits, same-seed trace determinism, and the
+# one-poisoning redirection must all hold on the fixed demo topology.
+cargo run --release --offline -q -p connman-lab --bin cml -- resolve --smoke
+
 echo "==> cml fleet 10k smoke"
 # Million-device fleet path at smoke scale: a 10k-device cohort campaign
 # must complete and render byte-identical per-cohort sections serial vs
@@ -51,11 +57,13 @@ diff <(fleet_smoke 1) <(fleet_smoke 4) || {
   echo "fleet smoke: serial vs parallel reports differ"; exit 1; }
 
 echo "==> repro --bench-smoke"
-# Tiny-iteration snapshot/dispatch/template/pool ablations, compared
-# against the newest committed BENCH_*.json (fails on a >2x regression of
-# the snapshot insn advantage, the template_vs_rebuild wall advantage or
-# the IR-over-block dispatch speedup; each guard skips with a note when
-# the baseline predates its record).
+# Tiny-iteration snapshot/dispatch/template/pool/resolver ablations,
+# compared against the newest committed BENCH_*.json (fails on a >2x
+# regression of the snapshot insn advantage, the template_vs_rebuild wall
+# advantage or the IR-over-block dispatch speedup, a >20x collapse of the
+# warm resolver-cache throughput, or any allocation on the warm cache-hit
+# path; each guard skips with a note when the baseline predates its
+# record).
 cargo run --release --offline -q -p cml-bench --bin repro -- --bench-smoke
 
 echo "==> interpreter fallback (--no-ir)"

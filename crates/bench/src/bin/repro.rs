@@ -1,15 +1,15 @@
 //! Regenerates every table/figure of the reproduced paper.
 //!
 //! ```text
-//! repro                 # run E1..E9, print markdown to stdout
+//! repro                 # run E1..E10, print markdown to stdout
 //! repro --exp e2 e5     # run selected experiments
 //! repro --out FILE      # also write the markdown to FILE
 //! repro --json          # machine-readable output
 //! repro --jobs 4        # fan matrix experiments across 4 workers
 //! repro --bench-json    # also time each experiment + a 1,000-device
 //!                       # fleet + the static analyzer + the snapshot /
-//!                       # dispatch / template / pool ablations and
-//!                       # write BENCH_<n>.json
+//!                       # dispatch / template / pool / resolver-cache
+//!                       # ablations and write BENCH_<n>.json
 //! repro --bench-smoke   # tiny-iteration ablation run compared against
 //!                       # the newest committed BENCH_*.json; exits 1 on
 //!                       # a >2x regression, 0 (with a note) when no
@@ -77,7 +77,7 @@ fn allocs_so_far() -> u64 {
     ALLOCS.load(Ordering::Relaxed)
 }
 
-const ALL_IDS: [&str; 9] = ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9"];
+const ALL_IDS: [&str; 10] = ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"];
 const FLEET_DEVICES: u64 = 1000;
 
 /// Devices in the `fleet_scale` headline scenario (homogeneous cohort,
@@ -140,7 +140,7 @@ fn main() {
         ids.clone()
     };
     if ids.is_empty() {
-        eprintln!("running all experiments (E1..E9) on {jobs} worker(s)…");
+        eprintln!("running all experiments (E1..E10) on {jobs} worker(s)…");
     }
 
     // Run experiment-by-experiment so --bench-json can attribute wall
@@ -157,7 +157,7 @@ fn main() {
                 timings.push((id.clone(), secs));
                 tables.push(t);
             }
-            None => eprintln!("unknown experiment id {id:?} (want e1..e9)"),
+            None => eprintln!("unknown experiment id {id:?} (want e1..e10)"),
         }
     }
     let suite = Suite { tables };
@@ -249,6 +249,17 @@ struct Ablations {
     pooled_wall_secs: f64,
     alloc_allocs_per_query: u64,
     pooled_allocs_per_query: u64,
+    /// Resolver cache: warm cache-hit replay through the recursive
+    /// resolver into a pooled output buffer (the fleet fast path) vs.
+    /// the same hits into a fresh `Vec` per query vs. cache-off (every
+    /// query walks the full root → TLD → authoritative chain).
+    resolver_queries: u64,
+    resolver_cached_wall_secs: f64,
+    resolver_alloc_wall_secs: f64,
+    resolver_uncached_queries: u64,
+    resolver_uncached_wall_secs: f64,
+    resolver_cached_allocs_per_query: u64,
+    resolver_alloc_allocs_per_query: u64,
     /// Fuzzing throughput: a fixed-seed coverage-guided campaign on the
     /// vulnerable x86 daemon, snapshot-fork per exec, edge map armed.
     fuzz_execs: u64,
@@ -280,6 +291,26 @@ impl Ablations {
 
     fn fuzz_execs_per_sec(&self) -> f64 {
         self.fuzz_execs as f64 / self.fuzz_wall_secs.max(1e-12)
+    }
+
+    /// Warm cache-hit throughput — the headline queries/sec figure.
+    fn resolver_qps(&self) -> f64 {
+        self.resolver_queries as f64 / self.resolver_cached_wall_secs.max(1e-12)
+    }
+
+    /// Per-query cost of turning the cache off: full recursion wall per
+    /// query over warm hit wall per query.
+    fn resolver_cache_off_ratio(&self) -> f64 {
+        let uncached =
+            self.resolver_uncached_wall_secs / self.resolver_uncached_queries.max(1) as f64;
+        let cached = self.resolver_cached_wall_secs / self.resolver_queries.max(1) as f64;
+        uncached / cached.max(1e-15)
+    }
+
+    /// Fresh-`Vec`-per-hit cost over the pooled warm-buffer path (same
+    /// query count in both arms).
+    fn resolver_alloc_ratio(&self) -> f64 {
+        self.resolver_alloc_wall_secs / self.resolver_cached_wall_secs.max(1e-12)
     }
 
     /// Fused-block advantage over per-instruction stepping.
@@ -314,6 +345,9 @@ impl Ablations {
              ({:.1}x cheaper wall; {} vs {} allocs/build)\n\
              pooled_vs_alloc: {:.4}s alloc vs {:.4}s pooled over {} queries \
              ({:.1}x cheaper wall; {} vs {} allocs/query)\n\
+             resolver: {:.0} q/s warm cache over {} hits ({} allocs/query); \
+             fresh-Vec hits {:.1}x slower ({} allocs/query); cache-off \
+             {:.0}x slower per query ({} full recursions)\n\
              fuzz: {} execs in {:.3}s ({:.0} execs/sec); coverage hook \
              {:.2}x wall overhead; reboot-per-exec {:.1}x slower than fork",
             self.fresh_insns,
@@ -340,6 +374,13 @@ impl Ablations {
             self.pooled_wall_ratio(),
             self.alloc_allocs_per_query,
             self.pooled_allocs_per_query,
+            self.resolver_qps(),
+            self.resolver_queries,
+            self.resolver_cached_allocs_per_query,
+            self.resolver_alloc_ratio(),
+            self.resolver_alloc_allocs_per_query,
+            self.resolver_cache_off_ratio(),
+            self.resolver_uncached_queries,
             self.fuzz_execs,
             self.fuzz_wall_secs,
             self.fuzz_execs_per_sec(),
@@ -506,6 +547,66 @@ fn run_ablations(trials: u64) -> Ablations {
     let pooled_wall_secs = t0.elapsed().as_secs_f64();
     let pooled_allocs = allocs_so_far() - a0;
 
+    // Resolver-cache ablation. The fleet fast path is a warm cache hit
+    // replayed into a pooled buffer: one full recursion fills the
+    // cache, then every later query is a hashed lookup + copy. The
+    // alloc arm serves the same hits into a fresh Vec per query; the
+    // cache-off arm expires the entry before every query so each one
+    // walks the whole root → TLD → authoritative chain.
+    let resolver_queries = reps * 64;
+    let (mut net, _) = cml_netsim::example_internet();
+    let mut resolver = cml_netsim::RecursiveResolver::new(0x5EED, 64);
+    let rq = Message::query(
+        0x3111,
+        Question::new(
+            Name::parse("telemetry.vendor.example").expect("valid"),
+            RecordType::A,
+        ),
+    )
+    .encode()
+    .expect("encodes");
+    let mut rbuf = Vec::new();
+    assert!(
+        resolver.handle_query_into(&mut net, &rq, &mut rbuf),
+        "the ablation name resolves"
+    );
+    resolver.clear_trace();
+    for _ in 0..4 {
+        // Warm-up sizes the output buffer before the measured window.
+        resolver.handle_query_into(&mut net, &rq, &mut rbuf);
+    }
+    let a0 = allocs_so_far();
+    let t0 = Instant::now();
+    for _ in 0..resolver_queries {
+        resolver.handle_query_into(&mut net, &rq, &mut rbuf);
+        std::hint::black_box(rbuf.as_slice());
+    }
+    let resolver_cached_wall_secs = t0.elapsed().as_secs_f64();
+    let resolver_cached_allocs = allocs_so_far() - a0;
+
+    let a0 = allocs_so_far();
+    let t0 = Instant::now();
+    for _ in 0..resolver_queries {
+        let resp = resolver.handle_query(&mut net, &rq).expect("warm hit");
+        std::hint::black_box(&resp);
+    }
+    let resolver_alloc_wall_secs = t0.elapsed().as_secs_f64();
+    let resolver_alloc_allocs = allocs_so_far() - a0;
+
+    // The record's TTL is 300s; stepping the event clock past it before
+    // each query forces a miss, so this arm pays recursion + expiry
+    // churn — what every query would cost without the cache.
+    let resolver_uncached_queries = reps;
+    let t0 = Instant::now();
+    for _ in 0..resolver_uncached_queries {
+        let due = resolver.now() + 301 * cml_netsim::TICKS_PER_SEC;
+        resolver.advance_to(due);
+        resolver.handle_query_into(&mut net, &rq, &mut rbuf);
+        std::hint::black_box(rbuf.as_slice());
+        resolver.clear_trace();
+    }
+    let resolver_uncached_wall_secs = t0.elapsed().as_secs_f64();
+
     // Fuzzing ablations: the same fixed-seed campaign three ways —
     // coverage-on fork (the production configuration), coverage-off
     // (bitmap cost), reboot-per-exec (snapshot advantage inside the
@@ -590,6 +691,13 @@ fn run_ablations(trials: u64) -> Ablations {
         pooled_wall_secs,
         alloc_allocs_per_query: alloc_allocs / reps.max(1),
         pooled_allocs_per_query: pooled_allocs / reps.max(1),
+        resolver_queries,
+        resolver_cached_wall_secs,
+        resolver_alloc_wall_secs,
+        resolver_uncached_queries,
+        resolver_uncached_wall_secs,
+        resolver_cached_allocs_per_query: resolver_cached_allocs / resolver_queries.max(1),
+        resolver_alloc_allocs_per_query: resolver_alloc_allocs / resolver_queries.max(1),
         fuzz_execs,
         fuzz_wall_secs,
         fuzz_reboot_wall_secs,
@@ -669,6 +777,29 @@ fn smoke_vs_baseline() -> i32 {
             }
         }
         None => println!("bench-smoke: baseline {path} has no template_vs_rebuild — skipping"),
+    }
+
+    let qps = current.resolver_qps();
+    match json_number_after(&doc, "\"resolver\"", "\"resolver_qps\":") {
+        Some(baseline) => {
+            println!(
+                "bench-smoke: resolver {qps:.0} q/s warm cache vs {baseline:.0} baseline ({path})"
+            );
+            // Queries/sec across machines is noisy; fail only on an
+            // order-of-magnitude collapse of the warm-hit path.
+            if baseline > 0.0 && qps < baseline / 20.0 {
+                println!("bench-smoke: FAIL — resolver cache throughput collapsed more than 20x");
+                failed = true;
+            }
+        }
+        None => println!("bench-smoke: baseline {path} has no resolver_qps — skipping"),
+    }
+    if current.resolver_cached_allocs_per_query != 0 {
+        println!(
+            "bench-smoke: FAIL — warm resolver hits allocate ({} allocs/query; want 0)",
+            current.resolver_cached_allocs_per_query
+        );
+        failed = true;
     }
 
     if cml_vm::ir_dispatch_default() {
@@ -1078,6 +1209,11 @@ fn bench_json_doc(
          \"pooled_vs_alloc\":{{\"queries\":{},\"alloc_wall_secs\":{:.6},\
          \"pooled_wall_secs\":{:.6},\"wall_ratio\":{:.2},\
          \"alloc_allocs_per_query\":{},\"pooled_allocs_per_query\":{}}},\
+         \"resolver\":{{\"queries\":{},\"cached_wall_secs\":{:.6},\
+         \"resolver_qps\":{:.0},\"cached_allocs_per_query\":{},\
+         \"alloc_wall_secs\":{:.6},\"alloc_ratio\":{:.2},\
+         \"alloc_allocs_per_query\":{},\"uncached_queries\":{},\
+         \"uncached_wall_secs\":{:.6},\"cache_off_ratio\":{:.2}}},\
          \"fuzz\":{{\"execs\":{},\"fuzz_execs_per_sec\":{:.2},\
          \"coverage_hook_overhead\":{{\"replay_execs\":{},\"on_wall_secs\":{:.6},\
          \"off_wall_secs\":{:.6},\"overhead_ratio\":{:.3}}},\
@@ -1111,6 +1247,16 @@ fn bench_json_doc(
         ablations.pooled_wall_ratio(),
         ablations.alloc_allocs_per_query,
         ablations.pooled_allocs_per_query,
+        ablations.resolver_queries,
+        ablations.resolver_cached_wall_secs,
+        ablations.resolver_qps(),
+        ablations.resolver_cached_allocs_per_query,
+        ablations.resolver_alloc_wall_secs,
+        ablations.resolver_alloc_ratio(),
+        ablations.resolver_alloc_allocs_per_query,
+        ablations.resolver_uncached_queries,
+        ablations.resolver_uncached_wall_secs,
+        ablations.resolver_cache_off_ratio(),
         ablations.fuzz_execs,
         ablations.fuzz_execs_per_sec(),
         ablations.cov_replay_execs,

@@ -12,8 +12,10 @@
 //! | E7 | §V adaptation to other builds | [`e7::run`] |
 //! | E8 | ASLR brute-force curve (related work §VI) | [`e8::run`] |
 //! | E9 | cohort fleet campaign (closing Mirai remark) | [`e9::run`] |
+//! | E10 | upstream-resolver cache poisoning (XDRI) | [`e10::run`] |
 
 pub mod e1;
+pub mod e10;
 pub mod e2;
 pub mod e3;
 pub mod e4;
@@ -53,6 +55,7 @@ pub fn run_all_jobs_with(jobs: usize, snapshot: bool) -> Suite {
             e7::run_jobs(jobs),
             e8::run_with(snapshot),
             e9::run_jobs(jobs),
+            e10::run_jobs(jobs),
         ],
     }
 }
@@ -81,6 +84,7 @@ pub fn run_one_jobs_with(id: &str, jobs: usize, snapshot: bool) -> Option<crate:
         "e7" => Some(e7::run_jobs(jobs)),
         "e8" => Some(e8::run_with(snapshot)),
         "e9" => Some(e9::run_jobs(jobs)),
+        "e10" => Some(e10::run_jobs(jobs)),
         _ => None,
     }
 }

@@ -60,8 +60,8 @@ use cml_exploit::{
 };
 use cml_firmware::{Arch, BootForge, Firmware, FirmwareKind, Protections, SharedForge};
 use cml_netsim::{
-    share, AccessPoint, ApConfig, ApId, DhcpConfig, HwAddr, RadioEnvironment, Ssid, Station,
-    UdpService,
+    share, AccessPoint, ApConfig, ApId, DhcpConfig, HwAddr, RadioEnvironment, ResolverCache, Ssid,
+    Station, UdpService,
 };
 
 use crate::arena::Bump;
@@ -643,6 +643,13 @@ pub struct FleetConfig {
     /// Materialize a [`DeviceRecord`] per device — O(devices) memory
     /// (ablation arm; the streamed default keeps O(cohorts)).
     pub materialize: bool,
+    /// Route each cohort's queries through a shared upstream
+    /// [`ResolverCache`] that the attacker poisons **once** (the XDRI
+    /// upstream-compromise topology): the malicious server crafts one
+    /// response per worker × cohort, and every further session is a
+    /// cache-hit replay with no per-device malicious delivery. The
+    /// report renders byte-identically to the direct path.
+    pub resolver: bool,
     /// Scheduling chunk size in devices (0 = auto).
     pub chunk: u64,
     /// Progress callback for `--stream`.
@@ -657,6 +664,7 @@ impl std::fmt::Debug for FleetConfig {
             .field("per_worker_forge", &self.per_worker_forge)
             .field("per_device_answers", &self.per_device_answers)
             .field("materialize", &self.materialize)
+            .field("resolver", &self.resolver)
             .field("chunk", &self.chunk)
             .field("progress", &self.progress.is_some())
             .finish()
@@ -783,6 +791,9 @@ struct CohortState {
     host: Name,
     server: MaliciousDnsServer,
     bank: Option<AnswerBank>,
+    /// The cohort's shared upstream resolver cache, poisoned once on
+    /// first use ([`FleetConfig::resolver`] topology).
+    upstream: Option<ResolverCache>,
     on_air: bool,
     /// Victim station for the live packet path. Per cohort with a
     /// distinct MAC: DHCP leases are sticky per MAC, so a shared
@@ -1077,6 +1088,7 @@ fn cohort_state<'w>(worker: &'w mut Worker, ctx: &FleetCtx<'_>, c: usize) -> &'w
             host,
             server,
             bank: None,
+            upstream: None,
             on_air: false,
             station: Station::new(HwAddr::local(100 + c as u16), ctx.ssid.clone()),
         });
@@ -1138,7 +1150,38 @@ fn class_session(
     };
 
     let outcome;
-    if !cfg.per_device_answers {
+    if cfg.resolver {
+        // Upstream-resolver topology: the cohort's devices query
+        // through a shared cache the attacker poisoned once. The
+        // malicious server crafts exactly one response per
+        // worker × cohort; every session after that is a cache-hit
+        // replay (canonical-question match, id patched), so fleet-wide
+        // compromise needs no per-device malicious delivery.
+        if state.upstream.is_none() {
+            let mut cache = ResolverCache::new(1024);
+            if let Some(resp) = state.server.handle(&query) {
+                // The injected TTL outlives any campaign; E10 sweeps
+                // realistic TTLs and cache pressure.
+                cache.poison(0, &query, &resp, u64::MAX / 2);
+            }
+            state.upstream = Some(cache);
+        }
+        let cache = state.upstream.as_mut().expect("just ensured");
+        let mut buf = worker.pool.checkout();
+        let hit = cache.lookup_into(0, &query, buf.as_mut_vec());
+        partial.phases.deliver_secs += t_deliver.elapsed().as_secs_f64();
+        let t_vm = Instant::now();
+        if !hit {
+            // The poisoning itself failed (non-canonical query): the
+            // class was never attacked this round.
+            worker.pool.checkin(buf);
+            partial.phases.vm_secs += t_vm.elapsed().as_secs_f64();
+            return Verdict::Lost;
+        }
+        outcome = daemon.deliver_response(buf.as_bytes());
+        partial.phases.vm_secs += t_vm.elapsed().as_secs_f64();
+        worker.pool.checkin(buf);
+    } else if !cfg.per_device_answers {
         // Batched fan-out: the cohort's relocated response was encoded
         // once; this class is answered by a byte-compare and a borrow.
         if state.bank.is_none() {
@@ -1335,6 +1378,34 @@ mod tests {
             },
         );
         assert_eq!(batched.render(), live.render());
+    }
+
+    #[test]
+    fn resolver_topology_matches_direct_path_with_one_poisoning() {
+        let spec = FleetSpec::heterogeneous(18, 0xBEEF);
+        let direct = run_fleet_cfg(&spec, &FleetConfig::new(2));
+        let through_resolver = |jobs| {
+            run_fleet_cfg(
+                &spec,
+                &FleetConfig {
+                    jobs,
+                    resolver: true,
+                    ..FleetConfig::default()
+                },
+            )
+        };
+        let upstream = through_resolver(1);
+        // One poisoned upstream cache per cohort compromises exactly
+        // the devices the direct malicious-delivery path does.
+        assert_eq!(direct.render(), upstream.render());
+        // And the topology is as deterministic as the rest.
+        for jobs in [2, 4] {
+            assert_eq!(
+                upstream.render(),
+                through_resolver(jobs).render(),
+                "jobs={jobs}"
+            );
+        }
     }
 
     #[test]

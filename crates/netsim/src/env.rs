@@ -9,6 +9,7 @@ use parking_lot::Mutex;
 
 use crate::addr::{HwAddr, Ssid};
 use crate::ap::{AccessPoint, Lease};
+use crate::scheduler::{link_latency_us, SimTime};
 
 /// Handle to a deployed access point.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -108,11 +109,19 @@ pub enum NetEvent {
 }
 
 /// The simulated airspace plus the IP services reachable through it.
+///
+/// Every delivered datagram advances a virtual clock by a per-link
+/// latency draw — a pure function of `(latency seed, destination,
+/// delivery index)` via [`link_latency_us`] — so packet timing is
+/// jittered but exactly reproducible for a given seed.
 #[derive(Default)]
 pub struct RadioEnvironment {
     aps: Vec<Option<AccessPoint>>,
     services: HashMap<Ipv4Addr, SharedService>,
     events: Vec<NetEvent>,
+    latency_seed: u64,
+    sends: u64,
+    clock_us: SimTime,
 }
 
 impl std::fmt::Debug for RadioEnvironment {
@@ -129,6 +138,27 @@ impl RadioEnvironment {
     /// An empty environment.
     pub fn new() -> Self {
         RadioEnvironment::default()
+    }
+
+    /// An empty environment whose link-latency jitter derives from
+    /// `seed`. Equal seeds replay identical per-delivery delays.
+    pub fn with_latency_seed(seed: u64) -> Self {
+        RadioEnvironment {
+            latency_seed: seed,
+            ..RadioEnvironment::default()
+        }
+    }
+
+    /// Re-seeds the link-latency jitter (the delivery index keeps
+    /// counting, so reseeding mid-run stays deterministic).
+    pub fn set_latency_seed(&mut self, seed: u64) {
+        self.latency_seed = seed;
+    }
+
+    /// The virtual clock: total simulated latency of every delivery
+    /// attempt so far, in microseconds.
+    pub fn now_us(&self) -> SimTime {
+        self.clock_us
     }
 
     /// Deploys an access point.
@@ -227,6 +257,9 @@ impl RadioEnvironment {
     /// that overrides [`UdpService::handle_datagram_into`], a warm `out`
     /// makes the whole round trip allocation-free.
     pub fn send_into(&mut self, dst: Ipv4Addr, payload: &[u8], out: &mut Vec<u8>) -> bool {
+        let delay = link_latency_us(self.latency_seed, u32::from(dst) as u64, self.sends);
+        self.sends += 1;
+        self.clock_us = self.clock_us.saturating_add(delay);
         match self.services.get(&dst).cloned() {
             Some(service) => {
                 let answered = service.lock().handle_datagram_into(payload, out);
@@ -305,6 +338,34 @@ mod tests {
         let (chosen, _) = env.associate(HwAddr::local(9), &"Home".into()).unwrap();
         assert_ne!(chosen, id, "fallback to the weaker survivor");
         assert_eq!(env.scan().len(), 1);
+    }
+
+    #[test]
+    fn link_latency_jitters_deterministically() {
+        let run = |seed| {
+            let mut env = RadioEnvironment::with_latency_seed(seed);
+            let echo = share(|payload: &[u8]| Some(payload.to_vec()));
+            env.register_service(Ipv4Addr::new(10, 0, 0, 53), echo);
+            let mut stamps = Vec::new();
+            for _ in 0..8 {
+                env.send(Ipv4Addr::new(10, 0, 0, 53), b"q");
+                stamps.push(env.now_us());
+            }
+            stamps
+        };
+        let a = run(7);
+        assert_eq!(a, run(7), "same seed, same clock trace");
+        assert_ne!(a, run(8), "different seed, different jitter");
+        let deltas: Vec<_> = std::iter::once(a[0])
+            .chain(a.windows(2).map(|w| w[1] - w[0]))
+            .collect();
+        assert!(
+            deltas.windows(2).any(|w| w[0] != w[1]),
+            "per-delivery delays must actually jitter: {deltas:?}"
+        );
+        assert!(deltas
+            .iter()
+            .all(|&d| d >= crate::scheduler::MIN_LATENCY_US));
     }
 
     #[test]

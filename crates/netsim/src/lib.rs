@@ -26,10 +26,17 @@ mod addr;
 mod ap;
 mod env;
 mod pineapple;
+pub mod resolver;
+pub mod scheduler;
 mod station;
 
 pub use addr::{HwAddr, Ssid};
 pub use ap::{AccessPoint, ApConfig, DhcpConfig, Lease};
 pub use env::{share, ApId, NetEvent, RadioEnvironment, ScanResult, SharedService, UdpService};
 pub use pineapple::WifiPineapple;
+pub use resolver::{
+    example_internet, CacheStats, Internet, RecursiveResolver, ResolverCache, ResolverStats,
+    TICKS_PER_SEC,
+};
+pub use scheduler::{link_latency_us, Scheduler, SimTime, JITTER_SPAN_US, MIN_LATENCY_US};
 pub use station::{Association, Station};

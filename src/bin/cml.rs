@@ -7,8 +7,11 @@
 //! cml dos    --arch arm --prot wxorx      # crash-only probe
 //! cml pineapple --arch arm                # the remote §III-D scenario
 //! cml fleet --devices 1000 --jobs 4       # fleet-scale rogue-AP attack
+//! cml fleet --devices 1000 --resolver     # …through a poisoned upstream cache
+//! cml resolve www.vendor.example --trace  # recursive resolution walkthrough
+//! cml resolve --smoke                     # resolver CI gate
 //! cml fuzz --arch x86 --variant vulnerable --seed 7 --max-execs 2000
-//! cml experiments [e1 .. e8] --jobs 4     # regenerate paper tables
+//! cml experiments [e1 .. e10] --jobs 4    # regenerate paper tables
 //! ```
 
 use std::process::ExitCode;
@@ -32,6 +35,7 @@ fn main() -> ExitCode {
         "dos" => dos(&opts),
         "pineapple" => pineapple(&opts),
         "fleet" => fleet(&opts),
+        "resolve" => resolve_cmd(&opts),
         "fuzz" => fuzz_cmd(&opts),
         "experiments" => experiments(&opts),
         "--help" | "-h" | "help" => {
@@ -59,8 +63,13 @@ fn usage() {
          \x20 exploit     --arch A --prot P --strategy S\n\
          \x20 dos         --arch A --prot P  crash-only probe\n\
          \x20 pineapple   --arch A           remote rogue-AP scenario\n\
-         \x20 fleet       --devices N [--cohorts SPEC] [--stream]\n\
+         \x20 fleet       --devices N [--cohorts SPEC] [--stream] [--resolver]\n\
          \x20                                rogue-AP attack on an N-device fleet\n\
+         \x20 resolve     [NAME] [--seed N] [--trace]\n\
+         \x20                                recursive resolution (root → TLD →\n\
+         \x20                                authoritative) on the event scheduler\n\
+         \x20 resolve     --smoke            resolver CI gate: delegation, CNAME,\n\
+         \x20                                cache hit, determinism, poisoning\n\
          \x20 fuzz        --arch A --variant vulnerable|patched --seed N\n\
          \x20             --max-execs N [--out DIR] [--no-ir]\n\
          \x20                                coverage-guided fuzzing campaign\n\
@@ -68,7 +77,7 @@ fn usage() {
          \x20                                rediscover the overflow on vulnerable\n\
          \x20                                firmware and find nothing on patched\n\
          \x20                                (--no-ir pins fused-block dispatch)\n\
-         \x20 experiments [e1 .. e8]         regenerate the paper tables\n\
+         \x20 experiments [e1 .. e10]        regenerate the paper tables\n\
          \n\
          options:\n\
          \x20 --arch      x86 | arm              (default arm)\n\
@@ -82,7 +91,9 @@ fn usage() {
          \x20                                    explicit fleet mix (overrides --devices)\n\
          \x20 --stream    fleet: live devices/sec progress line on stderr\n\
          \x20 --fresh-boot                       fleet: boot every session from scratch\n\
-         \x20                                    instead of forking boot snapshots"
+         \x20                                    instead of forking boot snapshots\n\
+         \x20 --resolver  fleet: cohorts query through a shared upstream resolver\n\
+         \x20                                    cache poisoned once per cohort"
     );
 }
 
@@ -96,6 +107,7 @@ struct Opts {
     snapshot: bool,
     cohorts: Option<String>,
     stream: bool,
+    resolver: bool,
     rest: Vec<String>,
 }
 
@@ -111,6 +123,7 @@ impl Opts {
             snapshot: true,
             cohorts: None,
             stream: false,
+            resolver: false,
             rest: Vec::new(),
         };
         let mut it = args.iter();
@@ -170,6 +183,7 @@ impl Opts {
                 "--fresh-boot" => o.snapshot = false,
                 "--cohorts" => o.cohorts = it.next().cloned(),
                 "--stream" => o.stream = true,
+                "--resolver" => o.resolver = true,
                 other => o.rest.push(other.to_string()),
             }
         }
@@ -352,6 +366,7 @@ fn fleet(opts: &Opts) -> ExitCode {
     };
     let mut cfg = FleetConfig::new(opts.jobs);
     cfg.no_snapshot = !opts.snapshot;
+    cfg.resolver = opts.resolver;
     if opts.stream {
         cfg.progress = Some(std::sync::Arc::new(|done, secs| {
             eprint!(
@@ -375,6 +390,185 @@ fn fleet(opts: &Opts) -> ExitCode {
     println!(
         "(phases: forge {:.3}s, deliver {:.3}s, vm {:.3}s)",
         p.forge_secs, p.deliver_secs, p.vm_secs
+    );
+    ExitCode::SUCCESS
+}
+
+fn resolve_cmd(opts: &Opts) -> ExitCode {
+    use connman_lab::dns::{Message, Name, Question, RecordType};
+    use connman_lab::netsim::{example_internet, RecursiveResolver};
+
+    if opts.rest.iter().any(|a| a == "--smoke") {
+        return resolve_smoke();
+    }
+    let mut seed = 7u64;
+    let mut trace = false;
+    let mut name_arg: Option<String> = None;
+    let mut it = opts.rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => {
+                    eprintln!("--seed wants a number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--trace" => trace = true,
+            other if !other.starts_with('-') => name_arg = Some(other.to_string()),
+            other => {
+                eprintln!("unknown resolve option {other:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let (mut net, demo) = example_internet();
+    let name = match name_arg {
+        Some(s) => match Name::parse(&s) {
+            Ok(n) => n,
+            Err(e) => {
+                eprintln!("bad name {s:?}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => demo,
+    };
+    let mut resolver = RecursiveResolver::new(seed, 1024);
+    let query = match Message::query(1, Question::new(name.clone(), RecordType::A)).encode() {
+        Ok(q) => q,
+        Err(e) => {
+            eprintln!("query does not encode: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(resp) = resolver.handle_query(&mut net, &query) else {
+        if trace {
+            print!("{}", resolver.trace());
+        }
+        eprintln!("resolution failed for {name}");
+        return ExitCode::from(2);
+    };
+    if trace {
+        print!("{}", resolver.trace());
+    }
+    match Message::decode(&resp) {
+        Ok(m) => {
+            for r in m.answers() {
+                println!("{r}");
+            }
+        }
+        Err(e) => {
+            eprintln!("response does not decode: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let s = resolver.stats();
+    let c = resolver.cache().stats();
+    println!(
+        "({} upstream queries, {} referrals, {} cname follows, {} glue chases, \
+         cache {} hit / {} miss, clock {}us)",
+        s.upstream_queries,
+        s.referrals,
+        s.cname_follows,
+        s.glue_chases,
+        c.hits,
+        c.misses,
+        resolver.now()
+    );
+    ExitCode::SUCCESS
+}
+
+/// Fixed-seed resolver CI gate: delegation chasing, CNAME following,
+/// cache hits, trace determinism, and the poisoning redirection must
+/// all behave exactly this way on every run.
+fn resolve_smoke() -> ExitCode {
+    use connman_lab::dns::{Message, Name, Question, Record, RecordData, RecordType};
+    use connman_lab::netsim::{example_internet, RecursiveResolver};
+    use std::net::Ipv4Addr;
+
+    let run = |seed: u64| {
+        let (mut net, www) = example_internet();
+        let mut r = RecursiveResolver::new(seed, 64);
+        let q = Message::query(5, Question::new(www, RecordType::A))
+            .encode()
+            .expect("query encodes");
+        let resp = r.handle_query(&mut net, &q);
+        (resp, r.trace().to_string(), r.stats())
+    };
+    let (resp_a, trace_a, stats) = run(7);
+    let (resp_b, trace_b, _) = run(7);
+    let (_, trace_c, _) = run(8);
+    let Some(resp) = resp_a else {
+        eprintln!("resolve smoke FAILED: the demo name does not resolve");
+        return ExitCode::FAILURE;
+    };
+    if resp_b.as_deref() != Some(&resp[..]) || trace_a != trace_b {
+        eprintln!("resolve smoke FAILED: same seed must replay byte-identically");
+        return ExitCode::FAILURE;
+    }
+    if trace_a == trace_c {
+        eprintln!("resolve smoke FAILED: latency draws must depend on the seed");
+        return ExitCode::FAILURE;
+    }
+    if stats.cname_follows == 0 || stats.glue_chases == 0 || stats.referrals == 0 {
+        eprintln!(
+            "resolve smoke FAILED: the demo walk must exercise referrals, \
+             CNAME and glue chasing (got {stats:?})"
+        );
+        return ExitCode::FAILURE;
+    }
+    // Cache + poisoning: one injected record redirects every later query.
+    let (mut net, _) = example_internet();
+    let mut r = RecursiveResolver::new(7, 64);
+    let host = Name::parse("telemetry.vendor.example").expect("static name");
+    let q = Message::query(1, Question::new(host.clone(), RecordType::A))
+        .encode()
+        .expect("query encodes");
+    let mut forged = Message::response_to(&Message::decode(&q).expect("query decodes"));
+    forged.push_answer(Record::new(
+        host,
+        600,
+        RecordData::A(Ipv4Addr::new(10, 13, 37, 99)),
+    ));
+    let forged = forged.encode().expect("forged response encodes");
+    if !r.poison(&q, &forged, 600) {
+        eprintln!("resolve smoke FAILED: poisoning did not stick");
+        return ExitCode::FAILURE;
+    }
+    for id in [2u16, 3, 4] {
+        let q = Message::query(
+            id,
+            Question::new(
+                Name::parse("Telemetry.VENDOR.example").expect("static name"),
+                RecordType::A,
+            ),
+        )
+        .encode()
+        .expect("query encodes");
+        let Some(resp) = r.handle_query(&mut net, &q) else {
+            eprintln!("resolve smoke FAILED: poisoned query {id} unanswered");
+            return ExitCode::FAILURE;
+        };
+        let m = Message::decode(&resp).expect("response decodes");
+        let redirected = m.id() == id
+            && m.answers().iter().any(
+                |r| matches!(r.data(), RecordData::A(a) if *a == Ipv4Addr::new(10, 13, 37, 99)),
+            );
+        if !redirected {
+            eprintln!("resolve smoke FAILED: query {id} not served from the poison");
+            return ExitCode::FAILURE;
+        }
+    }
+    if r.stats().upstream_queries != 0 {
+        eprintln!("resolve smoke FAILED: poisoned hits must not touch upstream");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "resolve smoke OK (referrals={}, cname={}, glue={}, poisoned hits={})",
+        stats.referrals,
+        stats.cname_follows,
+        stats.glue_chases,
+        r.cache().stats().hits
     );
     ExitCode::SUCCESS
 }

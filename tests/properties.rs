@@ -175,6 +175,86 @@ proptest! {
         prop_assert_eq!(doc.to_string(), text);
     }
 
+    /// Scheduler determinism: a resolver simulation is a pure function
+    /// of its seed. Fanning independent simulations across any worker
+    /// count and chunk geometry reproduces the serial traces and
+    /// response bytes exactly — the property every fleet/experiment
+    /// table's byte-identical-at-any-`--jobs` claim rests on.
+    #[test]
+    fn resolver_traces_invariant_under_runner_geometry(
+        seed in any::<u64>(),
+        jobs in 1usize..5,
+        cells in 1usize..6,
+    ) {
+        use connman_lab::dns::{Message, Question, RecordType};
+        use connman_lab::netsim::{example_internet, RecursiveResolver};
+        use connman_lab::{derive_seed, Runner};
+
+        let simulate = |cell: u64| {
+            let (mut net, www) = example_internet();
+            let mut r = RecursiveResolver::new(derive_seed(seed, cell), 64);
+            let q = Message::query(1, Question::new(www, RecordType::A))
+                .encode()
+                .expect("query encodes");
+            let resp = r.handle_query(&mut net, &q);
+            (resp, r.trace().to_string())
+        };
+        let serial: Vec<_> = (0..cells as u64).map(simulate).collect();
+        let fanned = Runner::new(jobs).run(
+            (0..cells as u64).collect(),
+            |_, cell| simulate(cell),
+        );
+        prop_assert_eq!(serial, fanned);
+    }
+
+    /// Cache TTL boundaries are exact for ANY insert time and TTL: a
+    /// hit one tick before expiry, a miss at the expiry tick itself and
+    /// ever after.
+    #[test]
+    fn resolver_cache_ttl_boundary_is_exact(
+        t0 in 0u64..1u64 << 40,
+        ttl in 2u64..1u64 << 30,
+        host in "[a-z]{1,12}(\\.[a-z]{1,12}){0,3}",
+    ) {
+        use connman_lab::dns::{Message, Name, Question, Record, RecordData, RecordType};
+        use connman_lab::netsim::ResolverCache;
+
+        let name = Name::parse(&host).unwrap();
+        let query = Message::query(9, Question::new(name.clone(), RecordType::A));
+        let q = query.encode().unwrap();
+        let mut resp = Message::response_to(&query);
+        resp.push_answer(Record::new(name, 60, RecordData::A([10, 0, 0, 1].into())));
+        let r = resp.encode().unwrap();
+
+        let mut cache = ResolverCache::new(4);
+        prop_assert!(cache.insert(t0, &q, &r, ttl));
+        let mut out = Vec::new();
+        prop_assert!(cache.lookup_into(t0, &q, &mut out), "live at insert");
+        prop_assert!(cache.lookup_into(t0 + ttl - 1, &q, &mut out), "live one tick before expiry");
+        prop_assert!(!cache.lookup_into(t0 + ttl, &q, &mut out), "dead at the expiry tick");
+        prop_assert!(!cache.lookup_into(t0 + ttl + 1, &q, &mut out), "dead after expiry");
+        // Batched expiry agrees with the lookup rule.
+        cache.advance(t0 + ttl - 1);
+        prop_assert_eq!(cache.len(), 1, "advance keeps a live entry");
+        cache.advance(t0 + ttl);
+        prop_assert!(cache.is_empty(), "advance drops a dead entry");
+        prop_assert_eq!(cache.stats().expirations, 1);
+    }
+
+    /// Per-link latency draws are pure in (seed, link, event index) and
+    /// always land inside the configured jitter window.
+    #[test]
+    fn link_latency_is_pure_and_bounded(
+        seed in any::<u64>(),
+        link in any::<u64>(),
+        idx in any::<u64>(),
+    ) {
+        use connman_lab::netsim::{link_latency_us, JITTER_SPAN_US, MIN_LATENCY_US};
+        let d = link_latency_us(seed, link, idx);
+        prop_assert_eq!(d, link_latency_us(seed, link, idx), "pure function");
+        prop_assert!((MIN_LATENCY_US..MIN_LATENCY_US + JITTER_SPAN_US).contains(&d));
+    }
+
     /// The buffered server entry point — the same
     /// [`UdpService::handle_datagram_into`] path the fleet and fuzz
     /// drivers use — is total over arbitrary datagrams, for both the

@@ -155,4 +155,47 @@ fn steady_state_template_and_packet_path_is_allocation_free() {
     );
     assert_eq!(acc.devices, 64 * 245 * 2);
     assert!(acc.lost > 0, "the lossy draws actually fired");
+
+    // Resolver cache: after one recursive miss fills the cache and a
+    // warm-up hit sizes the output buffer, every steady-state cache hit
+    // (hashed canonical-qname lookup + pooled answer copy + id patch)
+    // is allocation-free — the path the million-QPS headline times.
+    use connman_lab::netsim::{example_internet, RecursiveResolver};
+
+    let (mut net, _) = example_internet();
+    let mut resolver = RecursiveResolver::new(0x5EED, 64);
+    let rq = Message::query(
+        0x3111,
+        Question::new(
+            Name::parse("Telemetry.Vendor.Example").expect("valid"),
+            RecordType::A,
+        ),
+    )
+    .encode()
+    .expect("encodes");
+    let mut rbuf = Vec::new();
+    assert!(
+        resolver.handle_query_into(&mut net, &rq, &mut rbuf),
+        "the demo name resolves"
+    );
+    for _ in 0..4 {
+        assert!(resolver.handle_query_into(&mut net, &rq, &mut rbuf));
+    }
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for _ in 0..64 {
+        assert!(resolver.handle_query_into(&mut net, &rq, &mut rbuf));
+    }
+    let after = ALLOCS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "warm resolver cache hits must not touch the heap"
+    );
+    assert_eq!(resolver.cache().stats().hits, 68);
+    assert_eq!(
+        resolver.stats().upstream_queries,
+        3,
+        "only the first miss recursed"
+    );
 }
