@@ -23,8 +23,8 @@ cargo run --release --offline -q -p connman-lab --bin cml -- analyze --self-test
 echo "==> cml analyze --sarif (VSA report smoke)"
 # The interprocedural VSA layer must flag the vulnerable firmware
 # (exit 2 = findings present) and emit parseable SARIF, and must stay
-# quiet on patched 1.35 — on both ISAs.
-for arch in x86 arm; do
+# quiet on patched 1.35 — on all three ISAs.
+for arch in x86 arm riscv; do
   cargo run --release --offline -q -p connman-lab --bin cml -- \
     analyze --arch "$arch" --firmware openelec --sarif > /dev/null && {
       echo "analyze --sarif: vulnerable $arch not flagged"; exit 1; } || [ $? -eq 2 ]
@@ -34,8 +34,8 @@ done
 
 echo "==> cml fuzz --smoke"
 # Fixed-seed fuzzing gate: the coverage-guided fuzzer must rediscover
-# the dnsproxy overflow on vulnerable firmware (both ISAs) and find
-# nothing on patched 1.35, within a small deterministic budget.
+# the dnsproxy overflow on vulnerable firmware (all three ISAs) and
+# find nothing on patched 1.35, within a small deterministic budget.
 cargo run --release --offline -q -p connman-lab --bin cml -- fuzz --smoke --jobs 2
 
 echo "==> cml resolve --smoke"
@@ -57,13 +57,14 @@ diff <(fleet_smoke 1) <(fleet_smoke 4) || {
   echo "fleet smoke: serial vs parallel reports differ"; exit 1; }
 
 echo "==> repro --bench-smoke"
-# Tiny-iteration snapshot/dispatch/template/pool/resolver ablations,
-# compared against the newest committed BENCH_*.json (fails on a >2x
-# regression of the snapshot insn advantage, the template_vs_rebuild wall
-# advantage or the IR-over-block dispatch speedup, a >20x collapse of the
-# warm resolver-cache throughput, or any allocation on the warm cache-hit
-# path; each guard skips with a note when the baseline predates its
-# record).
+# Tiny-iteration snapshot/dispatch/template/pool/resolver/decode
+# ablations, compared against the newest committed BENCH_*.json (fails on
+# a >2x regression of the snapshot insn advantage, the template_vs_rebuild
+# wall advantage or the IR-over-block dispatch speedup, a >4x regression
+# of any per-ISA decode-table-vs-hand-rolled ratio, a >20x collapse of the warm
+# resolver-cache throughput or the RISC-V fuzz execs/sec, or any
+# allocation on the warm cache-hit path; each guard skips with a note when
+# the baseline predates its record).
 cargo run --release --offline -q -p cml-bench --bin repro -- --bench-smoke
 
 echo "==> interpreter fallback (--no-ir)"

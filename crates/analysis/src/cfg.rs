@@ -9,17 +9,19 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use cml_image::{Addr, Arch, Image, SymbolKind};
-use cml_vm::{arm, x86};
+use cml_vm::{arm, riscv, x86};
 
 use crate::predecode::Predecoder;
 
-/// One lifted instruction from either ISA.
+/// One lifted instruction from any of the three ISAs.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Op {
     /// An IA-32 instruction.
     X86(x86::Insn),
     /// An A32 instruction.
     Arm(arm::Insn),
+    /// An RV32IC instruction (compressed forms pre-expanded).
+    Riscv(riscv::Insn),
 }
 
 /// A lifted instruction with its location.
@@ -196,6 +198,23 @@ fn flow_of(insn: &LiftedInsn) -> Flow {
             }
             arm::Insn::Blx { .. } => Flow::IndirectCall,
             arm::Insn::Pop { list } if list & (1 << 15) != 0 => Flow::Return,
+            _ => Flow::Seq,
+        },
+        Op::Riscv(i) => match i {
+            // Branch/jump offsets are relative to the instruction itself.
+            riscv::Insn::Jalr {
+                rd: 0,
+                rs1: 1,
+                offset: 0,
+            } => Flow::Return,
+            riscv::Insn::Jal { rd: 0, offset } => Flow::Jump(insn.addr.wrapping_add(offset as u32)),
+            riscv::Insn::Jal { offset, .. } => Flow::Call(insn.addr.wrapping_add(offset as u32)),
+            riscv::Insn::Jalr { rd: 0, .. } => Flow::IndirectJump,
+            riscv::Insn::Jalr { .. } => Flow::IndirectCall,
+            riscv::Insn::Beq { offset, .. } | riscv::Insn::Bne { offset, .. } => {
+                Flow::Cond(insn.addr.wrapping_add(offset as u32))
+            }
+            riscv::Insn::Ebreak => Flow::Halt,
             _ => Flow::Seq,
         },
     }

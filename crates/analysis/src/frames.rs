@@ -77,7 +77,7 @@ pub fn frame_of(arch: Arch, f: &Function) -> FrameInfo {
         buf_offset: None,
         ret_offset: match arch {
             Arch::X86 => Some(0),
-            Arch::Armv7 => None,
+            Arch::Armv7 | Arch::Riscv => None,
         },
         canary_offset: None,
     };
@@ -175,6 +175,31 @@ pub fn frame_of(arch: Arch, f: &Function) -> FrameInfo {
                     _ => {}
                 }
             }
+            Op::Riscv(i) => {
+                use cml_vm::riscv::Insn as I;
+                match i {
+                    I::Addi { rd: 2, rs1: 2, imm } => {
+                        sp += imm as i64;
+                        if imm < 0 {
+                            info.frame_size += (-imm) as u32;
+                        }
+                    }
+                    I::Sw {
+                        rs2,
+                        rs1: 2,
+                        offset,
+                    } => {
+                        info.saved_regs += 1;
+                        if rs2 == 1 {
+                            info.ret_offset = Some(sp + offset as i64);
+                        }
+                    }
+                    I::Addi { rd, rs1: 2, imm } if rd != 2 => {
+                        take_buf(&mut info, sp + imm as i64);
+                    }
+                    _ => {}
+                }
+            }
         }
     }
     info
@@ -209,6 +234,13 @@ mod tests {
             assert_eq!(fa.buf_offset, Some(-1076), "arm");
             assert_eq!(fa.ret_offset, Some(-4), "arm: lr is the top slot");
             assert_eq!(fa.buf_to_ret(), Some(1072), "arm");
+
+            let fr = frame(Arch::Riscv, patched, "parse_response");
+            assert_eq!(fr.frame_size, 0x424, "riscv patched={patched}");
+            assert_eq!(fr.saved_regs, 3, "riscv: ra, s0, s1");
+            assert_eq!(fr.buf_offset, Some(-1060), "riscv");
+            assert_eq!(fr.ret_offset, Some(-4), "riscv: ra at the frame top");
+            assert_eq!(fr.buf_to_ret(), Some(1056), "riscv");
         }
     }
 

@@ -11,7 +11,7 @@
 use std::collections::HashMap;
 
 use cml_image::{Addr, Arch, Image};
-use cml_vm::{arm, x86};
+use cml_vm::{arm, riscv, x86};
 
 use crate::cfg::Op;
 
@@ -70,6 +70,9 @@ impl<'a> Predecoder<'a> {
             Arch::Armv7 => arm::decode(bytes)
                 .ok()
                 .map(|(i, len)| (Op::Arm(i), len as u32)),
+            Arch::Riscv => riscv::decode(bytes)
+                .ok()
+                .map(|(i, len)| (Op::Riscv(i), len as u32)),
         }
     }
 }

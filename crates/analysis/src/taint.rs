@@ -32,7 +32,7 @@
 use std::collections::{BTreeSet, HashMap};
 
 use cml_image::{Addr, Arch};
-use cml_vm::{arm, x86, X86Reg};
+use cml_vm::{arm, riscv, x86, X86Reg};
 
 use crate::callgraph::Summaries;
 use crate::cfg::{BasicBlock, Cfg, Function, Op, Terminator};
@@ -81,19 +81,21 @@ impl Abs {
     }
 }
 
-/// Per-program-point abstract state: 16 register slots (x86 uses the
-/// low 8), the class pair of the last flag-setting comparison, and the
-/// class of the most recent push (the outgoing x86 call argument).
+/// Per-program-point abstract state: 32 register slots (x86 uses the
+/// low 8, ARM the low 16), the class pair of the last flag-setting
+/// comparison (on RISC-V, of the last conditional branch — there is no
+/// separate compare), and the class of the most recent push (the
+/// outgoing x86 call argument).
 #[derive(Debug, Clone, PartialEq)]
 struct State {
-    regs: [Abs; 16],
+    regs: [Abs; 32],
     flags: (Abs, Abs),
     last_push: Abs,
 }
 
 impl State {
     fn entry(arch: Arch, is_source: bool) -> State {
-        let mut regs = [Abs::Top; 16];
+        let mut regs = [Abs::Top; 32];
         match arch {
             Arch::X86 => {
                 regs[X86Reg::Esp.bits() as usize] = Abs::StackPtr;
@@ -102,6 +104,13 @@ impl State {
                 regs[13] = Abs::StackPtr;
                 if is_source {
                     regs[0] = Abs::ArgPtr;
+                }
+            }
+            Arch::Riscv => {
+                regs[0] = Abs::Const(0); // x0 is hardwired
+                regs[2] = Abs::StackPtr;
+                if is_source {
+                    regs[10] = Abs::ArgPtr; // a0
                 }
             }
         }
@@ -115,7 +124,7 @@ impl State {
     /// Joins `other` in; returns whether anything widened.
     fn join_with(&mut self, other: &State) -> bool {
         let mut changed = false;
-        for i in 0..16 {
+        for i in 0..32 {
             let j = self.regs[i].join(other.regs[i]);
             if j != self.regs[i] {
                 self.regs[i] = j;
@@ -277,6 +286,7 @@ pub(crate) fn function_profile(arch: Arch, f: &Function) -> FnProfile {
     let ret_reg = match arch {
         Arch::X86 => X86Reg::Eax.bits() as usize,
         Arch::Armv7 => 0,
+        Arch::Riscv => 10, // a0
     };
     let mut returns_const = None;
     let mut consistent = true;
@@ -522,6 +532,7 @@ fn walk_block(
                 collect.as_deref_mut(),
             ),
             Op::Arm(i) => step_arm(st, &i, insn.addr, ret_consts, collect.as_deref_mut()),
+            Op::Riscv(i) => step_riscv(st, &i, insn.addr, ret_consts, collect.as_deref_mut()),
         }
     }
 }
@@ -693,6 +704,75 @@ fn step_arm(
             }
             if let Some(&v) = ret_consts.get(&addr) {
                 st.regs[0] = Abs::Const(v);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn step_riscv(
+    st: &mut State,
+    i: &riscv::Insn,
+    addr: Addr,
+    ret_consts: &HashMap<Addr, u32>,
+    collect: Option<&mut Collected>,
+) {
+    use riscv::Insn as I;
+    // x0 is hardwired to zero: writes to it are discarded.
+    match *i {
+        I::Lui { rd, imm } if rd != 0 => st.regs[rd as usize] = Abs::Const(imm),
+        I::Auipc { rd, .. } if rd != 0 => st.regs[rd as usize] = Abs::Top,
+        I::Addi { rd, rs1: 0, imm } if rd != 0 => {
+            st.regs[rd as usize] = Abs::Const(imm as u32);
+        }
+        I::Addi { rd, rs1, .. } if rd != 0 => {
+            st.regs[rd as usize] = st.regs[rs1 as usize].after_arith();
+        }
+        I::Andi { rd, .. } | I::Ori { rd, .. } | I::Xori { rd, .. } if rd != 0 => {
+            st.regs[rd as usize] = Abs::Top;
+        }
+        I::Slli { rd, .. } | I::Srli { rd, .. } if rd != 0 => st.regs[rd as usize] = Abs::Top,
+        I::Add { rd, rs1, rs2 } | I::Sub { rd, rs1, rs2 } if rd != 0 => {
+            st.regs[rd as usize] = st.regs[rs1 as usize]
+                .join(st.regs[rs2 as usize])
+                .after_arith();
+        }
+        I::Lw { rd, rs1, .. } | I::Lbu { rd, rs1, .. } if rd != 0 => {
+            st.regs[rd as usize] = match st.regs[rs1 as usize] {
+                Abs::ArgPtr | Abs::Tainted => Abs::Tainted,
+                _ => Abs::Top,
+            };
+        }
+        I::Sw { rs2, rs1, .. } | I::Sb { rs2, rs1, .. } => {
+            if let Some(out) = collect {
+                out.writes_mem = true;
+                if st.regs[rs1 as usize] == Abs::StackPtr {
+                    out.stores.push(StackStore {
+                        addr,
+                        value: st.regs[rs2 as usize],
+                    });
+                }
+            }
+        }
+        // No compare instruction: the conditional branch's own operand
+        // classes stand in for flags.
+        I::Beq { rs1, rs2, .. } | I::Bne { rs1, rs2, .. } => {
+            st.flags = (st.regs[rs1 as usize], st.regs[rs2 as usize]);
+        }
+        I::Jal { rd: 1, .. } | I::Jalr { rd: 1, .. } => {
+            if let Some(out) = collect {
+                out.call_args.push((addr, st.regs[10]));
+            }
+            // Caller-saved registers (ra, t0-t6, a0-a7) are clobbered;
+            // a summarized constant return re-seeds a0.
+            for reg in [1usize, 5, 6, 7, 28, 29, 30, 31] {
+                st.regs[reg] = Abs::Top;
+            }
+            for reg in 10..18 {
+                st.regs[reg] = Abs::Top;
+            }
+            if let Some(&v) = ret_consts.get(&addr) {
+                st.regs[10] = Abs::Const(v);
             }
         }
         _ => {}

@@ -28,7 +28,7 @@
 use std::collections::{BTreeSet, HashMap};
 
 use cml_image::{Addr, Arch, Image};
-use cml_vm::{arm, x86, X86Reg};
+use cml_vm::{arm, riscv, x86, X86Reg};
 
 use crate::cfg::{BasicBlock, Cfg, Function, Op, Terminator};
 
@@ -233,19 +233,26 @@ impl ValueSet {
 
 #[derive(Debug, Clone, PartialEq)]
 struct State {
-    regs: [ValueSet; 16],
+    regs: [ValueSet; 32],
     flags: (ValueSet, ValueSet),
 }
 
 impl State {
     fn entry(arch: Arch, is_source: bool) -> State {
-        let mut regs = [ValueSet::unknown(); 16];
+        let mut regs = [ValueSet::unknown(); 32];
         match arch {
             Arch::X86 => regs[X86Reg::Esp.bits() as usize] = ValueSet::stack(0),
             Arch::Armv7 => {
                 regs[13] = ValueSet::stack(0);
                 if is_source {
                     regs[0] = ValueSet::tainted();
+                }
+            }
+            Arch::Riscv => {
+                regs[0] = ValueSet::constant(0); // x0 is hardwired
+                regs[2] = ValueSet::stack(0);
+                if is_source {
+                    regs[10] = ValueSet::tainted(); // a0
                 }
             }
         }
@@ -257,7 +264,7 @@ impl State {
 
     fn merge_with(&mut self, other: &State, widen: bool) -> bool {
         let mut changed = false;
-        for i in 0..16 {
+        for i in 0..32 {
             let m = self.regs[i].merge(other.regs[i], widen);
             if m != self.regs[i] {
                 self.regs[i] = m;
@@ -354,7 +361,8 @@ fn vsa_function(arch: Arch, image: &Image, f: &Function, is_source: bool) -> FnV
         ret_slot: match arch {
             // The caller's `call` pushed the return address at entry SP.
             Arch::X86 => Some(0),
-            Arch::Armv7 => None,
+            // Link-register ISAs: found when the prologue spills it.
+            Arch::Armv7 | Arch::Riscv => None,
         },
         writes: Vec::new(),
     };
@@ -532,6 +540,7 @@ fn walk_block(
         match insn.op {
             Op::X86(i) => step_x86(st, &i, image, is_source, insn.addr, collect.as_deref_mut()),
             Op::Arm(i) => step_arm(st, &i, image, insn.addr, collect.as_deref_mut()),
+            Op::Riscv(i) => step_riscv(st, &i, image, insn.addr, collect.as_deref_mut()),
         }
     }
 }
@@ -781,6 +790,106 @@ fn step_arm(
     }
 }
 
+fn step_riscv(
+    st: &mut State,
+    i: &riscv::Insn,
+    image: &Image,
+    addr: Addr,
+    collect: Option<&mut Collected>,
+) {
+    use riscv::Insn as I;
+    // Writes to the hardwired x0 are discarded.
+    match *i {
+        I::Lui { rd, imm } if rd != 0 => st.regs[rd as usize] = classify(image, imm),
+        I::Auipc { rd, imm } if rd != 0 => {
+            st.regs[rd as usize] = classify(image, addr.wrapping_add(imm));
+        }
+        I::Addi { rd, rs1: 0, imm } if rd != 0 => {
+            st.regs[rd as usize] = ValueSet::constant(imm as i64);
+        }
+        I::Addi { rd, rs1, imm } if rd != 0 => {
+            st.regs[rd as usize] = st.regs[rs1 as usize].add(imm as i64);
+        }
+        I::Andi { rd, rs1, .. }
+        | I::Ori { rd, rs1, .. }
+        | I::Xori { rd, rs1, .. }
+        | I::Slli { rd, rs1, .. }
+        | I::Srli { rd, rs1, .. }
+            if rd != 0 =>
+        {
+            st.regs[rd as usize] = if st.regs[rs1 as usize].is_tainted() {
+                ValueSet::tainted()
+            } else {
+                ValueSet::unknown()
+            };
+        }
+        I::Add { rd, rs1, rs2 } | I::Sub { rd, rs1, rs2 } if rd != 0 => {
+            st.regs[rd as usize] =
+                if st.regs[rs1 as usize].is_tainted() || st.regs[rs2 as usize].is_tainted() {
+                    ValueSet::tainted()
+                } else {
+                    ValueSet::unknown()
+                };
+        }
+        I::Lw { rd, rs1, .. } if rd != 0 => {
+            st.regs[rd as usize] = if st.regs[rs1 as usize].is_tainted() {
+                ValueSet::tainted()
+            } else {
+                ValueSet::unknown()
+            };
+        }
+        I::Lbu { rd, rs1, .. } if rd != 0 => {
+            st.regs[rd as usize] = if st.regs[rs1 as usize].is_tainted() {
+                ValueSet::tainted_byte()
+            } else {
+                ValueSet::unknown()
+            };
+        }
+        I::Sw { rs2, rs1, offset } => {
+            if let Some(out) = collect {
+                let target = st.regs[rs1 as usize].add(offset as i64);
+                // The prologue's `sw ra` spill marks the return slot.
+                if rs2 == 1 && target.region == Region::StackRel {
+                    if let Some(slot) = target.si.as_exact() {
+                        out.ret_slot = Some(slot);
+                    }
+                }
+                out.stores.push(RawStore {
+                    addr,
+                    width: 4,
+                    target,
+                    value: st.regs[rs2 as usize],
+                });
+            }
+        }
+        I::Sb { rs2, rs1, offset } => {
+            if let Some(out) = collect {
+                out.stores.push(RawStore {
+                    addr,
+                    width: 1,
+                    target: st.regs[rs1 as usize].add(offset as i64),
+                    value: st.regs[rs2 as usize],
+                });
+            }
+        }
+        // No compare instruction: the branch's own operands are the
+        // "flags" a loop-bound exit is judged by.
+        I::Beq { rs1, rs2, .. } | I::Bne { rs1, rs2, .. } => {
+            st.flags = (st.regs[rs1 as usize], st.regs[rs2 as usize]);
+        }
+        I::Jal { rd: 1, .. } | I::Jalr { rd: 1, .. } => {
+            // Caller-saved: ra, t0-t6, a0-a7.
+            for reg in [1usize, 5, 6, 7, 28, 29, 30, 31] {
+                st.regs[reg] = ValueSet::unknown();
+            }
+            for reg in 10..18 {
+                st.regs[reg] = ValueSet::unknown();
+            }
+        }
+        _ => {}
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -800,7 +909,11 @@ mod tests {
 
     #[test]
     fn vulnerable_write_is_unbounded_and_reaches_the_return_slot() {
-        for (arch, start, ret) in [(Arch::X86, -1040, 0), (Arch::Armv7, -1076, -4)] {
+        for (arch, start, ret) in [
+            (Arch::X86, -1040, 0),
+            (Arch::Armv7, -1076, -4),
+            (Arch::Riscv, -1060, -4),
+        ] {
             let v = vsa_of(arch, false, "parse_response");
             assert_eq!(v.ret_slot, Some(ret), "{arch}");
             let w: Vec<&StackWrite> = v.tainted_writes().collect();
@@ -830,11 +943,13 @@ mod tests {
 
     /// Frame padding between the 1024-byte buffer and the saved return
     /// address: x86 has 12 bytes of locals + saved ebp, ARM 48 bytes of
-    /// locals + callee saves below lr.
+    /// locals + callee saves below lr, RISC-V 32 bytes of padding and
+    /// callee saves below ra.
     fn buf_pad(arch: Arch) -> u32 {
         match arch {
             Arch::X86 => 16,
             Arch::Armv7 => 48,
+            Arch::Riscv => 32,
         }
     }
 

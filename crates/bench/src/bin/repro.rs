@@ -19,7 +19,7 @@
 //! repro --no-ir         # pin the whole run to fused-block dispatch
 //!                       # (threaded-code IR off), the CI fallback lane
 
-//! repro --sanitize      # run the 6-cell exploit matrix under the VM
+//! repro --sanitize      # run the 9-cell exploit matrix under the VM
 //!                       # shadow-memory sanitizer and print precise
 //!                       # overflow diagnostics per cell
 //! ```
@@ -38,7 +38,7 @@ use cml_exploit::target::deliver_labels;
 use cml_exploit::template::apply_slides;
 use cml_exploit::{
     ArmGadgetExeclp, CodeInjection, ExploitStrategy, MaliciousDnsServer, PayloadTemplate, Ret2Libc,
-    RopMemcpyChain, Slides,
+    RiscvGadgetSystem, RopMemcpyChain, Slides,
 };
 use cml_fuzz::FuzzConfig;
 use cml_vm::{x86, Fault, Machine, X86Reg};
@@ -189,7 +189,7 @@ fn main() {
         eprintln!("timing the fleet_scale campaign ({FLEET_SCALE_DEVICES} devices)…");
         let scale = fleet_scale_timings(jobs);
         eprintln!("{}", scale.describe());
-        eprintln!("timing the static analyzer on both architectures…");
+        eprintln!("timing the static analyzer on all three architectures…");
         let analysis = analysis_timings();
         for (arch, secs, vsa_secs, insns) in &analysis {
             eprintln!(
@@ -274,6 +274,15 @@ struct Ablations {
     cov_replay_execs: u64,
     cov_on_wall_secs: f64,
     cov_off_wall_secs: f64,
+    /// Per-ISA decode ablation: walking the vulnerable image's `.text`
+    /// end to end with the declarative-table decoder vs. the retained
+    /// hand-rolled reference decoder. One entry per architecture:
+    /// `(arch, table_wall_secs, handrolled_wall_secs, insns_per_pass)`.
+    decode_table: Vec<(Arch, f64, f64, u64)>,
+    /// RISC-V fuzzing throughput: the same fixed-seed campaign as
+    /// `fuzz_execs`, on the RV32IC target.
+    riscv_fuzz_execs: u64,
+    riscv_fuzz_wall_secs: f64,
 }
 
 impl Ablations {
@@ -291,6 +300,10 @@ impl Ablations {
 
     fn fuzz_execs_per_sec(&self) -> f64 {
         self.fuzz_execs as f64 / self.fuzz_wall_secs.max(1e-12)
+    }
+
+    fn riscv_fuzz_execs_per_sec(&self) -> f64 {
+        self.riscv_fuzz_execs as f64 / self.riscv_fuzz_wall_secs.max(1e-12)
     }
 
     /// Warm cache-hit throughput — the headline queries/sec figure.
@@ -336,6 +349,20 @@ impl Ablations {
     }
 
     fn describe(&self) -> String {
+        let decode = self
+            .decode_table
+            .iter()
+            .map(|(arch, table, hand, insns)| {
+                format!(
+                    "{arch} {:.4}s table vs {:.4}s hand-rolled over {} insns/pass ({:.2}x)",
+                    table,
+                    hand,
+                    insns,
+                    hand / table.max(1e-12)
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("; ");
         format!(
             "snapshot_vs_reboot: {} vs {} insns/trial ({:.1}x fewer), \
              {:.3}s vs {:.3}s over {} trials\n\
@@ -349,7 +376,9 @@ impl Ablations {
              fresh-Vec hits {:.1}x slower ({} allocs/query); cache-off \
              {:.0}x slower per query ({} full recursions)\n\
              fuzz: {} execs in {:.3}s ({:.0} execs/sec); coverage hook \
-             {:.2}x wall overhead; reboot-per-exec {:.1}x slower than fork",
+             {:.2}x wall overhead; reboot-per-exec {:.1}x slower than fork\n\
+             decode_table: {}\n\
+             riscv_fuzz: {} execs in {:.3}s ({:.0} execs/sec)",
             self.fresh_insns,
             self.forked_insns,
             self.insn_ratio(),
@@ -385,7 +414,11 @@ impl Ablations {
             self.fuzz_wall_secs,
             self.fuzz_execs_per_sec(),
             self.coverage_overhead_ratio(),
-            self.fork_vs_reboot_fuzz_ratio()
+            self.fork_vs_reboot_fuzz_ratio(),
+            decode,
+            self.riscv_fuzz_execs,
+            self.riscv_fuzz_wall_secs,
+            self.riscv_fuzz_execs_per_sec()
         )
     }
 }
@@ -607,6 +640,36 @@ fn run_ablations(trials: u64) -> Ablations {
     }
     let resolver_uncached_wall_secs = t0.elapsed().as_secs_f64();
 
+    // Decode-table ablation: walking each ISA's vulnerable `.text` end
+    // to end with the declarative-table decoder vs. the retained
+    // hand-rolled reference decoder. Interleaved per trial like the
+    // dispatch ablation so machine-speed phases hit both arms equally.
+    let decode_table: Vec<(Arch, f64, f64, u64)> = Arch::ALL
+        .iter()
+        .map(|&arch| {
+            use cml_image::SectionKind;
+            let fw = Firmware::build(FirmwareKind::OpenElec, arch);
+            let text = fw
+                .image()
+                .section(SectionKind::Text)
+                .expect("firmware has .text")
+                .bytes()
+                .to_vec();
+            let mut walls = [0.0f64; 2];
+            let mut insns = 0u64;
+            for _ in 0..trials {
+                for (slot, pass) in [
+                    (0usize, decode_pass(arch, &text, true)),
+                    (1, decode_pass(arch, &text, false)),
+                ] {
+                    walls[slot] += pass.0;
+                    insns = pass.1;
+                }
+            }
+            (arch, walls[0], walls[1], insns)
+        })
+        .collect();
+
     // Fuzzing ablations: the same fixed-seed campaign three ways —
     // coverage-on fork (the production configuration), coverage-off
     // (bitmap cost), reboot-per-exec (snapshot advantage inside the
@@ -632,6 +695,26 @@ fn run_ablations(trials: u64) -> Ablations {
     let t0 = Instant::now();
     cml_fuzz::fuzz(&reboot);
     let fuzz_reboot_wall_secs = t0.elapsed().as_secs_f64();
+
+    // RISC-V fuzzing throughput: the same fixed-seed campaign on the
+    // RV32IC target, warmed the same way as the x86 arm.
+    let riscv_fuzz_execs = trials * 64;
+    let riscv_cfg = FuzzConfig::new(
+        FirmwareKind::OpenElec,
+        Arch::Riscv,
+        0x5EED,
+        riscv_fuzz_execs,
+        1,
+    );
+    cml_fuzz::fuzz(&riscv_cfg);
+    let t0 = Instant::now();
+    let riscv_report = cml_fuzz::fuzz(&riscv_cfg);
+    let riscv_fuzz_wall_secs = t0.elapsed().as_secs_f64();
+    assert_eq!(
+        riscv_report.total_execs(),
+        riscv_fuzz_execs,
+        "riscv campaign spends its budget"
+    );
 
     // Coverage-hook arm: one fixed input set (the benign seeds plus
     // deterministic mutants of them), replayed with the map armed and
@@ -704,6 +787,40 @@ fn run_ablations(trials: u64) -> Ablations {
         cov_replay_execs,
         cov_on_wall_secs: cov_wall[0],
         cov_off_wall_secs: cov_wall[1],
+        decode_table,
+        riscv_fuzz_execs,
+        riscv_fuzz_wall_secs,
+    }
+}
+
+/// One timed decode pass over `bytes`: sequential decode from offset 0,
+/// stepping past undecodable windows at the ISA's alignment granule.
+/// Returns `(wall_secs, instructions_decoded)`.
+fn decode_pass(arch: Arch, bytes: &[u8], table: bool) -> (f64, u64) {
+    type Decoder<I, E> = fn(&[u8]) -> Result<(I, usize), E>;
+    fn walk<I, E>(bytes: &[u8], min_step: usize, dec: Decoder<I, E>) -> (f64, u64) {
+        let mut off = 0usize;
+        let mut n = 0u64;
+        let t0 = Instant::now();
+        while off < bytes.len() {
+            match dec(&bytes[off..]) {
+                Ok((insn, len)) => {
+                    std::hint::black_box(&insn);
+                    off += len.max(min_step);
+                    n += 1;
+                }
+                Err(_) => off += min_step,
+            }
+        }
+        (t0.elapsed().as_secs_f64(), n)
+    }
+    match (arch, table) {
+        (Arch::X86, true) => walk(bytes, 1, x86::decode),
+        (Arch::X86, false) => walk(bytes, 1, x86::decode_reference),
+        (Arch::Armv7, true) => walk(bytes, 4, cml_vm::arm::decode),
+        (Arch::Armv7, false) => walk(bytes, 4, cml_vm::arm::decode_reference),
+        (Arch::Riscv, true) => walk(bytes, 2, cml_vm::riscv::decode),
+        (Arch::Riscv, false) => walk(bytes, 2, cml_vm::riscv::decode_reference),
     }
 }
 
@@ -850,6 +967,58 @@ fn smoke_vs_baseline() -> i32 {
         None => println!("bench-smoke: baseline {path} has no coverage_hook_overhead — skipping"),
     }
 
+    // Decode-table: per ISA, the declarative tables must stay within 4x
+    // of the recorded advantage over the hand-rolled reference decoders.
+    // Decode is a cold path (the predecode cache decodes each pc once
+    // per generation) and the sub-millisecond smoke passes are noisy on
+    // a shared 1-CPU host, so the guard is deliberately loose — it
+    // exists to catch accidental table blow-up (quadratic growth, a rule
+    // scan gone linear-in-rules per byte), not scheduling jitter.
+    // Baselines predating the `decode_table` record skip that ISA's
+    // comparison only.
+    for (arch, table, hand, _) in &current.decode_table {
+        let ratio = hand / table.max(1e-12);
+        match json_number_after(
+            &doc,
+            &format!("\"isa\":\"{arch}\""),
+            "\"decode_wall_ratio\":",
+        ) {
+            Some(baseline) => {
+                println!(
+                    "bench-smoke: {arch} decode table-vs-hand-rolled ratio {ratio:.2}x \
+                     vs {baseline:.2}x baseline ({path})"
+                );
+                if ratio < baseline / 4.0 {
+                    println!(
+                        "bench-smoke: FAIL — {arch} decode-table advantage regressed \
+                         by more than 4x"
+                    );
+                    failed = true;
+                }
+            }
+            None => {
+                println!("bench-smoke: baseline {path} has no {arch} decode_table — skipping")
+            }
+        }
+    }
+
+    // RISC-V fuzz throughput: execs/sec across machines is noisy, so
+    // only an order-of-magnitude collapse fails the guard. Baselines
+    // predating the `riscv_fuzz` record skip the comparison.
+    let rv = current.riscv_fuzz_execs_per_sec();
+    match json_number_after(&doc, "\"riscv_fuzz\"", "\"execs_per_sec\":") {
+        Some(baseline) => {
+            println!(
+                "bench-smoke: riscv fuzz {rv:.0} execs/sec vs {baseline:.0} baseline ({path})"
+            );
+            if baseline > 0.0 && rv < baseline / 20.0 {
+                println!("bench-smoke: FAIL — riscv fuzz throughput collapsed more than 20x");
+                failed = true;
+            }
+        }
+        None => println!("bench-smoke: baseline {path} has no riscv_fuzz — skipping"),
+    }
+
     // Value-set analysis: a correctness smoke (the interprocedural
     // layer must still flag the unbounded copy on both ISAs), plus a
     // wall-time guard against the recorded per-arch cost. Baselines
@@ -935,7 +1104,7 @@ fn json_number_after(doc: &str, section: &str, key: &str) -> Option<f64> {
     tail[..end].parse().ok()
 }
 
-/// Runs the six-cell exploit matrix (x86/ARM × none/W⊕X/W⊕X+ASLR) with
+/// Runs the nine-cell exploit matrix (x86/ARM/RISC-V × none/W⊕X/W⊕X+ASLR) with
 /// the VM shadow-memory sanitizer armed on the victim and prints the
 /// precise overflow diagnostics each cell produces. Returns the process
 /// exit code: 0 when every cell is pinpointed, 1 otherwise.
@@ -946,7 +1115,7 @@ fn sanitize_matrix() -> i32 {
         (Protections::full(), "full"),
     ];
     let mut all_pinpointed = true;
-    println!("### shadow-memory sanitizer: 6-cell exploit matrix\n");
+    println!("### shadow-memory sanitizer: 9-cell exploit matrix\n");
     for arch in Arch::ALL {
         for (prot, prot_name) in cells {
             let strategy: Box<dyn ExploitStrategy> = if prot.aslr.enabled {
@@ -955,6 +1124,7 @@ fn sanitize_matrix() -> i32 {
                 match arch {
                     Arch::X86 => Box::new(Ret2Libc::new()),
                     Arch::Armv7 => Box::new(ArmGadgetExeclp::new()),
+                    Arch::Riscv => Box::new(RiscvGadgetSystem::new()),
                 }
             } else {
                 Box::new(CodeInjection::new(arch))
@@ -984,7 +1154,7 @@ fn sanitize_matrix() -> i32 {
     }
     println!();
     if all_pinpointed {
-        println!("all 6 cells pinpointed by the sanitizer");
+        println!("all 9 cells pinpointed by the sanitizer");
         0
     } else {
         println!("some cells escaped the sanitizer");
@@ -1195,6 +1365,18 @@ fn bench_json_doc(
             )
         })
         .collect();
+    let decode: Vec<String> = ablations
+        .decode_table
+        .iter()
+        .map(|(arch, table, hand, insns)| {
+            format!(
+                "{{\"isa\":\"{arch}\",\"table_wall_secs\":{table:.6},\
+                 \"handrolled_wall_secs\":{hand:.6},\"insns_per_pass\":{insns},\
+                 \"decode_wall_ratio\":{:.3}}}",
+                hand / table.max(1e-12)
+            )
+        })
+        .collect();
     let abl = format!(
         "{{\"snapshot_vs_reboot\":{{\"trials\":{},\"fresh_insns_per_trial\":{},\
          \"forked_insns_per_trial\":{},\"insn_ratio\":{:.2},\"fresh_wall_secs\":{:.6},\
@@ -1218,7 +1400,10 @@ fn bench_json_doc(
          \"coverage_hook_overhead\":{{\"replay_execs\":{},\"on_wall_secs\":{:.6},\
          \"off_wall_secs\":{:.6},\"overhead_ratio\":{:.3}}},\
          \"fork_vs_reboot_fuzz\":{{\"fork_wall_secs\":{:.6},\
-         \"reboot_wall_secs\":{:.6},\"wall_ratio\":{:.2}}}}}}}",
+         \"reboot_wall_secs\":{:.6},\"wall_ratio\":{:.2}}}}},\
+         \"decode_table\":[{}],\
+         \"riscv_fuzz\":{{\"execs\":{},\"wall_secs\":{:.6},\
+         \"execs_per_sec\":{:.2}}}}}",
         ablations.trials,
         ablations.fresh_insns,
         ablations.forked_insns,
@@ -1265,7 +1450,11 @@ fn bench_json_doc(
         ablations.coverage_overhead_ratio(),
         ablations.fuzz_wall_secs,
         ablations.fuzz_reboot_wall_secs,
-        ablations.fork_vs_reboot_fuzz_ratio()
+        ablations.fork_vs_reboot_fuzz_ratio(),
+        decode.join(","),
+        ablations.riscv_fuzz_execs,
+        ablations.riscv_fuzz_wall_secs,
+        ablations.riscv_fuzz_execs_per_sec()
     );
     format!(
         "{{\"jobs\":{jobs},\"experiments\":[{}],\"analysis\":[{}],\"ablations\":{},\

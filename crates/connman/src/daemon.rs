@@ -661,6 +661,10 @@ mod tests {
                 SectionKind::Text,
                 &cml_vm::arm::Asm::new().mov_reg(1, 1).bx(14).finish(),
             ),
+            Arch::Riscv => b.append_code(
+                SectionKind::Text,
+                &cml_vm::riscv::Asm::new().c_nop().jalr(0, 1, 0).finish(),
+            ),
         };
         b.symbol(SYM_DAEMON_LOOP, loop_addr, 4, SymbolKind::Function);
         let parse_addr = b.cursor(SectionKind::Text);
@@ -669,6 +673,10 @@ mod tests {
             Arch::Armv7 => {
                 b.append_code(SectionKind::Text, &cml_vm::arm::Asm::new().bx(14).finish())
             }
+            Arch::Riscv => b.append_code(
+                SectionKind::Text,
+                &cml_vm::riscv::Asm::new().c_ret().finish(),
+            ),
         };
         b.symbol(SYM_PARSE_RESPONSE, parse_addr, 4, SymbolKind::Function);
         b.build().unwrap()

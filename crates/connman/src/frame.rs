@@ -8,7 +8,7 @@
 //! NULL to survive until the `pop {pc}`).
 
 use cml_image::{Addr, Arch};
-use cml_vm::{ArmReg, Fault, Machine, X86Reg};
+use cml_vm::{ArmReg, Fault, Machine, RiscvReg, X86Reg};
 
 use crate::NAME_BUFFER_SIZE;
 
@@ -75,6 +75,19 @@ impl FrameLayout {
                 null_check_offsets: [Some(buf_size), Some(buf_size + 4)],
                 saved_regs_offset: buf_size + 16,
                 saved_regs_count: 8, // r4-r11
+            },
+            // RISC-V: `[buf][pad 8][canary 4][pad 4][saved s0-s3 16][saved ra]`.
+            // gcc on rv32 spills only the callee-saved registers the body
+            // uses; parse_response touches four, and keeps no ARM-style
+            // pointer locals between the buffer and the canary.
+            Arch::Riscv => FrameLayout {
+                arch,
+                buf_size,
+                ret_offset: buf_size + 32,
+                canary_offset: buf_size + 8,
+                null_check_offsets: [None, None],
+                saved_regs_offset: buf_size + 16,
+                saved_regs_count: 4, // s0, s1, s2, s3
             },
         }
     }
@@ -272,6 +285,18 @@ impl Frame {
                         pc,
                     )?;
                     machine.regs_mut().arm_mut().set(ArmReg(4 + i as u8), v);
+                }
+            }
+            Arch::Riscv => {
+                // s0, s1 are x8, x9; s2.. start at x18.
+                const SAVED: [RiscvReg; 4] = [RiscvReg(8), RiscvReg(9), RiscvReg(18), RiscvReg(19)];
+                for (i, reg) in SAVED.iter().take(self.layout.saved_regs_count).enumerate() {
+                    let v = machine.mem().read_u32(
+                        self.buf_addr
+                            .wrapping_add((self.layout.saved_regs_offset + 4 * i) as u32),
+                        pc,
+                    )?;
+                    machine.regs_mut().riscv_mut().set(*reg, v);
                 }
             }
         }

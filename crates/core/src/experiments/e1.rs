@@ -4,7 +4,7 @@
 //! response with length greater than the name buffer size. When Connman
 //! decompresses and adds the message to the name buffer, the application
 //! crashes." Run against the last vulnerable release (1.34) and the
-//! patched 1.35, on both architectures.
+//! patched 1.35, on all three architectures.
 
 use cml_exploit::strategies::DosCrash;
 use cml_firmware::{Arch, FirmwareKind, Protections};
@@ -59,7 +59,7 @@ pub fn run() -> Table {
         }
     }
     t.note(
-        "Vulnerable Connman (≤1.34) dies on both architectures; the 1.35 bounds \
+        "Vulnerable Connman (≤1.34) dies on all three architectures; the 1.35 bounds \
          check rejects the name and the daemon keeps serving — matching the paper \
          and the upstream fix.",
     );
@@ -73,7 +73,7 @@ mod tests {
     #[test]
     fn vulnerable_crashes_patched_survives() {
         let t = run();
-        assert_eq!(t.rows.len(), 4);
+        assert_eq!(t.rows.len(), 6);
         for row in &t.rows {
             if row[1] == "OpenELEC" {
                 assert_eq!(row[3], "DoS (crash)", "{row:?}");

@@ -24,7 +24,7 @@ pub fn run() -> Table {
 pub fn run_jobs(jobs: usize) -> Table {
     let mut t = Table::new(
         "E2",
-        "the six PoCs: protections × architectures × techniques",
+        "the six PoCs grown to nine: protections × architectures × techniques",
         &[
             "paper §",
             "arch",
@@ -99,9 +99,10 @@ pub fn run_jobs(jobs: usize) -> Table {
     t.note(format!(
         "Prediction mismatches: {mismatches}. The paper's six PoCs are the \
          (none, code-injection), (W^X, ret2libc / gadget-execlp) and \
-         (W^X+ASLR, ROP memcpy-chain) cells — all six spawn a root shell here, \
-         and every weaker technique fails against the protection introduced \
-         above it, reproducing the paper's qualitative result exactly."
+         (W^X+ASLR, ROP memcpy-chain) cells, extended here with the RISC-V \
+         column — all nine diagonal cells spawn a root shell, and every weaker \
+         technique fails against the protection introduced above it, \
+         reproducing (and extending) the paper's qualitative result exactly."
     ));
     t
 }
@@ -118,19 +119,22 @@ mod tests {
     #[test]
     fn all_cells_match_predictions_and_diagonal_succeeds() {
         let t = run();
-        // 2 arches × 3 protections × 3 strategies = 18 cells.
-        assert_eq!(t.rows.len(), 18);
+        // 3 arches × 3 protections × 3 strategies = 27 cells.
+        assert_eq!(t.rows.len(), 27);
         for row in &t.rows {
             assert_eq!(row[6], "yes", "prediction mismatch in {row:?}");
         }
-        // The paper's six headline cells all yield shells.
+        // The paper's nine headline cells all yield shells.
         let diagonal = [
             ("III-A1", "none"),
             ("III-A2", "none"),
+            ("III-A3", "none"),
             ("III-B1", "W^X"),
             ("III-B2", "W^X"),
+            ("III-B3", "W^X"),
             ("III-C1", "W^X+ASLR"),
             ("III-C2", "W^X+ASLR"),
+            ("III-C3", "W^X+ASLR"),
         ];
         for (section, prot) in diagonal {
             let row = t

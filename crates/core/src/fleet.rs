@@ -56,7 +56,7 @@ use cml_connman::{ProxyOutcome, Resolution};
 use cml_dns::{BufPool, Name, RecordType, WireBuf};
 use cml_exploit::{
     AnswerBank, ArmGadgetExeclp, CodeInjection, ExploitStrategy, MaliciousDnsServer, Ret2Libc,
-    RopMemcpyChain, Slides, TargetInfo, TemplateSet,
+    RiscvGadgetSystem, RopMemcpyChain, Slides, TargetInfo, TemplateSet,
 };
 use cml_firmware::{Arch, BootForge, Firmware, FirmwareKind, Protections, SharedForge};
 use cml_netsim::{
@@ -163,6 +163,7 @@ impl CohortSpec {
             let arch = match fields.next() {
                 Some("x86") => Arch::X86,
                 Some("arm") | Some("armv7") => Arch::Armv7,
+                Some("riscv") | Some("rv32") => Arch::Riscv,
                 other => return Err(format!("cohort {name}: unknown arch {other:?}")),
             };
             let protections = match fields.next() {
@@ -749,6 +750,7 @@ fn pick_strategy(arch: Arch, p: &Protections) -> Box<dyn ExploitStrategy> {
         match arch {
             Arch::X86 => Box::new(Ret2Libc::new()),
             Arch::Armv7 => Box::new(ArmGadgetExeclp::new()),
+            Arch::Riscv => Box::new(RiscvGadgetSystem::new()),
         }
     } else {
         Box::new(CodeInjection::new(arch))
@@ -1493,6 +1495,20 @@ mod tests {
         assert!(parsed[2].protections.stack_canary);
         assert!(CohortSpec::parse_list("bogus").is_err());
         assert!(CohortSpec::parse_list("a=nope/x86/full/1").is_err());
+    }
+
+    #[test]
+    fn cohort_spec_accepts_riscv_and_rejects_unknown_arches() {
+        let parsed = CohortSpec::parse_list("gw=openelec/riscv/wxorx/50,hub=patched/rv32/full/10")
+            .expect("riscv spellings parse");
+        assert_eq!(parsed[0].arch, Arch::Riscv);
+        assert_eq!(parsed[1].arch, Arch::Riscv);
+
+        let err = CohortSpec::parse_list("gw=openelec/mips/full/50").unwrap_err();
+        assert!(
+            err.contains("unknown arch") && err.contains("mips"),
+            "error must name the offending field: {err}"
+        );
     }
 
     #[test]

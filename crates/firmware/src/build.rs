@@ -9,7 +9,7 @@ use cml_connman::{
     SYM_DAEMON_INIT, SYM_DAEMON_LOOP, SYM_FORWARD_DNS_REPLY, SYM_PARSE_RESPONSE, SYM_UNCOMPRESS,
 };
 use cml_image::{layout, Addr, Arch, Image, ImageBuilder, SectionKind, SymbolKind};
-use cml_vm::{arm, x86, X86Reg};
+use cml_vm::{arm, riscv, x86, X86Reg};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -40,6 +40,17 @@ pub struct GadgetAddrs {
     pub pop_r4_pc: Option<Addr>,
     /// ARM `pop {r4-r11, pc}` (also `parse_response`'s real epilogue).
     pub pop_r4_r11_pc: Option<Addr>,
+    /// RISC-V `lw a0/a1/a2/a3/ra, …(sp); addi sp, sp, 20; ret` — the
+    /// register loader the rv32 chains enter through.
+    pub lw_args_ret: Option<Addr>,
+    /// RISC-V `c.jalr a3; lw ra, 0(sp); addi sp, sp, 4; ret` — the
+    /// call-and-resume trampoline (the `blx r3` analogue).
+    pub jalr_a3_tramp: Option<Addr>,
+    /// RISC-V bare compressed `ret` (`c.jr ra`, parcel `0x8082`).
+    pub rvc_ret: Option<Addr>,
+    /// RISC-V `ret` parcel hidden *inside* a 4-byte `lui` — reachable
+    /// only by 2-byte-granular scanning (the RVC misaligned surface).
+    pub misaligned_ret: Option<Addr>,
 }
 
 /// libc link-time offsets (stable across the simulated distro).
@@ -110,6 +121,7 @@ pub fn build_image_for(arch: Arch, variant: u64, bounds_checked: bool) -> (Image
     match arch {
         Arch::X86 => build_x86_text(&mut b, &mut gadgets, variant, bounds_checked),
         Arch::Armv7 => build_arm_text(&mut b, &mut gadgets, variant, bounds_checked),
+        Arch::Riscv => build_riscv_text(&mut b, &mut gadgets, variant, bounds_checked),
     }
     build_plt_got(&mut b, arch, l.got_base, l.libc_base);
     build_rodata(&mut b);
@@ -491,6 +503,193 @@ fn filler_fn_arm(b: &mut ImageBuilder, rng: &mut StdRng) {
     b.append_code(SectionKind::Text, &a.pop(&[4, 15]).finish());
 }
 
+fn build_riscv_text(b: &mut ImageBuilder, g: &mut GadgetAddrs, variant: u64, bounds_checked: bool) {
+    let mut rng = StdRng::seed_from_u64(0xC0FF_EE02 ^ variant.wrapping_mul(0x9E37_79B9));
+    let shift = (variant % 5) as usize;
+    b.append_code(
+        SectionKind::Text,
+        &riscv::Asm::new().c_nop().c_nop().finish(),
+    );
+
+    // daemon_loop: c.nop; c.j .-2.
+    let loop_addr = b.append_code(
+        SectionKind::Text,
+        &riscv::Asm::new().c_nop().c_j(-2).finish(),
+    );
+    b.symbol(SYM_DAEMON_LOOP, loop_addr, 4, SymbolKind::Function);
+
+    // daemon_init: see build_x86_text. The branch offset is relative to
+    // the branch instruction itself on RISC-V.
+    let init = riscv::Asm::new()
+        .addi(10, 0, 0x600)
+        .addi(10, 10, -1) // loop:
+        .bne(10, 0, -4) // -> loop
+        .c_ret()
+        .finish();
+    let init_size = init.len() as u32;
+    let init_addr = b.append_code(SectionKind::Text, &init);
+    b.symbol(SYM_DAEMON_INIT, init_addr, init_size, SymbolKind::Function);
+
+    // parse_response: a2 walks the packet (arg in a0), a3 walks the
+    // 1024-byte name buffer at the bottom of the 0x424-byte frame. ra is
+    // spilled at sp+0x420, so buf→saved-ret is the real 1056 bytes
+    // (pad 8 + canary 4 + pad 4 + s0-s3 above the buffer). The store
+    // sits before the terminator test (strcpy shape), so an N-byte name
+    // writes N+1 bytes — byte-identical to the daemon's model. See
+    // build_x86_text for the flavour semantics.
+    let body = if bounds_checked {
+        riscv::Asm::new()
+            .addi(2, 2, -0x424)
+            .sw(1, 2, 0x420)
+            .sw(8, 2, 0x410)
+            .sw(9, 2, 0x414)
+            .addi(12, 10, 0)
+            .addi(13, 2, 0)
+            .addi(14, 0, 0) // untainted counter
+            .addi(16, 0, 0x400) // capacity
+            .lbu(15, 12, 0) // loop:
+            .beq(14, 16, 24) // -> done (capacity reached)
+            .sb(15, 13, 0)
+            .addi(12, 12, 1)
+            .addi(13, 13, 1)
+            .addi(14, 14, 1)
+            .bne(15, 0, -24) // -> loop
+            .lw(1, 2, 0x420) // done:
+            .lw(8, 2, 0x410)
+            .lw(9, 2, 0x414)
+            .addi(2, 2, 0x424)
+            .c_ret()
+            .finish()
+    } else {
+        riscv::Asm::new()
+            .addi(2, 2, -0x424)
+            .sw(1, 2, 0x420)
+            .sw(8, 2, 0x410)
+            .sw(9, 2, 0x414)
+            .addi(12, 10, 0)
+            .addi(13, 2, 0)
+            .lbu(15, 12, 0) // loop:
+            .sb(15, 13, 0)
+            .addi(12, 12, 1)
+            .addi(13, 13, 1)
+            .bne(15, 0, -16) // -> loop
+            .lw(1, 2, 0x420) // done:
+            .lw(8, 2, 0x410)
+            .lw(9, 2, 0x414)
+            .addi(2, 2, 0x424)
+            .c_ret()
+            .finish()
+    };
+    let size = body.len() as u32;
+    let parse_addr = b.append_code(SectionKind::Text, &body);
+    b.symbol(SYM_PARSE_RESPONSE, parse_addr, size, SymbolKind::Function);
+
+    // The static CVE call chain (see build_x86_text): forward_dns_reply
+    // → uncompress → parse_response, never executed, analyzed. The
+    // reply pointer rides a0 untouched into each callee; uncompress
+    // returns a constant status after the call.
+    let unc_pre = riscv::Asm::new().addi(2, 2, -16).sw(1, 2, 12).finish();
+    let unc_addr = b.append_code(SectionKind::Text, &unc_pre);
+    let jal_at = unc_addr + unc_pre.len() as u32;
+    let unc_rest = riscv::Asm::new()
+        .jal(1, parse_addr.wrapping_sub(jal_at) as i32)
+        .addi(10, 0, 0)
+        .lw(1, 2, 12)
+        .addi(2, 2, 16)
+        .c_ret()
+        .finish();
+    b.append_code(SectionKind::Text, &unc_rest);
+    b.symbol(
+        SYM_UNCOMPRESS,
+        unc_addr,
+        (unc_pre.len() + unc_rest.len()) as u32,
+        SymbolKind::Function,
+    );
+
+    let fwd_pre = riscv::Asm::new().addi(2, 2, -16).sw(1, 2, 12).finish();
+    let fwd_addr = b.append_code(SectionKind::Text, &fwd_pre);
+    let jal_at = fwd_addr + fwd_pre.len() as u32;
+    let fwd_rest = riscv::Asm::new()
+        .jal(1, unc_addr.wrapping_sub(jal_at) as i32)
+        .lw(1, 2, 12)
+        .addi(2, 2, 16)
+        .c_ret()
+        .finish();
+    b.append_code(SectionKind::Text, &fwd_rest);
+    b.symbol(
+        SYM_FORWARD_DNS_REPLY,
+        fwd_addr,
+        (fwd_pre.len() + fwd_rest.len()) as u32,
+        SymbolKind::Function,
+    );
+
+    for i in 0usize..40 {
+        filler_fn_riscv(b, &mut rng);
+        match i.wrapping_sub(shift) {
+            5 => {
+                g.lw_args_ret = Some(
+                    b.append_code(
+                        SectionKind::Text,
+                        &riscv::Asm::new()
+                            .lw(10, 2, 0)
+                            .lw(11, 2, 4)
+                            .lw(12, 2, 8)
+                            .lw(13, 2, 12)
+                            .lw(1, 2, 16)
+                            .addi(2, 2, 20)
+                            .c_ret()
+                            .finish(),
+                    ),
+                )
+            }
+            13 => {
+                g.jalr_a3_tramp = Some(
+                    b.append_code(
+                        SectionKind::Text,
+                        &riscv::Asm::new()
+                            .c_jalr(13)
+                            .lw(1, 2, 0)
+                            .addi(2, 2, 4)
+                            .c_ret()
+                            .finish(),
+                    ),
+                )
+            }
+            19 => {
+                g.rvc_ret =
+                    Some(b.append_code(SectionKind::Text, &riscv::Asm::new().c_ret().finish()))
+            }
+            27 => {
+                // `lui a0, 0x80820000`: the upper parcel of the word is
+                // 0x8082 = `c.jr ra`, so a 2-byte-stride scan finds a
+                // `ret` two bytes *inside* this 4-byte instruction.
+                let w = b.append_code(
+                    SectionKind::Text,
+                    &riscv::Asm::new().lui(10, 0x8082_0000).finish(),
+                );
+                g.misaligned_ret = Some(w + 2);
+            }
+            _ => {}
+        }
+    }
+}
+
+fn filler_fn_riscv(b: &mut ImageBuilder, rng: &mut StdRng) {
+    let mut a = riscv::Asm::new().addi(2, 2, -16).sw(1, 2, 12);
+    for _ in 0..rng.gen_range(2..8) {
+        a = match rng.gen_range(0..4) {
+            0 => a.c_nop(),
+            1 => a.addi(10, 0, rng.gen_range(0..256)),
+            2 => a.c_mv(11, 10),
+            _ => a.add(12, 12, 13),
+        };
+    }
+    b.append_code(
+        SectionKind::Text,
+        &a.lw(1, 2, 12).addi(2, 2, 16).c_ret().finish(),
+    );
+}
+
 fn build_plt_got(b: &mut ImageBuilder, arch: Arch, got_base: Addr, libc_base: Addr) {
     // Two PLT entries, as in the paper: memcpy@plt and execlp@plt. The
     // loader hooks the stub addresses directly (modelling a resolved
@@ -513,6 +712,19 @@ fn build_plt_got(b: &mut ImageBuilder, arch: Arch, got_base: Addr, libc_base: Ad
                 b.append_code(
                     SectionKind::Plt,
                     &arm::Asm::new().mov_reg(12, 12).bx(14).finish(),
+                )
+            }
+            Arch::Riscv => {
+                // Real stubs are `auipc t3; lw t3, …; jalr t1, t3`; a
+                // placeholder again, since the hook fires on entry.
+                b.append_code(
+                    SectionKind::Plt,
+                    &riscv::Asm::new()
+                        .c_mv(28, 28)
+                        .c_mv(28, 28)
+                        .c_nop()
+                        .c_ret()
+                        .finish(),
                 )
             }
         };
@@ -552,6 +764,13 @@ fn build_libc(b: &mut ImageBuilder, arch: Arch, libc_base: Addr) {
     let ret_fill: Vec<u8> = match arch {
         Arch::X86 => std::iter::repeat_n(0xC3u8, libc_off::STR_BIN_SH as usize).collect(),
         Arch::Armv7 => 0xE12F_FF1Eu32 // bx lr
+            .to_le_bytes()
+            .iter()
+            .copied()
+            .cycle()
+            .take(libc_off::STR_BIN_SH as usize)
+            .collect(),
+        Arch::Riscv => 0x8082u16 // c.jr ra
             .to_le_bytes()
             .iter()
             .copied()
@@ -607,6 +826,18 @@ mod tests {
             img.bytes_at(g.blx_r3_tramp.unwrap(), 4),
             Some(&0xE12F_FF33u32.to_le_bytes()[..])
         );
+        let (img, g) = build_image(Arch::Riscv);
+        // `lw a0, 0(sp)` heads the register loader.
+        assert_eq!(
+            img.bytes_at(g.lw_args_ret.unwrap(), 4),
+            Some(&0x0001_2503u32.to_le_bytes()[..])
+        );
+        assert_eq!(img.bytes_at(g.rvc_ret.unwrap(), 2), Some(&[0x82, 0x80][..]));
+        // The misaligned ret is the upper parcel of a `lui`.
+        assert_eq!(
+            img.bytes_at(g.misaligned_ret.unwrap() - 2, 4),
+            Some(&0x8082_0537u32.to_le_bytes()[..])
+        );
     }
 
     #[test]
@@ -652,6 +883,7 @@ mod tests {
                     let len = match arch {
                         Arch::X86 => x86::decode(&bytes[off..]).expect("body decodes").1,
                         Arch::Armv7 => arm::decode(&bytes[off..]).expect("body decodes").1,
+                        Arch::Riscv => riscv::decode(&bytes[off..]).expect("body decodes").1,
                     };
                     off += len;
                 }
@@ -674,6 +906,7 @@ mod tests {
                 let len = match arch {
                     Arch::X86 => x86::decode(&bytes[off..]).expect("init decodes").1,
                     Arch::Armv7 => arm::decode(&bytes[off..]).expect("init decodes").1,
+                    Arch::Riscv => riscv::decode(&bytes[off..]).expect("init decodes").1,
                 };
                 off += len;
             }

@@ -7,7 +7,7 @@ use cml_connman::{
     ConnmanVersion, Daemon, DaemonSnapshot, FrameLayout, SYM_DAEMON_INIT, SYM_DAEMON_LOOP,
 };
 use cml_image::{Addr, Arch, Image};
-use cml_vm::{ArmReg, Loader, Machine, Protections, Regs};
+use cml_vm::{ArmReg, Loader, Machine, Protections, Regs, RiscvReg};
 
 use crate::build::{build_image_for, GadgetAddrs};
 
@@ -272,6 +272,11 @@ fn run_daemon_init(machine: &mut Machine, init: Addr, target: Addr) {
                 r.set(ArmReg::LR, target);
             }
         }
+        Arch::Riscv => {
+            if let Regs::Riscv(r) = machine.regs_mut() {
+                r.set(RiscvReg::RA, target);
+            }
+        }
     }
     machine.regs_mut().set_pc(init);
     machine
@@ -291,6 +296,11 @@ fn run_daemon_init(machine: &mut Machine, init: Addr, target: Addr) {
         Arch::Armv7 => {
             if let Regs::Arm(r) = machine.regs_mut() {
                 r.set(ArmReg::LR, 0);
+            }
+        }
+        Arch::Riscv => {
+            if let Regs::Riscv(r) = machine.regs_mut() {
+                r.set(RiscvReg::RA, 0);
             }
         }
     }

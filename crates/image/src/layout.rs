@@ -63,6 +63,20 @@ pub fn layout_for(arch: Arch) -> Layout {
             stack_top: 0x7eff_f000,
             stack_size: 0x0010_0000,
         },
+        // RV32 Linux convention: low text base like ARM, mmap'd libc
+        // just under the 2 GiB line, stack at the top of the lower half.
+        Arch::Riscv => Layout {
+            text_base: 0x0001_0000,
+            plt_base: 0x0001_c000,
+            got_base: 0x0002_0000,
+            rodata_base: 0x0002_6000,
+            data_base: 0x000a_0000,
+            bss_base: 0x000b_a000,
+            heap_base: 0x0120_0000,
+            libc_base: 0x77e0_0000,
+            stack_top: 0x7fff_f000,
+            stack_size: 0x0010_0000,
+        },
     }
 }
 

@@ -218,13 +218,34 @@ pub fn reg_list(list: u16) -> Vec<u8> {
     (0..16).filter(|i| list & (1 << i) != 0).collect()
 }
 
-/// Decodes one A32 word.
+/// Decodes one A32 word via the declarative [`A32_RULES`] table.
 ///
 /// # Errors
 ///
 /// Returns [`DecodeError::Truncated`] if fewer than 4 bytes are given, or
 /// [`DecodeError::Unsupported`] for words outside the subset.
 pub fn decode(bytes: &[u8]) -> Result<(Insn, usize), DecodeError> {
+    decode_with(bytes, decode_word)
+}
+
+/// The original hand-rolled decoder, retained as the reference
+/// implementation for the decode-table differential tests and the
+/// table-vs-hand-rolled bench ablation.
+///
+/// # Errors
+///
+/// Same contract as [`decode`].
+pub fn decode_reference(bytes: &[u8]) -> Result<(Insn, usize), DecodeError> {
+    decode_with(bytes, decode_word_reference)
+}
+
+/// Shared front half: byte window → word, condition-field handling
+/// (EQ/NE branches are the only conditional forms), then the AL word
+/// decoder.
+fn decode_with(
+    bytes: &[u8],
+    word_decoder: fn(u32) -> Option<Insn>,
+) -> Result<(Insn, usize), DecodeError> {
     if bytes.len() < 4 {
         return Err(DecodeError::Truncated);
     }
@@ -245,11 +266,107 @@ pub fn decode(bytes: &[u8]) -> Result<(Insn, usize), DecodeError> {
         }
         return Err(DecodeError::Unsupported(w));
     }
-    let insn = decode_word(w).ok_or(DecodeError::Unsupported(w))?;
+    let insn = word_decoder(w).ok_or(DecodeError::Unsupported(w))?;
     Ok((insn, 4))
 }
 
 fn decode_word(w: u32) -> Option<Insn> {
+    crate::decoder::find(A32_RULES, w).and_then(|r| (r.decode)(w))
+}
+
+/// Extracts a single-register ldr/str/ldrb/strb (P=1, W=0 immediate
+/// addressing; the U bit stays variable and signs the offset).
+fn ldst(w: u32, load: bool, byte: bool) -> Insn {
+    let up = w & (1 << 23) != 0;
+    let rn = ((w >> 16) & 0xF) as u8;
+    let rd = ((w >> 12) & 0xF) as u8;
+    let imm = (w & 0xFFF) as i32;
+    let offset = if up { imm } else { -imm };
+    match (load, byte) {
+        (true, false) => Insn::Ldr { rd, rn, offset },
+        (false, false) => Insn::Str { rd, rn, offset },
+        (true, true) => Insn::Ldrb { rd, rn, offset },
+        (false, true) => Insn::Strb { rd, rn, offset },
+    }
+}
+
+/// Extracts `rd`, `rn` and the rotated immediate of a data-processing
+/// immediate form.
+fn dp_imm(w: u32) -> (u8, u8, u32) {
+    (
+        ((w >> 12) & 0xF) as u8,
+        ((w >> 16) & 0xF) as u8,
+        decode_imm12(w & 0xFFF),
+    )
+}
+
+/// Sign-extends the 24-bit branch field to a byte offset.
+fn branch_offset(w: u32) -> i32 {
+    (((w & 0x00FF_FFFF) << 8) as i32 >> 8) << 2
+}
+
+crate::decode_table! {
+    /// The A32 (condition `AL`) subset as a declarative table. Rule
+    /// order mirrors the reference decoder's match order; the
+    /// first-match-wins contract makes the two interchangeable.
+    pub static A32_RULES: u32 => fn(u32) -> Option<Insn> {
+        "bx"   => (0x0FFF_FFF0, 0x012F_FF10, |w| Some(Insn::Bx { rm: (w & 0xF) as u8 })),
+        "blx"  => (0x0FFF_FFF0, 0x012F_FF30, |w| Some(Insn::Blx { rm: (w & 0xF) as u8 })),
+        "svc"  => (0x0F00_0000, 0x0F00_0000, |w| Some(Insn::Svc { imm: w & 0x00FF_FFFF })),
+        "b"    => (0x0F00_0000, 0x0A00_0000, |w| Some(Insn::B { offset: branch_offset(w) })),
+        "bl"   => (0x0F00_0000, 0x0B00_0000, |w| Some(Insn::Bl { offset: branch_offset(w) })),
+        "push" => (0x0FFF_0000, 0x092D_0000, |w| Some(Insn::Push { list: (w & 0xFFFF) as u16 })),
+        "pop"  => (0x0FFF_0000, 0x08BD_0000, |w| Some(Insn::Pop { list: (w & 0xFFFF) as u16 })),
+        "ldr"  => (0x0F70_0000, 0x0510_0000, |w| Some(ldst(w, true, false))),
+        "str"  => (0x0F70_0000, 0x0500_0000, |w| Some(ldst(w, false, false))),
+        "ldrb" => (0x0F70_0000, 0x0550_0000, |w| Some(ldst(w, true, true))),
+        "strb" => (0x0F70_0000, 0x0540_0000, |w| Some(ldst(w, false, true))),
+        "mov"  => (0x0FF0_0000, 0x03A0_0000, |w| {
+            let (rd, _, imm) = dp_imm(w);
+            Some(Insn::MovImm { rd, imm })
+        }),
+        "mvn"  => (0x0FF0_0000, 0x03E0_0000, |w| {
+            let (rd, _, imm) = dp_imm(w);
+            Some(Insn::MvnImm { rd, imm })
+        }),
+        "add"  => (0x0FF0_0000, 0x0280_0000, |w| {
+            let (rd, rn, imm) = dp_imm(w);
+            Some(Insn::AddImm { rd, rn, imm })
+        }),
+        "sub"  => (0x0FF0_0000, 0x0240_0000, |w| {
+            let (rd, rn, imm) = dp_imm(w);
+            Some(Insn::SubImm { rd, rn, imm })
+        }),
+        "orr"  => (0x0FF0_0000, 0x0380_0000, |w| {
+            let (rd, rn, imm) = dp_imm(w);
+            Some(Insn::OrrImm { rd, rn, imm })
+        }),
+        "and"  => (0x0FF0_0000, 0x0200_0000, |w| {
+            let (rd, rn, imm) = dp_imm(w);
+            Some(Insn::AndImm { rd, rn, imm })
+        }),
+        "eor"  => (0x0FF0_0000, 0x0220_0000, |w| {
+            let (rd, rn, imm) = dp_imm(w);
+            Some(Insn::EorImm { rd, rn, imm })
+        }),
+        "cmp"  => (0x0FF0_0000, 0x0350_0000, |w| {
+            let (rd, rn, imm) = dp_imm(w);
+            (rd == 0).then_some(Insn::CmpImm { rn, imm })
+        }),
+        "mov/lsl" => (0x0FFF_0070, 0x01A0_0000, |w| {
+            let rd = ((w >> 12) & 0xF) as u8;
+            let rm = (w & 0xF) as u8;
+            let shift = ((w >> 7) & 0x1F) as u8;
+            Some(if shift == 0 {
+                Insn::MovReg { rd, rm }
+            } else {
+                Insn::LslImm { rd, rm, shift }
+            })
+        }),
+    }
+}
+
+fn decode_word_reference(w: u32) -> Option<Insn> {
     // bx / blx (register form)
     if w & 0x0FFF_FFF0 == 0x012F_FF10 {
         return Some(Insn::Bx {
@@ -689,5 +806,24 @@ mod tests {
     #[test]
     fn truncated() {
         assert_eq!(decode(&[0xEF, 0x00]), Err(DecodeError::Truncated));
+        assert_eq!(decode_reference(&[0xEF, 0x00]), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn table_matches_reference_decoder() {
+        // Deterministic LCG sweep; the AL-forced variant exercises the
+        // table densely (1/16 of raw draws are condition AL).
+        let mut w: u32 = 0x1234_5678;
+        for _ in 0..200_000 {
+            w = w.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+            for cand in [w, (w & 0x0FFF_FFFF) | 0xE000_0000] {
+                let bytes = cand.to_le_bytes();
+                assert_eq!(
+                    decode(&bytes),
+                    decode_reference(&bytes),
+                    "table and reference disagree on {cand:#010x}"
+                );
+            }
+        }
     }
 }

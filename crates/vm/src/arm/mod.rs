@@ -11,6 +11,6 @@ mod exec;
 mod insn;
 
 pub use asm::Asm;
-pub use insn::{decode, reg_list, DecodeError, Insn};
+pub use insn::{decode, decode_reference, reg_list, DecodeError, Insn, A32_RULES};
 
 pub(crate) use exec::{decode_at, ends_block, exec_insn, step};

@@ -22,7 +22,7 @@ use std::sync::Arc;
 use cml_image::Addr;
 
 use crate::ir::IrBlock;
-use crate::{arm, x86};
+use crate::{arm, riscv, x86};
 
 /// Process-wide default for the threaded-code IR dispatcher, read when a
 /// [`DecodeCache`] (and so a machine) is created. Lets the bench/CLI
@@ -51,6 +51,9 @@ pub(crate) enum CachedInsn {
     X86(x86::Insn, u8),
     /// ARM instructions are always 4 bytes.
     Arm(arm::Insn),
+    /// RISC-V instruction (RVC forms pre-expanded to RV32I) plus its
+    /// encoded length: 2 for a compressed parcel, 4 for a base word.
+    Riscv(riscv::Insn, u8),
 }
 
 impl CachedInsn {
@@ -59,6 +62,7 @@ impl CachedInsn {
         match self {
             CachedInsn::X86(_, len) => len as u32,
             CachedInsn::Arm(_) => 4,
+            CachedInsn::Riscv(_, len) => len as u32,
         }
     }
 }

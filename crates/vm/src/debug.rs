@@ -12,7 +12,7 @@ use cml_image::Addr;
 
 use crate::loader::LoadMap;
 use crate::machine::Machine;
-use crate::{arm, x86, Fault};
+use crate::{arm, riscv, x86, Fault};
 
 /// A read-only view over a machine for address discovery and frame
 /// inspection.
@@ -101,6 +101,10 @@ impl<'m> Inspector<'m> {
                     Ok((i, n)) => (i.to_string(), n),
                     Err(_) => break,
                 },
+                cml_image::Arch::Riscv => match riscv::decode(&window) {
+                    Ok((i, n)) => (i.to_string(), n),
+                    Err(_) => break,
+                },
             };
             lines.push(format!("{pc:#010x}: {text}"));
             pc = pc.wrapping_add(len as u32);
@@ -170,6 +174,19 @@ impl<'m> Inspector<'m> {
                     r.pc(),
                     r.zf as u8
                 ));
+                s
+            }
+            crate::Regs::Riscv(r) => {
+                let mut s = String::new();
+                for i in 0..32u8 {
+                    let reg = crate::RiscvReg(i);
+                    s.push_str(&format!(
+                        "{reg}={:#010x}{}",
+                        r.get(reg),
+                        if i % 4 == 3 { "\n" } else { " " }
+                    ));
+                }
+                s.push_str(&format!("pc={:#010x}", r.pc));
                 s
             }
         }

@@ -1,0 +1,137 @@
+//! Declarative decode tables shared by all three ISAs.
+//!
+//! Each instruction set describes its encodings as a flat table of
+//! [`Rule`]s — a mnemonic, a fixed-bit pattern (`word & mask == bits`),
+//! and a field-extraction function — declared with the
+//! [`decode_table!`](crate::decode_table) macro. The generic matcher [`find`] walks the table in declaration
+//! order and returns the first rule whose fixed bits match, so every ISA
+//! shares one decode skeleton:
+//!
+//! ```text
+//! bytes → key word → find(TABLE, word) → (rule.decode)(…) → Insn
+//! ```
+//!
+//! The key-word type is per-ISA: x86 keys on the first opcode byte
+//! (`u8`) and hands the extractor the full byte window (variable-length
+//! encodings), ARM keys on the A32 word (`u32`), and RISC-V keys the C
+//! extension on the 16-bit parcel (`u16`) and base RV32I on the 32-bit
+//! word (`u32`). Adding a fourth ISA is one more table plus an
+//! executor — the matcher, cache plumbing, and block/IR builders are
+//! already ISA-blind.
+//!
+//! Tables are data, so they are also *inspectable*: the disassembler
+//! tests and the decode-table-vs-hand-rolled bench ablation iterate the
+//! same rules the decoder matches, and each ISA keeps its original
+//! hand-rolled decoder as a reference implementation pinned against the
+//! table by differential tests.
+
+/// One encoding rule: `word & mask == bits` selects it, `decode`
+/// extracts the operand fields.
+pub struct Rule<W: 'static, D: 'static> {
+    /// Mnemonic, for table inspection and decoder diagnostics.
+    pub mnemonic: &'static str,
+    /// Fixed-bit mask.
+    pub mask: W,
+    /// Required values of the fixed bits.
+    pub bits: W,
+    /// Field extractor. Per-ISA signature: returns the decoded
+    /// instruction, or `None`/an error when variable fields are outside
+    /// the supported subset (first-match-wins makes the rule final).
+    pub decode: D,
+}
+
+/// Key-word types a table can match on.
+pub trait Key: Copy + Eq {
+    /// `self & mask == bits`.
+    fn matches(self, mask: Self, bits: Self) -> bool;
+}
+
+macro_rules! impl_key {
+    ($($t:ty),*) => {$(
+        impl Key for $t {
+            #[inline]
+            fn matches(self, mask: Self, bits: Self) -> bool {
+                self & mask == bits
+            }
+        }
+    )*};
+}
+
+impl_key!(u8, u16, u32);
+
+/// Returns the first rule whose fixed bits match `word`, in declaration
+/// order. Linear scan: the tables are small (tens of rules), branch
+/// predictable, and cold — the predecode cache means each pc is decoded
+/// once per generation.
+#[inline]
+pub fn find<W: Key, D>(rules: &'static [Rule<W, D>], word: W) -> Option<&'static Rule<W, D>> {
+    rules.iter().find(|r| word.matches(r.mask, r.bits))
+}
+
+/// Declares a static decode table.
+///
+/// ```ignore
+/// decode_table! {
+///     /// RV32I major opcodes.
+///     pub static RV32: u32 => fn(u32) -> Option<Insn> {
+///         "lui"   => (0x0000_007F, 0x0000_0037, |w| Some(lui(w))),
+///         "auipc" => (0x0000_007F, 0x0000_0017, |w| Some(auipc(w))),
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! decode_table {
+    (
+        $(#[$meta:meta])*
+        $vis:vis static $name:ident: $w:ty => $d:ty {
+            $( $mn:literal => ($mask:expr, $bits:expr, $f:expr) ),* $(,)?
+        }
+    ) => {
+        $(#[$meta])*
+        $vis static $name: &[$crate::decoder::Rule<$w, $d>] = &[
+            $(
+                $crate::decoder::Rule {
+                    mnemonic: $mn,
+                    mask: $mask,
+                    bits: $bits,
+                    decode: $f,
+                }
+            ),*
+        ];
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    decode_table! {
+        static DEMO: u16 => fn(u16) -> Option<u32> {
+            "wide"   => (0xF000, 0xA000, |w| Some(w as u32 | 0x1_0000)),
+            "narrow" => (0xFF00, 0xAB00, |w| Some(w as u32)),
+            "gated"  => (0xF000, 0xB000, |w| (w & 1 == 0).then_some(42)),
+        }
+    }
+
+    #[test]
+    fn first_match_wins_in_declaration_order() {
+        // 0xAB12 matches both "wide" and "narrow"; declaration order
+        // picks "wide".
+        let r = find(DEMO, 0xAB12).unwrap();
+        assert_eq!(r.mnemonic, "wide");
+        assert_eq!((r.decode)(0xAB12), Some(0x1AB12));
+    }
+
+    #[test]
+    fn no_match_returns_none() {
+        assert!(find(DEMO, 0x1234).is_none());
+    }
+
+    #[test]
+    fn extractor_can_reject_variable_fields() {
+        let r = find(DEMO, 0xB001).unwrap();
+        assert_eq!(r.mnemonic, "gated");
+        assert_eq!((r.decode)(0xB001), None, "odd word rejected");
+        assert_eq!((find(DEMO, 0xB002).unwrap().decode)(0xB002), Some(42));
+    }
+}

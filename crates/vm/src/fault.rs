@@ -178,7 +178,7 @@ impl fmt::Display for Fault {
                 "illegal instruction at {pc:#010x}: {:02x} {:02x} {:02x} {:02x}",
                 bytes[0], bytes[1], bytes[2], bytes[3]
             ),
-            Fault::UnalignedFetch { pc } => write!(f, "unaligned arm fetch at {pc:#010x}"),
+            Fault::UnalignedFetch { pc } => write!(f, "unaligned insn fetch at {pc:#010x}"),
             Fault::UnknownSyscall { number, pc } => {
                 write!(f, "unknown syscall {number} at pc {pc:#010x}")
             }

@@ -86,11 +86,23 @@ fn read_args(m: &Machine, pc: Addr) -> Result<(Addr, [u32; 3]), Fault> {
                 [r.get(ArmReg(0)), r.get(ArmReg(1)), r.get(ArmReg(2))],
             ))
         }
+        Arch::Riscv => {
+            let r = m.regs.riscv();
+            use crate::regs::RiscvReg;
+            Ok((
+                r.get(RiscvReg::RA),
+                [
+                    r.get(RiscvReg::A0),
+                    r.get(RiscvReg::A1),
+                    r.get(RiscvReg::A2),
+                ],
+            ))
+        }
     }
 }
 
 /// Simulates the function's return: x86 pops the return address; ARM
-/// branches to `lr`.
+/// branches to `lr`, RISC-V to `ra`.
 fn do_return(m: &mut Machine, ret: Addr, retval: u32) -> Result<(), Fault> {
     match m.arch {
         Arch::X86 => {
@@ -101,6 +113,10 @@ fn do_return(m: &mut Machine, ret: Addr, retval: u32) -> Result<(), Fault> {
         }
         Arch::Armv7 => {
             m.regs.arm_mut().set(crate::regs::ArmReg(0), retval);
+            m.regs.set_pc(ret);
+        }
+        Arch::Riscv => {
+            m.regs.riscv_mut().set(crate::regs::RiscvReg::A0, retval);
             m.regs.set_pc(ret);
         }
     }
@@ -254,6 +270,35 @@ pub(crate) fn syscall_arm(m: &mut Machine, pc: Addr) -> Result<Option<RunOutcome
                 Some(outcome) => Ok(Some(outcome)),
                 None => {
                     m.regs.arm_mut().set(ArmReg(0), u32::MAX);
+                    Ok(None)
+                }
+            }
+        }
+        other => Err(Fault::UnknownSyscall { number: other, pc }),
+    }
+}
+
+/// RISC-V Linux syscall dispatch (`ecall`, number in `a7`). Unlike the
+/// legacy x86/ARM tables, riscv32-linux uses the generic numbers:
+/// `exit` is 93 and `execve` is 221.
+pub(crate) fn syscall_riscv(m: &mut Machine, pc: Addr) -> Result<Option<RunOutcome>, Fault> {
+    use crate::regs::RiscvReg;
+    let r = *m.regs.riscv();
+    let number = r.get(RiscvReg::A7);
+    m.events.push(Event::Syscall { number });
+    match number {
+        93 => {
+            let code = r.get(RiscvReg::A0) as i32;
+            m.events.push(Event::ProcessExited { code });
+            Ok(Some(RunOutcome::Exited(code)))
+        }
+        221 => {
+            let path = r.get(RiscvReg::A0);
+            let argv = r.get(RiscvReg::A1);
+            match m.do_exec(path, Some(argv), "execve", pc)? {
+                Some(outcome) => Ok(Some(outcome)),
+                None => {
+                    m.regs.riscv_mut().set(RiscvReg::A0, u32::MAX);
                     Ok(None)
                 }
             }

@@ -46,7 +46,7 @@ use cml_image::Addr;
 use crate::coverage::premix;
 use crate::dcache::CachedInsn;
 use crate::machine::{Machine, RunOutcome};
-use crate::{arm, x86, Fault};
+use crate::{arm, riscv, x86, Fault};
 
 /// Sentinel register index meaning "no base register" (absolute
 /// addressing / pc-relative folded to a constant).
@@ -234,6 +234,21 @@ pub(crate) enum IrOp {
     Jmp {
         /// Resolved target.
         target: Addr,
+    },
+    /// RISC-V register-compare branch (`beq`/`bne` — no flags register,
+    /// the comparison and branch are one instruction).
+    BrReg {
+        /// Left comparand register index.
+        rs1: u8,
+        /// Right comparand register index.
+        rs2: u8,
+        /// Branch when the operands are equal (`beq`); inverted for
+        /// `bne`.
+        eq: bool,
+        /// Resolved taken target.
+        target: Addr,
+        /// Fall-through address.
+        fallthrough: Addr,
     },
     /// Conditional branch on the zero flag (taken when
     /// `zf == br_if_zf`).
@@ -718,6 +733,24 @@ fn exec_ir(
                         used += 1;
                         chain!(target);
                     }
+                    IrOp::BrReg {
+                        rs1,
+                        rs2,
+                        eq,
+                        target,
+                        fallthrough,
+                    } => {
+                        if used >= budget {
+                            out_of_budget!();
+                        }
+                        used += 1;
+                        let t = if (m.regs.gp(rs1) == m.regs.gp(rs2)) == eq {
+                            target
+                        } else {
+                            fallthrough
+                        };
+                        chain!(t);
+                    }
                     IrOp::Br {
                         br_if_zf,
                         target,
@@ -794,6 +827,9 @@ fn exec_ir(
                                 x86::exec_insn(m, insn, len as usize, pcs[i])
                             }
                             CachedInsn::Arm(insn) => arm::exec_insn(m, insn, pcs[i]),
+                            CachedInsn::Riscv(insn, len) => {
+                                riscv::exec_insn(m, insn, len as usize, pcs[i])
+                            }
                         };
                         match res {
                             Ok(None) => {}
@@ -970,6 +1006,7 @@ pub(crate) fn lower(insns: &[CachedInsn], start: Addr) -> IrBlock {
         match ci {
             CachedInsn::X86(insn, len) => lower_x86(&mut lw, insn, len, pc, next),
             CachedInsn::Arm(insn) => lower_arm(&mut lw, insn, pc, next),
+            CachedInsn::Riscv(insn, len) => lower_riscv(&mut lw, insn, len, pc, next),
         }
         pc = next;
     }
@@ -1399,5 +1436,210 @@ fn arm_mem(rn: u8, offset: i32, pc8: Addr) -> (u8, i32) {
         (NO_BASE, pc8.wrapping_add(offset as u32) as i32)
     } else {
         (rn, offset)
+    }
+}
+
+fn lower_riscv(lw: &mut Lowerer, insn: riscv::Insn, ilen: u8, pc: Addr, next: Addr) {
+    use riscv::Insn as I;
+    // x0 folds aggressively: it reads as the constant 0 and writes to it
+    // vanish (loads still execute for their fault semantics — the
+    // register write is discarded by `Regs::set_gp`).
+    match insn {
+        I::Addi { rd: 0, .. }
+        | I::Andi { rd: 0, .. }
+        | I::Ori { rd: 0, .. }
+        | I::Xori { rd: 0, .. }
+        | I::Slli { rd: 0, .. }
+        | I::Srli { rd: 0, .. }
+        | I::Add { rd: 0, .. }
+        | I::Sub { rd: 0, .. }
+        | I::Lui { rd: 0, .. }
+        | I::Auipc { rd: 0, .. } => lw.emit(IrOp::Nop, pc, next),
+        I::Lui { rd, imm } => lw.emit(IrOp::MovImm { rd, imm }, pc, next),
+        I::Auipc { rd, imm } => lw.emit(
+            IrOp::MovImm {
+                rd,
+                imm: pc.wrapping_add(imm),
+            },
+            pc,
+            next,
+        ),
+        I::Addi { rd, rs1: 0, imm } => lw.emit(
+            IrOp::MovImm {
+                rd,
+                imm: imm as u32,
+            },
+            pc,
+            next,
+        ),
+        I::Addi { rd, rs1, imm } => lw.emit(
+            IrOp::AddRegImm {
+                rd,
+                rn: rs1,
+                imm: imm as u32,
+            },
+            pc,
+            next,
+        ),
+        I::Andi { rd, rs1, imm } => lw.emit(
+            IrOp::BitImm {
+                rd,
+                rn: rs1,
+                imm: imm as u32,
+                kind: BitKind::And,
+            },
+            pc,
+            next,
+        ),
+        I::Ori { rd, rs1, imm } => lw.emit(
+            IrOp::BitImm {
+                rd,
+                rn: rs1,
+                imm: imm as u32,
+                kind: BitKind::Orr,
+            },
+            pc,
+            next,
+        ),
+        I::Xori { rd, rs1, imm } => lw.emit(
+            IrOp::BitImm {
+                rd,
+                rn: rs1,
+                imm: imm as u32,
+                kind: BitKind::Eor,
+            },
+            pc,
+            next,
+        ),
+        I::Slli { rd, rs1, shamt } => lw.emit(
+            IrOp::ShiftImm {
+                rd,
+                rm: rs1,
+                amount: shamt,
+                left: true,
+                set_zf: false,
+            },
+            pc,
+            next,
+        ),
+        I::Srli { rd, rs1, shamt } => lw.emit(
+            IrOp::ShiftImm {
+                rd,
+                rm: rs1,
+                amount: shamt,
+                left: false,
+                set_zf: false,
+            },
+            pc,
+            next,
+        ),
+        // `c.mv`/`mv` expand to add-with-x0.
+        I::Add { rd, rs1: 0, rs2 } => lw.emit(IrOp::MovReg { rd, rm: rs2 }, pc, next),
+        I::Add { rd, rs1, rs2: 0 } => lw.emit(IrOp::MovReg { rd, rm: rs1 }, pc, next),
+        I::Lw { rd, rs1, offset } => {
+            let (base, disp) = riscv_mem(rs1, offset);
+            lw.emit(
+                IrOp::Load {
+                    rd,
+                    base,
+                    disp,
+                    byte: false,
+                },
+                pc,
+                next,
+            );
+        }
+        I::Lbu { rd, rs1, offset } => {
+            let (base, disp) = riscv_mem(rs1, offset);
+            lw.emit(
+                IrOp::Load {
+                    rd,
+                    base,
+                    disp,
+                    byte: true,
+                },
+                pc,
+                next,
+            );
+        }
+        I::Sw { rs2, rs1, offset } => {
+            let (base, disp) = riscv_mem(rs1, offset);
+            lw.emit(
+                IrOp::Store {
+                    rs: rs2,
+                    base,
+                    disp,
+                    byte: false,
+                },
+                pc,
+                next,
+            );
+        }
+        I::Sb { rs2, rs1, offset } => {
+            let (base, disp) = riscv_mem(rs1, offset);
+            lw.emit(
+                IrOp::Store {
+                    rs: rs2,
+                    base,
+                    disp,
+                    byte: true,
+                },
+                pc,
+                next,
+            );
+        }
+        I::Jal { rd: 0, offset } => lw.emit(
+            IrOp::Jmp {
+                target: pc.wrapping_add(offset as u32),
+            },
+            pc,
+            next,
+        ),
+        I::Beq { rs1, rs2, offset } if rs1 == rs2 => lw.emit(
+            // `beq x, x` is unconditional (`beq x0, x0` shows up as a
+            // compact jump idiom).
+            IrOp::Jmp {
+                target: pc.wrapping_add(offset as u32),
+            },
+            pc,
+            next,
+        ),
+        I::Bne { rs1, rs2, .. } if rs1 == rs2 => lw.emit(IrOp::Nop, pc, next),
+        I::Beq { rs1, rs2, offset } => lw.emit(
+            IrOp::BrReg {
+                rs1,
+                rs2,
+                eq: true,
+                target: pc.wrapping_add(offset as u32),
+                fallthrough: next,
+            },
+            pc,
+            next,
+        ),
+        I::Bne { rs1, rs2, offset } => lw.emit(
+            IrOp::BrReg {
+                rs1,
+                rs2,
+                eq: false,
+                target: pc.wrapping_add(offset as u32),
+                fallthrough: next,
+            },
+            pc,
+            next,
+        ),
+        // Linking jumps, indirect jumps/returns, reg-reg add/sub and the
+        // traps run through the interpreter verbatim (they touch the
+        // shadow stack, CFI, or the syscall layer).
+        other => lw.exec(CachedInsn::Riscv(other, ilen), pc, next),
+    }
+}
+
+/// Resolves a RISC-V base+offset address operand: an x0 base folds to
+/// an absolute address.
+fn riscv_mem(rs1: u8, offset: i32) -> (u8, i32) {
+    if rs1 == 0 {
+        (NO_BASE, offset)
+    } else {
+        (rs1, offset)
     }
 }

@@ -6,9 +6,11 @@
 //! * permissioned, region-based [`Memory`] — instruction fetch from
 //!   non-executable pages and writes to read-only pages raise [`Fault`]s,
 //!   which is how W⊕X ("DEP"/NX) manifests;
-//! * two interpreters over **real instruction encodings**: an IA-32
-//!   subset ([`x86`]) and an ARMv7 (ARM state) subset ([`arm`]), each with
-//!   a matching assembler and disassembler;
+//! * three interpreters over **real instruction encodings**: an IA-32
+//!   subset ([`x86`]), an ARMv7 (ARM state) subset ([`arm`]), and an
+//!   RV32IC subset ([`riscv`]), each with a matching assembler and
+//!   disassembler, all decoding through one declarative rule-table
+//!   subsystem ([`decoder`]);
 //! * a libc [`hooks`] layer: `memcpy`, `system`, `execlp`, `execve` and
 //!   `exit` are native functions triggered when the program counter
 //!   enters their address, following each architecture's calling
@@ -32,6 +34,7 @@ pub mod arm;
 pub mod coverage;
 mod dcache;
 pub mod debug;
+pub mod decoder;
 mod fault;
 pub mod hooks;
 mod ir;
@@ -39,6 +42,7 @@ pub mod loader;
 mod machine;
 mod mem;
 mod regs;
+pub mod riscv;
 pub mod trace;
 pub mod x86;
 
@@ -48,7 +52,7 @@ pub use hooks::{HookOutcome, LibcFn};
 pub use loader::{AslrConfig, LoadMap, Loader, Protections};
 pub use machine::{Event, Machine, MachineSnapshot, RunOutcome, ShellSpawn};
 pub use mem::{Memory, MemorySnapshot, RedzoneAccess, RedzoneHit, Region};
-pub use regs::{ArmReg, ArmRegs, Regs, X86Reg, X86Regs};
+pub use regs::{ArmReg, ArmRegs, Regs, RiscvReg, RiscvRegs, X86Reg, X86Regs};
 pub use trace::{Trace, TraceEntry};
 
 /// Virtual address alias re-exported from the image crate.

@@ -12,7 +12,7 @@ use crate::hooks::{self, LibcFn};
 use crate::mem::{Memory, MemorySnapshot};
 use crate::regs::Regs;
 use crate::trace::{Trace, TraceEntry};
-use crate::{arm, x86, Fault};
+use crate::{arm, riscv, x86, Fault};
 
 /// Fused blocks stop after this many instructions (straight-line runs
 /// longer than a real basic block are rare; bounding keeps block build
@@ -472,6 +472,7 @@ impl Machine {
         match self.arch {
             Arch::X86 => x86::step(self),
             Arch::Armv7 => arm::step(self),
+            Arch::Riscv => riscv::step(self),
         }
     }
 
@@ -482,7 +483,7 @@ impl Machine {
     /// decodes (the caller falls back to [`step`](Machine::step), which
     /// raises the identical fault).
     pub(crate) fn build_block(&mut self, start: Addr) -> Option<Arc<Block>> {
-        if self.arch == Arch::Armv7 && !start.is_multiple_of(4) {
+        if !start.is_multiple_of(self.arch.insn_align() as u32) {
             return None;
         }
         let mut insns = Vec::new();
@@ -498,6 +499,12 @@ impl Machine {
                 },
                 Arch::Armv7 => match arm::decode_at(self, pc) {
                     Ok(insn) => (CachedInsn::Arm(insn), arm::ends_block(&insn)),
+                    Err(_) => break,
+                },
+                Arch::Riscv => match riscv::decode_at(self, pc) {
+                    Ok((insn, len)) => {
+                        (CachedInsn::Riscv(insn, len as u8), riscv::ends_block(&insn))
+                    }
                     Err(_) => break,
                 },
             };
@@ -550,6 +557,7 @@ impl Machine {
             let res = match ci {
                 CachedInsn::X86(insn, len) => x86::exec_insn(self, insn, len as usize, pc),
                 CachedInsn::Arm(insn) => arm::exec_insn(self, insn, pc),
+                CachedInsn::Riscv(insn, len) => riscv::exec_insn(self, insn, len as usize, pc),
             };
             match res {
                 Ok(None) => {}

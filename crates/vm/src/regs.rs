@@ -1,4 +1,4 @@
-//! Register files for both architectures.
+//! Register files for all three architectures.
 
 use std::fmt;
 
@@ -166,6 +166,77 @@ impl ArmRegs {
     }
 }
 
+/// RV32 registers by number; ABI names in `Display` (`x1`=ra, `x2`=sp).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RiscvReg(pub u8);
+
+impl RiscvReg {
+    /// Hard-wired zero (x0).
+    pub const ZERO: RiscvReg = RiscvReg(0);
+    /// Return address (x1).
+    pub const RA: RiscvReg = RiscvReg(1);
+    /// Stack pointer (x2).
+    pub const SP: RiscvReg = RiscvReg(2);
+    /// First argument / return value (x10).
+    pub const A0: RiscvReg = RiscvReg(10);
+    /// Second argument (x11).
+    pub const A1: RiscvReg = RiscvReg(11);
+    /// Third argument (x12).
+    pub const A2: RiscvReg = RiscvReg(12);
+    /// Syscall-number register (x17).
+    pub const A7: RiscvReg = RiscvReg(17);
+
+    /// The register number (0..=31).
+    pub fn index(self) -> usize {
+        (self.0 & 31) as usize
+    }
+}
+
+impl fmt::Display for RiscvReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const NAMES: [&str; 32] = [
+            "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3",
+            "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
+            "t3", "t4", "t5", "t6",
+        ];
+        f.write_str(NAMES[self.index()])
+    }
+}
+
+/// The RV32 register file: 32 integer registers with `x0` hard-wired to
+/// zero, plus the program counter (its own CSR-adjacent register on
+/// RISC-V, not `x`-file addressable like ARM's r15).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RiscvRegs {
+    x: [u32; 32],
+    /// Program counter.
+    pub pc: u32,
+}
+
+impl RiscvRegs {
+    /// Reads a register; `x0` always reads zero.
+    pub fn get(&self, reg: RiscvReg) -> u32 {
+        self.x[reg.index()]
+    }
+
+    /// Writes a register; writes to `x0` are discarded (hard-wired zero).
+    pub fn set(&mut self, reg: RiscvReg, v: u32) {
+        if reg.index() != 0 {
+            self.x[reg.index()] = v;
+        }
+    }
+
+    /// Stack pointer (x2).
+    pub fn sp(&self) -> u32 {
+        self.x[2]
+    }
+
+    /// Return address (x1).
+    pub fn ra(&self) -> u32 {
+        self.x[1]
+    }
+}
+
 /// Architecture-tagged register file.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Regs {
@@ -173,6 +244,8 @@ pub enum Regs {
     X86(X86Regs),
     /// ARMv7 registers.
     Arm(ArmRegs),
+    /// RV32 registers.
+    Riscv(RiscvRegs),
 }
 
 impl Regs {
@@ -181,6 +254,7 @@ impl Regs {
         match arch {
             Arch::X86 => Regs::X86(X86Regs::default()),
             Arch::Armv7 => Regs::Arm(ArmRegs::default()),
+            Arch::Riscv => Regs::Riscv(RiscvRegs::default()),
         }
     }
 
@@ -189,6 +263,7 @@ impl Regs {
         match self {
             Regs::X86(r) => r.eip,
             Regs::Arm(r) => r.pc(),
+            Regs::Riscv(r) => r.pc,
         }
     }
 
@@ -197,6 +272,7 @@ impl Regs {
         match self {
             Regs::X86(r) => r.eip = pc,
             Regs::Arm(r) => r.set_pc(pc),
+            Regs::Riscv(r) => r.pc = pc,
         }
     }
 
@@ -205,6 +281,7 @@ impl Regs {
         match self {
             Regs::X86(r) => r.esp(),
             Regs::Arm(r) => r.sp(),
+            Regs::Riscv(r) => r.sp(),
         }
     }
 
@@ -213,6 +290,7 @@ impl Regs {
         match self {
             Regs::X86(r) => r.set(X86Reg::Esp, sp),
             Regs::Arm(r) => r.set(ArmReg::SP, sp),
+            Regs::Riscv(r) => r.set(RiscvReg::SP, sp),
         }
     }
 
@@ -225,7 +303,7 @@ impl Regs {
     pub fn x86(&self) -> &X86Regs {
         match self {
             Regs::X86(r) => r,
-            Regs::Arm(_) => panic!("expected x86 registers"),
+            _ => panic!("expected x86 registers"),
         }
     }
 
@@ -233,11 +311,11 @@ impl Regs {
     ///
     /// # Panics
     ///
-    /// Panics if these are ARM registers.
+    /// Panics if these are not x86 registers.
     pub fn x86_mut(&mut self) -> &mut X86Regs {
         match self {
             Regs::X86(r) => r,
-            Regs::Arm(_) => panic!("expected x86 registers"),
+            _ => panic!("expected x86 registers"),
         }
     }
 
@@ -245,11 +323,11 @@ impl Regs {
     ///
     /// # Panics
     ///
-    /// Panics if these are x86 registers.
+    /// Panics if these are not ARM registers.
     pub fn arm(&self) -> &ArmRegs {
         match self {
             Regs::Arm(r) => r,
-            Regs::X86(_) => panic!("expected arm registers"),
+            _ => panic!("expected arm registers"),
         }
     }
 
@@ -257,11 +335,35 @@ impl Regs {
     ///
     /// # Panics
     ///
-    /// Panics if these are x86 registers.
+    /// Panics if these are not ARM registers.
     pub fn arm_mut(&mut self) -> &mut ArmRegs {
         match self {
             Regs::Arm(r) => r,
-            Regs::X86(_) => panic!("expected arm registers"),
+            _ => panic!("expected arm registers"),
+        }
+    }
+
+    /// The RISC-V view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if these are not RISC-V registers.
+    pub fn riscv(&self) -> &RiscvRegs {
+        match self {
+            Regs::Riscv(r) => r,
+            _ => panic!("expected riscv registers"),
+        }
+    }
+
+    /// Mutable RISC-V view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if these are not RISC-V registers.
+    pub fn riscv_mut(&mut self) -> &mut RiscvRegs {
+        match self {
+            Regs::Riscv(r) => r,
+            _ => panic!("expected riscv registers"),
         }
     }
 
@@ -272,30 +374,40 @@ impl Regs {
     // `ArmReg`/`X86Reg` wrapping of the public views. ARM r15 reads raw
     // (the lowering constant-folds the architectural pc+8 instead).
 
-    /// Reads general-purpose register `i` (x86: 0..=7, ARM: 0..=15 raw).
+    /// Reads general-purpose register `i` (x86: 0..=7, ARM: 0..=15 raw,
+    /// RISC-V: 0..=31 with `x0` reading zero).
     #[inline]
     pub(crate) fn gp(&self, i: u8) -> u32 {
         match self {
             Regs::X86(r) => r.gpr[(i & 7) as usize],
             Regs::Arm(r) => r.r[(i & 15) as usize],
+            Regs::Riscv(r) => r.x[(i & 31) as usize],
         }
     }
 
-    /// Writes general-purpose register `i`.
+    /// Writes general-purpose register `i` (RISC-V `x0` stays zero).
     #[inline]
     pub(crate) fn set_gp(&mut self, i: u8, v: u32) {
         match self {
             Regs::X86(r) => r.gpr[(i & 7) as usize] = v,
             Regs::Arm(r) => r.r[(i & 15) as usize] = v,
+            Regs::Riscv(r) => {
+                if i & 31 != 0 {
+                    r.x[(i & 31) as usize] = v;
+                }
+            }
         }
     }
 
-    /// The zero flag, whichever ISA owns it.
+    /// The zero flag, whichever ISA owns it. RISC-V has no flags
+    /// register (branches compare registers directly, lowered to
+    /// `IrOp::BrReg`), so it reads as clear and writes are discarded.
     #[inline]
     pub(crate) fn zf(&self) -> bool {
         match self {
             Regs::X86(r) => r.zf,
             Regs::Arm(r) => r.zf,
+            Regs::Riscv(_) => false,
         }
     }
 
@@ -305,6 +417,7 @@ impl Regs {
         match self {
             Regs::X86(r) => r.zf = z,
             Regs::Arm(r) => r.zf = z,
+            Regs::Riscv(_) => {}
         }
     }
 }
@@ -356,5 +469,36 @@ mod tests {
         assert_eq!(ArmReg::SP.to_string(), "sp");
         assert_eq!(ArmReg::LR.to_string(), "lr");
         assert_eq!(ArmReg::PC.to_string(), "pc");
+    }
+
+    #[test]
+    fn riscv_x0_is_hardwired_zero() {
+        let mut r = RiscvRegs::default();
+        r.set(RiscvReg::ZERO, 0xDEAD_BEEF);
+        assert_eq!(r.get(RiscvReg::ZERO), 0);
+        r.set(RiscvReg::SP, 0x7fff_0000);
+        assert_eq!(r.sp(), 0x7fff_0000);
+
+        let mut regs = Regs::new(Arch::Riscv);
+        regs.set_gp(0, 0x1234);
+        assert_eq!(regs.gp(0), 0);
+        regs.set_gp(10, 0x1234);
+        assert_eq!(regs.gp(10), 0x1234);
+        regs.set_sp(0x7ffe_0000);
+        assert_eq!(regs.riscv().sp(), 0x7ffe_0000);
+        // No flags register: writes are discarded.
+        regs.set_zf(true);
+        assert!(!regs.zf());
+    }
+
+    #[test]
+    fn riscv_reg_display() {
+        assert_eq!(RiscvReg::ZERO.to_string(), "zero");
+        assert_eq!(RiscvReg::RA.to_string(), "ra");
+        assert_eq!(RiscvReg::SP.to_string(), "sp");
+        assert_eq!(RiscvReg::A0.to_string(), "a0");
+        assert_eq!(RiscvReg::A7.to_string(), "a7");
+        assert_eq!(RiscvReg(8).to_string(), "s0");
+        assert_eq!(RiscvReg(31).to_string(), "t6");
     }
 }

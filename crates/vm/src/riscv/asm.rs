@@ -1,0 +1,937 @@
+//! A small RV32IC assembler emitting the decoder's subset.
+
+/// Byte-buffer assembler for RV32IC (little-endian parcels; `c_*`
+/// methods emit 2-byte compressed encodings, everything else 4-byte
+/// base words).
+///
+/// ```
+/// use cml_vm::riscv::{decode, Asm, Insn};
+///
+/// let code = Asm::new().c_ret().finish();
+/// assert_eq!(
+///     decode(&code).unwrap(),
+///     (Insn::Jalr { rd: 0, rs1: 1, offset: 0 }, 2)
+/// );
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct Asm {
+    bytes: Vec<u8>,
+}
+
+fn reg(r: u8) -> u32 {
+    assert!(r < 32, "register number out of range");
+    r as u32
+}
+
+/// Compressed register (x8..x15) → 3-bit field.
+fn creg(r: u8) -> u32 {
+    assert!((8..16).contains(&r), "register not addressable compressed");
+    (r - 8) as u32
+}
+
+fn i_type(imm: i32, rs1: u8, funct3: u32, rd: u8, opcode: u32) -> u32 {
+    assert!((-2048..=2047).contains(&imm), "I-immediate out of range");
+    ((imm as u32) & 0xFFF) << 20 | reg(rs1) << 15 | funct3 << 12 | reg(rd) << 7 | opcode
+}
+
+fn s_type(imm: i32, rs2: u8, rs1: u8, funct3: u32) -> u32 {
+    assert!((-2048..=2047).contains(&imm), "S-immediate out of range");
+    let imm = imm as u32;
+    ((imm >> 5) & 0x7F) << 25
+        | reg(rs2) << 20
+        | reg(rs1) << 15
+        | funct3 << 12
+        | (imm & 0x1F) << 7
+        | 0x23
+}
+
+fn b_type(offset: i32, rs2: u8, rs1: u8, funct3: u32) -> u32 {
+    assert!(offset % 2 == 0, "branch offset must be halfword-aligned");
+    assert!(
+        (-4096..=4094).contains(&offset),
+        "branch offset out of range"
+    );
+    let o = offset as u32;
+    ((o >> 12) & 1) << 31
+        | ((o >> 5) & 0x3F) << 25
+        | reg(rs2) << 20
+        | reg(rs1) << 15
+        | funct3 << 12
+        | ((o >> 1) & 0xF) << 8
+        | ((o >> 11) & 1) << 7
+        | 0x63
+}
+
+fn u_type(imm: u32, rd: u8, opcode: u32) -> u32 {
+    assert!(imm & 0xFFF == 0, "U-immediate must have low 12 bits clear");
+    imm | reg(rd) << 7 | opcode
+}
+
+fn r_type(funct7: u32, rs2: u8, rs1: u8, funct3: u32, rd: u8) -> u32 {
+    funct7 << 25 | reg(rs2) << 20 | reg(rs1) << 15 | funct3 << 12 | reg(rd) << 7 | 0x33
+}
+
+/// `c.j`/`c.jal` offset scatter (imm[11|4|9:8|10|6|7|3:1|5]).
+fn cj_imm(offset: i32) -> u16 {
+    assert!(offset % 2 == 0, "jump offset must be halfword-aligned");
+    assert!((-2048..=2046).contains(&offset), "jump offset out of range");
+    let o = offset as u32;
+    (((o >> 11) & 1) << 12
+        | ((o >> 4) & 1) << 11
+        | ((o >> 8) & 3) << 9
+        | ((o >> 10) & 1) << 8
+        | ((o >> 6) & 1) << 7
+        | ((o >> 7) & 1) << 6
+        | ((o >> 1) & 7) << 3
+        | ((o >> 5) & 1) << 2) as u16
+}
+
+/// `c.beqz`/`c.bnez` offset scatter (imm[8|4:3|7:6|2:1|5]).
+fn cb_imm(offset: i32) -> u16 {
+    assert!(offset % 2 == 0, "branch offset must be halfword-aligned");
+    assert!((-256..=254).contains(&offset), "branch offset out of range");
+    let o = offset as u32;
+    (((o >> 8) & 1) << 12
+        | ((o >> 3) & 3) << 10
+        | ((o >> 6) & 3) << 5
+        | ((o >> 1) & 3) << 3
+        | ((o >> 5) & 1) << 2) as u16
+}
+
+fn c_imm6(imm: i32) -> u16 {
+    assert!((-32..=31).contains(&imm), "6-bit immediate out of range");
+    let i = imm as u32;
+    (((i >> 5) & 1) << 12 | (i & 0x1F) << 2) as u16
+}
+
+impl Asm {
+    /// Starts an empty buffer.
+    pub fn new() -> Self {
+        Asm::default()
+    }
+
+    /// Bytes emitted so far.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether nothing has been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Consumes the assembler, returning the code bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    /// Appends one raw 32-bit word.
+    pub fn word(mut self, w: u32) -> Self {
+        self.bytes.extend_from_slice(&w.to_le_bytes());
+        self
+    }
+
+    /// Appends one raw 16-bit parcel.
+    pub fn half(mut self, p: u16) -> Self {
+        self.bytes.extend_from_slice(&p.to_le_bytes());
+        self
+    }
+
+    /// Appends raw bytes (data embedded in code, e.g. shellcode strings).
+    pub fn raw(mut self, bytes: &[u8]) -> Self {
+        self.bytes.extend_from_slice(bytes);
+        self
+    }
+
+    /// `lui rd, imm` — `imm` is the full value (low 12 bits must be 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the low 12 bits of `imm` are set.
+    pub fn lui(self, rd: u8, imm: u32) -> Self {
+        self.word(u_type(imm, rd, 0x37))
+    }
+
+    /// `auipc rd, imm` — `imm` is the full addend (low 12 bits must be 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the low 12 bits of `imm` are set.
+    pub fn auipc(self, rd: u8, imm: u32) -> Self {
+        self.word(u_type(imm, rd, 0x17))
+    }
+
+    /// `jal rd, offset` (byte offset from this instruction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the offset is odd or outside ±1 MiB.
+    pub fn jal(self, rd: u8, offset: i32) -> Self {
+        assert!(offset % 2 == 0, "jump offset must be halfword-aligned");
+        assert!(
+            (-(1 << 20)..(1 << 20)).contains(&offset),
+            "jump offset out of range"
+        );
+        let o = offset as u32;
+        self.word(
+            ((o >> 20) & 1) << 31
+                | ((o >> 1) & 0x3FF) << 21
+                | ((o >> 11) & 1) << 20
+                | ((o >> 12) & 0xFF) << 12
+                | reg(rd) << 7
+                | 0x6F,
+        )
+    }
+
+    /// `jalr rd, offset(rs1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the offset exceeds 12 signed bits.
+    pub fn jalr(self, rd: u8, rs1: u8, offset: i32) -> Self {
+        self.word(i_type(offset, rs1, 0, rd, 0x67))
+    }
+
+    /// `beq rs1, rs2, offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the offset is odd or out of the 13-bit range.
+    pub fn beq(self, rs1: u8, rs2: u8, offset: i32) -> Self {
+        self.word(b_type(offset, rs2, rs1, 0))
+    }
+
+    /// `bne rs1, rs2, offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the offset is odd or out of the 13-bit range.
+    pub fn bne(self, rs1: u8, rs2: u8, offset: i32) -> Self {
+        self.word(b_type(offset, rs2, rs1, 1))
+    }
+
+    /// `lw rd, offset(rs1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the offset exceeds 12 signed bits.
+    pub fn lw(self, rd: u8, rs1: u8, offset: i32) -> Self {
+        self.word(i_type(offset, rs1, 2, rd, 0x03))
+    }
+
+    /// `lbu rd, offset(rs1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the offset exceeds 12 signed bits.
+    pub fn lbu(self, rd: u8, rs1: u8, offset: i32) -> Self {
+        self.word(i_type(offset, rs1, 4, rd, 0x03))
+    }
+
+    /// `sw rs2, offset(rs1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the offset exceeds 12 signed bits.
+    pub fn sw(self, rs2: u8, rs1: u8, offset: i32) -> Self {
+        self.word(s_type(offset, rs2, rs1, 2))
+    }
+
+    /// `sb rs2, offset(rs1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the offset exceeds 12 signed bits.
+    pub fn sb(self, rs2: u8, rs1: u8, offset: i32) -> Self {
+        self.word(s_type(offset, rs2, rs1, 0))
+    }
+
+    /// `addi rd, rs1, imm` (also `li`/`mv`/`nop` with the right operands).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `imm` exceeds 12 signed bits.
+    pub fn addi(self, rd: u8, rs1: u8, imm: i32) -> Self {
+        self.word(i_type(imm, rs1, 0, rd, 0x13))
+    }
+
+    /// `andi rd, rs1, imm`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `imm` exceeds 12 signed bits.
+    pub fn andi(self, rd: u8, rs1: u8, imm: i32) -> Self {
+        self.word(i_type(imm, rs1, 7, rd, 0x13))
+    }
+
+    /// `ori rd, rs1, imm`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `imm` exceeds 12 signed bits.
+    pub fn ori(self, rd: u8, rs1: u8, imm: i32) -> Self {
+        self.word(i_type(imm, rs1, 6, rd, 0x13))
+    }
+
+    /// `xori rd, rs1, imm`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `imm` exceeds 12 signed bits.
+    pub fn xori(self, rd: u8, rs1: u8, imm: i32) -> Self {
+        self.word(i_type(imm, rs1, 4, rd, 0x13))
+    }
+
+    /// `slli rd, rs1, shamt`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shamt` exceeds 31.
+    pub fn slli(self, rd: u8, rs1: u8, shamt: u8) -> Self {
+        assert!(shamt < 32, "shift amount out of range");
+        self.word(i_type(shamt as i32, rs1, 1, rd, 0x13))
+    }
+
+    /// `srli rd, rs1, shamt`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shamt` exceeds 31.
+    pub fn srli(self, rd: u8, rs1: u8, shamt: u8) -> Self {
+        assert!(shamt < 32, "shift amount out of range");
+        self.word(i_type(shamt as i32, rs1, 5, rd, 0x13))
+    }
+
+    /// `add rd, rs1, rs2`.
+    pub fn add(self, rd: u8, rs1: u8, rs2: u8) -> Self {
+        self.word(r_type(0x00, rs2, rs1, 0, rd))
+    }
+
+    /// `sub rd, rs1, rs2`.
+    pub fn sub(self, rd: u8, rs1: u8, rs2: u8) -> Self {
+        self.word(r_type(0x20, rs2, rs1, 0, rd))
+    }
+
+    /// `ecall`.
+    pub fn ecall(self) -> Self {
+        self.word(0x0000_0073)
+    }
+
+    /// `ebreak` (4-byte form).
+    pub fn ebreak(self) -> Self {
+        self.word(0x0010_0073)
+    }
+
+    // ---- compressed encodings ----
+
+    /// `c.nop`.
+    pub fn c_nop(self) -> Self {
+        self.half(0x0001)
+    }
+
+    /// `c.addi rd, imm`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `imm` exceeds 6 signed bits.
+    pub fn c_addi(self, rd: u8, imm: i32) -> Self {
+        self.half(0x0001 | (reg(rd) << 7) as u16 | c_imm6(imm))
+    }
+
+    /// `c.li rd, imm`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `imm` exceeds 6 signed bits.
+    pub fn c_li(self, rd: u8, imm: i32) -> Self {
+        self.half(0x4001 | (reg(rd) << 7) as u16 | c_imm6(imm))
+    }
+
+    /// `c.lui rd, imm` — `imm` is the full value (low 12 bits zero,
+    /// upper part must fit 6 signed bits; `rd` must not be x0/x2).
+    ///
+    /// # Panics
+    ///
+    /// Panics on unencodable operands.
+    pub fn c_lui(self, rd: u8, imm: u32) -> Self {
+        assert!(
+            imm & 0xFFF == 0,
+            "c.lui immediate must have low 12 bits clear"
+        );
+        assert!(rd != 0 && rd != 2, "c.lui cannot target x0/x2");
+        let hi = (imm as i32) >> 12;
+        assert!(
+            (-32..=31).contains(&hi) && hi != 0,
+            "c.lui immediate out of range"
+        );
+        self.half(0x6001 | (reg(rd) << 7) as u16 | c_imm6(hi))
+    }
+
+    /// `c.addi16sp imm` (`addi sp, sp, imm`, multiples of 16).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `imm` is 0, unaligned, or out of ±512.
+    pub fn c_addi16sp(self, imm: i32) -> Self {
+        assert!(
+            imm != 0 && imm % 16 == 0,
+            "c.addi16sp immediate unencodable"
+        );
+        assert!(
+            (-512..=496).contains(&imm),
+            "c.addi16sp immediate out of range"
+        );
+        let i = imm as u32;
+        self.half(
+            0x6101
+                | ((((i >> 9) & 1) << 12
+                    | ((i >> 4) & 1) << 6
+                    | ((i >> 6) & 1) << 5
+                    | ((i >> 7) & 3) << 3
+                    | ((i >> 5) & 1) << 2) as u16),
+        )
+    }
+
+    /// `c.addi4spn rd', imm` (`addi rd', sp, imm`, nonzero multiples of 4).
+    ///
+    /// # Panics
+    ///
+    /// Panics on unencodable operands.
+    pub fn c_addi4spn(self, rd: u8, imm: i32) -> Self {
+        assert!(
+            imm > 0 && imm % 4 == 0 && imm < 1024,
+            "c.addi4spn immediate unencodable"
+        );
+        let i = imm as u32;
+        self.half(
+            (((i >> 4) & 3) << 11
+                | ((i >> 6) & 0xF) << 7
+                | ((i >> 2) & 1) << 6
+                | ((i >> 3) & 1) << 5
+                | creg(rd) << 2) as u16,
+        )
+    }
+
+    /// `c.mv rd, rs2` (`add rd, x0, rs2`; both registers nonzero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either register is x0.
+    pub fn c_mv(self, rd: u8, rs2: u8) -> Self {
+        assert!(rd != 0 && rs2 != 0, "c.mv operands must be nonzero");
+        self.half(0x8002 | (reg(rd) << 7) as u16 | (reg(rs2) << 2) as u16)
+    }
+
+    /// `c.add rd, rs2` (`add rd, rd, rs2`; both registers nonzero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either register is x0.
+    pub fn c_add(self, rd: u8, rs2: u8) -> Self {
+        assert!(rd != 0 && rs2 != 0, "c.add operands must be nonzero");
+        self.half(0x9002 | (reg(rd) << 7) as u16 | (reg(rs2) << 2) as u16)
+    }
+
+    /// `c.jr rs1` (`jalr x0, 0(rs1)`; `rs1` nonzero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rs1` is x0.
+    pub fn c_jr(self, rs1: u8) -> Self {
+        assert!(rs1 != 0, "c.jr rs1 must be nonzero");
+        self.half(0x8002 | (reg(rs1) << 7) as u16)
+    }
+
+    /// `ret` — `c.jr ra`, the 2-byte return every RISC-V function ends
+    /// with (and every RVC gadget hunts for).
+    pub fn c_ret(self) -> Self {
+        self.c_jr(1)
+    }
+
+    /// `c.jalr rs1` (`jalr ra, 0(rs1)`; `rs1` nonzero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rs1` is x0.
+    pub fn c_jalr(self, rs1: u8) -> Self {
+        assert!(rs1 != 0, "c.jalr rs1 must be nonzero");
+        self.half(0x9002 | (reg(rs1) << 7) as u16)
+    }
+
+    /// `c.ebreak`.
+    pub fn c_ebreak(self) -> Self {
+        self.half(0x9002)
+    }
+
+    /// `c.j offset` (`jal x0, offset`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the offset is odd or out of ±2 KiB.
+    pub fn c_j(self, offset: i32) -> Self {
+        self.half(0xA001 | cj_imm(offset))
+    }
+
+    /// `c.beqz rs1', offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-compressed register or out-of-range offset.
+    pub fn c_beqz(self, rs1: u8, offset: i32) -> Self {
+        self.half(0xC001 | (creg(rs1) << 7) as u16 | cb_imm(offset))
+    }
+
+    /// `c.bnez rs1', offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-compressed register or out-of-range offset.
+    pub fn c_bnez(self, rs1: u8, offset: i32) -> Self {
+        self.half(0xE001 | (creg(rs1) << 7) as u16 | cb_imm(offset))
+    }
+
+    /// `c.slli rd, shamt`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shamt` exceeds 31.
+    pub fn c_slli(self, rd: u8, shamt: u8) -> Self {
+        assert!(shamt < 32, "shift amount out of range");
+        self.half(0x0002 | (reg(rd) << 7) as u16 | ((shamt as u16) << 2))
+    }
+
+    /// `c.lwsp rd, offset` (`lw rd, offset(sp)`; `rd` nonzero).
+    ///
+    /// # Panics
+    ///
+    /// Panics on unencodable operands.
+    pub fn c_lwsp(self, rd: u8, offset: i32) -> Self {
+        assert!(rd != 0, "c.lwsp rd must be nonzero");
+        assert!(
+            offset >= 0 && offset % 4 == 0 && offset < 256,
+            "c.lwsp offset unencodable"
+        );
+        let o = offset as u32;
+        self.half(
+            0x4002
+                | (reg(rd) << 7) as u16
+                | ((((o >> 5) & 1) << 12 | ((o >> 2) & 7) << 4 | ((o >> 6) & 3) << 2) as u16),
+        )
+    }
+
+    /// `c.swsp rs2, offset` (`sw rs2, offset(sp)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unencodable offset.
+    pub fn c_swsp(self, rs2: u8, offset: i32) -> Self {
+        assert!(
+            offset >= 0 && offset % 4 == 0 && offset < 256,
+            "c.swsp offset unencodable"
+        );
+        let o = offset as u32;
+        self.half(
+            0xC002
+                | ((((o >> 2) & 0xF) << 9 | ((o >> 6) & 3) << 7) as u16)
+                | (reg(rs2) << 2) as u16,
+        )
+    }
+
+    /// `c.lw rd', offset(rs1')`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unencodable operands.
+    pub fn c_lw(self, rd: u8, rs1: u8, offset: i32) -> Self {
+        assert!(
+            offset >= 0 && offset % 4 == 0 && offset < 128,
+            "c.lw offset unencodable"
+        );
+        let o = offset as u32;
+        self.half(
+            0x4000
+                | ((((o >> 3) & 7) << 10 | ((o >> 2) & 1) << 6 | ((o >> 6) & 1) << 5) as u16)
+                | (creg(rs1) << 7) as u16
+                | (creg(rd) << 2) as u16,
+        )
+    }
+
+    /// `c.sw rs2', offset(rs1')`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unencodable operands.
+    pub fn c_sw(self, rs2: u8, rs1: u8, offset: i32) -> Self {
+        assert!(
+            offset >= 0 && offset % 4 == 0 && offset < 128,
+            "c.sw offset unencodable"
+        );
+        let o = offset as u32;
+        self.half(
+            0xC000
+                | ((((o >> 3) & 7) << 10 | ((o >> 2) & 1) << 6 | ((o >> 6) & 1) << 5) as u16)
+                | (creg(rs1) << 7) as u16
+                | (creg(rs2) << 2) as u16,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::riscv::{decode, Insn};
+
+    fn roundtrip(bytes: &[u8], expected: Insn, len: usize) {
+        let (got, n) = decode(bytes).unwrap_or_else(|e| panic!("{e}: {bytes:02x?}"));
+        assert_eq!(got, expected);
+        assert_eq!(n, len);
+    }
+
+    #[test]
+    fn base_roundtrip() {
+        roundtrip(
+            &Asm::new().lui(10, 0x77e0_0000).finish(),
+            Insn::Lui {
+                rd: 10,
+                imm: 0x77e0_0000,
+            },
+            4,
+        );
+        roundtrip(
+            &Asm::new().auipc(10, 0x1000).finish(),
+            Insn::Auipc {
+                rd: 10,
+                imm: 0x1000,
+            },
+            4,
+        );
+        roundtrip(
+            &Asm::new().jal(1, -16).finish(),
+            Insn::Jal { rd: 1, offset: -16 },
+            4,
+        );
+        roundtrip(
+            &Asm::new().jalr(0, 1, 0).finish(),
+            Insn::Jalr {
+                rd: 0,
+                rs1: 1,
+                offset: 0,
+            },
+            4,
+        );
+        roundtrip(
+            &Asm::new().beq(10, 11, 64).finish(),
+            Insn::Beq {
+                rs1: 10,
+                rs2: 11,
+                offset: 64,
+            },
+            4,
+        );
+        roundtrip(
+            &Asm::new().bne(8, 0, -64).finish(),
+            Insn::Bne {
+                rs1: 8,
+                rs2: 0,
+                offset: -64,
+            },
+            4,
+        );
+        roundtrip(
+            &Asm::new().lw(10, 2, -4).finish(),
+            Insn::Lw {
+                rd: 10,
+                rs1: 2,
+                offset: -4,
+            },
+            4,
+        );
+        roundtrip(
+            &Asm::new().lbu(11, 10, 3).finish(),
+            Insn::Lbu {
+                rd: 11,
+                rs1: 10,
+                offset: 3,
+            },
+            4,
+        );
+        roundtrip(
+            &Asm::new().sw(1, 2, 12).finish(),
+            Insn::Sw {
+                rs2: 1,
+                rs1: 2,
+                offset: 12,
+            },
+            4,
+        );
+        roundtrip(
+            &Asm::new().sb(11, 10, -1).finish(),
+            Insn::Sb {
+                rs2: 11,
+                rs1: 10,
+                offset: -1,
+            },
+            4,
+        );
+        roundtrip(
+            &Asm::new().addi(2, 2, -2048).finish(),
+            Insn::Addi {
+                rd: 2,
+                rs1: 2,
+                imm: -2048,
+            },
+            4,
+        );
+        roundtrip(
+            &Asm::new().andi(10, 10, 0xFF).finish(),
+            Insn::Andi {
+                rd: 10,
+                rs1: 10,
+                imm: 0xFF,
+            },
+            4,
+        );
+        roundtrip(
+            &Asm::new().ori(10, 10, 1).finish(),
+            Insn::Ori {
+                rd: 10,
+                rs1: 10,
+                imm: 1,
+            },
+            4,
+        );
+        roundtrip(
+            &Asm::new().xori(10, 10, -1).finish(),
+            Insn::Xori {
+                rd: 10,
+                rs1: 10,
+                imm: -1,
+            },
+            4,
+        );
+        roundtrip(
+            &Asm::new().slli(10, 10, 31).finish(),
+            Insn::Slli {
+                rd: 10,
+                rs1: 10,
+                shamt: 31,
+            },
+            4,
+        );
+        roundtrip(
+            &Asm::new().srli(10, 10, 1).finish(),
+            Insn::Srli {
+                rd: 10,
+                rs1: 10,
+                shamt: 1,
+            },
+            4,
+        );
+        roundtrip(
+            &Asm::new().add(10, 11, 12).finish(),
+            Insn::Add {
+                rd: 10,
+                rs1: 11,
+                rs2: 12,
+            },
+            4,
+        );
+        roundtrip(
+            &Asm::new().sub(10, 11, 12).finish(),
+            Insn::Sub {
+                rd: 10,
+                rs1: 11,
+                rs2: 12,
+            },
+            4,
+        );
+        roundtrip(&Asm::new().ecall().finish(), Insn::Ecall, 4);
+        roundtrip(&Asm::new().ebreak().finish(), Insn::Ebreak, 4);
+    }
+
+    #[test]
+    fn compressed_roundtrip() {
+        roundtrip(
+            &Asm::new().c_nop().finish(),
+            Insn::Addi {
+                rd: 0,
+                rs1: 0,
+                imm: 0,
+            },
+            2,
+        );
+        roundtrip(
+            &Asm::new().c_addi(10, -1).finish(),
+            Insn::Addi {
+                rd: 10,
+                rs1: 10,
+                imm: -1,
+            },
+            2,
+        );
+        roundtrip(
+            &Asm::new().c_li(17, 27).finish(),
+            Insn::Addi {
+                rd: 17,
+                rs1: 0,
+                imm: 27,
+            },
+            2,
+        );
+        roundtrip(
+            &Asm::new().c_lui(11, 0x1f000).finish(),
+            Insn::Lui {
+                rd: 11,
+                imm: 0x1f000,
+            },
+            2,
+        );
+        roundtrip(
+            &Asm::new().c_addi16sp(-64).finish(),
+            Insn::Addi {
+                rd: 2,
+                rs1: 2,
+                imm: -64,
+            },
+            2,
+        );
+        roundtrip(
+            &Asm::new().c_addi4spn(10, 16).finish(),
+            Insn::Addi {
+                rd: 10,
+                rs1: 2,
+                imm: 16,
+            },
+            2,
+        );
+        roundtrip(
+            &Asm::new().c_mv(10, 11).finish(),
+            Insn::Add {
+                rd: 10,
+                rs1: 0,
+                rs2: 11,
+            },
+            2,
+        );
+        roundtrip(
+            &Asm::new().c_add(10, 11).finish(),
+            Insn::Add {
+                rd: 10,
+                rs1: 10,
+                rs2: 11,
+            },
+            2,
+        );
+        roundtrip(
+            &Asm::new().c_ret().finish(),
+            Insn::Jalr {
+                rd: 0,
+                rs1: 1,
+                offset: 0,
+            },
+            2,
+        );
+        roundtrip(
+            &Asm::new().c_jalr(10).finish(),
+            Insn::Jalr {
+                rd: 1,
+                rs1: 10,
+                offset: 0,
+            },
+            2,
+        );
+        roundtrip(&Asm::new().c_ebreak().finish(), Insn::Ebreak, 2);
+        roundtrip(
+            &Asm::new().c_j(-6).finish(),
+            Insn::Jal { rd: 0, offset: -6 },
+            2,
+        );
+        roundtrip(
+            &Asm::new().c_beqz(8, 8).finish(),
+            Insn::Beq {
+                rs1: 8,
+                rs2: 0,
+                offset: 8,
+            },
+            2,
+        );
+        roundtrip(
+            &Asm::new().c_bnez(15, -8).finish(),
+            Insn::Bne {
+                rs1: 15,
+                rs2: 0,
+                offset: -8,
+            },
+            2,
+        );
+        roundtrip(
+            &Asm::new().c_slli(10, 4).finish(),
+            Insn::Slli {
+                rd: 10,
+                rs1: 10,
+                shamt: 4,
+            },
+            2,
+        );
+        roundtrip(
+            &Asm::new().c_lwsp(10, 8).finish(),
+            Insn::Lw {
+                rd: 10,
+                rs1: 2,
+                offset: 8,
+            },
+            2,
+        );
+        roundtrip(
+            &Asm::new().c_swsp(1, 12).finish(),
+            Insn::Sw {
+                rs2: 1,
+                rs1: 2,
+                offset: 12,
+            },
+            2,
+        );
+        roundtrip(
+            &Asm::new().c_lw(12, 10, 0).finish(),
+            Insn::Lw {
+                rd: 12,
+                rs1: 10,
+                offset: 0,
+            },
+            2,
+        );
+        roundtrip(
+            &Asm::new().c_sw(12, 10, 4).finish(),
+            Insn::Sw {
+                rs2: 12,
+                rs1: 10,
+                offset: 4,
+            },
+            2,
+        );
+    }
+
+    #[test]
+    fn canonical_ret_bytes() {
+        // The `ret` parcel gadget scanners look for.
+        assert_eq!(Asm::new().c_ret().finish(), vec![0x82, 0x80]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oversized_i_immediate_panics() {
+        let _ = Asm::new().addi(0, 0, 2048);
+    }
+
+    #[test]
+    #[should_panic(expected = "halfword-aligned")]
+    fn odd_branch_offset_panics() {
+        let _ = Asm::new().beq(0, 0, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "not addressable compressed")]
+    fn non_compressed_register_panics() {
+        let _ = Asm::new().c_lw(2, 10, 0);
+    }
+}

@@ -1,0 +1,1254 @@
+//! RV32IC instruction forms and the decoder.
+//!
+//! Compressed (C-extension) parcels decode **to the same [`Insn`]
+//! variants as their 32-bit expansions** — `c.jr ra` decodes to
+//! `Jalr { rd: 0, rs1: 1, offset: 0 }` exactly like the 4-byte
+//! `jalr x0, 0(ra)` — so the executor, IR lowering, CFI return
+//! detection, and gadget semantics are uniform across encodings. Only
+//! the returned length (2 or 4) differs, which is what makes
+//! 2-byte-misaligned entry into the middle of a 4-byte instruction a
+//! *different stream*, not a different machine.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::regs::RiscvReg;
+
+/// One decoded RV32 instruction. RVC forms are pre-expanded: every
+/// variant here is a base-RV32I operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Insn {
+    /// `lui rd, imm` — `imm` is the already-shifted upper immediate.
+    Lui {
+        /// Destination register.
+        rd: u8,
+        /// Upper immediate, pre-shifted (low 12 bits zero).
+        imm: u32,
+    },
+    /// `auipc rd, imm` — `rd = pc + imm`.
+    Auipc {
+        /// Destination register.
+        rd: u8,
+        /// Upper immediate, pre-shifted.
+        imm: u32,
+    },
+    /// `jal rd, offset` — link in `rd` (x0: plain jump, x1: call).
+    Jal {
+        /// Link register (0 = none).
+        rd: u8,
+        /// Byte offset from this instruction.
+        offset: i32,
+    },
+    /// `jalr rd, offset(rs1)` — `jalr x0, 0(ra)` (and its `c.jr ra`
+    /// alias `ret`) is the function-return idiom CFI keys on.
+    Jalr {
+        /// Link register (0 = none).
+        rd: u8,
+        /// Base register.
+        rs1: u8,
+        /// Signed 12-bit offset.
+        offset: i32,
+    },
+    /// `beq rs1, rs2, offset`.
+    Beq {
+        /// Left comparand.
+        rs1: u8,
+        /// Right comparand.
+        rs2: u8,
+        /// Byte offset from this instruction.
+        offset: i32,
+    },
+    /// `bne rs1, rs2, offset`.
+    Bne {
+        /// Left comparand.
+        rs1: u8,
+        /// Right comparand.
+        rs2: u8,
+        /// Byte offset from this instruction.
+        offset: i32,
+    },
+    /// `lw rd, offset(rs1)`.
+    Lw {
+        /// Destination register.
+        rd: u8,
+        /// Base register.
+        rs1: u8,
+        /// Signed byte offset.
+        offset: i32,
+    },
+    /// `lbu rd, offset(rs1)`.
+    Lbu {
+        /// Destination register (byte zero-extended).
+        rd: u8,
+        /// Base register.
+        rs1: u8,
+        /// Signed byte offset.
+        offset: i32,
+    },
+    /// `sw rs2, offset(rs1)`.
+    Sw {
+        /// Source register.
+        rs2: u8,
+        /// Base register.
+        rs1: u8,
+        /// Signed byte offset.
+        offset: i32,
+    },
+    /// `sb rs2, offset(rs1)`.
+    Sb {
+        /// Source register (low byte stored).
+        rs2: u8,
+        /// Base register.
+        rs1: u8,
+        /// Signed byte offset.
+        offset: i32,
+    },
+    /// `addi rd, rs1, imm` (covers `c.nop`/`c.addi`/`c.li`/
+    /// `c.addi16sp`/`c.addi4spn` and `mv`).
+    Addi {
+        /// Destination register.
+        rd: u8,
+        /// Source register.
+        rs1: u8,
+        /// Sign-extended immediate.
+        imm: i32,
+    },
+    /// `andi rd, rs1, imm`.
+    Andi {
+        /// Destination register.
+        rd: u8,
+        /// Source register.
+        rs1: u8,
+        /// Sign-extended immediate.
+        imm: i32,
+    },
+    /// `ori rd, rs1, imm`.
+    Ori {
+        /// Destination register.
+        rd: u8,
+        /// Source register.
+        rs1: u8,
+        /// Sign-extended immediate.
+        imm: i32,
+    },
+    /// `xori rd, rs1, imm`.
+    Xori {
+        /// Destination register.
+        rd: u8,
+        /// Source register.
+        rs1: u8,
+        /// Sign-extended immediate.
+        imm: i32,
+    },
+    /// `slli rd, rs1, shamt`.
+    Slli {
+        /// Destination register.
+        rd: u8,
+        /// Source register.
+        rs1: u8,
+        /// Shift amount (0..=31).
+        shamt: u8,
+    },
+    /// `srli rd, rs1, shamt`.
+    Srli {
+        /// Destination register.
+        rd: u8,
+        /// Source register.
+        rs1: u8,
+        /// Shift amount (0..=31).
+        shamt: u8,
+    },
+    /// `add rd, rs1, rs2` (covers `c.mv`/`c.add`).
+    Add {
+        /// Destination register.
+        rd: u8,
+        /// Left operand.
+        rs1: u8,
+        /// Right operand.
+        rs2: u8,
+    },
+    /// `sub rd, rs1, rs2`.
+    Sub {
+        /// Destination register.
+        rd: u8,
+        /// Left operand.
+        rs1: u8,
+        /// Right operand.
+        rs2: u8,
+    },
+    /// `ecall` — the Linux syscall gate (number in `a7`).
+    Ecall,
+    /// `ebreak` — used as a trapping filler, like x86 `hlt`.
+    Ebreak,
+}
+
+/// Why bytes failed to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The window ended mid-instruction (fewer than 2 bytes, or fewer
+    /// than 4 for a 32-bit encoding).
+    Truncated,
+    /// The encoding is outside the supported subset (16-bit parcels are
+    /// reported zero-extended).
+    Unsupported(u32),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "instruction bytes truncated"),
+            DecodeError::Unsupported(w) => write!(f, "unsupported instruction {w:#010x}"),
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+/// Sign-extends the low `bits` bits of `v`.
+fn sext(v: u32, bits: u32) -> i32 {
+    ((v << (32 - bits)) as i32) >> (32 - bits)
+}
+
+// ---- RV32I field extractors ----
+
+fn rd(w: u32) -> u8 {
+    ((w >> 7) & 0x1F) as u8
+}
+
+fn rs1(w: u32) -> u8 {
+    ((w >> 15) & 0x1F) as u8
+}
+
+fn rs2(w: u32) -> u8 {
+    ((w >> 20) & 0x1F) as u8
+}
+
+/// I-type immediate (bits 31:20, sign-extended).
+fn imm_i(w: u32) -> i32 {
+    (w as i32) >> 20
+}
+
+/// S-type immediate (imm[11:5]=bits 31:25, imm[4:0]=bits 11:7).
+fn imm_s(w: u32) -> i32 {
+    sext(((w >> 25) & 0x7F) << 5 | ((w >> 7) & 0x1F), 12)
+}
+
+/// B-type immediate (imm[12|10:5]=bits 31|30:25, imm[4:1|11]=bits 11:8|7).
+fn imm_b(w: u32) -> i32 {
+    sext(
+        ((w >> 31) & 1) << 12
+            | ((w >> 7) & 1) << 11
+            | ((w >> 25) & 0x3F) << 5
+            | ((w >> 8) & 0xF) << 1,
+        13,
+    )
+}
+
+/// J-type immediate (imm[20|10:1|11|19:12]=bits 31|30:21|20|19:12).
+fn imm_j(w: u32) -> i32 {
+    sext(
+        ((w >> 31) & 1) << 20
+            | ((w >> 12) & 0xFF) << 12
+            | ((w >> 20) & 1) << 11
+            | ((w >> 21) & 0x3FF) << 1,
+        21,
+    )
+}
+
+// ---- RVC field extractors ----
+
+/// Full-width rd/rs1 field (bits 11:7).
+fn c_rd(p: u16) -> u8 {
+    ((p >> 7) & 0x1F) as u8
+}
+
+/// Full-width rs2 field (bits 6:2).
+fn c_rs2(p: u16) -> u8 {
+    ((p >> 2) & 0x1F) as u8
+}
+
+/// Compressed rd'/rs2' (bits 4:2, registers x8..x15).
+fn c_rdp(p: u16) -> u8 {
+    8 + ((p >> 2) & 0x7) as u8
+}
+
+/// Compressed rs1'/rd' (bits 9:7, registers x8..x15).
+fn c_rs1p(p: u16) -> u8 {
+    8 + ((p >> 7) & 0x7) as u8
+}
+
+/// 6-bit signed immediate (imm[5]=bit 12, imm[4:0]=bits 6:2).
+fn c_imm6(p: u16) -> i32 {
+    sext((((p as u32) >> 12) & 1) << 5 | ((p as u32) >> 2) & 0x1F, 6)
+}
+
+/// `c.j`/`c.jal` offset (imm[11|4|9:8|10|6|7|3:1|5]).
+fn c_imm_j(p: u16) -> i32 {
+    let p = p as u32;
+    sext(
+        ((p >> 12) & 1) << 11
+            | ((p >> 11) & 1) << 4
+            | ((p >> 9) & 3) << 8
+            | ((p >> 8) & 1) << 10
+            | ((p >> 7) & 1) << 6
+            | ((p >> 6) & 1) << 7
+            | ((p >> 3) & 7) << 1
+            | ((p >> 2) & 1) << 5,
+        12,
+    )
+}
+
+/// `c.beqz`/`c.bnez` offset (imm[8|4:3|7:6|2:1|5]).
+fn c_imm_b(p: u16) -> i32 {
+    let p = p as u32;
+    sext(
+        ((p >> 12) & 1) << 8
+            | ((p >> 10) & 3) << 3
+            | ((p >> 5) & 3) << 6
+            | ((p >> 3) & 3) << 1
+            | ((p >> 2) & 1) << 5,
+        9,
+    )
+}
+
+/// `c.lw`/`c.sw` word offset (uimm[5:3|2|6]).
+fn c_imm_lsw(p: u16) -> i32 {
+    let p = p as u32;
+    (((p >> 10) & 7) << 3 | ((p >> 6) & 1) << 2 | ((p >> 5) & 1) << 6) as i32
+}
+
+/// `c.lwsp` offset (uimm[5|4:2|7:6]).
+fn c_imm_lwsp(p: u16) -> i32 {
+    let p = p as u32;
+    (((p >> 12) & 1) << 5 | ((p >> 4) & 7) << 2 | ((p >> 2) & 3) << 6) as i32
+}
+
+/// `c.swsp` offset (uimm[5:2|7:6]).
+fn c_imm_swsp(p: u16) -> i32 {
+    let p = p as u32;
+    (((p >> 9) & 0xF) << 2 | ((p >> 7) & 3) << 6) as i32
+}
+
+/// `c.addi4spn` zero-extended immediate (nzuimm[5:4|9:6|2|3]).
+fn c_imm_4spn(p: u16) -> i32 {
+    let p = p as u32;
+    (((p >> 11) & 3) << 4 | ((p >> 7) & 0xF) << 6 | ((p >> 6) & 1) << 2 | ((p >> 5) & 1) << 3)
+        as i32
+}
+
+/// `c.addi16sp` immediate (nzimm[9|4|6|8:7|5], sign-extended).
+fn c_imm_16sp(p: u16) -> i32 {
+    let p = p as u32;
+    sext(
+        ((p >> 12) & 1) << 9
+            | ((p >> 6) & 1) << 4
+            | ((p >> 5) & 1) << 6
+            | ((p >> 3) & 3) << 7
+            | ((p >> 2) & 1) << 5,
+        10,
+    )
+}
+
+/// Decodes one instruction from the start of `bytes` via the
+/// declarative tables, returning it and the number of bytes consumed
+/// (2 for a compressed parcel, 4 for a base word).
+///
+/// # Errors
+///
+/// Returns [`DecodeError::Truncated`] if the window is too short or
+/// [`DecodeError::Unsupported`] for encodings outside the subset
+/// (including the all-zero parcel, the architectural illegal
+/// instruction).
+pub fn decode(bytes: &[u8]) -> Result<(Insn, usize), DecodeError> {
+    decode_with(bytes, decode_word, decode_parcel)
+}
+
+/// The hand-rolled decoder, retained as the reference implementation
+/// for the decode-table differential tests and the
+/// table-vs-hand-rolled bench ablation.
+///
+/// # Errors
+///
+/// Same contract as [`decode`].
+pub fn decode_reference(bytes: &[u8]) -> Result<(Insn, usize), DecodeError> {
+    decode_with(bytes, decode_word_reference, decode_parcel_reference)
+}
+
+/// Shared front half: the low two bits of the first parcel select the
+/// encoding length (`11` = 32-bit, anything else = 16-bit compressed).
+fn decode_with(
+    bytes: &[u8],
+    word_decoder: fn(u32) -> Option<Insn>,
+    parcel_decoder: fn(u16) -> Option<Insn>,
+) -> Result<(Insn, usize), DecodeError> {
+    if bytes.len() < 2 {
+        return Err(DecodeError::Truncated);
+    }
+    let parcel = u16::from_le_bytes([bytes[0], bytes[1]]);
+    if parcel & 3 == 3 {
+        if bytes.len() < 4 {
+            return Err(DecodeError::Truncated);
+        }
+        let w = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+        let insn = word_decoder(w).ok_or(DecodeError::Unsupported(w))?;
+        Ok((insn, 4))
+    } else {
+        if parcel == 0 {
+            // The all-zero parcel is the canonical illegal instruction.
+            return Err(DecodeError::Unsupported(0));
+        }
+        let insn = parcel_decoder(parcel).ok_or(DecodeError::Unsupported(parcel as u32))?;
+        Ok((insn, 2))
+    }
+}
+
+fn decode_word(w: u32) -> Option<Insn> {
+    crate::decoder::find(RV32_RULES, w).and_then(|r| (r.decode)(w))
+}
+
+fn decode_parcel(p: u16) -> Option<Insn> {
+    crate::decoder::find(RVC_RULES, p).and_then(|r| (r.decode)(p))
+}
+
+crate::decode_table! {
+    /// Base RV32I encodings, keyed on the full 32-bit word. Masks pin
+    /// opcode (bits 6:0) plus funct3/funct7 where the form needs them.
+    pub static RV32_RULES: u32 => fn(u32) -> Option<Insn> {
+        "lui"    => (0x0000_007F, 0x0000_0037, |w| Some(Insn::Lui { rd: rd(w), imm: w & 0xFFFF_F000 })),
+        "auipc"  => (0x0000_007F, 0x0000_0017, |w| Some(Insn::Auipc { rd: rd(w), imm: w & 0xFFFF_F000 })),
+        "jal"    => (0x0000_007F, 0x0000_006F, |w| Some(Insn::Jal { rd: rd(w), offset: imm_j(w) })),
+        "jalr"   => (0x0000_707F, 0x0000_0067, |w| Some(Insn::Jalr { rd: rd(w), rs1: rs1(w), offset: imm_i(w) })),
+        "beq"    => (0x0000_707F, 0x0000_0063, |w| Some(Insn::Beq { rs1: rs1(w), rs2: rs2(w), offset: imm_b(w) })),
+        "bne"    => (0x0000_707F, 0x0000_1063, |w| Some(Insn::Bne { rs1: rs1(w), rs2: rs2(w), offset: imm_b(w) })),
+        "lw"     => (0x0000_707F, 0x0000_2003, |w| Some(Insn::Lw { rd: rd(w), rs1: rs1(w), offset: imm_i(w) })),
+        "lbu"    => (0x0000_707F, 0x0000_4003, |w| Some(Insn::Lbu { rd: rd(w), rs1: rs1(w), offset: imm_i(w) })),
+        "sw"     => (0x0000_707F, 0x0000_2023, |w| Some(Insn::Sw { rs2: rs2(w), rs1: rs1(w), offset: imm_s(w) })),
+        "sb"     => (0x0000_707F, 0x0000_0023, |w| Some(Insn::Sb { rs2: rs2(w), rs1: rs1(w), offset: imm_s(w) })),
+        "addi"   => (0x0000_707F, 0x0000_0013, |w| Some(Insn::Addi { rd: rd(w), rs1: rs1(w), imm: imm_i(w) })),
+        "andi"   => (0x0000_707F, 0x0000_7013, |w| Some(Insn::Andi { rd: rd(w), rs1: rs1(w), imm: imm_i(w) })),
+        "ori"    => (0x0000_707F, 0x0000_6013, |w| Some(Insn::Ori { rd: rd(w), rs1: rs1(w), imm: imm_i(w) })),
+        "xori"   => (0x0000_707F, 0x0000_4013, |w| Some(Insn::Xori { rd: rd(w), rs1: rs1(w), imm: imm_i(w) })),
+        "slli"   => (0xFE00_707F, 0x0000_1013, |w| Some(Insn::Slli { rd: rd(w), rs1: rs1(w), shamt: rs2(w) })),
+        "srli"   => (0xFE00_707F, 0x0000_5013, |w| Some(Insn::Srli { rd: rd(w), rs1: rs1(w), shamt: rs2(w) })),
+        "add"    => (0xFE00_707F, 0x0000_0033, |w| Some(Insn::Add { rd: rd(w), rs1: rs1(w), rs2: rs2(w) })),
+        "sub"    => (0xFE00_707F, 0x4000_0033, |w| Some(Insn::Sub { rd: rd(w), rs1: rs1(w), rs2: rs2(w) })),
+        "ecall"  => (0xFFFF_FFFF, 0x0000_0073, |_w| Some(Insn::Ecall)),
+        "ebreak" => (0xFFFF_FFFF, 0x0010_0073, |_w| Some(Insn::Ebreak)),
+    }
+}
+
+crate::decode_table! {
+    /// C-extension encodings, keyed on the 16-bit parcel. Masks pin the
+    /// quadrant (bits 1:0) and funct3 (bits 15:13), plus funct4/funct6
+    /// bits where quadrants subdivide. Every extractor returns the
+    /// RV32I *expansion*.
+    pub static RVC_RULES: u16 => fn(u16) -> Option<Insn> {
+        "c.addi4spn" => (0xE003, 0x0000, |p| {
+            let imm = c_imm_4spn(p);
+            (imm != 0).then_some(Insn::Addi { rd: c_rdp(p), rs1: 2, imm })
+        }),
+        "c.lw" => (0xE003, 0x4000, |p| {
+            Some(Insn::Lw { rd: c_rdp(p), rs1: c_rs1p(p), offset: c_imm_lsw(p) })
+        }),
+        "c.sw" => (0xE003, 0xC000, |p| {
+            Some(Insn::Sw { rs2: c_rdp(p), rs1: c_rs1p(p), offset: c_imm_lsw(p) })
+        }),
+        "c.addi" => (0xE003, 0x0001, |p| {
+            // rd=0, imm=0 is c.nop; rd=0 with imm≠0 is a hint — both
+            // expand to an addi that the hard-wired x0 makes a no-op.
+            Some(Insn::Addi { rd: c_rd(p), rs1: c_rd(p), imm: c_imm6(p) })
+        }),
+        "c.jal" => (0xE003, 0x2001, |p| Some(Insn::Jal { rd: 1, offset: c_imm_j(p) })),
+        "c.li" => (0xE003, 0x4001, |p| {
+            Some(Insn::Addi { rd: c_rd(p), rs1: 0, imm: c_imm6(p) })
+        }),
+        "c.addi16sp/c.lui" => (0xE003, 0x6001, |p| {
+            if c_imm6(p) == 0 {
+                return None; // reserved (nzimm == 0)
+            }
+            if c_rd(p) == 2 {
+                Some(Insn::Addi { rd: 2, rs1: 2, imm: c_imm_16sp(p) })
+            } else {
+                Some(Insn::Lui { rd: c_rd(p), imm: (c_imm6(p) << 12) as u32 })
+            }
+        }),
+        "c.srli" => (0xEC03, 0x8001, |p| {
+            // shamt[5] (bit 12) must be 0 on RV32.
+            (p & 0x1000 == 0).then_some(Insn::Srli {
+                rd: c_rs1p(p),
+                rs1: c_rs1p(p),
+                shamt: c_rs2(p) & 0x1F,
+            })
+        }),
+        "c.andi" => (0xEC03, 0x8801, |p| {
+            Some(Insn::Andi { rd: c_rs1p(p), rs1: c_rs1p(p), imm: c_imm6(p) })
+        }),
+        "c.sub" => (0xFC63, 0x8C01, |p| {
+            Some(Insn::Sub { rd: c_rs1p(p), rs1: c_rs1p(p), rs2: c_rdp(p) })
+        }),
+        "c.j" => (0xE003, 0xA001, |p| Some(Insn::Jal { rd: 0, offset: c_imm_j(p) })),
+        "c.beqz" => (0xE003, 0xC001, |p| {
+            Some(Insn::Beq { rs1: c_rs1p(p), rs2: 0, offset: c_imm_b(p) })
+        }),
+        "c.bnez" => (0xE003, 0xE001, |p| {
+            Some(Insn::Bne { rs1: c_rs1p(p), rs2: 0, offset: c_imm_b(p) })
+        }),
+        "c.slli" => (0xF003, 0x0002, |p| {
+            Some(Insn::Slli { rd: c_rd(p), rs1: c_rd(p), shamt: c_rs2(p) & 0x1F })
+        }),
+        "c.lwsp" => (0xE003, 0x4002, |p| {
+            (c_rd(p) != 0).then_some(Insn::Lw { rd: c_rd(p), rs1: 2, offset: c_imm_lwsp(p) })
+        }),
+        "c.jr/c.mv" => (0xF003, 0x8002, |p| {
+            if c_rs2(p) == 0 {
+                // c.jr: jalr x0, 0(rs1); rs1=0 is reserved. `c.jr ra`
+                // expands to the return idiom.
+                (c_rd(p) != 0).then_some(Insn::Jalr { rd: 0, rs1: c_rd(p), offset: 0 })
+            } else {
+                Some(Insn::Add { rd: c_rd(p), rs1: 0, rs2: c_rs2(p) })
+            }
+        }),
+        "c.ebreak/c.jalr/c.add" => (0xF003, 0x9002, |p| {
+            match (c_rd(p), c_rs2(p)) {
+                (0, 0) => Some(Insn::Ebreak),
+                (rs1, 0) => Some(Insn::Jalr { rd: 1, rs1, offset: 0 }),
+                (rd, rs2) => Some(Insn::Add { rd, rs1: rd, rs2 }),
+            }
+        }),
+        "c.swsp" => (0xE003, 0xC002, |p| {
+            Some(Insn::Sw { rs2: c_rs2(p), rs1: 2, offset: c_imm_swsp(p) })
+        }),
+    }
+}
+
+fn decode_word_reference(w: u32) -> Option<Insn> {
+    let funct3 = (w >> 12) & 7;
+    let funct7 = w >> 25;
+    match w & 0x7F {
+        0x37 => Some(Insn::Lui {
+            rd: rd(w),
+            imm: w & 0xFFFF_F000,
+        }),
+        0x17 => Some(Insn::Auipc {
+            rd: rd(w),
+            imm: w & 0xFFFF_F000,
+        }),
+        0x6F => Some(Insn::Jal {
+            rd: rd(w),
+            offset: imm_j(w),
+        }),
+        0x67 if funct3 == 0 => Some(Insn::Jalr {
+            rd: rd(w),
+            rs1: rs1(w),
+            offset: imm_i(w),
+        }),
+        0x63 => match funct3 {
+            0 => Some(Insn::Beq {
+                rs1: rs1(w),
+                rs2: rs2(w),
+                offset: imm_b(w),
+            }),
+            1 => Some(Insn::Bne {
+                rs1: rs1(w),
+                rs2: rs2(w),
+                offset: imm_b(w),
+            }),
+            _ => None,
+        },
+        0x03 => match funct3 {
+            2 => Some(Insn::Lw {
+                rd: rd(w),
+                rs1: rs1(w),
+                offset: imm_i(w),
+            }),
+            4 => Some(Insn::Lbu {
+                rd: rd(w),
+                rs1: rs1(w),
+                offset: imm_i(w),
+            }),
+            _ => None,
+        },
+        0x23 => match funct3 {
+            2 => Some(Insn::Sw {
+                rs2: rs2(w),
+                rs1: rs1(w),
+                offset: imm_s(w),
+            }),
+            0 => Some(Insn::Sb {
+                rs2: rs2(w),
+                rs1: rs1(w),
+                offset: imm_s(w),
+            }),
+            _ => None,
+        },
+        0x13 => match funct3 {
+            0 => Some(Insn::Addi {
+                rd: rd(w),
+                rs1: rs1(w),
+                imm: imm_i(w),
+            }),
+            7 => Some(Insn::Andi {
+                rd: rd(w),
+                rs1: rs1(w),
+                imm: imm_i(w),
+            }),
+            6 => Some(Insn::Ori {
+                rd: rd(w),
+                rs1: rs1(w),
+                imm: imm_i(w),
+            }),
+            4 => Some(Insn::Xori {
+                rd: rd(w),
+                rs1: rs1(w),
+                imm: imm_i(w),
+            }),
+            1 if funct7 == 0 => Some(Insn::Slli {
+                rd: rd(w),
+                rs1: rs1(w),
+                shamt: rs2(w),
+            }),
+            5 if funct7 == 0 => Some(Insn::Srli {
+                rd: rd(w),
+                rs1: rs1(w),
+                shamt: rs2(w),
+            }),
+            _ => None,
+        },
+        0x33 if funct3 == 0 => match funct7 {
+            0x00 => Some(Insn::Add {
+                rd: rd(w),
+                rs1: rs1(w),
+                rs2: rs2(w),
+            }),
+            0x20 => Some(Insn::Sub {
+                rd: rd(w),
+                rs1: rs1(w),
+                rs2: rs2(w),
+            }),
+            _ => None,
+        },
+        0x73 => match w {
+            0x0000_0073 => Some(Insn::Ecall),
+            0x0010_0073 => Some(Insn::Ebreak),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+fn decode_parcel_reference(p: u16) -> Option<Insn> {
+    let funct3 = (p >> 13) & 7;
+    match p & 3 {
+        0b00 => match funct3 {
+            0 => {
+                let imm = c_imm_4spn(p);
+                (imm != 0).then_some(Insn::Addi {
+                    rd: c_rdp(p),
+                    rs1: 2,
+                    imm,
+                })
+            }
+            2 => Some(Insn::Lw {
+                rd: c_rdp(p),
+                rs1: c_rs1p(p),
+                offset: c_imm_lsw(p),
+            }),
+            6 => Some(Insn::Sw {
+                rs2: c_rdp(p),
+                rs1: c_rs1p(p),
+                offset: c_imm_lsw(p),
+            }),
+            _ => None,
+        },
+        0b01 => match funct3 {
+            0 => Some(Insn::Addi {
+                rd: c_rd(p),
+                rs1: c_rd(p),
+                imm: c_imm6(p),
+            }),
+            1 => Some(Insn::Jal {
+                rd: 1,
+                offset: c_imm_j(p),
+            }),
+            2 => Some(Insn::Addi {
+                rd: c_rd(p),
+                rs1: 0,
+                imm: c_imm6(p),
+            }),
+            3 => {
+                if c_imm6(p) == 0 {
+                    return None;
+                }
+                if c_rd(p) == 2 {
+                    Some(Insn::Addi {
+                        rd: 2,
+                        rs1: 2,
+                        imm: c_imm_16sp(p),
+                    })
+                } else {
+                    Some(Insn::Lui {
+                        rd: c_rd(p),
+                        imm: (c_imm6(p) << 12) as u32,
+                    })
+                }
+            }
+            4 => match (p >> 10) & 3 {
+                0 => (p & 0x1000 == 0).then_some(Insn::Srli {
+                    rd: c_rs1p(p),
+                    rs1: c_rs1p(p),
+                    shamt: c_rs2(p) & 0x1F,
+                }),
+                2 => Some(Insn::Andi {
+                    rd: c_rs1p(p),
+                    rs1: c_rs1p(p),
+                    imm: c_imm6(p),
+                }),
+                3 if p & 0x1000 == 0 && (p >> 5) & 3 == 0 => Some(Insn::Sub {
+                    rd: c_rs1p(p),
+                    rs1: c_rs1p(p),
+                    rs2: c_rdp(p),
+                }),
+                _ => None,
+            },
+            5 => Some(Insn::Jal {
+                rd: 0,
+                offset: c_imm_j(p),
+            }),
+            6 => Some(Insn::Beq {
+                rs1: c_rs1p(p),
+                rs2: 0,
+                offset: c_imm_b(p),
+            }),
+            _ => Some(Insn::Bne {
+                rs1: c_rs1p(p),
+                rs2: 0,
+                offset: c_imm_b(p),
+            }),
+        },
+        0b10 => match funct3 {
+            0 => (p & 0x1000 == 0).then_some(Insn::Slli {
+                rd: c_rd(p),
+                rs1: c_rd(p),
+                shamt: c_rs2(p) & 0x1F,
+            }),
+            2 => (c_rd(p) != 0).then_some(Insn::Lw {
+                rd: c_rd(p),
+                rs1: 2,
+                offset: c_imm_lwsp(p),
+            }),
+            4 => {
+                if p & 0x1000 == 0 {
+                    if c_rs2(p) == 0 {
+                        (c_rd(p) != 0).then_some(Insn::Jalr {
+                            rd: 0,
+                            rs1: c_rd(p),
+                            offset: 0,
+                        })
+                    } else {
+                        Some(Insn::Add {
+                            rd: c_rd(p),
+                            rs1: 0,
+                            rs2: c_rs2(p),
+                        })
+                    }
+                } else {
+                    match (c_rd(p), c_rs2(p)) {
+                        (0, 0) => Some(Insn::Ebreak),
+                        (rs1, 0) => Some(Insn::Jalr {
+                            rd: 1,
+                            rs1,
+                            offset: 0,
+                        }),
+                        (rd, rs2) => Some(Insn::Add { rd, rs1: rd, rs2 }),
+                    }
+                }
+            }
+            6 => Some(Insn::Sw {
+                rs2: c_rs2(p),
+                rs1: 2,
+                offset: c_imm_swsp(p),
+            }),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+fn fmt_reg(f: &mut fmt::Formatter<'_>, r: u8) -> fmt::Result {
+    write!(f, "{}", RiscvReg(r))
+}
+
+impl fmt::Display for Insn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Insn::Lui { rd, imm } => {
+                write!(f, "lui ")?;
+                fmt_reg(f, rd)?;
+                write!(f, ", {:#x}", imm >> 12)
+            }
+            Insn::Auipc { rd, imm } => {
+                write!(f, "auipc ")?;
+                fmt_reg(f, rd)?;
+                write!(f, ", {:#x}", imm >> 12)
+            }
+            Insn::Jal { rd: 0, offset } => write!(f, "j {offset:+#x}"),
+            Insn::Jal { rd, offset } => {
+                write!(f, "jal ")?;
+                fmt_reg(f, rd)?;
+                write!(f, ", {offset:+#x}")
+            }
+            Insn::Jalr {
+                rd: 0,
+                rs1: 1,
+                offset: 0,
+            } => write!(f, "ret"),
+            Insn::Jalr { rd, rs1, offset } => {
+                write!(f, "jalr ")?;
+                fmt_reg(f, rd)?;
+                write!(f, ", {offset:#x}(")?;
+                fmt_reg(f, rs1)?;
+                f.write_str(")")
+            }
+            Insn::Beq { rs1, rs2, offset } => {
+                write!(f, "beq ")?;
+                fmt_reg(f, rs1)?;
+                f.write_str(", ")?;
+                fmt_reg(f, rs2)?;
+                write!(f, ", {offset:+#x}")
+            }
+            Insn::Bne { rs1, rs2, offset } => {
+                write!(f, "bne ")?;
+                fmt_reg(f, rs1)?;
+                f.write_str(", ")?;
+                fmt_reg(f, rs2)?;
+                write!(f, ", {offset:+#x}")
+            }
+            Insn::Lw { rd, rs1, offset } => {
+                write!(f, "lw ")?;
+                fmt_reg(f, rd)?;
+                write!(f, ", {offset:#x}(")?;
+                fmt_reg(f, rs1)?;
+                f.write_str(")")
+            }
+            Insn::Lbu { rd, rs1, offset } => {
+                write!(f, "lbu ")?;
+                fmt_reg(f, rd)?;
+                write!(f, ", {offset:#x}(")?;
+                fmt_reg(f, rs1)?;
+                f.write_str(")")
+            }
+            Insn::Sw { rs2, rs1, offset } => {
+                write!(f, "sw ")?;
+                fmt_reg(f, rs2)?;
+                write!(f, ", {offset:#x}(")?;
+                fmt_reg(f, rs1)?;
+                f.write_str(")")
+            }
+            Insn::Sb { rs2, rs1, offset } => {
+                write!(f, "sb ")?;
+                fmt_reg(f, rs2)?;
+                write!(f, ", {offset:#x}(")?;
+                fmt_reg(f, rs1)?;
+                f.write_str(")")
+            }
+            Insn::Addi { rd, rs1, imm } => {
+                write!(f, "addi ")?;
+                fmt_reg(f, rd)?;
+                f.write_str(", ")?;
+                fmt_reg(f, rs1)?;
+                write!(f, ", {imm}")
+            }
+            Insn::Andi { rd, rs1, imm } => {
+                write!(f, "andi ")?;
+                fmt_reg(f, rd)?;
+                f.write_str(", ")?;
+                fmt_reg(f, rs1)?;
+                write!(f, ", {imm}")
+            }
+            Insn::Ori { rd, rs1, imm } => {
+                write!(f, "ori ")?;
+                fmt_reg(f, rd)?;
+                f.write_str(", ")?;
+                fmt_reg(f, rs1)?;
+                write!(f, ", {imm}")
+            }
+            Insn::Xori { rd, rs1, imm } => {
+                write!(f, "xori ")?;
+                fmt_reg(f, rd)?;
+                f.write_str(", ")?;
+                fmt_reg(f, rs1)?;
+                write!(f, ", {imm}")
+            }
+            Insn::Slli { rd, rs1, shamt } => {
+                write!(f, "slli ")?;
+                fmt_reg(f, rd)?;
+                f.write_str(", ")?;
+                fmt_reg(f, rs1)?;
+                write!(f, ", {shamt}")
+            }
+            Insn::Srli { rd, rs1, shamt } => {
+                write!(f, "srli ")?;
+                fmt_reg(f, rd)?;
+                f.write_str(", ")?;
+                fmt_reg(f, rs1)?;
+                write!(f, ", {shamt}")
+            }
+            Insn::Add { rd, rs1, rs2 } => {
+                write!(f, "add ")?;
+                fmt_reg(f, rd)?;
+                f.write_str(", ")?;
+                fmt_reg(f, rs1)?;
+                f.write_str(", ")?;
+                fmt_reg(f, rs2)
+            }
+            Insn::Sub { rd, rs1, rs2 } => {
+                write!(f, "sub ")?;
+                fmt_reg(f, rd)?;
+                f.write_str(", ")?;
+                fmt_reg(f, rs1)?;
+                f.write_str(", ")?;
+                fmt_reg(f, rs2)
+            }
+            Insn::Ecall => f.write_str("ecall"),
+            Insn::Ebreak => f.write_str("ebreak"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d32(w: u32) -> (Insn, usize) {
+        decode(&w.to_le_bytes()).unwrap()
+    }
+
+    fn d16(p: u16) -> (Insn, usize) {
+        decode(&p.to_le_bytes()).unwrap()
+    }
+
+    #[test]
+    fn base_forms_decode() {
+        // lui a0, 0x77e00 → 0x77e00537
+        assert_eq!(
+            d32(0x77e0_0537),
+            (
+                Insn::Lui {
+                    rd: 10,
+                    imm: 0x77e0_0000
+                },
+                4
+            )
+        );
+        // auipc a0, 0 → 0x00000517
+        assert_eq!(d32(0x0000_0517), (Insn::Auipc { rd: 10, imm: 0 }, 4));
+        // addi sp, sp, -16 → 0xff010113
+        assert_eq!(
+            d32(0xff01_0113),
+            (
+                Insn::Addi {
+                    rd: 2,
+                    rs1: 2,
+                    imm: -16
+                },
+                4
+            )
+        );
+        // ecall / ebreak
+        assert_eq!(d32(0x0000_0073), (Insn::Ecall, 4));
+        assert_eq!(d32(0x0010_0073), (Insn::Ebreak, 4));
+    }
+
+    #[test]
+    fn jal_and_branch_immediates() {
+        // jal ra, +8 → imm[20|10:1|11|19:12], rd=1: 0x008000ef
+        assert_eq!(d32(0x0080_00ef), (Insn::Jal { rd: 1, offset: 8 }, 4));
+        // jal x0, -4 → 0xffdff06f
+        assert_eq!(d32(0xffdf_f06f), (Insn::Jal { rd: 0, offset: -4 }, 4));
+        // beq a0, a1, +8 → 0x00b50463
+        assert_eq!(
+            d32(0x00b5_0463),
+            (
+                Insn::Beq {
+                    rs1: 10,
+                    rs2: 11,
+                    offset: 8
+                },
+                4
+            )
+        );
+        // bne a0, zero, -8 → 0xfe051ce3
+        assert_eq!(
+            d32(0xfe05_1ce3),
+            (
+                Insn::Bne {
+                    rs1: 10,
+                    rs2: 0,
+                    offset: -8
+                },
+                4
+            )
+        );
+    }
+
+    #[test]
+    fn loads_and_stores() {
+        // lw a0, 4(sp) → 0x00412503
+        assert_eq!(
+            d32(0x0041_2503),
+            (
+                Insn::Lw {
+                    rd: 10,
+                    rs1: 2,
+                    offset: 4
+                },
+                4
+            )
+        );
+        // sw ra, -4(sp) → imm=-4: 0xfe112e23
+        assert_eq!(
+            d32(0xfe11_2e23),
+            (
+                Insn::Sw {
+                    rs2: 1,
+                    rs1: 2,
+                    offset: -4
+                },
+                4
+            )
+        );
+        // lbu a1, 0(a0) → 0x00054583
+        assert_eq!(
+            d32(0x0005_4583),
+            (
+                Insn::Lbu {
+                    rd: 11,
+                    rs1: 10,
+                    offset: 0
+                },
+                4
+            )
+        );
+        // sb a1, 1(a0) → 0x00b500a3
+        assert_eq!(
+            d32(0x00b5_00a3),
+            (
+                Insn::Sb {
+                    rs2: 11,
+                    rs1: 10,
+                    offset: 1
+                },
+                4
+            )
+        );
+    }
+
+    #[test]
+    fn compressed_expansions() {
+        // c.nop → 0x0001: addi x0, x0, 0
+        assert_eq!(
+            d16(0x0001),
+            (
+                Insn::Addi {
+                    rd: 0,
+                    rs1: 0,
+                    imm: 0
+                },
+                2
+            )
+        );
+        // c.li a0, 0 → 0x4501
+        assert_eq!(
+            d16(0x4501),
+            (
+                Insn::Addi {
+                    rd: 10,
+                    rs1: 0,
+                    imm: 0
+                },
+                2
+            )
+        );
+        // c.li a7, 27 → wait: imm 27 fits 6-bit? 27 < 32 yes. 0x48ed
+        assert_eq!(
+            d16(0x48ed),
+            (
+                Insn::Addi {
+                    rd: 17,
+                    rs1: 0,
+                    imm: 27
+                },
+                2
+            )
+        );
+        // c.mv a0, a1 → 0x852e: add a0, x0, a1
+        assert_eq!(
+            d16(0x852e),
+            (
+                Insn::Add {
+                    rd: 10,
+                    rs1: 0,
+                    rs2: 11
+                },
+                2
+            )
+        );
+        // c.add a0, a1 → 0x952e: add a0, a0, a1
+        assert_eq!(
+            d16(0x952e),
+            (
+                Insn::Add {
+                    rd: 10,
+                    rs1: 10,
+                    rs2: 11
+                },
+                2
+            )
+        );
+        // c.jr ra → 0x8082: the RISC-V `ret`
+        assert_eq!(
+            d16(0x8082),
+            (
+                Insn::Jalr {
+                    rd: 0,
+                    rs1: 1,
+                    offset: 0
+                },
+                2
+            )
+        );
+        assert_eq!(d16(0x8082).0.to_string(), "ret");
+        // c.jalr a0 → 0x9502: jalr ra, 0(a0)
+        assert_eq!(
+            d16(0x9502),
+            (
+                Insn::Jalr {
+                    rd: 1,
+                    rs1: 10,
+                    offset: 0
+                },
+                2
+            )
+        );
+        // c.ebreak → 0x9002
+        assert_eq!(d16(0x9002), (Insn::Ebreak, 2));
+        // c.lwsp a0, 8(sp) → 0x4522
+        assert_eq!(
+            d16(0x4522),
+            (
+                Insn::Lw {
+                    rd: 10,
+                    rs1: 2,
+                    offset: 8
+                },
+                2
+            )
+        );
+        // c.swsp ra, 12(sp) → 0xc606
+        assert_eq!(
+            d16(0xc606),
+            (
+                Insn::Sw {
+                    rs2: 1,
+                    rs1: 2,
+                    offset: 12
+                },
+                2
+            )
+        );
+        // c.lw a2, 0(a0) → 0x4110
+        assert_eq!(
+            d16(0x4110),
+            (
+                Insn::Lw {
+                    rd: 12,
+                    rs1: 10,
+                    offset: 0
+                },
+                2
+            )
+        );
+        // c.addi4spn a0, sp, 16 → 0x0808
+        assert_eq!(
+            d16(0x0808),
+            (
+                Insn::Addi {
+                    rd: 10,
+                    rs1: 2,
+                    imm: 16
+                },
+                2
+            )
+        );
+        // c.addi16sp sp, -32 → 0x7139? nzimm=-32: bit9=1... compute:
+        // imm=-32 → bits: [9]=1,[8:7]=11,[6]=1,[5]=1,[4]=0 → -32 =
+        // 0b11_1110_0000; enc: b12=1, b6(imm4)=0, b5(imm6)=1,
+        // b4:3(imm8:7)=11, b2(imm5)=1 → 0x7139
+        assert_eq!(
+            d16(0x7139),
+            (
+                Insn::Addi {
+                    rd: 2,
+                    rs1: 2,
+                    imm: -64
+                },
+                2
+            )
+        );
+    }
+
+    #[test]
+    fn illegal_and_reserved_parcels_rejected() {
+        // The all-zero parcel is the canonical illegal instruction.
+        assert_eq!(decode(&[0x00, 0x00]), Err(DecodeError::Unsupported(0)));
+        // c.addi4spn with nzuimm = 0 (but nonzero parcel) is reserved.
+        assert!(decode(&0x0004u16.to_le_bytes()).is_err());
+        // c.jr x0 is reserved.
+        assert!(decode(&0x8002u16.to_le_bytes()).is_err());
+        // c.lwsp rd=0 is reserved.
+        assert!(decode(&0x4002u16.to_le_bytes()).is_err());
+    }
+
+    #[test]
+    fn truncation_detected() {
+        assert_eq!(decode(&[]), Err(DecodeError::Truncated));
+        assert_eq!(decode(&[0x01]), Err(DecodeError::Truncated));
+        // A 32-bit encoding cut to 2 bytes.
+        assert_eq!(decode(&[0x73, 0x00]), Err(DecodeError::Truncated));
+        assert_eq!(decode_reference(&[0x73, 0x00]), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn table_matches_reference_on_every_parcel() {
+        // The compressed space is small enough to sweep exhaustively.
+        for p in 0..=u16::MAX {
+            let bytes = p.to_le_bytes();
+            if p & 3 == 3 {
+                continue; // 32-bit prefix; covered by the word sweep
+            }
+            assert_eq!(
+                decode(&bytes),
+                decode_reference(&bytes),
+                "table and reference disagree on parcel {p:#06x}"
+            );
+        }
+    }
+
+    #[test]
+    fn table_matches_reference_decoder_words() {
+        // Deterministic LCG sweep; forcing the low bits to 11 keeps
+        // every draw in the 32-bit encoding space.
+        let mut w: u32 = 0x1234_5678;
+        for _ in 0..200_000 {
+            w = w.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+            let cand = w | 3;
+            let bytes = cand.to_le_bytes();
+            assert_eq!(
+                decode(&bytes),
+                decode_reference(&bytes),
+                "table and reference disagree on {cand:#010x}"
+            );
+        }
+    }
+}

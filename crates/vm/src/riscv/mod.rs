@@ -1,0 +1,30 @@
+//! RV32IC (RISC-V 32-bit base + compressed) subset: decoder,
+//! assembler and executor.
+//!
+//! The subset is sized to the paper's needs: enough to express the
+//! firmware's parsing loops, the libc call linkage, shellcode, and ROP
+//! gadgets. Two properties distinguish it from the x86/ARM siblings:
+//!
+//! * **2-byte pc granularity.** With the C extension, IALIGN is 16:
+//!   only odd pcs fault. A pc of `text+2` inside a 4-byte instruction
+//!   is architecturally fetchable and decodes a *different* instruction
+//!   stream — the misaligned-gadget surface the exploit crate scans at
+//!   a 2-byte stride.
+//! * **Pre-expanded compression.** The decoder maps every RVC parcel
+//!   onto its base-RV32I expansion ([`Insn`] has no compressed
+//!   variants), so the executor, IR lowering and CFI see one uniform
+//!   instruction set, with only the encoded length (2 or 4) varying.
+//!
+//! Like [`x86`](crate::x86) and [`arm`](crate::arm), decoding is
+//! driven by declarative [`decode_table!`](crate::decode_table) rules
+//! ([`RV32_RULES`], [`RVC_RULES`]) with the hand-rolled decoder kept as
+//! [`decode_reference`] for differential testing and benchmarking.
+
+mod asm;
+mod exec;
+mod insn;
+
+pub use asm::Asm;
+pub use insn::{decode, decode_reference, DecodeError, Insn, RV32_RULES, RVC_RULES};
+
+pub(crate) use exec::{decode_at, ends_block, exec_insn, step};

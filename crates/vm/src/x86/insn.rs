@@ -359,14 +359,192 @@ fn modrm(bytes: &[u8], at: usize) -> Result<ModRm, DecodeError> {
     }
 }
 
-/// Decodes one instruction from the start of `bytes`, returning it and
-/// the number of bytes consumed.
+/// Decodes one instruction from the start of `bytes` via the
+/// declarative [`X86_RULES`] table, returning it and the number of
+/// bytes consumed.
+///
+/// x86 keys the table on the first opcode byte only; the matched rule's
+/// extractor receives the whole byte window and consumes ModRM/SIB/
+/// displacement/immediate bytes itself (variable-length encodings).
 ///
 /// # Errors
 ///
 /// Returns [`DecodeError::Truncated`] if the window is too short or
 /// [`DecodeError::Unsupported`] for opcodes outside the subset.
 pub fn decode(bytes: &[u8]) -> Result<(Insn, usize), DecodeError> {
+    need(bytes, 1)?;
+    match crate::decoder::find(X86_RULES, bytes[0]) {
+        Some(r) => (r.decode)(bytes),
+        None => Err(DecodeError::Unsupported(bytes[0])),
+    }
+}
+
+/// Extracts a `op r/m32, r32` form: ModRM at offset 1, `reg` is the
+/// source register.
+fn rm_r(bytes: &[u8], build: fn(Operand, X86Reg) -> Insn) -> Result<(Insn, usize), DecodeError> {
+    let m = modrm(bytes, 1)?;
+    Ok((build(m.rm, X86Reg::from_bits(m.reg)), 1 + m.len))
+}
+
+crate::decode_table! {
+    /// The IA-32 subset as a declarative table, keyed on the first
+    /// opcode byte. Rule order mirrors the reference decoder; `nop`
+    /// must precede the `xchg eax, r32` family it aliases (0x90).
+    pub static X86_RULES: u8 => fn(&[u8]) -> Result<(Insn, usize), DecodeError> {
+        "nop" => (0xFF, 0x90, |_b| Ok((Insn::Nop, 1))),
+        "xchg eax, r32" => (0xF8, 0x90, |b| {
+            Ok((Insn::XchgEaxR(X86Reg::from_bits(b[0] - 0x90)), 1))
+        }),
+        "push r32" => (0xF8, 0x50, |b| {
+            Ok((Insn::PushR(X86Reg::from_bits(b[0] - 0x50)), 1))
+        }),
+        "pop r32" => (0xF8, 0x58, |b| {
+            Ok((Insn::PopR(X86Reg::from_bits(b[0] - 0x58)), 1))
+        }),
+        "push imm32" => (0xFF, 0x68, |b| Ok((Insn::PushImm(imm32(b, 1)?), 5))),
+        "push imm8" => (0xFF, 0x6A, |b| {
+            need(b, 2)?;
+            Ok((Insn::PushImm(b[1] as i8 as i32 as u32), 2))
+        }),
+        "mov r32, imm32" => (0xF8, 0xB8, |b| {
+            Ok((Insn::MovRImm(X86Reg::from_bits(b[0] - 0xB8), imm32(b, 1)?), 5))
+        }),
+        "mov r8, imm8" => (0xF8, 0xB0, |b| {
+            need(b, 2)?;
+            Ok((Insn::MovR8Imm(X86Reg::from_bits(b[0] - 0xB0), b[1]), 2))
+        }),
+        "mov r/m32, r32" => (0xFF, 0x89, |b| rm_r(b, |dst, src| Insn::MovRmR { dst, src })),
+        "mov r32, r/m32" => (0xFF, 0x8B, |b| {
+            let m = modrm(b, 1)?;
+            Ok((
+                Insn::MovRRm {
+                    dst: X86Reg::from_bits(m.reg),
+                    src: m.rm,
+                },
+                1 + m.len,
+            ))
+        }),
+        "xor r/m32, r32" => (0xFF, 0x31, |b| rm_r(b, |dst, src| Insn::XorRmR { dst, src })),
+        "and r/m32, r32" => (0xFF, 0x21, |b| rm_r(b, |dst, src| Insn::AndRmR { dst, src })),
+        "or r/m32, r32" => (0xFF, 0x09, |b| rm_r(b, |dst, src| Insn::OrRmR { dst, src })),
+        "cmp r/m32, r32" => (0xFF, 0x39, |b| rm_r(b, |dst, src| Insn::CmpRmR { dst, src })),
+        "test r/m32, r32" => (0xFF, 0x85, |b| rm_r(b, |dst, src| Insn::TestRmR { dst, src })),
+        "lea" => (0xFF, 0x8D, |b| {
+            let m = modrm(b, 1)?;
+            match m.rm {
+                Operand::Mem { .. } => Ok((
+                    Insn::Lea {
+                        dst: X86Reg::from_bits(m.reg),
+                        src: m.rm,
+                    },
+                    1 + m.len,
+                )),
+                Operand::Reg(_) => Err(DecodeError::Unsupported(b[0])),
+            }
+        }),
+        "shl/shr r32, imm8" => (0xFF, 0xC1, |b| {
+            let m = modrm(b, 1)?;
+            need(b, 1 + m.len + 1)?;
+            let imm = b[1 + m.len];
+            let reg = match m.rm {
+                Operand::Reg(r) => r,
+                Operand::Mem { .. } => return Err(DecodeError::Unsupported(b[0])),
+            };
+            let insn = match m.reg {
+                4 => Insn::ShlRImm8 { reg, imm },
+                5 => Insn::ShrRImm8 { reg, imm },
+                _ => return Err(DecodeError::Unsupported(b[0])),
+            };
+            Ok((insn, 1 + m.len + 1))
+        }),
+        "grp1 r/m32, imm8" => (0xFF, 0x83, |b| {
+            let m = modrm(b, 1)?;
+            need(b, 1 + m.len + 1)?;
+            let imm = b[1 + m.len] as i8;
+            let insn = match m.reg {
+                0 => Insn::AddRmImm8 { dst: m.rm, imm },
+                5 => Insn::SubRmImm8 { dst: m.rm, imm },
+                7 => Insn::CmpRmImm8 { dst: m.rm, imm },
+                _ => return Err(DecodeError::Unsupported(b[0])),
+            };
+            Ok((insn, 1 + m.len + 1))
+        }),
+        "grp1 r/m32, imm32" => (0xFF, 0x81, |b| {
+            let m = modrm(b, 1)?;
+            let imm = imm32(b, 1 + m.len)?;
+            let insn = match m.reg {
+                0 => Insn::AddRmImm32 { dst: m.rm, imm },
+                5 => Insn::SubRmImm32 { dst: m.rm, imm },
+                7 => Insn::CmpRmImm32 { dst: m.rm, imm },
+                _ => return Err(DecodeError::Unsupported(b[0])),
+            };
+            Ok((insn, 1 + m.len + 4))
+        }),
+        "inc r32" => (0xF8, 0x40, |b| Ok((Insn::IncR(X86Reg::from_bits(b[0] - 0x40)), 1))),
+        "dec r32" => (0xF8, 0x48, |b| Ok((Insn::DecR(X86Reg::from_bits(b[0] - 0x48)), 1))),
+        "ret" => (0xFF, 0xC3, |_b| Ok((Insn::Ret, 1))),
+        "ret imm16" => (0xFF, 0xC2, |b| Ok((Insn::RetImm16(imm16(b, 1)?), 3))),
+        "leave" => (0xFF, 0xC9, |_b| Ok((Insn::Leave, 1))),
+        "call rel32" => (0xFF, 0xE8, |b| Ok((Insn::CallRel32(imm32(b, 1)? as i32), 5))),
+        "jmp rel32" => (0xFF, 0xE9, |b| Ok((Insn::JmpRel32(imm32(b, 1)? as i32), 5))),
+        "jmp rel8" => (0xFF, 0xEB, |b| {
+            need(b, 2)?;
+            Ok((Insn::JmpRel8(b[1] as i8), 2))
+        }),
+        "jz rel8" => (0xFF, 0x74, |b| {
+            need(b, 2)?;
+            Ok((Insn::Jz8(b[1] as i8), 2))
+        }),
+        "jnz rel8" => (0xFF, 0x75, |b| {
+            need(b, 2)?;
+            Ok((Insn::Jnz8(b[1] as i8), 2))
+        }),
+        "grp5 call/jmp r/m32" => (0xFF, 0xFF, |b| {
+            let m = modrm(b, 1)?;
+            match m.reg {
+                2 => Ok((Insn::CallRm(m.rm), 1 + m.len)),
+                4 => Ok((Insn::JmpRm(m.rm), 1 + m.len)),
+                _ => Err(DecodeError::Unsupported(b[0])),
+            }
+        }),
+        "two-byte (0F)" => (0xFF, 0x0F, |b| {
+            need(b, 2)?;
+            match b[1] {
+                0x84 => Ok((Insn::Jz32(imm32(b, 2)? as i32), 6)),
+                0x85 => Ok((Insn::Jnz32(imm32(b, 2)? as i32), 6)),
+                0xB6 => {
+                    let m = modrm(b, 2)?;
+                    Ok((
+                        Insn::Movzx8 {
+                            dst: X86Reg::from_bits(m.reg),
+                            src: m.rm,
+                        },
+                        2 + m.len,
+                    ))
+                }
+                other => Err(DecodeError::Unsupported(other)),
+            }
+        }),
+        "int 0x80" => (0xFF, 0xCD, |b| {
+            need(b, 2)?;
+            if b[1] == 0x80 {
+                Ok((Insn::Int80, 2))
+            } else {
+                Err(DecodeError::Unsupported(b[1]))
+            }
+        }),
+        "hlt" => (0xFF, 0xF4, |_b| Ok((Insn::Hlt, 1))),
+    }
+}
+
+/// The original hand-rolled decoder, retained as the reference
+/// implementation for the decode-table differential tests and the
+/// table-vs-hand-rolled bench ablation.
+///
+/// # Errors
+///
+/// Same contract as [`decode`].
+pub fn decode_reference(bytes: &[u8]) -> Result<(Insn, usize), DecodeError> {
     need(bytes, 1)?;
     let op = bytes[0];
     match op {
@@ -855,5 +1033,28 @@ mod tests {
             decode(&[0x6A, 0xFF]).unwrap(),
             (Insn::PushImm(0xFFFF_FFFF), 2)
         );
+    }
+
+    #[test]
+    fn table_matches_reference_decoder() {
+        // Deterministic LCG sweep over 8-byte windows, plus every
+        // 1..8-byte truncation of each window so the Truncated paths
+        // are compared too.
+        let mut s: u32 = 0x1234_5678;
+        let mut next = move || {
+            s = s.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+            (s >> 24) as u8
+        };
+        for _ in 0..50_000 {
+            let win: [u8; 8] = std::array::from_fn(|_| next());
+            for len in 1..=win.len() {
+                assert_eq!(
+                    decode(&win[..len]),
+                    decode_reference(&win[..len]),
+                    "table and reference disagree on {:02x?}",
+                    &win[..len]
+                );
+            }
+        }
     }
 }

@@ -12,6 +12,6 @@ mod exec;
 mod insn;
 
 pub use asm::Asm;
-pub use insn::{decode, DecodeError, Insn, Operand};
+pub use insn::{decode, decode_reference, DecodeError, Insn, Operand, X86_RULES};
 
 pub(crate) use exec::{decode_at, ends_block, exec_insn, step};

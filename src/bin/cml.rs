@@ -3,6 +3,7 @@
 //! ```text
 //! cml survey                              # firmware exploitability survey
 //! cml recon  --arch arm                   # print reconnaissance results
+//! cml repro --arch riscv                  # one ISA's exploit-matrix column
 //! cml exploit --arch x86 --prot full --strategy rop
 //! cml dos    --arch arm --prot wxorx      # crash-only probe
 //! cml pineapple --arch arm                # the remote §III-D scenario
@@ -17,7 +18,9 @@
 use std::process::ExitCode;
 
 use connman_lab::exploit::strategies::DosCrash;
-use connman_lab::exploit::{ArmGadgetExeclp, CodeInjection, Ret2Libc, RopMemcpyChain};
+use connman_lab::exploit::{
+    ArmGadgetExeclp, CodeInjection, Ret2Libc, RiscvGadgetSystem, RopMemcpyChain,
+};
 use connman_lab::{Arch, AttackOutcome, ExploitStrategy, FirmwareKind, Lab, Protections};
 
 fn main() -> ExitCode {
@@ -31,6 +34,7 @@ fn main() -> ExitCode {
         "survey" => survey(),
         "analyze" => analyze_cmd(&opts),
         "recon" => recon(&opts),
+        "repro" => repro(&opts),
         "exploit" => exploit(&opts),
         "dos" => dos(&opts),
         "pineapple" => pineapple(&opts),
@@ -60,6 +64,8 @@ fn usage() {
          \x20 analyze     --sarif            emit the report as SARIF 2.1.0\n\
          \x20 analyze     --self-test        run the analyzer's CI self-test\n\
          \x20 recon       --arch A           run reconnaissance, print findings\n\
+         \x20 repro       [--arch A]         replay the exploit matrix (all nine\n\
+         \x20                                cells, or one ISA's column)\n\
          \x20 exploit     --arch A --prot P --strategy S\n\
          \x20 dos         --arch A --prot P  crash-only probe\n\
          \x20 pineapple   --arch A           remote rogue-AP scenario\n\
@@ -99,6 +105,7 @@ fn usage() {
 
 struct Opts {
     arch: Arch,
+    arch_given: bool,
     prot: Protections,
     strategy: String,
     firmware: FirmwareKind,
@@ -115,6 +122,7 @@ impl Opts {
     fn parse(args: &[String]) -> Opts {
         let mut o = Opts {
             arch: Arch::Armv7,
+            arch_given: false,
             prot: Protections::full(),
             strategy: "auto".to_string(),
             firmware: FirmwareKind::OpenElec,
@@ -130,9 +138,11 @@ impl Opts {
         while let Some(a) = it.next() {
             match a.as_str() {
                 "--arch" => {
+                    o.arch_given = true;
                     o.arch = match it.next().map(String::as_str) {
                         Some("x86") => Arch::X86,
                         Some("arm") | Some("armv7") => Arch::Armv7,
+                        Some("riscv") | Some("rv32") => Arch::Riscv,
                         other => {
                             eprintln!("unknown arch {other:?}, using ARMv7");
                             Arch::Armv7
@@ -195,6 +205,7 @@ impl Opts {
             ("injection", arch) => Box::new(CodeInjection::new(arch)),
             ("ret2libc", _) => Box::new(Ret2Libc::new()),
             ("execlp", _) => Box::new(ArmGadgetExeclp::new()),
+            ("system", _) => Box::new(RiscvGadgetSystem::new()),
             ("rop", arch) => Box::new(RopMemcpyChain::new(arch)),
             // auto: the technique matched to the protection level.
             (_, arch) => {
@@ -204,6 +215,7 @@ impl Opts {
                     match arch {
                         Arch::X86 => Box::new(Ret2Libc::new()),
                         Arch::Armv7 => Box::new(ArmGadgetExeclp::new()),
+                        Arch::Riscv => Box::new(RiscvGadgetSystem::new()),
                     }
                 } else {
                     Box::new(CodeInjection::new(arch))
@@ -277,6 +289,64 @@ fn recon(opts: &Opts) -> ExitCode {
             eprintln!("recon failed: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// Replays the paper's exploit matrix: for every protection level the
+/// matched technique must pop a root shell. `--arch` narrows the run to
+/// one column; without it all nine cells run.
+fn repro(opts: &Opts) -> ExitCode {
+    let arches: &[Arch] = if opts.arch_given {
+        std::slice::from_ref(&opts.arch)
+    } else {
+        &Arch::ALL
+    };
+    let mut failures = 0;
+    for &arch in arches {
+        for prot in [
+            Protections::none(),
+            Protections::wxorx(),
+            Protections::full(),
+        ] {
+            let strategy: Box<dyn ExploitStrategy> = if prot.aslr.enabled {
+                Box::new(RopMemcpyChain::new(arch))
+            } else if prot.wxorx {
+                match arch {
+                    Arch::X86 => Box::new(Ret2Libc::new()),
+                    Arch::Armv7 => Box::new(ArmGadgetExeclp::new()),
+                    Arch::Riscv => Box::new(RiscvGadgetSystem::new()),
+                }
+            } else {
+                Box::new(CodeInjection::new(arch))
+            };
+            let lab = Lab::new(opts.firmware, arch).with_protections(prot);
+            let cell = format!(
+                "{:7} / {:8} / {} ({})",
+                arch.to_string(),
+                prot.label(),
+                strategy.name(),
+                strategy.paper_section()
+            );
+            match lab.run_exploit(strategy.as_ref()) {
+                Ok(report) => {
+                    println!("{cell} → {}", report.outcome);
+                    if report.outcome != AttackOutcome::RootShell {
+                        failures += 1;
+                    }
+                }
+                Err(e) => {
+                    println!("{cell} → blocked: {e}");
+                    failures += 1;
+                }
+            }
+        }
+    }
+    if failures == 0 {
+        println!("repro: all {} cells popped a root shell", arches.len() * 3);
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("repro: {failures} cell(s) failed");
+        ExitCode::from(2)
     }
 }
 
@@ -590,7 +660,9 @@ fn fuzz_cmd(opts: &Opts) -> ExitCode {
         let checks = [
             (FirmwareKind::OpenElec, Arch::X86, true),
             (FirmwareKind::OpenElec, Arch::Armv7, true),
+            (FirmwareKind::OpenElec, Arch::Riscv, true),
             (FirmwareKind::Patched, Arch::X86, false),
+            (FirmwareKind::Patched, Arch::Riscv, false),
         ];
         for (kind, arch, expect_crash) in checks {
             let cfg = FuzzConfig::new(kind, arch, 0x5EED, budget, opts.jobs.max(1));

@@ -1,5 +1,6 @@
 //! Integration: the static analyzer and the VM shadow-memory sanitizer
-//! across the paper's full exploit matrix (x86/ARM × none/W⊕X/W⊕X+ASLR).
+//! across the paper's full exploit matrix (x86/ARM/RISC-V ×
+//! none/W⊕X/W⊕X+ASLR).
 //!
 //! The analyzer must flag the vulnerable firmware and stay quiet on the
 //! patched one in every cell; the sanitizer must pinpoint every matrix
@@ -7,7 +8,9 @@
 //! off must leave the exploits fully functional.
 
 use connman_lab::analysis::{self, json};
-use connman_lab::exploit::{ArmGadgetExeclp, BufferImage, CodeInjection, Ret2Libc, RopMemcpyChain};
+use connman_lab::exploit::{
+    ArmGadgetExeclp, BufferImage, CodeInjection, Ret2Libc, RiscvGadgetSystem, RopMemcpyChain,
+};
 use connman_lab::vm::Fault;
 use connman_lab::{
     Arch, AttackOutcome, ExploitStrategy, Firmware, FirmwareKind, Lab, Protections, ProxyOutcome,
@@ -36,6 +39,7 @@ fn strategy_for(arch: Arch, prot: &Protections) -> Box<dyn ExploitStrategy> {
         match arch {
             Arch::X86 => Box::new(Ret2Libc::new()),
             Arch::Armv7 => Box::new(ArmGadgetExeclp::new()),
+            Arch::Riscv => Box::new(RiscvGadgetSystem::new()),
         }
     } else {
         Box::new(CodeInjection::new(arch))

@@ -34,8 +34,18 @@ fn rediscovers_the_overflow_on_arm() {
 }
 
 #[test]
-fn patched_firmware_yields_zero_crashes_on_both_isas() {
-    for arch in [Arch::X86, Arch::Armv7] {
+fn rediscovers_the_overflow_on_riscv() {
+    let report = campaign(FirmwareKind::OpenElec, Arch::Riscv);
+    assert!(
+        report.found_overflow(),
+        "no redzone crash on RISC-V; keys: {:?}",
+        report.crash_keys()
+    );
+}
+
+#[test]
+fn patched_firmware_yields_zero_crashes_on_all_isas() {
+    for arch in Arch::ALL {
         let report = campaign(FirmwareKind::Patched, arch);
         assert!(
             report.crashes.is_empty(),

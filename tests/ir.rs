@@ -9,9 +9,11 @@
 
 use cml_image::{Arch, Perms, SectionKind};
 use cml_vm::x86::Asm;
-use cml_vm::{arm, Machine, RunOutcome, X86Reg};
+use cml_vm::{arm, riscv, Machine, RunOutcome, X86Reg};
 use connman_lab::exploit::target::deliver_labels;
-use connman_lab::exploit::{ArmGadgetExeclp, CodeInjection, ExploitStrategy, Ret2Libc};
+use connman_lab::exploit::{
+    ArmGadgetExeclp, CodeInjection, ExploitStrategy, Ret2Libc, RiscvGadgetSystem,
+};
 use connman_lab::{FirmwareKind, Lab, Protections};
 
 /// The three dispatch tiers under test: threaded-code IR, fused basic
@@ -27,7 +29,7 @@ fn set_mode(m: &mut Machine, ir_on: bool, blocks_on: bool) {
     m.set_block_dispatch_enabled(blocks_on);
 }
 
-/// The six PoC cells of §III: protection level + the matched technique.
+/// The nine PoC cells of §III: protection level + the matched technique.
 fn matrix() -> Vec<(Arch, Protections, Box<dyn ExploitStrategy>)> {
     let mut cells: Vec<(Arch, Protections, Box<dyn ExploitStrategy>)> = Vec::new();
     for arch in Arch::ALL {
@@ -39,6 +41,7 @@ fn matrix() -> Vec<(Arch, Protections, Box<dyn ExploitStrategy>)> {
         let wx: Box<dyn ExploitStrategy> = match arch {
             Arch::X86 => Box::new(Ret2Libc::new()),
             Arch::Armv7 => Box::new(ArmGadgetExeclp::new()),
+            Arch::Riscv => Box::new(RiscvGadgetSystem::new()),
         };
         cells.push((arch, Protections::wxorx(), wx));
         cells.push((
@@ -177,13 +180,60 @@ fn arm_program() -> Vec<u8> {
         .finish()
 }
 
-/// x86/ARM programs agree across all three dispatch tiers, for every
-/// step budget from 1 up to past program exit — so budget exhaustion
-/// lands on every possible op boundary, including inside folded
-/// `AddImm` runs and between the halves of fused `CmpBr`/`DecBr` ops.
+/// The RISC-V counterpart, mixing 4-byte and compressed encodings so
+/// the 2-byte-granular pc crosses both strides inside one block:
+/// immediate materialisation (`lui`/`auipc`/`c.li`), ALU immediates and
+/// register forms, shifts, sp-relative compressed loads/stores beside
+/// the full-width ones, and a counted `bne` loop.
+fn riscv_program() -> Vec<u8> {
+    let head = riscv::Asm::new().c_li(14, 3);
+    let loop_top = head.len() as i32;
+    let body = head
+        .c_li(10, 0x10)
+        .addi(10, 10, 4)
+        .c_addi(10, 1)
+        .andi(11, 10, 0xFF)
+        .ori(11, 11, 0x10)
+        .xori(11, 11, 3)
+        .slli(12, 11, 2)
+        .srli(12, 12, 1)
+        .c_slli(12, 1)
+        .lui(13, 0x12000)
+        .auipc(15, 0x1000)
+        .add(12, 12, 11)
+        .sub(12, 12, 10)
+        .c_mv(5, 12)
+        .c_add(5, 11)
+        .sw(10, 2, -8)
+        .lw(6, 2, -8)
+        .sb(11, 2, -12)
+        .lbu(7, 2, -12)
+        .c_swsp(12, 0)
+        .c_lwsp(28, 0)
+        .c_addi4spn(9, 8)
+        .addi(14, 14, -1);
+    // Branch offsets are relative to the branch instruction itself.
+    let rel = loop_top - body.len() as i32;
+    body.bne(14, 0, rel)
+        .jal(0, 4) // jump to the very next word
+        .c_li(10, 9)
+        .addi(17, 0, 93)
+        .ecall()
+        .finish()
+}
+
+/// x86/ARM/RISC-V programs agree across all three dispatch tiers, for
+/// every step budget from 1 up to past program exit — so budget
+/// exhaustion lands on every possible op boundary, including inside
+/// folded `AddImm` runs and between the halves of fused
+/// `CmpBr`/`DecBr` ops.
 #[test]
 fn step_budget_parity_at_every_boundary() {
-    for (arch, code) in [(Arch::X86, x86_program()), (Arch::Armv7, arm_program())] {
+    for (arch, code) in [
+        (Arch::X86, x86_program()),
+        (Arch::Armv7, arm_program()),
+        (Arch::Riscv, riscv_program()),
+    ] {
         // Establish the total instruction count from per-insn dispatch.
         let mut full = boot(arch, &code);
         set_mode(&mut full, false, false);
@@ -290,10 +340,14 @@ fn text_mutation_after_snapshot_orphans_ir_blocks() {
 
 /// IR dispatch and fused-block dispatch note coverage identically (one
 /// premixed edge per block entry): the maps must be byte-for-byte the
-/// same, on both ISAs.
+/// same, on all three ISAs.
 #[test]
 fn coverage_map_identical_ir_vs_block() {
-    for (arch, code) in [(Arch::X86, x86_program()), (Arch::Armv7, arm_program())] {
+    for (arch, code) in [
+        (Arch::X86, x86_program()),
+        (Arch::Armv7, arm_program()),
+        (Arch::Riscv, riscv_program()),
+    ] {
         let run_mode = |ir_on: bool| {
             let mut m = boot(arch, &code);
             set_mode(&mut m, ir_on, true);

@@ -4,13 +4,15 @@
 //! a tainted write can run, how many bytes separate the buffer from the
 //! saved return address, whether a canary would be clobbered — must
 //! match what the instrumented VM *measures* when the real exploits
-//! fire. Every cell of the paper's matrix ({x86, ARM} × {none, W⊕X,
-//! W⊕X+ASLR}) is checked byte-for-byte against the sanitizer's redzone
-//! report and the exploit outcome; the patched 1.35 firmware must be
-//! statically quiet on both ISAs.
+//! fire. Every cell of the paper's matrix ({x86, ARM, RISC-V} × {none,
+//! W⊕X, W⊕X+ASLR}) is checked byte-for-byte against the sanitizer's
+//! redzone report and the exploit outcome; the patched 1.35 firmware
+//! must be statically quiet on all three ISAs.
 
 use connman_lab::analysis;
-use connman_lab::exploit::{ArmGadgetExeclp, BufferImage, CodeInjection, Ret2Libc, RopMemcpyChain};
+use connman_lab::exploit::{
+    ArmGadgetExeclp, BufferImage, CodeInjection, Ret2Libc, RiscvGadgetSystem, RopMemcpyChain,
+};
 use connman_lab::vm::Fault;
 use connman_lab::{
     Arch, AttackOutcome, ExploitStrategy, Firmware, FirmwareKind, Lab, Protections, ProxyOutcome,
@@ -37,6 +39,7 @@ fn strategy_for(arch: Arch, prot: &Protections) -> Box<dyn ExploitStrategy> {
         match arch {
             Arch::X86 => Box::new(Ret2Libc::new()),
             Arch::Armv7 => Box::new(ArmGadgetExeclp::new()),
+            Arch::Riscv => Box::new(RiscvGadgetSystem::new()),
         }
     } else {
         Box::new(CodeInjection::new(arch))
@@ -161,7 +164,7 @@ fn canary_clobber_prediction_matches_exploit_outcomes() {
 }
 
 #[test]
-fn patched_firmware_is_statically_quiet_on_both_isas() {
+fn patched_firmware_is_statically_quiet_on_all_isas() {
     for arch in Arch::ALL {
         let patched = Firmware::build(FirmwareKind::Patched, arch);
         let report = analysis::analyze(patched.image());

@@ -6,10 +6,12 @@
 //! {block dispatch, per-instruction dispatch}.
 
 use connman_lab::exploit::target::deliver_labels;
-use connman_lab::exploit::{ArmGadgetExeclp, CodeInjection, ExploitStrategy, Ret2Libc};
+use connman_lab::exploit::{
+    ArmGadgetExeclp, CodeInjection, ExploitStrategy, Ret2Libc, RiscvGadgetSystem,
+};
 use connman_lab::{Arch, FirmwareKind, Lab, Protections};
 
-/// The six PoC cells of §III: protection level + the matched technique.
+/// The nine PoC cells of §III: protection level + the matched technique.
 fn matrix() -> Vec<(Arch, Protections, Box<dyn ExploitStrategy>)> {
     let mut cells: Vec<(Arch, Protections, Box<dyn ExploitStrategy>)> = Vec::new();
     for arch in Arch::ALL {
@@ -21,6 +23,7 @@ fn matrix() -> Vec<(Arch, Protections, Box<dyn ExploitStrategy>)> {
         let wx: Box<dyn ExploitStrategy> = match arch {
             Arch::X86 => Box::new(Ret2Libc::new()),
             Arch::Armv7 => Box::new(ArmGadgetExeclp::new()),
+            Arch::Riscv => Box::new(RiscvGadgetSystem::new()),
         };
         cells.push((arch, Protections::wxorx(), wx));
         cells.push((
